@@ -1,0 +1,68 @@
+// Figure 2: CDF of 200 randomly generated configurations for TeraSort,
+// by performance relative to the best configuration found. Reproduces the
+// paper's observation that better-than-default configurations are easy to
+// find but close-to-optimal ones are rare.
+#include <iostream>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "sparksim/environment.hpp"
+#include "tuners/random_search.hpp"
+
+int main() {
+  using namespace deepcat;
+  using namespace deepcat::sparksim;
+
+  constexpr int kConfigs = 200;
+  TuningEnvironment env(cluster_a(),
+                        make_workload(WorkloadType::kTeraSort, 3.2),
+                        {.seed = 2022});
+  tuners::RandomSearchTuner random({.seed = 2022});
+  const tuners::TuningReport report = random.tune(env, kConfigs);
+
+  // Relative performance = best_found / exec_time, in (0, 1]; failures
+  // score 0 (they never finish).
+  std::vector<double> relative;
+  int failures = 0;
+  for (const auto& s : report.steps) {
+    if (s.success) {
+      relative.push_back(report.best_time / s.exec_seconds);
+    } else {
+      relative.push_back(0.0);
+      ++failures;
+    }
+  }
+
+  // The CDF as the paper plots it: P(relative perf <= x).
+  common::Table cdf(
+      "Figure 2: CDF of 200 random configurations (TeraSort 3.2 GB), "
+      "relative performance = best_found / exec_time");
+  cdf.header({"x", "P"});
+  for (double x = 0.0; x <= 1.0001; x += 0.05) {
+    cdf.row({common::cell(x, 2), common::cell(common::fraction_below(relative, x), 3)});
+  }
+  cdf.print(std::cout);
+
+  const double default_rel = report.best_time / report.default_time;
+  std::cout << "\nSummary (paper: better-than-default is easy, "
+               "close-to-optimal is rare):\n";
+  std::cout << "  failed configurations              : " << failures << "/"
+            << kConfigs << "\n";
+  std::cout << "  better than default (rel > "
+            << common::cell(default_rel, 2) << ")     : "
+            << common::percent_cell(
+                   1.0 - common::fraction_below(relative, default_rel), 1)
+            << "\n";
+  std::cout << "  within 2x of best (rel >= 0.5)     : "
+            << common::percent_cell(
+                   1.0 - common::fraction_below(relative, 0.5 - 1e-12), 1)
+            << "\n";
+  std::cout << "  close-to-optimal (rel >= 0.9)      : "
+            << common::percent_cell(
+                   1.0 - common::fraction_below(relative, 0.9 - 1e-12), 1)
+            << "\n";
+  std::cout << "  best execution time                : "
+            << common::cell(report.best_time, 1) << " s (default "
+            << common::cell(report.default_time, 1) << " s)\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 6: speedup of the best recommended configuration over the
+// default configuration for all 12 workload-input pairs, DeepCAT vs
+// CDBTune vs OtterTune (higher is better), seed-averaged. Paper headline: DeepCAT 4.66x average vs 3.21x
+// (CDBTune) and 2.82x (OtterTune) — i.e. 1.45x / 1.65x.
+#include <iostream>
+
+#include "bench_comparison.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace deepcat;
+  const auto results = bench::run_averaged_comparison(
+      bench::all_case_ids(), bench::comparison_seeds());
+
+  common::Table t(
+      "Figure 6: speedup over default configuration (avg over offline seeds)");
+  t.header({"case", "default (s)", "DeepCAT", "CDBTune", "OtterTune"});
+  std::vector<double> dc, cdb, ot;
+  for (const auto& r : results) {
+    dc.push_back(r.deepcat.speedup(r.default_time));
+    cdb.push_back(r.cdbtune.speedup(r.default_time));
+    ot.push_back(r.ottertune.speedup(r.default_time));
+    t.row({r.case_id, common::cell(r.default_time, 1),
+           common::speedup_cell(dc.back()), common::speedup_cell(cdb.back()),
+           common::speedup_cell(ot.back())});
+  }
+  t.row({"average", "",
+         common::speedup_cell(common::mean(dc)),
+         common::speedup_cell(common::mean(cdb)),
+         common::speedup_cell(common::mean(ot))});
+  t.print(std::cout);
+
+  const double vs_cdb = common::mean(dc) / common::mean(cdb);
+  const double vs_ot = common::mean(dc) / common::mean(ot);
+  std::cout << "\nDeepCAT vs CDBTune (avg speedup ratio): "
+            << common::speedup_cell(vs_cdb) << "  (paper: 1.45x)\n";
+  std::cout << "DeepCAT vs OtterTune (avg speedup ratio): "
+            << common::speedup_cell(vs_ot) << "  (paper: 1.65x)\n";
+
+  // KMeans spotlight (paper §5.2.1 calls out the largest gaps there).
+  double km_dc = 0.0, km_cdb = 0.0, km_ot = 0.0;
+  int km_n = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (results[i].case_id.rfind("KM", 0) == 0) {
+      km_dc += dc[i];
+      km_cdb += cdb[i];
+      km_ot += ot[i];
+      ++km_n;
+    }
+  }
+  std::cout << "KMeans-only average ratios: vs CDBTune "
+            << common::speedup_cell(km_dc / km_cdb) << " (paper avg 1.77x), "
+            << "vs OtterTune " << common::speedup_cell(km_dc / km_ot)
+            << " (paper avg 1.98x)  [n=" << km_n << "]\n";
+  return 0;
+}

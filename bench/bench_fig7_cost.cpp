@@ -1,0 +1,60 @@
+// Figure 7: total online tuning time (configuration evaluation +
+// recommendation) per workload-input pair, with the recommendation-time
+// breakdown the paper marks in black. Lower is better; averaged over 3
+// offline seeds. Paper headline: DeepCAT uses 24.64% less total time than
+// CDBTune on average (up to 50.08%) and 39.71% less than OtterTune (up to
+// 53.39%); recommendation time per 5-step session is ~0.69 s (DeepCAT) /
+// 0.25 s (CDBTune) / 43.25 s (OtterTune, dominated by GP retraining).
+#include <iostream>
+
+#include "bench_comparison.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace deepcat;
+  const auto results = bench::run_averaged_comparison(
+      bench::all_case_ids(), bench::comparison_seeds());
+
+  common::Table t(
+      "Figure 7: total online tuning time, avg over offline seeds (rec = "
+      "recommendation share)");
+  t.header({"case", "DeepCAT total(s)", "DeepCAT rec(s)", "CDBTune total(s)",
+            "CDBTune rec(s)", "OtterTune total(s)", "OtterTune rec(s)"});
+  std::vector<double> save_vs_cdb, save_vs_ot;
+  common::RunningStats dc_rec, cdb_rec, ot_rec;
+  for (const auto& r : results) {
+    const double dc = r.deepcat.total_tuning;
+    const double cdb = r.cdbtune.total_tuning;
+    const double ot = r.ottertune.total_tuning;
+    save_vs_cdb.push_back((cdb - dc) / cdb);
+    save_vs_ot.push_back((ot - dc) / ot);
+    dc_rec.add(r.deepcat.total_recommendation);
+    cdb_rec.add(r.cdbtune.total_recommendation);
+    ot_rec.add(r.ottertune.total_recommendation);
+    t.row({r.case_id, common::cell(dc, 1),
+           common::cell(r.deepcat.total_recommendation, 2),
+           common::cell(cdb, 1),
+           common::cell(r.cdbtune.total_recommendation, 2),
+           common::cell(ot, 1),
+           common::cell(r.ottertune.total_recommendation, 2)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nDeepCAT total-tuning-time saving vs CDBTune: avg "
+            << common::percent_cell(common::mean(save_vs_cdb), 2) << ", max "
+            << common::percent_cell(common::max_of(save_vs_cdb), 2)
+            << "  (paper: avg 24.64%, up to 50.08%)\n";
+  std::cout << "DeepCAT total-tuning-time saving vs OtterTune: avg "
+            << common::percent_cell(common::mean(save_vs_ot), 2) << ", max "
+            << common::percent_cell(common::max_of(save_vs_ot), 2)
+            << "  (paper: avg 39.71%, up to 53.39%)\n";
+  std::cout << "\nRecommendation time per 5-step session (avg):\n"
+            << "  DeepCAT   " << common::cell(dc_rec.mean(), 3)
+            << " s  (paper: 0.69 s)\n"
+            << "  CDBTune   " << common::cell(cdb_rec.mean(), 3)
+            << " s  (paper: 0.25 s)\n"
+            << "  OtterTune " << common::cell(ot_rec.mean(), 3)
+            << " s  (paper: 43.25 s; same shape — GP retraining dominates)\n";
+  return 0;
+}

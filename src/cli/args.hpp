@@ -1,0 +1,31 @@
+// Tiny argument parser for the deepcat CLI: positional subcommand +
+// --flag value pairs + repeatable --set knob=value assignments.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace deepcat::cli {
+
+struct ParsedArgs {
+  std::string command;                       ///< first positional token
+  std::map<std::string, std::string> flags;  ///< --name value
+  std::vector<std::pair<std::string, std::string>> assignments;  ///< --set k=v
+
+  [[nodiscard]] std::optional<std::string> flag(
+      const std::string& name) const;
+  [[nodiscard]] std::string flag_or(const std::string& name,
+                                    const std::string& fallback) const;
+  [[nodiscard]] double number_or(const std::string& name,
+                                 double fallback) const;
+};
+
+/// Parses argv[1..): first token is the subcommand; "--set k=v" pairs are
+/// collected into `assignments`; any other "--name value" into `flags`.
+/// Throws std::invalid_argument on a malformed flag (missing value,
+/// missing '=' in --set).
+[[nodiscard]] ParsedArgs parse_args(const std::vector<std::string>& argv);
+
+}  // namespace deepcat::cli

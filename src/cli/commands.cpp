@@ -1,0 +1,197 @@
+#include "cli/commands.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "common/table.hpp"
+#include "core/deepcat_api.hpp"
+#include "sparksim/config_export.hpp"
+#include "sparksim/job_sim.hpp"
+
+namespace deepcat::cli {
+
+namespace {
+
+using namespace deepcat::sparksim;
+
+WorkloadType workload_from_flag(const std::string& tag) {
+  if (tag == "WC" || tag == "wordcount") return WorkloadType::kWordCount;
+  if (tag == "TS" || tag == "terasort") return WorkloadType::kTeraSort;
+  if (tag == "PR" || tag == "pagerank") return WorkloadType::kPageRank;
+  if (tag == "KM" || tag == "kmeans") return WorkloadType::kKMeans;
+  throw std::invalid_argument("unknown workload '" + tag +
+                              "' (use WC, TS, PR or KM)");
+}
+
+ClusterSpec cluster_from_flag(const std::string& tag) {
+  if (tag == "a" || tag == "A") return cluster_a();
+  if (tag == "b" || tag == "B") return cluster_b();
+  throw std::invalid_argument("unknown cluster '" + tag + "' (use a or b)");
+}
+
+double default_size(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kWordCount:
+    case WorkloadType::kTeraSort: return 3.2;
+    case WorkloadType::kPageRank: return 0.5;
+    case WorkloadType::kKMeans: return 20.0;
+  }
+  return 1.0;
+}
+
+ConfigValues config_from_assignments(const ParsedArgs& args) {
+  const ConfigSpace& space = pipeline_space();
+  ConfigValues values = space.defaults();
+  for (const auto& [knob, value] : args.assignments) {
+    const KnobId id = space.id_of(knob);  // throws on unknown knob
+    values.set(id, std::stod(value));
+  }
+  return values;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: deepcat <command> [flags]\n\n"
+        "commands:\n"
+        "  knobs                       list the 32 tuned parameters\n"
+        "  suite                       list the HiBench workload registry\n"
+        "  simulate --workload TS      run the cluster simulator once\n"
+        "      [--size 3.2] [--cluster a|b] [--seed 1] [--runs 1]\n"
+        "      [--set spark.executor.memory=6144 ...]\n"
+        "  tune --workload TS          train offline + tune online\n"
+        "      [--size 3.2] [--cluster a|b] [--steps 5]\n"
+        "      [--offline-iters 1200] [--seed 1]\n"
+        "      [--export spark|yarn|hdfs|submit]\n";
+}
+
+}  // namespace
+
+int cmd_knobs(const ParsedArgs& /*args*/, std::ostream& os) {
+  const ConfigSpace& space = pipeline_space();
+  common::Table t("Tuned configuration parameters");
+  t.header({"parameter", "component", "min", "max", "default"});
+  const char* comp_names[] = {"Spark", "YARN", "HDFS"};
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const KnobDef& k = space.knob(static_cast<KnobId>(i));
+    t.row({k.name, comp_names[static_cast<int>(k.component)],
+           common::cell(k.min_value, 1), common::cell(k.max_value, 1),
+           common::cell(k.default_value, 1)});
+  }
+  t.print(os);
+  return 0;
+}
+
+int cmd_suite(const ParsedArgs& /*args*/, std::ostream& os) {
+  common::Table t("HiBench workload registry");
+  t.header({"id", "workload", "input (MB)", "stages"});
+  for (const auto& c : hibench_suite()) {
+    const WorkloadSpec w = workload_for(c);
+    t.row({c.id, w.name, common::cell(w.input_mb, 0),
+           common::cell(w.stages.size())});
+  }
+  t.print(os);
+  return 0;
+}
+
+int cmd_simulate(const ParsedArgs& args, std::ostream& os) {
+  const WorkloadType type = workload_from_flag(args.flag_or("workload", "TS"));
+  const double size = args.number_or("size", default_size(type));
+  const WorkloadSpec workload = make_workload(type, size);
+  const ClusterSpec cluster = cluster_from_flag(args.flag_or("cluster", "a"));
+  const ConfigValues config = config_from_assignments(args);
+  const auto runs = static_cast<int>(args.number_or("runs", 1));
+  const auto seed0 =
+      static_cast<std::uint64_t>(args.number_or("seed", 1));
+
+  const JobSimulator sim(cluster);
+  for (int run = 0; run < runs; ++run) {
+    const ExecutionResult r =
+        sim.run(workload, config, seed0 + static_cast<std::uint64_t>(run));
+    os << workload.name << " on " << cluster.name << " (seed "
+       << seed0 + static_cast<std::uint64_t>(run) << "): ";
+    if (r.success) {
+      os << common::cell(r.exec_seconds, 1) << " s, " << r.executors
+         << " executors, " << r.total_slots << " slots\n";
+    } else {
+      os << "FAILED after " << common::cell(r.exec_seconds, 1) << " s ("
+         << r.failure_reason << ")\n";
+    }
+    if (runs == 1) {
+      common::Table t("stages");
+      t.header({"stage", "tasks", "duration (s)", "spill (MB)", "cache hit"});
+      for (const auto& s : r.stages) {
+        t.row({s.name, common::cell(s.num_tasks),
+               common::cell(s.duration_s, 1), common::cell(s.spilled_mb, 0),
+               common::percent_cell(s.cache_hit_fraction, 0)});
+      }
+      t.print(os);
+    }
+  }
+  return 0;
+}
+
+int cmd_tune(const ParsedArgs& args, std::ostream& os) {
+  const WorkloadType type = workload_from_flag(args.flag_or("workload", "TS"));
+  const double size = args.number_or("size", default_size(type));
+  const ClusterSpec cluster = cluster_from_flag(args.flag_or("cluster", "a"));
+  const auto steps = static_cast<int>(args.number_or("steps", 5));
+  const auto offline_iters =
+      static_cast<std::size_t>(args.number_or("offline-iters", 1200));
+  const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 1));
+
+  core::DeepCatApiOptions options;
+  options.tuner.seed = seed;
+  options.env.seed = seed + 1000;
+  core::DeepCat tuner(cluster, options);
+
+  os << "offline: training " << offline_iters << " iterations...\n";
+  (void)tuner.train_offline(make_workload(type, size), offline_iters);
+
+  const auto report =
+      tuner.tune_online(make_workload(type, size), {.max_steps = steps});
+  common::Table t("online tuning report");
+  t.header({"step", "exec (s)", "best so far (s)"});
+  for (const auto& s : report.steps) {
+    t.row({common::cell(s.step), common::cell(s.exec_seconds, 1),
+           common::cell(s.best_so_far, 1)});
+  }
+  t.print(os);
+  os << "default " << common::cell(report.default_time, 1) << " s -> best "
+     << common::cell(report.best_time, 1) << " s ("
+     << common::speedup_cell(report.speedup_over_default())
+     << "), tuning cost " << common::cell(report.total_tuning_seconds(), 1)
+     << " s\n";
+
+  if (const auto format = args.flag("export")) {
+    os << '\n';
+    if (*format == "spark") {
+      write_spark_defaults(os, report.best_config);
+    } else if (*format == "yarn") {
+      write_yarn_site_xml(os, report.best_config);
+    } else if (*format == "hdfs") {
+      write_hdfs_site_xml(os, report.best_config);
+    } else if (*format == "submit") {
+      os << spark_submit_flags(report.best_config) << '\n';
+    } else {
+      throw std::invalid_argument("unknown --export format '" + *format +
+                                  "' (use spark, yarn, hdfs or submit)");
+    }
+  }
+  return 0;
+}
+
+int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
+  try {
+    const ParsedArgs args = parse_args(argv);
+    if (args.command == "knobs") return cmd_knobs(args, os);
+    if (args.command == "suite") return cmd_suite(args, os);
+    if (args.command == "simulate") return cmd_simulate(args, os);
+    if (args.command == "tune") return cmd_tune(args, os);
+    print_usage(os);
+    return args.command.empty() ? 0 : 2;
+  } catch (const std::exception& e) {
+    os << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace deepcat::cli

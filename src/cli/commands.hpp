@@ -1,0 +1,30 @@
+// The deepcat CLI subcommands, separated from main() so they are unit-
+// testable. Each returns a process exit code and writes to the provided
+// stream.
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+
+namespace deepcat::cli {
+
+/// `deepcat knobs` — print the 32-knob inventory.
+int cmd_knobs(const ParsedArgs& args, std::ostream& os);
+
+/// `deepcat suite` — print the HiBench workload registry.
+int cmd_suite(const ParsedArgs& args, std::ostream& os);
+
+/// `deepcat simulate --workload TS --size 3.2 [--cluster a|b] [--seed N]
+///  [--runs K] [--set knob=value ...]` — run the cluster simulator.
+int cmd_simulate(const ParsedArgs& args, std::ostream& os);
+
+/// `deepcat tune --workload TS --size 3.2 [--steps 5] [--offline-iters N]
+///  [--seed N] [--export spark|yarn|hdfs|submit]` — train offline, tune
+///  online, print the report (and optionally the exported config).
+int cmd_tune(const ParsedArgs& args, std::ostream& os);
+
+/// Dispatches to the subcommand; prints usage on unknown/empty command.
+int run_cli(const std::vector<std::string>& argv, std::ostream& os);
+
+}  // namespace deepcat::cli

@@ -1,0 +1,12 @@
+// deepcat — command-line front end for the library: inspect knobs, run
+// the cluster simulator, train & tune, export configurations.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return deepcat::cli::run_cli(args, std::cout);
+}

@@ -1,0 +1,45 @@
+// Minimal leveled logger. Benches and examples use INFO for narrative
+// output; the library itself logs sparingly at DEBUG so tests stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace deepcat::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Defaults to kWarn
+/// so unit tests are silent unless something is wrong.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one formatted line ("[LEVEL] message\n") to stderr if enabled.
+void log_line(LogLevel level, std::string_view message);
+
+/// Stream-style helper: LogStream(LogLevel::kInfo) << "x=" << x;
+/// Flushes on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define DEEPCAT_LOG(level) ::deepcat::common::LogStream(level)
+#define DEEPCAT_LOG_INFO DEEPCAT_LOG(::deepcat::common::LogLevel::kInfo)
+#define DEEPCAT_LOG_WARN DEEPCAT_LOG(::deepcat::common::LogLevel::kWarn)
+
+}  // namespace deepcat::common

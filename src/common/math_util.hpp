@@ -1,0 +1,49 @@
+// Small scalar helpers shared across modules.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace deepcat::common {
+
+/// Clamps `x` into [lo, hi].
+[[nodiscard]] constexpr double clamp(double x, double lo, double hi) noexcept {
+  return std::min(std::max(x, lo), hi);
+}
+
+/// Linear interpolation: lerp(a, b, 0) == a, lerp(a, b, 1) == b (exactly —
+/// the two-product form avoids the a + (b-a)*t rounding drift at t == 1).
+[[nodiscard]] constexpr double lerp(double a, double b, double t) noexcept {
+  return a * (1.0 - t) + b * t;
+}
+
+/// Inverse of lerp over [lo, hi]; returns t in [0,1] for x in range.
+[[nodiscard]] constexpr double unlerp(double lo, double hi, double x) noexcept {
+  return hi == lo ? 0.0 : (x - lo) / (hi - lo);
+}
+
+/// Numerically safe division: returns `fallback` when |den| is tiny.
+[[nodiscard]] inline double safe_div(double num, double den,
+                                     double fallback = 0.0) noexcept {
+  return std::abs(den) < 1e-300 ? fallback : num / den;
+}
+
+/// Logistic sigmoid.
+[[nodiscard]] inline double sigmoid(double x) noexcept {
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+/// True if two doubles agree to a relative-or-absolute tolerance.
+[[nodiscard]] inline bool almost_equal(double a, double b,
+                                       double tol = 1e-9) noexcept {
+  return std::abs(a - b) <= tol * std::max({1.0, std::abs(a), std::abs(b)});
+}
+
+/// Integer ceiling division for non-negative operands.
+[[nodiscard]] constexpr std::size_t ceil_div(std::size_t num,
+                                             std::size_t den) noexcept {
+  return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+}  // namespace deepcat::common

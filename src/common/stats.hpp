@@ -1,0 +1,67 @@
+// Descriptive statistics helpers used by the experiment harnesses
+// (means, percentiles, CDFs) and by tests asserting on distributions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace deepcat::common {
+
+/// Streaming accumulator (Welford) for mean/variance without storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+[[nodiscard]] double sum(std::span<const double> xs) noexcept;
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, p in [0, 100]. Copies + sorts internally.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Geometric mean; requires all-positive inputs.
+[[nodiscard]] double geomean(std::span<const double> xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;        ///< sample value (sorted ascending)
+  double cum_prob = 0.0;     ///< P(X <= value)
+};
+
+/// Full empirical CDF of the sample set (one point per sample).
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+/// Fraction of samples <= threshold.
+[[nodiscard]] double fraction_below(std::span<const double> xs,
+                                    double threshold) noexcept;
+
+/// Pearson correlation coefficient; 0 when either side is constant.
+[[nodiscard]] double pearson(std::span<const double> xs,
+                             std::span<const double> ys) noexcept;
+
+/// Spearman rank correlation; used to check that the Twin-Q indicator
+/// tracks the real reward ordering (paper Fig. 3).
+[[nodiscard]] double spearman(std::span<const double> xs,
+                              std::span<const double> ys);
+
+}  // namespace deepcat::common

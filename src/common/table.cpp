@@ -1,0 +1,97 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace deepcat::common {
+
+Table& Table::header(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+Table& Table::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto print_rule = [&] {
+    os << '+';
+    for (std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << ' ' << c << std::string(widths[i] - c.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  os << "== " << title_ << " ==\n";
+  print_rule();
+  if (!header_.empty()) {
+    print_cells(header_);
+    print_rule();
+  }
+  for (const auto& r : rows_) print_cells(r);
+  print_rule();
+}
+
+namespace {
+void print_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) os << ',';
+    const bool quote =
+        cells[i].find_first_of(",\"\n") != std::string::npos;
+    if (!quote) {
+      os << cells[i];
+    } else {
+      os << '"';
+      for (char ch : cells[i]) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    }
+  }
+  os << '\n';
+}
+}  // namespace
+
+void Table::print_csv(std::ostream& os) const {
+  if (!header_.empty()) print_csv_row(os, header_);
+  for (const auto& r : rows_) print_csv_row(os, r);
+}
+
+std::string cell(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, value);
+  return buf;
+}
+
+std::string cell(std::size_t value) { return std::to_string(value); }
+std::string cell(int value) { return std::to_string(value); }
+
+std::string speedup_cell(double factor) { return cell(factor, 2) + "x"; }
+
+std::string percent_cell(double fraction, int digits) {
+  return cell(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace deepcat::common

@@ -1,0 +1,47 @@
+// ASCII table and CSV emission for the benchmark harnesses. Every bench
+// binary prints the rows/series the paper's corresponding table or figure
+// reports, using these helpers for consistent formatting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace deepcat::common {
+
+/// Column-aligned ASCII table with a title, header row, and data rows.
+/// Cells are plain strings; use `cell()` helpers for numeric formatting.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> names);
+  Table& row(std::vector<std::string> cells);
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+
+  /// Renders the table with box-drawing separators.
+  void print(std::ostream& os) const;
+
+  /// Renders the same content as CSV (header then rows).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string cell(double value, int digits = 2);
+[[nodiscard]] std::string cell(std::size_t value);
+[[nodiscard]] std::string cell(int value);
+
+/// "1.45x"-style speedup cell.
+[[nodiscard]] std::string speedup_cell(double factor);
+
+/// "12.3%"-style percentage cell.
+[[nodiscard]] std::string percent_cell(double fraction, int digits = 2);
+
+}  // namespace deepcat::common

@@ -1,0 +1,47 @@
+// Fixed-size thread pool with a parallel_for helper. The experiment
+// harnesses use it to evaluate independent configurations concurrently
+// (Fig. 2's 200 random configs, Fig. 6/7's 12 workload sweep). All
+// parallelism in the library is explicit, per the HPC guides.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace deepcat::common {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; the returned future surfaces exceptions to the caller.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n), blocking until all complete. Work is
+  /// block-partitioned across the pool. Exceptions from any chunk are
+  /// rethrown (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace deepcat::common

@@ -1,0 +1,23 @@
+#include "gp/acquisition.hpp"
+
+#include <cmath>
+
+namespace deepcat::gp {
+
+double norm_pdf(double z) {
+  static const double kInvSqrt2Pi = 0.3989422804014327;
+  return kInvSqrt2Pi * std::exp(-0.5 * z * z);
+}
+
+double norm_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+double expected_improvement(const GpPrediction& pred, double best_observed,
+                            double xi) {
+  const double sigma = std::sqrt(pred.variance);
+  if (sigma < 1e-12) return 0.0;
+  const double improvement = best_observed - pred.mean - xi;
+  const double z = improvement / sigma;
+  return improvement * norm_cdf(z) + sigma * norm_pdf(z);
+}
+
+}  // namespace deepcat::gp

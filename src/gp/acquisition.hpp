@@ -1,0 +1,18 @@
+// Acquisition functions for Bayesian-optimization-style tuning.
+#pragma once
+
+#include "gp/gp_regressor.hpp"
+
+namespace deepcat::gp {
+
+/// Expected Improvement for MINIMIZATION: EI(x) = E[max(best - f(x), 0)].
+/// `xi` is the exploration margin. Returns 0 when variance is ~0.
+[[nodiscard]] double expected_improvement(const GpPrediction& pred,
+                                          double best_observed,
+                                          double xi = 0.01);
+
+/// Standard normal pdf / cdf used by EI (exposed for tests).
+[[nodiscard]] double norm_pdf(double z);
+[[nodiscard]] double norm_cdf(double z);
+
+}  // namespace deepcat::gp

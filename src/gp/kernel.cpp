@@ -1,0 +1,53 @@
+#include "gp/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepcat::gp {
+
+namespace {
+double sq_dist(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("kernel: dimension mismatch");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    s += d * d;
+  }
+  return s;
+}
+}  // namespace
+
+RbfKernel::RbfKernel(double length_scale, double signal_var)
+    : length_scale_(length_scale), signal_var_(signal_var) {
+  if (length_scale <= 0.0) throw std::invalid_argument("rbf: length <= 0");
+}
+
+double RbfKernel::operator()(std::span<const double> x,
+                             std::span<const double> y) const {
+  return signal_var_ *
+         std::exp(-sq_dist(x, y) / (2.0 * length_scale_ * length_scale_));
+}
+
+std::unique_ptr<Kernel> RbfKernel::clone() const {
+  return std::make_unique<RbfKernel>(*this);
+}
+
+Matern52Kernel::Matern52Kernel(double length_scale, double signal_var)
+    : length_scale_(length_scale), signal_var_(signal_var) {
+  if (length_scale <= 0.0) throw std::invalid_argument("matern52: length <= 0");
+}
+
+double Matern52Kernel::operator()(std::span<const double> x,
+                                  std::span<const double> y) const {
+  const double r = std::sqrt(sq_dist(x, y)) / length_scale_;
+  const double s5r = std::sqrt(5.0) * r;
+  return signal_var_ * (1.0 + s5r + 5.0 * r * r / 3.0) * std::exp(-s5r);
+}
+
+std::unique_ptr<Kernel> Matern52Kernel::clone() const {
+  return std::make_unique<Matern52Kernel>(*this);
+}
+
+}  // namespace deepcat::gp

@@ -1,0 +1,46 @@
+// Covariance kernels for Gaussian-process regression.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace deepcat::gp {
+
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  /// k(x, y); inputs must be equal length.
+  [[nodiscard]] virtual double operator()(std::span<const double> x,
+                                          std::span<const double> y) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Kernel> clone() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Squared-exponential: sigma_f^2 * exp(-||x-y||^2 / (2 l^2)).
+class RbfKernel final : public Kernel {
+ public:
+  explicit RbfKernel(double length_scale = 1.0, double signal_var = 1.0);
+  double operator()(std::span<const double> x,
+                    std::span<const double> y) const override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override;
+  [[nodiscard]] std::string name() const override { return "rbf"; }
+
+ private:
+  double length_scale_, signal_var_;
+};
+
+/// Matern-5/2 — OtterTune's default GP kernel family.
+class Matern52Kernel final : public Kernel {
+ public:
+  explicit Matern52Kernel(double length_scale = 1.0, double signal_var = 1.0);
+  double operator()(std::span<const double> x,
+                    std::span<const double> y) const override;
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const override;
+  [[nodiscard]] std::string name() const override { return "matern52"; }
+
+ private:
+  double length_scale_, signal_var_;
+};
+
+}  // namespace deepcat::gp

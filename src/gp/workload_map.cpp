@@ -1,0 +1,83 @@
+#include "gp/workload_map.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deepcat::gp {
+
+void WorkloadRepository::add(const std::string& workload_id, Observation obs) {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == workload_id) {
+      workloads_[i].push_back(std::move(obs));
+      return;
+    }
+  }
+  ids_.push_back(workload_id);
+  workloads_.push_back({std::move(obs)});
+}
+
+const std::vector<Observation>& WorkloadRepository::observations(
+    const std::string& workload_id) const {
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == workload_id) return workloads_[i];
+  }
+  throw std::out_of_range("WorkloadRepository: unknown workload " +
+                          workload_id);
+}
+
+const std::string& WorkloadRepository::nearest_workload(
+    std::span<const double> metrics) const {
+  if (empty()) throw std::logic_error("WorkloadRepository: empty");
+
+  const std::size_t dim = metrics.size();
+  // Per-dimension standard deviation over all observations, for scaling.
+  std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+  std::size_t count = 0;
+  for (const auto& obs_list : workloads_) {
+    for (const auto& obs : obs_list) {
+      if (obs.metrics.size() != dim) continue;
+      ++count;
+      for (std::size_t d = 0; d < dim; ++d) mean[d] += obs.metrics[d];
+    }
+  }
+  if (count == 0) throw std::logic_error("WorkloadRepository: no metrics");
+  for (double& m : mean) m /= static_cast<double>(count);
+  for (const auto& obs_list : workloads_) {
+    for (const auto& obs : obs_list) {
+      if (obs.metrics.size() != dim) continue;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double diff = obs.metrics[d] - mean[d];
+        var[d] += diff * diff;
+      }
+    }
+  }
+  for (double& v : var) v = std::max(v / static_cast<double>(count), 1e-12);
+
+  double best_dist = std::numeric_limits<double>::infinity();
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < workloads_.size(); ++i) {
+    // Distance to the workload centroid in standardized metric space.
+    std::vector<double> centroid(dim, 0.0);
+    std::size_t n = 0;
+    for (const auto& obs : workloads_[i]) {
+      if (obs.metrics.size() != dim) continue;
+      ++n;
+      for (std::size_t d = 0; d < dim; ++d) centroid[d] += obs.metrics[d];
+    }
+    if (n == 0) continue;
+    double dist = 0.0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const double diff =
+          centroid[d] / static_cast<double>(n) - metrics[d];
+      dist += diff * diff / var[d];
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return ids_[best];
+}
+
+}  // namespace deepcat::gp

@@ -1,0 +1,48 @@
+// OtterTune-style workload mapping: an observation repository keyed by
+// workload, plus nearest-workload lookup over observed runtime metric
+// vectors. When a tuning request arrives, the target's first metrics are
+// matched against history and the closest past workload's observations
+// seed the GP (Van Aken et al., 2017, §"workload mapping").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace deepcat::gp {
+
+/// One (configuration, metrics, performance) observation.
+struct Observation {
+  std::vector<double> config;    ///< normalized knob vector
+  std::vector<double> metrics;   ///< runtime metric vector (load averages)
+  double performance = 0.0;      ///< execution time, lower is better
+};
+
+class WorkloadRepository {
+ public:
+  /// Appends one observation under `workload_id`.
+  void add(const std::string& workload_id, Observation obs);
+
+  [[nodiscard]] bool empty() const noexcept { return workloads_.empty(); }
+  [[nodiscard]] std::size_t num_workloads() const noexcept {
+    return workloads_.size();
+  }
+  [[nodiscard]] const std::vector<std::string>& workload_ids() const noexcept {
+    return ids_;
+  }
+  [[nodiscard]] const std::vector<Observation>& observations(
+      const std::string& workload_id) const;
+
+  /// Finds the workload whose average metric vector is closest (Euclidean,
+  /// per-dimension standardized over the whole repository) to `metrics`.
+  /// Throws std::logic_error when the repository is empty.
+  [[nodiscard]] const std::string& nearest_workload(
+      std::span<const double> metrics) const;
+
+ private:
+  std::vector<std::string> ids_;
+  std::vector<std::vector<Observation>> workloads_;
+};
+
+}  // namespace deepcat::gp

@@ -1,0 +1,46 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+namespace deepcat::nn {
+
+Adam::Adam(std::vector<Param> params, AdamConfig config)
+    : params_(std::move(params)), config_(config) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->rows(), p.value->cols());
+    v_.emplace_back(p.value->rows(), p.value->cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  double scale = 1.0;
+  if (config_.grad_clip > 0.0) {
+    double sq = 0.0;
+    for (const auto& p : params_) {
+      for (double g : p.grad->flat()) sq += g * g;
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > config_.grad_clip) scale = config_.grad_clip / norm;
+  }
+  const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    auto& value = *params_[i].value;
+    const auto& grad = *params_[i].grad;
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (std::size_t k = 0; k < value.size(); ++k) {
+      const double g = grad.flat()[k] * scale;
+      m.flat()[k] = config_.beta1 * m.flat()[k] + (1.0 - config_.beta1) * g;
+      v.flat()[k] = config_.beta2 * v.flat()[k] + (1.0 - config_.beta2) * g * g;
+      const double m_hat = m.flat()[k] / bc1;
+      const double v_hat = v.flat()[k] / bc2;
+      value.flat()[k] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
+    }
+  }
+}
+
+}  // namespace deepcat::nn

@@ -1,0 +1,41 @@
+// Adam optimizer (Kingma & Ba, 2015) over a set of Param handles.
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace deepcat::nn {
+
+struct AdamConfig {
+  double lr = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  /// Optional global gradient-norm clip; 0 disables clipping.
+  double grad_clip = 0.0;
+};
+
+class Adam {
+ public:
+  /// Binds to the given parameters; the Param pointers must outlive the
+  /// optimizer (they point into the network's layers).
+  explicit Adam(std::vector<Param> params, AdamConfig config = {});
+
+  /// Applies one update using the gradients currently accumulated in the
+  /// bound parameters, then leaves gradients untouched (call zero_grad on
+  /// the network afterwards / before the next backward).
+  void step();
+
+  [[nodiscard]] const AdamConfig& config() const noexcept { return config_; }
+  void set_lr(double lr) noexcept { config_.lr = lr; }
+  [[nodiscard]] std::size_t step_count() const noexcept { return t_; }
+
+ private:
+  std::vector<Param> params_;
+  std::vector<Matrix> m_, v_;
+  AdamConfig config_;
+  std::size_t t_ = 0;
+};
+
+}  // namespace deepcat::nn

@@ -1,0 +1,27 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+namespace deepcat::nn {
+
+namespace {
+void fill_uniform(Matrix& w, common::Rng& rng, double bound) {
+  for (double& x : w.flat()) x = rng.uniform(-bound, bound);
+}
+}  // namespace
+
+void kaiming_uniform(Matrix& w, common::Rng& rng) {
+  const double fan_in = static_cast<double>(w.rows());
+  fill_uniform(w, rng, std::sqrt(6.0 / fan_in));
+}
+
+void xavier_uniform(Matrix& w, common::Rng& rng) {
+  const double fan_sum = static_cast<double>(w.rows() + w.cols());
+  fill_uniform(w, rng, std::sqrt(6.0 / fan_sum));
+}
+
+void uniform_init(Matrix& w, common::Rng& rng, double bound) {
+  fill_uniform(w, rng, bound);
+}
+
+}  // namespace deepcat::nn

@@ -1,0 +1,109 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+
+#include "nn/init.hpp"
+
+namespace deepcat::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features,
+               common::Rng& rng, Init init)
+    : w_(in_features, out_features),
+      b_(1, out_features),
+      gw_(in_features, out_features),
+      gb_(1, out_features) {
+  switch (init) {
+    case Init::kKaiming: kaiming_uniform(w_, rng); break;
+    case Init::kXavier: xavier_uniform(w_, rng); break;
+    case Init::kSmallUniform: uniform_init(w_, rng, 3e-3); break;
+  }
+}
+
+Matrix Linear::forward(const Matrix& x) {
+  input_cache_ = x;
+  Matrix y = matmul(x, w_);
+  add_row_broadcast(y, b_);
+  return y;
+}
+
+Matrix Linear::backward(const Matrix& grad_out) {
+  gw_ += matmul_tn(input_cache_, grad_out);
+  gb_ += col_sums(grad_out);
+  return matmul_nt(grad_out, w_);
+}
+
+std::vector<Param> Linear::params() {
+  return {{"w", &w_, &gw_}, {"b", &b_, &gb_}};
+}
+
+void Linear::zero_grad() {
+  gw_.set_zero();
+  gb_.set_zero();
+}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::make_unique<Linear>(*this);
+  copy->input_cache_ = Matrix{};
+  return copy;
+}
+
+Matrix ReLU::forward(const Matrix& x) {
+  input_cache_ = x;
+  Matrix y = x;
+  for (double& v : y.flat()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix ReLU::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (input_cache_.flat()[i] <= 0.0) g.flat()[i] = 0.0;
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> ReLU::clone() const {
+  return std::make_unique<ReLU>();
+}
+
+Matrix Tanh::forward(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.flat()) v = std::tanh(v);
+  output_cache_ = y;
+  return y;
+}
+
+Matrix Tanh::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double y = output_cache_.flat()[i];
+    g.flat()[i] *= 1.0 - y * y;
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> Tanh::clone() const {
+  return std::make_unique<Tanh>();
+}
+
+Matrix Sigmoid::forward(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.flat()) v = 1.0 / (1.0 + std::exp(-v));
+  output_cache_ = y;
+  return y;
+}
+
+Matrix Sigmoid::backward(const Matrix& grad_out) {
+  Matrix g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const double y = output_cache_.flat()[i];
+    g.flat()[i] *= y * (1.0 - y);
+  }
+  return g;
+}
+
+std::unique_ptr<Layer> Sigmoid::clone() const {
+  return std::make_unique<Sigmoid>();
+}
+
+}  // namespace deepcat::nn

@@ -1,0 +1,106 @@
+// Dense layers with explicit forward/backward passes. Batches are
+// row-major: x is (batch x features). Each layer caches what it needs for
+// the backward pass, so forward() must precede backward() on the same batch.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace deepcat::nn {
+
+/// One named parameter tensor paired with its gradient accumulator.
+struct Param {
+  std::string name;
+  Matrix* value = nullptr;
+  Matrix* grad = nullptr;
+};
+
+/// Abstract differentiable layer.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// y = f(x); caches activations needed by backward().
+  virtual Matrix forward(const Matrix& x) = 0;
+
+  /// Given dL/dy, accumulates parameter gradients and returns dL/dx.
+  virtual Matrix backward(const Matrix& grad_out) = 0;
+
+  /// Parameter/gradient handles (empty for activations).
+  virtual std::vector<Param> params() { return {}; }
+
+  virtual void zero_grad() {}
+
+  /// Deep copy (weights included, caches excluded).
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Fully connected layer: y = x W + b, W is (in x out), b is (1 x out).
+class Linear final : public Layer {
+ public:
+  enum class Init { kKaiming, kXavier, kSmallUniform };
+
+  Linear(std::size_t in_features, std::size_t out_features, common::Rng& rng,
+         Init init = Init::kKaiming);
+
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  std::vector<Param> params() override;
+  void zero_grad() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Linear"; }
+
+  [[nodiscard]] std::size_t in_features() const noexcept { return w_.rows(); }
+  [[nodiscard]] std::size_t out_features() const noexcept { return w_.cols(); }
+  [[nodiscard]] const Matrix& weights() const noexcept { return w_; }
+  [[nodiscard]] Matrix& weights() noexcept { return w_; }
+  [[nodiscard]] const Matrix& bias() const noexcept { return b_; }
+  [[nodiscard]] Matrix& bias() noexcept { return b_; }
+
+ private:
+  Matrix w_, b_, gw_, gb_, input_cache_;
+};
+
+/// Rectified linear unit.
+class ReLU final : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Matrix input_cache_;
+};
+
+/// Hyperbolic tangent; used on actor outputs before mapping to [0,1].
+class Tanh final : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Tanh"; }
+
+ private:
+  Matrix output_cache_;
+};
+
+/// Logistic sigmoid; maps actor outputs directly onto the [0,1] knob cube.
+class Sigmoid final : public Layer {
+ public:
+  Matrix forward(const Matrix& x) override;
+  Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Sigmoid"; }
+
+ private:
+  Matrix output_cache_;
+};
+
+}  // namespace deepcat::nn

@@ -1,0 +1,173 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepcat::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double value)
+    : rows_(rows), cols_(cols), data_(rows * cols, value) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::row_vector(std::span<const double> values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::col_vector(std::span<const double> values) {
+  Matrix m(values.size(), 1);
+  std::copy(values.begin(), values.end(), m.data_.begin());
+  return m;
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+void Matrix::fill(double value) noexcept {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+namespace {
+void require_same_shape(const Matrix& a, const Matrix& b, const char* op) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    throw std::invalid_argument(std::string("Matrix ") + op +
+                                ": shape mismatch");
+  }
+}
+}  // namespace
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  require_same_shape(*this, other, "+=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  require_same_shape(*this, other, "-=");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) noexcept {
+  for (double& x : data_) x *= scalar;
+  return *this;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::norm() const noexcept {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order: streams through b and c rows, friendly to row-major.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.data() + i * c.cols();
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data() + k * b.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("matmul_tn: inner dimension mismatch");
+  }
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    const double* arow = a.data() + k * a.cols();
+    const double* brow = b.data() + k * b.cols();
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = arow[i];
+      if (aki == 0.0) continue;
+      double* crow = c.data() + i * c.cols();
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.cols()) {
+    throw std::invalid_argument("matmul_nt: inner dimension mismatch");
+  }
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* arow = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      const double* brow = b.data() + j * b.cols();
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  require_same_shape(a, b, "hadamard");
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c.flat()[i] *= b.flat()[i];
+  return c;
+}
+
+void add_row_broadcast(Matrix& m, const Matrix& bias) {
+  if (bias.rows() != 1 || bias.cols() != m.cols()) {
+    throw std::invalid_argument("add_row_broadcast: bias shape mismatch");
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) row[c] += bias(0, c);
+  }
+}
+
+Matrix col_sums(const Matrix& m) {
+  Matrix s(1, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const double* row = m.data() + r * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) s(0, c) += row[c];
+  }
+  return s;
+}
+
+}  // namespace deepcat::nn

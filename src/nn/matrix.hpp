@@ -1,0 +1,98 @@
+// Row-major dense matrix of doubles: the numeric workhorse under the NN
+// library and the Gaussian-process regressor. BLAS-free by design (offline
+// build); the GEMM kernel is cache-blocked and good enough for the small
+// actor/critic networks DeepCAT needs.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace deepcat::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols);
+  /// Filled with `value`.
+  Matrix(std::size_t rows, std::size_t cols, double value);
+  /// From nested initializer list; all rows must have equal length.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// 1 x n row vector view of a span.
+  static Matrix row_vector(std::span<const double> values);
+  /// n x 1 column vector.
+  static Matrix col_vector(std::span<const double> values);
+  /// n x n identity.
+  static Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double* data() noexcept { return data_.data(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+  [[nodiscard]] std::span<double> flat() noexcept { return data_; }
+  [[nodiscard]] std::span<const double> flat() const noexcept { return data_; }
+
+  /// Mutable/const view of one row.
+  [[nodiscard]] std::span<double> row(std::size_t r) noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const noexcept {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(double value) noexcept;
+  void set_zero() noexcept { fill(0.0); }
+
+  /// In-place element-wise operations.
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar) noexcept;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Frobenius norm.
+  [[nodiscard]] double norm() const noexcept;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+[[nodiscard]] Matrix operator+(Matrix a, const Matrix& b);
+[[nodiscard]] Matrix operator-(Matrix a, const Matrix& b);
+[[nodiscard]] Matrix operator*(Matrix a, double s);
+[[nodiscard]] Matrix operator*(double s, Matrix a);
+
+/// C = A * B (cache-blocked ikj GEMM). Dimension mismatch throws.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+/// C = A^T * B without materializing A^T.
+[[nodiscard]] Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// C = A * B^T without materializing B^T.
+[[nodiscard]] Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// Element-wise (Hadamard) product.
+[[nodiscard]] Matrix hadamard(const Matrix& a, const Matrix& b);
+
+/// Adds row vector `bias` (1 x cols) to every row of `m` in place.
+void add_row_broadcast(Matrix& m, const Matrix& bias);
+
+/// Column-wise sum producing a 1 x cols row vector.
+[[nodiscard]] Matrix col_sums(const Matrix& m);
+
+}  // namespace deepcat::nn

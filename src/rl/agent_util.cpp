@@ -1,0 +1,83 @@
+#include "rl/agent_util.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deepcat::rl {
+
+namespace {
+template <typename Selector>
+nn::Matrix pack(std::span<const Transition* const> batch, Selector select) {
+  if (batch.empty()) throw std::invalid_argument("pack: empty batch");
+  const auto& first = select(*batch.front());
+  nn::Matrix m(batch.size(), first.size());
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    const auto& v = select(*batch[r]);
+    if (v.size() != m.cols()) {
+      throw std::invalid_argument("pack: ragged transition vectors");
+    }
+    std::copy(v.begin(), v.end(), m.row(r).begin());
+  }
+  return m;
+}
+}  // namespace
+
+nn::Matrix states_of(std::span<const Transition* const> batch) {
+  return pack(batch, [](const Transition& t) -> const std::vector<double>& {
+    return t.state;
+  });
+}
+
+nn::Matrix actions_of(std::span<const Transition* const> batch) {
+  return pack(batch, [](const Transition& t) -> const std::vector<double>& {
+    return t.action;
+  });
+}
+
+nn::Matrix next_states_of(std::span<const Transition* const> batch) {
+  return pack(batch, [](const Transition& t) -> const std::vector<double>& {
+    return t.next_state;
+  });
+}
+
+nn::Matrix rewards_of(std::span<const Transition* const> batch) {
+  nn::Matrix m(batch.size(), 1);
+  for (std::size_t r = 0; r < batch.size(); ++r) m(r, 0) = batch[r]->reward;
+  return m;
+}
+
+nn::Matrix dones_of(std::span<const Transition* const> batch) {
+  nn::Matrix m(batch.size(), 1);
+  for (std::size_t r = 0; r < batch.size(); ++r) {
+    m(r, 0) = batch[r]->done ? 1.0 : 0.0;
+  }
+  return m;
+}
+
+nn::Matrix concat_cols(const nn::Matrix& a, const nn::Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("concat_cols: row mismatch");
+  }
+  nn::Matrix c(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    auto dst = c.row(r);
+    std::copy(a.row(r).begin(), a.row(r).end(), dst.begin());
+    std::copy(b.row(r).begin(), b.row(r).end(),
+              dst.begin() + static_cast<std::ptrdiff_t>(a.cols()));
+  }
+  return c;
+}
+
+nn::Matrix right_cols(const nn::Matrix& m, std::size_t cols) {
+  if (cols > m.cols()) throw std::invalid_argument("right_cols: too wide");
+  nn::Matrix out(m.rows(), cols);
+  const std::size_t offset = m.cols() - cols;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto src = m.row(r);
+    std::copy(src.begin() + static_cast<std::ptrdiff_t>(offset), src.end(),
+              out.row(r).begin());
+  }
+  return out;
+}
+
+}  // namespace deepcat::rl

@@ -1,0 +1,46 @@
+#include "rl/noise.hpp"
+
+#include "common/math_util.hpp"
+
+namespace deepcat::rl {
+
+GaussianNoise::GaussianNoise(std::size_t dims, double sigma)
+    : dims_(dims), sigma_(sigma) {}
+
+std::vector<double> GaussianNoise::sample(common::Rng& rng) {
+  std::vector<double> n(dims_);
+  for (double& x : n) x = rng.normal(0.0, sigma_);
+  return n;
+}
+
+void GaussianNoise::apply(std::vector<double>& action, common::Rng& rng,
+                          double lo, double hi) {
+  for (double& a : action) {
+    a = common::clamp(a + rng.normal(0.0, sigma_), lo, hi);
+  }
+}
+
+OrnsteinUhlenbeckNoise::OrnsteinUhlenbeckNoise(std::size_t dims, double theta,
+                                               double sigma, double mu)
+    : theta_(theta), sigma_(sigma), mu_(mu), state_(dims, mu) {}
+
+void OrnsteinUhlenbeckNoise::reset() noexcept {
+  for (double& x : state_) x = mu_;
+}
+
+std::vector<double> OrnsteinUhlenbeckNoise::sample(common::Rng& rng) {
+  for (double& x : state_) {
+    x += theta_ * (mu_ - x) + sigma_ * rng.normal();
+  }
+  return state_;
+}
+
+void OrnsteinUhlenbeckNoise::apply(std::vector<double>& action,
+                                   common::Rng& rng, double lo, double hi) {
+  const auto noise = sample(rng);
+  for (std::size_t i = 0; i < action.size() && i < noise.size(); ++i) {
+    action[i] = common::clamp(action[i] + noise[i], lo, hi);
+  }
+}
+
+}  // namespace deepcat::rl

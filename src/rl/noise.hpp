@@ -1,0 +1,47 @@
+// Exploration noise processes for deterministic-policy agents.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace deepcat::rl {
+
+/// Uncorrelated Gaussian noise N(0, sigma^2) per action dimension —
+/// what TD3 (and DeepCAT's Twin-Q Optimizer) perturb actions with.
+class GaussianNoise {
+ public:
+  GaussianNoise(std::size_t dims, double sigma);
+
+  [[nodiscard]] std::vector<double> sample(common::Rng& rng);
+
+  /// Adds noise to `action` in place, clamping each dim to [lo, hi].
+  void apply(std::vector<double>& action, common::Rng& rng, double lo = 0.0,
+             double hi = 1.0);
+
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+  void set_sigma(double sigma) noexcept { sigma_ = sigma; }
+
+ private:
+  std::size_t dims_;
+  double sigma_;
+};
+
+/// Ornstein-Uhlenbeck process — temporally correlated noise classically
+/// paired with DDPG (used by the CDBTune baseline).
+class OrnsteinUhlenbeckNoise {
+ public:
+  OrnsteinUhlenbeckNoise(std::size_t dims, double theta = 0.15,
+                         double sigma = 0.2, double mu = 0.0);
+
+  void reset() noexcept;
+  [[nodiscard]] std::vector<double> sample(common::Rng& rng);
+  void apply(std::vector<double>& action, common::Rng& rng, double lo = 0.0,
+             double hi = 1.0);
+
+ private:
+  double theta_, sigma_, mu_;
+  std::vector<double> state_;
+};
+
+}  // namespace deepcat::rl

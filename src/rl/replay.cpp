@@ -1,0 +1,35 @@
+#include "rl/replay.hpp"
+
+#include <stdexcept>
+
+namespace deepcat::rl {
+
+UniformReplay::UniformReplay(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("UniformReplay: capacity 0");
+  storage_.reserve(capacity);
+}
+
+void UniformReplay::add(Transition t) {
+  if (storage_.size() < capacity_) {
+    storage_.push_back(std::move(t));
+  } else {
+    storage_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+SampledBatch UniformReplay::sample(std::size_t m, common::Rng& rng) {
+  if (storage_.empty()) throw std::logic_error("UniformReplay: empty sample");
+  SampledBatch batch;
+  batch.transitions.reserve(m);
+  batch.weights.assign(m, 1.0);
+  batch.ids.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t idx = rng.index(storage_.size());
+    batch.transitions.push_back(&storage_[idx]);
+    batch.ids.push_back(idx);
+  }
+  return batch;
+}
+
+}  // namespace deepcat::rl

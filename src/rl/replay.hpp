@@ -1,0 +1,53 @@
+// Replay buffer interface + the conventional uniform ring buffer.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "rl/transition.hpp"
+
+namespace deepcat::rl {
+
+/// Abstract experience replay store.
+class ReplayBuffer {
+ public:
+  virtual ~ReplayBuffer() = default;
+
+  virtual void add(Transition t) = 0;
+
+  /// Samples `m` transitions (with replacement where the scheme requires
+  /// it). Requires size() > 0.
+  [[nodiscard]] virtual SampledBatch sample(std::size_t m,
+                                            common::Rng& rng) = 0;
+
+  /// Hook for TD-error feedback after a training step. No-op except PER.
+  virtual void update_priorities(std::span<const std::uint64_t> /*ids*/,
+                                 std::span<const double> /*td_errors*/) {}
+
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t capacity() const noexcept = 0;
+};
+
+/// Conventional experience replay: fixed-capacity ring, uniform sampling.
+class UniformReplay final : public ReplayBuffer {
+ public:
+  explicit UniformReplay(std::size_t capacity);
+
+  void add(Transition t) override;
+  [[nodiscard]] SampledBatch sample(std::size_t m, common::Rng& rng) override;
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return storage_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept override {
+    return capacity_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring cursor once full
+  std::vector<Transition> storage_;
+};
+
+}  // namespace deepcat::rl

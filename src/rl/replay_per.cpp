@@ -1,0 +1,77 @@
+#include "rl/replay_per.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepcat::rl {
+
+PrioritizedReplay::PrioritizedReplay(std::size_t capacity, PerConfig config)
+    : capacity_(capacity),
+      tree_(capacity),
+      config_(config),
+      beta_(config.beta0) {
+  storage_.reserve(capacity);
+}
+
+void PrioritizedReplay::add(Transition t) {
+  std::size_t slot;
+  if (storage_.size() < capacity_) {
+    slot = storage_.size();
+    storage_.push_back(std::move(t));
+  } else {
+    slot = next_;
+    storage_[next_] = std::move(t);
+    next_ = (next_ + 1) % capacity_;
+  }
+  tree_.set(slot, max_seen_priority_);
+}
+
+SampledBatch PrioritizedReplay::sample(std::size_t m, common::Rng& rng) {
+  if (storage_.empty()) {
+    throw std::logic_error("PrioritizedReplay: empty sample");
+  }
+  SampledBatch batch;
+  batch.transitions.reserve(m);
+  batch.weights.reserve(m);
+  batch.ids.reserve(m);
+
+  const double total = tree_.total();
+  const double n = static_cast<double>(storage_.size());
+  // Max weight corresponds to the min-probability transition.
+  const double p_min = tree_.min_nonzero() / total;
+  const double max_weight = std::pow(n * p_min, -beta_);
+
+  // Stratified sampling: one draw per equal-mass segment.
+  const double segment = total / static_cast<double>(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double lo = segment * static_cast<double>(i);
+    const double prefix = lo + rng.uniform() * segment;
+    const std::size_t idx = tree_.find_prefix(std::min(prefix, total * (1.0 - 1e-12)));
+    const double p = tree_.get(idx) / total;
+    const double weight =
+        p > 0.0 ? std::pow(n * p, -beta_) / max_weight : 1.0;
+    batch.transitions.push_back(&storage_[idx]);
+    batch.weights.push_back(weight);
+    batch.ids.push_back(idx);
+  }
+  beta_ = std::min(1.0, beta_ + config_.beta_growth);
+  return batch;
+}
+
+void PrioritizedReplay::update_priorities(
+    std::span<const std::uint64_t> ids, std::span<const double> td_errors) {
+  if (ids.size() != td_errors.size()) {
+    throw std::invalid_argument("update_priorities: size mismatch");
+  }
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const double clipped =
+        std::min(std::abs(td_errors[i]), config_.max_priority);
+    const double priority =
+        std::pow(clipped + config_.epsilon, config_.alpha);
+    tree_.set(static_cast<std::size_t>(ids[i]), priority);
+    max_seen_priority_ = std::max(max_seen_priority_, priority);
+  }
+}
+
+}  // namespace deepcat::rl

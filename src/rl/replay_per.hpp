@@ -1,0 +1,54 @@
+// TD-error prioritized experience replay (Schaul et al., 2015): the replay
+// scheme CDBTune couples with DDPG. Priorities are |TD error|^alpha; samples
+// carry importance weights (N * P(i))^-beta normalized by the max weight.
+#pragma once
+
+#include "common/rng.hpp"
+#include "rl/replay.hpp"
+#include "rl/sum_tree.hpp"
+
+namespace deepcat::rl {
+
+struct PerConfig {
+  double alpha = 0.6;           ///< priority exponent
+  double beta0 = 0.4;           ///< initial IS-correction exponent
+  double beta_growth = 1e-4;    ///< beta anneals toward 1 per sample() call
+  double epsilon = 1e-3;        ///< added to |TD| so nothing starves
+  double max_priority = 10.0;   ///< clip for raw |TD| before exponentiation
+};
+
+class PrioritizedReplay final : public ReplayBuffer {
+ public:
+  PrioritizedReplay(std::size_t capacity, PerConfig config = {});
+
+  /// New transitions get the current max priority so they are replayed at
+  /// least once before their TD error is known.
+  void add(Transition t) override;
+
+  [[nodiscard]] SampledBatch sample(std::size_t m, common::Rng& rng) override;
+
+  void update_priorities(std::span<const std::uint64_t> ids,
+                         std::span<const double> td_errors) override;
+
+  [[nodiscard]] std::size_t size() const noexcept override {
+    return storage_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept override {
+    return capacity_;
+  }
+  [[nodiscard]] double beta() const noexcept { return beta_; }
+  [[nodiscard]] double priority_of(std::size_t index) const {
+    return tree_.get(index);
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::vector<Transition> storage_;
+  SumTree tree_;
+  PerConfig config_;
+  double beta_;
+  double max_seen_priority_ = 1.0;  // in alpha-exponentiated space
+};
+
+}  // namespace deepcat::rl

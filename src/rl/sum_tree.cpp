@@ -1,0 +1,66 @@
+#include "rl/sum_tree.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace deepcat::rl {
+
+namespace {
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+SumTree::SumTree(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("SumTree: capacity 0");
+  leaf_base_ = next_pow2(capacity);
+  nodes_.assign(2 * leaf_base_, 0.0);
+}
+
+void SumTree::set(std::size_t index, double priority) {
+  if (index >= capacity_) throw std::out_of_range("SumTree::set");
+  if (priority < 0.0) throw std::invalid_argument("SumTree: negative priority");
+  std::size_t node = leaf_base_ + index;
+  const double delta = priority - nodes_[node];
+  while (node >= 1) {
+    nodes_[node] += delta;
+    node >>= 1;
+  }
+}
+
+double SumTree::get(std::size_t index) const {
+  if (index >= capacity_) throw std::out_of_range("SumTree::get");
+  return nodes_[leaf_base_ + index];
+}
+
+double SumTree::total() const noexcept { return nodes_[1]; }
+
+std::size_t SumTree::find_prefix(double prefix) const {
+  std::size_t node = 1;
+  while (node < leaf_base_) {
+    const std::size_t left = node * 2;
+    if (prefix < nodes_[left]) {
+      node = left;
+    } else {
+      prefix -= nodes_[left];
+      node = left + 1;
+    }
+  }
+  std::size_t leaf = node - leaf_base_;
+  // Guard against floating-point drift walking past the last live leaf.
+  if (leaf >= capacity_) leaf = capacity_ - 1;
+  return leaf;
+}
+
+double SumTree::min_nonzero() const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const double p = nodes_[leaf_base_ + i];
+    if (p > 0.0 && p < best) best = p;
+  }
+  return best;
+}
+
+}  // namespace deepcat::rl

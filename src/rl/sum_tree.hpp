@@ -1,0 +1,40 @@
+// Binary sum tree supporting O(log n) priority updates and prefix-sum
+// sampling — the classic backbone of TD-error prioritized experience
+// replay (Schaul et al., 2015), used here by the CDBTune baseline.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace deepcat::rl {
+
+class SumTree {
+ public:
+  /// Fixed capacity of leaves; priorities start at zero.
+  explicit SumTree(std::size_t capacity);
+
+  /// Sets leaf `index` (0-based) to `priority` (must be >= 0).
+  void set(std::size_t index, double priority);
+
+  [[nodiscard]] double get(std::size_t index) const;
+
+  /// Total priority mass.
+  [[nodiscard]] double total() const noexcept;
+
+  /// Finds the leaf l with the smallest index such that
+  /// sum(priorities[0..l]) > prefix. `prefix` must be in [0, total()).
+  [[nodiscard]] std::size_t find_prefix(double prefix) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Smallest non-zero priority currently stored (infinity if none); used
+  /// for max importance-weight normalization.
+  [[nodiscard]] double min_nonzero() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t leaf_base_;      // index of first leaf in `nodes_`
+  std::vector<double> nodes_;  // 1-indexed implicit binary tree
+};
+
+}  // namespace deepcat::rl

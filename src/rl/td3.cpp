@@ -1,0 +1,209 @@
+#include "rl/td3.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+#include "rl/agent_util.hpp"
+
+namespace deepcat::rl {
+
+namespace {
+
+std::vector<std::size_t> net_dims(std::size_t in,
+                                  const std::vector<std::size_t>& hidden,
+                                  std::size_t out) {
+  std::vector<std::size_t> dims;
+  dims.reserve(hidden.size() + 2);
+  dims.push_back(in);
+  dims.insert(dims.end(), hidden.begin(), hidden.end());
+  dims.push_back(out);
+  return dims;
+}
+
+nn::Mlp make_actor(const Td3Config& c, common::Rng& rng) {
+  return nn::Mlp(net_dims(c.state_dim, c.hidden, c.action_dim), rng,
+                 nn::OutputActivation::kSigmoid);
+}
+
+nn::Mlp make_critic(const Td3Config& c, common::Rng& rng) {
+  return nn::Mlp(net_dims(c.state_dim + c.action_dim, c.hidden, 1), rng,
+                 nn::OutputActivation::kNone);
+}
+
+void validate(const Td3Config& c) {
+  if (c.state_dim == 0 || c.action_dim == 0) {
+    throw std::invalid_argument("Td3Config: zero state/action dim");
+  }
+  if (c.batch_size == 0) throw std::invalid_argument("Td3Config: batch 0");
+  if (c.policy_delay == 0) {
+    throw std::invalid_argument("Td3Config: policy_delay 0");
+  }
+  if (c.gamma < 0.0 || c.gamma > 1.0) {
+    throw std::invalid_argument("Td3Config: gamma out of range");
+  }
+}
+
+}  // namespace
+
+Td3Agent::Td3Agent(Td3Config config, common::Rng& rng)
+    : config_((validate(config), config)),
+      actor_(make_actor(config_, rng)),
+      actor_target_(actor_),
+      critic1_(make_critic(config_, rng)),
+      critic2_(make_critic(config_, rng)),
+      critic1_target_(critic1_),
+      critic2_target_(critic2_),
+      actor_opt_(actor_.params(),
+                 {.lr = config_.actor_lr, .grad_clip = config_.grad_clip}),
+      critic1_opt_(critic1_.params(),
+                   {.lr = config_.critic_lr, .grad_clip = config_.grad_clip}),
+      critic2_opt_(critic2_.params(),
+                   {.lr = config_.critic_lr, .grad_clip = config_.grad_clip}) {}
+
+std::vector<double> Td3Agent::act(std::span<const double> state) {
+  if (state.size() != config_.state_dim) {
+    throw std::invalid_argument("Td3Agent::act: state dim mismatch");
+  }
+  return actor_.forward_one(state);
+}
+
+std::vector<double> Td3Agent::act_noisy(std::span<const double> state,
+                                        double sigma, common::Rng& rng) {
+  auto action = act(state);
+  for (double& a : action) {
+    a = common::clamp(a + rng.normal(0.0, sigma), 0.0, 1.0);
+  }
+  return action;
+}
+
+std::pair<double, double> Td3Agent::twin_q(std::span<const double> state,
+                                           std::span<const double> action) {
+  std::vector<double> input(state.begin(), state.end());
+  input.insert(input.end(), action.begin(), action.end());
+  const double q1 = critic1_.forward_one(input)[0];
+  const double q2 = critic2_.forward_one(input)[0];
+  return {q1, q2};
+}
+
+double Td3Agent::min_q(std::span<const double> state,
+                       std::span<const double> action) {
+  const auto [q1, q2] = twin_q(state, action);
+  return std::min(q1, q2);
+}
+
+Td3TrainStats Td3Agent::train_step(ReplayBuffer& buffer, common::Rng& rng) {
+  const SampledBatch batch = buffer.sample(config_.batch_size, rng);
+  const auto m = batch.size();
+
+  const nn::Matrix s = states_of(batch.transitions);
+  const nn::Matrix a = actions_of(batch.transitions);
+  const nn::Matrix r = rewards_of(batch.transitions);
+  const nn::Matrix s_next = next_states_of(batch.transitions);
+  const nn::Matrix done = dones_of(batch.transitions);
+
+  // Target action with clipped smoothing noise (TD3 trick #3).
+  nn::Matrix a_next = actor_target_.forward(s_next);
+  for (double& v : a_next.flat()) {
+    const double eps = common::clamp(rng.normal(0.0, config_.policy_noise),
+                                     -config_.noise_clip, config_.noise_clip);
+    v = common::clamp(v + eps, 0.0, 1.0);
+  }
+
+  // Clipped double-Q target (TD3 trick #1).
+  const nn::Matrix target_in = concat_cols(s_next, a_next);
+  const nn::Matrix q1_next = critic1_target_.forward(target_in);
+  const nn::Matrix q2_next = critic2_target_.forward(target_in);
+  nn::Matrix y(m, 1);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double q_min = std::min(q1_next(i, 0), q2_next(i, 0));
+    y(i, 0) = r(i, 0) + config_.gamma * (1.0 - done(i, 0)) * q_min;
+  }
+
+  const nn::Matrix critic_in = concat_cols(s, a);
+  Td3TrainStats stats;
+  std::vector<double> td_errors(m);
+
+  auto update_critic = [&](nn::Mlp& critic, nn::Adam& opt,
+                           bool record_td) -> double {
+    critic.zero_grad();
+    const nn::Matrix pred = critic.forward(critic_in);
+    // Importance-weighted MSE (weights are 1.0 for uniform/RDPER).
+    nn::Matrix grad(m, 1);
+    double loss = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double diff = pred(i, 0) - y(i, 0);
+      const double w = batch.weights[i];
+      loss += w * diff * diff;
+      grad(i, 0) = 2.0 * w * diff / static_cast<double>(m);
+      if (record_td) td_errors[i] = diff;
+    }
+    critic.backward(grad);
+    opt.step();
+    return loss / static_cast<double>(m);
+  };
+
+  stats.critic1_loss = update_critic(critic1_, critic1_opt_, true);
+  stats.critic2_loss = update_critic(critic2_, critic2_opt_, false);
+  buffer.update_priorities(batch.ids, td_errors);
+
+  ++steps_;
+  // Delayed policy + target updates (TD3 trick #2).
+  if (steps_ % config_.policy_delay == 0) {
+    update_actor(s);
+    actor_target_.soft_update_from(actor_, config_.tau);
+    critic1_target_.soft_update_from(critic1_, config_.tau);
+    critic2_target_.soft_update_from(critic2_, config_.tau);
+
+    // Recompute actor loss for reporting: -mean(Q1(s, pi(s))).
+    const nn::Matrix a_pi = actor_.forward(s);
+    const nn::Matrix q = critic1_.forward(concat_cols(s, a_pi));
+    double q_mean = 0.0;
+    for (std::size_t i = 0; i < m; ++i) q_mean += q(i, 0);
+    stats.actor_loss = -q_mean / static_cast<double>(m);
+  }
+  return stats;
+}
+
+void Td3Agent::update_actor(const nn::Matrix& states) {
+  // Maximize Q1(s, pi(s)): gradient of -mean(Q1) w.r.t. actor parameters,
+  // chained through the critic input (paper Eq. 4 decomposition).
+  actor_.zero_grad();
+  critic1_.zero_grad();
+
+  const nn::Matrix a_pi = actor_.forward(states);
+  const nn::Matrix critic_in = concat_cols(states, a_pi);
+  const nn::Matrix q = critic1_.forward(critic_in);
+
+  nn::Matrix dq(q.rows(), 1,
+                -1.0 / static_cast<double>(q.rows()));  // d(-mean Q)/dQ
+  const nn::Matrix d_input = critic1_.backward(dq);
+  const nn::Matrix d_action = right_cols(d_input, config_.action_dim);
+
+  actor_.backward(d_action);
+  actor_opt_.step();
+  // The critic's parameter gradients from this pass are a by-product;
+  // discard them so the next critic update starts clean.
+  critic1_.zero_grad();
+}
+
+void Td3Agent::save(std::ostream& os) {
+  actor_.save(os);
+  actor_target_.save(os);
+  critic1_.save(os);
+  critic2_.save(os);
+  critic1_target_.save(os);
+  critic2_target_.save(os);
+}
+
+void Td3Agent::load(std::istream& is) {
+  actor_.load(is);
+  actor_target_.load(is);
+  critic1_.load(is);
+  critic2_.load(is);
+  critic1_target_.load(is);
+  critic2_target_.load(is);
+}
+
+}  // namespace deepcat::rl

@@ -1,0 +1,32 @@
+// The (s, a, r, s', done) experience tuple shared by all replay buffers
+// and agents. States and actions are flat vectors; actions live in the
+// normalized [0,1]^d knob cube (paper §3.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace deepcat::rl {
+
+struct Transition {
+  std::vector<double> state;
+  std::vector<double> action;
+  double reward = 0.0;
+  std::vector<double> next_state;
+  bool done = false;
+};
+
+/// A sampled minibatch. `weights` are importance-sampling corrections
+/// (all 1.0 for uniform and RDPER sampling); `ids` identify transitions for
+/// priority updates in PER.
+struct SampledBatch {
+  std::vector<const Transition*> transitions;
+  std::vector<double> weights;
+  std::vector<std::uint64_t> ids;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return transitions.size();
+  }
+};
+
+}  // namespace deepcat::rl

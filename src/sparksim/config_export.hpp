@@ -1,0 +1,31 @@
+// Export a tuned ConfigValues to the formats the real pipeline consumes:
+// spark-defaults.conf lines, Hadoop *-site.xml property blocks, and
+// spark-submit command-line flags. This is the hand-off surface between
+// the tuner and a production deployment.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparksim/config_space.hpp"
+
+namespace deepcat::sparksim {
+
+/// Formats one knob's value the way its config file expects it
+/// ("6144m" for memory, "true"/"false" for flags, codec names, ...).
+[[nodiscard]] std::string format_knob_value(KnobId id, const ConfigValues& v);
+
+/// Writes the 20 Spark knobs as spark-defaults.conf lines
+/// ("spark.executor.memory 6144m").
+void write_spark_defaults(std::ostream& os, const ConfigValues& v);
+
+/// Writes the 7 YARN knobs as a yarn-site.xml <configuration> block.
+void write_yarn_site_xml(std::ostream& os, const ConfigValues& v);
+
+/// Writes the 5 HDFS knobs as an hdfs-site.xml <configuration> block.
+void write_hdfs_site_xml(std::ostream& os, const ConfigValues& v);
+
+/// Renders the Spark knobs as "--conf k=v" arguments for spark-submit.
+[[nodiscard]] std::string spark_submit_flags(const ConfigValues& v);
+
+}  // namespace deepcat::sparksim

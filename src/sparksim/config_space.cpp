@@ -1,0 +1,198 @@
+#include "sparksim/config_space.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace deepcat::sparksim {
+
+namespace {
+
+KnobDef make(std::string name, Component comp, KnobType type, double lo,
+             double hi, double def) {
+  KnobDef k;
+  k.name = std::move(name);
+  k.component = comp;
+  k.type = type;
+  k.min_value = lo;
+  k.max_value = hi;
+  k.default_value = def;
+  return k;
+}
+
+}  // namespace
+
+ConfigSpace::ConfigSpace() {
+  knobs_.resize(kNumKnobs);
+  auto def = [&](KnobId id, KnobDef k) {
+    knobs_[static_cast<std::size_t>(id)] = std::move(k);
+  };
+  using C = Component;
+  using T = KnobType;
+
+  // --- Spark. Defaults follow Spark 2.2 out-of-the-box values, which are
+  // famously undersized for a 3-node/48-core cluster — that headroom is
+  // exactly where the paper's 3-5x tuned speedups come from.
+  def(KnobId::kExecutorInstances,
+      make("spark.executor.instances", C::kSpark, T::kInt, 1, 24, 2));
+  def(KnobId::kExecutorCores,
+      make("spark.executor.cores", C::kSpark, T::kInt, 1, 16, 1));
+  def(KnobId::kExecutorMemoryMb,
+      make("spark.executor.memory", C::kSpark, T::kInt, 512, 14336, 1024));
+  def(KnobId::kDriverMemoryMb,
+      make("spark.driver.memory", C::kSpark, T::kInt, 512, 8192, 1024));
+  def(KnobId::kMemoryOverheadMb,
+      make("spark.yarn.executor.memoryOverhead", C::kSpark, T::kInt, 256,
+           4096, 384));
+  def(KnobId::kDefaultParallelism,
+      make("spark.default.parallelism", C::kSpark, T::kInt, 8, 1000, 16));
+  def(KnobId::kShuffleFileBufferKb,
+      make("spark.shuffle.file.buffer", C::kSpark, T::kInt, 16, 1024, 32));
+  def(KnobId::kReducerMaxSizeInFlightMb,
+      make("spark.reducer.maxSizeInFlight", C::kSpark, T::kInt, 8, 128, 48));
+  def(KnobId::kShuffleCompress,
+      make("spark.shuffle.compress", C::kSpark, T::kBool, 0, 1, 1));
+  def(KnobId::kShuffleSpillCompress,
+      make("spark.shuffle.spill.compress", C::kSpark, T::kBool, 0, 1, 1));
+  def(KnobId::kBroadcastCompress,
+      make("spark.broadcast.compress", C::kSpark, T::kBool, 0, 1, 1));
+  def(KnobId::kRddCompress,
+      make("spark.rdd.compress", C::kSpark, T::kBool, 0, 1, 0));
+  def(KnobId::kIoCompressionCodec,
+      make("spark.io.compression.codec", C::kSpark, T::kCategorical, 0, 3, 0));
+  def(KnobId::kSerializer,
+      make("spark.serializer", C::kSpark, T::kCategorical, 0, 1, 0));
+  def(KnobId::kKryoBufferMaxMb,
+      make("spark.kryoserializer.buffer.max", C::kSpark, T::kInt, 8, 128, 64));
+  def(KnobId::kMemoryFraction,
+      make("spark.memory.fraction", C::kSpark, T::kDouble, 0.3, 0.9, 0.6));
+  def(KnobId::kMemoryStorageFraction,
+      make("spark.memory.storageFraction", C::kSpark, T::kDouble, 0.1, 0.9,
+           0.5));
+  def(KnobId::kLocalityWaitS,
+      make("spark.locality.wait", C::kSpark, T::kDouble, 0.0, 10.0, 3.0));
+  def(KnobId::kSpeculation,
+      make("spark.speculation", C::kSpark, T::kBool, 0, 1, 0));
+  def(KnobId::kBroadcastBlockSizeMb,
+      make("spark.broadcast.blockSize", C::kSpark, T::kInt, 1, 32, 4));
+
+  // --- YARN.
+  def(KnobId::kNmMemoryMb,
+      make("yarn.nodemanager.resource.memory-mb", C::kYarn, T::kInt, 4096,
+           15360, 8192));
+  def(KnobId::kNmVcores,
+      make("yarn.nodemanager.resource.cpu-vcores", C::kYarn, T::kInt, 4, 16,
+           8));
+  def(KnobId::kSchedMaxAllocMb,
+      make("yarn.scheduler.maximum-allocation-mb", C::kYarn, T::kInt, 1024,
+           15360, 8192));
+  def(KnobId::kSchedMinAllocMb,
+      make("yarn.scheduler.minimum-allocation-mb", C::kYarn, T::kInt, 256,
+           4096, 1024));
+  def(KnobId::kSchedMaxAllocVcores,
+      make("yarn.scheduler.maximum-allocation-vcores", C::kYarn, T::kInt, 1,
+           16, 4));
+  def(KnobId::kVmemPmemRatio,
+      make("yarn.nodemanager.vmem-pmem-ratio", C::kYarn, T::kDouble, 1.0, 5.0,
+           2.1));
+  def(KnobId::kSchedIncrementMb,
+      make("yarn.scheduler.increment-allocation-mb", C::kYarn, T::kInt, 128,
+           1024, 512));
+
+  // --- HDFS.
+  def(KnobId::kDfsBlockSizeMb,
+      make("dfs.blocksize", C::kHdfs, T::kInt, 32, 512, 128));
+  def(KnobId::kDfsReplication,
+      make("dfs.replication", C::kHdfs, T::kInt, 1, 3, 3));
+  def(KnobId::kNamenodeHandlers,
+      make("dfs.namenode.handler.count", C::kHdfs, T::kInt, 5, 100, 10));
+  def(KnobId::kDatanodeHandlers,
+      make("dfs.datanode.handler.count", C::kHdfs, T::kInt, 5, 100, 10));
+  def(KnobId::kIoFileBufferKb,
+      make("io.file.buffer.size", C::kHdfs, T::kInt, 4, 256, 4));
+}
+
+std::size_t ConfigSpace::count(Component c) const noexcept {
+  std::size_t n = 0;
+  for (const auto& k : knobs_) {
+    if (k.component == c) ++n;
+  }
+  return n;
+}
+
+ConfigValues ConfigSpace::defaults() const {
+  ConfigValues v;
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    v.set(static_cast<KnobId>(i), knobs_[i].default_value);
+  }
+  return v;
+}
+
+ConfigValues ConfigSpace::decode(std::span<const double> action) const {
+  if (action.size() != knobs_.size()) {
+    throw std::invalid_argument("ConfigSpace::decode: action dim mismatch");
+  }
+  ConfigValues v;
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    const KnobDef& k = knobs_[i];
+    const double x = common::clamp(action[i], 0.0, 1.0);
+    double value = 0.0;
+    switch (k.type) {
+      case KnobType::kDouble:
+        value = common::lerp(k.min_value, k.max_value, x);
+        break;
+      case KnobType::kInt:
+        value = std::round(common::lerp(k.min_value, k.max_value, x));
+        break;
+      case KnobType::kBool:
+        value = x >= 0.5 ? 1.0 : 0.0;
+        break;
+      case KnobType::kCategorical: {
+        const double n = k.max_value - k.min_value + 1.0;
+        value = common::clamp(std::floor(x * n), 0.0, n - 1.0) + k.min_value;
+        break;
+      }
+    }
+    v.set(static_cast<KnobId>(i), value);
+  }
+  return v;
+}
+
+std::vector<double> ConfigSpace::encode(const ConfigValues& values) const {
+  std::vector<double> action(knobs_.size());
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    const KnobDef& k = knobs_[i];
+    const double v = values.get(static_cast<KnobId>(i));
+    switch (k.type) {
+      case KnobType::kDouble:
+      case KnobType::kInt:
+        action[i] = common::clamp(
+            common::unlerp(k.min_value, k.max_value, v), 0.0, 1.0);
+        break;
+      case KnobType::kBool:
+        action[i] = v >= 0.5 ? 0.75 : 0.25;  // bucket centers
+        break;
+      case KnobType::kCategorical: {
+        const double n = k.max_value - k.min_value + 1.0;
+        action[i] = ((v - k.min_value) + 0.5) / n;
+        break;
+      }
+    }
+  }
+  return action;
+}
+
+KnobId ConfigSpace::id_of(std::string_view name) const {
+  for (std::size_t i = 0; i < knobs_.size(); ++i) {
+    if (knobs_[i].name == name) return static_cast<KnobId>(i);
+  }
+  throw std::out_of_range("ConfigSpace: unknown knob " + std::string(name));
+}
+
+const ConfigSpace& pipeline_space() {
+  static const ConfigSpace space;
+  return space;
+}
+
+}  // namespace deepcat::sparksim

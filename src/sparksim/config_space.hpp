@@ -1,0 +1,146 @@
+// The 32-knob configuration space of the HDFS + YARN + Spark pipeline
+// (paper Table 2: 20 Spark knobs including the Spark-YARN connector,
+// 7 YARN knobs, 5 HDFS knobs). Knob values are held as doubles in a
+// fixed-size ConfigValues vector; actions are the same knobs normalized
+// into [0,1]^32 (paper §3.1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace deepcat::sparksim {
+
+/// Stable indices for every tuned knob. Order defines the action layout.
+enum class KnobId : std::size_t {
+  // --- Spark (20, incl. the Spark-YARN connector memoryOverhead) ---
+  kExecutorInstances = 0,   ///< spark.executor.instances
+  kExecutorCores,           ///< spark.executor.cores
+  kExecutorMemoryMb,        ///< spark.executor.memory
+  kDriverMemoryMb,          ///< spark.driver.memory
+  kMemoryOverheadMb,        ///< spark.yarn.executor.memoryOverhead
+  kDefaultParallelism,      ///< spark.default.parallelism
+  kShuffleFileBufferKb,     ///< spark.shuffle.file.buffer
+  kReducerMaxSizeInFlightMb,///< spark.reducer.maxSizeInFlight
+  kShuffleCompress,         ///< spark.shuffle.compress
+  kShuffleSpillCompress,    ///< spark.shuffle.spill.compress
+  kBroadcastCompress,       ///< spark.broadcast.compress
+  kRddCompress,             ///< spark.rdd.compress
+  kIoCompressionCodec,      ///< spark.io.compression.codec
+  kSerializer,              ///< spark.serializer
+  kKryoBufferMaxMb,         ///< spark.kryoserializer.buffer.max
+  kMemoryFraction,          ///< spark.memory.fraction
+  kMemoryStorageFraction,   ///< spark.memory.storageFraction
+  kLocalityWaitS,           ///< spark.locality.wait
+  kSpeculation,             ///< spark.speculation
+  kBroadcastBlockSizeMb,    ///< spark.broadcast.blockSize
+  // --- YARN (7) ---
+  kNmMemoryMb,              ///< yarn.nodemanager.resource.memory-mb
+  kNmVcores,                ///< yarn.nodemanager.resource.cpu-vcores
+  kSchedMaxAllocMb,         ///< yarn.scheduler.maximum-allocation-mb
+  kSchedMinAllocMb,         ///< yarn.scheduler.minimum-allocation-mb
+  kSchedMaxAllocVcores,     ///< yarn.scheduler.maximum-allocation-vcores
+  kVmemPmemRatio,           ///< yarn.nodemanager.vmem-pmem-ratio
+  kSchedIncrementMb,        ///< yarn.scheduler.increment-allocation-mb
+  // --- HDFS (5) ---
+  kDfsBlockSizeMb,          ///< dfs.blocksize
+  kDfsReplication,          ///< dfs.replication
+  kNamenodeHandlers,        ///< dfs.namenode.handler.count
+  kDatanodeHandlers,        ///< dfs.datanode.handler.count
+  kIoFileBufferKb,          ///< io.file.buffer.size
+  kCount
+};
+
+inline constexpr std::size_t kNumKnobs = static_cast<std::size_t>(KnobId::kCount);
+
+enum class KnobType { kInt, kDouble, kBool, kCategorical };
+enum class Component { kSpark, kYarn, kHdfs };
+
+/// Compression codecs for spark.io.compression.codec.
+enum class Codec : int { kLz4 = 0, kLzf, kSnappy, kZstd };
+/// Serializers for spark.serializer.
+enum class Serializer : int { kJava = 0, kKryo };
+
+struct KnobDef {
+  std::string name;
+  Component component = Component::kSpark;
+  KnobType type = KnobType::kInt;
+  double min_value = 0.0;   ///< for categorical: 0
+  double max_value = 1.0;   ///< for categorical: category count - 1
+  double default_value = 0.0;
+};
+
+/// Concrete values for all 32 knobs (denormalized units: MB, KB, counts…).
+class ConfigValues {
+ public:
+  ConfigValues() = default;
+
+  [[nodiscard]] double get(KnobId id) const noexcept {
+    return values_[static_cast<std::size_t>(id)];
+  }
+  void set(KnobId id, double value) noexcept {
+    values_[static_cast<std::size_t>(id)] = value;
+  }
+  [[nodiscard]] int get_int(KnobId id) const noexcept {
+    return static_cast<int>(get(id));
+  }
+  [[nodiscard]] bool get_bool(KnobId id) const noexcept {
+    return get(id) >= 0.5;
+  }
+  [[nodiscard]] Codec codec() const noexcept {
+    return static_cast<Codec>(get_int(KnobId::kIoCompressionCodec));
+  }
+  [[nodiscard]] Serializer serializer() const noexcept {
+    return static_cast<Serializer>(get_int(KnobId::kSerializer));
+  }
+
+  [[nodiscard]] std::span<const double> raw() const noexcept { return values_; }
+
+  friend bool operator==(const ConfigValues&, const ConfigValues&) = default;
+
+ private:
+  std::array<double, kNumKnobs> values_{};
+};
+
+/// The knob registry plus action encoding/decoding.
+class ConfigSpace {
+ public:
+  /// Builds the full 32-knob pipeline space described in the paper.
+  ConfigSpace();
+
+  [[nodiscard]] const KnobDef& knob(KnobId id) const noexcept {
+    return knobs_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<KnobDef>& knobs() const noexcept {
+    return knobs_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return knobs_.size(); }
+
+  /// Count of knobs belonging to a pipeline component (paper Table 2).
+  [[nodiscard]] std::size_t count(Component c) const noexcept;
+
+  /// Spark 2.2 / Hadoop 2.7-style default configuration.
+  [[nodiscard]] ConfigValues defaults() const;
+
+  /// Maps a [0,1]^32 action onto concrete knob values. Out-of-range action
+  /// coordinates are clamped to [0,1] first (paper §5.3.2: recommendations
+  /// outside the new environment's scope are clipped to the boundary).
+  [[nodiscard]] ConfigValues decode(std::span<const double> action) const;
+
+  /// Inverse of decode (bools/categoricals map to bucket centers).
+  [[nodiscard]] std::vector<double> encode(const ConfigValues& values) const;
+
+  /// Knob lookup by config-file name; throws std::out_of_range if unknown.
+  [[nodiscard]] KnobId id_of(std::string_view name) const;
+
+ private:
+  std::vector<KnobDef> knobs_;
+};
+
+/// Shared immutable instance of the pipeline's configuration space.
+[[nodiscard]] const ConfigSpace& pipeline_space();
+
+}  // namespace deepcat::sparksim

@@ -1,0 +1,112 @@
+#include "sparksim/environment.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace deepcat::sparksim {
+
+TuningEnvironment::TuningEnvironment(ClusterSpec cluster,
+                                     WorkloadSpec workload, EnvOptions options)
+    : cluster_(std::move(cluster)),
+      workload_(std::move(workload)),
+      options_(options),
+      sim_(cluster_),
+      rng_(options.seed),
+      best_time_(std::numeric_limits<double>::infinity()) {
+  if (options_.target_speedup <= 0.0) {
+    throw std::invalid_argument("EnvOptions: target_speedup must be > 0");
+  }
+}
+
+std::vector<double> TuningEnvironment::reset() {
+  const ConfigValues defaults = pipeline_space().defaults();
+  ExecutionResult r = sim_.run(workload_, defaults, rng_());
+  // The default configuration is conservative: it may be slow but always
+  // completes (tiny executors never overcommit). Guard anyway.
+  if (!r.success) {
+    throw std::logic_error(
+        "TuningEnvironment: default configuration failed: " +
+        r.failure_reason);
+  }
+  default_time_ = r.exec_seconds;
+  eval_seconds_ += r.exec_seconds;
+  ++evals_;
+  if (r.exec_seconds < best_time_) {
+    best_time_ = r.exec_seconds;
+    best_config_ = defaults;
+  }
+  return normalize_state(r);
+}
+
+double TuningEnvironment::reward_for(double exec_seconds) const noexcept {
+  const double perf_e = expected_time();
+  return (perf_e - exec_seconds) / perf_e;
+}
+
+StepResult TuningEnvironment::step(std::span<const double> action) {
+  if (default_time_ <= 0.0) {
+    throw std::logic_error("TuningEnvironment::step before reset()");
+  }
+  return evaluate(pipeline_space().decode(action));
+}
+
+StepResult TuningEnvironment::evaluate(const ConfigValues& config) {
+  if (default_time_ <= 0.0) {
+    throw std::logic_error("TuningEnvironment::evaluate before reset()");
+  }
+  ExecutionResult r = sim_.run(workload_, config, rng_());
+
+  StepResult out;
+  out.success = r.success;
+  out.oom = r.oom;
+  // Tuning cost is the time actually burned: a failed attempt stops when
+  // the job aborts. The REWARD, however, scores a failure as if the job
+  // had taken failure_penalty_factor x the default time — the paper
+  // treats OOM configurations as the worst transitions, and an agent must
+  // never learn that failing fast is cheap.
+  out.exec_seconds = r.exec_seconds;
+  const double scored_seconds =
+      r.success ? r.exec_seconds
+                : std::max(r.exec_seconds,
+                           options_.failure_penalty_factor * default_time_);
+  out.reward = reward_for(scored_seconds);
+  out.state = normalize_state(r);
+
+  eval_seconds_ += out.exec_seconds;
+  ++evals_;
+  if (r.success && r.exec_seconds < best_time_) {
+    best_time_ = r.exec_seconds;
+    best_config_ = config;
+  }
+  return out;
+}
+
+std::vector<double> TuningEnvironment::normalize_state(
+    const ExecutionResult& result) const {
+  std::vector<double> state = result.load_averages;
+  const double cores = static_cast<double>(cluster_.nodes.front().cores);
+  for (double& x : state) x /= cores;
+  state.resize(cluster_.num_nodes() * 3, 0.0);
+
+  if (options_.extended_state) {
+    const auto total_cores = static_cast<double>(cluster_.total_cores());
+    double spilled = 0.0, cache_hit = 0.0, retries = 0.0;
+    for (const auto& s : result.stages) {
+      spilled += s.spilled_mb;
+      cache_hit += s.cache_hit_fraction;
+      retries += s.task_retries;
+    }
+    const double num_stages =
+        static_cast<double>(std::max<std::size_t>(result.stages.size(), 1));
+    state.push_back(static_cast<double>(result.executors) / total_cores);
+    state.push_back(static_cast<double>(result.total_slots) / total_cores);
+    state.push_back(
+        std::min(1.0, spilled / std::max(workload_.input_mb, 1.0)));
+    state.push_back(cache_hit / num_stages);
+    state.push_back(std::min(1.0, retries / 32.0));
+  }
+  return state;
+}
+
+}  // namespace deepcat::sparksim

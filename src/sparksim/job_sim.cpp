@@ -1,0 +1,355 @@
+#include "sparksim/job_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+#include "common/rng.hpp"
+#include "sparksim/hdfs.hpp"
+#include "sparksim/memory_model.hpp"
+#include "sparksim/task_engine.hpp"
+#include "sparksim/yarn.hpp"
+
+namespace deepcat::sparksim {
+
+namespace {
+
+/// Compression codec characteristics (ratio on fully compressible data,
+/// CPU cost per MB compressed or decompressed).
+struct CodecProps {
+  double ratio;
+  double cpu_ms_per_mb;
+};
+
+CodecProps codec_props(Codec codec) {
+  switch (codec) {
+    case Codec::kLz4: return {0.55, 1.1};
+    case Codec::kLzf: return {0.62, 1.4};
+    case Codec::kSnappy: return {0.58, 1.0};
+    case Codec::kZstd: return {0.42, 3.0};
+  }
+  return {1.0, 0.0};
+}
+
+/// Serializer characteristics: CPU per MB serialized/deserialized, on-wire
+/// size factor, and whether the workload's in-memory bloat factor applies.
+struct SerializerProps {
+  double cpu_ms_per_mb;
+  double size_factor;
+};
+
+SerializerProps serializer_props(Serializer s) {
+  switch (s) {
+    case Serializer::kJava: return {8.0, 1.0};
+    case Serializer::kKryo: return {4.0, 0.70};
+  }
+  return {8.0, 1.0};
+}
+
+double compressed_size(double mb, Codec codec, double compressibility) {
+  const CodecProps p = codec_props(codec);
+  return mb * (1.0 - compressibility * (1.0 - p.ratio));
+}
+
+constexpr double kMemoryReadMbps = 2000.0;  ///< cache-hit scan rate
+constexpr double kFetchRoundTripS = 0.02;   ///< shuffle fetch chunk latency
+
+}  // namespace
+
+JobSimulator::JobSimulator(ClusterSpec cluster) : cluster_(std::move(cluster)) {}
+
+ExecutionResult JobSimulator::run(const WorkloadSpec& workload,
+                                  const ConfigValues& config,
+                                  std::uint64_t seed) const {
+  common::Rng rng(seed);
+  ExecutionResult result;
+
+  // --- Resource negotiation.
+  const YarnAllocation alloc = YarnModel(cluster_, config).allocate();
+  if (!alloc.accepted) {
+    result.failure_reason = alloc.reject_reason;
+    result.load_averages.assign(cluster_.num_nodes() * 3, 0.1);
+    return result;
+  }
+  result.executors = alloc.executors;
+  const int slots = alloc.executors * alloc.executor_cores;
+  result.total_slots = slots;
+
+  const HdfsModel hdfs(cluster_, config);
+  const MemoryModel memory(alloc, config);
+  const NodeSpec& node = cluster_.nodes.front();
+  const auto num_nodes = static_cast<double>(cluster_.num_nodes());
+
+  const Serializer ser = config.serializer();
+  const SerializerProps ser_props = serializer_props(ser);
+  const Codec codec = config.codec();
+  const CodecProps codec_cpu = codec_props(codec);
+  // In-memory object bloat: Java serialization keeps fat object graphs;
+  // Kryo-serialized caching stays close to binary size.
+  const double mem_bloat =
+      ser == Serializer::kJava ? workload.java_ser_bloat : 1.15;
+
+  // Kryo buffer overflow: a record larger than kryoserializer.buffer.max
+  // kills its task deterministically (KryoException), failing the stage
+  // after Spark's 4 attempts.
+  const bool kryo_overflow =
+      ser == Serializer::kKryo &&
+      config.get(KnobId::kKryoBufferMaxMb) < workload.max_record_mb;
+
+  const bool shuffle_compress = config.get_bool(KnobId::kShuffleCompress);
+  const bool spill_compress = config.get_bool(KnobId::kShuffleSpillCompress);
+  const bool broadcast_compress = config.get_bool(KnobId::kBroadcastCompress);
+  const bool rdd_compress = config.get_bool(KnobId::kRddCompress);
+  const double inflight_mb =
+      config.get(KnobId::kReducerMaxSizeInFlightMb);
+  const double file_buffer_kb = config.get(KnobId::kShuffleFileBufferKb);
+  // Small shuffle-file buffers force frequent flushes & syscalls.
+  const double write_buffer_eff =
+      common::clamp(0.70 + 0.30 * (file_buffer_kb / 128.0), 0.70, 1.05);
+
+  double elapsed = kAppStartupS;
+  double busy_core_seconds = 0.0;
+
+  const int parallelism = config.get_int(KnobId::kDefaultParallelism);
+
+  for (const StageSpec& stage : workload.stages) {
+    StageMetrics metrics;
+    metrics.name = stage.name;
+
+    // --- Task layout.
+    int tasks;
+    if (stage.hdfs_read_mb > 0.0) {
+      tasks = static_cast<int>(
+          std::ceil(stage.hdfs_read_mb / hdfs.block_size_mb()));
+    } else {
+      tasks = parallelism;
+    }
+    tasks = std::max(tasks, 1);
+    metrics.num_tasks = tasks;
+    // Contention is driven by the AVERAGE number of concurrently running
+    // tasks over the stage (tasks / wave count), not by the peak slot
+    // count — a final ragged wave does not thrash disks for the whole
+    // stage. Keeps more-slots >= fewer-slots monotone.
+    const int peak = std::min(slots, tasks);
+    const int waves = static_cast<int>(common::ceil_div(
+        static_cast<std::size_t>(tasks), static_cast<std::size_t>(slots)));
+    const int active = std::max(1, tasks / std::max(1, waves));
+    const int concurrent_per_exec = std::max(
+        1, peak / std::max(1, alloc.executors));
+    const double active_per_node = std::max(1.0, static_cast<double>(active) / num_nodes);
+
+    const double input_per_task =
+        stage.input_mb() / static_cast<double>(tasks);
+
+    // --- Memory consequences.
+    const double working_set = input_per_task * stage.ws_multiplier * mem_bloat;
+    const double cache_demand_total =
+        std::max(stage.cache_put_mb, stage.cache_get_mb) *
+        (rdd_compress ? compressed_size(1.0, codec, workload.compressibility)
+                      : mem_bloat);
+    const double cache_per_exec =
+        cache_demand_total / std::max(1, alloc.executors);
+    const double offheap_mb =
+        64.0 + inflight_mb * concurrent_per_exec * 0.6 +
+        file_buffer_kb / 1024.0 * concurrent_per_exec * 4.0;
+    const MemoryOutcome mem =
+        memory.evaluate(working_set, concurrent_per_exec, cache_per_exec,
+                        offheap_mb, stage.min_mem_fraction);
+    metrics.cache_hit_fraction = mem.cache_fraction;
+
+    // --- Per-task CPU.
+    double cpu_s = input_per_task * stage.cpu_ms_per_mb / 1000.0;
+    // Ser/deser of shuffled data.
+    const double shuffle_logical_per_task =
+        (stage.shuffle_read_mb + stage.shuffle_write_mb) /
+        static_cast<double>(tasks);
+    cpu_s += shuffle_logical_per_task * ser_props.cpu_ms_per_mb / 1000.0;
+    // Compression CPU on shuffled bytes.
+    const double shuffle_wire_write =
+        shuffle_compress
+            ? compressed_size(stage.shuffle_write_mb * ser_props.size_factor,
+                              codec, workload.compressibility)
+            : stage.shuffle_write_mb * ser_props.size_factor;
+    const double shuffle_wire_read =
+        shuffle_compress
+            ? compressed_size(stage.shuffle_read_mb * ser_props.size_factor,
+                              codec, workload.compressibility)
+            : stage.shuffle_read_mb * ser_props.size_factor;
+    if (shuffle_compress) {
+      cpu_s += (shuffle_wire_write + shuffle_wire_read) /
+               static_cast<double>(tasks) * codec_cpu.cpu_ms_per_mb / 1000.0;
+    }
+    // Decompress cached blocks on access.
+    if (rdd_compress && stage.cache_get_mb > 0.0) {
+      cpu_s += stage.cache_get_mb / static_cast<double>(tasks) *
+               codec_cpu.cpu_ms_per_mb / 1000.0;
+    }
+    cpu_s *= mem.gc_factor / node.cpu_speed;
+    metrics.task_cpu_s = cpu_s;
+
+    // --- Per-task I/O.
+    double io_s = 0.0;
+    if (stage.hdfs_read_mb > 0.0) {
+      io_s += input_per_task / hdfs.read_mbps(active);
+    }
+    if (stage.cache_get_mb > 0.0) {
+      const double per_task_cache =
+          stage.cache_get_mb / static_cast<double>(tasks);
+      const double hit = mem.cache_fraction;
+      io_s += per_task_cache * hit / kMemoryReadMbps;
+      // Cache miss: MEMORY_AND_DISK persistence falls back to the local
+      // disk copy (sequential re-read) plus a light deserialization pass.
+      const double miss_mb = per_task_cache * (1.0 - hit);
+      if (miss_mb > 0.0) {
+        io_s += miss_mb / (node.disk_seq_mbps / active_per_node);
+        cpu_s += miss_mb * 0.8 / 1000.0 * mem.gc_factor;
+      }
+    }
+    if (stage.shuffle_read_mb > 0.0) {
+      const double per_task = shuffle_wire_read / static_cast<double>(tasks);
+      const double net_rate = node.net_mbps / active_per_node;
+      const double disk_rate = node.disk_seq_mbps / active_per_node;
+      io_s += per_task / std::min(net_rate, disk_rate);
+      // Fetch round trips limited by reducer.maxSizeInFlight.
+      io_s += std::ceil(per_task / std::max(inflight_mb, 1.0)) *
+              kFetchRoundTripS;
+    }
+    if (stage.shuffle_write_mb > 0.0) {
+      const double per_task = shuffle_wire_write / static_cast<double>(tasks);
+      const double disk_rate =
+          node.disk_seq_mbps / active_per_node * write_buffer_eff;
+      io_s += per_task / disk_rate;
+    }
+    // Spill: excess working set cycles to disk and back.
+    if (mem.spill_fraction > 0.0) {
+      double spill_mb = mem.spill_fraction * input_per_task *
+                        stage.ws_multiplier * ser_props.size_factor;
+      if (spill_compress) {
+        spill_mb = compressed_size(spill_mb, codec, workload.compressibility);
+        cpu_s += spill_mb * codec_cpu.cpu_ms_per_mb / 1000.0;
+      }
+      const double disk_rate =
+          node.disk_seq_mbps / active_per_node * write_buffer_eff;
+      io_s += 2.0 * spill_mb / disk_rate;  // write + read back
+      metrics.spilled_mb = spill_mb * static_cast<double>(tasks);
+    }
+    if (stage.hdfs_write_mb > 0.0) {
+      const double per_task =
+          stage.hdfs_write_mb / static_cast<double>(tasks);
+      io_s += per_task / (hdfs.write_mbps(active) * write_buffer_eff);
+    }
+    metrics.task_io_s = io_s;
+
+    const double base_task_s = cpu_s + io_s;
+
+    // --- Schedule the stage.
+    TaskEngineConfig engine;
+    engine.slots = slots;
+    engine.num_nodes = static_cast<int>(cluster_.num_nodes());
+    engine.speculation = config.get_bool(KnobId::kSpeculation);
+    engine.locality_wait_s = config.get(KnobId::kLocalityWaitS);
+    engine.local_fraction =
+        stage.hdfs_read_mb > 0.0 ? hdfs.locality_fraction() : 0.85;
+    engine.remote_penalty_s =
+        stage.hdfs_read_mb > 0.0
+            ? 0.4 * input_per_task / (node.net_mbps / active_per_node)
+            : 0.1 * base_task_s;
+    const StageRunResult run = run_stage(tasks, base_task_s, engine, rng);
+    metrics.duration_s = run.duration_s;
+    metrics.stragglers = run.stragglers;
+    metrics.speculative_copies = run.speculative_copies;
+
+    // --- Broadcast (once per executor, pipelined over the network).
+    double stage_time = run.duration_s + kPerStageOverheadS;
+    if (stage.broadcast_mb > 0.0) {
+      const double payload =
+          broadcast_compress
+              ? compressed_size(stage.broadcast_mb, codec,
+                                workload.compressibility)
+              : stage.broadcast_mb;
+      const double block_mb = config.get(KnobId::kBroadcastBlockSizeMb);
+      // BitTorrent-style distribution: cost grows with log(executors) and
+      // with per-block latency for tiny blocks.
+      const double blocks = std::max(1.0, payload / block_mb);
+      stage_time +=
+          payload / node.net_mbps *
+              std::log2(2.0 + static_cast<double>(alloc.executors)) +
+          blocks * 0.003;
+    }
+
+    // --- Failure paths.
+    double task_failure_prob = mem.oom_probability;
+    if (kryo_overflow &&
+        (stage.shuffle_write_mb > 0.0 || stage.cache_put_mb > 0.0)) {
+      task_failure_prob = std::max(task_failure_prob, 0.9);
+    }
+    metrics.oom_probability = task_failure_prob;
+    if (task_failure_prob > 0.0) {
+      // Expected retries lengthen the stage; Spark aborts after a task
+      // fails 4 consecutive attempts.
+      const double expected_retries =
+          static_cast<double>(tasks) * task_failure_prob;
+      const int retries = static_cast<int>(
+          std::floor(expected_retries + rng.uniform()));
+      metrics.task_retries = retries;
+      stage_time += static_cast<double>(std::min(retries, tasks)) *
+                    base_task_s /
+                    std::max(1.0, static_cast<double>(slots) * 0.5);
+      const double p4 = std::pow(task_failure_prob, 4.0);
+      const double stage_abort_prob = common::clamp(
+          static_cast<double>(tasks) * p4, 0.0, 0.98);
+      if (rng.bernoulli(stage_abort_prob)) {
+        elapsed += stage_time * 2.5;  // attempts before the abort surfaced
+        result.oom = true;
+        result.failure_reason = "stage " + stage.name +
+                                " aborted: task failed 4 times (OOM)";
+        result.exec_seconds = elapsed;
+        result.stages.push_back(metrics);
+        result.load_averages.assign(cluster_.num_nodes() * 3, 0.5);
+        return result;
+      }
+    }
+
+    elapsed += stage_time;
+    busy_core_seconds += run.busy_core_seconds;
+    result.stages.push_back(metrics);
+  }
+
+  // --- Driver-side collect: results funnel through spark.driver.memory.
+  const double collect_mb = std::max(50.0, 0.004 * workload.input_mb);
+  const double driver_mb = config.get(KnobId::kDriverMemoryMb);
+  if (collect_mb * mem_bloat > 0.5 * driver_mb) {
+    const double p = common::clamp(
+        0.3 * (collect_mb * mem_bloat / (0.5 * driver_mb) - 1.0), 0.0, 0.9);
+    if (rng.bernoulli(p)) {
+      result.oom = true;
+      result.failure_reason = "driver OOM collecting results";
+      result.exec_seconds = elapsed * 1.2;
+      result.load_averages.assign(cluster_.num_nodes() * 3, 0.5);
+      return result;
+    }
+  }
+
+  // --- Run-to-run noise.
+  elapsed *= std::exp(rng.normal(0.0, 0.03));
+
+  // --- Simulated `uptime` load averages (the DRL state).
+  result.load_averages.reserve(cluster_.num_nodes() * 3);
+  const double util_cores =
+      busy_core_seconds / std::max(elapsed, 1.0) / num_nodes;
+  for (std::size_t n = 0; n < cluster_.num_nodes(); ++n) {
+    const double base = 0.15 + 0.1 * rng.uniform();
+    const double l1 = base + util_cores * (1.0 + 0.08 * rng.normal());
+    const double l5 = base + util_cores * (0.92 + 0.05 * rng.normal());
+    const double l15 = base + util_cores * (0.85 + 0.05 * rng.normal());
+    result.load_averages.push_back(std::max(0.0, l1));
+    result.load_averages.push_back(std::max(0.0, l5));
+    result.load_averages.push_back(std::max(0.0, l15));
+  }
+
+  result.success = true;
+  result.exec_seconds = elapsed;
+  return result;
+}
+
+}  // namespace deepcat::sparksim

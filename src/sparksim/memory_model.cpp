@@ -1,0 +1,103 @@
+#include "sparksim/memory_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace deepcat::sparksim {
+
+MemoryModel::MemoryModel(const YarnAllocation& alloc,
+                         const ConfigValues& config)
+    : heap_mb_(alloc.heap_mb),
+      overhead_mb_(alloc.overhead_mb),
+      vmem_limit_mb_(alloc.vmem_limit_mb),
+      container_mb_(alloc.container_mb) {
+  const double fraction = config.get(KnobId::kMemoryFraction);
+  const double storage_fraction = config.get(KnobId::kMemoryStorageFraction);
+  usable_mb_ = std::max(0.0, (heap_mb_ - kReservedMb) * fraction);
+  storage_mb_ = usable_mb_ * storage_fraction;
+}
+
+MemoryOutcome MemoryModel::evaluate(double task_working_set_mb,
+                                    int concurrent_tasks,
+                                    double cache_request_mb,
+                                    double offheap_demand_mb,
+                                    double min_mem_fraction) const {
+  MemoryOutcome out;
+  const int tasks = std::max(1, concurrent_tasks);
+
+  // Storage side: cache demand beyond the storage pool is evicted. (Unified
+  // memory lets storage borrow free execution memory, modeled by allowing
+  // cache into the whole usable region when execution demand is light.)
+  const double exec_demand =
+      task_working_set_mb * static_cast<double>(tasks);
+  const double exec_pool = std::max(usable_mb_ - storage_mb_, 0.0);
+  double storage_available = storage_mb_;
+  if (exec_demand < exec_pool) {
+    storage_available += (exec_pool - exec_demand) * 0.8;
+  }
+  out.cache_fraction =
+      cache_request_mb <= 0.0
+          ? 1.0
+          : common::clamp(storage_available / cache_request_mb, 0.0, 1.0);
+
+  // Execution side: each running task gets an equal share; Spark guarantees
+  // each task at least 1/(2N) and at most 1/N of the pool.
+  const double cache_resident = cache_request_mb * out.cache_fraction;
+  const double exec_available =
+      std::max(usable_mb_ - std::min(cache_resident, storage_mb_), 1.0);
+  out.exec_mem_per_task_mb = exec_available / static_cast<double>(tasks);
+
+  // Spill: working set beyond per-task execution memory goes to disk.
+  if (task_working_set_mb > out.exec_mem_per_task_mb) {
+    out.spill_fraction = common::clamp(
+        (task_working_set_mb - out.exec_mem_per_task_mb) /
+            task_working_set_mb,
+        0.0, 1.0);
+  }
+
+  // GC: pressure from live data vs heap. Squared growth mirrors how GC
+  // time explodes as old-gen occupancy approaches capacity.
+  const double live_mb =
+      cache_resident + std::min(exec_demand, exec_available) + kReservedMb;
+  const double pressure = common::clamp(live_mb / std::max(heap_mb_, 1.0),
+                                        0.0, 1.5);
+  out.gc_factor = 1.0 + 1.2 * pressure * pressure;
+
+  // OOM paths.
+  // (1) Java heap: a task whose minimum in-memory footprint (the stage's
+  //     irreducible live share of the working set: record batches, merge
+  //     or aggregation buffers) exceeds its guaranteed share risks
+  //     OutOfMemoryError even with spilling.
+  const double min_footprint = min_mem_fraction * task_working_set_mb;
+  const double guaranteed = exec_available / (2.0 * static_cast<double>(tasks));
+  double oom = 0.0;
+  if (min_footprint > guaranteed) {
+    oom = common::clamp(0.12 * (min_footprint / guaranteed - 1.0), 0.0, 0.9);
+  }
+  // (2) YARN container kill: physical container use (heap high-water +
+  //     off-heap buffers) above the container, or total virtual memory
+  //     above the vmem-pmem limit.
+  const double physical_use = heap_mb_ * std::min(1.0, pressure + 0.15) +
+                              offheap_demand_mb;
+  if (physical_use > container_mb_) {
+    oom = std::max(
+        oom, common::clamp(0.25 * (physical_use / container_mb_ - 1.0) * 4.0,
+                           0.0, 0.95));
+  }
+  const double vmem_use = physical_use * 1.6;  // JVM vmem over-reservation
+  if (vmem_use > vmem_limit_mb_) {
+    oom = std::max(
+        oom, common::clamp(0.2 * (vmem_use / vmem_limit_mb_ - 1.0) * 4.0,
+                           0.0, 0.95));
+  }
+  // A roomy off-heap overhead reservation absorbs both container-kill paths.
+  const double relief = common::clamp(
+      (overhead_mb_ - offheap_demand_mb) / std::max(overhead_mb_, 1.0), 0.0,
+      1.0);
+  out.oom_probability = oom * (1.0 - 0.5 * relief);
+  return out;
+}
+
+}  // namespace deepcat::sparksim

@@ -1,0 +1,60 @@
+// Executor JVM memory model following Spark's unified memory manager
+// (Spark 1.6+): usable = (heap - reserved) * spark.memory.fraction, split
+// between storage (RDD cache) and execution (shuffle/sort/aggregation) by
+// spark.memory.storageFraction. Produces the per-stage consequences the
+// real system exhibits: spilling when execution memory is short, cache
+// misses when storage is short, GC pressure as the heap fills, task OOM
+// when a partition cannot fit even after spilling, and YARN container
+// kills when off-heap use exceeds the vmem limit.
+#pragma once
+
+#include "sparksim/config_space.hpp"
+#include "sparksim/yarn.hpp"
+
+namespace deepcat::sparksim {
+
+/// Memory consequences for one stage on one executor.
+struct MemoryOutcome {
+  double exec_mem_per_task_mb = 0.0;  ///< execution memory each task gets
+  double spill_fraction = 0.0;        ///< fraction of task working set spilled
+  double cache_fraction = 1.0;        ///< fraction of requested cache resident
+  double gc_factor = 1.0;             ///< CPU-time multiplier (>= 1)
+  double oom_probability = 0.0;       ///< per-task probability of fatal OOM
+};
+
+class MemoryModel {
+ public:
+  MemoryModel(const YarnAllocation& alloc, const ConfigValues& config);
+
+  /// Evaluates one stage:
+  ///   task_working_set_mb - deserialized per-task data (sort buffers etc.)
+  ///   concurrent_tasks    - tasks sharing this executor simultaneously
+  ///   cache_request_mb    - storage-cache demand on this executor
+  ///   offheap_demand_mb   - network/shuffle buffers outside the heap
+  ///   min_mem_fraction    - irreducible heap-resident share of the working
+  ///                         set (low for spill-friendly sorts, high for
+  ///                         hash aggregations / cache builds)
+  [[nodiscard]] MemoryOutcome evaluate(double task_working_set_mb,
+                                       int concurrent_tasks,
+                                       double cache_request_mb,
+                                       double offheap_demand_mb,
+                                       double min_mem_fraction = 0.35) const;
+
+  [[nodiscard]] double usable_mb() const noexcept { return usable_mb_; }
+  [[nodiscard]] double storage_target_mb() const noexcept {
+    return storage_mb_;
+  }
+
+  /// JVM reserved system memory (matches Spark's RESERVED_SYSTEM_MEMORY).
+  static constexpr double kReservedMb = 300.0;
+
+ private:
+  double heap_mb_;
+  double overhead_mb_;
+  double vmem_limit_mb_;
+  double container_mb_;
+  double usable_mb_;
+  double storage_mb_;
+};
+
+}  // namespace deepcat::sparksim

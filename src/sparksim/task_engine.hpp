@@ -1,0 +1,38 @@
+// Discrete-event task scheduler: runs one stage's tasks over the granted
+// executor slots in waves, with log-normal task-duration jitter, straggler
+// injection, data-locality waits, and optional speculative re-execution —
+// the mechanisms that make wall-clock stage time a non-linear function of
+// parallelism on a real cluster.
+#pragma once
+
+#include "common/rng.hpp"
+
+namespace deepcat::sparksim {
+
+struct TaskEngineConfig {
+  int slots = 1;                  ///< total concurrent task slots (execs * cores)
+  int num_nodes = 3;
+  bool speculation = false;       ///< spark.speculation
+  double locality_wait_s = 3.0;   ///< spark.locality.wait
+  double local_fraction = 1.0;    ///< share of tasks with node-local input
+  double remote_penalty_s = 0.0;  ///< extra time for a rack/any-local task
+  double jitter_sigma = 0.12;     ///< log-normal sigma on task durations
+  double straggler_prob = 0.03;   ///< chance a task runs 1.5-2.2x long
+  double schedule_overhead_s = 0.01;  ///< per-task driver-side latency
+};
+
+struct StageRunResult {
+  double duration_s = 0.0;         ///< stage wall-clock
+  double busy_core_seconds = 0.0;  ///< total slot-seconds consumed
+  int num_tasks = 0;
+  int stragglers = 0;
+  int speculative_copies = 0;      ///< extra attempts launched by speculation
+};
+
+/// Simulates a stage of `num_tasks` tasks whose nominal duration is
+/// `base_task_s`. Deterministic given the Rng state.
+[[nodiscard]] StageRunResult run_stage(int num_tasks, double base_task_s,
+                                       const TaskEngineConfig& config,
+                                       common::Rng& rng);
+
+}  // namespace deepcat::sparksim

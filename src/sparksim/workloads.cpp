@@ -1,0 +1,214 @@
+#include "sparksim/workloads.hpp"
+
+#include <stdexcept>
+
+namespace deepcat::sparksim {
+
+std::string to_string(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kWordCount: return "WordCount";
+    case WorkloadType::kTeraSort: return "TeraSort";
+    case WorkloadType::kPageRank: return "PageRank";
+    case WorkloadType::kKMeans: return "KMeans";
+  }
+  return "?";
+}
+
+namespace {
+
+constexpr int kPageRankIterations = 5;
+constexpr int kKMeansIterations = 5;
+
+WorkloadSpec word_count(double gigabytes) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kWordCount;
+  w.input_mb = gigabytes * 1024.0;
+  w.compressibility = 0.75;  // natural-language text compresses well
+  w.java_ser_bloat = 1.5;
+
+  StageSpec map;
+  map.name = "map+combine";
+  map.hdfs_read_mb = w.input_mb;
+  map.cpu_ms_per_mb = 8.5;           // tokenize + local combine
+  map.shuffle_write_mb = 0.06 * w.input_mb;  // combiner collapses duplicates
+  map.ws_multiplier = 0.9;           // streaming aggregation, small hash map
+  map.min_mem_fraction = 0.12;       // streams; only the combiner map is live
+  w.stages.push_back(map);
+
+  StageSpec reduce;
+  reduce.name = "reduceByKey";
+  reduce.shuffle_read_mb = map.shuffle_write_mb;
+  reduce.cpu_ms_per_mb = 3.0;
+  reduce.hdfs_write_mb = 0.03 * w.input_mb;
+  reduce.ws_multiplier = 1.3;
+  reduce.min_mem_fraction = 0.22;    // hash aggregation of word counts
+  w.stages.push_back(reduce);
+  return w;
+}
+
+WorkloadSpec tera_sort(double gigabytes) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kTeraSort;
+  w.input_mb = gigabytes * 1024.0;
+  w.compressibility = 0.25;  // near-random keys barely compress
+  w.java_ser_bloat = 1.6;
+
+  StageSpec map;
+  map.name = "range-partition";
+  map.hdfs_read_mb = w.input_mb;
+  map.cpu_ms_per_mb = 2.2;
+  map.shuffle_write_mb = w.input_mb;  // the whole dataset moves
+  map.ws_multiplier = 1.1;
+  map.min_mem_fraction = 0.08;        // range partitioner streams records
+  w.stages.push_back(map);
+
+  StageSpec sort;
+  sort.name = "sort+write";
+  sort.shuffle_read_mb = w.input_mb;
+  sort.cpu_ms_per_mb = 4.5;           // in-partition sort
+  sort.hdfs_write_mb = w.input_mb;    // replicated output write
+  sort.ws_multiplier = 2.4;           // sort buffers hold the partition
+  sort.min_mem_fraction = 0.08;       // ExternalSorter spills to disk freely
+  w.stages.push_back(sort);
+  return w;
+}
+
+WorkloadSpec page_rank(double million_pages) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kPageRank;
+  w.input_mb = million_pages * 1400.0;  // HiBench edge lists, ~1.4 GB/Mpage
+  w.compressibility = 0.6;
+  w.java_ser_bloat = 1.9;   // linked graph structures bloat badly
+  w.max_record_mb = 24.0;   // hub pages carry huge adjacency lists
+
+  const double links_mb = 1.1 * w.input_mb;
+  StageSpec load;
+  load.name = "load+cache-links";
+  load.hdfs_read_mb = w.input_mb;
+  load.cpu_ms_per_mb = 3.5;
+  load.cache_put_mb = links_mb;
+  load.shuffle_write_mb = 0.45 * w.input_mb;
+  load.ws_multiplier = 1.5;
+  load.min_mem_fraction = 0.3;
+  w.stages.push_back(load);
+
+  for (int i = 0; i < kPageRankIterations; ++i) {
+    StageSpec iter;
+    iter.name = "iteration-" + std::to_string(i + 1);
+    iter.shuffle_read_mb = 0.45 * w.input_mb;
+    iter.cache_get_mb = links_mb;
+    iter.cpu_ms_per_mb = 2.8;          // join + contribution aggregate
+    iter.shuffle_write_mb = 0.45 * w.input_mb;
+    iter.ws_multiplier = 1.7;          // co-grouped join buffers
+    iter.min_mem_fraction = 0.3;       // both relations of the join are live
+    if (i + 1 == kPageRankIterations) {
+      iter.hdfs_write_mb = 0.04 * w.input_mb;  // final ranks
+      iter.shuffle_write_mb = 0.0;
+    }
+    w.stages.push_back(iter);
+  }
+  return w;
+}
+
+WorkloadSpec k_means(double million_points) {
+  WorkloadSpec w;
+  w.type = WorkloadType::kKMeans;
+  // HiBench KMeans: ~20-dim double samples, ~160 MB per million points.
+  w.input_mb = million_points * 160.0;
+  w.compressibility = 0.35;
+  w.java_ser_bloat = 1.9;  // boxed vectors: the paper's OOM magnifier
+
+  StageSpec load;
+  load.name = "load+cache-points";
+  load.hdfs_read_mb = w.input_mb;
+  load.cpu_ms_per_mb = 2.0;
+  load.cache_put_mb = w.input_mb;
+  load.ws_multiplier = 1.2;
+  w.stages.push_back(load);
+
+  for (int i = 0; i < kKMeansIterations; ++i) {
+    StageSpec iter;
+    iter.name = "lloyd-iteration-" + std::to_string(i + 1);
+    iter.cache_get_mb = w.input_mb;
+    iter.cpu_ms_per_mb = 6.0;          // distance computation dominates
+    iter.shuffle_write_mb = 0.002 * w.input_mb;  // per-centroid partial sums
+    iter.broadcast_mb = 2.0;           // centroids to every executor
+    iter.ws_multiplier = 1.35;         // point batches + partial aggregates
+    w.stages.push_back(iter);
+  }
+
+  StageSpec write;
+  write.name = "write-model";
+  write.cache_get_mb = 0.02 * w.input_mb;
+  write.cpu_ms_per_mb = 1.0;
+  write.hdfs_write_mb = 0.01 * w.input_mb;
+  w.stages.push_back(write);
+  return w;
+}
+
+std::string size_label(WorkloadType type, double units) {
+  char buf[48];
+  switch (type) {
+    case WorkloadType::kWordCount:
+    case WorkloadType::kTeraSort:
+      std::snprintf(buf, sizeof buf, "%.1fGB", units);
+      break;
+    case WorkloadType::kPageRank:
+      std::snprintf(buf, sizeof buf, "%.1fMpages", units);
+      break;
+    case WorkloadType::kKMeans:
+      std::snprintf(buf, sizeof buf, "%.0fMpoints", units);
+      break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+WorkloadSpec make_workload(WorkloadType type, double input_units) {
+  if (input_units <= 0.0) {
+    throw std::invalid_argument("make_workload: non-positive input size");
+  }
+  WorkloadSpec w;
+  switch (type) {
+    case WorkloadType::kWordCount: w = word_count(input_units); break;
+    case WorkloadType::kTeraSort: w = tera_sort(input_units); break;
+    case WorkloadType::kPageRank: w = page_rank(input_units); break;
+    case WorkloadType::kKMeans: w = k_means(input_units); break;
+  }
+  w.name = to_string(type) + "(" + size_label(type, input_units) + ")";
+  return w;
+}
+
+const std::vector<HiBenchCase>& hibench_suite() {
+  static const std::vector<HiBenchCase> suite = [] {
+    std::vector<HiBenchCase> s;
+    auto add = [&](WorkloadType t, const char* prefix,
+                   std::initializer_list<double> sizes) {
+      int d = 1;
+      for (double size : sizes) {
+        s.push_back({t, d, size, std::string(prefix) + "-D" + std::to_string(d)});
+        ++d;
+      }
+    };
+    add(WorkloadType::kWordCount, "WC", {3.2, 10.0, 20.0});
+    add(WorkloadType::kTeraSort, "TS", {3.2, 6.0, 10.0});
+    add(WorkloadType::kPageRank, "PR", {0.5, 1.0, 1.6});
+    add(WorkloadType::kKMeans, "KM", {20.0, 30.0, 40.0});
+    return s;
+  }();
+  return suite;
+}
+
+const HiBenchCase& hibench_case(const std::string& id) {
+  for (const auto& c : hibench_suite()) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("hibench_case: unknown id " + id);
+}
+
+WorkloadSpec workload_for(const HiBenchCase& c) {
+  return make_workload(c.type, c.input_units);
+}
+
+}  // namespace deepcat::sparksim

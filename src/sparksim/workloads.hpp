@@ -1,0 +1,77 @@
+// The four HiBench applications the paper evaluates (Table 1), expressed
+// as stage DAGs over the simulator's cost primitives. Each generator
+// mirrors the real application's structure:
+//   WordCount - I/O-bound map + tiny aggregated shuffle
+//   TeraSort  - full-data shuffle + memory-hungry sort + replicated write
+//   PageRank  - iterative join/aggregate with a cached link structure
+//   KMeans    - iterative, CPU-heavy, whole-dataset cache; OOM-prone
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace deepcat::sparksim {
+
+enum class WorkloadType { kWordCount, kTeraSort, kPageRank, kKMeans };
+
+[[nodiscard]] std::string to_string(WorkloadType type);
+
+/// One Spark stage: data movement + compute demands used by the simulator.
+struct StageSpec {
+  std::string name;
+  double hdfs_read_mb = 0.0;
+  double hdfs_write_mb = 0.0;
+  double shuffle_read_mb = 0.0;   ///< pre-compression logical bytes
+  double shuffle_write_mb = 0.0;
+  double cpu_ms_per_mb = 1.0;     ///< CPU milliseconds per MB of stage input
+  double cache_put_mb = 0.0;      ///< inserted into the RDD cache
+  double cache_get_mb = 0.0;      ///< read back from the cache (recompute on miss)
+  double broadcast_mb = 0.0;      ///< driver-to-executor broadcast payload
+  double ws_multiplier = 1.2;     ///< working set per task vs its input share
+  /// Fraction of the working set that MUST be heap-resident even with full
+  /// spilling. Sort-like stages stream through ExternalSorter and need only
+  /// buffers (~0.1); hash aggregations and cache builds hold live object
+  /// graphs (~0.35) — the paper's KMeans OOM behaviour comes from here.
+  double min_mem_fraction = 0.35;
+
+  /// Bytes a task of this stage pulls through (drives task count & time).
+  [[nodiscard]] double input_mb() const noexcept {
+    return hdfs_read_mb + shuffle_read_mb + cache_get_mb;
+  }
+};
+
+struct WorkloadSpec {
+  WorkloadType type = WorkloadType::kWordCount;
+  std::string name;            ///< e.g. "TeraSort(3.2GB)"
+  double input_mb = 0.0;       ///< raw dataset size on HDFS
+  double compressibility = 0.5;///< 0 = incompressible, 1 = trivially compressible
+  double java_ser_bloat = 1.6; ///< in-memory object bloat with the Java serializer
+  double max_record_mb = 1.0;  ///< largest single record (Kryo buffer hazard)
+  std::vector<StageSpec> stages;
+};
+
+/// Builds a workload in the unit the paper's Table 1 uses:
+///   WordCount / TeraSort: gigabytes,
+///   PageRank: millions of pages,
+///   KMeans: millions of points.
+[[nodiscard]] WorkloadSpec make_workload(WorkloadType type,
+                                         double input_units);
+
+/// One (workload, dataset) pair of the paper's 12-case evaluation grid.
+struct HiBenchCase {
+  WorkloadType type;
+  int dataset_index;      ///< 1..3 (D1..D3)
+  double input_units;     ///< Table 1 value
+  std::string id;         ///< e.g. "TS-D1"
+};
+
+/// All 12 workload-input pairs from Table 1, ordered WC, TS, PR, KM.
+[[nodiscard]] const std::vector<HiBenchCase>& hibench_suite();
+
+/// Lookup by id ("WC-D2"); throws std::out_of_range if unknown.
+[[nodiscard]] const HiBenchCase& hibench_case(const std::string& id);
+
+/// Convenience: workload spec for a suite case.
+[[nodiscard]] WorkloadSpec workload_for(const HiBenchCase& c);
+
+}  // namespace deepcat::sparksim

@@ -1,0 +1,83 @@
+#include "sparksim/yarn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace deepcat::sparksim {
+
+YarnModel::YarnModel(const ClusterSpec& cluster, const ConfigValues& config)
+    : cluster_(&cluster), config_(&config) {}
+
+YarnAllocation YarnModel::allocate() const {
+  const ConfigValues& c = *config_;
+  YarnAllocation out;
+
+  const double exec_mem = c.get(KnobId::kExecutorMemoryMb);
+  const double overhead =
+      std::max(c.get(KnobId::kMemoryOverheadMb), 0.10 * exec_mem);
+  const double requested = exec_mem + overhead;
+
+  const double increment = std::max(1.0, c.get(KnobId::kSchedIncrementMb));
+  const double min_alloc = c.get(KnobId::kSchedMinAllocMb);
+  const double max_alloc = c.get(KnobId::kSchedMaxAllocMb);
+  const int max_vcores = c.get_int(KnobId::kSchedMaxAllocVcores);
+
+  // Round the ask up to the scheduler increment, then apply the floor.
+  double container = std::ceil(requested / increment) * increment;
+  container = std::max(container, min_alloc);
+
+  // Asks above the scheduler maxima are clipped to the boundary rather
+  // than rejected — the paper's own rule for out-of-scope recommendations
+  // (§5.3.2). The clipped executor keeps its overhead reservation and
+  // loses heap, so an over-ask still costs performance.
+  double exec_heap = exec_mem;
+  if (container > max_alloc) {
+    container = std::floor(max_alloc / increment) * increment;
+    container = std::max(container, min_alloc);
+    exec_heap = std::max(container - overhead, 512.0);
+  }
+  const int asked_cores =
+      std::min(c.get_int(KnobId::kExecutorCores), max_vcores);
+
+  // Per-node capacity from NodeManager limits AND physical hardware. A
+  // NodeManager advertising more memory than the box has will overcommit;
+  // we cap at physical to keep the failure mode in the memory model (OOM)
+  // rather than letting impossible capacity appear.
+  const NodeSpec& node = cluster_->nodes.front();
+  const double nm_mem = std::min(c.get(KnobId::kNmMemoryMb), node.memory_mb);
+  const int nm_vcores = std::min(c.get_int(KnobId::kNmVcores), node.cores);
+
+  // A container bigger than any NodeManager is clipped to node scope too
+  // (same §5.3.2 rule): the executor shrinks until it fits somewhere.
+  if (container > nm_mem) {
+    container = std::max(std::floor(nm_mem / increment) * increment,
+                         increment);
+    exec_heap = std::max(container - overhead, 512.0);
+  }
+
+  const int cores = std::max(1, std::min(asked_cores, nm_vcores));
+  const int by_mem = static_cast<int>(nm_mem / container);
+  const int by_cores = nm_vcores / cores;
+  const int per_node = std::max(0, std::min(by_mem, by_cores));
+
+  if (per_node == 0) {
+    out.reject_reason = "no NodeManager can fit one executor container";
+    return out;
+  }
+
+  const int cluster_capacity =
+      per_node * static_cast<int>(cluster_->num_nodes());
+  // One container-equivalent is reserved for the ApplicationMaster/driver.
+  const int usable = std::max(1, cluster_capacity - 1);
+
+  out.accepted = true;
+  out.executors = std::min(c.get_int(KnobId::kExecutorInstances), usable);
+  out.executor_cores = cores;
+  out.container_mb = container;
+  out.heap_mb = std::min(exec_heap, container);
+  out.overhead_mb = container - out.heap_mb;
+  out.vmem_limit_mb = container * c.get(KnobId::kVmemPmemRatio);
+  return out;
+}
+
+}  // namespace deepcat::sparksim

@@ -1,0 +1,41 @@
+// YARN container-allocation model. Decides how many executors the Spark
+// application actually gets — one of the strongest levers in the whole
+// space, and the place where mis-set YARN knobs silently cap or reject a
+// job exactly as they do on a real cluster.
+#pragma once
+
+#include <string>
+
+#include "sparksim/config_space.hpp"
+#include "sparksim/hardware.hpp"
+
+namespace deepcat::sparksim {
+
+/// Outcome of sizing the application's containers.
+struct YarnAllocation {
+  bool accepted = false;       ///< false => job cannot launch (oversized ask)
+  std::string reject_reason;
+  int executors = 0;           ///< granted executor count (cluster-wide)
+  int executor_cores = 0;      ///< vcores per executor actually granted
+  double container_mb = 0.0;   ///< memory granted per executor container
+  double heap_mb = 0.0;        ///< JVM heap inside the container
+  double overhead_mb = 0.0;    ///< off-heap overhead reservation
+  double vmem_limit_mb = 0.0;  ///< virtual-memory kill threshold
+};
+
+class YarnModel {
+ public:
+  YarnModel(const ClusterSpec& cluster, const ConfigValues& config);
+
+  /// Applies YARN's sizing rules to the Spark ask: round the request up to
+  /// the scheduler increment, clamp to [min, max] allocation, reject asks
+  /// above maximum-allocation-mb/-vcores, then fit containers per node by
+  /// both NodeManager memory and vcores, capped by the physical node.
+  [[nodiscard]] YarnAllocation allocate() const;
+
+ private:
+  const ClusterSpec* cluster_;
+  const ConfigValues* config_;
+};
+
+}  // namespace deepcat::sparksim

@@ -1,0 +1,106 @@
+#include "tuners/bestconfig.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace deepcat::tuners {
+
+BestConfigTuner::BestConfigTuner(BestConfigOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options.round_size <= 0) {
+    throw std::invalid_argument("BestConfigOptions: round_size <= 0");
+  }
+  if (options.shrink <= 0.0 || options.shrink >= 1.0) {
+    throw std::invalid_argument("BestConfigOptions: shrink must be in (0,1)");
+  }
+}
+
+std::vector<std::vector<double>> BestConfigTuner::dds_round(
+    const Bounds& bounds, int samples) {
+  const std::size_t dims = bounds.lo.size();
+  const auto n = static_cast<std::size_t>(samples);
+  // Per-dimension stratum permutations.
+  std::vector<std::vector<std::size_t>> strata(dims);
+  for (auto& perm : strata) {
+    perm.resize(n);
+    std::iota(perm.begin(), perm.end(), std::size_t{0});
+    rng_.shuffle(perm);
+  }
+  std::vector<std::vector<double>> round(n, std::vector<double>(dims));
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < dims; ++d) {
+      const double level =
+          (static_cast<double>(strata[d][s]) + rng_.uniform()) /
+          static_cast<double>(n);
+      round[s][d] =
+          common::lerp(bounds.lo[d], bounds.hi[d], level);
+    }
+  }
+  return round;
+}
+
+TuningReport BestConfigTuner::tune(sparksim::TuningEnvironment& env,
+                                   int num_steps) {
+  TuningReport report;
+  report.tuner_name = name();
+  report.workload_name = env.workload().name;
+
+  env.reset();
+  report.default_time = env.default_time();
+  env.reset_cost_counters();
+
+  const std::size_t dims = env.action_dim();
+  Bounds full{std::vector<double>(dims, 0.0), std::vector<double>(dims, 1.0)};
+  Bounds bounds = full;
+
+  double best_time = report.default_time;
+  std::vector<double> best_action;
+  int step = 0;
+  while (step < num_steps) {
+    const int this_round = std::min(options_.round_size, num_steps - step);
+    const auto round = dds_round(bounds, this_round);
+    bool improved = false;
+    for (const auto& action : round) {
+      const sparksim::StepResult res = env.step(action);
+      ++step;
+      TuningStepRecord rec;
+      rec.step = step;
+      rec.exec_seconds = res.exec_seconds;
+      rec.reward = res.reward;
+      rec.success = res.success;
+      rec.recommendation_seconds = 0.0;
+      rec.best_so_far = env.best_time();
+      report.steps.push_back(rec);
+      if (res.success && res.exec_seconds < best_time) {
+        best_time = res.exec_seconds;
+        best_action = action;
+        improved = true;
+      }
+    }
+    if (improved && !best_action.empty()) {
+      // Bound: shrink the search box around the incumbent.
+      for (std::size_t d = 0; d < dims; ++d) {
+        const double half =
+            0.5 * options_.shrink * (bounds.hi[d] - bounds.lo[d]);
+        bounds.lo[d] = common::clamp(best_action[d] - half, 0.0, 1.0);
+        bounds.hi[d] = common::clamp(best_action[d] + half, 0.0, 1.0);
+        if (bounds.hi[d] - bounds.lo[d] < 1e-6) {
+          bounds.lo[d] = common::clamp(best_action[d] - 1e-3, 0.0, 1.0);
+          bounds.hi[d] = common::clamp(best_action[d] + 1e-3, 0.0, 1.0);
+        }
+      }
+    } else {
+      // Diverge: restart from the whole space.
+      bounds = full;
+    }
+  }
+
+  report.best_time = env.best_time();
+  report.best_config = env.best_config();
+  return report;
+}
+
+}  // namespace deepcat::tuners

@@ -1,0 +1,46 @@
+// BestConfig-style search tuner (Zhu et al., SoCC 2017): divide-and-
+// diverge sampling (latin-hypercube over the current bounds) combined
+// with recursive bound-and-search (shrink the bounds around the best
+// point after a promising round; diverge back to the full space when a
+// round stalls). The paper's related-work discussion uses BestConfig as
+// the representative search-based method that "restarts from scratch
+// whenever a new tuning request comes" — included here as the search
+// baseline for that comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tuners/tuner.hpp"
+
+namespace deepcat::tuners {
+
+struct BestConfigOptions {
+  int round_size = 5;      ///< evaluations per DDS round
+  double shrink = 0.5;     ///< bound-shrink factor around the incumbent
+  std::uint64_t seed = 31337;
+};
+
+class BestConfigTuner final : public OnlineTuner {
+ public:
+  explicit BestConfigTuner(BestConfigOptions options = {});
+
+  [[nodiscard]] std::string name() const override { return "BestConfig"; }
+
+  TuningReport tune(sparksim::TuningEnvironment& env, int num_steps) override;
+
+ private:
+  struct Bounds {
+    std::vector<double> lo, hi;
+  };
+
+  /// Latin-hypercube style draw: one sample per stratum per dimension,
+  /// strata order permuted independently per dimension.
+  [[nodiscard]] std::vector<std::vector<double>> dds_round(
+      const Bounds& bounds, int samples);
+
+  BestConfigOptions options_;
+  common::Rng rng_;
+};
+
+}  // namespace deepcat::tuners

@@ -1,0 +1,103 @@
+#include "tuners/cdbtune.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace deepcat::tuners {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+CdbTuneTuner::CdbTuneTuner(CdbTuneOptions options)
+    : options_(std::move(options)), rng_(options_.seed) {}
+
+void CdbTuneTuner::ensure_agent(const sparksim::TuningEnvironment& env) {
+  if (agent_) return;
+  options_.ddpg.state_dim = env.state_dim();
+  options_.ddpg.action_dim = env.action_dim();
+  agent_ = std::make_unique<rl::DdpgAgent>(options_.ddpg, rng_);
+  replay_ = std::make_unique<rl::PrioritizedReplay>(options_.replay_capacity,
+                                                    options_.per);
+}
+
+rl::DdpgAgent& CdbTuneTuner::agent() {
+  if (!agent_) throw std::logic_error("CdbTuneTuner: agent not built yet");
+  return *agent_;
+}
+
+void CdbTuneTuner::train_offline(sparksim::TuningEnvironment& env,
+                                 std::size_t iterations) {
+  ensure_agent(env);
+  std::vector<double> state = env.reset();
+  for (std::size_t it = 0; it < iterations; ++it) {
+    std::vector<double> action;
+    if (replay_->size() < options_.warmup_steps) {
+      action.resize(env.action_dim());
+      for (double& a : action) a = rng_.uniform();
+    } else {
+      action = agent_->act_noisy(state, options_.offline_explore_sigma, rng_);
+    }
+    const sparksim::StepResult res = env.step(action);
+    const bool done = (it + 1) % options_.episode_length == 0;
+    replay_->add({state, action, res.reward, res.state, done});
+    if (replay_->size() >= options_.ddpg.batch_size) {
+      agent_->train_step(*replay_, rng_);
+    }
+    state = res.state;
+  }
+}
+
+TuningReport CdbTuneTuner::tune(sparksim::TuningEnvironment& env,
+                                int num_steps) {
+  ensure_agent(env);
+
+  TuningReport report;
+  report.tuner_name = name();
+  report.workload_name = env.workload().name;
+
+  std::vector<double> state = env.reset();
+  report.default_time = env.default_time();
+  env.reset_cost_counters();
+
+  for (int step = 1; step <= num_steps; ++step) {
+    const auto t0 = Clock::now();
+    // CDBTune evaluates the actor's recommendation as-is (plus a small
+    // exploration perturbation online) — every sub-optimal action pays a
+    // full configuration evaluation.
+    std::vector<double> action =
+        agent_->act_noisy(state, options_.online_explore_sigma, rng_);
+    double rec_seconds = elapsed_seconds(t0);
+
+    const sparksim::StepResult res = env.step(action);
+
+    const auto t1 = Clock::now();
+    replay_->add({state, action, res.reward, res.state, step == num_steps});
+    if (replay_->size() >= options_.ddpg.batch_size) {
+      for (std::size_t k = 0; k < options_.online_finetune_steps; ++k) {
+        agent_->train_step(*replay_, rng_);
+      }
+    }
+    rec_seconds += elapsed_seconds(t1);
+
+    TuningStepRecord rec;
+    rec.step = step;
+    rec.exec_seconds = res.exec_seconds;
+    rec.reward = res.reward;
+    rec.success = res.success;
+    rec.recommendation_seconds = rec_seconds;
+    rec.best_so_far = env.best_time();
+    report.steps.push_back(rec);
+
+    state = res.state;
+  }
+
+  report.best_time = env.best_time();
+  report.best_config = env.best_config();
+  return report;
+}
+
+}  // namespace deepcat::tuners

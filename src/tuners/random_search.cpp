@@ -1,0 +1,61 @@
+#include "tuners/random_search.hpp"
+
+#include <numeric>
+
+namespace deepcat::tuners {
+
+RandomSearchTuner::RandomSearchTuner(RandomSearchOptions options)
+    : options_(options), rng_(options.seed) {}
+
+TuningReport RandomSearchTuner::tune(sparksim::TuningEnvironment& env,
+                                     int num_steps) {
+  TuningReport report;
+  report.tuner_name = name();
+  report.workload_name = env.workload().name;
+
+  env.reset();
+  report.default_time = env.default_time();
+  env.reset_cost_counters();
+
+  // Latin-hypercube permutations for divide-and-diverge mode: one
+  // stratified level sequence per dimension.
+  std::vector<std::vector<std::size_t>> strata;
+  if (options_.divide_and_diverge && num_steps > 1) {
+    strata.assign(env.action_dim(), {});
+    for (auto& perm : strata) {
+      perm.resize(static_cast<std::size_t>(num_steps));
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      rng_.shuffle(perm);
+    }
+  }
+
+  for (int step = 1; step <= num_steps; ++step) {
+    std::vector<double> action(env.action_dim());
+    if (!strata.empty()) {
+      const auto n = static_cast<double>(num_steps);
+      for (std::size_t d = 0; d < action.size(); ++d) {
+        const double level =
+            static_cast<double>(strata[d][static_cast<std::size_t>(step - 1)]);
+        action[d] = (level + rng_.uniform()) / n;
+      }
+    } else {
+      for (double& a : action) a = rng_.uniform();
+    }
+
+    const sparksim::StepResult res = env.step(action);
+    TuningStepRecord rec;
+    rec.step = step;
+    rec.exec_seconds = res.exec_seconds;
+    rec.reward = res.reward;
+    rec.success = res.success;
+    rec.recommendation_seconds = 0.0;
+    rec.best_so_far = env.best_time();
+    report.steps.push_back(rec);
+  }
+
+  report.best_time = env.best_time();
+  report.best_config = env.best_config();
+  return report;
+}
+
+}  // namespace deepcat::tuners

@@ -1,0 +1,36 @@
+// Uniform random sampler over the knob cube. Used by the Fig. 2 harness
+// (CDF of 200 random configurations) and as a simple search baseline. Also
+// provides a BestConfig-flavored divide-and-diverge sampling mode that
+// stratifies each dimension.
+#pragma once
+
+#include <cstdint>
+
+#include "tuners/tuner.hpp"
+
+namespace deepcat::tuners {
+
+struct RandomSearchOptions {
+  /// When true, uses divide-and-diverge sampling (each knob's range is
+  /// split into `num_steps` intervals, sampled latin-hypercube style)
+  /// instead of plain uniform draws.
+  bool divide_and_diverge = false;
+  std::uint64_t seed = 2024;
+};
+
+class RandomSearchTuner final : public OnlineTuner {
+ public:
+  explicit RandomSearchTuner(RandomSearchOptions options = {});
+
+  [[nodiscard]] std::string name() const override {
+    return options_.divide_and_diverge ? "DDS-Random" : "Random";
+  }
+
+  TuningReport tune(sparksim::TuningEnvironment& env, int num_steps) override;
+
+ private:
+  RandomSearchOptions options_;
+  common::Rng rng_;
+};
+
+}  // namespace deepcat::tuners

@@ -1,0 +1,25 @@
+#include "tuners/tuner.hpp"
+
+namespace deepcat::tuners {
+
+double TuningReport::total_evaluation_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& s : steps) total += s.exec_seconds;
+  return total;
+}
+
+double TuningReport::total_recommendation_seconds() const noexcept {
+  double total = 0.0;
+  for (const auto& s : steps) total += s.recommendation_seconds;
+  return total;
+}
+
+double TuningReport::total_tuning_seconds() const noexcept {
+  return total_evaluation_seconds() + total_recommendation_seconds();
+}
+
+double TuningReport::speedup_over_default() const noexcept {
+  return best_time > 0.0 ? default_time / best_time : 0.0;
+}
+
+}  // namespace deepcat::tuners

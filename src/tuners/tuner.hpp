@@ -1,0 +1,60 @@
+// Common interface for online configuration auto-tuners, plus the tuning
+// report every experiment harness consumes. The cost accounting follows
+// the paper (§5.2.2): total online tuning time = sum of configuration
+// evaluation time (simulated seconds) + recommendation time (real seconds
+// the tuner spent deciding).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparksim/config_space.hpp"
+#include "sparksim/environment.hpp"
+
+namespace deepcat::tuners {
+
+struct TuningStepRecord {
+  int step = 0;                       ///< 1-based online step index
+  double exec_seconds = 0.0;          ///< evaluation cost of this step
+  double reward = 0.0;
+  bool success = false;
+  double recommendation_seconds = 0.0;///< wall-clock spent choosing the action
+  double best_so_far = 0.0;           ///< best exec time after this step
+};
+
+struct TuningReport {
+  std::string tuner_name;
+  std::string workload_name;
+  double default_time = 0.0;
+  double best_time = 0.0;
+  sparksim::ConfigValues best_config;
+  std::vector<TuningStepRecord> steps;
+
+  [[nodiscard]] double total_evaluation_seconds() const noexcept;
+  [[nodiscard]] double total_recommendation_seconds() const noexcept;
+  /// Evaluation + recommendation (the paper's "total online tuning time").
+  [[nodiscard]] double total_tuning_seconds() const noexcept;
+  [[nodiscard]] double speedup_over_default() const noexcept;
+};
+
+/// Termination rule for an online tuning session (paper §2: DeepCAT stops
+/// when the step constraint is hit OR the time budget is exhausted).
+struct TuneBudget {
+  int max_steps = 5;
+  double max_total_seconds = 1e18;  ///< evaluation + recommendation seconds
+};
+
+class OnlineTuner {
+ public:
+  virtual ~OnlineTuner() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Runs `num_steps` online tuning steps against `env` (which must be
+  /// freshly constructed; the tuner calls env.reset() itself) and reports
+  /// the best configuration found plus the full cost breakdown.
+  virtual TuningReport tune(sparksim::TuningEnvironment& env,
+                            int num_steps) = 0;
+};
+
+}  // namespace deepcat::tuners

@@ -1,0 +1,58 @@
+#include "cli/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::cli {
+namespace {
+
+TEST(ArgsTest, EmptyArgvIsEmptyCommand) {
+  const ParsedArgs args = parse_args({});
+  EXPECT_TRUE(args.command.empty());
+  EXPECT_TRUE(args.flags.empty());
+}
+
+TEST(ArgsTest, CommandOnly) {
+  const ParsedArgs args = parse_args({"knobs"});
+  EXPECT_EQ(args.command, "knobs");
+}
+
+TEST(ArgsTest, FlagsAndValues) {
+  const ParsedArgs args =
+      parse_args({"simulate", "--workload", "TS", "--size", "3.2"});
+  EXPECT_EQ(args.command, "simulate");
+  EXPECT_EQ(args.flag_or("workload", "?"), "TS");
+  EXPECT_DOUBLE_EQ(args.number_or("size", 0.0), 3.2);
+  EXPECT_EQ(args.flag("missing"), std::nullopt);
+  EXPECT_EQ(args.flag_or("missing", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(args.number_or("missing", 7.0), 7.0);
+}
+
+TEST(ArgsTest, SetAssignmentsAccumulate) {
+  const ParsedArgs args = parse_args(
+      {"simulate", "--set", "spark.executor.memory=6144", "--set",
+       "dfs.replication=1"});
+  ASSERT_EQ(args.assignments.size(), 2u);
+  EXPECT_EQ(args.assignments[0].first, "spark.executor.memory");
+  EXPECT_EQ(args.assignments[0].second, "6144");
+  EXPECT_EQ(args.assignments[1].first, "dfs.replication");
+  EXPECT_EQ(args.assignments[1].second, "1");
+}
+
+TEST(ArgsTest, MalformedInputsThrow) {
+  EXPECT_THROW((void)parse_args({"simulate", "--size"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"simulate", "--set", "novalue"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"simulate", "--set", "=5"}),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_args({"simulate", "stray"}),
+               std::invalid_argument);
+}
+
+TEST(ArgsTest, NumberOrRejectsGarbage) {
+  const ParsedArgs args = parse_args({"x", "--size", "abc"});
+  EXPECT_THROW((void)args.number_or("size", 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepcat::cli

@@ -1,0 +1,44 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, LogLineBelowLevelIsDropped) {
+  set_log_level(LogLevel::kError);
+  // Not observable on stderr from here, but must not crash or block.
+  log_line(LogLevel::kDebug, "dropped");
+  log_line(LogLevel::kInfo, "dropped");
+  log_line(LogLevel::kError, "emitted");
+}
+
+TEST_F(LoggingTest, StreamFlushesOnDestruction) {
+  set_log_level(LogLevel::kError);  // keep test output quiet
+  { LogStream(LogLevel::kInfo) << "value=" << 42 << " ok"; }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, MacrosCompileAndRun) {
+  set_log_level(LogLevel::kError);
+  DEEPCAT_LOG_INFO << "info message " << 1;
+  DEEPCAT_LOG_WARN << "warn message " << 2.5;
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace deepcat::common

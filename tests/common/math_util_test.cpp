@@ -1,0 +1,60 @@
+#include "common/math_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::common {
+namespace {
+
+TEST(MathUtilTest, ClampBounds) {
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clamp(1.0, 1.0, 1.0), 1.0);
+}
+
+TEST(MathUtilTest, LerpEndpointsExact) {
+  // The two-product form must hit the endpoints exactly even when a+(b-a)
+  // would round (the regression that once broke knob decoding at t = 1).
+  EXPECT_DOUBLE_EQ(lerp(0.3, 0.9, 0.0), 0.3);
+  EXPECT_DOUBLE_EQ(lerp(0.3, 0.9, 1.0), 0.9);
+  EXPECT_DOUBLE_EQ(lerp(-5.0, 5.0, 0.5), 0.0);
+}
+
+TEST(MathUtilTest, UnlerpInvertsLerp) {
+  const double lo = 512.0, hi = 14336.0;
+  for (double t : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_NEAR(unlerp(lo, hi, lerp(lo, hi, t)), t, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(unlerp(3.0, 3.0, 3.0), 0.0);  // degenerate range
+}
+
+TEST(MathUtilTest, SafeDiv) {
+  EXPECT_DOUBLE_EQ(safe_div(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(safe_div(10.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(safe_div(10.0, 0.0, -1.0), -1.0);
+}
+
+TEST(MathUtilTest, Sigmoid) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_GT(sigmoid(4.0), 0.95);
+  EXPECT_LT(sigmoid(-4.0), 0.05);
+  EXPECT_NEAR(sigmoid(2.0) + sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(MathUtilTest, AlmostEqual) {
+  EXPECT_TRUE(almost_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(almost_equal(1.0, 1.001));
+  EXPECT_TRUE(almost_equal(1e9, 1e9 * (1.0 + 1e-10)));
+  EXPECT_TRUE(almost_equal(0.0, 0.0));
+}
+
+TEST(MathUtilTest, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(ceil_div(9, 3), 3u);
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+  EXPECT_EQ(ceil_div(1, 1), 1u);
+  EXPECT_EQ(ceil_div(5, 0), 0u);  // guarded degenerate denominator
+}
+
+}  // namespace
+}  // namespace deepcat::common

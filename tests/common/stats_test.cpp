@@ -1,0 +1,171 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace deepcat::common {
+namespace {
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 6.2);
+  EXPECT_NEAR(rs.variance(), 37.2, 1e-9);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 16.0);
+}
+
+TEST(RunningStatsTest, EmptyIsSafe) {
+  const RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats rs;
+  rs.add(3.5);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeEqualsSinglePass) {
+  Rng rng(3);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 3.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  RunningStats a_copy = a;
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), a_copy.mean());
+  b.merge(a);  // empty lhs adopts rhs
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(StatsTest, BasicAggregates) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 6.0);
+  EXPECT_DOUBLE_EQ(min_of(xs), 1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), 1.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyAggregatesAreZero) {
+  const std::vector<double> xs;
+  EXPECT_DOUBLE_EQ(mean(xs), 0.0);
+  EXPECT_DOUBLE_EQ(sum(xs), 0.0);
+}
+
+TEST(PercentileTest, KnownValues) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 25.0);  // linear interpolation
+}
+
+TEST(PercentileTest, ClampsOutOfRangeP) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 300.0), 2.0);
+}
+
+TEST(PercentileTest, ThrowsOnEmpty) {
+  const std::vector<double> xs;
+  EXPECT_THROW((void)percentile(xs, 50.0), std::invalid_argument);
+}
+
+TEST(GeomeanTest, KnownValue) {
+  const std::vector<double> xs{1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(GeomeanTest, RejectsNonPositive) {
+  EXPECT_THROW((void)geomean(std::vector<double>{1.0, 0.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)geomean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(CdfTest, MonotoneAndNormalized) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 3.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cum_prob, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].cum_prob, cdf[i].cum_prob);
+  }
+}
+
+TEST(CdfTest, FractionBelow) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 2.5), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below({}, 1.0), 0.0);
+}
+
+TEST(CorrelationTest, PearsonPerfectLinear) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg = ys;
+  for (double& y : neg) y = -y;
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(CorrelationTest, PearsonConstantSideIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(CorrelationTest, SpearmanMonotoneNonlinear) {
+  // y = x^3 is perfectly rank-correlated but not linearly so.
+  std::vector<double> xs, ys;
+  for (int i = -5; i <= 5; ++i) {
+    xs.push_back(i);
+    ys.push_back(static_cast<double>(i * i * i));
+  }
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+  EXPECT_LT(pearson(xs, ys), 1.0);
+}
+
+TEST(CorrelationTest, SpearmanHandlesTies) {
+  const std::vector<double> xs{1.0, 2.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.5, 2.5, 4.0};
+  EXPECT_NEAR(spearman(xs, ys), 1.0, 1e-12);
+}
+
+TEST(CorrelationTest, SpearmanSizeMismatchThrows) {
+  EXPECT_THROW((void)spearman(std::vector<double>{1.0},
+                              std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepcat::common

@@ -1,0 +1,73 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace deepcat::common {
+namespace {
+
+TEST(TableTest, RendersTitleHeaderAndRows) {
+  Table t("Demo");
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAreAligned) {
+  Table t("Align");
+  t.header({"a", "b"});
+  t.row({"x", "longvalue"});
+  std::ostringstream os;
+  t.print(os);
+  // Every rendered line between rules must have equal length.
+  std::istringstream is(os.str());
+  std::string line;
+  std::getline(is, line);  // title
+  std::size_t width = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    if (width == 0) width = line.size();
+    EXPECT_EQ(line.size(), width) << line;
+  }
+}
+
+TEST(TableTest, NumRowsCounts) {
+  Table t("n");
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.row({"1"});
+  t.row({"2"});
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, CsvEscapesSpecials) {
+  Table t("csv");
+  t.header({"k", "v"});
+  t.row({"with,comma", "with\"quote"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "k,v\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(CellTest, FormatsNumbers) {
+  EXPECT_EQ(cell(3.14159, 2), "3.14");
+  EXPECT_EQ(cell(3.14159, 0), "3");
+  EXPECT_EQ(cell(std::size_t{42}), "42");
+  EXPECT_EQ(cell(-7), "-7");
+}
+
+TEST(CellTest, SpeedupAndPercent) {
+  EXPECT_EQ(speedup_cell(1.4499), "1.45x");
+  EXPECT_EQ(percent_cell(0.5008), "50.08%");
+  EXPECT_EQ(percent_cell(0.25, 0), "25%");
+}
+
+}  // namespace
+}  // namespace deepcat::common

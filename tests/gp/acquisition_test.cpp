@@ -1,0 +1,71 @@
+#include "gp/acquisition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcat::gp {
+namespace {
+
+TEST(NormTest, PdfKnownValues) {
+  EXPECT_NEAR(norm_pdf(0.0), 0.3989422804, 1e-9);
+  EXPECT_NEAR(norm_pdf(1.0), 0.2419707245, 1e-9);
+  EXPECT_DOUBLE_EQ(norm_pdf(1.0), norm_pdf(-1.0));
+}
+
+TEST(NormTest, CdfKnownValues) {
+  EXPECT_DOUBLE_EQ(norm_cdf(0.0), 0.5);
+  EXPECT_NEAR(norm_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(norm_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(norm_cdf(8.0), 1.0, 1e-12);
+}
+
+TEST(EiTest, ZeroWhenVarianceZero) {
+  EXPECT_DOUBLE_EQ(expected_improvement({.mean = 0.0, .variance = 0.0}, 10.0),
+                   0.0);
+}
+
+TEST(EiTest, AlwaysNonNegative) {
+  for (double mean : {-5.0, 0.0, 5.0, 50.0}) {
+    for (double var : {0.01, 1.0, 25.0}) {
+      EXPECT_GE(expected_improvement({.mean = mean, .variance = var}, 1.0),
+                0.0);
+    }
+  }
+}
+
+TEST(EiTest, PrefersLowerPredictedMean) {
+  // Minimization: a candidate predicted faster (lower mean) has higher EI.
+  const double best = 100.0;
+  const double ei_good =
+      expected_improvement({.mean = 50.0, .variance = 4.0}, best);
+  const double ei_bad =
+      expected_improvement({.mean = 99.0, .variance = 4.0}, best);
+  EXPECT_GT(ei_good, ei_bad);
+}
+
+TEST(EiTest, UncertaintyAddsValueWhenMeansEqual) {
+  const double best = 10.0;
+  const double ei_uncertain =
+      expected_improvement({.mean = 10.0, .variance = 9.0}, best);
+  const double ei_confident =
+      expected_improvement({.mean = 10.0, .variance = 0.01}, best);
+  EXPECT_GT(ei_uncertain, ei_confident);
+}
+
+TEST(EiTest, DeepImprovementApproachesExpectedGap) {
+  // When the candidate is far better than best with tiny variance,
+  // EI -> (best - mean - xi).
+  const double ei =
+      expected_improvement({.mean = 1.0, .variance = 1e-6}, 10.0, 0.01);
+  EXPECT_NEAR(ei, 9.0 - 0.01, 1e-3);
+}
+
+TEST(EiTest, XiShiftsExplorationMargin) {
+  const GpPrediction p{.mean = 9.5, .variance = 0.25};
+  EXPECT_GT(expected_improvement(p, 10.0, 0.0),
+            expected_improvement(p, 10.0, 0.4));
+}
+
+}  // namespace
+}  // namespace deepcat::gp

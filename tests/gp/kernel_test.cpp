@@ -1,0 +1,78 @@
+#include "gp/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace deepcat::gp {
+namespace {
+
+const std::vector<double> kX{0.1, 0.2, 0.3};
+const std::vector<double> kY{0.4, 0.0, 0.9};
+
+TEST(KernelTest, SelfCovarianceIsSignalVariance) {
+  const RbfKernel rbf(1.0, 2.5);
+  EXPECT_DOUBLE_EQ(rbf(kX, kX), 2.5);
+  const Matern52Kernel matern(1.0, 1.75);
+  EXPECT_DOUBLE_EQ(matern(kX, kX), 1.75);
+}
+
+TEST(KernelTest, Symmetry) {
+  const RbfKernel rbf(0.7);
+  EXPECT_DOUBLE_EQ(rbf(kX, kY), rbf(kY, kX));
+  const Matern52Kernel matern(0.7);
+  EXPECT_DOUBLE_EQ(matern(kX, kY), matern(kY, kX));
+}
+
+TEST(KernelTest, DecaysWithDistance) {
+  const RbfKernel rbf(1.0);
+  const Matern52Kernel matern(1.0);
+  const std::vector<double> near{0.1, 0.2, 0.3};
+  const std::vector<double> mid{0.6, 0.6, 0.6};
+  const std::vector<double> far{3.0, 3.0, 3.0};
+  EXPECT_GT(rbf(kX, near), rbf(kX, mid));
+  EXPECT_GT(rbf(kX, mid), rbf(kX, far));
+  EXPECT_GT(matern(kX, near), matern(kX, mid));
+  EXPECT_GT(matern(kX, mid), matern(kX, far));
+}
+
+TEST(KernelTest, ValuesBoundedBySignalVariance) {
+  const RbfKernel rbf(0.5, 3.0);
+  EXPECT_LE(rbf(kX, kY), 3.0);
+  EXPECT_GT(rbf(kX, kY), 0.0);
+}
+
+TEST(KernelTest, LongerLengthScaleIsSmoother) {
+  const RbfKernel tight(0.2);
+  const RbfKernel loose(5.0);
+  EXPECT_LT(tight(kX, kY), loose(kX, kY));
+}
+
+TEST(KernelTest, RbfKnownValue) {
+  const RbfKernel rbf(1.0, 1.0);
+  const std::vector<double> zero{0.0};
+  const std::vector<double> one{1.0};
+  EXPECT_NEAR(rbf(zero, one), std::exp(-0.5), 1e-12);
+}
+
+TEST(KernelTest, RejectsBadLengthScale) {
+  EXPECT_THROW(RbfKernel(0.0), std::invalid_argument);
+  EXPECT_THROW(Matern52Kernel(-1.0), std::invalid_argument);
+}
+
+TEST(KernelTest, DimensionMismatchThrows) {
+  const RbfKernel rbf(1.0);
+  const std::vector<double> shorter{0.1};
+  EXPECT_THROW((void)rbf(kX, shorter), std::invalid_argument);
+}
+
+TEST(KernelTest, CloneBehavesIdentically) {
+  const Matern52Kernel matern(0.8, 1.3);
+  const auto copy = matern.clone();
+  EXPECT_DOUBLE_EQ((*copy)(kX, kY), matern(kX, kY));
+  EXPECT_EQ(copy->name(), "matern52");
+}
+
+}  // namespace
+}  // namespace deepcat::gp

@@ -1,0 +1,64 @@
+// Log-marginal-likelihood-based model selection — the machinery behind
+// OtterTune's per-step GP retraining cost.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "gp/gp_regressor.hpp"
+
+namespace deepcat::gp {
+namespace {
+
+TEST(LmlTest, ThrowsBeforeFit) {
+  GpRegressor gp(std::make_unique<RbfKernel>(1.0));
+  EXPECT_THROW((void)gp.log_marginal_likelihood(), std::logic_error);
+}
+
+TEST(LmlTest, FiniteAfterFit) {
+  nn::Matrix x(3, 1);
+  x(1, 0) = 0.5;
+  x(2, 0) = 1.0;
+  GpRegressor gp(std::make_unique<RbfKernel>(0.5), 1e-4);
+  gp.fit(x, std::vector<double>{1.0, 2.0, 3.0});
+  EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood()));
+}
+
+TEST(LmlTest, PrefersMatchingLengthScale) {
+  // Data generated from a smooth function with characteristic scale ~0.5:
+  // the LML of a wildly mismatched tiny length scale must be lower.
+  common::Rng rng(5);
+  const std::size_t n = 40;
+  nn::Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x(i, 0) = rng.uniform();
+    y[i] = std::sin(4.0 * x(i, 0)) + 0.01 * rng.normal();
+  }
+  auto lml_for = [&](double length_scale) {
+    GpRegressor gp(std::make_unique<Matern52Kernel>(length_scale, 1.0), 1e-3);
+    gp.fit(x, y);
+    return gp.log_marginal_likelihood();
+  };
+  const double good = lml_for(0.5);
+  const double too_tiny = lml_for(0.005);
+  EXPECT_GT(good, too_tiny);
+}
+
+TEST(LmlTest, MoreDataMoreEvidence) {
+  // LML is a log-density over n points: magnitude grows with n; the call
+  // must stay stable for the sizes OtterTune uses.
+  common::Rng rng(6);
+  for (std::size_t n : {10u, 100u, 300u}) {
+    nn::Matrix x(n, 4);
+    std::vector<double> y(n);
+    for (double& v : x.flat()) v = rng.uniform();
+    for (double& v : y) v = rng.uniform(50.0, 100.0);
+    GpRegressor gp(std::make_unique<Matern52Kernel>(1.8, 1.0), 0.05);
+    gp.fit(x, y);
+    EXPECT_TRUE(std::isfinite(gp.log_marginal_likelihood())) << n;
+  }
+}
+
+}  // namespace
+}  // namespace deepcat::gp

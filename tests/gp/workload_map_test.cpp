@@ -1,0 +1,76 @@
+#include "gp/workload_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace deepcat::gp {
+namespace {
+
+Observation obs(std::vector<double> metrics, double perf = 1.0) {
+  return {{0.5, 0.5}, std::move(metrics), perf};
+}
+
+TEST(WorkloadRepoTest, StartsEmpty) {
+  const WorkloadRepository repo;
+  EXPECT_TRUE(repo.empty());
+  EXPECT_EQ(repo.num_workloads(), 0u);
+}
+
+TEST(WorkloadRepoTest, AddGroupsById) {
+  WorkloadRepository repo;
+  repo.add("a", obs({1.0, 1.0}));
+  repo.add("a", obs({1.1, 0.9}));
+  repo.add("b", obs({5.0, 5.0}));
+  EXPECT_EQ(repo.num_workloads(), 2u);
+  EXPECT_EQ(repo.observations("a").size(), 2u);
+  EXPECT_EQ(repo.observations("b").size(), 1u);
+}
+
+TEST(WorkloadRepoTest, UnknownIdThrows) {
+  WorkloadRepository repo;
+  repo.add("a", obs({1.0}));
+  EXPECT_THROW((void)repo.observations("zzz"), std::out_of_range);
+}
+
+TEST(WorkloadRepoTest, NearestOnEmptyThrows) {
+  const WorkloadRepository repo;
+  EXPECT_THROW((void)repo.nearest_workload(std::vector<double>{1.0}),
+               std::logic_error);
+}
+
+TEST(WorkloadRepoTest, NearestPicksClosestCentroid) {
+  WorkloadRepository repo;
+  common::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    repo.add("cpu-bound", obs({2.0 + 0.1 * rng.normal(),
+                               0.2 + 0.02 * rng.normal()}));
+    repo.add("io-bound", obs({0.3 + 0.1 * rng.normal(),
+                              1.8 + 0.02 * rng.normal()}));
+  }
+  EXPECT_EQ(repo.nearest_workload(std::vector<double>{1.9, 0.25}),
+            "cpu-bound");
+  EXPECT_EQ(repo.nearest_workload(std::vector<double>{0.4, 1.7}), "io-bound");
+}
+
+TEST(WorkloadRepoTest, StandardizationBalancesScales) {
+  // Dimension 0 has huge spread; dimension 1 tiny but discriminative.
+  // Without per-dimension standardization the noisy dimension dominates.
+  WorkloadRepository repo;
+  common::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    repo.add("w1", obs({rng.uniform(0.0, 100.0), 1.00 + 0.001 * rng.normal()}));
+    repo.add("w2", obs({rng.uniform(0.0, 100.0), 1.10 + 0.001 * rng.normal()}));
+  }
+  EXPECT_EQ(repo.nearest_workload(std::vector<double>{50.0, 1.001}), "w1");
+  EXPECT_EQ(repo.nearest_workload(std::vector<double>{50.0, 1.099}), "w2");
+}
+
+TEST(WorkloadRepoTest, SingleWorkloadIsAlwaysNearest) {
+  WorkloadRepository repo;
+  repo.add("only", obs({1.0, 2.0}));
+  EXPECT_EQ(repo.nearest_workload(std::vector<double>{100.0, -50.0}), "only");
+}
+
+}  // namespace
+}  // namespace deepcat::gp

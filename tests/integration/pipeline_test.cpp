@@ -1,0 +1,120 @@
+// Cross-module integration tests: the full DeepCAT pipeline against the
+// simulated cluster, and head-to-head sanity vs. uninformed search. These
+// are statistical smoke versions of the paper's headline claims; the full
+// experiments live in bench/.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "sparksim/environment.hpp"
+#include "tuners/cdbtune.hpp"
+#include "tuners/deepcat.hpp"
+#include "tuners/random_search.hpp"
+
+namespace deepcat {
+namespace {
+
+using sparksim::TuningEnvironment;
+using sparksim::WorkloadType;
+
+TuningEnvironment ts_env(std::uint64_t seed) {
+  return TuningEnvironment(sparksim::cluster_a(),
+                           sparksim::make_workload(WorkloadType::kTeraSort, 3.2),
+                           {.seed = seed});
+}
+
+TEST(PipelineIntegrationTest, TrainedDeepCatBeatsRandomFiveStepBudget) {
+  tuners::DeepCatOptions o;
+  o.td3.hidden = {48, 48};
+  o.seed = 21;
+  tuners::DeepCatTuner deepcat(o);
+  TuningEnvironment train = ts_env(21);
+  (void)deepcat.train_offline(train, 900);
+
+  double deepcat_best = 0.0, random_best = 0.0;
+  const int trials = 3;
+  for (int t = 0; t < trials; ++t) {
+    TuningEnvironment env_a = ts_env(100 + static_cast<std::uint64_t>(t));
+    deepcat_best += deepcat.tune(env_a, 5).best_time;
+    TuningEnvironment env_b = ts_env(100 + static_cast<std::uint64_t>(t));
+    tuners::RandomSearchTuner random(
+        {.seed = 200 + static_cast<std::uint64_t>(t)});
+    random_best += random.tune(env_b, 5).best_time;
+  }
+  EXPECT_LT(deepcat_best, random_best);
+}
+
+TEST(PipelineIntegrationTest, OfflineTwinQTracksRealReward) {
+  // Paper Fig. 3: min(Q1,Q2) trends with the real reward. We check rank
+  // correlation over the later (post-warmup) half of training.
+  tuners::DeepCatOptions o;
+  o.td3.hidden = {48, 48};
+  o.seed = 22;
+  tuners::DeepCatTuner tuner(o);
+  TuningEnvironment env = ts_env(22);
+  const auto trace = tuner.train_offline(env, 900);
+
+  std::vector<double> q, r;
+  for (std::size_t i = trace.size() / 2; i < trace.size(); ++i) {
+    q.push_back(trace[i].min_q);
+    r.push_back(trace[i].reward);
+  }
+  EXPECT_GT(common::spearman(q, r), 0.2);
+}
+
+TEST(PipelineIntegrationTest, RdperFillsBothPoolsDuringTraining) {
+  tuners::DeepCatOptions o;
+  o.td3.hidden = {32, 32};
+  o.seed = 23;
+  o.rdper.reward_threshold = -1.0;  // achievable split point
+  tuners::DeepCatTuner tuner(o);
+  TuningEnvironment env = ts_env(23);
+  const auto trace = tuner.train_offline(env, 400);
+  int above = 0, below = 0;
+  for (const auto& rec : trace) {
+    (rec.reward >= -1.0 ? above : below)++;
+  }
+  EXPECT_GT(above, 0);
+  EXPECT_GT(below, 0);
+}
+
+TEST(PipelineIntegrationTest, FineTunedModelTransfersAcrossInputSizes) {
+  // Train on TS-D1, tune TS-D2: the model must still beat default.
+  tuners::DeepCatOptions o;
+  o.td3.hidden = {48, 48};
+  o.seed = 24;
+  tuners::DeepCatTuner tuner(o);
+  TuningEnvironment train = ts_env(24);
+  (void)tuner.train_offline(train, 900);
+
+  TuningEnvironment env(sparksim::cluster_a(),
+                        sparksim::make_workload(WorkloadType::kTeraSort, 6.0),
+                        {.seed = 25});
+  const auto report = tuner.tune(env, 5);
+  EXPECT_LT(report.best_time, report.default_time * 0.6);
+}
+
+TEST(PipelineIntegrationTest, DeepCatAndCdbTuneBothImproveOverDefault) {
+  tuners::DeepCatOptions dco;
+  dco.td3.hidden = {48, 48};
+  dco.seed = 26;
+  tuners::DeepCatTuner deepcat(dco);
+  TuningEnvironment t1 = ts_env(26);
+  (void)deepcat.train_offline(t1, 700);
+
+  tuners::CdbTuneOptions cdo;
+  cdo.ddpg.hidden = {48, 48};
+  cdo.seed = 27;
+  tuners::CdbTuneTuner cdbtune(cdo);
+  TuningEnvironment t2 = ts_env(26);
+  cdbtune.train_offline(t2, 700);
+
+  TuningEnvironment e1 = ts_env(300);
+  const auto r1 = deepcat.tune(e1, 5);
+  TuningEnvironment e2 = ts_env(300);
+  const auto r2 = cdbtune.tune(e2, 5);
+  EXPECT_LT(r1.best_time, r1.default_time * 0.6);
+  EXPECT_LT(r2.best_time, r2.default_time * 0.6);
+}
+
+}  // namespace
+}  // namespace deepcat

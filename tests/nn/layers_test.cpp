@@ -1,0 +1,170 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+
+namespace deepcat::nn {
+namespace {
+
+// Central-difference numerical gradient check of dL/dx for any layer,
+// with L = sum(y * g) for a fixed random g (so dL/dy = g).
+void check_input_gradient(Layer& layer, std::size_t in_features,
+                          std::uint64_t seed, double tol = 1e-5) {
+  common::Rng rng(seed);
+  Matrix x(3, in_features);
+  for (double& v : x.flat()) v = rng.normal(0.0, 0.7);
+  Matrix g(3, layer.forward(x).cols());
+  for (double& v : g.flat()) v = rng.normal();
+
+  (void)layer.forward(x);
+  const Matrix dx = layer.backward(g);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    Matrix xp = x, xm = x;
+    xp.flat()[i] += eps;
+    xm.flat()[i] -= eps;
+    const Matrix yp = layer.forward(xp);
+    const Matrix ym = layer.forward(xm);
+    double lp = 0.0, lm = 0.0;
+    for (std::size_t k = 0; k < yp.size(); ++k) {
+      lp += yp.flat()[k] * g.flat()[k];
+      lm += ym.flat()[k] * g.flat()[k];
+    }
+    const double numeric = (lp - lm) / (2.0 * eps);
+    // Re-prime the cache with the base input before the analytic compare.
+    EXPECT_NEAR(dx.flat()[i], numeric, tol) << "input index " << i;
+  }
+}
+
+TEST(LinearTest, ForwardComputesAffine) {
+  common::Rng rng(1);
+  Linear lin(2, 2, rng);
+  lin.weights() = Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  lin.bias() = Matrix{{0.5, -0.5}};
+  const Matrix y = lin.forward(Matrix{{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(y(0, 0), 4.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), 5.5);
+}
+
+TEST(LinearTest, InputGradientMatchesNumeric) {
+  common::Rng rng(2);
+  Linear lin(4, 3, rng);
+  check_input_gradient(lin, 4, 99);
+}
+
+TEST(LinearTest, ParameterGradientsMatchNumeric) {
+  common::Rng rng(3);
+  Linear lin(3, 2, rng);
+  Matrix x(2, 3);
+  for (double& v : x.flat()) v = rng.normal();
+  Matrix g(2, 2);
+  for (double& v : g.flat()) v = rng.normal();
+
+  lin.zero_grad();
+  (void)lin.forward(x);
+  (void)lin.backward(g);
+  auto params = lin.params();
+  ASSERT_EQ(params.size(), 2u);
+
+  const double eps = 1e-6;
+  for (auto& p : params) {
+    for (std::size_t i = 0; i < p.value->size(); ++i) {
+      const double orig = p.value->flat()[i];
+      p.value->flat()[i] = orig + eps;
+      const Matrix yp = lin.forward(x);
+      p.value->flat()[i] = orig - eps;
+      const Matrix ym = lin.forward(x);
+      p.value->flat()[i] = orig;
+      double lp = 0.0, lm = 0.0;
+      for (std::size_t k = 0; k < yp.size(); ++k) {
+        lp += yp.flat()[k] * g.flat()[k];
+        lm += ym.flat()[k] * g.flat()[k];
+      }
+      EXPECT_NEAR(p.grad->flat()[i], (lp - lm) / (2.0 * eps), 1e-5)
+          << p.name << "[" << i << "]";
+    }
+  }
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwardCalls) {
+  common::Rng rng(4);
+  Linear lin(2, 2, rng);
+  Matrix x(1, 2, 1.0);
+  Matrix g(1, 2, 1.0);
+  lin.zero_grad();
+  (void)lin.forward(x);
+  (void)lin.backward(g);
+  const double once = lin.params()[0].grad->flat()[0];
+  (void)lin.forward(x);
+  (void)lin.backward(g);
+  EXPECT_NEAR(lin.params()[0].grad->flat()[0], 2.0 * once, 1e-12);
+  lin.zero_grad();
+  EXPECT_DOUBLE_EQ(lin.params()[0].grad->flat()[0], 0.0);
+}
+
+TEST(LinearTest, CloneIsDeepCopy) {
+  common::Rng rng(5);
+  Linear lin(2, 2, rng);
+  auto copy = lin.clone();
+  auto* copy_lin = dynamic_cast<Linear*>(copy.get());
+  ASSERT_NE(copy_lin, nullptr);
+  EXPECT_EQ(copy_lin->weights(), lin.weights());
+  lin.weights()(0, 0) += 1.0;
+  EXPECT_NE(copy_lin->weights(), lin.weights());
+}
+
+TEST(ReLUTest, ForwardClampsNegatives) {
+  ReLU relu;
+  const Matrix y = relu.forward(Matrix{{-1.0, 0.0, 2.0}});
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(y(0, 2), 2.0);
+}
+
+TEST(ReLUTest, GradientMatchesNumeric) {
+  ReLU relu;
+  check_input_gradient(relu, 5, 7);
+}
+
+TEST(TanhTest, ForwardAndRange) {
+  Tanh tanh_layer;
+  const Matrix y = tanh_layer.forward(Matrix{{-100.0, 0.0, 100.0}});
+  EXPECT_NEAR(y(0, 0), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(y(0, 1), 0.0);
+  EXPECT_NEAR(y(0, 2), 1.0, 1e-12);
+}
+
+TEST(TanhTest, GradientMatchesNumeric) {
+  Tanh tanh_layer;
+  check_input_gradient(tanh_layer, 4, 8);
+}
+
+TEST(SigmoidTest, ForwardValues) {
+  Sigmoid sig;
+  const Matrix y = sig.forward(Matrix{{0.0, 100.0, -100.0}});
+  EXPECT_DOUBLE_EQ(y(0, 0), 0.5);
+  EXPECT_NEAR(y(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(y(0, 2), 0.0, 1e-12);
+}
+
+TEST(SigmoidTest, GradientMatchesNumeric) {
+  Sigmoid sig;
+  check_input_gradient(sig, 4, 9);
+}
+
+TEST(LayerTest, Names) {
+  common::Rng rng(6);
+  EXPECT_EQ(Linear(1, 1, rng).name(), "Linear");
+  EXPECT_EQ(ReLU().name(), "ReLU");
+  EXPECT_EQ(Tanh().name(), "Tanh");
+  EXPECT_EQ(Sigmoid().name(), "Sigmoid");
+}
+
+}  // namespace
+}  // namespace deepcat::nn

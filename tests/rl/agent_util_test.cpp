@@ -1,0 +1,88 @@
+#include "rl/agent_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::rl {
+namespace {
+
+std::vector<Transition> sample_transitions() {
+  return {
+      {{1.0, 2.0}, {0.1, 0.2, 0.3}, 0.5, {3.0, 4.0}, false},
+      {{5.0, 6.0}, {0.4, 0.5, 0.6}, -1.5, {7.0, 8.0}, true},
+  };
+}
+
+std::vector<const Transition*> ptrs(const std::vector<Transition>& ts) {
+  std::vector<const Transition*> out;
+  for (const auto& t : ts) out.push_back(&t);
+  return out;
+}
+
+TEST(AgentUtilTest, PacksStates) {
+  const auto ts = sample_transitions();
+  const nn::Matrix s = states_of(ptrs(ts));
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.cols(), 2u);
+  EXPECT_DOUBLE_EQ(s(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 6.0);
+}
+
+TEST(AgentUtilTest, PacksActionsNextStatesRewardsDones) {
+  const auto ts = sample_transitions();
+  const auto p = ptrs(ts);
+  const nn::Matrix a = actions_of(p);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_DOUBLE_EQ(a(1, 2), 0.6);
+  const nn::Matrix s2 = next_states_of(p);
+  EXPECT_DOUBLE_EQ(s2(0, 1), 4.0);
+  const nn::Matrix r = rewards_of(p);
+  EXPECT_EQ(r.cols(), 1u);
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(r(1, 0), -1.5);
+  const nn::Matrix d = dones_of(p);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 1.0);
+}
+
+TEST(AgentUtilTest, EmptyBatchThrows) {
+  const std::vector<const Transition*> empty;
+  EXPECT_THROW((void)states_of(empty), std::invalid_argument);
+}
+
+TEST(AgentUtilTest, RaggedBatchThrows) {
+  std::vector<Transition> ts = sample_transitions();
+  ts[1].state = {1.0};  // wrong dimension
+  EXPECT_THROW((void)states_of(ptrs(ts)), std::invalid_argument);
+}
+
+TEST(AgentUtilTest, ConcatCols) {
+  const nn::Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const nn::Matrix b{{5.0}, {6.0}};
+  const nn::Matrix c = concat_cols(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 3.0);
+}
+
+TEST(AgentUtilTest, ConcatColsRowMismatchThrows) {
+  EXPECT_THROW((void)concat_cols(nn::Matrix(2, 2), nn::Matrix(3, 1)),
+               std::invalid_argument);
+}
+
+TEST(AgentUtilTest, RightCols) {
+  const nn::Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const nn::Matrix r = right_cols(m, 2);
+  EXPECT_EQ(r.cols(), 2u);
+  EXPECT_DOUBLE_EQ(r(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(r(1, 1), 6.0);
+  EXPECT_THROW((void)right_cols(m, 4), std::invalid_argument);
+}
+
+TEST(AgentUtilTest, RightColsFullWidthIsIdentity) {
+  const nn::Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(right_cols(m, 2), m);
+}
+
+}  // namespace
+}  // namespace deepcat::rl

@@ -1,0 +1,112 @@
+#include "rl/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcat::rl {
+namespace {
+
+TEST(GaussianNoiseTest, SampleMomentsMatchSigma) {
+  GaussianNoise noise(1, 0.5);
+  common::Rng rng(1);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) {
+    const double x = noise.sample(rng)[0];
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(std::sqrt(sum2 / n), 0.5, 0.01);
+}
+
+TEST(GaussianNoiseTest, SampleHasRequestedDims) {
+  GaussianNoise noise(7, 0.1);
+  common::Rng rng(2);
+  EXPECT_EQ(noise.sample(rng).size(), 7u);
+}
+
+TEST(GaussianNoiseTest, ApplyClampsToRange) {
+  GaussianNoise noise(3, 10.0);  // huge sigma forces clamping
+  common::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<double> action{0.5, 0.0, 1.0};
+    noise.apply(action, rng);
+    for (double a : action) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+TEST(GaussianNoiseTest, ZeroSigmaIsIdentity) {
+  GaussianNoise noise(2, 0.0);
+  common::Rng rng(4);
+  std::vector<double> action{0.3, 0.7};
+  noise.apply(action, rng);
+  EXPECT_DOUBLE_EQ(action[0], 0.3);
+  EXPECT_DOUBLE_EQ(action[1], 0.7);
+}
+
+TEST(GaussianNoiseTest, SetSigmaTakesEffect) {
+  GaussianNoise noise(1, 0.1);
+  noise.set_sigma(0.9);
+  EXPECT_DOUBLE_EQ(noise.sigma(), 0.9);
+}
+
+TEST(OuNoiseTest, MeanRevertsTowardMu) {
+  OrnsteinUhlenbeckNoise noise(1, /*theta=*/0.3, /*sigma=*/0.05, /*mu=*/0.0);
+  common::Rng rng(5);
+  // Long-run average should hover near mu.
+  double sum = 0.0;
+  const int n = 20'000;
+  for (int i = 0; i < n; ++i) sum += noise.sample(rng)[0];
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+}
+
+TEST(OuNoiseTest, SamplesAreTemporallyCorrelated) {
+  OrnsteinUhlenbeckNoise noise(1, 0.05, 0.1);
+  common::Rng rng(6);
+  // Lag-1 autocorrelation of an OU process with small theta is high.
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(noise.sample(rng)[0]);
+  double num = 0.0, den = 0.0, mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    num += (xs[i] - mean) * (xs[i - 1] - mean);
+  }
+  for (double x : xs) den += (x - mean) * (x - mean);
+  EXPECT_GT(num / den, 0.8);
+}
+
+TEST(OuNoiseTest, ResetReturnsToMu) {
+  OrnsteinUhlenbeckNoise noise(2, 0.15, 1.0, 0.25);
+  common::Rng rng(7);
+  (void)noise.sample(rng);
+  (void)noise.sample(rng);
+  noise.reset();
+  // theta*(mu-mu) drift is zero, so after reset the state was exactly mu
+  // before the next stochastic kick; verify via a zero-sigma process.
+  OrnsteinUhlenbeckNoise quiet(2, 0.15, 0.0, 0.25);
+  (void)quiet.sample(rng);
+  quiet.reset();
+  EXPECT_DOUBLE_EQ(quiet.sample(rng)[0], 0.25);
+}
+
+TEST(OuNoiseTest, ApplyClampsRange) {
+  OrnsteinUhlenbeckNoise noise(2, 0.15, 5.0);
+  common::Rng rng(8);
+  for (int i = 0; i < 50; ++i) {
+    std::vector<double> action{0.5, 0.5};
+    noise.apply(action, rng);
+    for (double a : action) {
+      EXPECT_GE(a, 0.0);
+      EXPECT_LE(a, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace deepcat::rl

@@ -1,0 +1,115 @@
+#include "rl/replay_per.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace deepcat::rl {
+namespace {
+
+Transition make_transition(double reward) {
+  return {{0.0}, {0.0}, reward, {0.0}, false};
+}
+
+TEST(PerTest, NewTransitionsGetMaxPriority) {
+  PrioritizedReplay buf(8);
+  buf.add(make_transition(0.0));
+  buf.add(make_transition(1.0));
+  // Both start at the same (max) priority: both must be sampleable.
+  EXPECT_GT(buf.priority_of(0), 0.0);
+  EXPECT_DOUBLE_EQ(buf.priority_of(0), buf.priority_of(1));
+}
+
+TEST(PerTest, HighTdErrorSampledMoreOften) {
+  PrioritizedReplay buf(4, {.alpha = 1.0, .beta0 = 1.0, .epsilon = 1e-6});
+  for (int i = 0; i < 4; ++i) buf.add(make_transition(i));
+  const std::vector<std::uint64_t> ids{0, 1, 2, 3};
+  const std::vector<double> tds{0.01, 0.01, 0.01, 1.0};
+  buf.update_priorities(ids, tds);
+
+  common::Rng rng(1);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 4000; ++i) {
+    const auto batch = buf.sample(4, rng);
+    for (auto id : batch.ids) counts[id]++;
+  }
+  EXPECT_GT(counts[3], counts[0] * 10);
+}
+
+TEST(PerTest, ImportanceWeightsCorrectForBias) {
+  PrioritizedReplay buf(4, {.alpha = 1.0, .beta0 = 1.0});
+  for (int i = 0; i < 4; ++i) buf.add(make_transition(i));
+  const std::vector<std::uint64_t> ids{0, 1, 2, 3};
+  const std::vector<double> tds{0.1, 0.1, 0.1, 2.0};
+  buf.update_priorities(ids, tds);
+
+  common::Rng rng(2);
+  const auto batch = buf.sample(32, rng);
+  // The over-sampled (high-priority) transition must carry a smaller
+  // weight than rarely sampled ones; max weight is normalized to 1.
+  double high_w = 1.0, low_w = 0.0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch.ids[i] == 3) high_w = batch.weights[i];
+    if (batch.ids[i] == 0) low_w = batch.weights[i];
+  }
+  EXPECT_LT(high_w, low_w);
+  for (double w : batch.weights) {
+    EXPECT_GT(w, 0.0);
+    EXPECT_LE(w, 1.0 + 1e-9);
+  }
+}
+
+TEST(PerTest, BetaAnnealsTowardOne) {
+  PrioritizedReplay buf(4, {.beta0 = 0.4, .beta_growth = 0.1});
+  buf.add(make_transition(0.0));
+  common::Rng rng(3);
+  EXPECT_DOUBLE_EQ(buf.beta(), 0.4);
+  for (int i = 0; i < 10; ++i) (void)buf.sample(2, rng);
+  EXPECT_DOUBLE_EQ(buf.beta(), 1.0);  // clamped
+}
+
+TEST(PerTest, PriorityClippedAtMax) {
+  PrioritizedReplay buf(2, {.alpha = 1.0, .epsilon = 0.0, .max_priority = 5.0});
+  buf.add(make_transition(0.0));
+  const std::vector<std::uint64_t> ids{0};
+  const std::vector<double> tds{1e9};
+  buf.update_priorities(ids, tds);
+  EXPECT_DOUBLE_EQ(buf.priority_of(0), 5.0);
+}
+
+TEST(PerTest, NegativeTdErrorUsesMagnitude) {
+  PrioritizedReplay buf(2, {.alpha = 1.0, .epsilon = 0.0});
+  buf.add(make_transition(0.0));
+  const std::vector<std::uint64_t> ids{0};
+  const std::vector<double> tds{-2.0};
+  buf.update_priorities(ids, tds);
+  EXPECT_DOUBLE_EQ(buf.priority_of(0), 2.0);
+}
+
+TEST(PerTest, UpdateSizeMismatchThrows) {
+  PrioritizedReplay buf(2);
+  buf.add(make_transition(0.0));
+  const std::vector<std::uint64_t> ids{0};
+  const std::vector<double> tds{1.0, 2.0};
+  EXPECT_THROW(buf.update_priorities(ids, tds), std::invalid_argument);
+}
+
+TEST(PerTest, RingOverwriteKeepsTreeConsistent) {
+  PrioritizedReplay buf(2);
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(i));
+  EXPECT_EQ(buf.size(), 2u);
+  common::Rng rng(4);
+  const auto batch = buf.sample(8, rng);
+  for (const auto* t : batch.transitions) {
+    EXPECT_GE(t->reward, 3.0);  // only the two newest survive
+  }
+}
+
+TEST(PerTest, SampleOnEmptyThrows) {
+  PrioritizedReplay buf(2);
+  common::Rng rng(5);
+  EXPECT_THROW((void)buf.sample(1, rng), std::logic_error);
+}
+
+}  // namespace
+}  // namespace deepcat::rl

@@ -1,0 +1,120 @@
+#include "rl/replay_rdper.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::rl {
+namespace {
+
+Transition make_transition(double reward) {
+  return {{0.0}, {0.0}, reward, {0.0}, false};
+}
+
+TEST(RdperTest, RejectsBadConstruction) {
+  EXPECT_THROW(RdperReplay(0), std::invalid_argument);
+  EXPECT_THROW(RdperReplay(4, {.beta = 1.5}), std::invalid_argument);
+  EXPECT_THROW(RdperReplay(4, {.beta = -0.1}), std::invalid_argument);
+}
+
+TEST(RdperTest, RoutesByRewardThreshold) {
+  RdperReplay buf(8, {.reward_threshold = 0.0, .beta = 0.5});
+  buf.add(make_transition(0.5));    // high
+  buf.add(make_transition(0.0));    // boundary -> high (>=)
+  buf.add(make_transition(-0.1));   // low
+  EXPECT_EQ(buf.high_pool_size(), 2u);
+  EXPECT_EQ(buf.low_pool_size(), 1u);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(RdperTest, CustomThreshold) {
+  RdperReplay buf(8, {.reward_threshold = 1.0});
+  buf.add(make_transition(0.9));
+  buf.add(make_transition(1.0));
+  EXPECT_EQ(buf.high_pool_size(), 1u);
+  EXPECT_EQ(buf.low_pool_size(), 1u);
+}
+
+TEST(RdperTest, BatchHoldsBetaShareOfHighRewards) {
+  // The paper's guarantee (§3.3): beta*m samples come from P_high.
+  RdperReplay buf(64, {.reward_threshold = 0.0, .beta = 0.6});
+  for (int i = 0; i < 10; ++i) buf.add(make_transition(1.0));   // scarce highs
+  for (int i = 0; i < 50; ++i) buf.add(make_transition(-1.0));  // many lows
+  common::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto batch = buf.sample(20, rng);
+    int highs = 0;
+    for (const auto* t : batch.transitions) highs += (t->reward >= 0.0);
+    EXPECT_EQ(highs, 12);  // round(0.6 * 20) regardless of pool imbalance
+  }
+}
+
+TEST(RdperTest, BetaRoundsToNearest) {
+  RdperReplay buf(16, {.reward_threshold = 0.0, .beta = 0.5});
+  buf.add(make_transition(1.0));
+  buf.add(make_transition(-1.0));
+  common::Rng rng(2);
+  const auto batch = buf.sample(5, rng);  // 0.5*5 = 2.5 -> 3 (llround up)
+  int highs = 0;
+  for (const auto* t : batch.transitions) highs += (t->reward >= 0.0);
+  EXPECT_EQ(highs, 3);
+}
+
+TEST(RdperTest, FallsBackWhenHighPoolEmpty) {
+  RdperReplay buf(8, {.reward_threshold = 0.0, .beta = 0.6});
+  for (int i = 0; i < 4; ++i) buf.add(make_transition(-1.0));
+  common::Rng rng(3);
+  const auto batch = buf.sample(10, rng);
+  EXPECT_EQ(batch.size(), 10u);
+  for (const auto* t : batch.transitions) EXPECT_LT(t->reward, 0.0);
+}
+
+TEST(RdperTest, FallsBackWhenLowPoolEmpty) {
+  RdperReplay buf(8, {.reward_threshold = 0.0, .beta = 0.6});
+  for (int i = 0; i < 4; ++i) buf.add(make_transition(1.0));
+  common::Rng rng(4);
+  const auto batch = buf.sample(10, rng);
+  EXPECT_EQ(batch.size(), 10u);
+  for (const auto* t : batch.transitions) EXPECT_GT(t->reward, 0.0);
+}
+
+TEST(RdperTest, SampleOnEmptyThrows) {
+  RdperReplay buf(8);
+  common::Rng rng(5);
+  EXPECT_THROW((void)buf.sample(1, rng), std::logic_error);
+}
+
+TEST(RdperTest, PoolsEvictIndependently) {
+  RdperReplay buf(2, {.reward_threshold = 0.0});
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(10.0 + i));
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(-10.0 - i));
+  EXPECT_EQ(buf.high_pool_size(), 2u);
+  EXPECT_EQ(buf.low_pool_size(), 2u);
+  EXPECT_EQ(buf.capacity(), 4u);
+  common::Rng rng(6);
+  const auto batch = buf.sample(20, rng);
+  for (const auto* t : batch.transitions) {
+    // Oldest entries (10, 11 / -10, -11) must be gone.
+    EXPECT_TRUE(t->reward >= 13.0 || t->reward <= -13.0);
+  }
+}
+
+TEST(RdperTest, SetBetaValidatesAndApplies) {
+  RdperReplay buf(8, {.reward_threshold = 0.0, .beta = 0.5});
+  EXPECT_THROW(buf.set_beta(2.0), std::invalid_argument);
+  buf.set_beta(1.0);
+  buf.add(make_transition(1.0));
+  buf.add(make_transition(-1.0));
+  common::Rng rng(7);
+  const auto batch = buf.sample(8, rng);
+  for (const auto* t : batch.transitions) EXPECT_GT(t->reward, 0.0);
+}
+
+TEST(RdperTest, WeightsAreUnit) {
+  RdperReplay buf(8);
+  buf.add(make_transition(1.0));
+  common::Rng rng(8);
+  const auto batch = buf.sample(4, rng);
+  for (double w : batch.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+}  // namespace
+}  // namespace deepcat::rl

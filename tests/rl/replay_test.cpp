@@ -1,0 +1,98 @@
+#include "rl/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace deepcat::rl {
+namespace {
+
+Transition make_transition(double reward) {
+  return {{0.1, 0.2}, {0.5}, reward, {0.3, 0.4}, false};
+}
+
+TEST(UniformReplayTest, RejectsZeroCapacity) {
+  EXPECT_THROW(UniformReplay(0), std::invalid_argument);
+}
+
+TEST(UniformReplayTest, SizeGrowsToCapacity) {
+  UniformReplay buf(3);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 3u);
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(i));
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(UniformReplayTest, RingEvictsOldest) {
+  UniformReplay buf(3);
+  for (int i = 0; i < 5; ++i) buf.add(make_transition(i));
+  // Survivors should be rewards {2, 3, 4} in some slots.
+  common::Rng rng(1);
+  std::set<double> rewards;
+  for (int i = 0; i < 200; ++i) {
+    const auto batch = buf.sample(3, rng);
+    for (const auto* t : batch.transitions) rewards.insert(t->reward);
+  }
+  EXPECT_EQ(rewards, (std::set<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(UniformReplayTest, SampleOnEmptyThrows) {
+  UniformReplay buf(4);
+  common::Rng rng(2);
+  EXPECT_THROW((void)buf.sample(1, rng), std::logic_error);
+}
+
+TEST(UniformReplayTest, SampleShapesAndWeights) {
+  UniformReplay buf(8);
+  for (int i = 0; i < 4; ++i) buf.add(make_transition(i));
+  common::Rng rng(3);
+  const auto batch = buf.sample(6, rng);
+  EXPECT_EQ(batch.size(), 6u);
+  EXPECT_EQ(batch.weights.size(), 6u);
+  EXPECT_EQ(batch.ids.size(), 6u);
+  for (double w : batch.weights) EXPECT_DOUBLE_EQ(w, 1.0);
+}
+
+TEST(UniformReplayTest, SamplingIsRoughlyUniform) {
+  UniformReplay buf(4);
+  for (int i = 0; i < 4; ++i) buf.add(make_transition(i));
+  common::Rng rng(4);
+  std::array<int, 4> counts{};
+  const int draws = 40'000;
+  for (int i = 0; i < draws / 4; ++i) {
+    const auto batch = buf.sample(4, rng);
+    for (const auto* t : batch.transitions) {
+      counts[static_cast<std::size_t>(t->reward)]++;
+    }
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.25, 0.02);
+  }
+}
+
+TEST(UniformReplayTest, UpdatePrioritiesIsNoop) {
+  UniformReplay buf(4);
+  buf.add(make_transition(1.0));
+  const std::vector<std::uint64_t> ids{0};
+  const std::vector<double> tds{123.0};
+  buf.update_priorities(ids, tds);  // must not throw or change sampling
+  common::Rng rng(5);
+  EXPECT_EQ(buf.sample(1, rng).size(), 1u);
+}
+
+TEST(UniformReplayTest, StoredTransitionIsIntact) {
+  UniformReplay buf(2);
+  Transition t{{1.0, 2.0}, {0.25, 0.75}, -0.5, {3.0, 4.0}, true};
+  buf.add(t);
+  common::Rng rng(6);
+  const auto batch = buf.sample(1, rng);
+  const Transition& got = *batch.transitions.front();
+  EXPECT_EQ(got.state, t.state);
+  EXPECT_EQ(got.action, t.action);
+  EXPECT_DOUBLE_EQ(got.reward, t.reward);
+  EXPECT_EQ(got.next_state, t.next_state);
+  EXPECT_TRUE(got.done);
+}
+
+}  // namespace
+}  // namespace deepcat::rl

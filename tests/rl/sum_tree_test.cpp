@@ -1,0 +1,98 @@
+#include "rl/sum_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace deepcat::rl {
+namespace {
+
+TEST(SumTreeTest, RejectsZeroCapacity) {
+  EXPECT_THROW(SumTree(0), std::invalid_argument);
+}
+
+TEST(SumTreeTest, TotalTracksUpdates) {
+  SumTree tree(4);
+  EXPECT_DOUBLE_EQ(tree.total(), 0.0);
+  tree.set(0, 1.0);
+  tree.set(3, 2.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 3.5);
+  tree.set(0, 0.5);  // overwrite, not add
+  EXPECT_DOUBLE_EQ(tree.total(), 3.0);
+  EXPECT_DOUBLE_EQ(tree.get(0), 0.5);
+}
+
+TEST(SumTreeTest, NonPowerOfTwoCapacity) {
+  SumTree tree(5);
+  for (std::size_t i = 0; i < 5; ++i) tree.set(i, 1.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 5.0);
+  EXPECT_EQ(tree.find_prefix(4.5), 4u);
+}
+
+TEST(SumTreeTest, BoundsChecking) {
+  SumTree tree(4);
+  EXPECT_THROW(tree.set(4, 1.0), std::out_of_range);
+  EXPECT_THROW((void)tree.get(4), std::out_of_range);
+  EXPECT_THROW(tree.set(0, -1.0), std::invalid_argument);
+}
+
+TEST(SumTreeTest, FindPrefixSelectsCorrectLeaf) {
+  SumTree tree(4);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 3.0);
+  tree.set(3, 4.0);
+  EXPECT_EQ(tree.find_prefix(0.5), 0u);
+  EXPECT_EQ(tree.find_prefix(1.5), 1u);
+  EXPECT_EQ(tree.find_prefix(3.5), 2u);
+  EXPECT_EQ(tree.find_prefix(9.9), 3u);
+}
+
+TEST(SumTreeTest, FindPrefixAtBoundaries) {
+  SumTree tree(2);
+  tree.set(0, 1.0);
+  tree.set(1, 1.0);
+  EXPECT_EQ(tree.find_prefix(0.0), 0u);
+  EXPECT_EQ(tree.find_prefix(1.0), 1u);
+}
+
+TEST(SumTreeTest, SamplingFollowsPriorities) {
+  SumTree tree(3);
+  tree.set(0, 1.0);
+  tree.set(1, 3.0);
+  tree.set(2, 6.0);
+  common::Rng rng(1);
+  std::array<int, 3> counts{};
+  const int draws = 60'000;
+  for (int i = 0; i < draws; ++i) {
+    counts[tree.find_prefix(rng.uniform() * tree.total())]++;
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(draws), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(draws), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(draws), 0.6, 0.01);
+}
+
+TEST(SumTreeTest, ZeroPriorityLeafIsNeverSampled) {
+  SumTree tree(3);
+  tree.set(0, 1.0);
+  tree.set(1, 0.0);
+  tree.set(2, 1.0);
+  common::Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(tree.find_prefix(rng.uniform() * tree.total()), 1u);
+  }
+}
+
+TEST(SumTreeTest, MinNonzero) {
+  SumTree tree(4);
+  EXPECT_TRUE(std::isinf(tree.min_nonzero()));
+  tree.set(1, 5.0);
+  tree.set(2, 0.25);
+  EXPECT_DOUBLE_EQ(tree.min_nonzero(), 0.25);
+}
+
+}  // namespace
+}  // namespace deepcat::rl

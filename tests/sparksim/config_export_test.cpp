@@ -1,0 +1,115 @@
+#include "sparksim/config_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace deepcat::sparksim {
+namespace {
+
+ConfigValues sample() {
+  ConfigValues v = pipeline_space().defaults();
+  v.set(KnobId::kExecutorMemoryMb, 6144);
+  v.set(KnobId::kSerializer, static_cast<double>(Serializer::kKryo));
+  v.set(KnobId::kIoCompressionCodec, static_cast<double>(Codec::kZstd));
+  v.set(KnobId::kSpeculation, 1);
+  v.set(KnobId::kDfsBlockSizeMb, 256);
+  v.set(KnobId::kLocalityWaitS, 3.0);
+  v.set(KnobId::kIoFileBufferKb, 64);
+  return v;
+}
+
+TEST(ConfigExportTest, FormatsUnitsCorrectly) {
+  const ConfigValues v = sample();
+  EXPECT_EQ(format_knob_value(KnobId::kExecutorMemoryMb, v), "6144m");
+  EXPECT_EQ(format_knob_value(KnobId::kShuffleFileBufferKb, v), "32k");
+  EXPECT_EQ(format_knob_value(KnobId::kSpeculation, v), "true");
+  EXPECT_EQ(format_knob_value(KnobId::kShuffleCompress, v), "true");
+  EXPECT_EQ(format_knob_value(KnobId::kRddCompress, v), "false");
+  EXPECT_EQ(format_knob_value(KnobId::kIoCompressionCodec, v), "zstd");
+  EXPECT_EQ(format_knob_value(KnobId::kSerializer, v),
+            "org.apache.spark.serializer.KryoSerializer");
+  EXPECT_EQ(format_knob_value(KnobId::kLocalityWaitS, v), "3s");
+  // dfs.blocksize and io.file.buffer.size are in bytes.
+  EXPECT_EQ(format_knob_value(KnobId::kDfsBlockSizeMb, v), "268435456");
+  EXPECT_EQ(format_knob_value(KnobId::kIoFileBufferKb, v), "65536");
+}
+
+TEST(ConfigExportTest, SparkDefaultsHasAllTwentyKnobs) {
+  std::ostringstream os;
+  write_spark_defaults(os, sample());
+  const std::string text = os.str();
+  std::size_t lines = 0;
+  for (char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, 21u);  // header + 20 knobs
+  EXPECT_NE(text.find("spark.executor.memory 6144m"), std::string::npos);
+  EXPECT_NE(text.find("spark.speculation true"), std::string::npos);
+  // Spark-YARN connector knob belongs here, pure-YARN/HDFS knobs do not.
+  EXPECT_NE(text.find("spark.yarn.executor.memoryOverhead"),
+            std::string::npos);
+  EXPECT_EQ(text.find("yarn.nodemanager"), std::string::npos);
+  EXPECT_EQ(text.find("dfs."), std::string::npos);
+}
+
+TEST(ConfigExportTest, YarnXmlIsWellFormedAndScoped) {
+  std::ostringstream os;
+  write_yarn_site_xml(os, sample());
+  const std::string text = os.str();
+  EXPECT_NE(text.find("<configuration>"), std::string::npos);
+  EXPECT_NE(text.find("</configuration>"), std::string::npos);
+  EXPECT_NE(text.find("<name>yarn.nodemanager.resource.memory-mb</name>"),
+            std::string::npos);
+  EXPECT_EQ(text.find("spark."), std::string::npos);
+  // Balanced property tags.
+  std::size_t opens = 0, closes = 0, pos = 0;
+  while ((pos = text.find("<property>", pos)) != std::string::npos) {
+    ++opens;
+    ++pos;
+  }
+  pos = 0;
+  while ((pos = text.find("</property>", pos)) != std::string::npos) {
+    ++closes;
+    ++pos;
+  }
+  EXPECT_EQ(opens, 7u);
+  EXPECT_EQ(closes, 7u);
+}
+
+TEST(ConfigExportTest, HdfsXmlHasFiveProperties) {
+  std::ostringstream os;
+  write_hdfs_site_xml(os, sample());
+  const std::string text = os.str();
+  std::size_t opens = 0, pos = 0;
+  while ((pos = text.find("<property>", pos)) != std::string::npos) {
+    ++opens;
+    ++pos;
+  }
+  EXPECT_EQ(opens, 5u);
+  EXPECT_NE(text.find("dfs.replication"), std::string::npos);
+  EXPECT_NE(text.find("io.file.buffer.size"), std::string::npos);
+}
+
+TEST(ConfigExportTest, SparkSubmitFlagsRoundTripNames) {
+  const std::string flags = spark_submit_flags(sample());
+  EXPECT_NE(flags.find("--conf spark.executor.memory=6144m"),
+            std::string::npos);
+  EXPECT_NE(flags.find("--conf spark.default.parallelism=16"),
+            std::string::npos);
+  // Exactly 20 --conf occurrences.
+  std::size_t count = 0, pos = 0;
+  while ((pos = flags.find("--conf ", pos)) != std::string::npos) {
+    ++count;
+    pos += 7;
+  }
+  EXPECT_EQ(count, 20u);
+}
+
+TEST(ConfigExportTest, EveryKnobFormatsNonEmpty) {
+  const ConfigValues v = pipeline_space().defaults();
+  for (std::size_t i = 0; i < kNumKnobs; ++i) {
+    EXPECT_FALSE(format_knob_value(static_cast<KnobId>(i), v).empty());
+  }
+}
+
+}  // namespace
+}  // namespace deepcat::sparksim

@@ -1,0 +1,169 @@
+#include "sparksim/config_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace deepcat::sparksim {
+namespace {
+
+TEST(ConfigSpaceTest, Table2KnobCounts) {
+  const ConfigSpace& space = pipeline_space();
+  EXPECT_EQ(space.size(), 32u);
+  EXPECT_EQ(space.count(Component::kSpark), 20u);
+  EXPECT_EQ(space.count(Component::kYarn), 7u);
+  EXPECT_EQ(space.count(Component::kHdfs), 5u);
+}
+
+TEST(ConfigSpaceTest, AllKnobsHaveValidRanges) {
+  for (const auto& k : pipeline_space().knobs()) {
+    EXPECT_FALSE(k.name.empty());
+    EXPECT_LT(k.min_value, k.max_value) << k.name;
+    EXPECT_GE(k.default_value, k.min_value) << k.name;
+    EXPECT_LE(k.default_value, k.max_value) << k.name;
+  }
+}
+
+TEST(ConfigSpaceTest, DefaultsMatchSparkAndHadoopDocs) {
+  const ConfigValues d = pipeline_space().defaults();
+  EXPECT_EQ(d.get_int(KnobId::kExecutorInstances), 2);
+  EXPECT_EQ(d.get_int(KnobId::kExecutorCores), 1);
+  EXPECT_EQ(d.get_int(KnobId::kExecutorMemoryMb), 1024);
+  EXPECT_DOUBLE_EQ(d.get(KnobId::kMemoryFraction), 0.6);
+  EXPECT_EQ(d.serializer(), Serializer::kJava);
+  EXPECT_EQ(d.codec(), Codec::kLz4);
+  EXPECT_FALSE(d.get_bool(KnobId::kSpeculation));
+  EXPECT_TRUE(d.get_bool(KnobId::kShuffleCompress));
+  EXPECT_EQ(d.get_int(KnobId::kDfsBlockSizeMb), 128);
+  EXPECT_EQ(d.get_int(KnobId::kDfsReplication), 3);
+}
+
+TEST(ConfigSpaceTest, DecodeExtremes) {
+  const ConfigSpace& space = pipeline_space();
+  const std::vector<double> zeros(kNumKnobs, 0.0);
+  const std::vector<double> ones(kNumKnobs, 1.0);
+  const ConfigValues lo = space.decode(zeros);
+  const ConfigValues hi = space.decode(ones);
+  for (std::size_t i = 0; i < kNumKnobs; ++i) {
+    const auto id = static_cast<KnobId>(i);
+    const KnobDef& k = space.knob(id);
+    EXPECT_DOUBLE_EQ(lo.get(id), k.min_value) << k.name;
+    EXPECT_DOUBLE_EQ(hi.get(id), k.max_value) << k.name;
+  }
+}
+
+TEST(ConfigSpaceTest, DecodeClampsOutOfRangeActions) {
+  const ConfigSpace& space = pipeline_space();
+  std::vector<double> wild(kNumKnobs, 7.5);
+  wild[0] = -3.0;
+  const ConfigValues v = space.decode(wild);
+  EXPECT_DOUBLE_EQ(v.get(KnobId::kExecutorInstances),
+                   space.knob(KnobId::kExecutorInstances).min_value);
+  EXPECT_DOUBLE_EQ(v.get(KnobId::kExecutorCores),
+                   space.knob(KnobId::kExecutorCores).max_value);
+}
+
+TEST(ConfigSpaceTest, DecodeRejectsWrongDimension) {
+  EXPECT_THROW((void)pipeline_space().decode(std::vector<double>(5, 0.5)),
+               std::invalid_argument);
+}
+
+// Discrete knobs (int/bool/categorical) must round-trip exactly through
+// encode/decode; continuous knobs only up to floating-point lerp error.
+void expect_round_trip(const ConfigSpace& space, const ConfigValues& v) {
+  const ConfigValues v2 = space.decode(space.encode(v));
+  for (std::size_t i = 0; i < kNumKnobs; ++i) {
+    const auto id = static_cast<KnobId>(i);
+    const KnobDef& k = space.knob(id);
+    if (k.type == KnobType::kDouble) {
+      EXPECT_NEAR(v2.get(id), v.get(id),
+                  1e-9 * (k.max_value - k.min_value))
+          << k.name;
+    } else {
+      EXPECT_DOUBLE_EQ(v2.get(id), v.get(id)) << k.name;
+    }
+  }
+}
+
+TEST(ConfigSpaceTest, EncodeDecodeRoundTripOnRandomActions) {
+  const ConfigSpace& space = pipeline_space();
+  common::Rng rng(1);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<double> action(kNumKnobs);
+    for (double& a : action) a = rng.uniform();
+    expect_round_trip(space, space.decode(action));
+  }
+}
+
+TEST(ConfigSpaceTest, EncodeDefaultsRoundTrips) {
+  const ConfigSpace& space = pipeline_space();
+  expect_round_trip(space, space.defaults());
+}
+
+TEST(ConfigSpaceTest, CategoricalDecodeCoversAllBuckets) {
+  const ConfigSpace& space = pipeline_space();
+  std::vector<double> action(kNumKnobs, 0.5);
+  const std::size_t codec_idx =
+      static_cast<std::size_t>(KnobId::kIoCompressionCodec);
+  std::set<int> seen;
+  for (double x : {0.05, 0.3, 0.6, 0.9, 0.999}) {
+    action[codec_idx] = x;
+    seen.insert(space.decode(action).get_int(KnobId::kIoCompressionCodec));
+  }
+  EXPECT_EQ(seen.size(), 4u);  // lz4, lzf, snappy, zstd all reachable
+}
+
+TEST(ConfigSpaceTest, BooleanDecodeThresholdsAtHalf) {
+  const ConfigSpace& space = pipeline_space();
+  std::vector<double> action(kNumKnobs, 0.5);
+  const std::size_t spec_idx = static_cast<std::size_t>(KnobId::kSpeculation);
+  action[spec_idx] = 0.49;
+  EXPECT_FALSE(space.decode(action).get_bool(KnobId::kSpeculation));
+  action[spec_idx] = 0.51;
+  EXPECT_TRUE(space.decode(action).get_bool(KnobId::kSpeculation));
+}
+
+TEST(ConfigSpaceTest, IdOfFindsEveryKnobByName) {
+  const ConfigSpace& space = pipeline_space();
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto id = static_cast<KnobId>(i);
+    EXPECT_EQ(space.id_of(space.knob(id).name), id);
+  }
+  EXPECT_THROW((void)space.id_of("spark.bogus.knob"), std::out_of_range);
+}
+
+TEST(ConfigSpaceTest, KnobNamesAreUnique) {
+  const ConfigSpace& space = pipeline_space();
+  std::set<std::string> names;
+  for (const auto& k : space.knobs()) names.insert(k.name);
+  EXPECT_EQ(names.size(), space.size());
+}
+
+// Property sweep: every knob's decode must be monotone non-decreasing in
+// the action coordinate (ints/doubles) and always within [min, max].
+class KnobDecodeProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(KnobDecodeProperty, MonotoneAndBounded) {
+  const ConfigSpace& space = pipeline_space();
+  const auto idx = GetParam();
+  const auto id = static_cast<KnobId>(idx);
+  const KnobDef& k = space.knob(id);
+  std::vector<double> action(kNumKnobs, 0.5);
+  double prev = -1e300;
+  for (int s = 0; s <= 20; ++s) {
+    action[idx] = static_cast<double>(s) / 20.0;
+    const double v = space.decode(action).get(id);
+    EXPECT_GE(v, k.min_value) << k.name;
+    EXPECT_LE(v, k.max_value) << k.name;
+    EXPECT_GE(v, prev) << k.name << " at step " << s;
+    prev = v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKnobs, KnobDecodeProperty,
+                         ::testing::Range(std::size_t{0}, kNumKnobs));
+
+}  // namespace
+}  // namespace deepcat::sparksim

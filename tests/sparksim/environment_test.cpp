@@ -1,0 +1,165 @@
+#include "sparksim/environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcat::sparksim {
+namespace {
+
+TuningEnvironment make_env(double target_speedup = 4.0,
+                           std::uint64_t seed = 42) {
+  return TuningEnvironment(cluster_a(),
+                           make_workload(WorkloadType::kTeraSort, 3.2),
+                           {.target_speedup = target_speedup, .seed = seed});
+}
+
+TEST(EnvironmentTest, DimsMatchPaperFormulation) {
+  TuningEnvironment env = make_env();
+  EXPECT_EQ(env.state_dim(), 9u);   // 3 nodes x (1/5/15-min load)
+  EXPECT_EQ(env.action_dim(), 32u); // Table 2 knobs
+}
+
+TEST(EnvironmentTest, RejectsBadOptions) {
+  EXPECT_THROW(TuningEnvironment(cluster_a(),
+                                 make_workload(WorkloadType::kTeraSort, 3.2),
+                                 {.target_speedup = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(EnvironmentTest, StepBeforeResetThrows) {
+  TuningEnvironment env = make_env();
+  const std::vector<double> action(env.action_dim(), 0.5);
+  EXPECT_THROW((void)env.step(action), std::logic_error);
+  EXPECT_THROW((void)env.evaluate(pipeline_space().defaults()),
+               std::logic_error);
+}
+
+TEST(EnvironmentTest, ResetEstablishesBaseline) {
+  TuningEnvironment env = make_env();
+  const auto state = env.reset();
+  EXPECT_EQ(state.size(), env.state_dim());
+  EXPECT_GT(env.default_time(), 0.0);
+  EXPECT_DOUBLE_EQ(env.expected_time(), env.default_time() / 4.0);
+  EXPECT_EQ(env.evaluations(), 1u);
+  EXPECT_GT(env.total_evaluation_seconds(), 0.0);
+}
+
+TEST(EnvironmentTest, RewardFollowsEquationOne) {
+  TuningEnvironment env = make_env();
+  env.reset();
+  const double perf_e = env.expected_time();
+  // r = (perf_e - perf_t) / perf_e, per Eq. (1).
+  EXPECT_DOUBLE_EQ(env.reward_for(perf_e), 0.0);
+  EXPECT_DOUBLE_EQ(env.reward_for(perf_e / 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(env.reward_for(env.default_time()), 1.0 - 4.0);
+  EXPECT_GT(env.reward_for(10.0), env.reward_for(20.0));
+}
+
+TEST(EnvironmentTest, StepEvaluatesDecodedAction) {
+  TuningEnvironment env = make_env();
+  env.reset();
+  const std::vector<double> default_action =
+      pipeline_space().encode(pipeline_space().defaults());
+  const StepResult res = env.step(default_action);
+  EXPECT_TRUE(res.success);
+  EXPECT_EQ(res.state.size(), env.state_dim());
+  // Default action should land near the default runtime.
+  EXPECT_NEAR(res.exec_seconds, env.default_time(),
+              env.default_time() * 0.3);
+  EXPECT_NEAR(res.reward, env.reward_for(res.exec_seconds), 1e-12);
+}
+
+TEST(EnvironmentTest, CostAccumulatesAcrossCalls) {
+  TuningEnvironment env = make_env();
+  env.reset();
+  const double after_reset = env.total_evaluation_seconds();
+  const std::vector<double> action(env.action_dim(), 0.5);
+  const StepResult res = env.step(action);
+  EXPECT_DOUBLE_EQ(env.total_evaluation_seconds(),
+                   after_reset + res.exec_seconds);
+  EXPECT_EQ(env.evaluations(), 2u);
+  env.reset_cost_counters();
+  EXPECT_DOUBLE_EQ(env.total_evaluation_seconds(), 0.0);
+  EXPECT_EQ(env.evaluations(), 0u);
+}
+
+TEST(EnvironmentTest, BestTracksOnlySuccessfulRuns) {
+  TuningEnvironment env = make_env();
+  env.reset();
+  const double best_after_reset = env.best_time();
+  // A config that fails (Kryo overflow on PageRank) must not become best.
+  TuningEnvironment pr_env(
+      cluster_a(), make_workload(WorkloadType::kPageRank, 0.5), {.seed = 7});
+  pr_env.reset();
+  ConfigValues bad = pipeline_space().defaults();
+  bad.set(KnobId::kSerializer, static_cast<double>(Serializer::kKryo));
+  bad.set(KnobId::kKryoBufferMaxMb, 8);
+  const double best_before = pr_env.best_time();
+  const StepResult res = pr_env.evaluate(bad);
+  EXPECT_FALSE(res.success);
+  EXPECT_DOUBLE_EQ(pr_env.best_time(), best_before);
+  (void)best_after_reset;
+}
+
+TEST(EnvironmentTest, FailurePenalizesRewardButCostsOnlyAttemptTime) {
+  TuningEnvironment env(
+      cluster_a(), make_workload(WorkloadType::kPageRank, 0.5),
+      {.failure_penalty_factor = 3.0, .seed = 7});
+  env.reset();
+  ConfigValues bad = pipeline_space().defaults();
+  bad.set(KnobId::kSerializer, static_cast<double>(Serializer::kKryo));
+  bad.set(KnobId::kKryoBufferMaxMb, 8);
+  const StepResult res = env.evaluate(bad);
+  ASSERT_FALSE(res.success);
+  // Reward is scored as >= 3x default (worse than just running default)...
+  EXPECT_LE(res.reward, env.reward_for(3.0 * env.default_time()) + 1e-9);
+  EXPECT_LT(res.reward, env.reward_for(env.default_time()));
+  // ...but the clock only ran for the aborted attempt.
+  EXPECT_GT(res.exec_seconds, 0.0);
+  EXPECT_LT(res.exec_seconds, 3.0 * env.default_time());
+}
+
+TEST(EnvironmentTest, BestConfigMatchesBestTime) {
+  TuningEnvironment env = make_env();
+  env.reset();
+  ConfigValues good = pipeline_space().defaults();
+  good.set(KnobId::kExecutorInstances, 12);
+  good.set(KnobId::kExecutorCores, 4);
+  good.set(KnobId::kExecutorMemoryMb, 6144);
+  good.set(KnobId::kNmMemoryMb, 15360);
+  good.set(KnobId::kNmVcores, 16);
+  good.set(KnobId::kSchedMaxAllocMb, 15360);
+  good.set(KnobId::kSchedMaxAllocVcores, 16);
+  const StepResult res = env.evaluate(good);
+  ASSERT_TRUE(res.success);
+  ASSERT_LT(res.exec_seconds, env.default_time());
+  EXPECT_DOUBLE_EQ(env.best_time(), res.exec_seconds);
+  EXPECT_EQ(env.best_config(), good);
+}
+
+TEST(EnvironmentTest, StateIsNormalizedByCoreCount) {
+  TuningEnvironment env = make_env();
+  const auto state = env.reset();
+  for (double s : state) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 2.0);  // loads rarely exceed 2x core count
+  }
+}
+
+// Property sweep over target speedups: reward at the expected time is
+// always zero and the reward scale shifts as the paper's Eq. (1) implies.
+class TargetSpeedupProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(TargetSpeedupProperty, RewardAnchorsAtExpectedTime) {
+  TuningEnvironment env = make_env(GetParam(), 11);
+  env.reset();
+  EXPECT_NEAR(env.reward_for(env.expected_time()), 0.0, 1e-12);
+  EXPECT_NEAR(env.reward_for(env.default_time()), 1.0 - GetParam(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Speedups, TargetSpeedupProperty,
+                         ::testing::Values(2.0, 3.0, 4.0, 5.0, 8.0));
+
+}  // namespace
+}  // namespace deepcat::sparksim

@@ -1,0 +1,79 @@
+// Extended-state mode: the CDBTune-style internal-metrics variant of the
+// environment's observation vector.
+#include <gtest/gtest.h>
+
+#include "sparksim/environment.hpp"
+#include "tuners/deepcat.hpp"
+
+namespace deepcat::sparksim {
+namespace {
+
+TEST(ExtendedStateTest, DimGrowsByMetricCount) {
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 3.2);
+  TuningEnvironment plain(cluster_a(), ts, {.seed = 1});
+  TuningEnvironment extended(cluster_a(), ts,
+                             {.extended_state = true, .seed = 1});
+  EXPECT_EQ(plain.state_dim(), 9u);
+  EXPECT_EQ(extended.state_dim(),
+            9u + TuningEnvironment::kExtendedMetrics);
+}
+
+TEST(ExtendedStateTest, StateVectorMatchesDim) {
+  TuningEnvironment env(cluster_a(),
+                        make_workload(WorkloadType::kKMeans, 20.0),
+                        {.extended_state = true, .seed = 2});
+  const auto s0 = env.reset();
+  EXPECT_EQ(s0.size(), env.state_dim());
+  const StepResult res = env.step(std::vector<double>(kNumKnobs, 0.5));
+  EXPECT_EQ(res.state.size(), env.state_dim());
+}
+
+TEST(ExtendedStateTest, MetricsAreNormalized) {
+  TuningEnvironment env(cluster_a(),
+                        make_workload(WorkloadType::kTeraSort, 3.2),
+                        {.extended_state = true, .seed = 3});
+  const auto state = env.reset();
+  // The appended metrics all live in [0, 1].
+  for (std::size_t i = 9; i < state.size(); ++i) {
+    EXPECT_GE(state[i], 0.0) << i;
+    EXPECT_LE(state[i], 1.0) << i;
+  }
+}
+
+TEST(ExtendedStateTest, MetricsReactToConfiguration) {
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 3.2);
+  TuningEnvironment env(cluster_a(), ts, {.extended_state = true, .seed = 4});
+  env.reset();
+  // Default (2 executors) vs a capacity config (more slots): the slot
+  // metric (index 10) must rise.
+  const StepResult small =
+      env.evaluate(pipeline_space().defaults());
+  ConfigValues big = pipeline_space().defaults();
+  big.set(KnobId::kExecutorInstances, 12);
+  big.set(KnobId::kExecutorCores, 4);
+  big.set(KnobId::kExecutorMemoryMb, 4096);
+  big.set(KnobId::kNmMemoryMb, 15360);
+  big.set(KnobId::kNmVcores, 16);
+  big.set(KnobId::kSchedMaxAllocMb, 15360);
+  big.set(KnobId::kSchedMaxAllocVcores, 16);
+  const StepResult large = env.evaluate(big);
+  EXPECT_GT(large.state[10], small.state[10]);
+}
+
+TEST(ExtendedStateTest, DeepCatTrainsOnExtendedState) {
+  tuners::DeepCatOptions options;
+  options.td3.hidden = {24, 24};
+  options.seed = 5;
+  options.warmup_steps = 8;
+  tuners::DeepCatTuner tuner(options);
+  TuningEnvironment env(cluster_a(),
+                        make_workload(WorkloadType::kTeraSort, 3.2),
+                        {.extended_state = true, .seed = 5});
+  const auto trace = tuner.train_offline(env, 60);
+  EXPECT_EQ(trace.size(), 60u);
+  EXPECT_EQ(tuner.agent().config().state_dim,
+            9u + TuningEnvironment::kExtendedMetrics);
+}
+
+}  // namespace
+}  // namespace deepcat::sparksim

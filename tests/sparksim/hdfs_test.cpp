@@ -1,0 +1,116 @@
+#include "sparksim/hdfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::sparksim {
+namespace {
+
+ConfigValues defaults() { return pipeline_space().defaults(); }
+
+TEST(HdfsTest, RejectsEmptyClusterAndBadArgs) {
+  const ClusterSpec empty{"empty", {}};
+  EXPECT_THROW(HdfsModel(empty, defaults()), std::invalid_argument);
+  const HdfsModel hdfs(cluster_a(), defaults());
+  EXPECT_THROW((void)hdfs.read_mbps(0), std::invalid_argument);
+  EXPECT_THROW((void)hdfs.write_mbps(0), std::invalid_argument);
+}
+
+TEST(HdfsTest, ReadBandwidthPositiveAndBelowDisk) {
+  const HdfsModel hdfs(cluster_a(), defaults());
+  const double bw = hdfs.read_mbps(1);
+  EXPECT_GT(bw, 0.0);
+  EXPECT_LE(bw, cluster_a().nodes.front().disk_seq_mbps);
+}
+
+TEST(HdfsTest, MoreReadersMeansLessPerReaderBandwidth) {
+  const HdfsModel hdfs(cluster_a(), defaults());
+  EXPECT_GT(hdfs.read_mbps(3), hdfs.read_mbps(12));
+  EXPECT_GT(hdfs.read_mbps(12), hdfs.read_mbps(48));
+}
+
+TEST(HdfsTest, LargerBlocksAmortizeSeeks) {
+  ConfigValues small = defaults();
+  small.set(KnobId::kDfsBlockSizeMb, 32);
+  ConfigValues large = defaults();
+  large.set(KnobId::kDfsBlockSizeMb, 512);
+  const HdfsModel hdfs_small(cluster_a(), small);
+  const HdfsModel hdfs_large(cluster_a(), large);
+  EXPECT_GT(hdfs_large.read_mbps(6), hdfs_small.read_mbps(6));
+}
+
+TEST(HdfsTest, BiggerIoBufferHelpsUpToSaturation) {
+  ConfigValues tiny = defaults();
+  tiny.set(KnobId::kIoFileBufferKb, 4);
+  ConfigValues big = defaults();
+  big.set(KnobId::kIoFileBufferKb, 64);
+  ConfigValues huge = defaults();
+  huge.set(KnobId::kIoFileBufferKb, 256);
+  const double bw_tiny = HdfsModel(cluster_a(), tiny).read_mbps(4);
+  const double bw_big = HdfsModel(cluster_a(), big).read_mbps(4);
+  const double bw_huge = HdfsModel(cluster_a(), huge).read_mbps(4);
+  EXPECT_GT(bw_big, bw_tiny);
+  EXPECT_NEAR(bw_huge, bw_big, bw_big * 0.01);  // saturates past 64 KB
+}
+
+TEST(HdfsTest, ReplicationCostsWrites) {
+  ConfigValues r1 = defaults();
+  r1.set(KnobId::kDfsReplication, 1);
+  ConfigValues r3 = defaults();
+  r3.set(KnobId::kDfsReplication, 3);
+  EXPECT_GT(HdfsModel(cluster_a(), r1).write_mbps(4),
+            2.0 * HdfsModel(cluster_a(), r3).write_mbps(4));
+}
+
+TEST(HdfsTest, ReplicationImprovesLocality) {
+  ConfigValues r1 = defaults();
+  r1.set(KnobId::kDfsReplication, 1);
+  ConfigValues r3 = defaults();
+  r3.set(KnobId::kDfsReplication, 3);
+  const HdfsModel h1(cluster_a(), r1);
+  const HdfsModel h3(cluster_a(), r3);
+  EXPECT_NEAR(h1.locality_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(h3.locality_fraction(), 1.0);
+}
+
+TEST(HdfsTest, UndersizedHandlersThrottleHighConcurrency) {
+  ConfigValues few = defaults();
+  few.set(KnobId::kDatanodeHandlers, 5);
+  ConfigValues many = defaults();
+  many.set(KnobId::kDatanodeHandlers, 100);
+  EXPECT_GT(HdfsModel(cluster_a(), many).read_mbps(48),
+            HdfsModel(cluster_a(), few).read_mbps(48));
+}
+
+TEST(HdfsTest, BandwidthNeverCollapsesToZero) {
+  ConfigValues worst = defaults();
+  worst.set(KnobId::kDfsBlockSizeMb, 32);
+  worst.set(KnobId::kDatanodeHandlers, 5);
+  worst.set(KnobId::kNamenodeHandlers, 5);
+  worst.set(KnobId::kIoFileBufferKb, 4);
+  worst.set(KnobId::kDfsReplication, 3);
+  const HdfsModel hdfs(cluster_a(), worst);
+  EXPECT_GE(hdfs.read_mbps(10'000), 0.5);
+  EXPECT_GE(hdfs.write_mbps(10'000), 0.5);
+}
+
+// Property sweep: read bandwidth is monotone non-increasing in reader count
+// for a spread of block sizes.
+class HdfsConcurrencyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HdfsConcurrencyProperty, MonotoneInConcurrency) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kDfsBlockSizeMb, GetParam());
+  const HdfsModel hdfs(cluster_a(), cfg);
+  double prev = 1e300;
+  for (int readers : {1, 2, 4, 8, 16, 32, 64}) {
+    const double bw = hdfs.read_mbps(readers);
+    EXPECT_LE(bw, prev + 1e-9) << "readers=" << readers;
+    prev = bw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, HdfsConcurrencyProperty,
+                         ::testing::Values(32, 64, 128, 256, 512));
+
+}  // namespace
+}  // namespace deepcat::sparksim

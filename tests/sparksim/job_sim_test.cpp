@@ -1,0 +1,237 @@
+#include "sparksim/job_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcat::sparksim {
+namespace {
+
+const ConfigSpace& space() { return pipeline_space(); }
+
+ConfigValues tuned_config() {
+  ConfigValues c = space().defaults();
+  c.set(KnobId::kExecutorInstances, 12);
+  c.set(KnobId::kExecutorCores, 4);
+  c.set(KnobId::kExecutorMemoryMb, 6144);
+  c.set(KnobId::kMemoryOverheadMb, 1024);
+  c.set(KnobId::kNmMemoryMb, 15360);
+  c.set(KnobId::kNmVcores, 16);
+  c.set(KnobId::kSchedMaxAllocMb, 15360);
+  c.set(KnobId::kSchedMaxAllocVcores, 16);
+  c.set(KnobId::kDefaultParallelism, 96);
+  c.set(KnobId::kSerializer, static_cast<double>(Serializer::kKryo));
+  c.set(KnobId::kIoFileBufferKb, 128);
+  c.set(KnobId::kShuffleFileBufferKb, 256);
+  c.set(KnobId::kMemoryFraction, 0.75);
+  c.set(KnobId::kDriverMemoryMb, 4096);
+  return c;
+}
+
+TEST(JobSimTest, DefaultConfigSucceedsOnAllTwelveCases) {
+  const JobSimulator sim(cluster_a());
+  for (const auto& c : hibench_suite()) {
+    const ExecutionResult r = sim.run(workload_for(c), space().defaults(), 1);
+    EXPECT_TRUE(r.success) << c.id << ": " << r.failure_reason;
+    EXPECT_GT(r.exec_seconds, JobSimulator::kAppStartupS) << c.id;
+    EXPECT_EQ(r.load_averages.size(), 9u) << c.id;
+  }
+}
+
+TEST(JobSimTest, DeterministicForSameSeed) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec w = make_workload(WorkloadType::kTeraSort, 3.2);
+  const ExecutionResult a = sim.run(w, space().defaults(), 42);
+  const ExecutionResult b = sim.run(w, space().defaults(), 42);
+  EXPECT_DOUBLE_EQ(a.exec_seconds, b.exec_seconds);
+  EXPECT_EQ(a.load_averages, b.load_averages);
+}
+
+TEST(JobSimTest, SeedsProduceBoundedRunToRunVariance) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec w = make_workload(WorkloadType::kWordCount, 3.2);
+  double min_t = 1e300, max_t = 0.0;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const ExecutionResult r = sim.run(w, space().defaults(), seed);
+    ASSERT_TRUE(r.success);
+    min_t = std::min(min_t, r.exec_seconds);
+    max_t = std::max(max_t, r.exec_seconds);
+  }
+  EXPECT_GT(max_t, min_t);           // real noise exists
+  EXPECT_LT(max_t / min_t, 1.5);     // but bounded like a quiet cluster
+}
+
+TEST(JobSimTest, TunedConfigBeatsDefaultEverywhere) {
+  const JobSimulator sim(cluster_a());
+  const ConfigValues good = tuned_config();
+  for (const auto& c : hibench_suite()) {
+    const WorkloadSpec w = workload_for(c);
+    const ExecutionResult def = sim.run(w, space().defaults(), 3);
+    const ExecutionResult tuned = sim.run(w, good, 3);
+    ASSERT_TRUE(def.success);
+    ASSERT_TRUE(tuned.success) << c.id << ": " << tuned.failure_reason;
+    EXPECT_LT(tuned.exec_seconds, def.exec_seconds) << c.id;
+  }
+}
+
+TEST(JobSimTest, MoreExecutorsHelpUpToCapacity) {
+  // CPU-bound KMeans is the clean probe (I/O-bound stages hit the shared
+  // disk floor regardless of slot count). Averaged to damp straggler noise.
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec w = make_workload(WorkloadType::kKMeans, 20.0);
+  ConfigValues c = tuned_config();
+  double two = 0.0, eight = 0.0;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    c.set(KnobId::kExecutorInstances, 2);
+    two += sim.run(w, c, seed).exec_seconds;
+    c.set(KnobId::kExecutorInstances, 8);
+    eight += sim.run(w, c, seed).exec_seconds;
+  }
+  EXPECT_LT(eight, two);
+}
+
+TEST(JobSimTest, ExecutorCountReportedMatchesYarnGrant) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec w = make_workload(WorkloadType::kWordCount, 3.2);
+  const ExecutionResult r = sim.run(w, space().defaults(), 7);
+  EXPECT_EQ(r.executors, 2);
+  EXPECT_EQ(r.total_slots, 2);
+}
+
+TEST(JobSimTest, KryoBufferOverflowKillsPageRank) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec pr = make_workload(WorkloadType::kPageRank, 0.5);
+  ConfigValues c = tuned_config();
+  c.set(KnobId::kSerializer, static_cast<double>(Serializer::kKryo));
+  c.set(KnobId::kKryoBufferMaxMb, 8);  // below PageRank's 24 MB records
+  const ExecutionResult r = sim.run(pr, c, 11);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.oom);
+}
+
+TEST(JobSimTest, KryoBufferOverflowHarmlessForSmallRecords) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 3.2);
+  ConfigValues c = tuned_config();
+  c.set(KnobId::kKryoBufferMaxMb, 8);
+  const ExecutionResult r = sim.run(ts, c, 11);
+  EXPECT_TRUE(r.success) << r.failure_reason;
+}
+
+TEST(JobSimTest, TinyExecutorsOnKMeansOomFrequently) {
+  // The paper's §5.2.1 observation: KMeans with short memory produces
+  // sparse high-reward transitions because runs OOM.
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec km = make_workload(WorkloadType::kKMeans, 40.0);
+  ConfigValues c = space().defaults();
+  c.set(KnobId::kExecutorInstances, 8);
+  c.set(KnobId::kExecutorCores, 8);     // many tasks share...
+  c.set(KnobId::kExecutorMemoryMb, 768);  // ...a starved heap
+  c.set(KnobId::kMemoryOverheadMb, 256);
+  c.set(KnobId::kVmemPmemRatio, 1.0);
+  int ooms = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const ExecutionResult r = sim.run(km, c, seed);
+    ooms += (!r.success && r.oom);
+  }
+  EXPECT_GT(ooms, 4);
+}
+
+TEST(JobSimTest, FailedRunReportsReasonAndPartialTime) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec pr = make_workload(WorkloadType::kPageRank, 0.5);
+  ConfigValues c = tuned_config();
+  c.set(KnobId::kKryoBufferMaxMb, 8);
+  const ExecutionResult r = sim.run(pr, c, 1);
+  ASSERT_FALSE(r.success);
+  EXPECT_FALSE(r.failure_reason.empty());
+  EXPECT_GT(r.exec_seconds, 0.0);
+  EXPECT_EQ(r.load_averages.size(), 9u);
+}
+
+TEST(JobSimTest, ReplicationOneSpeedsUpTeraSortWrites) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 6.0);
+  ConfigValues c = tuned_config();
+  c.set(KnobId::kDfsReplication, 3);
+  const double r3 = sim.run(ts, c, 9).exec_seconds;
+  c.set(KnobId::kDfsReplication, 1);
+  const double r1 = sim.run(ts, c, 9).exec_seconds;
+  EXPECT_LT(r1, r3);
+}
+
+TEST(JobSimTest, KryoBeatsJavaOnShuffleHeavyWorkload) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 6.0);
+  ConfigValues c = tuned_config();
+  c.set(KnobId::kSerializer, static_cast<double>(Serializer::kJava));
+  const double java_t = sim.run(ts, c, 13).exec_seconds;
+  c.set(KnobId::kSerializer, static_cast<double>(Serializer::kKryo));
+  const double kryo_t = sim.run(ts, c, 13).exec_seconds;
+  EXPECT_LT(kryo_t, java_t);
+}
+
+TEST(JobSimTest, CacheStarvedKMeansSlowerThanCached) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec km = make_workload(WorkloadType::kKMeans, 20.0);
+  // Same executor count for both sides (small containers would otherwise
+  // let YARN pack more executors and mask the cache effect).
+  ConfigValues roomy = tuned_config();
+  roomy.set(KnobId::kExecutorInstances, 4);
+  ConfigValues starved = roomy;
+  starved.set(KnobId::kExecutorMemoryMb, 1024);
+  starved.set(KnobId::kMemoryStorageFraction, 0.1);
+  const ExecutionResult fast = sim.run(km, roomy, 17);
+  const ExecutionResult slow = sim.run(km, starved, 17);
+  ASSERT_TRUE(fast.success);
+  if (slow.success) {  // may OOM outright, which also proves the point
+    EXPECT_GT(slow.exec_seconds, 1.5 * fast.exec_seconds);
+  }
+}
+
+TEST(JobSimTest, StageMetricsAreCoherent) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 3.2);
+  const ExecutionResult r = sim.run(ts, space().defaults(), 19);
+  ASSERT_TRUE(r.success);
+  ASSERT_EQ(r.stages.size(), 2u);
+  double stage_total = 0.0;
+  for (const auto& s : r.stages) {
+    EXPECT_GT(s.num_tasks, 0);
+    EXPECT_GT(s.duration_s, 0.0);
+    EXPECT_GE(s.task_cpu_s, 0.0);
+    EXPECT_GE(s.task_io_s, 0.0);
+    stage_total += s.duration_s;
+  }
+  // Total includes startup + per-stage overheads beyond raw stage time.
+  EXPECT_GT(r.exec_seconds, stage_total * 0.8);
+  // TeraSort's map stage: ceil(3276.8 MB / 128 MB) tasks.
+  EXPECT_EQ(r.stages[0].num_tasks, 26);
+}
+
+TEST(JobSimTest, LoadAveragesReflectUtilization) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 3.2);
+  // Few slots -> low per-node load; many slots -> higher load.
+  const ExecutionResult small = sim.run(ts, space().defaults(), 23);
+  const ExecutionResult big = sim.run(ts, tuned_config(), 23);
+  auto avg = [](const std::vector<double>& v) {
+    double s = 0.0;
+    for (double x : v) s += x;
+    return s / static_cast<double>(v.size());
+  };
+  EXPECT_GT(avg(big.load_averages), avg(small.load_averages));
+}
+
+TEST(JobSimTest, ClusterBIsSlowerForCpuHeavyWork) {
+  const WorkloadSpec km = make_workload(WorkloadType::kKMeans, 20.0);
+  const ConfigValues good = tuned_config();
+  const ExecutionResult on_a = JobSimulator(cluster_a()).run(km, good, 29);
+  const ExecutionResult on_b = JobSimulator(cluster_b()).run(km, good, 29);
+  ASSERT_TRUE(on_a.success);
+  ASSERT_TRUE(on_b.success);
+  EXPECT_GT(on_b.exec_seconds, on_a.exec_seconds);
+}
+
+}  // namespace
+}  // namespace deepcat::sparksim

@@ -1,0 +1,137 @@
+#include "sparksim/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::sparksim {
+namespace {
+
+YarnAllocation alloc_with_heap(double heap_mb, double overhead_mb = 512.0,
+                               double vmem_ratio = 2.1) {
+  YarnAllocation a;
+  a.accepted = true;
+  a.executors = 4;
+  a.executor_cores = 4;
+  a.heap_mb = heap_mb;
+  a.overhead_mb = overhead_mb;
+  a.container_mb = heap_mb + overhead_mb;
+  a.vmem_limit_mb = a.container_mb * vmem_ratio;
+  return a;
+}
+
+ConfigValues config_with_fractions(double fraction, double storage) {
+  ConfigValues c = pipeline_space().defaults();
+  c.set(KnobId::kMemoryFraction, fraction);
+  c.set(KnobId::kMemoryStorageFraction, storage);
+  return c;
+}
+
+TEST(MemoryModelTest, UnifiedMemoryFollowsSparkFormula) {
+  const MemoryModel m(alloc_with_heap(4096),
+                      config_with_fractions(0.6, 0.5));
+  EXPECT_DOUBLE_EQ(m.usable_mb(), (4096.0 - 300.0) * 0.6);
+  EXPECT_DOUBLE_EQ(m.storage_target_mb(), m.usable_mb() * 0.5);
+}
+
+TEST(MemoryModelTest, NoSpillWhenWorkingSetFits) {
+  const MemoryModel m(alloc_with_heap(8192),
+                      config_with_fractions(0.6, 0.3));
+  const MemoryOutcome out = m.evaluate(100.0, 4, 0.0, 64.0);
+  EXPECT_DOUBLE_EQ(out.spill_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(out.cache_fraction, 1.0);
+  EXPECT_LT(out.oom_probability, 0.05);
+}
+
+TEST(MemoryModelTest, SpillsWhenWorkingSetExceedsShare) {
+  const MemoryModel m(alloc_with_heap(1024),
+                      config_with_fractions(0.6, 0.5));
+  const MemoryOutcome out = m.evaluate(800.0, 4, 0.0, 64.0);
+  EXPECT_GT(out.spill_fraction, 0.3);
+  EXPECT_LT(out.spill_fraction, 1.0);
+}
+
+TEST(MemoryModelTest, MoreConcurrentTasksMeansLessMemoryEach) {
+  const MemoryModel m(alloc_with_heap(4096),
+                      config_with_fractions(0.6, 0.3));
+  const MemoryOutcome one = m.evaluate(200.0, 1, 0.0, 64.0);
+  const MemoryOutcome eight = m.evaluate(200.0, 8, 0.0, 64.0);
+  EXPECT_GT(one.exec_mem_per_task_mb, eight.exec_mem_per_task_mb);
+  EXPECT_LE(one.spill_fraction, eight.spill_fraction);
+}
+
+TEST(MemoryModelTest, CacheEvictedWhenStorageShort) {
+  const MemoryModel m(alloc_with_heap(2048),
+                      config_with_fractions(0.6, 0.5));
+  // Demand far beyond the storage pool with busy execution side.
+  const MemoryOutcome out = m.evaluate(400.0, 4, 4000.0, 64.0);
+  EXPECT_LT(out.cache_fraction, 0.3);
+  EXPECT_GT(out.cache_fraction, 0.0);
+}
+
+TEST(MemoryModelTest, IdleExecutionPoolLendsToStorage) {
+  const MemoryModel m(alloc_with_heap(4096),
+                      config_with_fractions(0.8, 0.3));
+  // Tiny working set: storage can borrow execution headroom.
+  const MemoryOutcome borrowing = m.evaluate(1.0, 1, 2000.0, 64.0);
+  const MemoryOutcome contended = m.evaluate(700.0, 4, 2000.0, 64.0);
+  EXPECT_GT(borrowing.cache_fraction, contended.cache_fraction);
+}
+
+TEST(MemoryModelTest, GcPressureGrowsWithLiveData) {
+  const MemoryModel m(alloc_with_heap(2048),
+                      config_with_fractions(0.6, 0.5));
+  const MemoryOutcome light = m.evaluate(20.0, 1, 0.0, 64.0);
+  const MemoryOutcome heavy = m.evaluate(400.0, 4, 800.0, 64.0);
+  EXPECT_GE(light.gc_factor, 1.0);
+  EXPECT_GT(heavy.gc_factor, light.gc_factor);
+}
+
+TEST(MemoryModelTest, HugePartitionRisksOom) {
+  const MemoryModel m(alloc_with_heap(1024),
+                      config_with_fractions(0.6, 0.5));
+  // One task needing far more than its guaranteed share even after spill.
+  const MemoryOutcome out = m.evaluate(2000.0, 4, 0.0, 64.0);
+  EXPECT_GT(out.oom_probability, 0.05);
+}
+
+TEST(MemoryModelTest, OffheapPressureCanKillContainer) {
+  const MemoryModel tight(alloc_with_heap(4096, 256.0, 1.0),
+                          config_with_fractions(0.9, 0.5));
+  // Off-heap demand far above the overhead reservation with full heap.
+  const MemoryOutcome out = tight.evaluate(900.0, 4, 1500.0, 2000.0);
+  EXPECT_GT(out.oom_probability, 0.1);
+}
+
+TEST(MemoryModelTest, GenerousOverheadAbsorbsOffheap) {
+  const ConfigValues cfg = config_with_fractions(0.6, 0.5);
+  const MemoryModel generous(alloc_with_heap(4096, 2048.0, 4.0), cfg);
+  const MemoryModel stingy(alloc_with_heap(4096, 256.0, 1.2), cfg);
+  const double ws = 600.0;
+  EXPECT_LT(generous.evaluate(ws, 4, 0.0, 900.0).oom_probability,
+            stingy.evaluate(ws, 4, 0.0, 900.0).oom_probability);
+}
+
+TEST(MemoryModelTest, ZeroCacheRequestIsFullyResident) {
+  const MemoryModel m(alloc_with_heap(1024),
+                      config_with_fractions(0.3, 0.1));
+  EXPECT_DOUBLE_EQ(m.evaluate(10.0, 1, 0.0, 0.0).cache_fraction, 1.0);
+}
+
+// Property sweep over memory fraction: larger fraction => weakly more
+// execution memory per task for a fixed scenario.
+class MemoryFractionProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(MemoryFractionProperty, FractionGrowsExecutionShare) {
+  const double fraction = GetParam();
+  const MemoryModel m(alloc_with_heap(4096),
+                      config_with_fractions(fraction, 0.3));
+  const MemoryModel base(alloc_with_heap(4096),
+                         config_with_fractions(0.3, 0.3));
+  EXPECT_GE(m.evaluate(100.0, 4, 0.0, 64.0).exec_mem_per_task_mb + 1e-9,
+            base.evaluate(100.0, 4, 0.0, 64.0).exec_mem_per_task_mb);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, MemoryFractionProperty,
+                         ::testing::Values(0.3, 0.45, 0.6, 0.75, 0.9));
+
+}  // namespace
+}  // namespace deepcat::sparksim

@@ -1,0 +1,182 @@
+// Cross-cutting property tests over the simulator: knob-response
+// directions the real system is known for, environment determinism, and
+// failure-injection behaviour. These guard the response-surface structure
+// the experiments depend on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/environment.hpp"
+#include "sparksim/job_sim.hpp"
+
+namespace deepcat::sparksim {
+namespace {
+
+ConfigValues capacity_config() {
+  ConfigValues c = pipeline_space().defaults();
+  c.set(KnobId::kExecutorInstances, 8);
+  c.set(KnobId::kExecutorCores, 4);
+  c.set(KnobId::kExecutorMemoryMb, 4096);
+  c.set(KnobId::kMemoryOverheadMb, 512);
+  c.set(KnobId::kNmMemoryMb, 15360);
+  c.set(KnobId::kNmVcores, 16);
+  c.set(KnobId::kSchedMaxAllocMb, 15360);
+  c.set(KnobId::kSchedMaxAllocVcores, 16);
+  return c;
+}
+
+double avg_time(const JobSimulator& sim, const WorkloadSpec& w,
+                const ConfigValues& c, int runs = 5) {
+  double total = 0.0;
+  for (std::uint64_t seed = 0; seed < static_cast<std::uint64_t>(runs);
+       ++seed) {
+    const ExecutionResult r = sim.run(w, c, seed);
+    EXPECT_TRUE(r.success) << r.failure_reason;
+    total += r.exec_seconds;
+  }
+  return total / runs;
+}
+
+TEST(SimPropertiesTest, SpeculationHelpsStragglerProneStage) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec wc = make_workload(WorkloadType::kWordCount, 20.0);
+  ConfigValues base = capacity_config();
+  base.set(KnobId::kSpeculation, 0);
+  ConfigValues spec = base;
+  spec.set(KnobId::kSpeculation, 1);
+  // Many waves of tasks: speculation should trim tails on average.
+  EXPECT_LT(avg_time(sim, wc, spec, 8), avg_time(sim, wc, base, 8) * 1.02);
+}
+
+TEST(SimPropertiesTest, ParallelismIsALiveKnob) {
+  // The partition count must materially move execution time — the
+  // structure that makes the knob worth tuning. (The direction depends on
+  // the workload/slot shape, so we assert sensitivity, not a fixed shape.)
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 6.0);
+  ConfigValues c = capacity_config();
+  double lo = 1e300, hi = 0.0;
+  for (int p : {8, 32, 96, 300, 1000}) {
+    c.set(KnobId::kDefaultParallelism, p);
+    const double t = avg_time(sim, ts, c);
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  EXPECT_GT(hi, lo * 1.10);
+}
+
+TEST(SimPropertiesTest, CompressionOffHurtsShuffleHeavyOnSlowNetwork) {
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 6.0);
+  ConfigValues on = capacity_config();
+  on.set(KnobId::kShuffleCompress, 1);
+  ConfigValues off = capacity_config();
+  off.set(KnobId::kShuffleCompress, 0);
+  EXPECT_LT(avg_time(sim, ts, on), avg_time(sim, ts, off));
+}
+
+TEST(SimPropertiesTest, BiggerExecutorMemoryHelpsKMeans) {
+  // Small heaps either run slower (cache misses, GC, spills) or OOM
+  // outright; roomy heaps must be reliably better.
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec km = make_workload(WorkloadType::kKMeans, 20.0);
+  ConfigValues small = capacity_config();
+  small.set(KnobId::kExecutorMemoryMb, 1536);
+  ConfigValues big = capacity_config();
+  big.set(KnobId::kExecutorMemoryMb, 6144);
+  big.set(KnobId::kExecutorInstances, 5);  // fit the larger containers
+
+  double big_total = 0.0, small_total = 0.0;
+  int small_failures = 0, small_successes = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const ExecutionResult rb = sim.run(km, big, seed);
+    ASSERT_TRUE(rb.success) << rb.failure_reason;
+    big_total += rb.exec_seconds;
+    const ExecutionResult rs = sim.run(km, small, seed);
+    if (rs.success) {
+      small_total += rs.exec_seconds;
+      ++small_successes;
+    } else {
+      ++small_failures;
+    }
+  }
+  if (small_successes > 0) {
+    EXPECT_LT(big_total / 8.0, small_total / small_successes);
+  } else {
+    EXPECT_GT(small_failures, 0);  // memory starvation showed as OOM
+  }
+}
+
+TEST(SimPropertiesTest, EnvironmentIsDeterministicPerSeed) {
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 3.2);
+  TuningEnvironment a(cluster_a(), ts, {.seed = 99});
+  TuningEnvironment b(cluster_a(), ts, {.seed = 99});
+  EXPECT_EQ(a.reset(), b.reset());
+  const std::vector<double> action(kNumKnobs, 0.6);
+  const StepResult ra = a.step(action);
+  const StepResult rb = b.step(action);
+  EXPECT_DOUBLE_EQ(ra.exec_seconds, rb.exec_seconds);
+  EXPECT_DOUBLE_EQ(ra.reward, rb.reward);
+  EXPECT_EQ(ra.state, rb.state);
+}
+
+TEST(SimPropertiesTest, EnvironmentSeedsDiffer) {
+  const WorkloadSpec ts = make_workload(WorkloadType::kTeraSort, 3.2);
+  TuningEnvironment a(cluster_a(), ts, {.seed = 1});
+  TuningEnvironment b(cluster_a(), ts, {.seed = 2});
+  a.reset();
+  b.reset();
+  EXPECT_NE(a.default_time(), b.default_time());
+}
+
+TEST(SimPropertiesTest, FailureInjectionViaVmemStarvation) {
+  // A config that overcommits off-heap against a tight vmem ratio should
+  // fail at least sometimes — the container-kill path must be reachable.
+  const JobSimulator sim(cluster_a());
+  const WorkloadSpec km = make_workload(WorkloadType::kKMeans, 40.0);
+  ConfigValues c = pipeline_space().defaults();
+  c.set(KnobId::kExecutorInstances, 8);
+  c.set(KnobId::kExecutorCores, 8);
+  c.set(KnobId::kExecutorMemoryMb, 768);
+  c.set(KnobId::kMemoryOverheadMb, 256);
+  c.set(KnobId::kVmemPmemRatio, 1.0);
+  c.set(KnobId::kReducerMaxSizeInFlightMb, 128);
+  int failures = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    failures += !sim.run(km, c, seed).success;
+  }
+  // This configuration is hopeless enough that most (possibly all) runs
+  // die; what matters is that the container-kill path is reachable.
+  EXPECT_GT(failures, 10);
+}
+
+// Property sweep: the simulator must stay well-behaved (finite, positive,
+// successful-or-explained) over a grid of executor shapes.
+class ExecutorShapeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ExecutorShapeProperty, SimulatorIsTotal) {
+  const auto [instances, cores, memory_gb] = GetParam();
+  ConfigValues c = capacity_config();
+  c.set(KnobId::kExecutorInstances, instances);
+  c.set(KnobId::kExecutorCores, cores);
+  c.set(KnobId::kExecutorMemoryMb, memory_gb * 1024);
+  const JobSimulator sim(cluster_a());
+  for (const auto& hb : hibench_suite()) {
+    const ExecutionResult r = sim.run(workload_for(hb), c, 7);
+    EXPECT_TRUE(std::isfinite(r.exec_seconds)) << hb.id;
+    EXPECT_GT(r.exec_seconds, 0.0) << hb.id;
+    if (!r.success) {
+      EXPECT_FALSE(r.failure_reason.empty()) << hb.id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ExecutorShapeProperty,
+    ::testing::Combine(::testing::Values(1, 6, 24),
+                       ::testing::Values(1, 4, 16),
+                       ::testing::Values(1, 6, 14)));
+
+}  // namespace
+}  // namespace deepcat::sparksim

@@ -1,0 +1,177 @@
+#include "sparksim/task_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace deepcat::sparksim {
+namespace {
+
+TaskEngineConfig quiet_config(int slots) {
+  TaskEngineConfig c;
+  c.slots = slots;
+  c.jitter_sigma = 0.0;
+  c.straggler_prob = 0.0;
+  c.locality_wait_s = 0.0;
+  c.local_fraction = 1.0;
+  c.schedule_overhead_s = 0.0;
+  return c;
+}
+
+TEST(TaskEngineTest, RejectsBadArguments) {
+  common::Rng rng(1);
+  EXPECT_THROW((void)run_stage(0, 1.0, quiet_config(2), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_stage(4, 1.0, quiet_config(0), rng),
+               std::invalid_argument);
+  EXPECT_THROW((void)run_stage(4, -1.0, quiet_config(2), rng),
+               std::invalid_argument);
+}
+
+TEST(TaskEngineTest, NoiselessWaveMath) {
+  common::Rng rng(2);
+  // 10 tasks of 2 s on 4 slots: ceil(10/4) = 3 waves -> 6 s.
+  const StageRunResult r = run_stage(10, 2.0, quiet_config(4), rng);
+  EXPECT_DOUBLE_EQ(r.duration_s, 6.0);
+  EXPECT_DOUBLE_EQ(r.busy_core_seconds, 20.0);
+  EXPECT_EQ(r.num_tasks, 10);
+  EXPECT_EQ(r.stragglers, 0);
+}
+
+TEST(TaskEngineTest, SingleWaveWhenSlotsCoverTasks) {
+  common::Rng rng(3);
+  const StageRunResult r = run_stage(8, 3.0, quiet_config(16), rng);
+  EXPECT_DOUBLE_EQ(r.duration_s, 3.0);
+}
+
+TEST(TaskEngineTest, MoreSlotsNeverSlower) {
+  common::Rng rng(4);
+  double prev = 1e300;
+  for (int slots : {1, 2, 4, 8, 16, 32}) {
+    common::Rng local(42);  // identical draws per run
+    const StageRunResult r = run_stage(40, 1.0, quiet_config(slots), local);
+    EXPECT_LE(r.duration_s, prev + 1e-9);
+    prev = r.duration_s;
+  }
+}
+
+TEST(TaskEngineTest, DeterministicGivenSeed) {
+  const TaskEngineConfig cfg = [] {
+    TaskEngineConfig c;
+    c.slots = 4;
+    return c;
+  }();
+  common::Rng rng1(7), rng2(7);
+  const StageRunResult a = run_stage(20, 2.0, cfg, rng1);
+  const StageRunResult b = run_stage(20, 2.0, cfg, rng2);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  EXPECT_DOUBLE_EQ(a.busy_core_seconds, b.busy_core_seconds);
+  EXPECT_EQ(a.stragglers, b.stragglers);
+}
+
+TEST(TaskEngineTest, JitterSpreadsDurations) {
+  TaskEngineConfig cfg = quiet_config(1);
+  cfg.jitter_sigma = 0.3;
+  common::Rng rng(8);
+  const StageRunResult r = run_stage(100, 1.0, cfg, rng);
+  // Log-normal mean > median: total busy time above 100 x 1 s nominal.
+  EXPECT_GT(r.busy_core_seconds, 95.0);
+  EXPECT_NE(r.busy_core_seconds, 100.0);
+}
+
+TEST(TaskEngineTest, StragglersAreInjected) {
+  TaskEngineConfig cfg = quiet_config(4);
+  cfg.straggler_prob = 0.5;
+  common::Rng rng(9);
+  const StageRunResult r = run_stage(100, 1.0, cfg, rng);
+  EXPECT_GT(r.stragglers, 20);
+  EXPECT_LT(r.stragglers, 80);
+}
+
+TEST(TaskEngineTest, SpeculationTrimsTail) {
+  TaskEngineConfig cfg = quiet_config(8);
+  cfg.jitter_sigma = 0.1;
+  cfg.straggler_prob = 0.15;
+
+  common::Rng rng_off(10);
+  const StageRunResult off = run_stage(64, 2.0, cfg, rng_off);
+
+  cfg.speculation = true;
+  common::Rng rng_on(10);  // same stochastic tape
+  const StageRunResult on = run_stage(64, 2.0, cfg, rng_on);
+
+  EXPECT_GT(on.speculative_copies, 0);
+  EXPECT_LT(on.duration_s, off.duration_s);
+}
+
+TEST(TaskEngineTest, RemotePenaltyAppliedToNonLocalTasks) {
+  TaskEngineConfig cfg = quiet_config(1);
+  cfg.local_fraction = 0.0;
+  cfg.remote_penalty_s = 5.0;
+  common::Rng rng(11);
+  const StageRunResult r = run_stage(10, 1.0, cfg, rng);
+  // All tasks remote: duration >= 10 * (1 + 5).
+  EXPECT_GE(r.duration_s, 60.0 - 1e-9);
+}
+
+TEST(TaskEngineTest, LocalityWaitConvertsRemoteTasks) {
+  TaskEngineConfig cfg = quiet_config(1);
+  cfg.local_fraction = 0.3;
+  cfg.remote_penalty_s = 8.0;
+
+  cfg.locality_wait_s = 0.0;
+  common::Rng rng_a(12);
+  const StageRunResult eager = run_stage(60, 1.0, cfg, rng_a);
+
+  cfg.locality_wait_s = 3.0;
+  common::Rng rng_b(12);
+  const StageRunResult patient = run_stage(60, 1.0, cfg, rng_b);
+
+  // With a heavy remote penalty, waiting is the better trade.
+  EXPECT_LT(patient.duration_s, eager.duration_s);
+}
+
+TEST(TaskEngineTest, ExcessiveWaitHurtsWhenPenaltySmall) {
+  TaskEngineConfig cfg = quiet_config(1);
+  cfg.local_fraction = 0.3;
+  cfg.remote_penalty_s = 0.2;
+
+  cfg.locality_wait_s = 0.0;
+  common::Rng rng_a(13);
+  const StageRunResult eager = run_stage(60, 1.0, cfg, rng_a);
+
+  cfg.locality_wait_s = 10.0;
+  common::Rng rng_b(13);
+  const StageRunResult patient = run_stage(60, 1.0, cfg, rng_b);
+
+  EXPECT_GT(patient.duration_s, eager.duration_s);
+}
+
+TEST(TaskEngineTest, ScheduleOverheadAccrues) {
+  TaskEngineConfig cfg = quiet_config(1);
+  cfg.schedule_overhead_s = 0.5;
+  common::Rng rng(14);
+  const StageRunResult r = run_stage(10, 1.0, cfg, rng);
+  EXPECT_DOUBLE_EQ(r.duration_s, 15.0);
+}
+
+// Property: with T tasks on S quiet slots, makespan is exactly
+// ceil(T/S) * task_time.
+class WaveProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(WaveProperty, MakespanMatchesCeilFormula) {
+  const auto [tasks, slots] = GetParam();
+  common::Rng rng(15);
+  const StageRunResult r = run_stage(tasks, 1.5, quiet_config(slots), rng);
+  const double waves = std::ceil(static_cast<double>(tasks) / slots);
+  EXPECT_DOUBLE_EQ(r.duration_s, waves * 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WaveProperty,
+    ::testing::Combine(::testing::Values(1, 7, 16, 33, 100),
+                       ::testing::Values(1, 4, 16, 64)));
+
+}  // namespace
+}  // namespace deepcat::sparksim

@@ -1,0 +1,148 @@
+#include "sparksim/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace deepcat::sparksim {
+namespace {
+
+TEST(WorkloadsTest, Names) {
+  EXPECT_EQ(to_string(WorkloadType::kWordCount), "WordCount");
+  EXPECT_EQ(to_string(WorkloadType::kTeraSort), "TeraSort");
+  EXPECT_EQ(to_string(WorkloadType::kPageRank), "PageRank");
+  EXPECT_EQ(to_string(WorkloadType::kKMeans), "KMeans");
+}
+
+TEST(WorkloadsTest, RejectsNonPositiveInput) {
+  EXPECT_THROW((void)make_workload(WorkloadType::kTeraSort, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_workload(WorkloadType::kKMeans, -5.0),
+               std::invalid_argument);
+}
+
+TEST(WorkloadsTest, WordCountShape) {
+  const WorkloadSpec w = make_workload(WorkloadType::kWordCount, 3.2);
+  EXPECT_EQ(w.type, WorkloadType::kWordCount);
+  EXPECT_NEAR(w.input_mb, 3.2 * 1024.0, 1e-9);
+  ASSERT_EQ(w.stages.size(), 2u);
+  // Map reads everything; combiner shrinks the shuffle dramatically.
+  EXPECT_DOUBLE_EQ(w.stages[0].hdfs_read_mb, w.input_mb);
+  EXPECT_LT(w.stages[0].shuffle_write_mb, 0.2 * w.input_mb);
+  EXPECT_DOUBLE_EQ(w.stages[1].shuffle_read_mb, w.stages[0].shuffle_write_mb);
+}
+
+TEST(WorkloadsTest, TeraSortMovesWholeDataset) {
+  const WorkloadSpec w = make_workload(WorkloadType::kTeraSort, 6.0);
+  ASSERT_EQ(w.stages.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.stages[0].shuffle_write_mb, w.input_mb);
+  EXPECT_DOUBLE_EQ(w.stages[1].shuffle_read_mb, w.input_mb);
+  EXPECT_DOUBLE_EQ(w.stages[1].hdfs_write_mb, w.input_mb);
+  // Sort stage holds its partition in memory: biggest working set.
+  EXPECT_GT(w.stages[1].ws_multiplier, w.stages[0].ws_multiplier);
+  // Random keys compress poorly.
+  EXPECT_LT(w.compressibility, 0.4);
+}
+
+TEST(WorkloadsTest, PageRankIsIterativeWithCachedLinks) {
+  const WorkloadSpec w = make_workload(WorkloadType::kPageRank, 1.0);
+  EXPECT_GE(w.stages.size(), 4u);
+  EXPECT_GT(w.stages[0].cache_put_mb, 0.0);
+  for (std::size_t i = 1; i < w.stages.size(); ++i) {
+    EXPECT_GT(w.stages[i].cache_get_mb, 0.0) << "iteration " << i;
+  }
+  // Final stage writes ranks back to HDFS.
+  EXPECT_GT(w.stages.back().hdfs_write_mb, 0.0);
+  // Adjacency lists carry huge records (Kryo buffer hazard).
+  EXPECT_GT(w.max_record_mb, 10.0);
+}
+
+TEST(WorkloadsTest, KMeansCachesDatasetAndBroadcasts) {
+  const WorkloadSpec w = make_workload(WorkloadType::kKMeans, 20.0);
+  EXPECT_DOUBLE_EQ(w.stages[0].cache_put_mb, w.input_mb);
+  bool any_broadcast = false;
+  for (const auto& s : w.stages) any_broadcast |= s.broadcast_mb > 0.0;
+  EXPECT_TRUE(any_broadcast);
+  // Boxed point vectors: worst Java-serializer bloat of the suite.
+  EXPECT_GT(w.java_ser_bloat, 1.5);
+}
+
+TEST(WorkloadsTest, InputScalesLinearly) {
+  const WorkloadSpec small = make_workload(WorkloadType::kTeraSort, 3.2);
+  const WorkloadSpec large = make_workload(WorkloadType::kTeraSort, 10.0);
+  EXPECT_NEAR(large.input_mb / small.input_mb, 10.0 / 3.2, 1e-9);
+  EXPECT_NEAR(large.stages[0].shuffle_write_mb /
+                  small.stages[0].shuffle_write_mb,
+              10.0 / 3.2, 1e-9);
+}
+
+TEST(WorkloadsTest, StageInputAccountsAllSources) {
+  const WorkloadSpec w = make_workload(WorkloadType::kPageRank, 0.5);
+  const StageSpec& iter = w.stages[1];
+  EXPECT_DOUBLE_EQ(iter.input_mb(),
+                   iter.hdfs_read_mb + iter.shuffle_read_mb +
+                       iter.cache_get_mb);
+}
+
+TEST(HiBenchSuiteTest, TwelveCasesMatchingTable1) {
+  const auto& suite = hibench_suite();
+  ASSERT_EQ(suite.size(), 12u);
+  EXPECT_EQ(hibench_case("WC-D1").input_units, 3.2);
+  EXPECT_EQ(hibench_case("WC-D3").input_units, 20.0);
+  EXPECT_EQ(hibench_case("TS-D2").input_units, 6.0);
+  EXPECT_EQ(hibench_case("PR-D1").input_units, 0.5);
+  EXPECT_EQ(hibench_case("PR-D3").input_units, 1.6);
+  EXPECT_EQ(hibench_case("KM-D2").input_units, 30.0);
+  EXPECT_EQ(hibench_case("KM-D3").input_units, 40.0);
+}
+
+TEST(HiBenchSuiteTest, IdsAreUniqueAndWellFormed) {
+  std::set<std::string> ids;
+  for (const auto& c : hibench_suite()) {
+    EXPECT_EQ(c.id.size(), 5u) << c.id;
+    EXPECT_GE(c.dataset_index, 1);
+    EXPECT_LE(c.dataset_index, 3);
+    ids.insert(c.id);
+  }
+  EXPECT_EQ(ids.size(), 12u);
+}
+
+TEST(HiBenchSuiteTest, UnknownIdThrows) {
+  EXPECT_THROW((void)hibench_case("XX-D9"), std::out_of_range);
+}
+
+TEST(HiBenchSuiteTest, WorkloadForBuildsMatchingSpec) {
+  const auto& c = hibench_case("KM-D1");
+  const WorkloadSpec w = workload_for(c);
+  EXPECT_EQ(w.type, WorkloadType::kKMeans);
+  EXPECT_NEAR(w.input_mb, 20.0 * 160.0, 1e-9);
+}
+
+// Property: every stage of every suite workload has sane cost fields.
+class SuiteStageProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SuiteStageProperty, StagesAreWellFormed) {
+  const auto& c = hibench_suite()[GetParam()];
+  const WorkloadSpec w = workload_for(c);
+  EXPECT_GT(w.input_mb, 0.0);
+  EXPECT_GT(w.compressibility, 0.0);
+  EXPECT_LT(w.compressibility, 1.0);
+  ASSERT_FALSE(w.stages.empty());
+  // First stage must ingest the dataset from HDFS.
+  EXPECT_DOUBLE_EQ(w.stages.front().hdfs_read_mb, w.input_mb);
+  for (const auto& s : w.stages) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_GE(s.cpu_ms_per_mb, 0.0);
+    EXPECT_GT(s.ws_multiplier, 0.0);
+    EXPECT_GE(s.hdfs_read_mb, 0.0);
+    EXPECT_GE(s.shuffle_read_mb, 0.0);
+    EXPECT_GE(s.shuffle_write_mb, 0.0);
+    EXPECT_GT(s.input_mb(), 0.0) << s.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, SuiteStageProperty,
+                         ::testing::Range(std::size_t{0}, std::size_t{12}));
+
+}  // namespace
+}  // namespace deepcat::sparksim

@@ -1,0 +1,144 @@
+#include "sparksim/yarn.hpp"
+
+#include <gtest/gtest.h>
+
+namespace deepcat::sparksim {
+namespace {
+
+ConfigValues defaults() { return pipeline_space().defaults(); }
+
+TEST(YarnTest, DefaultConfigurationIsAccepted) {
+  const YarnAllocation a = YarnModel(cluster_a(), defaults()).allocate();
+  EXPECT_TRUE(a.accepted);
+  EXPECT_EQ(a.executors, 2);  // spark.executor.instances default
+  EXPECT_EQ(a.executor_cores, 1);
+  EXPECT_GE(a.container_mb, a.heap_mb);
+}
+
+TEST(YarnTest, ContainerRoundedUpToIncrement) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorMemoryMb, 1000);
+  cfg.set(KnobId::kMemoryOverheadMb, 300);
+  cfg.set(KnobId::kSchedIncrementMb, 512);
+  cfg.set(KnobId::kSchedMinAllocMb, 256);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  // ask = 1300 -> ceil to 1536.
+  EXPECT_DOUBLE_EQ(a.container_mb, 1536.0);
+}
+
+TEST(YarnTest, MinimumAllocationIsAFloor) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorMemoryMb, 512);
+  cfg.set(KnobId::kMemoryOverheadMb, 256);
+  cfg.set(KnobId::kSchedMinAllocMb, 4096);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  EXPECT_TRUE(a.accepted);
+  EXPECT_GE(a.container_mb, 4096.0);
+}
+
+TEST(YarnTest, OversizedAskClippedToMaxAllocation) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorMemoryMb, 14336);
+  cfg.set(KnobId::kMemoryOverheadMb, 2048);
+  cfg.set(KnobId::kSchedMaxAllocMb, 4096);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  EXPECT_TRUE(a.accepted);
+  EXPECT_LE(a.container_mb, 4096.0);
+  // Heap shrinks; the overhead reservation survives inside the container.
+  EXPECT_LT(a.heap_mb, 14336.0);
+  EXPECT_LE(a.heap_mb, a.container_mb);
+}
+
+TEST(YarnTest, CoresClippedToSchedulerAndNodeManager) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorCores, 16);
+  cfg.set(KnobId::kSchedMaxAllocVcores, 4);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  EXPECT_TRUE(a.accepted);
+  EXPECT_EQ(a.executor_cores, 4);
+
+  ConfigValues cfg2 = defaults();
+  cfg2.set(KnobId::kExecutorCores, 12);
+  cfg2.set(KnobId::kSchedMaxAllocVcores, 16);
+  cfg2.set(KnobId::kNmVcores, 6);
+  const YarnAllocation a2 = YarnModel(cluster_a(), cfg2).allocate();
+  EXPECT_TRUE(a2.accepted);
+  EXPECT_EQ(a2.executor_cores, 6);
+}
+
+TEST(YarnTest, ContainerClippedToNodeManagerMemory) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorMemoryMb, 12288);
+  cfg.set(KnobId::kMemoryOverheadMb, 2048);
+  cfg.set(KnobId::kSchedMaxAllocMb, 15360);
+  cfg.set(KnobId::kNmMemoryMb, 6144);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  EXPECT_TRUE(a.accepted);
+  EXPECT_LE(a.container_mb, 6144.0);
+}
+
+TEST(YarnTest, ExecutorCountCappedByClusterCapacity) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorInstances, 24);
+  cfg.set(KnobId::kExecutorCores, 4);
+  cfg.set(KnobId::kExecutorMemoryMb, 4096);
+  cfg.set(KnobId::kMemoryOverheadMb, 512);
+  cfg.set(KnobId::kNmMemoryMb, 15360);
+  cfg.set(KnobId::kNmVcores, 16);
+  cfg.set(KnobId::kSchedMaxAllocMb, 15360);
+  cfg.set(KnobId::kSchedMaxAllocVcores, 16);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  EXPECT_TRUE(a.accepted);
+  // Per node: min(15360/4608=3, 16/4=4) = 3 -> 9 cluster-wide, minus AM.
+  EXPECT_EQ(a.executors, 8);
+}
+
+TEST(YarnTest, AmReservationNeverZeroesExecutors) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorInstances, 1);
+  cfg.set(KnobId::kExecutorMemoryMb, 7168);
+  cfg.set(KnobId::kMemoryOverheadMb, 512);
+  cfg.set(KnobId::kNmMemoryMb, 8192);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  EXPECT_TRUE(a.accepted);
+  EXPECT_GE(a.executors, 1);
+}
+
+TEST(YarnTest, VmemLimitScalesWithRatio) {
+  ConfigValues low = defaults();
+  low.set(KnobId::kVmemPmemRatio, 1.0);
+  ConfigValues high = defaults();
+  high.set(KnobId::kVmemPmemRatio, 5.0);
+  const YarnAllocation a_low = YarnModel(cluster_a(), low).allocate();
+  const YarnAllocation a_high = YarnModel(cluster_a(), high).allocate();
+  EXPECT_DOUBLE_EQ(a_low.vmem_limit_mb, a_low.container_mb);
+  EXPECT_DOUBLE_EQ(a_high.vmem_limit_mb, 5.0 * a_high.container_mb);
+}
+
+TEST(YarnTest, OverheadDefaultsToTenPercentFloor) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorMemoryMb, 10240);
+  cfg.set(KnobId::kMemoryOverheadMb, 256);  // below 10% of heap
+  cfg.set(KnobId::kNmMemoryMb, 15360);
+  cfg.set(KnobId::kSchedMaxAllocMb, 15360);
+  const YarnAllocation a = YarnModel(cluster_a(), cfg).allocate();
+  EXPECT_TRUE(a.accepted);
+  EXPECT_GE(a.container_mb - a.heap_mb, 1024.0 - 1e-9);
+}
+
+TEST(YarnTest, SmallerClusterGrantsFewerSlots) {
+  ConfigValues cfg = defaults();
+  cfg.set(KnobId::kExecutorInstances, 24);
+  cfg.set(KnobId::kExecutorCores, 4);
+  cfg.set(KnobId::kExecutorMemoryMb, 3072);
+  cfg.set(KnobId::kNmMemoryMb, 15360);
+  cfg.set(KnobId::kNmVcores, 16);
+  const YarnAllocation on_a = YarnModel(cluster_a(), cfg).allocate();
+  const YarnAllocation on_b = YarnModel(cluster_b(), cfg).allocate();
+  EXPECT_TRUE(on_a.accepted);
+  EXPECT_TRUE(on_b.accepted);
+  EXPECT_LT(on_b.executors, on_a.executors);
+}
+
+}  // namespace
+}  // namespace deepcat::sparksim

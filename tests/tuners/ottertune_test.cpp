@@ -1,0 +1,87 @@
+#include "tuners/ottertune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/environment.hpp"
+
+namespace deepcat::tuners {
+namespace {
+
+using sparksim::TuningEnvironment;
+using sparksim::WorkloadType;
+
+TuningEnvironment make_env(WorkloadType type, double size,
+                           std::uint64_t seed) {
+  return TuningEnvironment(sparksim::cluster_a(),
+                           sparksim::make_workload(type, size), {.seed = seed});
+}
+
+OtterTuneOptions fast_options(std::uint64_t seed = 1) {
+  OtterTuneOptions o;
+  o.seed = seed;
+  o.candidate_pool = 100;
+  o.local_candidates = 20;
+  o.max_mapped_samples = 80;
+  return o;
+}
+
+TEST(OtterTuneTest, CollectObservationsFillsRepository) {
+  OtterTuneTuner tuner(fast_options(2));
+  TuningEnvironment env = make_env(WorkloadType::kTeraSort, 3.2, 2);
+  tuner.collect_observations(env, "TS", 50);
+  EXPECT_EQ(tuner.repository().num_workloads(), 1u);
+  EXPECT_EQ(tuner.repository().observations("TS").size(), 50u);
+  for (const auto& obs : tuner.repository().observations("TS")) {
+    EXPECT_EQ(obs.config.size(), env.action_dim());
+    EXPECT_EQ(obs.metrics.size(), env.state_dim());
+    EXPECT_GT(obs.performance, 0.0);
+  }
+}
+
+TEST(OtterTuneTest, TuneWithEmptyRepositoryStillWorks) {
+  OtterTuneTuner tuner(fast_options(3));
+  TuningEnvironment env = make_env(WorkloadType::kTeraSort, 3.2, 3);
+  const TuningReport report = tuner.tune(env, 4);
+  EXPECT_EQ(report.tuner_name, "OtterTune");
+  EXPECT_EQ(report.steps.size(), 4u);
+  EXPECT_LE(report.best_time, report.default_time);
+}
+
+TEST(OtterTuneTest, TuneUsesOfflineSamples) {
+  OtterTuneTuner tuner(fast_options(4));
+  TuningEnvironment offline_env = make_env(WorkloadType::kTeraSort, 3.2, 4);
+  tuner.collect_observations(offline_env, "TS-D1", 120);
+  TuningEnvironment env = make_env(WorkloadType::kTeraSort, 3.2, 5);
+  const TuningReport report = tuner.tune(env, 5);
+  EXPECT_EQ(report.steps.size(), 5u);
+  // With a seeded GP the tuner should clearly beat the default.
+  EXPECT_LT(report.best_time, report.default_time * 0.8);
+}
+
+TEST(OtterTuneTest, RecommendationTimeIsMeasured) {
+  OtterTuneTuner tuner(fast_options(6));
+  TuningEnvironment offline_env = make_env(WorkloadType::kTeraSort, 3.2, 6);
+  tuner.collect_observations(offline_env, "TS-D1", 100);
+  TuningEnvironment env = make_env(WorkloadType::kTeraSort, 3.2, 7);
+  const TuningReport report = tuner.tune(env, 3);
+  // GP fit + EI search takes real time, unlike random sampling.
+  EXPECT_GT(report.total_recommendation_seconds(), 0.0);
+}
+
+TEST(OtterTuneTest, WorkloadMappingPicksSimilarHistory) {
+  OtterTuneTuner tuner(fast_options(8));
+  // Two very different historical workloads.
+  TuningEnvironment km_env = make_env(WorkloadType::kKMeans, 20.0, 8);
+  tuner.collect_observations(km_env, "KM", 60);
+  TuningEnvironment ts_env = make_env(WorkloadType::kTeraSort, 3.2, 9);
+  tuner.collect_observations(ts_env, "TS", 60);
+  EXPECT_EQ(tuner.repository().num_workloads(), 2u);
+  // Tune TeraSort again: the nearest-workload machinery must not throw
+  // and should produce a usable report.
+  TuningEnvironment env = make_env(WorkloadType::kTeraSort, 6.0, 10);
+  const TuningReport report = tuner.tune(env, 3);
+  EXPECT_EQ(report.steps.size(), 3u);
+}
+
+}  // namespace
+}  // namespace deepcat::tuners

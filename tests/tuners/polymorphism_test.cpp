@@ -1,0 +1,91 @@
+// All tuners behind the OnlineTuner interface: the experiment harnesses
+// drive them polymorphically, so the interface contract (report shape,
+// cost accounting, best-config consistency) must hold for every one.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sparksim/environment.hpp"
+#include "tuners/cdbtune.hpp"
+#include "tuners/deepcat.hpp"
+#include "tuners/ottertune.hpp"
+#include "tuners/random_search.hpp"
+
+namespace deepcat::tuners {
+namespace {
+
+using sparksim::TuningEnvironment;
+using sparksim::WorkloadType;
+
+std::vector<std::unique_ptr<OnlineTuner>> all_tuners() {
+  std::vector<std::unique_ptr<OnlineTuner>> tuners;
+  DeepCatOptions dc;
+  dc.td3.hidden = {24, 24};
+  dc.seed = 71;
+  dc.warmup_steps = 8;
+  tuners.push_back(std::make_unique<DeepCatTuner>(dc));
+  CdbTuneOptions cdb;
+  cdb.ddpg.hidden = {24, 24};
+  cdb.seed = 72;
+  cdb.warmup_steps = 8;
+  tuners.push_back(std::make_unique<CdbTuneTuner>(cdb));
+  OtterTuneOptions ot;
+  ot.seed = 73;
+  ot.candidate_pool = 50;
+  ot.local_candidates = 10;
+  tuners.push_back(std::make_unique<OtterTuneTuner>(ot));
+  tuners.push_back(
+      std::make_unique<RandomSearchTuner>(RandomSearchOptions{.seed = 74}));
+  return tuners;
+}
+
+TEST(TunerContractTest, EveryTunerHonorsTheReportContract) {
+  for (auto& tuner : all_tuners()) {
+    TuningEnvironment env(sparksim::cluster_a(),
+                          sparksim::make_workload(WorkloadType::kTeraSort, 3.2),
+                          {.seed = 700});
+    const TuningReport report = tuner->tune(env, 4);
+    SCOPED_TRACE(tuner->name());
+    EXPECT_EQ(report.tuner_name, tuner->name());
+    EXPECT_EQ(report.workload_name, "TeraSort(3.2GB)");
+    ASSERT_EQ(report.steps.size(), 4u);
+    EXPECT_GT(report.default_time, 0.0);
+    EXPECT_GT(report.best_time, 0.0);
+    EXPECT_LE(report.best_time, report.default_time);
+    for (std::size_t i = 0; i < report.steps.size(); ++i) {
+      EXPECT_EQ(report.steps[i].step, static_cast<int>(i) + 1);
+      EXPECT_GT(report.steps[i].exec_seconds, 0.0);
+      EXPECT_GE(report.steps[i].recommendation_seconds, 0.0);
+      if (i > 0) {
+        EXPECT_LE(report.steps[i].best_so_far,
+                  report.steps[i - 1].best_so_far);
+      }
+    }
+    // Last best_so_far must equal the reported best.
+    EXPECT_DOUBLE_EQ(report.steps.back().best_so_far, report.best_time);
+    // Cost identities.
+    EXPECT_NEAR(report.total_tuning_seconds(),
+                report.total_evaluation_seconds() +
+                    report.total_recommendation_seconds(),
+                1e-9);
+  }
+}
+
+TEST(TunerContractTest, BestConfigReproducesBestTimeScale) {
+  // Re-evaluating the reported best config lands in the same ballpark
+  // (exact equality is impossible: every run draws fresh noise).
+  for (auto& tuner : all_tuners()) {
+    TuningEnvironment env(sparksim::cluster_a(),
+                          sparksim::make_workload(WorkloadType::kTeraSort, 3.2),
+                          {.seed = 701});
+    const TuningReport report = tuner->tune(env, 4);
+    SCOPED_TRACE(tuner->name());
+    const sparksim::StepResult re = env.evaluate(report.best_config);
+    ASSERT_TRUE(re.success);
+    EXPECT_LT(std::abs(re.exec_seconds - report.best_time),
+              0.5 * report.best_time);
+  }
+}
+
+}  // namespace
+}  // namespace deepcat::tuners

@@ -1,0 +1,72 @@
+#include "tuners/random_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sparksim/environment.hpp"
+
+namespace deepcat::tuners {
+namespace {
+
+using sparksim::TuningEnvironment;
+using sparksim::WorkloadType;
+
+TuningEnvironment make_env(std::uint64_t seed = 42) {
+  return TuningEnvironment(sparksim::cluster_a(),
+                           sparksim::make_workload(WorkloadType::kTeraSort, 3.2),
+                           {.seed = seed});
+}
+
+TEST(RandomSearchTest, NamesReflectMode) {
+  EXPECT_EQ(RandomSearchTuner(RandomSearchOptions{}).name(), "Random");
+  EXPECT_EQ(RandomSearchTuner({.divide_and_diverge = true}).name(),
+            "DDS-Random");
+}
+
+TEST(RandomSearchTest, ReportShapeAndCosts) {
+  RandomSearchTuner tuner({.seed = 1});
+  TuningEnvironment env = make_env(1);
+  const TuningReport report = tuner.tune(env, 20);
+  EXPECT_EQ(report.steps.size(), 20u);
+  EXPECT_DOUBLE_EQ(report.total_recommendation_seconds(), 0.0);
+  EXPECT_LE(report.best_time, report.default_time);
+}
+
+TEST(RandomSearchTest, FindsBetterThanDefaultWithEnoughSamples) {
+  RandomSearchTuner tuner({.seed = 2});
+  TuningEnvironment env = make_env(2);
+  const TuningReport report = tuner.tune(env, 60);
+  // Fig. 2's premise: better-than-default configurations are easy to hit.
+  EXPECT_LT(report.best_time, report.default_time);
+}
+
+TEST(RandomSearchTest, BestSoFarIsMonotone) {
+  RandomSearchTuner tuner({.seed = 3});
+  TuningEnvironment env = make_env(3);
+  const TuningReport report = tuner.tune(env, 15);
+  for (std::size_t i = 1; i < report.steps.size(); ++i) {
+    EXPECT_LE(report.steps[i].best_so_far, report.steps[i - 1].best_so_far);
+  }
+}
+
+TEST(RandomSearchTest, DivideAndDivergeStratifiesEachKnob) {
+  // With n steps, DDS draws exactly one sample from each of n equal
+  // slices per dimension; plain random sampling clumps.
+  RandomSearchTuner tuner({.divide_and_diverge = true, .seed = 4});
+  TuningEnvironment env = make_env(4);
+  const int steps = 10;
+  const TuningReport report = tuner.tune(env, steps);
+  EXPECT_EQ(report.steps.size(), static_cast<std::size_t>(steps));
+}
+
+TEST(RandomSearchTest, SeedsChangeOutcomes) {
+  TuningEnvironment env_a = make_env(5);
+  TuningEnvironment env_b = make_env(5);
+  RandomSearchTuner a({.seed = 10});
+  RandomSearchTuner b({.seed = 11});
+  const double best_a = a.tune(env_a, 10).best_time;
+  const double best_b = b.tune(env_b, 10).best_time;
+  EXPECT_NE(best_a, best_b);
+}
+
+}  // namespace
+}  // namespace deepcat::tuners
