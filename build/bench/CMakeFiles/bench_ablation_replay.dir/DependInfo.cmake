@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_replay.cpp" "bench/CMakeFiles/bench_ablation_replay.dir/bench_ablation_replay.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_replay.dir/bench_ablation_replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/deepcat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuners/CMakeFiles/deepcat_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/deepcat_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/deepcat_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/deepcat_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepcat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deepcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_hw_adapt.dir/bench_fig10_hw_adapt.cpp.o"
+  "CMakeFiles/bench_fig10_hw_adapt.dir/bench_fig10_hw_adapt.cpp.o.d"
+  "bench_fig10_hw_adapt"
+  "bench_fig10_hw_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_hw_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

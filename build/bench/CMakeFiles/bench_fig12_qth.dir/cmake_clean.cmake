@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_qth.dir/bench_fig12_qth.cpp.o"
+  "CMakeFiles/bench_fig12_qth.dir/bench_fig12_qth.cpp.o.d"
+  "bench_fig12_qth"
+  "bench_fig12_qth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_qth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

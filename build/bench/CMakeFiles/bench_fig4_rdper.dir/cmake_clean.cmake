@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_rdper.dir/bench_fig4_rdper.cpp.o"
+  "CMakeFiles/bench_fig4_rdper.dir/bench_fig4_rdper.cpp.o.d"
+  "bench_fig4_rdper"
+  "bench_fig4_rdper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_rdper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

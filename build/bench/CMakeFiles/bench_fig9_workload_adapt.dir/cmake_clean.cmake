@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_workload_adapt.dir/bench_fig9_workload_adapt.cpp.o"
+  "CMakeFiles/bench_fig9_workload_adapt.dir/bench_fig9_workload_adapt.cpp.o.d"
+  "bench_fig9_workload_adapt"
+  "bench_fig9_workload_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_workload_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

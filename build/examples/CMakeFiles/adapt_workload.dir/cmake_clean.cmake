@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adapt_workload.dir/adapt_workload.cpp.o"
+  "CMakeFiles/adapt_workload.dir/adapt_workload.cpp.o.d"
+  "adapt_workload"
+  "adapt_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adapt_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat.dir/main.cpp.o"
+  "CMakeFiles/deepcat.dir/main.cpp.o.d"
+  "deepcat"
+  "deepcat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

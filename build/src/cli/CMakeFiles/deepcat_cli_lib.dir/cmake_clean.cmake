@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_cli_lib.dir/args.cpp.o"
+  "CMakeFiles/deepcat_cli_lib.dir/args.cpp.o.d"
+  "CMakeFiles/deepcat_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/deepcat_cli_lib.dir/commands.cpp.o.d"
+  "libdeepcat_cli_lib.a"
+  "libdeepcat_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_common.dir/logging.cpp.o"
+  "CMakeFiles/deepcat_common.dir/logging.cpp.o.d"
+  "CMakeFiles/deepcat_common.dir/rng.cpp.o"
+  "CMakeFiles/deepcat_common.dir/rng.cpp.o.d"
+  "CMakeFiles/deepcat_common.dir/stats.cpp.o"
+  "CMakeFiles/deepcat_common.dir/stats.cpp.o.d"
+  "CMakeFiles/deepcat_common.dir/table.cpp.o"
+  "CMakeFiles/deepcat_common.dir/table.cpp.o.d"
+  "CMakeFiles/deepcat_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/deepcat_common.dir/thread_pool.cpp.o.d"
+  "libdeepcat_common.a"
+  "libdeepcat_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_core.dir/deepcat_api.cpp.o"
+  "CMakeFiles/deepcat_core.dir/deepcat_api.cpp.o.d"
+  "libdeepcat_core.a"
+  "libdeepcat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_gp.dir/acquisition.cpp.o"
+  "CMakeFiles/deepcat_gp.dir/acquisition.cpp.o.d"
+  "CMakeFiles/deepcat_gp.dir/gp_regressor.cpp.o"
+  "CMakeFiles/deepcat_gp.dir/gp_regressor.cpp.o.d"
+  "CMakeFiles/deepcat_gp.dir/kernel.cpp.o"
+  "CMakeFiles/deepcat_gp.dir/kernel.cpp.o.d"
+  "CMakeFiles/deepcat_gp.dir/workload_map.cpp.o"
+  "CMakeFiles/deepcat_gp.dir/workload_map.cpp.o.d"
+  "libdeepcat_gp.a"
+  "libdeepcat_gp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_gp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

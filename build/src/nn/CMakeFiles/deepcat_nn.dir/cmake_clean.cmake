@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_nn.dir/adam.cpp.o"
+  "CMakeFiles/deepcat_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/deepcat_nn.dir/init.cpp.o"
+  "CMakeFiles/deepcat_nn.dir/init.cpp.o.d"
+  "CMakeFiles/deepcat_nn.dir/layers.cpp.o"
+  "CMakeFiles/deepcat_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/deepcat_nn.dir/matrix.cpp.o"
+  "CMakeFiles/deepcat_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/deepcat_nn.dir/mlp.cpp.o"
+  "CMakeFiles/deepcat_nn.dir/mlp.cpp.o.d"
+  "libdeepcat_nn.a"
+  "libdeepcat_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

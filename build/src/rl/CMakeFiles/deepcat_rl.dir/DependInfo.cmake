@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/agent_util.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/agent_util.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/agent_util.cpp.o.d"
+  "/root/repo/src/rl/ddpg.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/ddpg.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/ddpg.cpp.o.d"
+  "/root/repo/src/rl/noise.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/noise.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/noise.cpp.o.d"
+  "/root/repo/src/rl/replay.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/replay.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/replay.cpp.o.d"
+  "/root/repo/src/rl/replay_per.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/replay_per.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/replay_per.cpp.o.d"
+  "/root/repo/src/rl/replay_rdper.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/replay_rdper.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/replay_rdper.cpp.o.d"
+  "/root/repo/src/rl/sum_tree.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/sum_tree.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/sum_tree.cpp.o.d"
+  "/root/repo/src/rl/td3.cpp" "src/rl/CMakeFiles/deepcat_rl.dir/td3.cpp.o" "gcc" "src/rl/CMakeFiles/deepcat_rl.dir/td3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/deepcat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deepcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_rl.dir/agent_util.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/agent_util.cpp.o.d"
+  "CMakeFiles/deepcat_rl.dir/ddpg.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/ddpg.cpp.o.d"
+  "CMakeFiles/deepcat_rl.dir/noise.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/noise.cpp.o.d"
+  "CMakeFiles/deepcat_rl.dir/replay.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/replay.cpp.o.d"
+  "CMakeFiles/deepcat_rl.dir/replay_per.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/replay_per.cpp.o.d"
+  "CMakeFiles/deepcat_rl.dir/replay_rdper.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/replay_rdper.cpp.o.d"
+  "CMakeFiles/deepcat_rl.dir/sum_tree.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/sum_tree.cpp.o.d"
+  "CMakeFiles/deepcat_rl.dir/td3.cpp.o"
+  "CMakeFiles/deepcat_rl.dir/td3.cpp.o.d"
+  "libdeepcat_rl.a"
+  "libdeepcat_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

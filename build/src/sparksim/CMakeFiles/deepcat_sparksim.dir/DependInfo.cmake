@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparksim/config_export.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/config_export.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/config_export.cpp.o.d"
+  "/root/repo/src/sparksim/config_space.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/config_space.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/config_space.cpp.o.d"
+  "/root/repo/src/sparksim/environment.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/environment.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/environment.cpp.o.d"
+  "/root/repo/src/sparksim/hardware.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/hardware.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/hardware.cpp.o.d"
+  "/root/repo/src/sparksim/hdfs.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/hdfs.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/hdfs.cpp.o.d"
+  "/root/repo/src/sparksim/job_sim.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/job_sim.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/job_sim.cpp.o.d"
+  "/root/repo/src/sparksim/memory_model.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/memory_model.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/memory_model.cpp.o.d"
+  "/root/repo/src/sparksim/task_engine.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/task_engine.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/task_engine.cpp.o.d"
+  "/root/repo/src/sparksim/workloads.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/workloads.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/workloads.cpp.o.d"
+  "/root/repo/src/sparksim/yarn.cpp" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/yarn.cpp.o" "gcc" "src/sparksim/CMakeFiles/deepcat_sparksim.dir/yarn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/deepcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

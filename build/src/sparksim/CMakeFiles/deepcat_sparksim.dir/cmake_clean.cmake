@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_sparksim.dir/config_export.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/config_export.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/config_space.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/config_space.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/environment.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/environment.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/hardware.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/hardware.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/hdfs.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/hdfs.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/job_sim.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/job_sim.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/memory_model.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/memory_model.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/task_engine.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/task_engine.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/workloads.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/workloads.cpp.o.d"
+  "CMakeFiles/deepcat_sparksim.dir/yarn.cpp.o"
+  "CMakeFiles/deepcat_sparksim.dir/yarn.cpp.o.d"
+  "libdeepcat_sparksim.a"
+  "libdeepcat_sparksim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_sparksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepcat_sparksim.a"
+)

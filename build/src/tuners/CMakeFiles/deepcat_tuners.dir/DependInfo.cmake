@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuners/bestconfig.cpp" "src/tuners/CMakeFiles/deepcat_tuners.dir/bestconfig.cpp.o" "gcc" "src/tuners/CMakeFiles/deepcat_tuners.dir/bestconfig.cpp.o.d"
+  "/root/repo/src/tuners/cdbtune.cpp" "src/tuners/CMakeFiles/deepcat_tuners.dir/cdbtune.cpp.o" "gcc" "src/tuners/CMakeFiles/deepcat_tuners.dir/cdbtune.cpp.o.d"
+  "/root/repo/src/tuners/deepcat.cpp" "src/tuners/CMakeFiles/deepcat_tuners.dir/deepcat.cpp.o" "gcc" "src/tuners/CMakeFiles/deepcat_tuners.dir/deepcat.cpp.o.d"
+  "/root/repo/src/tuners/ottertune.cpp" "src/tuners/CMakeFiles/deepcat_tuners.dir/ottertune.cpp.o" "gcc" "src/tuners/CMakeFiles/deepcat_tuners.dir/ottertune.cpp.o.d"
+  "/root/repo/src/tuners/random_search.cpp" "src/tuners/CMakeFiles/deepcat_tuners.dir/random_search.cpp.o" "gcc" "src/tuners/CMakeFiles/deepcat_tuners.dir/random_search.cpp.o.d"
+  "/root/repo/src/tuners/tuner.cpp" "src/tuners/CMakeFiles/deepcat_tuners.dir/tuner.cpp.o" "gcc" "src/tuners/CMakeFiles/deepcat_tuners.dir/tuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rl/CMakeFiles/deepcat_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/deepcat_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/deepcat_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepcat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deepcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

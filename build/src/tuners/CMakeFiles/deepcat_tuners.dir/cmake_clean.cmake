@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepcat_tuners.dir/bestconfig.cpp.o"
+  "CMakeFiles/deepcat_tuners.dir/bestconfig.cpp.o.d"
+  "CMakeFiles/deepcat_tuners.dir/cdbtune.cpp.o"
+  "CMakeFiles/deepcat_tuners.dir/cdbtune.cpp.o.d"
+  "CMakeFiles/deepcat_tuners.dir/deepcat.cpp.o"
+  "CMakeFiles/deepcat_tuners.dir/deepcat.cpp.o.d"
+  "CMakeFiles/deepcat_tuners.dir/ottertune.cpp.o"
+  "CMakeFiles/deepcat_tuners.dir/ottertune.cpp.o.d"
+  "CMakeFiles/deepcat_tuners.dir/random_search.cpp.o"
+  "CMakeFiles/deepcat_tuners.dir/random_search.cpp.o.d"
+  "CMakeFiles/deepcat_tuners.dir/tuner.cpp.o"
+  "CMakeFiles/deepcat_tuners.dir/tuner.cpp.o.d"
+  "libdeepcat_tuners.a"
+  "libdeepcat_tuners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepcat_tuners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gp_test.dir/gp/acquisition_test.cpp.o"
+  "CMakeFiles/gp_test.dir/gp/acquisition_test.cpp.o.d"
+  "CMakeFiles/gp_test.dir/gp/gp_regressor_test.cpp.o"
+  "CMakeFiles/gp_test.dir/gp/gp_regressor_test.cpp.o.d"
+  "CMakeFiles/gp_test.dir/gp/kernel_test.cpp.o"
+  "CMakeFiles/gp_test.dir/gp/kernel_test.cpp.o.d"
+  "CMakeFiles/gp_test.dir/gp/lml_test.cpp.o"
+  "CMakeFiles/gp_test.dir/gp/lml_test.cpp.o.d"
+  "CMakeFiles/gp_test.dir/gp/workload_map_test.cpp.o"
+  "CMakeFiles/gp_test.dir/gp/workload_map_test.cpp.o.d"
+  "gp_test"
+  "gp_test.pdb"
+  "gp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

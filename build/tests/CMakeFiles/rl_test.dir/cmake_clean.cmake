@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rl_test.dir/rl/agent_util_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/agent_util_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/ddpg_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/ddpg_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/noise_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/noise_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/replay_per_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/replay_per_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/replay_rdper_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/replay_rdper_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/replay_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/replay_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/sum_tree_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/sum_tree_test.cpp.o.d"
+  "CMakeFiles/rl_test.dir/rl/td3_test.cpp.o"
+  "CMakeFiles/rl_test.dir/rl/td3_test.cpp.o.d"
+  "rl_test"
+  "rl_test.pdb"
+  "rl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

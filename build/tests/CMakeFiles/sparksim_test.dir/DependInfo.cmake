@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparksim/config_export_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/config_export_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/config_export_test.cpp.o.d"
+  "/root/repo/tests/sparksim/config_space_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/config_space_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/config_space_test.cpp.o.d"
+  "/root/repo/tests/sparksim/environment_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/environment_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/environment_test.cpp.o.d"
+  "/root/repo/tests/sparksim/extended_state_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/extended_state_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/extended_state_test.cpp.o.d"
+  "/root/repo/tests/sparksim/hardware_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/hardware_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/hardware_test.cpp.o.d"
+  "/root/repo/tests/sparksim/hdfs_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/hdfs_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/hdfs_test.cpp.o.d"
+  "/root/repo/tests/sparksim/job_sim_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/job_sim_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/job_sim_test.cpp.o.d"
+  "/root/repo/tests/sparksim/memory_model_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/memory_model_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/memory_model_test.cpp.o.d"
+  "/root/repo/tests/sparksim/sim_properties_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/sim_properties_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/sim_properties_test.cpp.o.d"
+  "/root/repo/tests/sparksim/task_engine_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/task_engine_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/task_engine_test.cpp.o.d"
+  "/root/repo/tests/sparksim/workloads_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/workloads_test.cpp.o.d"
+  "/root/repo/tests/sparksim/yarn_test.cpp" "tests/CMakeFiles/sparksim_test.dir/sparksim/yarn_test.cpp.o" "gcc" "tests/CMakeFiles/sparksim_test.dir/sparksim/yarn_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/deepcat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuners/CMakeFiles/deepcat_tuners.dir/DependInfo.cmake"
+  "/root/repo/build/src/gp/CMakeFiles/deepcat_gp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/deepcat_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparksim/CMakeFiles/deepcat_sparksim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepcat_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/deepcat_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sparksim_test.dir/sparksim/config_export_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/config_export_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/config_space_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/config_space_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/environment_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/environment_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/extended_state_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/extended_state_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/hardware_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/hardware_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/hdfs_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/hdfs_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/job_sim_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/job_sim_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/memory_model_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/memory_model_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/sim_properties_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/sim_properties_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/task_engine_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/task_engine_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/workloads_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/workloads_test.cpp.o.d"
+  "CMakeFiles/sparksim_test.dir/sparksim/yarn_test.cpp.o"
+  "CMakeFiles/sparksim_test.dir/sparksim/yarn_test.cpp.o.d"
+  "sparksim_test"
+  "sparksim_test.pdb"
+  "sparksim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sparksim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuners_test.dir/tuners/bestconfig_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners/bestconfig_test.cpp.o.d"
+  "CMakeFiles/tuners_test.dir/tuners/cdbtune_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners/cdbtune_test.cpp.o.d"
+  "CMakeFiles/tuners_test.dir/tuners/deepcat_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners/deepcat_test.cpp.o.d"
+  "CMakeFiles/tuners_test.dir/tuners/ottertune_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners/ottertune_test.cpp.o.d"
+  "CMakeFiles/tuners_test.dir/tuners/polymorphism_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners/polymorphism_test.cpp.o.d"
+  "CMakeFiles/tuners_test.dir/tuners/random_search_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners/random_search_test.cpp.o.d"
+  "CMakeFiles/tuners_test.dir/tuners/tuner_report_test.cpp.o"
+  "CMakeFiles/tuners_test.dir/tuners/tuner_report_test.cpp.o.d"
+  "tuners_test"
+  "tuners_test.pdb"
+  "tuners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

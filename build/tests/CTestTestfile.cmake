@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/nn_test[1]_include.cmake")
+include("/root/repo/build/tests/rl_test[1]_include.cmake")
+include("/root/repo/build/tests/gp_test[1]_include.cmake")
+include("/root/repo/build/tests/sparksim_test[1]_include.cmake")
+include("/root/repo/build/tests/tuners_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
