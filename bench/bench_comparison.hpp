@@ -92,8 +92,15 @@ inline std::vector<AveragedCase> run_averaged_comparison(
     const std::vector<std::uint64_t>& seeds) {
   std::vector<AveragedCase> averaged(case_ids.size());
   const double inv_n = 1.0 / static_cast<double>(seeds.size());
-  for (const std::uint64_t seed : seeds) {
-    const auto results = run_suite_comparison(case_ids, seed);
+  // Each seed's suite run is a pure function of (case_ids, seed): the
+  // tuners and environments it builds carry their own RNGs. Run the seeds
+  // concurrently, then fold in seed order so the floating-point
+  // accumulation matches the serial loop bit for bit.
+  const auto per_seed =
+      common::parallel_map(shared_pool(), seeds.size(), [&](std::size_t si) {
+        return run_suite_comparison(case_ids, seeds[si]);
+      });
+  for (const auto& results : per_seed) {
     for (std::size_t i = 0; i < results.size(); ++i) {
       AveragedCase& out = averaged[i];
       out.case_id = results[i].case_id;

@@ -1,10 +1,29 @@
-// Microbenchmarks (google-benchmark): the numeric kernels and simulator
-// hot paths that determine how cheap DeepCAT's "free" operations are —
-// in particular the Twin-Q indicator, whose entire point is costing
-// microseconds instead of a multi-minute cluster run.
+// Microbenchmarks: the numeric kernels and simulator hot paths that
+// determine how cheap DeepCAT's "free" operations are — in particular the
+// Twin-Q indicator, whose entire point is costing microseconds instead of
+// a multi-minute cluster run.
+//
+// Two modes:
+//   bench_micro                google-benchmark suite (default)
+//   bench_micro --json[=path]  kernel benchmark: times every GEMM/fused
+//                              kernel on both the scalar reference path and
+//                              the runtime-dispatched path, reports GFLOP/s
+//                              + ns/iter + speedup as JSON (the committed
+//                              BENCH_kernels.json perf baseline).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "gp/gp_regressor.hpp"
 #include "nn/mlp.hpp"
 #include "rl/replay_rdper.hpp"
@@ -28,6 +47,24 @@ void BM_MatMul(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n * n));
 }
 BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_MatMulScalar(benchmark::State& state) {
+  // Same workload with the vector backend disabled: the dispatch overhead
+  // and the scalar reference cost in one number.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(1);
+  nn::Matrix a(n, n), b(n, n);
+  for (double& x : a.flat()) x = rng.normal();
+  for (double& x : b.flat()) x = rng.normal();
+  common::simd::force_scalar(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::matmul(a, b));
+  }
+  common::simd::force_scalar(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * n));
+}
+BENCHMARK(BM_MatMulScalar)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_MlpForward(benchmark::State& state) {
   common::Rng rng(2);
@@ -117,6 +154,172 @@ void BM_GpFitPredict(benchmark::State& state) {
 }
 BENCHMARK(BM_GpFitPredict)->Arg(100)->Arg(400);
 
+// ---------------------------------------------------------------------------
+// --json mode: chrono-timed kernel suite, scalar vs dispatched backend.
+
+/// Times fn() and returns the best ns/call over `reps` timed repetitions
+/// (min filters scheduler noise better than mean for short kernels).
+template <typename Fn>
+double best_ns_per_call(Fn&& fn, double min_batch_seconds = 0.01,
+                        int reps = 5) {
+  using clock = std::chrono::steady_clock;
+  // Calibrate a batch size that runs for at least min_batch_seconds.
+  std::size_t batch = 1;
+  for (;;) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    const std::chrono::duration<double> elapsed = clock::now() - t0;
+    if (elapsed.count() >= min_batch_seconds || batch >= (1u << 24)) break;
+    batch *= 2;
+  }
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = clock::now();
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    const std::chrono::duration<double, std::nano> elapsed = clock::now() - t0;
+    best = std::min(best, elapsed.count() / static_cast<double>(batch));
+  }
+  return best;
+}
+
+struct KernelResult {
+  std::string name;
+  std::string shape;
+  double flops = 0.0;      ///< floating-point ops per call (0 = latency-only)
+  double scalar_ns = 0.0;
+  double vector_ns = 0.0;
+};
+
+/// Runs `fn` under both backends. When the vector backend is unavailable
+/// (DEEPCAT_DISABLE_SIMD build, non-AVX2 host, DEEPCAT_FORCE_SCALAR env),
+/// both columns report the scalar path.
+template <typename Fn>
+KernelResult time_both(std::string name, std::string shape, double flops,
+                       Fn&& fn) {
+  KernelResult r;
+  r.name = std::move(name);
+  r.shape = std::move(shape);
+  r.flops = flops;
+  common::simd::force_scalar(true);
+  r.scalar_ns = best_ns_per_call(fn);
+  common::simd::force_scalar(false);
+  r.vector_ns = best_ns_per_call(fn);
+  return r;
+}
+
+int run_kernel_bench_json(const std::string& path) {
+  common::Rng rng(7);
+  std::vector<KernelResult> results;
+
+  for (const std::size_t n : {std::size_t{32}, std::size_t{64},
+                              std::size_t{128}, std::size_t{192}}) {
+    nn::Matrix a(n, n), b(n, n);
+    for (double& x : a.flat()) x = rng.normal();
+    for (double& x : b.flat()) x = rng.normal();
+    const double flops = 2.0 * static_cast<double>(n * n * n);
+    const std::string shape = std::to_string(n) + "x" + std::to_string(n) +
+                              "x" + std::to_string(n);
+    results.push_back(time_both("matmul", shape, flops, [&] {
+      benchmark::DoNotOptimize(nn::matmul(a, b));
+    }));
+    results.push_back(time_both("matmul_tn", shape, flops, [&] {
+      benchmark::DoNotOptimize(nn::matmul_tn(a, b));
+    }));
+    results.push_back(time_both("matmul_nt", shape, flops, [&] {
+      benchmark::DoNotOptimize(nn::matmul_nt(a, b));
+    }));
+  }
+
+  {
+    // The fused Linear+activation step at the TD3 critic's hidden shape.
+    const std::size_t m = 64, k = 128, n = 128;
+    nn::Matrix x(m, k), w(k, n), bias(1, n);
+    for (double& v : x.flat()) v = rng.normal();
+    for (double& v : w.flat()) v = rng.normal();
+    for (double& v : bias.flat()) v = rng.normal();
+    const double flops = 2.0 * static_cast<double>(m * n * k);
+    results.push_back(
+        time_both("matmul_bias_tanh", "64x128x128", flops, [&] {
+          benchmark::DoNotOptimize(
+              nn::matmul_bias_act(x, w, bias, nn::Activation::kTanh));
+        }));
+  }
+
+  {
+    nn::Mlp net({41, 128, 128, 1}, rng);
+    nn::Matrix x(64, 41);
+    for (double& v : x.flat()) v = rng.uniform();
+    // 2*m*k*n per linear layer; activations are noise by comparison.
+    const double flops =
+        2.0 * 64.0 * (41.0 * 128.0 + 128.0 * 128.0 + 128.0 * 1.0);
+    results.push_back(time_both("mlp_forward", "batch64 41-128-128-1", flops,
+                                [&] { benchmark::DoNotOptimize(net.forward(x)); }));
+  }
+
+  {
+    const std::size_t len = 4096;
+    std::vector<double> u(len), v(len);
+    for (double& x : u) x = rng.normal();
+    for (double& x : v) x = rng.normal();
+    results.push_back(time_both("dot", "4096", 2.0 * static_cast<double>(len),
+                                [&] {
+                                  benchmark::DoNotOptimize(common::simd::dot(
+                                      u.data(), v.data(), len));
+                                }));
+  }
+
+  std::ostringstream json;
+  json.setf(std::ios::fixed);
+  json.precision(2);
+  json << "{\n";
+  json << "  \"bench\": \"deepcat kernel microbenchmarks\",\n";
+  json << "  \"vector_backend\": \"" << common::simd::backend_name()
+       << "\",\n";
+  json << "  \"vector_available\": "
+       << (common::simd::vectorized_active() ? "true" : "false") << ",\n";
+  json << "  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const double s_gflops = r.flops > 0.0 ? r.flops / r.scalar_ns : 0.0;
+    const double v_gflops = r.flops > 0.0 ? r.flops / r.vector_ns : 0.0;
+    json << "    {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
+         << "\", \"scalar_ns\": " << r.scalar_ns
+         << ", \"vector_ns\": " << r.vector_ns
+         << ", \"scalar_gflops\": " << s_gflops
+         << ", \"vector_gflops\": " << v_gflops
+         << ", \"speedup\": " << r.scalar_ns / r.vector_ns << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_micro: cannot write " << path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      return run_kernel_bench_json("");
+    }
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      return run_kernel_bench_json(argv[i] + 7);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,9 +4,11 @@
 // paper trains the DRL model once and reuses it, §2).
 #pragma once
 
+#include <cstdlib>
 #include <sstream>
 #include <string>
 
+#include "common/thread_pool.hpp"
 #include "sparksim/environment.hpp"
 #include "tuners/cdbtune.hpp"
 #include "tuners/deepcat.hpp"
@@ -22,6 +24,22 @@ inline constexpr std::size_t kOfflineIters = 1200;
 /// "Thousands of offline samples" (paper §4.4): 4 workloads x 1000.
 inline constexpr std::size_t kOtterTuneSamplesPerWorkload = 1000;
 inline constexpr int kOnlineSteps = 5;  // per CDBTune / the paper §4.4
+
+/// Process-wide worker pool for the experiment harnesses. Size comes from
+/// DEEPCAT_BENCH_THREADS when set (useful both to raise it on big machines
+/// and to pin it to 1 when checking parallel == serial); otherwise
+/// hardware concurrency. All harness parallelism is structured so figure
+/// data does not depend on this pool's size.
+inline common::ThreadPool& shared_pool() {
+  static common::ThreadPool pool([] {
+    if (const char* env = std::getenv("DEEPCAT_BENCH_THREADS")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};  // 0 = hardware concurrency
+  }());
+  return pool;
+}
 
 inline sparksim::TuningEnvironment make_env(const sparksim::HiBenchCase& c,
                                             std::uint64_t seed,

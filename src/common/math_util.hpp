@@ -1,9 +1,13 @@
-// Small scalar helpers shared across modules.
+// Small scalar helpers shared across modules, plus span-friendly wrappers
+// over the SIMD-dispatched vector kernels in common/simd.hpp.
 #pragma once
 
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
+#include <span>
+
+#include "common/simd.hpp"
 
 namespace deepcat::common {
 
@@ -44,6 +48,33 @@ namespace deepcat::common {
 [[nodiscard]] constexpr std::size_t ceil_div(std::size_t num,
                                              std::size_t den) noexcept {
   return den == 0 ? 0 : (num + den - 1) / den;
+}
+
+// Vectorized (runtime-dispatched) reductions. Callers guarantee matching
+// lengths; the shorter span bounds the loop so a mismatch cannot overrun.
+
+/// sum(a[i] * b[i]).
+[[nodiscard]] inline double dot(std::span<const double> a,
+                                std::span<const double> b) noexcept {
+  return simd::dot(a.data(), b.data(), std::min(a.size(), b.size()));
+}
+
+/// sum((a[i] - b[i])^2).
+[[nodiscard]] inline double squared_distance(
+    std::span<const double> a, std::span<const double> b) noexcept {
+  return simd::squared_distance(a.data(), b.data(),
+                                std::min(a.size(), b.size()));
+}
+
+/// sum(a[i]^2).
+[[nodiscard]] inline double sum_squares(std::span<const double> a) noexcept {
+  return simd::sum_squares(a.data(), a.size());
+}
+
+/// y[i] += alpha * x[i].
+inline void axpy(double alpha, std::span<const double> x,
+                 std::span<double> y) noexcept {
+  simd::axpy(alpha, x.data(), y.data(), std::min(x.size(), y.size()));
 }
 
 }  // namespace deepcat::common

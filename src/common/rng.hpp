@@ -10,6 +10,18 @@
 
 namespace deepcat::common {
 
+/// SplitMix64 finalizer over `base ^ index`. Gives every loop index its own
+/// well-mixed 64-bit seed so parallel_for bodies can build a private Rng per
+/// index: results then depend only on (base, index), never on which thread
+/// ran the index or how the pool chunked the loop.
+[[nodiscard]] constexpr std::uint64_t mix_seed(std::uint64_t base,
+                                               std::uint64_t index) noexcept {
+  std::uint64_t z = base + 0x9E3779B97F4A7C15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
 /// xoshiro256** 1.0 by Blackman & Vigna (public domain reference
 /// implementation), wrapped in a value-semantic class. Satisfies
 /// UniformRandomBitGenerator so it can drive <random> distributions,

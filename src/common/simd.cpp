@@ -1,0 +1,588 @@
+#include "common/simd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#if (defined(__x86_64__) || defined(__amd64__)) && defined(__GNUC__) && \
+    !defined(DEEPCAT_DISABLE_SIMD)
+#define DEEPCAT_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define DEEPCAT_SIMD_X86 0
+#endif
+
+#if DEEPCAT_SIMD_X86
+#define DEEPCAT_TARGET_AVX2 __attribute__((target("avx2,fma")))
+#endif
+
+namespace deepcat::common::simd {
+
+namespace {
+
+bool detect_vector_backend() noexcept {
+#if DEEPCAT_SIMD_X86
+  if (const char* v = std::getenv("DEEPCAT_FORCE_SCALAR");
+      v != nullptr && v[0] != '\0' && v[0] != '0') {
+    return false;
+  }
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+// Capability is fixed at first use; force_scalar() layers on top.
+const bool g_vector_capable = detect_vector_backend();
+bool g_force_scalar = false;
+
+// ---- scalar reference kernels ------------------------------------------
+
+double dot_scalar(const double* a, const double* b, std::size_t n) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+double squared_distance_scalar(const double* a, const double* b,
+                               std::size_t n) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double sum_scalar(const double* a, std::size_t n) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) s += a[i];
+  return s;
+}
+
+void axpy_scalar(double alpha, const double* x, double* y,
+                 std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void adam_update_scalar(double* value, const double* grad, double* m,
+                        double* v, std::size_t n, double scale, double beta1,
+                        double beta2, double bc1, double bc2, double lr,
+                        double eps) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double g = grad[i] * scale;
+    m[i] = beta1 * m[i] + (1.0 - beta1) * g;
+    v[i] = beta2 * v[i] + (1.0 - beta2) * g * g;
+    const double m_hat = m[i] / bc1;
+    const double v_hat = v[i] / bc2;
+    value[i] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+void gemm_nn_scalar(std::size_t m, std::size_t n, std::size_t k,
+                    const double* a, std::size_t lda, const double* b,
+                    std::size_t ldb, double* c, std::size_t ldc) noexcept {
+  // ikj order streams B and C rows; the zero-skip makes post-ReLU
+  // (sparse) left operands cheap.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* crow = c + i * ldc;
+    const double* arow = a + i * lda;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = arow[p];
+      if (aip == 0.0) continue;
+      const double* brow = b + p * ldb;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aip * brow[j];
+    }
+  }
+}
+
+void gemm_tn_scalar(std::size_t m, std::size_t n, std::size_t k,
+                    const double* a, std::size_t lda, const double* b,
+                    std::size_t ldb, double* c, std::size_t ldc) noexcept {
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a + p * lda;
+    const double* brow = b + p * ldb;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double api = arow[i];
+      if (api == 0.0) continue;
+      double* crow = c + i * ldc;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += api * brow[j];
+    }
+  }
+}
+
+void gemm_nt_scalar(std::size_t m, std::size_t n, std::size_t k,
+                    const double* a, std::size_t lda, const double* b,
+                    std::size_t ldb, double* c, std::size_t ldc) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * lda;
+    for (std::size_t j = 0; j < n; ++j) {
+      c[i * ldc + j] += dot_scalar(arow, b + j * ldb, k);
+    }
+  }
+}
+
+#if DEEPCAT_SIMD_X86
+
+// ---- AVX2+FMA kernels ---------------------------------------------------
+
+DEEPCAT_TARGET_AVX2 inline double hsum(__m256d v) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(pair, pair);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, swapped));
+}
+
+DEEPCAT_TARGET_AVX2 double dot_avx2(const double* a, const double* b,
+                                    std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd(), acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),
+                           _mm256_loadu_pd(b + i), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 4),
+                           _mm256_loadu_pd(b + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 8),
+                           _mm256_loadu_pd(b + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i + 12),
+                           _mm256_loadu_pd(b + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(a + i),
+                           _mm256_loadu_pd(b + i), acc0);
+  }
+  double s = hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                                _mm256_add_pd(acc2, acc3)));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+DEEPCAT_TARGET_AVX2 double squared_distance_avx2(const double* a,
+                                                 const double* b,
+                                                 std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d d0 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    const __m256d d1 =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i + 4), _mm256_loadu_pd(b + i + 4));
+    acc0 = _mm256_fmadd_pd(d0, d0, acc0);
+    acc1 = _mm256_fmadd_pd(d1, d1, acc1);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d d =
+        _mm256_sub_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    acc0 = _mm256_fmadd_pd(d, d, acc0);
+  }
+  double s = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+DEEPCAT_TARGET_AVX2 double sum_avx2(const double* a, std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(a + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(a + i + 4));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(a + i));
+  }
+  double s = hsum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += a[i];
+  return s;
+}
+
+DEEPCAT_TARGET_AVX2 void axpy_avx2(double alpha, const double* x, double* y,
+                                   std::size_t n) noexcept {
+  const __m256d va = _mm256_set1_pd(alpha);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i + 4),
+                                   _mm256_loadu_pd(y + i + 4)));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_fmadd_pd(va, _mm256_loadu_pd(x + i),
+                               _mm256_loadu_pd(y + i)));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+DEEPCAT_TARGET_AVX2 void adam_update_avx2(double* value, const double* grad,
+                                          double* m, double* v, std::size_t n,
+                                          double scale, double beta1,
+                                          double beta2, double bc1, double bc2,
+                                          double lr, double eps) noexcept {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  const __m256d vb1 = _mm256_set1_pd(beta1);
+  const __m256d vb2 = _mm256_set1_pd(beta2);
+  const __m256d vomb1 = _mm256_set1_pd(1.0 - beta1);
+  const __m256d vomb2 = _mm256_set1_pd(1.0 - beta2);
+  const __m256d vbc1 = _mm256_set1_pd(bc1);
+  const __m256d vbc2 = _mm256_set1_pd(bc2);
+  const __m256d vlr = _mm256_set1_pd(lr);
+  const __m256d veps = _mm256_set1_pd(eps);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d g = _mm256_mul_pd(_mm256_loadu_pd(grad + i), vscale);
+    const __m256d mi = _mm256_fmadd_pd(vb1, _mm256_loadu_pd(m + i),
+                                       _mm256_mul_pd(vomb1, g));
+    const __m256d vi = _mm256_fmadd_pd(vb2, _mm256_loadu_pd(v + i),
+                                       _mm256_mul_pd(vomb2, _mm256_mul_pd(g, g)));
+    _mm256_storeu_pd(m + i, mi);
+    _mm256_storeu_pd(v + i, vi);
+    const __m256d m_hat = _mm256_div_pd(mi, vbc1);
+    const __m256d v_hat = _mm256_div_pd(vi, vbc2);
+    const __m256d denom = _mm256_add_pd(_mm256_sqrt_pd(v_hat), veps);
+    const __m256d update =
+        _mm256_div_pd(_mm256_mul_pd(vlr, m_hat), denom);
+    _mm256_storeu_pd(value + i,
+                     _mm256_sub_pd(_mm256_loadu_pd(value + i), update));
+  }
+  if (i < n) {
+    adam_update_scalar(value + i, grad + i, m + i, v + i, n - i, scale, beta1,
+                       beta2, bc1, bc2, lr, eps);
+  }
+}
+
+// 4x8 register-blocked micro-kernel: 8 accumulator registers stay resident
+// across the whole k loop; A elements are broadcast, B rows are streamed.
+DEEPCAT_TARGET_AVX2 void gemm_nn_avx2(std::size_t m, std::size_t n,
+                                      std::size_t k, const double* a,
+                                      std::size_t lda, const double* b,
+                                      std::size_t ldb, double* c,
+                                      std::size_t ldc) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* a0 = a + (i + 0) * lda;
+    const double* a1 = a + (i + 1) * lda;
+    const double* a2 = a + (i + 2) * lda;
+    const double* a3 = a + (i + 3) * lda;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d c00 = _mm256_loadu_pd(c + (i + 0) * ldc + j);
+      __m256d c01 = _mm256_loadu_pd(c + (i + 0) * ldc + j + 4);
+      __m256d c10 = _mm256_loadu_pd(c + (i + 1) * ldc + j);
+      __m256d c11 = _mm256_loadu_pd(c + (i + 1) * ldc + j + 4);
+      __m256d c20 = _mm256_loadu_pd(c + (i + 2) * ldc + j);
+      __m256d c21 = _mm256_loadu_pd(c + (i + 2) * ldc + j + 4);
+      __m256d c30 = _mm256_loadu_pd(c + (i + 3) * ldc + j);
+      __m256d c31 = _mm256_loadu_pd(c + (i + 3) * ldc + j + 4);
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* brow = b + p * ldb + j;
+        const __m256d b0 = _mm256_loadu_pd(brow);
+        const __m256d b1 = _mm256_loadu_pd(brow + 4);
+        __m256d av = _mm256_set1_pd(a0[p]);
+        c00 = _mm256_fmadd_pd(av, b0, c00);
+        c01 = _mm256_fmadd_pd(av, b1, c01);
+        av = _mm256_set1_pd(a1[p]);
+        c10 = _mm256_fmadd_pd(av, b0, c10);
+        c11 = _mm256_fmadd_pd(av, b1, c11);
+        av = _mm256_set1_pd(a2[p]);
+        c20 = _mm256_fmadd_pd(av, b0, c20);
+        c21 = _mm256_fmadd_pd(av, b1, c21);
+        av = _mm256_set1_pd(a3[p]);
+        c30 = _mm256_fmadd_pd(av, b0, c30);
+        c31 = _mm256_fmadd_pd(av, b1, c31);
+      }
+      _mm256_storeu_pd(c + (i + 0) * ldc + j, c00);
+      _mm256_storeu_pd(c + (i + 0) * ldc + j + 4, c01);
+      _mm256_storeu_pd(c + (i + 1) * ldc + j, c10);
+      _mm256_storeu_pd(c + (i + 1) * ldc + j + 4, c11);
+      _mm256_storeu_pd(c + (i + 2) * ldc + j, c20);
+      _mm256_storeu_pd(c + (i + 2) * ldc + j + 4, c21);
+      _mm256_storeu_pd(c + (i + 3) * ldc + j, c30);
+      _mm256_storeu_pd(c + (i + 3) * ldc + j + 4, c31);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d c0 = _mm256_loadu_pd(c + (i + 0) * ldc + j);
+      __m256d c1 = _mm256_loadu_pd(c + (i + 1) * ldc + j);
+      __m256d c2 = _mm256_loadu_pd(c + (i + 2) * ldc + j);
+      __m256d c3 = _mm256_loadu_pd(c + (i + 3) * ldc + j);
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256d bv = _mm256_loadu_pd(b + p * ldb + j);
+        c0 = _mm256_fmadd_pd(_mm256_set1_pd(a0[p]), bv, c0);
+        c1 = _mm256_fmadd_pd(_mm256_set1_pd(a1[p]), bv, c1);
+        c2 = _mm256_fmadd_pd(_mm256_set1_pd(a2[p]), bv, c2);
+        c3 = _mm256_fmadd_pd(_mm256_set1_pd(a3[p]), bv, c3);
+      }
+      _mm256_storeu_pd(c + (i + 0) * ldc + j, c0);
+      _mm256_storeu_pd(c + (i + 1) * ldc + j, c1);
+      _mm256_storeu_pd(c + (i + 2) * ldc + j, c2);
+      _mm256_storeu_pd(c + (i + 3) * ldc + j, c3);
+    }
+    for (; j < n; ++j) {
+      for (std::size_t r = 0; r < 4; ++r) {
+        const double* arow = a + (i + r) * lda;
+        double s = 0.0;
+        for (std::size_t p = 0; p < k; ++p) s += arow[p] * b[p * ldb + j];
+        c[(i + r) * ldc + j] += s;
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    const double* arow = a + i * lda;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d c0 = _mm256_loadu_pd(c + i * ldc + j);
+      __m256d c1 = _mm256_loadu_pd(c + i * ldc + j + 4);
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256d av = _mm256_set1_pd(arow[p]);
+        c0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b + p * ldb + j), c0);
+        c1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b + p * ldb + j + 4), c1);
+      }
+      _mm256_storeu_pd(c + i * ldc + j, c0);
+      _mm256_storeu_pd(c + i * ldc + j + 4, c1);
+    }
+    for (; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * b[p * ldb + j];
+      c[i * ldc + j] += s;
+    }
+  }
+}
+
+// Same 4x8 block shape as gemm_nn; only the A access changes (column i of
+// the stored (k x m) A, i.e. strided broadcasts).
+DEEPCAT_TARGET_AVX2 void gemm_tn_avx2(std::size_t m, std::size_t n,
+                                      std::size_t k, const double* a,
+                                      std::size_t lda, const double* b,
+                                      std::size_t ldb, double* c,
+                                      std::size_t ldc) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d c00 = _mm256_loadu_pd(c + (i + 0) * ldc + j);
+      __m256d c01 = _mm256_loadu_pd(c + (i + 0) * ldc + j + 4);
+      __m256d c10 = _mm256_loadu_pd(c + (i + 1) * ldc + j);
+      __m256d c11 = _mm256_loadu_pd(c + (i + 1) * ldc + j + 4);
+      __m256d c20 = _mm256_loadu_pd(c + (i + 2) * ldc + j);
+      __m256d c21 = _mm256_loadu_pd(c + (i + 2) * ldc + j + 4);
+      __m256d c30 = _mm256_loadu_pd(c + (i + 3) * ldc + j);
+      __m256d c31 = _mm256_loadu_pd(c + (i + 3) * ldc + j + 4);
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* acol = a + p * lda + i;
+        const double* brow = b + p * ldb + j;
+        const __m256d b0 = _mm256_loadu_pd(brow);
+        const __m256d b1 = _mm256_loadu_pd(brow + 4);
+        __m256d av = _mm256_set1_pd(acol[0]);
+        c00 = _mm256_fmadd_pd(av, b0, c00);
+        c01 = _mm256_fmadd_pd(av, b1, c01);
+        av = _mm256_set1_pd(acol[1]);
+        c10 = _mm256_fmadd_pd(av, b0, c10);
+        c11 = _mm256_fmadd_pd(av, b1, c11);
+        av = _mm256_set1_pd(acol[2]);
+        c20 = _mm256_fmadd_pd(av, b0, c20);
+        c21 = _mm256_fmadd_pd(av, b1, c21);
+        av = _mm256_set1_pd(acol[3]);
+        c30 = _mm256_fmadd_pd(av, b0, c30);
+        c31 = _mm256_fmadd_pd(av, b1, c31);
+      }
+      _mm256_storeu_pd(c + (i + 0) * ldc + j, c00);
+      _mm256_storeu_pd(c + (i + 0) * ldc + j + 4, c01);
+      _mm256_storeu_pd(c + (i + 1) * ldc + j, c10);
+      _mm256_storeu_pd(c + (i + 1) * ldc + j + 4, c11);
+      _mm256_storeu_pd(c + (i + 2) * ldc + j, c20);
+      _mm256_storeu_pd(c + (i + 2) * ldc + j + 4, c21);
+      _mm256_storeu_pd(c + (i + 3) * ldc + j, c30);
+      _mm256_storeu_pd(c + (i + 3) * ldc + j + 4, c31);
+    }
+    for (; j < n; ++j) {
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        const double* acol = a + p * lda + i;
+        const double bv = b[p * ldb + j];
+        s0 += acol[0] * bv;
+        s1 += acol[1] * bv;
+        s2 += acol[2] * bv;
+        s3 += acol[3] * bv;
+      }
+      c[(i + 0) * ldc + j] += s0;
+      c[(i + 1) * ldc + j] += s1;
+      c[(i + 2) * ldc + j] += s2;
+      c[(i + 3) * ldc + j] += s3;
+    }
+  }
+  for (; i < m; ++i) {
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256d c0 = _mm256_loadu_pd(c + i * ldc + j);
+      __m256d c1 = _mm256_loadu_pd(c + i * ldc + j + 4);
+      for (std::size_t p = 0; p < k; ++p) {
+        const __m256d av = _mm256_set1_pd(a[p * lda + i]);
+        c0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b + p * ldb + j), c0);
+        c1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b + p * ldb + j + 4), c1);
+      }
+      _mm256_storeu_pd(c + i * ldc + j, c0);
+      _mm256_storeu_pd(c + i * ldc + j + 4, c1);
+    }
+    for (; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t p = 0; p < k; ++p) s += a[p * lda + i] * b[p * ldb + j];
+      c[i * ldc + j] += s;
+    }
+  }
+}
+
+// Both operands are k-contiguous, so this is a batch of vector dots: one A
+// row against 4 B rows at a time, 4 running vector accumulators.
+DEEPCAT_TARGET_AVX2 void gemm_nt_avx2(std::size_t m, std::size_t n,
+                                      std::size_t k, const double* a,
+                                      std::size_t lda, const double* b,
+                                      std::size_t ldb, double* c,
+                                      std::size_t ldc) noexcept {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * lda;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* b0 = b + (j + 0) * ldb;
+      const double* b1 = b + (j + 1) * ldb;
+      const double* b2 = b + (j + 2) * ldb;
+      const double* b3 = b + (j + 3) * ldb;
+      __m256d acc0 = _mm256_setzero_pd(), acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd(), acc3 = _mm256_setzero_pd();
+      std::size_t p = 0;
+      for (; p + 4 <= k; p += 4) {
+        const __m256d av = _mm256_loadu_pd(arow + p);
+        acc0 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b0 + p), acc0);
+        acc1 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b1 + p), acc1);
+        acc2 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b2 + p), acc2);
+        acc3 = _mm256_fmadd_pd(av, _mm256_loadu_pd(b3 + p), acc3);
+      }
+      double s0 = hsum(acc0), s1 = hsum(acc1), s2 = hsum(acc2),
+             s3 = hsum(acc3);
+      for (; p < k; ++p) {
+        const double av = arow[p];
+        s0 += av * b0[p];
+        s1 += av * b1[p];
+        s2 += av * b2[p];
+        s3 += av * b3[p];
+      }
+      c[i * ldc + j + 0] += s0;
+      c[i * ldc + j + 1] += s1;
+      c[i * ldc + j + 2] += s2;
+      c[i * ldc + j + 3] += s3;
+    }
+    for (; j < n; ++j) {
+      c[i * ldc + j] += dot_avx2(arow, b + j * ldb, k);
+    }
+  }
+}
+
+#endif  // DEEPCAT_SIMD_X86
+
+}  // namespace
+
+bool vectorized_active() noexcept {
+  return g_vector_capable && !g_force_scalar;
+}
+
+const char* backend_name() noexcept {
+  return vectorized_active() ? "avx2+fma" : "scalar";
+}
+
+void force_scalar(bool on) noexcept { g_force_scalar = on; }
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) return dot_avx2(a, b, n);
+#endif
+  return dot_scalar(a, b, n);
+}
+
+double squared_distance(const double* a, const double* b,
+                        std::size_t n) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) return squared_distance_avx2(a, b, n);
+#endif
+  return squared_distance_scalar(a, b, n);
+}
+
+double sum(const double* a, std::size_t n) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) return sum_avx2(a, n);
+#endif
+  return sum_scalar(a, n);
+}
+
+double sum_squares(const double* a, std::size_t n) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) return dot_avx2(a, a, n);
+#endif
+  return dot_scalar(a, a, n);
+}
+
+void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) {
+    axpy_avx2(alpha, x, y, n);
+    return;
+  }
+#endif
+  axpy_scalar(alpha, x, y, n);
+}
+
+void adam_update(double* value, const double* grad, double* m, double* v,
+                 std::size_t n, double scale, double beta1, double beta2,
+                 double bc1, double bc2, double lr, double eps) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) {
+    adam_update_avx2(value, grad, m, v, n, scale, beta1, beta2, bc1, bc2, lr,
+                     eps);
+    return;
+  }
+#endif
+  adam_update_scalar(value, grad, m, v, n, scale, beta1, beta2, bc1, bc2, lr,
+                     eps);
+}
+
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) {
+    gemm_nn_avx2(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+#endif
+  gemm_nn_scalar(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) {
+    gemm_tn_avx2(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+#endif
+  gemm_tn_scalar(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) {
+    gemm_nt_avx2(m, n, k, a, lda, b, ldb, c, ldc);
+    return;
+  }
+#endif
+  gemm_nt_scalar(m, n, k, a, lda, b, ldb, c, ldc);
+}
+
+}  // namespace deepcat::common::simd

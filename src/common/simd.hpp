@@ -1,0 +1,90 @@
+// Vectorized numeric kernels with runtime dispatch — the single home for
+// every SIMD code path in the library (SimSIMD-style: one scalar reference
+// implementation per kernel, one AVX2+FMA implementation, and a dispatcher
+// that picks at runtime). Everything above this layer (Matrix, Adam, the
+// GP solver) calls these raw-pointer kernels and never touches intrinsics.
+//
+// Dispatch rules, in priority order:
+//   1. compile-time: non-x86 targets, or -DDEEPCAT_DISABLE_SIMD=ON, build
+//      only the scalar kernels;
+//   2. process start: the DEEPCAT_FORCE_SCALAR environment variable (any
+//      non-empty value except "0") pins the scalar path;
+//   3. runtime: force_scalar(true/false) toggles programmatically (used by
+//      the property tests to compare backends in one process);
+//   4. otherwise the AVX2+FMA path runs iff the CPU supports it.
+//
+// Numerical contract: vectorized kernels may reassociate reductions and
+// contract mul+add into FMA, so results can differ from the scalar path in
+// the last bits. The property tests bound the divergence at 1e-12 for the
+// shapes the library uses.
+#pragma once
+
+#include <cstddef>
+
+namespace deepcat::common::simd {
+
+/// True when the AVX2+FMA kernels are the active backend.
+[[nodiscard]] bool vectorized_active() noexcept;
+
+/// "avx2+fma" or "scalar" — whatever vectorized_active() resolves to.
+[[nodiscard]] const char* backend_name() noexcept;
+
+/// Pins the scalar fallback while `on` (overrides CPU detection, not the
+/// compile-time gate). Not thread-safe against concurrent kernel calls;
+/// toggle only from a single thread with no kernels in flight.
+void force_scalar(bool on) noexcept;
+
+// ---- Level-1 primitives -------------------------------------------------
+
+/// Inner product sum(a[i] * b[i]).
+[[nodiscard]] double dot(const double* a, const double* b,
+                         std::size_t n) noexcept;
+
+/// Squared Euclidean distance sum((a[i] - b[i])^2).
+[[nodiscard]] double squared_distance(const double* a, const double* b,
+                                      std::size_t n) noexcept;
+
+/// sum(a[i]).
+[[nodiscard]] double sum(const double* a, std::size_t n) noexcept;
+
+/// sum(a[i]^2) — the gradient-clipping reduction.
+[[nodiscard]] double sum_squares(const double* a, std::size_t n) noexcept;
+
+/// y[i] += alpha * x[i].
+void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept;
+
+/// Fused Adam parameter update over one flat tensor:
+///   g      = grad[i] * scale
+///   m[i]   = beta1 * m[i] + (1 - beta1) * g
+///   v[i]   = beta2 * v[i] + (1 - beta2) * g^2
+///   value[i] -= lr * (m[i] / bc1) / (sqrt(v[i] / bc2) + eps)
+/// Identical formula on both backends (bias corrections passed as the
+/// divisors bc1/bc2, exactly like the scalar reference).
+void adam_update(double* value, const double* grad, double* m, double* v,
+                 std::size_t n, double scale, double beta1, double beta2,
+                 double bc1, double bc2, double lr, double eps) noexcept;
+
+// ---- Level-3 GEMM kernels ----------------------------------------------
+// All accumulate into C (C += ...), so the caller controls the epilogue
+// start state: zero-filled for a plain product, bias-broadcast rows for the
+// fused linear-layer forward. Leading dimensions are element strides.
+
+/// C(m x n) += A(m x k) * B(k x n). Register-blocked 4x8 micro-kernel with
+/// a broadcast-A / streamed-B FMA inner loop on the vector path; the
+/// scalar path is the cache-friendly ikj loop with a zero-skip on A (which
+/// makes post-ReLU activations cheap).
+void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc) noexcept;
+
+/// C(m x n) += A^T * B where A is stored (k x m): C[i][j] += A[p][i]*B[p][j].
+void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc) noexcept;
+
+/// C(m x n) += A * B^T where B is stored (n x k): C[i][j] += dot(A[i], B[j]).
+void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
+             std::size_t lda, const double* b, std::size_t ldb, double* c,
+             std::size_t ldc) noexcept;
+
+}  // namespace deepcat::common::simd

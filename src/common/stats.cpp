@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace deepcat::common {
 
 void RunningStats::add(double x) noexcept {
@@ -55,7 +57,7 @@ double stddev(std::span<const double> xs) noexcept {
 }
 
 double sum(std::span<const double> xs) noexcept {
-  return std::accumulate(xs.begin(), xs.end(), 0.0);
+  return simd::sum(xs.data(), xs.size());
 }
 
 double min_of(std::span<const double> xs) noexcept {

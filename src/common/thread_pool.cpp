@@ -36,24 +36,6 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
-void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t chunks = std::min(n, size());
-  const std::size_t per_chunk = ceil_div(n, chunks);
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t begin = c * per_chunk;
-    const std::size_t end = std::min(n, begin + per_chunk);
-    if (begin >= end) break;
-    futures.push_back(submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
-    }));
-  }
-  for (auto& f : futures) f.get();
-}
-
 void ThreadPool::worker_loop() {
   for (;;) {
     std::packaged_task<void()> task;

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.hpp"
 #include "common/stats.hpp"
 
 namespace deepcat::gp {
@@ -14,17 +15,20 @@ nn::Matrix cholesky(nn::Matrix a) {
   for (double jitter = 0.0; jitter <= 1e-2; jitter = jitter == 0.0 ? 1e-10 : jitter * 100.0) {
     nn::Matrix l(n, n);
     bool ok = true;
+    // L is built row by row; every inner reduction is a contiguous dot
+    // over already-finished row prefixes, so it runs on the SIMD path.
     for (std::size_t j = 0; j < n && ok; ++j) {
-      double diag = a(j, j) + jitter;
-      for (std::size_t k = 0; k < j; ++k) diag -= l(j, k) * l(j, k);
+      const double* lrow_j = l.data() + j * n;
+      const double diag =
+          a(j, j) + jitter - common::simd::sum_squares(lrow_j, j);
       if (diag <= 0.0) {
         ok = false;
         break;
       }
       l(j, j) = std::sqrt(diag);
       for (std::size_t i = j + 1; i < n; ++i) {
-        double s = a(i, j);
-        for (std::size_t k = 0; k < j; ++k) s -= l(i, k) * l(j, k);
+        const double s =
+            a(i, j) - common::simd::dot(l.data() + i * n, lrow_j, j);
         l(i, j) = s / l(j, j);
       }
     }
@@ -39,8 +43,7 @@ std::vector<double> cholesky_solve(const nn::Matrix& l,
   if (b.size() != n) throw std::invalid_argument("cholesky_solve: size");
   std::vector<double> z(n), x(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = b[i];
-    for (std::size_t k = 0; k < i; ++k) s -= l(i, k) * z[k];
+    const double s = b[i] - common::simd::dot(l.data() + i * n, z.data(), i);
     z[i] = s / l(i, i);
   }
   for (std::size_t ii = n; ii-- > 0;) {
@@ -90,8 +93,7 @@ double GpRegressor::log_marginal_likelihood() const {
     throw std::logic_error("GpRegressor::log_marginal_likelihood before fit");
   }
   const std::size_t n = train_x_.rows();
-  double data_fit = 0.0;
-  for (std::size_t i = 0; i < n; ++i) data_fit += y_norm_[i] * alpha_[i];
+  const double data_fit = common::simd::dot(y_norm_.data(), alpha_.data(), n);
   double log_det_half = 0.0;
   for (std::size_t i = 0; i < n; ++i) log_det_half += std::log(chol_(i, i));
   constexpr double kLog2Pi = 1.8378770664093453;
@@ -107,18 +109,17 @@ GpPrediction GpRegressor::predict(std::span<const double> x) const {
     k_star[i] = (*kernel_)(train_x_.row(i), x);
   }
 
-  double mean = 0.0;
-  for (std::size_t i = 0; i < n; ++i) mean += k_star[i] * alpha_[i];
+  const double mean = common::simd::dot(k_star.data(), alpha_.data(), n);
 
   // v = L^-1 k*, var = k(x,x) - v.v
   std::vector<double> v(n);
   for (std::size_t i = 0; i < n; ++i) {
-    double s = k_star[i];
-    for (std::size_t k = 0; k < i; ++k) s -= chol_(i, k) * v[k];
+    const double s =
+        k_star[i] - common::simd::dot(chol_.data() + i * n, v.data(), i);
     v[i] = s / chol_(i, i);
   }
-  double var = (*kernel_)(x, x);
-  for (double vi : v) var -= vi * vi;
+  const double var =
+      (*kernel_)(x, x) - common::simd::sum_squares(v.data(), n);
 
   GpPrediction out;
   out.mean = mean * y_std_ + y_mean_;

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/math_util.hpp"
+
 namespace deepcat::gp {
 
 namespace {
@@ -10,12 +12,7 @@ double sq_dist(std::span<const double> x, std::span<const double> y) {
   if (x.size() != y.size()) {
     throw std::invalid_argument("kernel: dimension mismatch");
   }
-  double s = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double d = x[i] - y[i];
-    s += d * d;
-  }
-  return s;
+  return common::squared_distance(x, y);
 }
 }  // namespace
 

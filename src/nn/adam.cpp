@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/simd.hpp"
+
 namespace deepcat::nn {
 
 Adam::Adam(std::vector<Param> params, AdamConfig config)
@@ -20,7 +22,7 @@ void Adam::step() {
   if (config_.grad_clip > 0.0) {
     double sq = 0.0;
     for (const auto& p : params_) {
-      for (double g : p.grad->flat()) sq += g * g;
+      sq += common::simd::sum_squares(p.grad->data(), p.grad->size());
     }
     const double norm = std::sqrt(sq);
     if (norm > config_.grad_clip) scale = config_.grad_clip / norm;
@@ -28,18 +30,11 @@ void Adam::step() {
   const double bc1 = 1.0 - std::pow(config_.beta1, static_cast<double>(t_));
   const double bc2 = 1.0 - std::pow(config_.beta2, static_cast<double>(t_));
   for (std::size_t i = 0; i < params_.size(); ++i) {
-    auto& value = *params_[i].value;
-    const auto& grad = *params_[i].grad;
-    auto& m = m_[i];
-    auto& v = v_[i];
-    for (std::size_t k = 0; k < value.size(); ++k) {
-      const double g = grad.flat()[k] * scale;
-      m.flat()[k] = config_.beta1 * m.flat()[k] + (1.0 - config_.beta1) * g;
-      v.flat()[k] = config_.beta2 * v.flat()[k] + (1.0 - config_.beta2) * g * g;
-      const double m_hat = m.flat()[k] / bc1;
-      const double v_hat = v.flat()[k] / bc2;
-      value.flat()[k] -= config_.lr * m_hat / (std::sqrt(v_hat) + config_.eps);
-    }
+    common::simd::adam_update(params_[i].value->data(),
+                              params_[i].grad->data(), m_[i].data(),
+                              v_[i].data(), params_[i].value->size(), scale,
+                              config_.beta1, config_.beta2, bc1, bc2,
+                              config_.lr, config_.eps);
   }
 }
 

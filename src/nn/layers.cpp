@@ -20,10 +20,12 @@ Linear::Linear(std::size_t in_features, std::size_t out_features,
 }
 
 Matrix Linear::forward(const Matrix& x) {
+  return forward_fused(x, Activation::kNone);
+}
+
+Matrix Linear::forward_fused(const Matrix& x, Activation act) {
   input_cache_ = x;
-  Matrix y = matmul(x, w_);
-  add_row_broadcast(y, b_);
-  return y;
+  return matmul_bias_act(x, w_, b_, act);
 }
 
 Matrix Linear::backward(const Matrix& grad_out) {
@@ -47,18 +49,16 @@ std::unique_ptr<Layer> Linear::clone() const {
   return copy;
 }
 
-Matrix ReLU::forward(const Matrix& x) {
-  input_cache_ = x;
+Matrix ActivationLayer::forward(const Matrix& x) {
   Matrix y = x;
-  for (double& v : y.flat()) v = v > 0.0 ? v : 0.0;
+  apply_activation(y, kind());
+  output_cache_ = y;
   return y;
 }
 
-Matrix ReLU::backward(const Matrix& grad_out) {
+Matrix ActivationLayer::backward(const Matrix& grad_out) {
   Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (input_cache_.flat()[i] <= 0.0) g.flat()[i] = 0.0;
-  }
+  apply_activation_grad(g, output_cache_, kind());
   return g;
 }
 
@@ -66,40 +66,8 @@ std::unique_ptr<Layer> ReLU::clone() const {
   return std::make_unique<ReLU>();
 }
 
-Matrix Tanh::forward(const Matrix& x) {
-  Matrix y = x;
-  for (double& v : y.flat()) v = std::tanh(v);
-  output_cache_ = y;
-  return y;
-}
-
-Matrix Tanh::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    const double y = output_cache_.flat()[i];
-    g.flat()[i] *= 1.0 - y * y;
-  }
-  return g;
-}
-
 std::unique_ptr<Layer> Tanh::clone() const {
   return std::make_unique<Tanh>();
-}
-
-Matrix Sigmoid::forward(const Matrix& x) {
-  Matrix y = x;
-  for (double& v : y.flat()) v = 1.0 / (1.0 + std::exp(-v));
-  output_cache_ = y;
-  return y;
-}
-
-Matrix Sigmoid::backward(const Matrix& grad_out) {
-  Matrix g = grad_out;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    const double y = output_cache_.flat()[i];
-    g.flat()[i] *= y * (1.0 - y);
-  }
-  return g;
 }
 
 std::unique_ptr<Layer> Sigmoid::clone() const {

@@ -50,6 +50,11 @@ class Linear final : public Layer {
          Init init = Init::kKaiming);
 
   Matrix forward(const Matrix& x) override;
+  /// Fused act(x W + b) in one kernel pass (no intermediate pre-activation
+  /// matrix). Caches x for backward exactly like forward(); the caller is
+  /// responsible for priming the downstream activation layer's cache with
+  /// the returned output (see Mlp::forward).
+  Matrix forward_fused(const Matrix& x, Activation act);
   Matrix backward(const Matrix& grad_out) override;
   std::vector<Param> params() override;
   void zero_grad() override;
@@ -67,40 +72,54 @@ class Linear final : public Layer {
   Matrix w_, b_, gw_, gb_, input_cache_;
 };
 
-/// Rectified linear unit.
-class ReLU final : public Layer {
+/// Base for element-wise activations. All supported activations have
+/// derivatives expressible in terms of their OUTPUT, so backward only needs
+/// the output cache — which lets Mlp::forward fuse the preceding Linear's
+/// GEMM with the activation and install the fused result directly via
+/// prime_from_output().
+class ActivationLayer : public Layer {
  public:
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
-  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
-  [[nodiscard]] std::string name() const override { return "ReLU"; }
+  [[nodiscard]] virtual Activation kind() const noexcept = 0;
+
+  Matrix forward(const Matrix& x) final;
+  Matrix backward(const Matrix& grad_out) final;
+
+  /// Installs an already-activated output as this layer's backward cache
+  /// (the fused forward path computed it inside the GEMM epilogue).
+  void prime_from_output(const Matrix& y) { output_cache_ = y; }
 
  private:
-  Matrix input_cache_;
+  Matrix output_cache_;
+};
+
+/// Rectified linear unit.
+class ReLU final : public ActivationLayer {
+ public:
+  [[nodiscard]] Activation kind() const noexcept override {
+    return Activation::kRelu;
+  }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
 };
 
 /// Hyperbolic tangent; used on actor outputs before mapping to [0,1].
-class Tanh final : public Layer {
+class Tanh final : public ActivationLayer {
  public:
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] Activation kind() const noexcept override {
+    return Activation::kTanh;
+  }
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Tanh"; }
-
- private:
-  Matrix output_cache_;
 };
 
 /// Logistic sigmoid; maps actor outputs directly onto the [0,1] knob cube.
-class Sigmoid final : public Layer {
+class Sigmoid final : public ActivationLayer {
  public:
-  Matrix forward(const Matrix& x) override;
-  Matrix backward(const Matrix& grad_out) override;
+  [[nodiscard]] Activation kind() const noexcept override {
+    return Activation::kSigmoid;
+  }
   [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Sigmoid"; }
-
- private:
-  Matrix output_cache_;
 };
 
 }  // namespace deepcat::nn

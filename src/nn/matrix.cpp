@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace deepcat::nn {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols)
@@ -74,16 +76,26 @@ Matrix& Matrix::operator*=(double scalar) noexcept {
 
 Matrix Matrix::transposed() const {
   Matrix t(cols_, rows_);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  // Cache-blocked: both the source row walk and the destination column
+  // walk stay inside one 32x32 tile (8 KiB working set) at a time.
+  constexpr std::size_t kTile = 32;
+  for (std::size_t r0 = 0; r0 < rows_; r0 += kTile) {
+    const std::size_t r_end = std::min(rows_, r0 + kTile);
+    for (std::size_t c0 = 0; c0 < cols_; c0 += kTile) {
+      const std::size_t c_end = std::min(cols_, c0 + kTile);
+      for (std::size_t r = r0; r < r_end; ++r) {
+        const double* src = data_.data() + r * cols_;
+        for (std::size_t c = c0; c < c_end; ++c) {
+          t.data_[c * rows_ + r] = src[c];
+        }
+      }
+    }
   }
   return t;
 }
 
 double Matrix::norm() const noexcept {
-  double s = 0.0;
-  for (double x : data_) s += x * x;
-  return std::sqrt(s);
+  return std::sqrt(common::simd::sum_squares(data_.data(), data_.size()));
 }
 
 Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
@@ -96,16 +108,8 @@ Matrix matmul(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul: inner dimension mismatch");
   }
   Matrix c(a.rows(), b.cols());
-  // ikj loop order: streams through b and c rows, friendly to row-major.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.data() + i * c.cols();
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.data() + k * b.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
-    }
-  }
+  common::simd::gemm_nn(a.rows(), b.cols(), a.cols(), a.data(), a.cols(),
+                        b.data(), b.cols(), c.data(), c.cols());
   return c;
 }
 
@@ -114,16 +118,8 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_tn: inner dimension mismatch");
   }
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    const double* arow = a.data() + k * a.cols();
-    const double* brow = b.data() + k * b.cols();
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = arow[i];
-      if (aki == 0.0) continue;
-      double* crow = c.data() + i * c.cols();
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
-    }
-  }
+  common::simd::gemm_tn(a.cols(), b.cols(), a.rows(), a.data(), a.cols(),
+                        b.data(), b.cols(), c.data(), c.cols());
   return c;
 }
 
@@ -132,16 +128,70 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
     throw std::invalid_argument("matmul_nt: inner dimension mismatch");
   }
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    const double* arow = a.data() + i * a.cols();
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      const double* brow = b.data() + j * b.cols();
-      double s = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) s += arow[k] * brow[k];
-      c(i, j) = s;
-    }
-  }
+  common::simd::gemm_nt(a.rows(), b.rows(), a.cols(), a.data(), a.cols(),
+                        b.data(), b.cols(), c.data(), c.cols());
   return c;
+}
+
+Matrix matmul_bias_act(const Matrix& x, const Matrix& w, const Matrix& bias,
+                       Activation act) {
+  if (x.cols() != w.rows()) {
+    throw std::invalid_argument("matmul_bias_act: inner dimension mismatch");
+  }
+  if (bias.rows() != 1 || bias.cols() != w.cols()) {
+    throw std::invalid_argument("matmul_bias_act: bias shape mismatch");
+  }
+  Matrix c(x.rows(), w.cols());
+  // Seed every output row with the bias so the GEMM accumulates on top of
+  // it — the broadcast costs one streaming write instead of a second pass.
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    std::copy(bias.row(0).begin(), bias.row(0).end(), c.row(r).begin());
+  }
+  common::simd::gemm_nn(x.rows(), w.cols(), x.cols(), x.data(), x.cols(),
+                        w.data(), w.cols(), c.data(), c.cols());
+  apply_activation(c, act);
+  return c;
+}
+
+void apply_activation(Matrix& y, Activation act) noexcept {
+  switch (act) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (double& v : y.flat()) v = v > 0.0 ? v : 0.0;
+      break;
+    case Activation::kTanh:
+      for (double& v : y.flat()) v = std::tanh(v);
+      break;
+    case Activation::kSigmoid:
+      for (double& v : y.flat()) v = 1.0 / (1.0 + std::exp(-v));
+      break;
+  }
+}
+
+void apply_activation_grad(Matrix& grad, const Matrix& y,
+                           Activation act) noexcept {
+  switch (act) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        if (y.flat()[i] <= 0.0) grad.flat()[i] = 0.0;
+      }
+      break;
+    case Activation::kTanh:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        const double v = y.flat()[i];
+        grad.flat()[i] *= 1.0 - v * v;
+      }
+      break;
+    case Activation::kSigmoid:
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        const double v = y.flat()[i];
+        grad.flat()[i] *= v * (1.0 - v);
+      }
+      break;
+  }
 }
 
 Matrix hadamard(const Matrix& a, const Matrix& b) {

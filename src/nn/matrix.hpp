@@ -1,7 +1,8 @@
 // Row-major dense matrix of doubles: the numeric workhorse under the NN
 // library and the Gaussian-process regressor. BLAS-free by design (offline
-// build); the GEMM kernel is cache-blocked and good enough for the small
-// actor/critic networks DeepCAT needs.
+// build); the GEMM entry points dispatch to the register-blocked AVX2+FMA
+// micro-kernels in common/simd.hpp (scalar fallback always available), so
+// the actor/critic updates run as fast as the host allows.
 #pragma once
 
 #include <cstddef>
@@ -79,12 +80,29 @@ class Matrix {
 [[nodiscard]] Matrix operator*(Matrix a, double s);
 [[nodiscard]] Matrix operator*(double s, Matrix a);
 
-/// C = A * B (cache-blocked ikj GEMM). Dimension mismatch throws.
+/// C = A * B (register-blocked, SIMD-dispatched). Dimension mismatch throws.
 [[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
 /// C = A^T * B without materializing A^T.
 [[nodiscard]] Matrix matmul_tn(const Matrix& a, const Matrix& b);
 /// C = A * B^T without materializing B^T.
 [[nodiscard]] Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// Element-wise nonlinearity applied in a GEMM epilogue / activation layer.
+enum class Activation { kNone, kRelu, kTanh, kSigmoid };
+
+/// Fused dense-layer forward: act(x * w + bias) in one pass. The bias row
+/// (1 x w.cols()) seeds the accumulators, so no intermediate x*w or
+/// bias-broadcast matrix is ever materialized.
+[[nodiscard]] Matrix matmul_bias_act(const Matrix& x, const Matrix& w,
+                                     const Matrix& bias, Activation act);
+
+/// y = act(y) element-wise, in place.
+void apply_activation(Matrix& y, Activation act) noexcept;
+
+/// grad *= act'(y) element-wise, where `y` is the activation OUTPUT (all
+/// supported activations have output-expressible derivatives).
+void apply_activation_grad(Matrix& grad, const Matrix& y,
+                           Activation act) noexcept;
 
 /// Element-wise (Hadamard) product.
 [[nodiscard]] Matrix hadamard(const Matrix& a, const Matrix& b);

@@ -43,7 +43,23 @@ Mlp& Mlp::operator=(const Mlp& other) {
 
 Matrix Mlp::forward(const Matrix& x) {
   Matrix y = x;
-  for (auto& layer : layers_) y = layer->forward(y);
+  for (std::size_t i = 0; i < layers_.size(); ++i) {
+    // Fuse Linear -> activation pairs into one kernel pass: the activation
+    // runs in the GEMM epilogue and the pre-activation matrix is never
+    // materialized. The activation layer only needs its output cached for
+    // backward, which the fused result provides directly.
+    auto* linear = dynamic_cast<Linear*>(layers_[i].get());
+    auto* act = linear && i + 1 < layers_.size()
+                    ? dynamic_cast<ActivationLayer*>(layers_[i + 1].get())
+                    : nullptr;
+    if (linear && act) {
+      y = linear->forward_fused(y, act->kind());
+      act->prime_from_output(y);
+      ++i;
+    } else {
+      y = layers_[i]->forward(y);
+    }
+  }
   return y;
 }
 

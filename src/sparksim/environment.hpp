@@ -92,6 +92,14 @@ class TuningEnvironment {
   }
   [[nodiscard]] const JobSimulator& simulator() const noexcept { return sim_; }
 
+  /// Draws the simulator seed the NEXT evaluation would use, advancing the
+  /// environment RNG exactly as step()/evaluate() would. Harnesses that
+  /// parallelize a batch of evaluations pre-draw one seed per config here
+  /// (serially, in submission order) and call simulator().run() directly —
+  /// the results are then bit-identical to running the same batch through
+  /// step() one at a time.
+  [[nodiscard]] std::uint64_t draw_eval_seed() noexcept { return rng_(); }
+
  private:
   [[nodiscard]] std::vector<double> normalize_state(
       const ExecutionResult& result) const;

@@ -1,16 +1,8 @@
 #include "tuners/cdbtune.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
 namespace deepcat::tuners {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-double elapsed_seconds(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-}  // namespace
 
 CdbTuneTuner::CdbTuneTuner(CdbTuneOptions options)
     : options_(std::move(options)), rng_(options_.seed) {}
@@ -64,24 +56,23 @@ TuningReport CdbTuneTuner::tune(sparksim::TuningEnvironment& env,
   env.reset_cost_counters();
 
   for (int step = 1; step <= num_steps; ++step) {
-    const auto t0 = Clock::now();
     // CDBTune evaluates the actor's recommendation as-is (plus a small
     // exploration perturbation online) — every sub-optimal action pays a
     // full configuration evaluation.
     std::vector<double> action =
         agent_->act_noisy(state, options_.online_explore_sigma, rng_);
-    double rec_seconds = elapsed_seconds(t0);
+    double rec_seconds = rec_cost::kActorForward;
 
     const sparksim::StepResult res = env.step(action);
 
-    const auto t1 = Clock::now();
     replay_->add({state, action, res.reward, res.state, step == num_steps});
     if (replay_->size() >= options_.ddpg.batch_size) {
       for (std::size_t k = 0; k < options_.online_finetune_steps; ++k) {
         agent_->train_step(*replay_, rng_);
       }
+      rec_seconds += rec_cost::kTrainStep *
+                     static_cast<double>(options_.online_finetune_steps);
     }
-    rec_seconds += elapsed_seconds(t1);
 
     TuningStepRecord rec;
     rec.step = step;

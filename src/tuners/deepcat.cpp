@@ -1,22 +1,11 @@
 #include "tuners/deepcat.hpp"
 
-#include <chrono>
 #include <stdexcept>
 
 #include "common/math_util.hpp"
 #include "rl/replay.hpp"
 
 namespace deepcat::tuners {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double elapsed_seconds(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 DeepCatTuner::DeepCatTuner(DeepCatOptions options)
     : options_(std::move(options)), rng_(options_.seed) {
@@ -147,27 +136,29 @@ TuningReport DeepCatTuner::tune_with_budget(sparksim::TuningEnvironment& env,
   env.reset_cost_counters();
 
   for (int step = 1; step <= num_steps; ++step) {
-    const auto t0 = Clock::now();
     // Exploratory proposal; the Twin-Q Optimizer screens it before any
     // cluster time is spent, replacing estimated-sub-optimal candidates.
     std::vector<double> action =
         agent_->act_noisy(state, options_.online_explore_sigma, rng_);
+    double rec_seconds = rec_cost::kActorForward;
     if (options_.use_twin_q_optimizer) {
       online_traces_.push_back(optimize_action(state, action));
+      // One initial probe plus one per optimizer iteration.
+      rec_seconds += rec_cost::kCriticPair *
+                     static_cast<double>(1 + online_traces_.back().iterations);
     }
-    double rec_seconds = elapsed_seconds(t0);
 
     const sparksim::StepResult res = env.step(action);
 
     // Online fine-tuning on the fresh transition (and replayed history).
-    const auto t1 = Clock::now();
     replay_->add({state, action, res.reward, res.state, step == num_steps});
     if (replay_->size() >= options_.td3.batch_size) {
       for (std::size_t k = 0; k < options_.online_finetune_steps; ++k) {
         agent_->train_step(*replay_, rng_);
       }
+      rec_seconds += rec_cost::kTrainStep *
+                     static_cast<double>(options_.online_finetune_steps);
     }
-    rec_seconds += elapsed_seconds(t1);
 
     TuningStepRecord rec;
     rec.step = step;

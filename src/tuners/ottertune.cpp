@@ -1,7 +1,6 @@
 #include "tuners/ottertune.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 #include <optional>
 
@@ -9,13 +8,6 @@
 #include "gp/acquisition.hpp"
 
 namespace deepcat::tuners {
-
-namespace {
-using Clock = std::chrono::steady_clock;
-double elapsed_seconds(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-}  // namespace
 
 OtterTuneTuner::OtterTuneTuner(OtterTuneOptions options)
     : options_(std::move(options)), rng_(options_.seed) {}
@@ -36,7 +28,7 @@ void OtterTuneTuner::collect_observations(sparksim::TuningEnvironment& env,
 std::vector<double> OtterTuneTuner::recommend(
     std::size_t action_dim, const std::vector<gp::Observation>& mapped,
     const std::vector<gp::Observation>& observed, double best_time,
-    std::span<const double> incumbent) {
+    std::span<const double> incumbent, double& modeled_seconds) {
   // Assemble the GP training set: mapped history (subsampled to budget,
   // target observations win ties by being appended last with more weight
   // via lower noise — here simply included in full).
@@ -71,6 +63,11 @@ std::vector<double> OtterTuneTuner::recommend(
   // marginal likelihood over the grid, refitting the full GP per
   // hypothesis — the per-request model-training cost the paper observes
   // dominating OtterTune's recommendation time.
+  const auto n = static_cast<double>(train.size());
+  modeled_seconds +=
+      rec_cost::kGpFitPerN3 * n * n * n *
+      static_cast<double>(options_.length_scale_grid.size());
+
   std::optional<gp::GpRegressor> model;
   double best_lml = -std::numeric_limits<double>::infinity();
   for (double length_scale : options_.length_scale_grid) {
@@ -100,11 +97,13 @@ std::vector<double> OtterTuneTuner::recommend(
   };
 
   std::vector<double> cand(dim);
+  std::size_t num_candidates = options_.candidate_pool;
   for (std::size_t i = 0; i < options_.candidate_pool; ++i) {
     for (double& a : cand) a = rng_.uniform();
     consider(cand);
   }
   if (!incumbent.empty()) {
+    num_candidates += options_.local_candidates;
     for (std::size_t i = 0; i < options_.local_candidates; ++i) {
       for (std::size_t d = 0; d < dim; ++d) {
         cand[d] = common::clamp(
@@ -113,6 +112,8 @@ std::vector<double> OtterTuneTuner::recommend(
       consider(cand);
     }
   }
+  modeled_seconds +=
+      rec_cost::kGpPredictPerN2 * n * n * static_cast<double>(num_candidates);
   return best_action;
 }
 
@@ -139,10 +140,10 @@ TuningReport OtterTuneTuner::tune(sparksim::TuningEnvironment& env,
   double best_time = report.default_time;
 
   for (int step = 1; step <= num_steps; ++step) {
-    const auto t0 = Clock::now();
-    std::vector<double> action = recommend(env.action_dim(), mapped,
-                                           observed, best_time, incumbent);
-    const double rec_seconds = elapsed_seconds(t0);
+    double rec_seconds = 0.0;
+    std::vector<double> action =
+        recommend(env.action_dim(), mapped, observed, best_time, incumbent,
+                  rec_seconds);
 
     const sparksim::StepResult res = env.step(action);
     observed.push_back({action, res.state, res.exec_seconds});

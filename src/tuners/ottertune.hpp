@@ -51,11 +51,13 @@ class OtterTuneTuner final : public OnlineTuner {
 
  private:
   /// Picks the next configuration by maximizing EI under a freshly fitted
-  /// GP; returns the chosen normalized action of length `action_dim`.
+  /// GP; returns the chosen normalized action of length `action_dim` and
+  /// adds the modeled cost of the GP retrains + candidate scans (the
+  /// dominant recommendation cost of Fig. 7) to `modeled_seconds`.
   std::vector<double> recommend(
       std::size_t action_dim, const std::vector<gp::Observation>& mapped,
       const std::vector<gp::Observation>& observed, double best_time,
-      std::span<const double> incumbent);
+      std::span<const double> incumbent, double& modeled_seconds);
 
   OtterTuneOptions options_;
   common::Rng rng_;

@@ -1,11 +1,45 @@
 #include "tuners/random_search.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 namespace deepcat::tuners {
 
 RandomSearchTuner::RandomSearchTuner(RandomSearchOptions options)
     : options_(options), rng_(options.seed) {}
+
+std::vector<std::vector<double>> RandomSearchTuner::plan_actions(
+    std::size_t action_dim, int num_steps) {
+  // Latin-hypercube permutations for divide-and-diverge mode: one
+  // stratified level sequence per dimension.
+  std::vector<std::vector<std::size_t>> strata;
+  if (options_.divide_and_diverge && num_steps > 1) {
+    strata.assign(action_dim, {});
+    for (auto& perm : strata) {
+      perm.resize(static_cast<std::size_t>(num_steps));
+      std::iota(perm.begin(), perm.end(), std::size_t{0});
+      rng_.shuffle(perm);
+    }
+  }
+
+  std::vector<std::vector<double>> actions;
+  actions.reserve(static_cast<std::size_t>(std::max(num_steps, 0)));
+  for (int step = 1; step <= num_steps; ++step) {
+    std::vector<double> action(action_dim);
+    if (!strata.empty()) {
+      const auto n = static_cast<double>(num_steps);
+      for (std::size_t d = 0; d < action.size(); ++d) {
+        const double level =
+            static_cast<double>(strata[d][static_cast<std::size_t>(step - 1)]);
+        action[d] = (level + rng_.uniform()) / n;
+      }
+    } else {
+      for (double& a : action) a = rng_.uniform();
+    }
+    actions.push_back(std::move(action));
+  }
+  return actions;
+}
 
 TuningReport RandomSearchTuner::tune(sparksim::TuningEnvironment& env,
                                      int num_steps) {
@@ -17,32 +51,10 @@ TuningReport RandomSearchTuner::tune(sparksim::TuningEnvironment& env,
   report.default_time = env.default_time();
   env.reset_cost_counters();
 
-  // Latin-hypercube permutations for divide-and-diverge mode: one
-  // stratified level sequence per dimension.
-  std::vector<std::vector<std::size_t>> strata;
-  if (options_.divide_and_diverge && num_steps > 1) {
-    strata.assign(env.action_dim(), {});
-    for (auto& perm : strata) {
-      perm.resize(static_cast<std::size_t>(num_steps));
-      std::iota(perm.begin(), perm.end(), std::size_t{0});
-      rng_.shuffle(perm);
-    }
-  }
-
+  const auto actions = plan_actions(env.action_dim(), num_steps);
   for (int step = 1; step <= num_steps; ++step) {
-    std::vector<double> action(env.action_dim());
-    if (!strata.empty()) {
-      const auto n = static_cast<double>(num_steps);
-      for (std::size_t d = 0; d < action.size(); ++d) {
-        const double level =
-            static_cast<double>(strata[d][static_cast<std::size_t>(step - 1)]);
-        action[d] = (level + rng_.uniform()) / n;
-      }
-    } else {
-      for (double& a : action) a = rng_.uniform();
-    }
-
-    const sparksim::StepResult res = env.step(action);
+    const sparksim::StepResult res =
+        env.step(actions[static_cast<std::size_t>(step - 1)]);
     TuningStepRecord rec;
     rec.step = step;
     rec.exec_seconds = res.exec_seconds;

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "tuners/tuner.hpp"
 
@@ -27,6 +28,14 @@ class RandomSearchTuner final : public OnlineTuner {
   }
 
   TuningReport tune(sparksim::TuningEnvironment& env, int num_steps) override;
+
+  /// Draws the full action sequence tune() would submit, without touching
+  /// an environment. Consumes the tuner RNG exactly as tune() does, so a
+  /// fresh tuner's plan matches a fresh tuner's tune() step for step. The
+  /// Fig. 2 harness uses this to pre-plan all 200 configurations and then
+  /// evaluate them in parallel with results identical to the serial run.
+  [[nodiscard]] std::vector<std::vector<double>> plan_actions(
+      std::size_t action_dim, int num_steps);
 
  private:
   RandomSearchOptions options_;

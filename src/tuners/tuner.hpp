@@ -1,8 +1,8 @@
 // Common interface for online configuration auto-tuners, plus the tuning
 // report every experiment harness consumes. The cost accounting follows
 // the paper (§5.2.2): total online tuning time = sum of configuration
-// evaluation time (simulated seconds) + recommendation time (real seconds
-// the tuner spent deciding).
+// evaluation time (simulated seconds) + recommendation time (modeled
+// seconds the tuner spent deciding).
 #pragma once
 
 #include <string>
@@ -13,12 +13,30 @@
 
 namespace deepcat::tuners {
 
+/// Deterministic model of recommendation time. Earlier revisions measured
+/// host wall-clock here, which mixed real microseconds into otherwise
+/// simulated seconds and made the figure data irreproducible: totals
+/// shifted with machine load, and running harness sweeps in parallel
+/// inflated them further. Recommendation cost is now charged from the
+/// tuner's deterministic operation counts (actor forwards, twin-Q probes,
+/// train steps, GP fits/predicts) times the per-operation constants below,
+/// calibrated once against bench_micro wall-clock measurements on the
+/// reference build. Figure data is thereby a pure function of the seeds,
+/// identical across machines, runs, and thread counts.
+namespace rec_cost {
+inline constexpr double kActorForward = 9e-6;   ///< one policy-net forward
+inline constexpr double kCriticPair = 17e-6;    ///< min_q: two critic forwards
+inline constexpr double kTrainStep = 4.5e-3;    ///< one TD3/DDPG train step
+inline constexpr double kGpFitPerN3 = 1.3e-10;  ///< Cholesky-dominated GP fit
+inline constexpr double kGpPredictPerN2 = 2e-9; ///< triangular solve/predict
+}  // namespace rec_cost
+
 struct TuningStepRecord {
   int step = 0;                       ///< 1-based online step index
   double exec_seconds = 0.0;          ///< evaluation cost of this step
   double reward = 0.0;
   bool success = false;
-  double recommendation_seconds = 0.0;///< wall-clock spent choosing the action
+  double recommendation_seconds = 0.0;///< modeled cost of choosing the action
   double best_so_far = 0.0;           ///< best exec time after this step
 };
 

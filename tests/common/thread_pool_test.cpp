@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace deepcat::common {
 namespace {
 
@@ -85,6 +87,64 @@ TEST(ThreadPoolTest, DestructorDrainsQueue) {
     }
   }  // destructor joins after queue drains
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPoolTest, ParallelForFirstSubmittedExceptionWins) {
+  // All chunks are awaited (no early cancellation), and the exception from
+  // the earliest-submitted failing chunk is the one rethrown — here both
+  // the first and last chunk throw, with different types.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  try {
+    pool.parallel_for(100, [&](std::size_t i) {
+      executed.fetch_add(1);
+      if (i == 3) throw std::runtime_error("low");
+      if (i == 97) throw std::logic_error("high");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "low");
+  }
+  // A throwing chunk skips its own remaining indices; the other three
+  // 25-index chunks are still awaited and run (at least up to their throw).
+  EXPECT_GE(executed.load(), 2 * 25 + 2);
+  EXPECT_LT(executed.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelMapPlacesResultsByIndex) {
+  ThreadPool pool(4);
+  const auto out =
+      parallel_map(pool, 123, [](std::size_t i) { return 3 * i + 1; });
+  ASSERT_EQ(out.size(), 123u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], 3 * i + 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapIsIdenticalForAnyPoolSize) {
+  // Per-index seeding (mix_seed) makes the result a pure function of the
+  // index: 1-thread and 7-thread pools must produce identical vectors.
+  auto job = [](std::size_t i) {
+    Rng rng(mix_seed(99, i));
+    double acc = 0.0;
+    for (int k = 0; k < 50; ++k) acc += rng.normal();
+    return acc;
+  };
+  ThreadPool serial(1), wide(7);
+  const auto a = parallel_map(serial, 64, job);
+  const auto b = parallel_map(wide, 64, job);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(ThreadPoolTest, MixSeedSeparatesNeighboringIndices) {
+  // Adjacent indices must yield well-separated streams; identical inputs
+  // must reproduce the seed exactly (it is a pure function).
+  EXPECT_EQ(mix_seed(7, 0), mix_seed(7, 0));
+  EXPECT_NE(mix_seed(7, 0), mix_seed(7, 1));
+  EXPECT_NE(mix_seed(7, 0), mix_seed(8, 0));
+  Rng a(mix_seed(7, 0)), b(mix_seed(7, 1));
+  int agree = 0;
+  for (int i = 0; i < 64; ++i) agree += a() == b() ? 1 : 0;
+  EXPECT_EQ(agree, 0);
 }
 
 }  // namespace

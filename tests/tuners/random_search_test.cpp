@@ -58,6 +58,32 @@ TEST(RandomSearchTest, DivideAndDivergeStratifiesEachKnob) {
   EXPECT_EQ(report.steps.size(), static_cast<std::size_t>(steps));
 }
 
+TEST(RandomSearchTest, PlanActionsReproducesTuneExactly) {
+  // plan_actions + draw_eval_seed must replay the exact serial tune()
+  // sequence — this is what lets the Fig. 2 harness evaluate all 200
+  // configurations in parallel with byte-identical figure data.
+  for (const bool dds : {false, true}) {
+    RandomSearchTuner tuner({.divide_and_diverge = dds, .seed = 77});
+    TuningEnvironment env = make_env(7);
+    const TuningReport serial = tuner.tune(env, 25);
+
+    RandomSearchTuner planner({.divide_and_diverge = dds, .seed = 77});
+    TuningEnvironment replay_env = make_env(7);
+    replay_env.reset();
+    const auto actions = planner.plan_actions(replay_env.action_dim(), 25);
+    ASSERT_EQ(actions.size(), 25u);
+    for (std::size_t i = 0; i < actions.size(); ++i) {
+      const auto seed = replay_env.draw_eval_seed();
+      const auto run = replay_env.simulator().run(
+          replay_env.workload(), sparksim::pipeline_space().decode(actions[i]),
+          seed);
+      EXPECT_EQ(run.success, serial.steps[i].success) << "dds=" << dds;
+      EXPECT_DOUBLE_EQ(run.exec_seconds, serial.steps[i].exec_seconds)
+          << "dds=" << dds << " step=" << i;
+    }
+  }
+}
+
 TEST(RandomSearchTest, SeedsChangeOutcomes) {
   TuningEnvironment env_a = make_env(5);
   TuningEnvironment env_b = make_env(5);
