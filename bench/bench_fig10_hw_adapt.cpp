@@ -4,52 +4,60 @@
 // cluster); out-of-scope recommendations are clipped to the new
 // environment's boundaries. Paper speedups on Cluster-B: WC 1.68 / 1.30 /
 // 1.17 and PR 1.42 / 1.25 / 1.09 (DeepCAT / CDBTune / OtterTune).
+//
+// Each (workload, tuner) pair prepares its own tuner from scratch and is
+// therefore a pure function of its index: the 6 units fan out on the
+// shared pool and fold back in fixed order, so the table is byte-
+// identical to a serial run for any DEEPCAT_BENCH_THREADS.
 #include <iostream>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
 
+namespace {
+
+using namespace deepcat;
+using namespace deepcat::sparksim;
+
+constexpr const char* kCases[] = {"WC-D1", "PR-D1"};
+constexpr const char* kTuners[] = {"DeepCAT", "CDBTune", "OtterTune"};
+
+tuners::TuningReport run_unit(std::size_t unit) {
+  const char* id = kCases[unit / 3];
+  const auto& c = hibench_case(id);
+  const std::uint64_t seed = 1010 + static_cast<std::uint64_t>(id[0]);
+  TuningEnvironment env = bench::make_env(c, seed, cluster_b());
+  switch (unit % 3) {
+    case 0: {
+      tuners::DeepCatTuner deepcat = bench::trained_deepcat(c, 10);
+      return deepcat.tune(env, bench::kOnlineSteps);
+    }
+    case 1: {
+      tuners::CdbTuneTuner cdbtune = bench::trained_cdbtune(c, 10);
+      return cdbtune.tune(env, bench::kOnlineSteps);
+    }
+    default: {
+      tuners::OtterTuneTuner ottertune = bench::seeded_ottertune(10);
+      return ottertune.tune(env, bench::kOnlineSteps);
+    }
+  }
+}
+
+}  // namespace
+
 int main() {
-  using namespace deepcat;
-  using namespace deepcat::sparksim;
+  const auto reports = common::parallel_map(bench::shared_pool(), 6, run_unit);
 
   common::Table t(
       "Figure 10: tuning on Cluster-B with models prepared on Cluster-A");
   t.header({"workload", "tuner", "default (s)", "best (s)", "speedup",
             "total tuning cost (s)"});
-
-  for (const char* id : {"WC-D1", "PR-D1"}) {
-    const auto& c = hibench_case(id);
-
-    tuners::DeepCatTuner deepcat = bench::trained_deepcat(c, 10);
-    tuners::CdbTuneTuner cdbtune = bench::trained_cdbtune(c, 10);
-    tuners::OtterTuneTuner ottertune = bench::seeded_ottertune(10);
-
-    const std::uint64_t seed = 1010 + static_cast<std::uint64_t>(id[0]);
-    {
-      TuningEnvironment env = bench::make_env(c, seed, cluster_b());
-      const auto r = deepcat.tune(env, bench::kOnlineSteps);
-      t.row({id, "DeepCAT", common::cell(r.default_time, 1),
-             common::cell(r.best_time, 1),
-             common::speedup_cell(r.speedup_over_default()),
-             common::cell(r.total_tuning_seconds(), 1)});
-    }
-    {
-      TuningEnvironment env = bench::make_env(c, seed, cluster_b());
-      const auto r = cdbtune.tune(env, bench::kOnlineSteps);
-      t.row({id, "CDBTune", common::cell(r.default_time, 1),
-             common::cell(r.best_time, 1),
-             common::speedup_cell(r.speedup_over_default()),
-             common::cell(r.total_tuning_seconds(), 1)});
-    }
-    {
-      TuningEnvironment env = bench::make_env(c, seed, cluster_b());
-      const auto r = ottertune.tune(env, bench::kOnlineSteps);
-      t.row({id, "OtterTune", common::cell(r.default_time, 1),
-             common::cell(r.best_time, 1),
-             common::speedup_cell(r.speedup_over_default()),
-             common::cell(r.total_tuning_seconds(), 1)});
-    }
+  for (std::size_t unit = 0; unit < reports.size(); ++unit) {
+    const auto& r = reports[unit];
+    t.row({kCases[unit / 3], kTuners[unit % 3],
+           common::cell(r.default_time, 1), common::cell(r.best_time, 1),
+           common::speedup_cell(r.speedup_over_default()),
+           common::cell(r.total_tuning_seconds(), 1)});
   }
   t.print(std::cout);
   std::cout << "\nPaper reference (Cluster-B speedups): WC 1.68x/1.30x/1.17x, "

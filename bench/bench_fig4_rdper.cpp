@@ -3,8 +3,18 @@
 // conventional TD3 (uniform replay) vs TD3 + RDPER. Reproduces the
 // paper's finding that RDPER converges substantially faster and ends at a
 // better configuration.
+//
+// Parallel protocol: phase 1 trains each variant straight through its
+// offline schedule, snapshotting the weights every kStep iterations
+// (training never sees online-session RNG draws, unlike the earlier
+// serial interleaving). Phase 2 fans the 2 x 9 x 3 online sessions out as
+// pure (snapshot, per-index seed) units and folds them back in index
+// order, so figure data is byte-identical for any DEEPCAT_BENCH_THREADS.
 #include <algorithm>
 #include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/table.hpp"
@@ -14,42 +24,85 @@ namespace {
 using namespace deepcat;
 using namespace deepcat::sparksim;
 
-/// Trains incrementally; at each checkpoint snapshots the model, runs
-/// independent 5-step online tuning sessions (averaged), and restores the
-/// weights so online fine-tuning does not leak into the remaining offline
-/// schedule.
-std::vector<std::pair<std::size_t, double>> sweep(bool use_rdper,
-                                                  std::uint64_t seed) {
-  tuners::DeepCatOptions options = bench::deepcat_options(seed);
+constexpr std::size_t kStep = 400;
+constexpr std::size_t kMax = 3600;
+constexpr std::size_t kCheckpoints = kMax / kStep;
+constexpr std::size_t kSessions = 3;
+constexpr std::uint64_t kSeed = 41;
+
+/// Phase 1: offline-train one variant, saving a weight blob at every
+/// checkpoint. Sequential within a variant (training is inherently
+/// incremental); the two variants run as independent units.
+std::vector<std::string> training_snapshots(bool use_rdper) {
+  tuners::DeepCatOptions options = bench::deepcat_options(kSeed);
   options.use_rdper = use_rdper;
   tuners::DeepCatTuner tuner(options);
-  TuningEnvironment train_env = bench::make_env(hibench_case("TS-D1"), seed);
+  TuningEnvironment train_env = bench::make_env(hibench_case("TS-D1"), kSeed);
 
-  std::vector<std::pair<std::size_t, double>> curve;
-  constexpr std::size_t kStep = 400;
-  constexpr std::size_t kMax = 3600;
-  constexpr int kSessions = 3;
+  std::vector<std::string> blobs;
+  blobs.reserve(kCheckpoints);
   for (std::size_t done = 0; done < kMax; done += kStep) {
     (void)tuner.train_offline(train_env, kStep);
-    bench::ModelSnapshot snapshot(tuner);
-    double best = 0.0;
-    for (int session = 0; session < kSessions; ++session) {
-      TuningEnvironment tune_env = bench::make_env(
-          hibench_case("TS-D1"),
-          9000 + seed + static_cast<std::uint64_t>(session) * 97);
-      best += tuner.tune(tune_env, bench::kOnlineSteps).best_time / kSessions;
-      snapshot.restore(tuner);
-    }
-    curve.emplace_back(done + kStep, best);
+    std::stringstream ss;
+    tuner.save(ss);
+    blobs.push_back(ss.str());
   }
-  return curve;
+  return blobs;
+}
+
+/// Phase 2 unit: one independent 5-step online session from a snapshot.
+/// A pure function of (blob, variant, checkpoint, session) — every RNG
+/// stream is seeded from the unit's own indices.
+double session_best(const std::string& blob, bool use_rdper,
+                    std::size_t checkpoint, std::size_t session) {
+  const std::uint64_t unit =
+      (use_rdper ? kCheckpoints * kSessions : 0) +
+      checkpoint * kSessions + session;
+  tuners::DeepCatOptions options =
+      bench::deepcat_options(kSeed + 7001 * (unit + 1));
+  options.use_rdper = use_rdper;
+  tuners::DeepCatTuner tuner(options);
+  TuningEnvironment tune_env = bench::make_env(
+      hibench_case("TS-D1"), 9000 + kSeed + session * 97);
+  tuner.materialize(tune_env.state_dim(), tune_env.action_dim());
+  std::istringstream ss(blob);
+  tuner.load(ss);
+  return tuner.tune(tune_env, bench::kOnlineSteps).best_time;
 }
 
 }  // namespace
 
 int main() {
-  const auto plain = sweep(/*use_rdper=*/false, 41);
-  const auto rdper = sweep(/*use_rdper=*/true, 41);
+  // Phase 1: the two training trajectories are independent units.
+  const auto snapshots = common::parallel_map(
+      bench::shared_pool(), 2,
+      [](std::size_t vi) { return training_snapshots(vi == 1); });
+
+  // Phase 2: 2 variants x 9 checkpoints x 3 sessions, all independent.
+  const std::size_t total = 2 * kCheckpoints * kSessions;
+  const auto bests = common::parallel_map(
+      bench::shared_pool(), total, [&snapshots](std::size_t u) {
+        const std::size_t vi = u / (kCheckpoints * kSessions);
+        const std::size_t checkpoint = (u / kSessions) % kCheckpoints;
+        const std::size_t session = u % kSessions;
+        return session_best(snapshots[vi][checkpoint], vi == 1, checkpoint,
+                            session);
+      });
+
+  // Fold in index order so the averaging matches a serial run bit for bit.
+  std::vector<std::pair<std::size_t, double>> plain, rdper;
+  for (std::size_t vi = 0; vi < 2; ++vi) {
+    auto& curve = vi == 1 ? rdper : plain;
+    for (std::size_t checkpoint = 0; checkpoint < kCheckpoints; ++checkpoint) {
+      double best = 0.0;
+      for (std::size_t session = 0; session < kSessions; ++session) {
+        best += bests[vi * kCheckpoints * kSessions +
+                      checkpoint * kSessions + session] /
+                static_cast<double>(kSessions);
+      }
+      curve.emplace_back((checkpoint + 1) * kStep, best);
+    }
+  }
 
   common::Table t(
       "Figure 4: best online-recommended execution time vs offline "

@@ -5,6 +5,11 @@
 // (avg +15.86% over CDBTune, +27.21% over OtterTune perf; 21.67% / 24.02%
 // less tuning cost), and M_TS -> PR is the weakest transfer. Results are
 // averaged over 3 online sessions per model.
+//
+// The six tuner preparations (4 DeepCAT transfers + CDBTune + OtterTune)
+// are self-contained, so they fan out as one unit each and fold back in
+// fixed order — figure data is byte-identical to a serial run for any
+// DEEPCAT_BENCH_THREADS.
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -16,6 +21,7 @@ using namespace deepcat;
 using namespace deepcat::sparksim;
 
 constexpr std::uint64_t kTuneSeeds[] = {909, 919, 929};
+constexpr const char* kSources[] = {"WC-D1", "TS-D1", "PR-D1", "KM-D1"};
 
 struct Averages {
   double best = 0.0;
@@ -36,9 +42,44 @@ Averages averaged_tune(Tuner& tuner, Restore restore) {
   return out;
 }
 
+/// Units 0-3: DeepCAT M_source -> PR. Unit 4: CDBTune. Unit 5: OtterTune.
+/// Each unit builds its own tuner from scratch, so it is a pure function
+/// of its index.
+Averages run_unit(std::size_t unit) {
+  if (unit < 4) {
+    tuners::DeepCatTuner tuner =
+        bench::trained_deepcat(hibench_case(kSources[unit]), 9);
+    bench::ModelSnapshot snapshot(tuner);
+    return averaged_tune(tuner, [&snapshot](tuners::DeepCatTuner& model) {
+      snapshot.restore(model);
+    });
+  }
+  if (unit == 4) {
+    tuners::CdbTuneTuner cdbtune =
+        bench::trained_cdbtune(hibench_case("PR-D1"), 9);
+    std::stringstream cdb_weights;
+    cdbtune.save(cdb_weights);
+    Averages cdb;
+    for (const std::uint64_t seed : kTuneSeeds) {
+      cdb_weights.clear();
+      cdb_weights.seekg(0);
+      cdbtune.load(cdb_weights);
+      TuningEnvironment env = bench::make_env(hibench_case("PR-D1"), seed);
+      const auto report = cdbtune.tune(env, bench::kOnlineSteps);
+      cdb.best += report.best_time / std::size(kTuneSeeds);
+      cdb.cost += report.total_tuning_seconds() / std::size(kTuneSeeds);
+    }
+    return cdb;
+  }
+  tuners::OtterTuneTuner ottertune = bench::seeded_ottertune(9);
+  return averaged_tune(ottertune, [](tuners::OtterTuneTuner&) {});
+}
+
 }  // namespace
 
 int main() {
+  const auto units = common::parallel_map(bench::shared_pool(), 6, run_unit);
+
   common::Table t(
       "Figure 9: online-tuning PageRank (0.5 Mpages) with models trained "
       "on different workloads (avg of 3 sessions)");
@@ -46,41 +87,21 @@ int main() {
 
   double dc_perf_sum = 0.0, dc_cost_sum = 0.0;
   double ts_to_pr = 0.0, pr_to_pr = 0.0;
-  for (const char* source : {"WC-D1", "TS-D1", "PR-D1", "KM-D1"}) {
-    tuners::DeepCatTuner tuner =
-        bench::trained_deepcat(hibench_case(source), 9);
-    bench::ModelSnapshot snapshot(tuner);
-    const Averages avg =
-        averaged_tune(tuner, [&snapshot](tuners::DeepCatTuner& model) {
-          snapshot.restore(model);
-        });
-    t.row({std::string("DeepCAT M_") + source + " -> PR",
+  for (std::size_t i = 0; i < 4; ++i) {
+    const Averages& avg = units[i];
+    t.row({std::string("DeepCAT M_") + kSources[i] + " -> PR",
            common::cell(avg.best, 1), common::cell(avg.cost, 1)});
     dc_perf_sum += avg.best;
     dc_cost_sum += avg.cost;
-    if (std::string(source) == "TS-D1") ts_to_pr = avg.best;
-    if (std::string(source) == "PR-D1") pr_to_pr = avg.best;
+    if (std::string(kSources[i]) == "TS-D1") ts_to_pr = avg.best;
+    if (std::string(kSources[i]) == "PR-D1") pr_to_pr = avg.best;
   }
 
-  tuners::CdbTuneTuner cdbtune =
-      bench::trained_cdbtune(hibench_case("PR-D1"), 9);
-  std::stringstream cdb_weights;
-  cdbtune.save(cdb_weights);
-  Averages cdb;
-  for (const std::uint64_t seed : kTuneSeeds) {
-    cdb_weights.clear();
-    cdb_weights.seekg(0);
-    cdbtune.load(cdb_weights);
-    TuningEnvironment env = bench::make_env(hibench_case("PR-D1"), seed);
-    const auto report = cdbtune.tune(env, bench::kOnlineSteps);
-    cdb.best += report.best_time / std::size(kTuneSeeds);
-    cdb.cost += report.total_tuning_seconds() / std::size(kTuneSeeds);
-  }
+  const Averages& cdb = units[4];
   t.row({"CDBTune (trained on PR)", common::cell(cdb.best, 1),
          common::cell(cdb.cost, 1)});
 
-  tuners::OtterTuneTuner ottertune = bench::seeded_ottertune(9);
-  Averages ot = averaged_tune(ottertune, [](tuners::OtterTuneTuner&) {});
+  const Averages& ot = units[5];
   t.row({"OtterTune (PR history mapped)", common::cell(ot.best, 1),
          common::cell(ot.cost, 1)});
 

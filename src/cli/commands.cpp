@@ -1,10 +1,14 @@
 #include "cli/commands.hpp"
 
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/table.hpp"
 #include "core/deepcat_api.hpp"
+#include "service/jsonl.hpp"
+#include "service/service.hpp"
 #include "sparksim/config_export.hpp"
 #include "sparksim/job_sim.hpp"
 
@@ -60,7 +64,11 @@ void print_usage(std::ostream& os) {
         "  tune --workload TS          train offline + tune online\n"
         "      [--size 3.2] [--cluster a|b] [--steps 5]\n"
         "      [--offline-iters 1200] [--seed 1]\n"
-        "      [--export spark|yarn|hdfs|submit]\n";
+        "      [--export spark|yarn|hdfs|submit]\n"
+        "  serve --checkpoint dir/     serve a JSONL tuning-request batch\n"
+        "      [--requests file.jsonl] [--out file.jsonl] [--model default]\n"
+        "      [--train-iters 0] [--train-workload TS] [--train-size 3.2]\n"
+        "      [--threads 0] [--cluster a|b] [--seed 1] [--publish 1]\n";
 }
 
 }  // namespace
@@ -179,6 +187,88 @@ int cmd_tune(const ParsedArgs& args, std::ostream& os) {
   return 0;
 }
 
+int cmd_serve(const ParsedArgs& args, std::ostream& os) {
+  const auto checkpoint_dir = args.flag("checkpoint");
+  if (!checkpoint_dir) {
+    throw std::invalid_argument("serve: --checkpoint dir/ is required");
+  }
+  const std::string model_name = args.flag_or("model", "default");
+  const auto train_iters =
+      static_cast<std::size_t>(args.number_or("train-iters", 0));
+  const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 1));
+
+  service::ServiceOptions options;
+  options.cluster = args.flag_or("cluster", "a");
+  options.threads = static_cast<std::size_t>(args.number_or("threads", 0));
+  options.api.tuner.seed = seed;
+  options.api.env.seed = seed + 1000;
+
+  service::TuningService svc(options);
+  service::ModelRegistry registry(*checkpoint_dir);
+
+  const auto version = registry.latest_version(model_name);
+  if (version) {
+    svc.load_master_file(registry.path_for(model_name, *version));
+    os << "loaded model '" << model_name << "' v" << *version << " from "
+       << registry.directory() << '\n';
+  } else if (train_iters > 0) {
+    const WorkloadType type =
+        workload_from_flag(args.flag_or("train-workload", "TS"));
+    const double size = args.number_or("train-size", default_size(type));
+    os << "no published model '" << model_name << "'; training "
+       << train_iters << " offline iterations...\n";
+    svc.train_master(make_workload(type, size), train_iters);
+    const std::uint32_t v = registry.publish(model_name, svc.master());
+    os << "published model '" << model_name << "' v" << v << '\n';
+  } else {
+    throw std::invalid_argument(
+        "serve: no published model '" + model_name +
+        "' in the registry and --train-iters is 0; train one first");
+  }
+
+  const auto requests_path = args.flag("requests");
+  if (!requests_path) return 0;  // train/publish-only invocation
+
+  std::ifstream req_stream(*requests_path);
+  if (!req_stream) {
+    throw std::invalid_argument("serve: cannot open requests file '" +
+                                *requests_path + "'");
+  }
+  const auto requests = service::parse_requests_jsonl(req_stream);
+  os << "serving " << requests.size() << " requests on "
+     << (options.threads == 0 ? std::string("hardware")
+                              : std::to_string(options.threads))
+     << " threads...\n";
+  const auto reports = svc.run_batch(requests);
+
+  std::ostringstream body;
+  for (const auto& r : reports) service::write_report_jsonl(body, r);
+  service::write_metrics_jsonl(body, svc.metrics());
+  if (const auto out_path = args.flag("out")) {
+    std::ofstream out(*out_path, std::ios::trunc);
+    if (!out) {
+      throw std::invalid_argument("serve: cannot open output file '" +
+                                  *out_path + "'");
+    }
+    out << body.str();
+    os << "wrote " << reports.size() << " report lines + metrics to "
+       << *out_path << '\n';
+  } else {
+    os << body.str();
+  }
+
+  if (args.number_or("publish", 0) != 0.0) {
+    const std::uint32_t v = registry.publish(model_name, svc.master());
+    os << "published post-batch model '" << model_name << "' v" << v << '\n';
+  }
+
+  std::size_t failed = 0;
+  for (const auto& r : reports) {
+    if (!r.ok) ++failed;
+  }
+  return failed == 0 ? 0 : 1;
+}
+
 int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
   try {
     const ParsedArgs args = parse_args(argv);
@@ -186,6 +276,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
     if (args.command == "suite") return cmd_suite(args, os);
     if (args.command == "simulate") return cmd_simulate(args, os);
     if (args.command == "tune") return cmd_tune(args, os);
+    if (args.command == "serve") return cmd_serve(args, os);
     print_usage(os);
     return args.command.empty() ? 0 : 2;
   } catch (const std::exception& e) {

@@ -24,6 +24,14 @@ int cmd_simulate(const ParsedArgs& args, std::ostream& os);
 ///  online, print the report (and optionally the exported config).
 int cmd_tune(const ParsedArgs& args, std::ostream& os);
 
+/// `deepcat serve --requests file.jsonl --checkpoint dir/ [--model NAME]
+///  [--train-iters N] [--train-workload TS] [--train-size 3.2]
+///  [--threads N] [--out file.jsonl] [--cluster a|b] [--publish 1]` —
+///  load (or train + publish) the master model, serve the JSONL request
+///  batch concurrently, write one report line per request plus an
+///  aggregate metrics line.
+int cmd_serve(const ParsedArgs& args, std::ostream& os);
+
 /// Dispatches to the subcommand; prints usage on unknown/empty command.
 int run_cli(const std::vector<std::string>& argv, std::ostream& os);
 

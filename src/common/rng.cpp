@@ -83,4 +83,18 @@ bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
 Rng Rng::split() noexcept { return Rng((*this)() ^ 0xA5A5A5A55A5A5A5AULL); }
 
+RngState Rng::state() const noexcept {
+  RngState st;
+  st.s = {s_[0], s_[1], s_[2], s_[3]};
+  st.spare = spare_;
+  st.has_spare = has_spare_;
+  return st;
+}
+
+void Rng::restore(const RngState& state) noexcept {
+  for (std::size_t i = 0; i < 4; ++i) s_[i] = state.s[i];
+  spare_ = state.spare;
+  has_spare_ = state.has_spare;
+}
+
 }  // namespace deepcat::common

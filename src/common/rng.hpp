@@ -4,11 +4,22 @@
 // experiments are reproducible bit-for-bit across runs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <vector>
 
 namespace deepcat::common {
+
+/// The full serializable state of an Rng: the four xoshiro lanes plus the
+/// Marsaglia-polar spare cache. Restoring it resumes the stream exactly
+/// where it left off — the checkpoint layer depends on this to make
+/// save→load→tune bit-identical to tune-without-save.
+struct RngState {
+  std::array<std::uint64_t, 4> s{};
+  double spare = 0.0;
+  bool has_spare = false;
+};
 
 /// SplitMix64 finalizer over `base ^ index`. Gives every loop index its own
 /// well-mixed 64-bit seed so parallel_for bodies can build a private Rng per
@@ -78,6 +89,10 @@ class Rng {
   /// Derives an independent child stream; used to hand each worker thread
   /// or sub-component its own generator without sharing state.
   [[nodiscard]] Rng split() noexcept;
+
+  /// Snapshot / exact-resume of the generator state.
+  [[nodiscard]] RngState state() const noexcept;
+  void restore(const RngState& state) noexcept;
 
  private:
   std::uint64_t s_[4];

@@ -79,6 +79,26 @@ void adam_update_scalar(double* value, const double* grad, double* m,
   }
 }
 
+void adam_update_clipped_scalar(const AdamTensor* tensors, std::size_t count,
+                                double grad_clip, double beta1, double beta2,
+                                double bc1, double bc2, double lr,
+                                double eps) noexcept {
+  double scale = 1.0;
+  if (grad_clip > 0.0) {
+    double sq = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      sq += dot_scalar(tensors[i].grad, tensors[i].grad, tensors[i].n);
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > grad_clip) scale = grad_clip / norm;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    adam_update_scalar(tensors[i].value, tensors[i].grad, tensors[i].m,
+                       tensors[i].v, tensors[i].n, scale, beta1, beta2, bc1,
+                       bc2, lr, eps);
+  }
+}
+
 void gemm_nn_scalar(std::size_t m, std::size_t n, std::size_t k,
                     const double* a, std::size_t lda, const double* b,
                     std::size_t ldb, double* c, std::size_t ldc) noexcept {
@@ -254,6 +274,29 @@ DEEPCAT_TARGET_AVX2 void adam_update_avx2(double* value, const double* grad,
   if (i < n) {
     adam_update_scalar(value + i, grad + i, m + i, v + i, n - i, scale, beta1,
                        beta2, bc1, bc2, lr, eps);
+  }
+}
+
+DEEPCAT_TARGET_AVX2 void adam_update_clipped_avx2(
+    const AdamTensor* tensors, std::size_t count, double grad_clip,
+    double beta1, double beta2, double bc1, double bc2, double lr,
+    double eps) noexcept {
+  double scale = 1.0;
+  if (grad_clip > 0.0) {
+    // Same per-tensor reduction (dot of grad with itself) in the same array
+    // order as the old standalone sum_squares pass, so the clip scale is
+    // bit-identical to the unfused composition.
+    double sq = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+      sq += dot_avx2(tensors[i].grad, tensors[i].grad, tensors[i].n);
+    }
+    const double norm = std::sqrt(sq);
+    if (norm > grad_clip) scale = grad_clip / norm;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    adam_update_avx2(tensors[i].value, tensors[i].grad, tensors[i].m,
+                     tensors[i].v, tensors[i].n, scale, beta1, beta2, bc1,
+                     bc2, lr, eps);
   }
 }
 
@@ -547,6 +590,21 @@ void adam_update(double* value, const double* grad, double* m, double* v,
 #endif
   adam_update_scalar(value, grad, m, v, n, scale, beta1, beta2, bc1, bc2, lr,
                      eps);
+}
+
+void adam_update_clipped(const AdamTensor* tensors, std::size_t count,
+                         double grad_clip, double beta1, double beta2,
+                         double bc1, double bc2, double lr,
+                         double eps) noexcept {
+#if DEEPCAT_SIMD_X86
+  if (vectorized_active()) {
+    adam_update_clipped_avx2(tensors, count, grad_clip, beta1, beta2, bc1,
+                             bc2, lr, eps);
+    return;
+  }
+#endif
+  adam_update_clipped_scalar(tensors, count, grad_clip, beta1, beta2, bc1,
+                             bc2, lr, eps);
 }
 
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,

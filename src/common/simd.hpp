@@ -64,6 +64,29 @@ void adam_update(double* value, const double* grad, double* m, double* v,
                  std::size_t n, double scale, double beta1, double beta2,
                  double bc1, double bc2, double lr, double eps) noexcept;
 
+/// One Adam-managed tensor: parameter values, gradients and both moment
+/// vectors, all `n` elements long. The pointers alias nothing else passed
+/// to the same kernel call.
+struct AdamTensor {
+  double* value;
+  const double* grad;
+  double* m;
+  double* v;
+  std::size_t n;
+};
+
+/// Whole-step Adam with fused global gradient-norm clipping over a set of
+/// tensors. Accumulates sum(grad^2) across the tensors in array order,
+/// derives scale = min(1, grad_clip / ||grad||) (grad_clip <= 0 disables
+/// clipping), then applies adam_update to every tensor — one kernel call
+/// per optimizer step instead of a separate norm pass per tensor. The
+/// reduction order and per-element formula match the unfused composition
+/// exactly, so results are bit-identical on each backend.
+void adam_update_clipped(const AdamTensor* tensors, std::size_t count,
+                         double grad_clip, double beta1, double beta2,
+                         double bc1, double bc2, double lr,
+                         double eps) noexcept;
+
 // ---- Level-3 GEMM kernels ----------------------------------------------
 // All accumulate into C (C += ...), so the caller controls the epilogue
 // start state: zero-filled for a plain product, bias-broadcast rows for the

@@ -53,6 +53,19 @@ class DeepCat {
   [[nodiscard]] const sparksim::ClusterSpec& cluster() const noexcept {
     return cluster_;
   }
+  [[nodiscard]] const DeepCatApiOptions& api_options() const noexcept {
+    return options_;
+  }
+
+  /// The seed the next environment will be built from. Checkpointed so a
+  /// reloaded instance draws the same environment sequence as one that was
+  /// never serialized.
+  [[nodiscard]] std::uint64_t next_env_seed() const noexcept {
+    return next_env_seed_;
+  }
+  void set_next_env_seed(std::uint64_t seed) noexcept {
+    next_env_seed_ = seed;
+  }
 
   /// Persists / restores the trained networks.
   void save_model(std::ostream& os);

@@ -1,6 +1,7 @@
 // Adam optimizer (Kingma & Ba, 2015) over a set of Param handles.
 #pragma once
 
+#include <iosfwd>
 #include <vector>
 
 #include "nn/layers.hpp"
@@ -30,6 +31,27 @@ class Adam {
   [[nodiscard]] const AdamConfig& config() const noexcept { return config_; }
   void set_lr(double lr) noexcept { config_.lr = lr; }
   [[nodiscard]] std::size_t step_count() const noexcept { return t_; }
+
+  /// First/second moment estimates, one Matrix per bound parameter tensor,
+  /// in binding order. Exposed (with restore_state) so checkpoints can
+  /// round-trip the optimizer: dropping the moments makes a reloaded agent
+  /// fine-tune differently from a never-saved one.
+  [[nodiscard]] const std::vector<Matrix>& first_moments() const noexcept {
+    return m_;
+  }
+  [[nodiscard]] const std::vector<Matrix>& second_moments() const noexcept {
+    return v_;
+  }
+
+  /// Overwrites the moment vectors and step counter. Shapes must match the
+  /// bound parameters exactly (throws std::runtime_error otherwise).
+  void restore_state(const std::vector<Matrix>& m, const std::vector<Matrix>& v,
+                     std::size_t step_count);
+
+  /// Writes/reads the optimizer state (step counter + both moment vectors)
+  /// as a flat text stream, shape-checked on load, same style as Mlp.
+  void save(std::ostream& os) const;
+  void load(std::istream& is);
 
  private:
   std::vector<Param> params_;

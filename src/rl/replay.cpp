@@ -18,6 +18,18 @@ void UniformReplay::add(Transition t) {
   }
 }
 
+void UniformReplay::restore_storage(std::vector<Transition> storage,
+                                    std::size_t cursor) {
+  if (storage.size() > capacity_) {
+    throw std::invalid_argument("UniformReplay::restore_storage: over capacity");
+  }
+  if (cursor >= capacity_) {
+    throw std::invalid_argument("UniformReplay::restore_storage: bad cursor");
+  }
+  storage_ = std::move(storage);
+  next_ = cursor;
+}
+
 SampledBatch UniformReplay::sample(std::size_t m, common::Rng& rng) {
   if (storage_.empty()) throw std::logic_error("UniformReplay: empty sample");
   SampledBatch batch;

@@ -44,6 +44,14 @@ class UniformReplay final : public ReplayBuffer {
     return capacity_;
   }
 
+  /// Read-only view + ring cursor + bulk restore, mirroring the RDPER
+  /// accessors so the checkpoint layer can round-trip either buffer kind.
+  [[nodiscard]] std::span<const Transition> storage() const noexcept {
+    return storage_;
+  }
+  [[nodiscard]] std::size_t cursor() const noexcept { return next_; }
+  void restore_storage(std::vector<Transition> storage, std::size_t cursor);
+
  private:
   std::size_t capacity_;
   std::size_t next_ = 0;  // ring cursor once full

@@ -24,6 +24,22 @@ void RdperReplay::set_beta(double beta) {
   config_.beta = beta;
 }
 
+void RdperReplay::restore_pools(std::vector<Transition> high,
+                                std::size_t high_cursor,
+                                std::vector<Transition> low,
+                                std::size_t low_cursor) {
+  if (high.size() > capacity_per_pool_ || low.size() > capacity_per_pool_) {
+    throw std::invalid_argument("RdperReplay::restore_pools: over capacity");
+  }
+  if (high_cursor >= capacity_per_pool_ || low_cursor >= capacity_per_pool_) {
+    throw std::invalid_argument("RdperReplay::restore_pools: bad cursor");
+  }
+  high_.storage = std::move(high);
+  high_.next = high_cursor;
+  low_.storage = std::move(low);
+  low_.next = low_cursor;
+}
+
 void RdperReplay::Pool::add(Transition t, std::size_t capacity) {
   if (storage.size() < capacity) {
     storage.push_back(std::move(t));

@@ -43,6 +43,20 @@ class RdperReplay final : public ReplayBuffer {
   [[nodiscard]] const RdperConfig& config() const noexcept { return config_; }
   void set_beta(double beta);
 
+  /// Read-only views plus ring cursors over both pools, and a bulk restore.
+  /// Together these let the checkpoint layer round-trip the pools exactly:
+  /// contents, insertion order, and where the next overwrite lands.
+  [[nodiscard]] std::span<const Transition> high_pool() const noexcept {
+    return high_.storage;
+  }
+  [[nodiscard]] std::span<const Transition> low_pool() const noexcept {
+    return low_.storage;
+  }
+  [[nodiscard]] std::size_t high_cursor() const noexcept { return high_.next; }
+  [[nodiscard]] std::size_t low_cursor() const noexcept { return low_.next; }
+  void restore_pools(std::vector<Transition> high, std::size_t high_cursor,
+                     std::vector<Transition> low, std::size_t low_cursor);
+
  private:
   struct Pool {
     std::size_t next = 0;

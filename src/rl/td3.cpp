@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
 
 #include "common/math_util.hpp"
@@ -188,22 +190,32 @@ void Td3Agent::update_actor(const nn::Matrix& states) {
   critic1_.zero_grad();
 }
 
+std::vector<std::pair<const char*, nn::Mlp*>> Td3Agent::networks() {
+  return {{"actor", &actor_},
+          {"actor_target", &actor_target_},
+          {"critic1", &critic1_},
+          {"critic2", &critic2_},
+          {"critic1_target", &critic1_target_},
+          {"critic2_target", &critic2_target_}};
+}
+
+std::vector<std::pair<const char*, nn::Adam*>> Td3Agent::optimizers() {
+  return {{"actor_opt", &actor_opt_},
+          {"critic1_opt", &critic1_opt_},
+          {"critic2_opt", &critic2_opt_}};
+}
+
 void Td3Agent::save(std::ostream& os) {
-  actor_.save(os);
-  actor_target_.save(os);
-  critic1_.save(os);
-  critic2_.save(os);
-  critic1_target_.save(os);
-  critic2_target_.save(os);
+  for (auto& [name, net] : networks()) net->save(os);
+  for (auto& [name, opt] : optimizers()) opt->save(os);
+  os << steps_ << '\n';
 }
 
 void Td3Agent::load(std::istream& is) {
-  actor_.load(is);
-  actor_target_.load(is);
-  critic1_.load(is);
-  critic2_.load(is);
-  critic1_target_.load(is);
-  critic2_target_.load(is);
+  for (auto& [name, net] : networks()) net->load(is);
+  for (auto& [name, opt] : optimizers()) opt->load(is);
+  is >> steps_;
+  if (!is) throw std::runtime_error("Td3Agent::load: truncated stream");
 }
 
 }  // namespace deepcat::rl

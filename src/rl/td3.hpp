@@ -64,8 +64,19 @@ class Td3Agent {
 
   [[nodiscard]] const Td3Config& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t train_steps() const noexcept { return steps_; }
+  void set_train_steps(std::size_t steps) noexcept { steps_ = steps; }
 
-  /// Persists / restores all six networks.
+  /// Named handles over the six networks / three optimizers, in the fixed
+  /// serialization order. The checkpoint layer iterates these instead of
+  /// reaching into private members.
+  [[nodiscard]] std::vector<std::pair<const char*, nn::Mlp*>> networks();
+  [[nodiscard]] std::vector<std::pair<const char*, nn::Adam*>> optimizers();
+
+  /// Persists / restores the complete trainable state: all six networks,
+  /// all three Adam optimizers (moment vectors + step counters) and the
+  /// train-step counter. Saving only the network weights would make a
+  /// loaded agent fine-tune differently from a never-saved one — the warm
+  /// Adam moments and the policy-delay phase both feed the next update.
   void save(std::ostream& os);
   void load(std::istream& is);
 

@@ -1,0 +1,676 @@
+#include "service/checkpoint.hpp"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "rl/replay.hpp"
+#include "rl/replay_rdper.hpp"
+
+namespace deepcat::service {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'K', 'P'};
+
+// FourCC tags, encoded as the little-endian u32 of the ASCII bytes.
+constexpr std::uint32_t fourcc(const char (&tag)[5]) noexcept {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(tag[0])) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(tag[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(tag[2]))
+          << 16) |
+         (static_cast<std::uint32_t>(static_cast<unsigned char>(tag[3]))
+          << 24);
+}
+
+constexpr std::uint32_t kTagMeta = fourcc("META");
+constexpr std::uint32_t kTagNets = fourcc("NETS");
+constexpr std::uint32_t kTagAdam = fourcc("ADAM");
+constexpr std::uint32_t kTagReplay = fourcc("RPLY");
+constexpr std::uint32_t kTagRng = fourcc("RNGS");
+constexpr std::uint32_t kTagWorkloadRepo = fourcc("WREP");
+constexpr std::uint32_t kTagEnd = fourcc("END ");
+
+std::string tag_name(std::uint32_t tag) {
+  std::string s(4, ' ');
+  for (int i = 0; i < 4; ++i) {
+    s[static_cast<std::size_t>(i)] =
+        static_cast<char>((tag >> (8 * i)) & 0xFFu);
+  }
+  while (!s.empty() && s.back() == ' ') s.pop_back();
+  return s;
+}
+
+// Replay kinds stored in META/RPLY.
+constexpr std::uint8_t kReplayUniform = 0;
+constexpr std::uint8_t kReplayRdper = 1;
+
+struct Crc32Table {
+  std::uint32_t t[256];
+  constexpr Crc32Table() : t{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kCrcTable{};
+
+// ---- byte-level codec ---------------------------------------------------
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<char>((v >> (8 * i)) & 0xFFu));
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s);
+  }
+  void doubles(const double* data, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) f64(data[i]);
+  }
+  void double_vec(const std::vector<double>& v) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    doubles(v.data(), v.size());
+  }
+
+  [[nodiscard]] const std::string& bytes() const noexcept { return buf_; }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked reader over one section payload. Every overrun throws a
+/// CheckpointError naming the section, so a truncated or corrupt payload
+/// can never walk off the buffer.
+class ByteReader {
+ public:
+  ByteReader(const std::string& payload, std::string section)
+      : data_(payload), section_(std::move(section)) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(byte()); }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(byte()) << (8 * i);
+    }
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(byte()) << (8 * i);
+    }
+    return v;
+  }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s = data_.substr(off_, n);
+    off_ += n;
+    return s;
+  }
+  void doubles(double* out, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) out[i] = f64();
+  }
+  std::vector<double> double_vec() {
+    const std::uint32_t n = u32();
+    need(static_cast<std::size_t>(n) * 8);
+    std::vector<double> v(n);
+    doubles(v.data(), v.size());
+    return v;
+  }
+
+  void expect_exhausted() const {
+    if (off_ != data_.size()) {
+      throw CheckpointError("trailing bytes in checkpoint section '" +
+                            section_ + "'");
+    }
+  }
+
+ private:
+  unsigned char byte() {
+    need(1);
+    return static_cast<unsigned char>(data_[off_++]);
+  }
+  void need(std::size_t n) const {
+    if (off_ + n > data_.size()) {
+      throw CheckpointError("truncated payload in checkpoint section '" +
+                            section_ + "'");
+    }
+  }
+
+  const std::string& data_;
+  std::string section_;
+  std::size_t off_ = 0;
+};
+
+// ---- section encoders ---------------------------------------------------
+
+void write_section(std::ostream& os, std::uint32_t tag,
+                   const std::string& payload) {
+  char head[12];
+  for (int i = 0; i < 4; ++i) {
+    head[i] = static_cast<char>((tag >> (8 * i)) & 0xFFu);
+  }
+  const auto len = static_cast<std::uint64_t>(payload.size());
+  for (int i = 0; i < 8; ++i) {
+    head[4 + i] = static_cast<char>((len >> (8 * i)) & 0xFFu);
+  }
+  os.write(head, sizeof head);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  const std::uint32_t crc =
+      crc32(reinterpret_cast<const unsigned char*>(payload.data()),
+            payload.size());
+  char cbuf[4];
+  for (int i = 0; i < 4; ++i) {
+    cbuf[i] = static_cast<char>((crc >> (8 * i)) & 0xFFu);
+  }
+  os.write(cbuf, sizeof cbuf);
+}
+
+void write_transition(ByteWriter& w, const rl::Transition& t) {
+  w.double_vec(t.state);
+  w.double_vec(t.action);
+  w.f64(t.reward);
+  w.double_vec(t.next_state);
+  w.u8(t.done ? 1 : 0);
+}
+
+rl::Transition read_transition(ByteReader& r) {
+  rl::Transition t;
+  t.state = r.double_vec();
+  t.action = r.double_vec();
+  t.reward = r.f64();
+  t.next_state = r.double_vec();
+  t.done = r.u8() != 0;
+  return t;
+}
+
+std::string encode_meta(core::DeepCat& model) {
+  ByteWriter w;
+  const rl::Td3Config& td3 = model.tuner().agent().config();
+  w.u32(static_cast<std::uint32_t>(td3.state_dim));
+  w.u32(static_cast<std::uint32_t>(td3.action_dim));
+  w.u8(model.tuner().options().use_rdper ? kReplayRdper : kReplayUniform);
+  w.u64(model.next_env_seed());
+  return w.bytes();
+}
+
+std::string encode_nets(core::DeepCat& model) {
+  ByteWriter w;
+  auto nets = model.tuner().agent().networks();
+  w.u32(static_cast<std::uint32_t>(nets.size()));
+  for (auto& [name, net] : nets) {
+    w.str(name);
+    auto params = net->params();
+    w.u32(static_cast<std::uint32_t>(params.size()));
+    for (const auto& p : params) {
+      w.u32(static_cast<std::uint32_t>(p.value->rows()));
+      w.u32(static_cast<std::uint32_t>(p.value->cols()));
+      w.doubles(p.value->data(), p.value->size());
+    }
+  }
+  return w.bytes();
+}
+
+void decode_nets(const std::string& payload, core::DeepCat& model) {
+  ByteReader r(payload, "NETS");
+  auto nets = model.tuner().agent().networks();
+  const std::uint32_t count = r.u32();
+  if (count != nets.size()) {
+    throw CheckpointError("section 'NETS': network count mismatch");
+  }
+  for (auto& [name, net] : nets) {
+    const std::string stored = r.str();
+    if (stored != name) {
+      throw CheckpointError("section 'NETS': expected network '" +
+                            std::string(name) + "', found '" + stored + "'");
+    }
+    auto params = net->params();
+    const std::uint32_t tensors = r.u32();
+    if (tensors != params.size()) {
+      throw CheckpointError("section 'NETS': tensor count mismatch in '" +
+                            std::string(name) + "'");
+    }
+    for (auto& p : params) {
+      const std::uint32_t rows = r.u32();
+      const std::uint32_t cols = r.u32();
+      if (rows != p.value->rows() || cols != p.value->cols()) {
+        throw CheckpointError("section 'NETS': shape mismatch in '" +
+                              std::string(name) + "'");
+      }
+      r.doubles(p.value->data(), p.value->size());
+    }
+  }
+  r.expect_exhausted();
+}
+
+std::string encode_adam(core::DeepCat& model) {
+  ByteWriter w;
+  rl::Td3Agent& agent = model.tuner().agent();
+  auto opts = agent.optimizers();
+  w.u32(static_cast<std::uint32_t>(opts.size()));
+  for (auto& [name, opt] : opts) {
+    w.str(name);
+    w.u64(static_cast<std::uint64_t>(opt->step_count()));
+    const auto& m = opt->first_moments();
+    const auto& v = opt->second_moments();
+    w.u32(static_cast<std::uint32_t>(m.size()));
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      w.u32(static_cast<std::uint32_t>(m[i].rows()));
+      w.u32(static_cast<std::uint32_t>(m[i].cols()));
+      w.doubles(m[i].data(), m[i].size());
+      w.doubles(v[i].data(), v[i].size());
+    }
+  }
+  w.u64(static_cast<std::uint64_t>(agent.train_steps()));
+  return w.bytes();
+}
+
+void decode_adam(const std::string& payload, core::DeepCat& model) {
+  ByteReader r(payload, "ADAM");
+  rl::Td3Agent& agent = model.tuner().agent();
+  auto opts = agent.optimizers();
+  const std::uint32_t count = r.u32();
+  if (count != opts.size()) {
+    throw CheckpointError("section 'ADAM': optimizer count mismatch");
+  }
+  for (auto& [name, opt] : opts) {
+    const std::string stored = r.str();
+    if (stored != name) {
+      throw CheckpointError("section 'ADAM': expected optimizer '" +
+                            std::string(name) + "', found '" + stored + "'");
+    }
+    const std::uint64_t steps = r.u64();
+    const auto& cur_m = opt->first_moments();
+    const std::uint32_t tensors = r.u32();
+    if (tensors != cur_m.size()) {
+      throw CheckpointError("section 'ADAM': tensor count mismatch in '" +
+                            std::string(name) + "'");
+    }
+    std::vector<nn::Matrix> m, v;
+    m.reserve(tensors);
+    v.reserve(tensors);
+    for (std::uint32_t i = 0; i < tensors; ++i) {
+      const std::uint32_t rows = r.u32();
+      const std::uint32_t cols = r.u32();
+      if (rows != cur_m[i].rows() || cols != cur_m[i].cols()) {
+        throw CheckpointError("section 'ADAM': shape mismatch in '" +
+                              std::string(name) + "'");
+      }
+      nn::Matrix mi(rows, cols), vi(rows, cols);
+      r.doubles(mi.data(), mi.size());
+      r.doubles(vi.data(), vi.size());
+      m.push_back(std::move(mi));
+      v.push_back(std::move(vi));
+    }
+    opt->restore_state(m, v, static_cast<std::size_t>(steps));
+  }
+  agent.set_train_steps(static_cast<std::size_t>(r.u64()));
+  r.expect_exhausted();
+}
+
+std::string encode_replay(core::DeepCat& model) {
+  ByteWriter w;
+  rl::ReplayBuffer* replay = model.tuner().replay();
+  if (auto* rdper = dynamic_cast<rl::RdperReplay*>(replay)) {
+    w.u8(kReplayRdper);
+    w.f64(rdper->config().reward_threshold);
+    w.f64(rdper->config().beta);
+    w.u64(static_cast<std::uint64_t>(rdper->capacity() / 2));
+    const auto pools = {std::pair{rdper->high_pool(), rdper->high_cursor()},
+                        std::pair{rdper->low_pool(), rdper->low_cursor()}};
+    for (const auto& [pool, cursor] : pools) {
+      w.u64(static_cast<std::uint64_t>(cursor));
+      w.u64(static_cast<std::uint64_t>(pool.size()));
+      for (const auto& t : pool) write_transition(w, t);
+    }
+  } else if (auto* uniform = dynamic_cast<rl::UniformReplay*>(replay)) {
+    w.u8(kReplayUniform);
+    w.u64(static_cast<std::uint64_t>(uniform->capacity()));
+    w.u64(static_cast<std::uint64_t>(uniform->cursor()));
+    w.u64(static_cast<std::uint64_t>(uniform->storage().size()));
+    for (const auto& t : uniform->storage()) write_transition(w, t);
+  } else {
+    throw CheckpointError("section 'RPLY': unsupported replay buffer type");
+  }
+  return w.bytes();
+}
+
+void decode_replay(const std::string& payload, core::DeepCat& model) {
+  ByteReader r(payload, "RPLY");
+  rl::ReplayBuffer* replay = model.tuner().replay();
+  const std::uint8_t kind = r.u8();
+  if (kind == kReplayRdper) {
+    auto* rdper = dynamic_cast<rl::RdperReplay*>(replay);
+    if (rdper == nullptr) {
+      throw CheckpointError(
+          "section 'RPLY': checkpoint holds RDPER pools but the model was "
+          "configured with use_rdper = false");
+    }
+    const double r_th = r.f64();
+    const double beta = r.f64();
+    const std::uint64_t cap = r.u64();
+    if (r_th != rdper->config().reward_threshold ||
+        beta != rdper->config().beta ||
+        cap != static_cast<std::uint64_t>(rdper->capacity() / 2)) {
+      throw CheckpointError("section 'RPLY': RDPER config mismatch");
+    }
+    std::vector<std::vector<rl::Transition>> pools(2);
+    std::size_t cursors[2] = {0, 0};
+    for (std::size_t pi = 0; pi < 2; ++pi) {
+      cursors[pi] = static_cast<std::size_t>(r.u64());
+      const std::uint64_t n = r.u64();
+      pools[pi].reserve(static_cast<std::size_t>(n));
+      for (std::uint64_t i = 0; i < n; ++i) {
+        pools[pi].push_back(read_transition(r));
+      }
+    }
+    rdper->restore_pools(std::move(pools[0]), cursors[0], std::move(pools[1]),
+                         cursors[1]);
+  } else if (kind == kReplayUniform) {
+    auto* uniform = dynamic_cast<rl::UniformReplay*>(replay);
+    if (uniform == nullptr) {
+      throw CheckpointError(
+          "section 'RPLY': checkpoint holds a uniform buffer but the model "
+          "was configured with use_rdper = true");
+    }
+    const std::uint64_t cap = r.u64();
+    if (cap != static_cast<std::uint64_t>(uniform->capacity())) {
+      throw CheckpointError("section 'RPLY': capacity mismatch");
+    }
+    const auto cursor = static_cast<std::size_t>(r.u64());
+    const std::uint64_t n = r.u64();
+    std::vector<rl::Transition> storage;
+    storage.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i) {
+      storage.push_back(read_transition(r));
+    }
+    uniform->restore_storage(std::move(storage), cursor);
+  } else {
+    throw CheckpointError("section 'RPLY': unknown replay kind");
+  }
+  r.expect_exhausted();
+}
+
+std::string encode_rng(core::DeepCat& model) {
+  ByteWriter w;
+  const common::RngState st = model.tuner().rng().state();
+  for (const std::uint64_t lane : st.s) w.u64(lane);
+  w.f64(st.spare);
+  w.u8(st.has_spare ? 1 : 0);
+  return w.bytes();
+}
+
+void decode_rng(const std::string& payload, core::DeepCat& model) {
+  ByteReader r(payload, "RNGS");
+  common::RngState st;
+  for (std::uint64_t& lane : st.s) lane = r.u64();
+  st.spare = r.f64();
+  st.has_spare = r.u8() != 0;
+  r.expect_exhausted();
+  model.tuner().rng().restore(st);
+}
+
+std::string encode_workload_repo(const gp::WorkloadRepository& repo) {
+  ByteWriter w;
+  const auto& ids = repo.workload_ids();
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const auto& id : ids) {
+    w.str(id);
+    const auto& obs = repo.observations(id);
+    w.u64(static_cast<std::uint64_t>(obs.size()));
+    for (const auto& o : obs) {
+      w.double_vec(o.config);
+      w.double_vec(o.metrics);
+      w.f64(o.performance);
+    }
+  }
+  return w.bytes();
+}
+
+void decode_workload_repo(const std::string& payload,
+                          gp::WorkloadRepository& repo) {
+  ByteReader r(payload, "WREP");
+  const std::uint32_t workloads = r.u32();
+  for (std::uint32_t wi = 0; wi < workloads; ++wi) {
+    const std::string id = r.str();
+    const std::uint64_t n = r.u64();
+    for (std::uint64_t i = 0; i < n; ++i) {
+      gp::Observation o;
+      o.config = r.double_vec();
+      o.metrics = r.double_vec();
+      o.performance = r.f64();
+      repo.add(id, std::move(o));
+    }
+  }
+  r.expect_exhausted();
+}
+
+// ---- container walk -----------------------------------------------------
+
+struct Section {
+  std::uint32_t tag = 0;
+  std::string payload;
+};
+
+std::vector<Section> read_sections(std::istream& is) {
+  char magic[4];
+  is.read(magic, sizeof magic);
+  if (!is || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw CheckpointError("not a DeepCAT checkpoint (bad magic)");
+  }
+  char vbuf[4];
+  is.read(vbuf, sizeof vbuf);
+  if (!is) throw CheckpointError("truncated checkpoint header");
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<std::uint32_t>(static_cast<unsigned char>(vbuf[i]))
+               << (8 * i);
+  }
+  if (version > kCheckpointVersion) {
+    throw CheckpointError("checkpoint format version " +
+                          std::to_string(version) +
+                          " is newer than the supported version " +
+                          std::to_string(kCheckpointVersion));
+  }
+
+  std::vector<Section> sections;
+  for (;;) {
+    char head[12];
+    is.read(head, sizeof head);
+    if (!is) {
+      throw CheckpointError(
+          "truncated checkpoint: end-of-file before 'END ' marker");
+    }
+    std::uint32_t tag = 0;
+    for (int i = 0; i < 4; ++i) {
+      tag |= static_cast<std::uint32_t>(static_cast<unsigned char>(head[i]))
+             << (8 * i);
+    }
+    std::uint64_t len = 0;
+    for (int i = 0; i < 8; ++i) {
+      len |=
+          static_cast<std::uint64_t>(static_cast<unsigned char>(head[4 + i]))
+          << (8 * i);
+    }
+    std::string payload(static_cast<std::size_t>(len), '\0');
+    is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    char cbuf[4];
+    is.read(cbuf, sizeof cbuf);
+    if (!is) {
+      throw CheckpointError("truncated checkpoint while reading section '" +
+                            tag_name(tag) + "'");
+    }
+    std::uint32_t stored_crc = 0;
+    for (int i = 0; i < 4; ++i) {
+      stored_crc |=
+          static_cast<std::uint32_t>(static_cast<unsigned char>(cbuf[i]))
+          << (8 * i);
+    }
+    const std::uint32_t actual =
+        crc32(reinterpret_cast<const unsigned char*>(payload.data()),
+              payload.size());
+    if (stored_crc != actual) {
+      throw CheckpointError("checksum mismatch in checkpoint section '" +
+                            tag_name(tag) + "'");
+    }
+    if (tag == kTagEnd) break;
+    sections.push_back({tag, std::move(payload)});
+  }
+  return sections;
+}
+
+const std::string& require_section(const std::vector<Section>& sections,
+                                   std::uint32_t tag) {
+  for (const auto& s : sections) {
+    if (s.tag == tag) return s.payload;
+  }
+  throw CheckpointError("checkpoint missing required section '" +
+                        tag_name(tag) +
+                        "' (written by an incompatible or older version?)");
+}
+
+const std::string* find_section(const std::vector<Section>& sections,
+                                std::uint32_t tag) {
+  for (const auto& s : sections) {
+    if (s.tag == tag) return &s.payload;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const unsigned char* data, std::size_t size) noexcept {
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kCrcTable.t[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void save_checkpoint(std::ostream& os, core::DeepCat& model,
+                     const gp::WorkloadRepository* repository) {
+  if (!model.tuner().has_agent()) {
+    throw CheckpointError(
+        "save_checkpoint: model has no trained agent (call train_offline or "
+        "materialize first)");
+  }
+  os.write(kMagic, sizeof kMagic);
+  char vbuf[4];
+  for (int i = 0; i < 4; ++i) {
+    vbuf[i] = static_cast<char>((kCheckpointVersion >> (8 * i)) & 0xFFu);
+  }
+  os.write(vbuf, sizeof vbuf);
+
+  write_section(os, kTagMeta, encode_meta(model));
+  write_section(os, kTagNets, encode_nets(model));
+  write_section(os, kTagAdam, encode_adam(model));
+  write_section(os, kTagReplay, encode_replay(model));
+  write_section(os, kTagRng, encode_rng(model));
+  if (repository != nullptr && !repository->empty()) {
+    write_section(os, kTagWorkloadRepo, encode_workload_repo(*repository));
+  }
+  write_section(os, kTagEnd, "");
+  if (!os) throw CheckpointError("save_checkpoint: stream write failed");
+}
+
+void load_checkpoint(std::istream& is, core::DeepCat& model,
+                     gp::WorkloadRepository* repository) {
+  const std::vector<Section> sections = read_sections(is);
+
+  {
+    ByteReader r(require_section(sections, kTagMeta), "META");
+    const auto state_dim = static_cast<std::size_t>(r.u32());
+    const auto action_dim = static_cast<std::size_t>(r.u32());
+    const std::uint8_t replay_kind = r.u8();
+    const std::uint64_t next_seed = r.u64();
+    r.expect_exhausted();
+    const bool want_rdper = model.tuner().options().use_rdper;
+    if ((replay_kind == kReplayRdper) != want_rdper) {
+      throw CheckpointError(
+          "section 'META': replay kind mismatch (checkpoint " +
+          std::string(replay_kind == kReplayRdper ? "RDPER" : "uniform") +
+          ", model configured for " +
+          std::string(want_rdper ? "RDPER" : "uniform") + ")");
+    }
+    model.tuner().materialize(state_dim, action_dim);
+    model.set_next_env_seed(next_seed);
+  }
+
+  decode_nets(require_section(sections, kTagNets), model);
+  decode_adam(require_section(sections, kTagAdam), model);
+  decode_replay(require_section(sections, kTagReplay), model);
+  decode_rng(require_section(sections, kTagRng), model);
+  if (repository != nullptr) {
+    if (const std::string* payload =
+            find_section(sections, kTagWorkloadRepo)) {
+      decode_workload_repo(*payload, *repository);
+    }
+  }
+}
+
+std::string checkpoint_to_string(core::DeepCat& model,
+                                 const gp::WorkloadRepository* repository) {
+  std::ostringstream os(std::ios::binary);
+  save_checkpoint(os, model, repository);
+  return std::move(os).str();
+}
+
+void checkpoint_from_string(const std::string& blob, core::DeepCat& model,
+                            gp::WorkloadRepository* repository) {
+  std::istringstream is(blob, std::ios::binary);
+  load_checkpoint(is, model, repository);
+}
+
+void save_checkpoint_file(const std::string& path, core::DeepCat& model,
+                          const gp::WorkloadRepository* repository) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw CheckpointError("save_checkpoint_file: cannot open '" + tmp +
+                            "' for writing");
+    }
+    save_checkpoint(os, model, repository);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw CheckpointError("save_checkpoint_file: rename to '" + path +
+                          "' failed: " + ec.message());
+  }
+}
+
+void load_checkpoint_file(const std::string& path, core::DeepCat& model,
+                          gp::WorkloadRepository* repository) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw CheckpointError("load_checkpoint_file: cannot open '" + path + "'");
+  }
+  load_checkpoint(is, model, repository);
+}
+
+}  // namespace deepcat::service

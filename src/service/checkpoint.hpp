@@ -1,0 +1,86 @@
+// Versioned binary checkpoint format for the complete DeepCAT tuner state.
+//
+// DeepCAT's value proposition is train-once / tune-many (paper §2): the
+// offline-trained model is an asset that outlives any single process, so
+// everything the next fine-tune step depends on must round-trip exactly —
+// the six networks, the Adam moment vectors and step counters, the RDPER
+// P_high/P_low pools with their ring cursors, the tuner RNG stream, and
+// (optionally) the OtterTune workload repository. A reloaded model then
+// produces bit-identical tune_online reports to one that was never
+// serialized.
+//
+// Layout (all integers little-endian):
+//
+//   magic "DCKP" | u32 format version
+//   repeated sections:  u32 tag (FourCC) | u64 payload length
+//                       | payload bytes | u32 CRC32(payload)
+//   terminator section: tag "END " with zero length
+//
+// Section tags in version 1:
+//   "META"  dims, replay kind, next environment seed   (required)
+//   "NETS"  six networks, fixed order, shape-checked    (required)
+//   "ADAM"  three optimizers: step counts + moments     (required)
+//   "RPLY"  replay pools: contents + ring cursors       (required)
+//   "RNGS"  tuner RNG stream state                      (required)
+//   "WREP"  OtterTune workload repository               (optional)
+//
+// Forward compatibility: readers skip sections with unknown tags (their
+// length and CRC still guard the walk), so old code tolerates new optional
+// sections; a *newer* format version is refused outright. Every failure
+// mode — bad magic, newer version, truncation, CRC mismatch, missing
+// required section, in-section decode overrun — raises CheckpointError
+// with a message naming the offending section; nothing is UB.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/deepcat_api.hpp"
+#include "gp/workload_map.hpp"
+
+namespace deepcat::service {
+
+/// Current writer format version. Readers accept any version <= this.
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Raised on any malformed, truncated, corrupt or incompatible checkpoint.
+class CheckpointError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// CRC32 (IEEE 802.3, poly 0xEDB88320) over `data`. Exposed for tests.
+[[nodiscard]] std::uint32_t crc32(const unsigned char* data,
+                                  std::size_t size) noexcept;
+
+/// Serializes the complete tuner state. The model's agent must already be
+/// built (train_offline or materialize); throws CheckpointError otherwise.
+/// Pass `repository` to append the optional OtterTune section.
+void save_checkpoint(std::ostream& os, core::DeepCat& model,
+                     const gp::WorkloadRepository* repository = nullptr);
+
+/// Restores a checkpoint into `model`, which must have been constructed
+/// with options matching the saved dims and replay kind (the service layer
+/// owns both sides, so this is a config-consistency check, not a schema
+/// migration). Pass `repository` to also restore the optional OtterTune
+/// section when present.
+void load_checkpoint(std::istream& is, core::DeepCat& model,
+                     gp::WorkloadRepository* repository = nullptr);
+
+/// Stream-free conveniences used by the service layer to clone the master
+/// model into per-session tuners (serialize once, deserialize per session).
+[[nodiscard]] std::string checkpoint_to_string(
+    core::DeepCat& model, const gp::WorkloadRepository* repository = nullptr);
+void checkpoint_from_string(const std::string& blob, core::DeepCat& model,
+                            gp::WorkloadRepository* repository = nullptr);
+
+/// File-level helpers. Saving writes to `<path>.tmp` then renames, so a
+/// concurrent reader never observes a half-written checkpoint.
+void save_checkpoint_file(const std::string& path, core::DeepCat& model,
+                          const gp::WorkloadRepository* repository = nullptr);
+void load_checkpoint_file(const std::string& path, core::DeepCat& model,
+                          gp::WorkloadRepository* repository = nullptr);
+
+}  // namespace deepcat::service

@@ -1,0 +1,186 @@
+#include "service/jsonl.hpp"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace deepcat::service {
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[i])) != 0) {
+    ++i;
+  }
+}
+
+void expect(const std::string& s, std::size_t& i, char c,
+            const char* what) {
+  skip_ws(s, i);
+  if (i >= s.size() || s[i] != c) {
+    throw std::invalid_argument(std::string("malformed JSON: expected ") +
+                                what);
+  }
+  ++i;
+}
+
+std::string parse_string(const std::string& s, std::size_t& i) {
+  expect(s, i, '"', "'\"'");
+  std::string out;
+  while (i < s.size() && s[i] != '"') {
+    char c = s[i++];
+    if (c == '\\') {
+      if (i >= s.size()) break;
+      const char esc = s[i++];
+      switch (esc) {
+        case 'n': c = '\n'; break;
+        case 't': c = '\t'; break;
+        case 'r': c = '\r'; break;
+        case '"': c = '"'; break;
+        case '\\': c = '\\'; break;
+        case '/': c = '/'; break;
+        default:
+          throw std::invalid_argument(
+              "malformed JSON: unsupported escape sequence");
+      }
+    }
+    out.push_back(c);
+  }
+  if (i >= s.size()) {
+    throw std::invalid_argument("malformed JSON: unterminated string");
+  }
+  ++i;  // closing quote
+  return out;
+}
+
+std::string parse_scalar(const std::string& s, std::size_t& i) {
+  skip_ws(s, i);
+  if (i < s.size() && s[i] == '"') return parse_string(s, i);
+  // Bare token: number, true, false, null — taken until , } or whitespace.
+  const std::size_t start = i;
+  while (i < s.size() && s[i] != ',' && s[i] != '}' &&
+         std::isspace(static_cast<unsigned char>(s[i])) == 0) {
+    ++i;
+  }
+  if (i == start) {
+    throw std::invalid_argument("malformed JSON: expected a value");
+  }
+  return s.substr(start, i - start);
+}
+
+}  // namespace
+
+std::map<std::string, std::string> parse_flat_json(const std::string& line) {
+  std::map<std::string, std::string> out;
+  std::size_t i = 0;
+  expect(line, i, '{', "'{'");
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') return out;
+  for (;;) {
+    skip_ws(line, i);
+    const std::string key = parse_string(line, i);
+    expect(line, i, ':', "':'");
+    out[key] = parse_scalar(line, i);
+    skip_ws(line, i);
+    if (i >= line.size()) {
+      throw std::invalid_argument("malformed JSON: missing '}'");
+    }
+    if (line[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (line[i] == '}') break;
+    throw std::invalid_argument("malformed JSON: expected ',' or '}'");
+  }
+  return out;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<TuningRequest> parse_requests_jsonl(std::istream& is) {
+  std::vector<TuningRequest> requests;
+  std::string line;
+  std::size_t index = 0;
+  while (std::getline(is, line)) {
+    std::size_t i = 0;
+    skip_ws(line, i);
+    if (i >= line.size()) continue;  // blank line
+    const auto fields = parse_flat_json(line);
+    TuningRequest req;
+    req.id = "req-" + std::to_string(index);
+    req.seed = index + 1;
+    if (const auto it = fields.find("id"); it != fields.end()) {
+      req.id = it->second;
+    }
+    if (const auto it = fields.find("workload"); it != fields.end()) {
+      req.workload = it->second;
+    } else {
+      throw std::invalid_argument("request '" + req.id +
+                                  "' is missing the \"workload\" key");
+    }
+    if (const auto it = fields.find("cluster"); it != fields.end()) {
+      req.cluster = it->second;
+    }
+    if (const auto it = fields.find("steps"); it != fields.end()) {
+      req.max_steps = std::stoi(it->second);
+    }
+    if (const auto it = fields.find("budget_seconds"); it != fields.end()) {
+      req.max_total_seconds = std::stod(it->second);
+    }
+    if (const auto it = fields.find("seed"); it != fields.end()) {
+      req.seed = static_cast<std::uint64_t>(std::stoull(it->second));
+    }
+    requests.push_back(std::move(req));
+    ++index;
+  }
+  return requests;
+}
+
+void write_report_jsonl(std::ostream& os, const SessionReport& r) {
+  os.precision(17);
+  os << "{\"id\":\"" << json_escape(r.id) << "\",\"workload\":\""
+     << json_escape(r.workload) << "\",\"cluster\":\""
+     << json_escape(r.cluster) << "\",\"ok\":" << (r.ok ? "true" : "false");
+  if (!r.ok) {
+    os << ",\"error\":\"" << json_escape(r.error) << "\"}\n";
+    return;
+  }
+  os << ",\"steps\":" << r.report.steps.size()
+     << ",\"default_time\":" << r.report.default_time
+     << ",\"best_time\":" << r.report.best_time
+     << ",\"speedup\":" << r.report.speedup_over_default()
+     << ",\"eval_seconds\":" << r.report.total_evaluation_seconds()
+     << ",\"rec_seconds\":" << r.report.total_recommendation_seconds()
+     << ",\"mean_reward\":" << r.mean_reward() << "}\n";
+}
+
+void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m) {
+  os.precision(17);
+  os << "{\"aggregate\":true,\"sessions\":" << m.sessions_served
+     << ",\"failed\":" << m.sessions_failed
+     << ",\"evaluations\":" << m.evaluations_paid
+     << ",\"eval_seconds\":" << m.evaluation_seconds
+     << ",\"rec_seconds\":" << m.recommendation_seconds
+     << ",\"p50_rec_seconds\":" << m.p50_recommendation_seconds
+     << ",\"p95_rec_seconds\":" << m.p95_recommendation_seconds
+     << ",\"mean_reward\":" << m.mean_session_reward
+     << ",\"mean_speedup\":" << m.mean_speedup << "}\n";
+}
+
+}  // namespace deepcat::service

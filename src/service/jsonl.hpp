@@ -1,0 +1,41 @@
+// Minimal JSONL codec for the `deepcat serve` batch driver: one flat JSON
+// object per line (string / number / bool values, no nesting), hand-rolled
+// because the build deliberately takes no third-party dependencies. This
+// is a wire format for our own CLI round trip, not a general JSON parser.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/service.hpp"
+#include "service/session.hpp"
+
+namespace deepcat::service {
+
+/// Parses one flat JSON object into key -> raw value (strings unescaped,
+/// numbers/bools kept as their literal text). Throws std::invalid_argument
+/// on malformed input, naming what was expected.
+[[nodiscard]] std::map<std::string, std::string> parse_flat_json(
+    const std::string& line);
+
+/// Escapes a string for embedding in a JSON value.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Reads tuning requests from a JSONL stream, skipping blank lines.
+/// Recognized keys: id, workload, cluster, steps, budget_seconds, seed.
+/// Missing id defaults to "req-<line index>"; missing seed derives from
+/// the line index so every request stays individually reproducible.
+[[nodiscard]] std::vector<TuningRequest> parse_requests_jsonl(
+    std::istream& is);
+
+/// One JSON report line per session; full double precision so equal
+/// results serialize to equal bytes (the pool-size independence check
+/// diffs these lines directly).
+void write_report_jsonl(std::ostream& os, const SessionReport& r);
+
+/// The aggregate metrics line emitted after a batch ("aggregate":true).
+void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m);
+
+}  // namespace deepcat::service

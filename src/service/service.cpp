@@ -1,0 +1,184 @@
+#include "service/service.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+
+#include "rl/replay_rdper.hpp"
+#include "service/checkpoint.hpp"
+#include "sparksim/hardware.hpp"
+
+namespace deepcat::service {
+
+namespace {
+
+sparksim::ClusterSpec service_cluster(const std::string& tag) {
+  if (tag == "b" || tag == "B") return sparksim::cluster_b();
+  return sparksim::cluster_a();
+}
+
+/// Percentile by nearest-rank over a pre-sorted vector.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+}  // namespace
+
+// ---- ModelRegistry ------------------------------------------------------
+
+ModelRegistry::ModelRegistry(std::string directory)
+    : dir_(std::move(directory)) {
+  std::filesystem::create_directories(dir_);
+}
+
+std::string ModelRegistry::path_for(const std::string& name,
+                                    std::uint32_t version) const {
+  return dir_ + "/" + name + ".v" + std::to_string(version) + ".dckp";
+}
+
+std::optional<std::uint32_t> ModelRegistry::latest_version(
+    const std::string& name) const {
+  const std::string prefix = name + ".v";
+  const std::string suffix = ".dckp";
+  std::optional<std::uint32_t> latest;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (file.size() <= prefix.size() + suffix.size() ||
+        file.compare(0, prefix.size(), prefix) != 0 ||
+        file.compare(file.size() - suffix.size(), suffix.size(), suffix) !=
+            0) {
+      continue;
+    }
+    const std::string mid =
+        file.substr(prefix.size(), file.size() - prefix.size() - suffix.size());
+    std::uint32_t v = 0;
+    const auto [ptr, parse_ec] =
+        std::from_chars(mid.data(), mid.data() + mid.size(), v);
+    if (parse_ec != std::errc{} || ptr != mid.data() + mid.size()) continue;
+    if (!latest || v > *latest) latest = v;
+  }
+  return latest;
+}
+
+std::uint32_t ModelRegistry::publish(const std::string& name,
+                                     core::DeepCat& model) {
+  const std::uint32_t version = latest_version(name).value_or(0) + 1;
+  save_checkpoint_file(path_for(name, version), model);
+  return version;
+}
+
+void ModelRegistry::load_into(const std::string& name, std::uint32_t version,
+                              core::DeepCat& model) const {
+  load_checkpoint_file(path_for(name, version), model);
+}
+
+// ---- TuningService ------------------------------------------------------
+
+TuningService::TuningService(ServiceOptions options)
+    : options_(std::move(options)),
+      master_(service_cluster(options_.cluster), options_.api),
+      pool_(options_.threads) {}
+
+void TuningService::train_master(const sparksim::WorkloadSpec& workload,
+                                 std::size_t iterations) {
+  std::unique_lock lock(master_mutex_);
+  (void)master_.train_offline(workload, iterations);
+}
+
+void TuningService::load_master(std::istream& is) {
+  std::unique_lock lock(master_mutex_);
+  load_checkpoint(is, master_);
+}
+
+void TuningService::load_master_file(const std::string& path) {
+  std::unique_lock lock(master_mutex_);
+  load_checkpoint_file(path, master_);
+}
+
+void TuningService::save_master(std::ostream& os) {
+  std::shared_lock lock(master_mutex_);
+  save_checkpoint(os, master_);
+}
+
+void TuningService::save_master_file(const std::string& path) {
+  std::shared_lock lock(master_mutex_);
+  save_checkpoint_file(path, master_);
+}
+
+std::vector<SessionReport> TuningService::run_batch(
+    const std::vector<TuningRequest>& requests) {
+  // Serialize the master once; every session clones from this blob, so the
+  // expensive network serialization is paid once per batch, not per
+  // session, and all sessions see the identical frozen state.
+  std::string blob;
+  const rl::RdperReplay* master_pools = nullptr;
+  {
+    std::shared_lock lock(master_mutex_);
+    blob = checkpoint_to_string(master_);
+    master_pools =
+        dynamic_cast<const rl::RdperReplay*>(master_.tuner().replay());
+  }
+
+  std::vector<SessionReport> reports =
+      common::parallel_map(pool_, requests.size(), [&](std::size_t i) {
+        return run_session(blob, options_.api, requests[i], master_pools,
+                           &master_mutex_);
+      });
+
+  // Cross-request memory sharing (paper §3.3): fold every session's fresh
+  // experience into the master pools, in request order so the merged state
+  // is independent of scheduling. The exclusive lock pairs with the shared
+  // locks in save_master and SharedRdperReplay::sample.
+  {
+    std::unique_lock lock(master_mutex_);
+    rl::ReplayBuffer* replay = master_.tuner().replay();
+    if (replay != nullptr) {
+      for (const auto& r : reports) {
+        for (const auto& t : r.new_transitions) replay->add(t);
+      }
+    }
+  }
+
+  {
+    std::scoped_lock lock(metrics_mutex_);
+    for (const auto& r : reports) {
+      if (!r.ok) {
+        ++totals_.sessions_failed;
+        continue;
+      }
+      ++totals_.sessions_served;
+      totals_.evaluations_paid += r.report.steps.size();
+      totals_.evaluation_seconds += r.report.total_evaluation_seconds();
+      const double rec = r.report.total_recommendation_seconds();
+      totals_.recommendation_seconds += rec;
+      session_rec_seconds_.push_back(rec);
+      reward_sum_ += r.mean_reward();
+      speedup_sum_ += r.report.speedup_over_default();
+    }
+  }
+  return reports;
+}
+
+ServiceMetrics TuningService::metrics() const {
+  std::scoped_lock lock(metrics_mutex_);
+  ServiceMetrics m = totals_;
+  if (m.sessions_served > 0) {
+    std::vector<double> sorted = session_rec_seconds_;
+    std::sort(sorted.begin(), sorted.end());
+    m.p50_recommendation_seconds = percentile(sorted, 0.50);
+    m.p95_recommendation_seconds = percentile(sorted, 0.95);
+    m.mean_session_reward =
+        reward_sum_ / static_cast<double>(m.sessions_served);
+    m.mean_speedup = speedup_sum_ / static_cast<double>(m.sessions_served);
+  }
+  return m;
+}
+
+}  // namespace deepcat::service

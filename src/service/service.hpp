@@ -1,0 +1,117 @@
+// TuningService: the serving layer over the DeepCAT library. Owns one
+// shared offline-trained master model, runs batches of tuning sessions
+// concurrently on the common::ThreadPool, merges session experience back
+// into the master RDPER pools (the paper's cross-request memory sharing),
+// and tracks aggregate serving metrics. ModelRegistry persists named,
+// versioned checkpoints on disk so a service restart resumes from the
+// newest published model instead of retraining.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/deepcat_api.hpp"
+#include "service/session.hpp"
+
+namespace deepcat::service {
+
+struct ServiceOptions {
+  core::DeepCatApiOptions api;  ///< master model + environment settings
+  std::string cluster = "a";    ///< master model's home cluster
+  std::size_t threads = 0;      ///< session pool size; 0 = hardware
+};
+
+/// Aggregate serving metrics across every batch run so far. Percentiles
+/// are over per-session recommendation cost (the deterministic cost model,
+/// tuners/tuner.hpp rec_cost) — the serving-latency proxy of this repo.
+struct ServiceMetrics {
+  std::size_t sessions_served = 0;  ///< successfully completed sessions
+  std::size_t sessions_failed = 0;  ///< sessions that ended with an error
+  std::size_t evaluations_paid = 0;   ///< paid config evaluations (paper cost)
+  double evaluation_seconds = 0.0;
+  double recommendation_seconds = 0.0;
+  double p50_recommendation_seconds = 0.0;
+  double p95_recommendation_seconds = 0.0;
+  double mean_session_reward = 0.0;   ///< mean over sessions of mean step reward
+  double mean_speedup = 0.0;          ///< mean best-vs-default speedup
+};
+
+/// Named, versioned checkpoint store on disk: `<dir>/<name>.v<N>.dckp`.
+/// publish() writes tmp-then-rename, so readers never see a torn file and
+/// the newest complete version always wins.
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string directory);
+
+  [[nodiscard]] const std::string& directory() const noexcept { return dir_; }
+
+  /// Saves `model` as the next version of `name`; returns that version.
+  std::uint32_t publish(const std::string& name, core::DeepCat& model);
+
+  /// Highest published version of `name`, or nullopt if none.
+  [[nodiscard]] std::optional<std::uint32_t> latest_version(
+      const std::string& name) const;
+
+  [[nodiscard]] std::string path_for(const std::string& name,
+                                     std::uint32_t version) const;
+
+  /// Restores `name` at `version` into `model` (CheckpointError on failure).
+  void load_into(const std::string& name, std::uint32_t version,
+                 core::DeepCat& model) const;
+
+ private:
+  std::string dir_;
+};
+
+class TuningService {
+ public:
+  explicit TuningService(ServiceOptions options = {});
+
+  [[nodiscard]] core::DeepCat& master() noexcept { return master_; }
+  [[nodiscard]] const ServiceOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Offline-trains the master model (paper's train-once stage).
+  void train_master(const sparksim::WorkloadSpec& workload,
+                    std::size_t iterations);
+
+  /// Master checkpoint I/O. save_master takes the shared master lock, so a
+  /// checkpoint written while a batch is in flight is always a consistent
+  /// snapshot — never a torn read of half-merged pools.
+  void load_master(std::istream& is);
+  void load_master_file(const std::string& path);
+  void save_master(std::ostream& os);
+  void save_master_file(const std::string& path);
+
+  /// Serves a batch of tuning requests concurrently. The master model is
+  /// frozen while sessions run (each session clones it from one shared
+  /// checkpoint blob), then every session's experience is merged into the
+  /// master pools in request order. Reports come back in request order and
+  /// are identical for any `threads` setting.
+  std::vector<SessionReport> run_batch(
+      const std::vector<TuningRequest>& requests);
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+
+ private:
+  ServiceOptions options_;
+  core::DeepCat master_;
+  common::ThreadPool pool_;
+  /// Guards the master model + pools: sessions and save_master take shared
+  /// locks; the post-batch merge takes an exclusive lock.
+  mutable std::shared_mutex master_mutex_;
+  mutable std::mutex metrics_mutex_;
+  std::vector<double> session_rec_seconds_;  ///< per-session, for percentiles
+  ServiceMetrics totals_;
+  double speedup_sum_ = 0.0;
+  double reward_sum_ = 0.0;
+};
+
+}  // namespace deepcat::service

@@ -1,0 +1,147 @@
+#include "service/session.hpp"
+
+#include <cmath>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "service/checkpoint.hpp"
+#include "sparksim/hardware.hpp"
+#include "sparksim/workloads.hpp"
+
+namespace deepcat::service {
+
+namespace {
+
+sparksim::ClusterSpec cluster_for(const std::string& tag) {
+  if (tag == "a" || tag == "A") return sparksim::cluster_a();
+  if (tag == "b" || tag == "B") return sparksim::cluster_b();
+  throw std::invalid_argument("unknown cluster '" + tag + "' (use a or b)");
+}
+
+// Domain-separation constants for the per-session streams: the tuner's
+// exploration noise and the environment seed must come from unrelated
+// streams even though both derive from the one request seed.
+constexpr std::uint64_t kTunerStream = 0x7D3EC47ULL;
+constexpr std::uint64_t kEnvStream = 0x0E4B51ULL;
+
+}  // namespace
+
+double SessionReport::mean_reward() const noexcept {
+  if (report.steps.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : report.steps) sum += s.reward;
+  return sum / static_cast<double>(report.steps.size());
+}
+
+SharedRdperReplay::SharedRdperReplay(const rl::RdperReplay& master,
+                                     std::shared_mutex& mutex)
+    : master_(master),
+      mutex_(mutex),
+      config_(master.config()),
+      master_high_(master.high_pool_size()),
+      master_low_(master.low_pool_size()) {}
+
+void SharedRdperReplay::add(rl::Transition t) {
+  session_log_.push_back(t);
+  if (t.reward >= config_.reward_threshold) {
+    local_high_.push_back(std::move(t));
+  } else {
+    local_low_.push_back(std::move(t));
+  }
+}
+
+std::size_t SharedRdperReplay::size() const noexcept {
+  return master_high_ + master_low_ + local_high_.size() + local_low_.size();
+}
+
+std::size_t SharedRdperReplay::capacity() const noexcept {
+  return master_.capacity();
+}
+
+rl::SampledBatch SharedRdperReplay::sample(std::size_t m, common::Rng& rng) {
+  if (size() == 0) throw std::logic_error("SharedRdperReplay: empty sample");
+  const std::size_t high_total = master_high_ + local_high_.size();
+  const std::size_t low_total = master_low_ + local_low_.size();
+
+  // Same split rule as RdperReplay::sample, over the combined pool sizes.
+  std::size_t from_high = static_cast<std::size_t>(
+      std::llround(config_.beta * static_cast<double>(m)));
+  if (high_total == 0) from_high = 0;
+  if (low_total == 0) from_high = m;
+
+  rl::SampledBatch batch;
+  batch.weights.assign(m, 1.0);
+  batch.ids.reserve(m);
+  scratch_.clear();
+  scratch_.reserve(m);
+  {
+    // Shared lock only for the master reads; indices below master size hit
+    // the frozen master storage, the rest the private overlay. Each drawn
+    // transition is copied into scratch_ so the batch's pointers stay valid
+    // without holding the lock through the training step.
+    std::shared_lock lock(mutex_);
+    const auto draw = [&](std::span<const rl::Transition> master_pool,
+                          const std::vector<rl::Transition>& local_pool,
+                          std::size_t total, std::size_t count) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t idx = rng.index(total);
+        scratch_.push_back(idx < master_pool.size()
+                               ? master_pool[idx]
+                               : local_pool[idx - master_pool.size()]);
+        batch.ids.push_back(idx);
+      }
+    };
+    draw(master_.high_pool(), local_high_, high_total, from_high);
+    draw(master_.low_pool(), local_low_, low_total, m - from_high);
+  }
+  batch.transitions.reserve(m);
+  for (const auto& t : scratch_) batch.transitions.push_back(&t);
+  return batch;
+}
+
+SessionReport run_session(const std::string& blob,
+                          const core::DeepCatApiOptions& api,
+                          const TuningRequest& request,
+                          const rl::RdperReplay* master_pools,
+                          std::shared_mutex* master_mutex) {
+  SessionReport out;
+  out.id = request.id;
+  out.workload = request.workload;
+  out.cluster = request.cluster;
+  try {
+    const sparksim::HiBenchCase& c = sparksim::hibench_case(request.workload);
+    core::DeepCat dc(cluster_for(request.cluster), api);
+    checkpoint_from_string(blob, dc);
+
+    // Per-session determinism: both streams depend only on the request
+    // seed, never on scheduling, so a session's report is reproducible for
+    // any pool size or batch composition.
+    dc.tuner().rng() =
+        common::Rng(common::mix_seed(request.seed, kTunerStream));
+    dc.set_next_env_seed(common::mix_seed(request.seed, kEnvStream));
+
+    SharedRdperReplay* shared = nullptr;
+    if (master_pools != nullptr && master_mutex != nullptr) {
+      auto view =
+          std::make_unique<SharedRdperReplay>(*master_pools, *master_mutex);
+      shared = view.get();
+      dc.tuner().set_replay(std::move(view));
+    }
+
+    out.report = dc.tune_online(
+        sparksim::workload_for(c),
+        {.max_steps = request.max_steps,
+         .max_total_seconds = request.max_total_seconds});
+    if (shared != nullptr) {
+      out.new_transitions = shared->session_transitions();
+    }
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace deepcat::service

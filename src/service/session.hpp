@@ -1,0 +1,111 @@
+// One tuning session = one online tuning request served against the shared
+// offline-trained model (paper §2: train once, tune many). Sessions are
+// designed to run concurrently on the service thread pool:
+//
+//   - clone-on-tune: each session deserializes the master checkpoint blob
+//     into a private DeepCat instance, so its fine-tune gradient steps
+//     never touch the shared networks;
+//   - shared read-mostly pools: when the master uses RDPER, the session
+//     samples the master's frozen P_high/P_low pools through a
+//     SharedRdperReplay view under a shared mutex instead of copying them;
+//   - write-back on completion: the transitions a session generates are
+//     returned in its report and merged into the master pools by the
+//     service after the whole batch finishes, in request order — the
+//     paper's cross-request memory sharing, kept deterministic.
+//
+// Because the master is frozen for the duration of a batch, a session's
+// result is a pure function of (master checkpoint, request), independent
+// of pool size and of which other sessions run beside it.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/deepcat_api.hpp"
+#include "rl/replay_rdper.hpp"
+#include "tuners/tuner.hpp"
+
+namespace deepcat::service {
+
+/// One online tuning request: workload + cluster + budget + determinism
+/// seed. `workload` is a HiBench suite id ("WC-D1" .. "KM-D3").
+struct TuningRequest {
+  std::string id;             ///< caller's correlation id, echoed back
+  std::string workload;       ///< HiBench case id, e.g. "TS-D1"
+  std::string cluster = "a";  ///< "a" (testbed) or "b" (VM cluster)
+  int max_steps = 5;          ///< paid online evaluations
+  double max_total_seconds = 1e18;  ///< tuning-time budget (paper §2)
+  std::uint64_t seed = 1;     ///< per-session determinism seed
+};
+
+/// Outcome of one session. `new_transitions` carries the experience the
+/// session generated, in insertion order, for the service's post-batch
+/// merge into the master pools.
+struct SessionReport {
+  std::string id;
+  std::string workload;
+  std::string cluster;
+  bool ok = false;
+  std::string error;
+  tuners::TuningReport report;
+  std::vector<rl::Transition> new_transitions;
+
+  [[nodiscard]] double mean_reward() const noexcept;
+};
+
+/// Thread-safe RDPER view for concurrent sessions: samples the master's
+/// pools (frozen during a batch) under a shared lock and appends the
+/// session's own transitions to a private overlay. Sampling replicates
+/// RdperReplay::sample exactly over the combined master+overlay pools —
+/// same draw order, same beta split — so a session behaves bit-identically
+/// to one holding a private copy of the master pools. Sampled transitions
+/// are copied into internal scratch storage (valid until the next sample
+/// call), so the returned batch never points into the shared pools.
+///
+/// The overlay appends rather than ring-overwriting: a session adds a
+/// handful of transitions against pools sized in the tens of thousands, so
+/// master-capacity eviction is deferred to the service's merge step.
+class SharedRdperReplay final : public rl::ReplayBuffer {
+ public:
+  /// Snapshots the master pool sizes (the master must stay frozen while
+  /// any session holds this view) and shares `mutex` with every other
+  /// concurrent view over the same master.
+  SharedRdperReplay(const rl::RdperReplay& master, std::shared_mutex& mutex);
+
+  void add(rl::Transition t) override;
+  [[nodiscard]] rl::SampledBatch sample(std::size_t m,
+                                        common::Rng& rng) override;
+  [[nodiscard]] std::size_t size() const noexcept override;
+  [[nodiscard]] std::size_t capacity() const noexcept override;
+
+  /// Every transition added through this view, in insertion order.
+  [[nodiscard]] const std::vector<rl::Transition>& session_transitions()
+      const noexcept {
+    return session_log_;
+  }
+
+ private:
+  const rl::RdperReplay& master_;
+  std::shared_mutex& mutex_;
+  rl::RdperConfig config_;
+  std::size_t master_high_ = 0;  ///< frozen master pool sizes
+  std::size_t master_low_ = 0;
+  std::vector<rl::Transition> local_high_, local_low_;
+  std::vector<rl::Transition> session_log_;
+  std::vector<rl::Transition> scratch_;  ///< last sampled batch's storage
+};
+
+/// Runs one session against the master checkpoint `blob`. When
+/// `master_pools` is non-null the session samples them through a
+/// SharedRdperReplay guarded by `master_mutex`; otherwise it fine-tunes on
+/// the private replay restored from the blob. Never throws: failures come
+/// back as ok = false with the error message.
+[[nodiscard]] SessionReport run_session(const std::string& blob,
+                                        const core::DeepCatApiOptions& api,
+                                        const TuningRequest& request,
+                                        const rl::RdperReplay* master_pools,
+                                        std::shared_mutex* master_mutex);
+
+}  // namespace deepcat::service

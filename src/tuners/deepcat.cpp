@@ -28,16 +28,20 @@ std::unique_ptr<rl::ReplayBuffer> DeepCatTuner::make_replay() const {
 }
 
 void DeepCatTuner::ensure_agent(const sparksim::TuningEnvironment& env) {
+  materialize(env.state_dim(), env.action_dim());
+}
+
+void DeepCatTuner::materialize(std::size_t state_dim, std::size_t action_dim) {
   if (agent_) {
-    if (options_.td3.state_dim != env.state_dim() ||
-        options_.td3.action_dim != env.action_dim()) {
+    if (options_.td3.state_dim != state_dim ||
+        options_.td3.action_dim != action_dim) {
       throw std::invalid_argument(
           "DeepCatTuner: environment dims changed after agent creation");
     }
     return;
   }
-  options_.td3.state_dim = env.state_dim();
-  options_.td3.action_dim = env.action_dim();
+  options_.td3.state_dim = state_dim;
+  options_.td3.action_dim = action_dim;
   agent_ = std::make_unique<rl::Td3Agent>(options_.td3, rng_);
   replay_ = make_replay();
 }

@@ -109,6 +109,26 @@ class DeepCatTuner final : public OnlineTuner {
   void save(std::ostream& os);
   void load(std::istream& is);
 
+  /// Builds the agent + replay buffer for the given dimensions without an
+  /// environment — the checkpoint layer needs a live agent to deserialize
+  /// into before any env exists in the loading process. No-op if the agent
+  /// already exists with matching dims; throws on a dim mismatch.
+  void materialize(std::size_t state_dim, std::size_t action_dim);
+
+  [[nodiscard]] bool has_agent() const noexcept { return agent_ != nullptr; }
+
+  /// The tuner's private RNG stream — checkpointed so that a reloaded tuner
+  /// continues the exact exploration/optimizer noise sequence.
+  [[nodiscard]] common::Rng& rng() noexcept { return rng_; }
+
+  /// Replay buffer access + replacement (used by the checkpoint layer to
+  /// restore pool contents, and by the service layer to interpose a shared
+  /// thread-safe view over the master pools).
+  [[nodiscard]] rl::ReplayBuffer* replay() noexcept { return replay_.get(); }
+  void set_replay(std::unique_ptr<rl::ReplayBuffer> replay) {
+    replay_ = std::move(replay);
+  }
+
  private:
   [[nodiscard]] std::unique_ptr<rl::ReplayBuffer> make_replay() const;
   void ensure_agent(const sparksim::TuningEnvironment& env);

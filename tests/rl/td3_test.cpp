@@ -158,6 +158,55 @@ TEST(Td3Test, SaveLoadRoundTrip) {
   EXPECT_EQ(a.twin_q(s, act), b.twin_q(s, act));
 }
 
+// Regression for the checkpoint-completeness bug: save used to drop the
+// Adam optimizer state (moment vectors + step counts), so a saved-then-
+// loaded agent fine-tuned differently from one that was never saved.
+// Train, fork the RNG, then continue training the original and a
+// save->load clone through identical streams: every result must match
+// bit for bit.
+TEST(Td3Test, SaveLoadThenTrainMatchesNeverSavedBitExact) {
+  common::Rng rng(12);
+  Td3Agent original(small_config(), rng);
+  UniformReplay buffer(512);
+  fill_bandit_buffer(buffer, rng, 0.7, 256);
+  for (int i = 0; i < 50; ++i) (void)original.train_step(buffer, rng);
+
+  std::stringstream ss;
+  original.save(ss);
+  const common::RngState fork = rng.state();
+
+  // Path A: the never-serialized agent keeps training.
+  for (int i = 0; i < 25; ++i) (void)original.train_step(buffer, rng);
+
+  // Path B: a fresh agent restored from the checkpoint trains through an
+  // identical RNG stream. Without Adam moments + step counts in the
+  // checkpoint the adaptive learning rates diverge immediately.
+  common::Rng other_init(999);
+  Td3Agent clone(small_config(), other_init);
+  clone.load(ss);
+  EXPECT_EQ(clone.train_steps(), original.train_steps() - 25);
+  common::Rng replay_rng(1);
+  replay_rng.restore(fork);
+  for (int i = 0; i < 25; ++i) (void)clone.train_step(buffer, replay_rng);
+
+  const std::vector<double> s{0.3, 0.9};
+  EXPECT_EQ(original.act(s), clone.act(s));
+  const std::vector<double> act{0.4};
+  EXPECT_EQ(original.twin_q(s, act), clone.twin_q(s, act));
+  EXPECT_EQ(original.train_steps(), clone.train_steps());
+}
+
+TEST(Td3Test, LoadRejectsTruncatedStream) {
+  common::Rng rng(13);
+  Td3Agent a(small_config(), rng);
+  std::stringstream ss;
+  a.save(ss);
+  const std::string full = ss.str();
+  std::istringstream cut(full.substr(0, full.size() / 3));
+  Td3Agent b(small_config(), rng);
+  EXPECT_THROW(b.load(cut), std::runtime_error);
+}
+
 TEST(Td3Test, TrainStepFeedsPriorityUpdates) {
   // A PER buffer must receive update_priorities from the TD3 training
   // loop — verified through a spy buffer.

@@ -1,0 +1,276 @@
+// The checkpoint format's two contracts: (1) a reloaded model is
+// indistinguishable from one that was never serialized — bit-identical
+// tune_online reports, RDPER pool contents and Adam moments; (2) every
+// malformed input (bad magic, newer version, truncation, bit flips,
+// missing sections) fails with a CheckpointError naming the offending
+// piece, never UB.
+#include "service/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "core/deepcat_api.hpp"
+#include "rl/replay_rdper.hpp"
+#include "sparksim/hardware.hpp"
+#include "sparksim/workloads.hpp"
+
+namespace deepcat::service {
+namespace {
+
+using sparksim::WorkloadType;
+
+core::DeepCatApiOptions small_options(std::uint64_t seed) {
+  core::DeepCatApiOptions o;
+  o.tuner.seed = seed;
+  o.tuner.td3.hidden = {24, 24};
+  o.tuner.warmup_steps = 16;
+  o.env.seed = seed + 1000;
+  return o;
+}
+
+core::DeepCat trained_model(std::uint64_t seed, std::size_t iters = 40) {
+  core::DeepCat model(sparksim::cluster_a(), small_options(seed));
+  (void)model.train_offline(
+      sparksim::make_workload(WorkloadType::kTeraSort, 3.2), iters);
+  return model;
+}
+
+void expect_reports_identical(const tuners::TuningReport& a,
+                              const tuners::TuningReport& b) {
+  EXPECT_EQ(a.default_time, b.default_time);
+  EXPECT_EQ(a.best_time, b.best_time);
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t i = 0; i < a.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].exec_seconds, b.steps[i].exec_seconds) << "step " << i;
+    EXPECT_EQ(a.steps[i].reward, b.steps[i].reward) << "step " << i;
+    EXPECT_EQ(a.steps[i].best_so_far, b.steps[i].best_so_far) << "step " << i;
+    EXPECT_EQ(a.steps[i].recommendation_seconds,
+              b.steps[i].recommendation_seconds)
+        << "step " << i;
+  }
+  EXPECT_EQ(a.best_config, b.best_config);
+}
+
+// The acceptance criterion: save after offline training, reload into a
+// freshly-constructed (differently-seeded) instance, and tune_online must
+// be bit-identical to the never-serialized instance — which requires the
+// networks, Adam moments, RDPER pools, RNG stream and environment seed to
+// all round-trip exactly.
+TEST(CheckpointTest, RoundTripGivesBitIdenticalOnlineTuning) {
+  core::DeepCat original = trained_model(7);
+  std::stringstream ss;
+  save_checkpoint(ss, original);
+
+  core::DeepCat reloaded(sparksim::cluster_a(), small_options(4242));
+  load_checkpoint(ss, reloaded);
+
+  const auto workload = sparksim::make_workload(WorkloadType::kPageRank, 0.5);
+  const auto ra = original.tune_online(workload, {.max_steps = 3});
+  const auto rb = reloaded.tune_online(workload, {.max_steps = 3});
+  expect_reports_identical(ra, rb);
+
+  // Fine-tuning pushed both agents through identical gradient steps, so
+  // the post-tune Adam moments must also match bit for bit.
+  const auto opts_a = original.tuner().agent().optimizers();
+  const auto opts_b = reloaded.tuner().agent().optimizers();
+  ASSERT_EQ(opts_a.size(), opts_b.size());
+  for (std::size_t o = 0; o < opts_a.size(); ++o) {
+    EXPECT_EQ(opts_a[o].second->step_count(), opts_b[o].second->step_count());
+    const auto& ma = opts_a[o].second->first_moments();
+    const auto& mb = opts_b[o].second->first_moments();
+    ASSERT_EQ(ma.size(), mb.size());
+    for (std::size_t t = 0; t < ma.size(); ++t) {
+      const auto fa = ma[t].flat();
+      const auto fb = mb[t].flat();
+      ASSERT_EQ(fa.size(), fb.size());
+      for (std::size_t i = 0; i < fa.size(); ++i) {
+        EXPECT_EQ(fa[i], fb[i]) << "optimizer " << o << " tensor " << t;
+      }
+    }
+  }
+
+  // And the RDPER pools: same contents, same ring cursors.
+  const auto* pa = dynamic_cast<rl::RdperReplay*>(original.tuner().replay());
+  const auto* pb = dynamic_cast<rl::RdperReplay*>(reloaded.tuner().replay());
+  ASSERT_NE(pa, nullptr);
+  ASSERT_NE(pb, nullptr);
+  EXPECT_EQ(pa->high_cursor(), pb->high_cursor());
+  EXPECT_EQ(pa->low_cursor(), pb->low_cursor());
+  ASSERT_EQ(pa->high_pool().size(), pb->high_pool().size());
+  ASSERT_EQ(pa->low_pool().size(), pb->low_pool().size());
+  for (std::size_t i = 0; i < pa->low_pool().size(); ++i) {
+    EXPECT_EQ(pa->low_pool()[i].reward, pb->low_pool()[i].reward) << i;
+    EXPECT_EQ(pa->low_pool()[i].state, pb->low_pool()[i].state) << i;
+  }
+}
+
+TEST(CheckpointTest, StringAndFileHelpersRoundTrip) {
+  core::DeepCat original = trained_model(11);
+  const std::string blob = checkpoint_to_string(original);
+
+  core::DeepCat from_string(sparksim::cluster_a(), small_options(1));
+  checkpoint_from_string(blob, from_string);
+
+  const std::string path =
+      ::testing::TempDir() + "checkpoint_roundtrip_test.dckp";
+  save_checkpoint_file(path, original);
+  core::DeepCat from_file(sparksim::cluster_a(), small_options(2));
+  load_checkpoint_file(path, from_file);
+
+  const auto workload = sparksim::make_workload(WorkloadType::kWordCount, 3.2);
+  const auto ra = from_string.tune_online(workload, {.max_steps = 2});
+  const auto rb = from_file.tune_online(workload, {.max_steps = 2});
+  expect_reports_identical(ra, rb);
+}
+
+TEST(CheckpointTest, SaveWithoutTrainedAgentThrows) {
+  core::DeepCat untrained(sparksim::cluster_a(), small_options(3));
+  std::stringstream ss;
+  EXPECT_THROW(save_checkpoint(ss, untrained), CheckpointError);
+}
+
+TEST(CheckpointTest, BadMagicRefused) {
+  core::DeepCat model = trained_model(13, 20);
+  std::string blob = checkpoint_to_string(model);
+  blob[0] = 'X';
+  core::DeepCat fresh(sparksim::cluster_a(), small_options(1));
+  try {
+    checkpoint_from_string(blob, fresh);
+    FAIL() << "bad magic accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("magic"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointTest, NewerFormatVersionRefusedByName) {
+  core::DeepCat model = trained_model(14, 20);
+  std::string blob = checkpoint_to_string(model);
+  // The u32 version field sits right after the 4-byte magic.
+  blob[4] = static_cast<char>(kCheckpointVersion + 1);
+  core::DeepCat fresh(sparksim::cluster_a(), small_options(1));
+  try {
+    checkpoint_from_string(blob, fresh);
+    FAIL() << "newer version accepted";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("version"), std::string::npos) << what;
+    EXPECT_NE(what.find(std::to_string(kCheckpointVersion + 1)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(CheckpointTest, TruncationNamesTheOffendingSection) {
+  core::DeepCat model = trained_model(15, 20);
+  const std::string blob = checkpoint_to_string(model);
+
+  // Cut inside the NETS payload: the error must name that section.
+  const std::size_t nets = blob.find("NETS");
+  ASSERT_NE(nets, std::string::npos);
+  core::DeepCat fresh(sparksim::cluster_a(), small_options(1));
+  try {
+    checkpoint_from_string(blob.substr(0, nets + 40), fresh);
+    FAIL() << "truncated checkpoint accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("NETS"), std::string::npos)
+        << e.what();
+  }
+
+  // A sweep of other cut points must all fail cleanly with CheckpointError
+  // (never UB, never std::bad_alloc from a garbage length).
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{3}, std::size_t{8}, std::size_t{17},
+        blob.size() / 4, blob.size() / 2, blob.size() - 3}) {
+    core::DeepCat target(sparksim::cluster_a(), small_options(1));
+    EXPECT_THROW(checkpoint_from_string(blob.substr(0, keep), target),
+                 CheckpointError)
+        << "prefix of " << keep << " bytes";
+  }
+}
+
+TEST(CheckpointTest, BitFlipFailsChecksumNamingTheSection) {
+  core::DeepCat model = trained_model(16, 20);
+  std::string blob = checkpoint_to_string(model);
+  const std::size_t nets = blob.find("NETS");
+  ASSERT_NE(nets, std::string::npos);
+  blob[nets + 40] = static_cast<char>(blob[nets + 40] ^ 0x20);
+  core::DeepCat fresh(sparksim::cluster_a(), small_options(1));
+  try {
+    checkpoint_from_string(blob, fresh);
+    FAIL() << "corrupt checkpoint accepted";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("checksum"), std::string::npos) << what;
+    EXPECT_NE(what.find("NETS"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckpointTest, MissingRequiredSectionDiagnosedByName) {
+  // A structurally valid checkpoint that carries only the terminator:
+  // magic, version 1, then "END " with zero length and the CRC of an
+  // empty payload. Loading must report which required section is absent.
+  std::string blob = "DCKP";
+  blob += '\x01';
+  blob += std::string(3, '\0');               // version 1, little-endian
+  blob += "END ";
+  blob += std::string(8, '\0');               // u64 payload length 0
+  const std::uint32_t empty_crc = crc32(nullptr, 0);
+  for (int i = 0; i < 4; ++i) {
+    blob += static_cast<char>((empty_crc >> (8 * i)) & 0xFF);
+  }
+  core::DeepCat fresh(sparksim::cluster_a(), small_options(1));
+  try {
+    checkpoint_from_string(blob, fresh);
+    FAIL() << "checkpoint without required sections accepted";
+  } catch (const CheckpointError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("missing required section"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("META"), std::string::npos) << what;
+  }
+}
+
+TEST(CheckpointTest, ReplayKindMismatchDiagnosed) {
+  core::DeepCat rdper_model = trained_model(17, 20);
+  const std::string blob = checkpoint_to_string(rdper_model);
+
+  core::DeepCatApiOptions uniform = small_options(1);
+  uniform.tuner.use_rdper = false;
+  core::DeepCat uniform_model(sparksim::cluster_a(), uniform);
+  try {
+    checkpoint_from_string(blob, uniform_model);
+    FAIL() << "replay kind mismatch accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_NE(std::string(e.what()).find("replay kind"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CheckpointTest, WorkloadRepositoryRoundTripsWhenRequested) {
+  core::DeepCat model = trained_model(18, 20);
+  gp::WorkloadRepository repo;
+  repo.add("TS-D1", {.config = {0.1, 0.2}, .metrics = {0.3, 0.4},
+                     .performance = 12.5});
+  repo.add("WC-D1", {.config = {0.5, 0.6}, .metrics = {0.7, 0.8},
+                     .performance = 8.25});
+
+  std::stringstream ss;
+  save_checkpoint(ss, model, &repo);
+
+  core::DeepCat fresh(sparksim::cluster_a(), small_options(1));
+  gp::WorkloadRepository restored;
+  load_checkpoint(ss, fresh, &restored);
+  EXPECT_EQ(restored.num_workloads(), repo.num_workloads());
+  EXPECT_EQ(restored.workload_ids(), repo.workload_ids());
+  const auto& obs = restored.observations("TS-D1");
+  ASSERT_EQ(obs.size(), 1u);
+  EXPECT_EQ(obs[0].config, (std::vector<double>{0.1, 0.2}));
+  EXPECT_EQ(obs[0].metrics, (std::vector<double>{0.3, 0.4}));
+  EXPECT_EQ(obs[0].performance, 12.5);
+}
+
+}  // namespace
+}  // namespace deepcat::service
