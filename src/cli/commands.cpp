@@ -1,6 +1,7 @@
 #include "cli/commands.hpp"
 
 #include <fstream>
+#include <iostream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -9,8 +10,17 @@
 #include "core/deepcat_api.hpp"
 #include "service/jsonl.hpp"
 #include "service/service.hpp"
+#include "service/streaming.hpp"
 #include "sparksim/config_export.hpp"
 #include "sparksim/job_sim.hpp"
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#endif
 
 namespace deepcat::cli {
 
@@ -68,7 +78,183 @@ void print_usage(std::ostream& os) {
         "  serve --checkpoint dir/     serve a JSONL tuning-request batch\n"
         "      [--requests file.jsonl] [--out file.jsonl] [--model default]\n"
         "      [--train-iters 0] [--train-workload TS] [--train-size 3.2]\n"
-        "      [--threads 0] [--cluster a|b] [--seed 1] [--publish 1]\n";
+        "      [--threads 0] [--cluster a|b] [--seed 1] [--publish 1]\n"
+        "  serve --stream 1            serve a framed wire stream (DCWP)\n"
+        "      --checkpoint dir/ [--in wire.bin] [--out wire.bin]\n"
+        "      [--socket /path.sock] [--model default] [--master-steps 4]\n"
+        "      [--max-models 4] [--train-iters 0] [--train-workload TS]\n"
+        "      [--threads 0] [--cluster a|b] [--seed 1]\n"
+        "      (without --in/--socket reads stdin; without --out/--socket\n"
+        "       writes the wire bytes to stdout and stays otherwise silent)\n";
+}
+
+#if !defined(_WIN32)
+/// Minimal stream buffer over a file descriptor, enough to run the framed
+/// wire protocol across a Unix socket without a transport dependency.
+class FdStreamBuf final : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
+
+ protected:
+  int_type underflow() override {
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n <= 0) return traits_type::eof();
+    setg(in_, in_, in_ + n);
+    return traits_type::to_int_type(in_[0]);
+  }
+  int_type overflow(int_type ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
+    const char c = traits_type::to_char_type(ch);
+    return ::write(fd_, &c, 1) == 1 ? ch : traits_type::eof();
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    std::streamsize done = 0;
+    while (done < n) {
+      const ssize_t w =
+          ::write(fd_, s + done, static_cast<std::size_t>(n - done));
+      if (w <= 0) break;
+      done += w;
+    }
+    return done;
+  }
+
+ private:
+  int fd_;
+  char in_[4096];
+};
+#endif
+
+int stream_exit_code(const service::StreamServeResult& result) {
+  return (result.failed_sessions == 0 && result.parse_errors == 0 &&
+          result.protocol_errors == 0 && result.clean_end)
+             ? 0
+             : 1;
+}
+
+int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
+                     const std::string& checkpoint_dir) {
+  const std::string model_name = args.flag_or("model", "default");
+  const auto train_iters =
+      static_cast<std::size_t>(args.number_or("train-iters", 0));
+  const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 1));
+
+  service::StreamingOptions options;
+  options.service.cluster = args.flag_or("cluster", "a");
+  options.service.threads =
+      static_cast<std::size_t>(args.number_or("threads", 0));
+  options.service.api.tuner.seed = seed;
+  options.service.api.env.seed = seed + 1000;
+  options.master_update_steps =
+      static_cast<std::size_t>(args.number_or("master-steps", 4));
+  options.max_loaded_models =
+      static_cast<std::size_t>(args.number_or("max-models", 4));
+  options.registry_dir = checkpoint_dir;
+
+  // Wire bytes to stdout (no --out / --socket) must stay pure protocol, so
+  // status text is suppressed in that mode.
+  const bool quiet = !args.flag("out") && !args.flag("socket");
+  service::StreamingService svc(options);
+  service::ModelRegistry registry(checkpoint_dir);
+
+  const auto version = registry.latest_version(model_name);
+  if (version) {
+    svc.load_model_file(model_name, registry.path_for(model_name, *version));
+    if (!quiet) {
+      os << "loaded model '" << model_name << "' v" << *version << " from "
+         << registry.directory() << '\n';
+    }
+  } else if (train_iters > 0) {
+    const WorkloadType type =
+        workload_from_flag(args.flag_or("train-workload", "TS"));
+    const double size = args.number_or("train-size", default_size(type));
+    if (!quiet) {
+      os << "no published model '" << model_name << "'; training "
+         << train_iters << " offline iterations...\n";
+    }
+    svc.train_model(model_name, make_workload(type, size), train_iters);
+    const std::uint32_t v = registry.publish(model_name, svc.master(model_name));
+    if (!quiet) os << "published model '" << model_name << "' v" << v << '\n';
+  } else {
+    throw std::invalid_argument(
+        "serve: no published model '" + model_name +
+        "' in the registry and --train-iters is 0; train one first");
+  }
+
+  service::StreamServeResult result;
+  if (const auto socket_path = args.flag("socket")) {
+#if defined(_WIN32)
+    throw std::invalid_argument(
+        "serve: --socket is not supported on this platform");
+#else
+    ::unlink(socket_path->c_str());
+    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listener < 0) {
+      throw std::runtime_error("serve: cannot create a unix socket");
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path->size() >= sizeof addr.sun_path) {
+      ::close(listener);
+      throw std::invalid_argument("serve: socket path '" + *socket_path +
+                                  "' is too long");
+    }
+    std::strncpy(addr.sun_path, socket_path->c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0 ||
+        ::listen(listener, 1) != 0) {
+      ::close(listener);
+      throw std::runtime_error("serve: cannot bind unix socket '" +
+                               *socket_path + "'");
+    }
+    os << "listening on " << *socket_path << '\n' << std::flush;
+    const int client = ::accept(listener, nullptr, nullptr);
+    ::close(listener);
+    if (client < 0) {
+      ::unlink(socket_path->c_str());
+      throw std::runtime_error("serve: accept on '" + *socket_path +
+                               "' failed");
+    }
+    FdStreamBuf in_buf(client);
+    FdStreamBuf out_buf(client);
+    std::istream in(&in_buf);
+    std::ostream out(&out_buf);
+    result = service::serve_frame_stream(in, out, svc);
+    ::close(client);
+    ::unlink(socket_path->c_str());
+#endif
+  } else {
+    std::ifstream in_file;
+    std::istream* in = &std::cin;
+    if (const auto in_path = args.flag("in")) {
+      in_file.open(*in_path, std::ios::binary);
+      if (!in_file) {
+        throw std::invalid_argument("serve: cannot open wire input '" +
+                                    *in_path + "'");
+      }
+      in = &in_file;
+    }
+    std::ofstream out_file;
+    std::ostream* out = &os;  // quiet mode: wire bytes into the CLI stream
+    if (const auto out_path = args.flag("out")) {
+      out_file.open(*out_path, std::ios::binary | std::ios::trunc);
+      if (!out_file) {
+        throw std::invalid_argument("serve: cannot open wire output '" +
+                                    *out_path + "'");
+      }
+      out = &out_file;
+    }
+    result = service::serve_frame_stream(*in, *out, svc);
+  }
+
+  if (!quiet) {
+    os << "stream done: " << result.requests << " requests, "
+       << result.failed_sessions << " failed sessions, "
+       << result.parse_errors << " parse errors, " << result.protocol_errors
+       << " protocol errors"
+       << (result.clean_end ? "" : " (no clean END frame)") << '\n';
+  }
+  return stream_exit_code(result);
 }
 
 }  // namespace
@@ -191,6 +377,9 @@ int cmd_serve(const ParsedArgs& args, std::ostream& os) {
   const auto checkpoint_dir = args.flag("checkpoint");
   if (!checkpoint_dir) {
     throw std::invalid_argument("serve: --checkpoint dir/ is required");
+  }
+  if (args.number_or("stream", 0) != 0.0) {
+    return cmd_serve_stream(args, os, *checkpoint_dir);
   }
   const std::string model_name = args.flag_or("model", "default");
   const auto train_iters =

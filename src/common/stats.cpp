@@ -45,6 +45,17 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+void QuantileTracker::add(double x) {
+  sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), x), x);
+}
+
+double QuantileTracker::quantile(double p) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::clamp(p, 0.0, 1.0) * static_cast<double>(sorted_.size() - 1) + 0.5);
+  return sorted_[std::min(rank, sorted_.size() - 1)];
+}
+
 double mean(std::span<const double> xs) noexcept {
   if (xs.empty()) return 0.0;
   return sum(xs) / static_cast<double>(xs.size());

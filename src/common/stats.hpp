@@ -30,6 +30,26 @@ class RunningStats {
   double max_ = 0.0;
 };
 
+/// Exact streaming quantiles by sorted insertion. add() keeps the sample
+/// set ordered (binary-search insert), so quantile() is an O(1) nearest-rank
+/// lookup at any point in the stream — no batch barrier, no re-sort, and the
+/// answer is exact (not a sketch), identical to sorting the samples seen so
+/// far. The service layer uses it for p50/p95 recommendation cost over an
+/// unbounded request stream.
+class QuantileTracker {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+
+  /// Nearest-rank quantile, p in [0, 1]: element at round(p * (n-1)) of the
+  /// sorted samples. Returns 0 on an empty tracker.
+  [[nodiscard]] double quantile(double p) const noexcept;
+
+ private:
+  std::vector<double> sorted_;
+};
+
 [[nodiscard]] double mean(std::span<const double> xs) noexcept;
 [[nodiscard]] double stddev(std::span<const double> xs) noexcept;
 [[nodiscard]] double sum(std::span<const double> xs) noexcept;

@@ -95,6 +95,14 @@ double Td3Agent::min_q(std::span<const double> state,
   return std::min(q1, q2);
 }
 
+std::size_t Td3Agent::fine_tune(ReplayBuffer& buffer, common::Rng& rng,
+                                std::size_t max_steps) {
+  if (buffer.size() < config_.batch_size) return 0;
+  std::size_t taken = 0;
+  for (; taken < max_steps; ++taken) (void)train_step(buffer, rng);
+  return taken;
+}
+
 Td3TrainStats Td3Agent::train_step(ReplayBuffer& buffer, common::Rng& rng) {
   const SampledBatch batch = buffer.sample(config_.batch_size, rng);
   const auto m = batch.size();

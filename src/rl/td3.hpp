@@ -62,6 +62,14 @@ class Td3Agent {
   /// errors back for prioritized buffers. Requires buffer.size() > 0.
   Td3TrainStats train_step(ReplayBuffer& buffer, common::Rng& rng);
 
+  /// Bounded continuous-update hook for the serving layer: takes up to
+  /// `max_steps` train_step calls and returns how many were taken. Unlike
+  /// train_step it is safe on a cold buffer — it takes no steps while
+  /// `buffer` holds fewer than one full batch, so a freshly materialized
+  /// master never trains on a degenerate sample.
+  std::size_t fine_tune(ReplayBuffer& buffer, common::Rng& rng,
+                        std::size_t max_steps);
+
   [[nodiscard]] const Td3Config& config() const noexcept { return config_; }
   [[nodiscard]] std::size_t train_steps() const noexcept { return steps_; }
   void set_train_steps(std::size_t steps) noexcept { steps_ = steps; }

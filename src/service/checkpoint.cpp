@@ -1,5 +1,6 @@
 #include "service/checkpoint.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <filesystem>
@@ -40,11 +41,36 @@ constexpr std::uint32_t kTagEnd = fourcc("END ");
 std::string tag_name(std::uint32_t tag) {
   std::string s(4, ' ');
   for (int i = 0; i < 4; ++i) {
+    const auto c = static_cast<unsigned char>((tag >> (8 * i)) & 0xFFu);
+    // A corrupt tag can hold arbitrary bytes; keep error messages printable.
     s[static_cast<std::size_t>(i)] =
-        static_cast<char>((tag >> (8 * i)) & 0xFFu);
+        (c >= 0x20 && c < 0x7F) ? static_cast<char>(c) : '?';
   }
   while (!s.empty() && s.back() == ' ') s.pop_back();
   return s;
+}
+
+/// Reads exactly `len` payload bytes in bounded chunks. A corrupt section
+/// length can claim an absurd payload size, so the allocation grows with
+/// the bytes actually present in the stream instead of trusting the header
+/// — a truncated or hostile stream dies with a typed error, never an
+/// attacker-sized allocation.
+std::string read_payload(std::istream& is, std::uint64_t len,
+                         std::uint32_t tag) {
+  constexpr std::uint64_t kChunk = 64 * 1024;
+  std::string payload;
+  while (payload.size() < len) {
+    const auto want = static_cast<std::size_t>(
+        std::min(kChunk, len - payload.size()));
+    const std::size_t old = payload.size();
+    payload.resize(old + want);
+    is.read(payload.data() + old, static_cast<std::streamsize>(want));
+    if (static_cast<std::size_t>(is.gcount()) != want) {
+      throw CheckpointError("truncated checkpoint while reading section '" +
+                            tag_name(tag) + "'");
+    }
+  }
+  return payload;
 }
 
 // Replay kinds stored in META/RPLY.
@@ -383,7 +409,12 @@ void decode_replay(const std::string& payload, core::DeepCat& model) {
     for (std::size_t pi = 0; pi < 2; ++pi) {
       cursors[pi] = static_cast<std::size_t>(r.u64());
       const std::uint64_t n = r.u64();
-      pools[pi].reserve(static_cast<std::size_t>(n));
+      // A spliced stream can pair this decoder with another section's
+      // CRC-valid payload, so `n` is untrusted: cap the reservation by the
+      // payload size (each transition needs > 1 byte) and let the bounds-
+      // checked reads raise the typed error.
+      pools[pi].reserve(static_cast<std::size_t>(
+          std::min<std::uint64_t>(n, payload.size())));
       for (std::uint64_t i = 0; i < n; ++i) {
         pools[pi].push_back(read_transition(r));
       }
@@ -404,7 +435,8 @@ void decode_replay(const std::string& payload, core::DeepCat& model) {
     const auto cursor = static_cast<std::size_t>(r.u64());
     const std::uint64_t n = r.u64();
     std::vector<rl::Transition> storage;
-    storage.reserve(static_cast<std::size_t>(n));
+    storage.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, payload.size())));
     for (std::uint64_t i = 0; i < n; ++i) {
       storage.push_back(read_transition(r));
     }
@@ -516,8 +548,7 @@ std::vector<Section> read_sections(std::istream& is) {
           static_cast<std::uint64_t>(static_cast<unsigned char>(head[4 + i]))
           << (8 * i);
     }
-    std::string payload(static_cast<std::size_t>(len), '\0');
-    is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+    std::string payload = read_payload(is, len, tag);
     char cbuf[4];
     is.read(cbuf, sizeof cbuf);
     if (!is) {

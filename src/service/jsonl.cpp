@@ -113,6 +113,38 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+TuningRequest parse_request_json(const std::string& line, std::size_t index) {
+  const auto fields = parse_flat_json(line);
+  TuningRequest req;
+  req.id = "req-" + std::to_string(index);
+  req.seed = index + 1;
+  if (const auto it = fields.find("id"); it != fields.end()) {
+    req.id = it->second;
+  }
+  if (const auto it = fields.find("workload"); it != fields.end()) {
+    req.workload = it->second;
+  } else {
+    throw std::invalid_argument("request '" + req.id +
+                                "' is missing the \"workload\" key");
+  }
+  if (const auto it = fields.find("cluster"); it != fields.end()) {
+    req.cluster = it->second;
+  }
+  if (const auto it = fields.find("steps"); it != fields.end()) {
+    req.max_steps = std::stoi(it->second);
+  }
+  if (const auto it = fields.find("budget_seconds"); it != fields.end()) {
+    req.max_total_seconds = std::stod(it->second);
+  }
+  if (const auto it = fields.find("seed"); it != fields.end()) {
+    req.seed = static_cast<std::uint64_t>(std::stoull(it->second));
+  }
+  if (const auto it = fields.find("model"); it != fields.end()) {
+    req.model = it->second;
+  }
+  return req;
+}
+
 std::vector<TuningRequest> parse_requests_jsonl(std::istream& is) {
   std::vector<TuningRequest> requests;
   std::string line;
@@ -121,42 +153,25 @@ std::vector<TuningRequest> parse_requests_jsonl(std::istream& is) {
     std::size_t i = 0;
     skip_ws(line, i);
     if (i >= line.size()) continue;  // blank line
-    const auto fields = parse_flat_json(line);
-    TuningRequest req;
-    req.id = "req-" + std::to_string(index);
-    req.seed = index + 1;
-    if (const auto it = fields.find("id"); it != fields.end()) {
-      req.id = it->second;
-    }
-    if (const auto it = fields.find("workload"); it != fields.end()) {
-      req.workload = it->second;
-    } else {
-      throw std::invalid_argument("request '" + req.id +
-                                  "' is missing the \"workload\" key");
-    }
-    if (const auto it = fields.find("cluster"); it != fields.end()) {
-      req.cluster = it->second;
-    }
-    if (const auto it = fields.find("steps"); it != fields.end()) {
-      req.max_steps = std::stoi(it->second);
-    }
-    if (const auto it = fields.find("budget_seconds"); it != fields.end()) {
-      req.max_total_seconds = std::stod(it->second);
-    }
-    if (const auto it = fields.find("seed"); it != fields.end()) {
-      req.seed = static_cast<std::uint64_t>(std::stoull(it->second));
-    }
-    requests.push_back(std::move(req));
+    requests.push_back(parse_request_json(line, index));
     ++index;
   }
   return requests;
 }
 
-void write_report_jsonl(std::ostream& os, const SessionReport& r) {
+namespace {
+
+void write_report_body(std::ostream& os, const SessionReport& r,
+                       bool with_routing, std::uint64_t model_epoch) {
   os.precision(17);
   os << "{\"id\":\"" << json_escape(r.id) << "\",\"workload\":\""
      << json_escape(r.workload) << "\",\"cluster\":\""
-     << json_escape(r.cluster) << "\",\"ok\":" << (r.ok ? "true" : "false");
+     << json_escape(r.cluster) << "\"";
+  if (with_routing) {
+    os << ",\"model\":\"" << json_escape(r.model)
+       << "\",\"model_epoch\":" << model_epoch;
+  }
+  os << ",\"ok\":" << (r.ok ? "true" : "false");
   if (!r.ok) {
     os << ",\"error\":\"" << json_escape(r.error) << "\"}\n";
     return;
@@ -168,6 +183,17 @@ void write_report_jsonl(std::ostream& os, const SessionReport& r) {
      << ",\"eval_seconds\":" << r.report.total_evaluation_seconds()
      << ",\"rec_seconds\":" << r.report.total_recommendation_seconds()
      << ",\"mean_reward\":" << r.mean_reward() << "}\n";
+}
+
+}  // namespace
+
+void write_report_jsonl(std::ostream& os, const SessionReport& r) {
+  write_report_body(os, r, /*with_routing=*/false, 0);
+}
+
+void write_report_jsonl(std::ostream& os, const SessionReport& r,
+                        std::uint64_t model_epoch) {
+  write_report_body(os, r, /*with_routing=*/true, model_epoch);
 }
 
 void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m) {

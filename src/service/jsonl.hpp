@@ -23,10 +23,16 @@ namespace deepcat::service {
 /// Escapes a string for embedding in a JSON value.
 [[nodiscard]] std::string json_escape(const std::string& s);
 
-/// Reads tuning requests from a JSONL stream, skipping blank lines.
-/// Recognized keys: id, workload, cluster, steps, budget_seconds, seed.
-/// Missing id defaults to "req-<line index>"; missing seed derives from
-/// the line index so every request stays individually reproducible.
+/// Parses one tuning request from a flat JSON object line. Recognized
+/// keys: id, workload, cluster, steps, budget_seconds, seed, model.
+/// Missing id defaults to "req-<index>"; missing seed derives from
+/// `index` so every request stays individually reproducible. Throws
+/// std::invalid_argument on malformed JSON or a missing workload key.
+[[nodiscard]] TuningRequest parse_request_json(const std::string& line,
+                                               std::size_t index);
+
+/// Reads tuning requests from a JSONL stream, skipping blank lines;
+/// one parse_request_json call per non-blank line.
 [[nodiscard]] std::vector<TuningRequest> parse_requests_jsonl(
     std::istream& is);
 
@@ -34,6 +40,12 @@ namespace deepcat::service {
 /// results serialize to equal bytes (the pool-size independence check
 /// diffs these lines directly).
 void write_report_jsonl(std::ostream& os, const SessionReport& r);
+
+/// Streaming variant: also emits the routed model name and the monotonic
+/// master epoch that served the session, so clients can tell which master
+/// version produced each recommendation.
+void write_report_jsonl(std::ostream& os, const SessionReport& r,
+                        std::uint64_t model_epoch);
 
 /// The aggregate metrics line emitted after a batch ("aggregate":true).
 void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m);

@@ -20,14 +20,6 @@ sparksim::ClusterSpec service_cluster(const std::string& tag) {
   return sparksim::cluster_a();
 }
 
-/// Percentile by nearest-rank over a pre-sorted vector.
-double percentile(const std::vector<double>& sorted, double p) {
-  if (sorted.empty()) return 0.0;
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1) + 0.5);
-  return sorted[std::min(rank, sorted.size() - 1)];
-}
-
 }  // namespace
 
 // ---- ModelRegistry ------------------------------------------------------
@@ -158,7 +150,7 @@ std::vector<SessionReport> TuningService::run_batch(
       totals_.evaluation_seconds += r.report.total_evaluation_seconds();
       const double rec = r.report.total_recommendation_seconds();
       totals_.recommendation_seconds += rec;
-      session_rec_seconds_.push_back(rec);
+      rec_costs_.add(rec);
       reward_sum_ += r.mean_reward();
       speedup_sum_ += r.report.speedup_over_default();
     }
@@ -170,10 +162,8 @@ ServiceMetrics TuningService::metrics() const {
   std::scoped_lock lock(metrics_mutex_);
   ServiceMetrics m = totals_;
   if (m.sessions_served > 0) {
-    std::vector<double> sorted = session_rec_seconds_;
-    std::sort(sorted.begin(), sorted.end());
-    m.p50_recommendation_seconds = percentile(sorted, 0.50);
-    m.p95_recommendation_seconds = percentile(sorted, 0.95);
+    m.p50_recommendation_seconds = rec_costs_.quantile(0.50);
+    m.p95_recommendation_seconds = rec_costs_.quantile(0.95);
     m.mean_session_reward =
         reward_sum_ / static_cast<double>(m.sessions_served);
     m.mean_speedup = speedup_sum_ / static_cast<double>(m.sessions_served);

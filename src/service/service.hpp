@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/deepcat_api.hpp"
 #include "service/session.hpp"
@@ -108,7 +109,9 @@ class TuningService {
   /// locks; the post-batch merge takes an exclusive lock.
   mutable std::shared_mutex master_mutex_;
   mutable std::mutex metrics_mutex_;
-  std::vector<double> session_rec_seconds_;  ///< per-session, for percentiles
+  /// Streaming-safe percentile state over per-session recommendation cost;
+  /// metrics() reads exact quantiles without re-sorting a history vector.
+  common::QuantileTracker rec_costs_;
   ServiceMetrics totals_;
   double speedup_sum_ = 0.0;
   double reward_sum_ = 0.0;

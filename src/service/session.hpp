@@ -38,6 +38,9 @@ struct TuningRequest {
   int max_steps = 5;          ///< paid online evaluations
   double max_total_seconds = 1e18;  ///< tuning-time budget (paper §2)
   std::uint64_t seed = 1;     ///< per-session determinism seed
+  /// Named master model to serve against (streaming multi-model routing;
+  /// the batch service serves everything from its single master).
+  std::string model = "default";
 };
 
 /// Outcome of one session. `new_transitions` carries the experience the
@@ -47,6 +50,7 @@ struct SessionReport {
   std::string id;
   std::string workload;
   std::string cluster;
+  std::string model;  ///< master model that served this session (streaming)
   bool ok = false;
   std::string error;
   tuners::TuningReport report;

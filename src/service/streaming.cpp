@@ -1,0 +1,466 @@
+#include "service/streaming.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "rl/replay_rdper.hpp"
+#include "service/checkpoint.hpp"
+#include "service/jsonl.hpp"
+#include "service/wire.hpp"
+#include "sparksim/hardware.hpp"
+
+namespace deepcat::service {
+
+namespace {
+
+sparksim::ClusterSpec streaming_cluster(const std::string& tag) {
+  if (tag == "b" || tag == "B") return sparksim::cluster_b();
+  return sparksim::cluster_a();
+}
+
+}  // namespace
+
+StreamingService::StreamingService(StreamingOptions options)
+    : options_(std::move(options)),
+      cluster_(streaming_cluster(options_.service.cluster)),
+      pool_(options_.service.threads) {
+  if (!options_.registry_dir.empty()) {
+    registry_.emplace(options_.registry_dir);
+  }
+}
+
+std::unique_ptr<StreamingService::MasterEntry> StreamingService::make_entry()
+    const {
+  return std::make_unique<MasterEntry>(cluster_, options_.service.api);
+}
+
+StreamingService::MasterEntry& StreamingService::ensure_entry_locked(
+    const std::string& name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(name, make_entry()).first;
+  }
+  return *it->second;
+}
+
+void StreamingService::train_model(const std::string& name,
+                                   const sparksim::WorkloadSpec& workload,
+                                   std::size_t iterations) {
+  std::unique_lock reg(registry_mutex_);
+  MasterEntry& entry = ensure_entry_locked(name);
+  std::unique_lock master(entry.mutex);
+  (void)entry.model.train_offline(workload, iterations);
+  std::scoped_lock state(state_mutex_);
+  entry.blob.reset();
+}
+
+void StreamingService::load_model(const std::string& name, std::istream& is) {
+  std::unique_lock reg(registry_mutex_);
+  MasterEntry& entry = ensure_entry_locked(name);
+  std::unique_lock master(entry.mutex);
+  load_checkpoint(is, entry.model);
+  std::scoped_lock state(state_mutex_);
+  entry.blob.reset();
+}
+
+void StreamingService::load_model_file(const std::string& name,
+                                       const std::string& path) {
+  std::unique_lock reg(registry_mutex_);
+  MasterEntry& entry = ensure_entry_locked(name);
+  std::unique_lock master(entry.mutex);
+  load_checkpoint_file(path, entry.model);
+  std::scoped_lock state(state_mutex_);
+  entry.blob.reset();
+}
+
+bool StreamingService::has_model(const std::string& name) const {
+  std::shared_lock reg(registry_mutex_);
+  return entries_.find(name) != entries_.end();
+}
+
+std::vector<std::string> StreamingService::loaded_models() const {
+  std::shared_lock reg(registry_mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+core::DeepCat& StreamingService::master(const std::string& name) {
+  std::shared_lock reg(registry_mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("model '" + name + "' is not resident");
+  }
+  return it->second->model;
+}
+
+StreamingService::MasterEntry& StreamingService::resolve_entry(
+    const std::string& name) {
+  {
+    std::shared_lock reg(registry_mutex_);
+    if (const auto it = entries_.find(name); it != entries_.end()) {
+      return *it->second;
+    }
+  }
+  std::unique_lock reg(registry_mutex_);
+  if (const auto it = entries_.find(name); it != entries_.end()) {
+    return *it->second;
+  }
+  if (runner_) {
+    // Test-runner mode never touches a real master; admit any name.
+    auto entry = make_entry();
+    entry->stub = true;
+    return *entries_.emplace(name, std::move(entry)).first->second;
+  }
+  if (!registry_) {
+    throw std::runtime_error("unknown model '" + name +
+                             "' (no registry configured)");
+  }
+  const auto version = registry_->latest_version(name);
+  if (!version) {
+    throw std::runtime_error("unknown model '" + name +
+                             "': no published version in the registry");
+  }
+  evict_idle_locked();
+  auto entry = make_entry();
+  registry_->load_into(name, *version, entry->model);
+  return *entries_.emplace(name, std::move(entry)).first->second;
+}
+
+void StreamingService::evict_idle_locked() {
+  std::scoped_lock state(state_mutex_);
+  const std::size_t cap = std::max<std::size_t>(1, options_.max_loaded_models);
+  while (entries_.size() >= cap) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second->in_flight != 0) continue;
+      if (victim == entries_.end() ||
+          it->second->last_used < victim->second->last_used) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return;  // everything busy: soft cap
+    (void)merge_entry_locked(*victim->second);
+    if (victim->second->dirty && registry_ && !victim->second->stub) {
+      // Learned state survives eviction as a new registry version.
+      (void)registry_->publish(victim->first, victim->second->model);
+    }
+    entries_.erase(victim);
+  }
+}
+
+void StreamingService::complete_failed(const TuningRequest& request,
+                                       const std::string& error) {
+  SessionReport report;
+  report.id = request.id;
+  report.workload = request.workload;
+  report.cluster = request.cluster;
+  report.model = request.model;
+  report.ok = false;
+  report.error = error;
+  std::scoped_lock state(state_mutex_);
+  record_metrics_locked(report);
+  completed_.push_back({std::move(report), 0, next_sequence_++});
+  completion_cv_.notify_all();
+}
+
+void StreamingService::submit(TuningRequest request) {
+  MasterEntry* entry = nullptr;
+  try {
+    entry = &resolve_entry(request.model);
+  } catch (const std::exception& e) {
+    complete_failed(request, e.what());
+    return;
+  }
+
+  std::shared_ptr<const std::string> blob;
+  const rl::RdperReplay* master_pools = nullptr;
+  std::uint64_t epoch = 0;
+  std::uint64_t sequence = 0;
+  try {
+    std::scoped_lock state(state_mutex_);
+    if (!entry->blob && !runner_) {
+      // First admission of this epoch: serialize the frozen master once;
+      // every session until the next flush clones from this shared blob.
+      std::shared_lock master(entry->mutex);
+      entry->blob = std::make_shared<const std::string>(
+          checkpoint_to_string(entry->model));
+    }
+    blob = entry->blob;
+    epoch = entry->epoch;
+    if (!runner_) {
+      master_pools = dynamic_cast<const rl::RdperReplay*>(
+          entry->model.tuner().replay());
+    }
+    sequence = next_sequence_++;
+    entry->last_used = sequence;
+    ++in_flight_;
+    ++entry->in_flight;
+  } catch (const std::exception& e) {
+    complete_failed(request, e.what());
+    return;
+  }
+
+  (void)pool_.submit([this, entry, blob = std::move(blob), master_pools,
+                      epoch, sequence, request = std::move(request)] {
+    SessionReport report =
+        runner_ ? runner_(request)
+                : run_session(*blob, options_.service.api, request,
+                              master_pools, &entry->mutex);
+    report.model = request.model;
+    on_complete(*entry, request, std::move(report), epoch, sequence);
+  });
+}
+
+void StreamingService::on_complete(MasterEntry& entry,
+                                   const TuningRequest& request,
+                                   SessionReport report, std::uint64_t epoch,
+                                   std::uint64_t sequence) {
+  std::scoped_lock state(state_mutex_);
+  if (report.ok && !report.new_transitions.empty()) {
+    entry.pending.push_back(
+        {request.id, request.seed, request.workload, report.new_transitions});
+  }
+  record_metrics_locked(report);
+  completed_.push_back({std::move(report), epoch, sequence});
+  --in_flight_;
+  --entry.in_flight;
+  completion_cv_.notify_all();
+}
+
+void StreamingService::record_metrics_locked(const SessionReport& report) {
+  if (!report.ok) {
+    ++totals_.sessions_failed;
+    return;
+  }
+  ++totals_.sessions_served;
+  totals_.evaluations_paid += report.report.steps.size();
+  totals_.evaluation_seconds += report.report.total_evaluation_seconds();
+  const double rec = report.report.total_recommendation_seconds();
+  totals_.recommendation_seconds += rec;
+  rec_costs_.add(rec);
+  reward_sum_ += report.mean_reward();
+  speedup_sum_ += report.report.speedup_over_default();
+}
+
+std::optional<StreamReport> StreamingService::poll_completed() {
+  std::scoped_lock state(state_mutex_);
+  if (completed_.empty()) return std::nullopt;
+  StreamReport report = std::move(completed_.front());
+  completed_.pop_front();
+  return report;
+}
+
+std::optional<StreamReport> StreamingService::wait_completed() {
+  std::unique_lock state(state_mutex_);
+  completion_cv_.wait(
+      state, [this] { return !completed_.empty() || in_flight_ == 0; });
+  if (completed_.empty()) return std::nullopt;
+  StreamReport report = std::move(completed_.front());
+  completed_.pop_front();
+  return report;
+}
+
+std::size_t StreamingService::merge_entry_locked(MasterEntry& entry) {
+  if (entry.pending.empty()) return 0;
+  if (entry.stub) {
+    // No real master behind a test-runner entry; the epoch still advances
+    // so transcripts exercise the model-epoch contract.
+    entry.pending.clear();
+    ++entry.epoch;
+    entry.blob.reset();
+    return 0;
+  }
+  // Canonical merge order — ascending (id, seed, workload), never arrival
+  // order — makes the merged master a pure function of the request set.
+  std::sort(entry.pending.begin(), entry.pending.end(),
+            [](const PendingExperience& a, const PendingExperience& b) {
+              return std::tie(a.id, a.seed, a.workload) <
+                     std::tie(b.id, b.seed, b.workload);
+            });
+  std::size_t merged = 0;
+  {
+    std::unique_lock master(entry.mutex);
+    rl::ReplayBuffer* replay = entry.model.tuner().replay();
+    if (replay != nullptr) {
+      for (auto& pending : entry.pending) {
+        for (auto& t : pending.transitions) {
+          replay->add(std::move(t));
+          ++merged;
+        }
+      }
+      if (options_.master_update_steps > 0 &&
+          entry.model.tuner().has_agent()) {
+        // Continuous master update: bounded fine-tune on the refreshed
+        // pools, driven by the master's own checkpointed RNG stream.
+        (void)entry.model.tuner().agent().fine_tune(
+            *replay, entry.model.tuner().rng(), options_.master_update_steps);
+      }
+    }
+  }
+  entry.pending.clear();
+  ++entry.epoch;
+  entry.blob.reset();
+  entry.dirty = true;
+  return merged;
+}
+
+std::size_t StreamingService::flush() {
+  std::shared_lock reg(registry_mutex_);
+  std::unique_lock state(state_mutex_);
+  completion_cv_.wait(state, [this] { return in_flight_ == 0; });
+  std::size_t merged = 0;
+  for (auto& [name, entry] : entries_) merged += merge_entry_locked(*entry);
+  return merged;
+}
+
+std::uint64_t StreamingService::model_epoch(const std::string& name) const {
+  std::shared_lock reg(registry_mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("model '" + name + "' is not resident");
+  }
+  std::scoped_lock state(state_mutex_);
+  return it->second->epoch;
+}
+
+std::string StreamingService::checkpoint_of(const std::string& name) {
+  std::shared_lock reg(registry_mutex_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("model '" + name + "' is not resident");
+  }
+  std::shared_lock master(it->second->mutex);
+  return checkpoint_to_string(it->second->model);
+}
+
+ServiceMetrics StreamingService::metrics() const {
+  std::scoped_lock state(state_mutex_);
+  ServiceMetrics m = totals_;
+  if (m.sessions_served > 0) {
+    m.p50_recommendation_seconds = rec_costs_.quantile(0.50);
+    m.p95_recommendation_seconds = rec_costs_.quantile(0.95);
+    m.mean_session_reward =
+        reward_sum_ / static_cast<double>(m.sessions_served);
+    m.mean_speedup = speedup_sum_ / static_cast<double>(m.sessions_served);
+  }
+  return m;
+}
+
+// ---- framed stream driver -----------------------------------------------
+
+namespace {
+
+std::string error_payload(const std::string& message) {
+  return "{\"error\":\"" + json_escape(message) + "\"}";
+}
+
+std::string strip_newline(std::string s) {
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+std::string report_payload(const StreamReport& report) {
+  std::ostringstream os;
+  write_report_jsonl(os, report.session, report.model_epoch);
+  return strip_newline(std::move(os).str());
+}
+
+}  // namespace
+
+StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
+                                     StreamingService& service) {
+  StreamServeResult result;
+  write_stream_header(out);
+
+  const auto emit_completed = [&](bool drain) {
+    for (;;) {
+      std::optional<StreamReport> report =
+          drain ? service.wait_completed() : service.poll_completed();
+      if (!report) break;
+      if (!report->session.ok) ++result.failed_sessions;
+      write_frame(out, FrameType::kReply, report_payload(*report));
+    }
+  };
+
+  bool reading = true;
+  try {
+    read_stream_header(in);
+  } catch (const WireError& e) {
+    write_frame(out, FrameType::kError, error_payload(e.what()));
+    ++result.protocol_errors;
+    reading = false;
+  }
+
+  std::size_t index = 0;
+  while (reading) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(in);
+    } catch (const WireError& e) {
+      // The stream is length-prefixed: after corrupt framing there is no
+      // resync point, so report it and stop reading. In-flight sessions
+      // still drain below.
+      write_frame(out, FrameType::kError, error_payload(e.what()));
+      ++result.protocol_errors;
+      break;
+    }
+    if (!frame) {
+      write_frame(out, FrameType::kError,
+                  error_payload("wire stream ended before the 'END' frame"));
+      ++result.protocol_errors;
+      break;
+    }
+    switch (frame->type) {
+      case FrameType::kRequest: {
+        ++result.requests;
+        try {
+          service.submit(parse_request_json(frame->payload, index));
+        } catch (const std::exception& e) {
+          // Framing is intact, so a bad payload only loses this request.
+          write_frame(out, FrameType::kError,
+                      error_payload("request " + std::to_string(index) +
+                                    ": " + e.what()));
+          ++result.parse_errors;
+        }
+        ++index;
+        break;
+      }
+      case FrameType::kFlush:
+        emit_completed(/*drain=*/true);
+        (void)service.flush();
+        break;
+      case FrameType::kEnd:
+        result.clean_end = true;
+        reading = false;
+        break;
+      default:
+        // REP/METR/ERR travel server -> client; receiving one is a client
+        // bug but the framing is intact, so the stream continues.
+        write_frame(
+            out, FrameType::kError,
+            error_payload(
+                "unexpected '" +
+                frame_type_name(static_cast<std::uint32_t>(frame->type)) +
+                "' frame from client"));
+        ++result.parse_errors;
+        break;
+    }
+    if (reading) emit_completed(/*drain=*/false);
+  }
+
+  emit_completed(/*drain=*/true);
+  (void)service.flush();
+  std::ostringstream metrics;
+  write_metrics_jsonl(metrics, service.metrics());
+  write_frame(out, FrameType::kMetrics, strip_newline(std::move(metrics).str()));
+  write_frame(out, FrameType::kEnd, "");
+  out.flush();
+  return result;
+}
+
+}  // namespace deepcat::service

@@ -1,0 +1,220 @@
+// StreamingService: the no-barrier serving pipeline over the DeepCAT
+// library. Where TuningService (service.hpp) serves whole batches behind a
+// barrier, StreamingService admits requests as they arrive, runs them on
+// the thread pool with the same clone-on-tune sessions, and hands reports
+// back in completion order. Determinism is preserved by a sequencer
+// discipline instead of a barrier:
+//
+//   - sessions are pure functions of (master snapshot, request): every
+//     request admitted between two flush boundaries is served against the
+//     same frozen epoch snapshot of its model, so a report never depends
+//     on thread count or arrival order;
+//   - at a flush boundary (explicit FLSH frame, end of stream, or model
+//     eviction) the completed sessions' experience is merged into the
+//     master RDPER pools in CANONICAL order — ascending (id, seed,
+//     workload), not arrival order — so the post-merge master state is a
+//     pure function of the request set, not of scheduling;
+//   - after each merge the master takes bounded fine-tune steps
+//     (Td3Agent::fine_tune) — the "continuous master updates" that keep
+//     the shared model learning between requests — and its model epoch
+//     advances; every report carries the epoch that served it.
+//
+// Multi-model routing: requests name a model. The service lazily loads
+// named checkpoints from the ModelRegistry under a shared lock and evicts
+// idle least-recently-used models when more than `max_loaded_models` are
+// resident (merging and republishing their learned state first).
+//
+// Threading contract: submit/flush/poll_completed/wait_completed are
+// driver APIs — call them from one thread (the stream loop). Sessions
+// complete concurrently on the pool; all shared state crossings are
+// internal.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <istream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "core/deepcat_api.hpp"
+#include "service/service.hpp"
+#include "service/session.hpp"
+
+namespace deepcat::service {
+
+struct StreamingOptions {
+  ServiceOptions service;  ///< master/env settings + session pool size
+  /// Bounded fine-tune steps the master takes after each experience merge
+  /// (0 disables continuous master updates).
+  std::size_t master_update_steps = 4;
+  /// Resident-model cap for multi-model routing; idle LRU models beyond
+  /// it are merged, republished and evicted.
+  std::size_t max_loaded_models = 4;
+  /// Registry directory for lazy model loading; empty disables routing
+  /// beyond explicitly loaded/trained models.
+  std::string registry_dir;
+};
+
+/// One completed session plus its serving metadata.
+struct StreamReport {
+  SessionReport session;
+  std::uint64_t model_epoch = 0;  ///< master epoch that served the session
+  std::uint64_t sequence = 0;     ///< admission index (monotonic)
+};
+
+class StreamingService {
+ public:
+  /// Test seam: replaces run_session with a deterministic fake so protocol
+  /// transcripts can be byte-exact without depending on model float math.
+  using SessionRunner = std::function<SessionReport(const TuningRequest&)>;
+
+  explicit StreamingService(StreamingOptions options = {});
+
+  [[nodiscard]] const StreamingOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Explicit model bootstrap (the CLI uses these for the default model;
+  /// other models load lazily from the registry on first request).
+  void train_model(const std::string& name,
+                   const sparksim::WorkloadSpec& workload,
+                   std::size_t iterations);
+  void load_model(const std::string& name, std::istream& is);
+  void load_model_file(const std::string& name, const std::string& path);
+
+  [[nodiscard]] bool has_model(const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> loaded_models() const;
+
+  /// The live master for `name` (throws std::out_of_range when not
+  /// resident). Mutating it while requests are in flight is on the caller.
+  [[nodiscard]] core::DeepCat& master(const std::string& name = "default");
+
+  /// Admits one request; returns immediately. Unknown models and snapshot
+  /// failures surface as a completed ok=false report, never an exception.
+  void submit(TuningRequest request);
+
+  /// Next completed report in completion order, or nullopt if none is
+  /// ready right now (poll) / none will ever arrive because the service is
+  /// idle (wait — it blocks while sessions are in flight).
+  [[nodiscard]] std::optional<StreamReport> poll_completed();
+  [[nodiscard]] std::optional<StreamReport> wait_completed();
+
+  /// Barrier: waits for every in-flight session, merges all pending
+  /// experience (canonical order) into each model, takes the bounded
+  /// master fine-tune steps and advances the epochs of models that
+  /// changed. Returns the number of transitions merged.
+  std::size_t flush();
+
+  /// Monotonic epoch of a resident model (1 = as loaded/trained).
+  [[nodiscard]] std::uint64_t model_epoch(
+      const std::string& name = "default") const;
+
+  /// Serialized checkpoint of a resident model's current state — the
+  /// determinism stress tests hash this across arrival orders.
+  [[nodiscard]] std::string checkpoint_of(
+      const std::string& name = "default");
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+
+  void set_session_runner_for_test(SessionRunner runner) {
+    runner_ = std::move(runner);
+  }
+
+ private:
+  /// Experience of one completed session, keyed for the canonical merge.
+  struct PendingExperience {
+    std::string id;
+    std::uint64_t seed = 0;
+    std::string workload;
+    std::vector<rl::Transition> transitions;
+  };
+
+  /// One resident master model. `mutex` freezes the model while sessions
+  /// sample its pools (shared) and is taken exclusively for merges; the
+  /// bookkeeping fields are guarded by state_mutex_.
+  struct MasterEntry {
+    MasterEntry(const sparksim::ClusterSpec& cluster,
+                const core::DeepCatApiOptions& api)
+        : model(cluster, api) {}
+    core::DeepCat model;
+    std::shared_mutex mutex;
+    std::uint64_t epoch = 1;
+    std::shared_ptr<const std::string> blob;  ///< current epoch snapshot
+    std::size_t in_flight = 0;
+    std::uint64_t last_used = 0;  ///< admission sequence, for LRU eviction
+    std::vector<PendingExperience> pending;
+    bool dirty = false;  ///< merged experience since load (republish on evict)
+    bool stub = false;   ///< test-runner entry without a trained master
+  };
+
+  [[nodiscard]] std::unique_ptr<MasterEntry> make_entry() const;
+  /// Finds or lazily loads the model; throws on unknown names.
+  [[nodiscard]] MasterEntry& resolve_entry(const std::string& name);
+  [[nodiscard]] MasterEntry& ensure_entry_locked(const std::string& name);
+  void complete_failed(const TuningRequest& request, const std::string& error);
+  void on_complete(MasterEntry& entry, const TuningRequest& request,
+                   SessionReport report, std::uint64_t epoch,
+                   std::uint64_t sequence);
+  void record_metrics_locked(const SessionReport& report);
+  /// Merges one entry's pending experience; requires state_mutex_ held and
+  /// no in-flight sessions on the entry. Returns transitions merged.
+  std::size_t merge_entry_locked(MasterEntry& entry);
+  /// Evicts idle LRU entries down to the cap; requires registry_mutex_
+  /// held exclusively.
+  void evict_idle_locked();
+
+  StreamingOptions options_;
+  sparksim::ClusterSpec cluster_;
+  std::optional<ModelRegistry> registry_;
+  SessionRunner runner_;
+
+  /// Guards the entries_ map (lookup shared, lazy load/evict exclusive).
+  mutable std::shared_mutex registry_mutex_;
+  std::map<std::string, std::unique_ptr<MasterEntry>> entries_;
+
+  /// Guards the scheduler state: queues, counters, metrics, entry
+  /// bookkeeping fields.
+  mutable std::mutex state_mutex_;
+  std::condition_variable completion_cv_;
+  std::deque<StreamReport> completed_;
+  std::size_t in_flight_ = 0;
+  std::uint64_t next_sequence_ = 0;
+  ServiceMetrics totals_;
+  common::QuantileTracker rec_costs_;
+  double speedup_sum_ = 0.0;
+  double reward_sum_ = 0.0;
+
+  /// Declared last: its destructor runs every queued session and joins
+  /// before any state above is torn down.
+  common::ThreadPool pool_;
+};
+
+/// Result of driving one framed stream end to end.
+struct StreamServeResult {
+  std::size_t requests = 0;         ///< REQ frames seen (including bad ones)
+  std::size_t failed_sessions = 0;  ///< REP frames with ok=false
+  std::size_t parse_errors = 0;     ///< bad payloads / misdirected frames
+  std::size_t protocol_errors = 0;  ///< corrupt framing (stream abandoned)
+  bool clean_end = false;           ///< explicit END frame received
+};
+
+/// Serves one framed wire stream: reads REQ/FLSH/END frames from `in`,
+/// emits REP frames in completion order, then a final METR frame and an
+/// END frame to `out`. Corrupt framing is unrecoverable (the stream is
+/// length-prefixed), so it yields one ERR frame and stops reading;
+/// malformed request payloads yield an ERR frame each and the stream
+/// continues. In-flight work is always drained and merged before the
+/// final metrics, whatever the input did.
+StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
+                                     StreamingService& service);
+
+}  // namespace deepcat::service

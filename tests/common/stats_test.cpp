@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -165,6 +166,58 @@ TEST(CorrelationTest, SpearmanSizeMismatchThrows) {
   EXPECT_THROW((void)spearman(std::vector<double>{1.0},
                               std::vector<double>{1.0, 2.0}),
                std::invalid_argument);
+}
+
+TEST(QuantileTrackerTest, ExactQuantilesByNearestRank) {
+  QuantileTracker q;
+  for (double x : {40.0, 10.0, 30.0, 20.0}) q.add(x);
+  EXPECT_EQ(q.count(), 4u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 40.0);
+  // Nearest rank over n=4: rank(0.5) = round(0.5 * 3) = 2 -> 30.
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.95), 40.0);
+}
+
+TEST(QuantileTrackerTest, IncrementalMatchesFullSortAtEveryStep) {
+  // The streaming property under test: after EVERY add, quantiles equal
+  // the sort-the-whole-history answer (nearest rank), so a service can
+  // read p50/p95 mid-stream without re-sorting.
+  Rng rng(11);
+  QuantileTracker q;
+  std::vector<double> history;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-100.0, 100.0);
+    q.add(x);
+    history.push_back(x);
+    std::vector<double> sorted = history;
+    std::sort(sorted.begin(), sorted.end());
+    for (const double p : {0.0, 0.25, 0.5, 0.9, 0.95, 1.0}) {
+      const auto rank = static_cast<std::size_t>(
+          p * static_cast<double>(sorted.size() - 1) + 0.5);
+      EXPECT_DOUBLE_EQ(q.quantile(p),
+                       sorted[std::min(rank, sorted.size() - 1)])
+          << "n=" << history.size() << " p=" << p;
+    }
+  }
+}
+
+TEST(QuantileTrackerTest, EmptyIsZeroAndPIsClamped) {
+  QuantileTracker q;
+  EXPECT_EQ(q.count(), 0u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 0.0);
+  q.add(7.0);
+  EXPECT_DOUBLE_EQ(q.quantile(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(q.quantile(2.0), 7.0);
+}
+
+TEST(QuantileTrackerTest, DuplicatesAndDescendingInserts) {
+  QuantileTracker q;
+  for (double x : {5.0, 5.0, 4.0, 3.0, 2.0, 1.0, 5.0}) q.add(x);
+  EXPECT_EQ(q.count(), 7u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 4.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
 }
 
 }  // namespace

@@ -1,0 +1,85 @@
+// Seeded corruption engine shared by the ctest fuzz suites
+// (tests/service/wire_fuzz_test.cpp) and the standalone corpus generator
+// (tests/fuzz/fuzz_wire_main.cpp, target deepcat_fuzz_wire).
+//
+// Mutant index space for a base stream of N bytes:
+//   [0, N)            truncation at every byte boundary
+//   [N, 9N)           single-bit flip of every bit of every byte
+//   [9N, ...)         seeded splices: a range copied from one offset over
+//                     another (lengths may change), modeling reordered or
+//                     cross-wired frames whose payload CRCs are still valid
+//
+// The first 9N mutants are exhaustive and identical for every seed; only
+// the splice tail draws on the seed. A decoder passes the corpus iff every
+// mutant either decodes cleanly or raises the decoder's typed error —
+// anything else (std::bad_alloc from a hostile length, std::length_error,
+// a crash) is a finding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace deepcat::fuzz {
+
+/// Number of exhaustive (truncation + bit-flip) mutants for a base stream.
+[[nodiscard]] inline std::size_t exhaustive_mutants(
+    const std::string& base) noexcept {
+  return base.size() * 9;
+}
+
+/// Deterministic mutant `index` of `base`. `desc` (optional) receives a
+/// human-readable description for failure messages.
+[[nodiscard]] inline std::string make_mutant(const std::string& base,
+                                             std::uint64_t seed,
+                                             std::size_t index,
+                                             std::string* desc = nullptr) {
+  const std::size_t n = base.size();
+  if (index < n) {
+    if (desc) *desc = "truncate at byte " + std::to_string(index);
+    return base.substr(0, index);
+  }
+  index -= n;
+  if (index < n * 8) {
+    const std::size_t byte = index / 8;
+    const std::size_t bit = index % 8;
+    if (desc) {
+      *desc = "flip bit " + std::to_string(bit) + " of byte " +
+              std::to_string(byte);
+    }
+    std::string mutant = base;
+    mutant[byte] = static_cast<char>(
+        static_cast<unsigned char>(mutant[byte]) ^ (1u << bit));
+    return mutant;
+  }
+  index -= n * 8;
+  common::Rng rng(common::mix_seed(seed, index));
+  const std::size_t src = rng.index(n);
+  const std::size_t src_len = rng.index(n - src) + 1;
+  const std::size_t dst = rng.index(n);
+  const std::size_t dst_len = rng.index(n - dst) + 1;
+  if (desc) {
+    *desc = "splice [" + std::to_string(src) + ", +" +
+            std::to_string(src_len) + ") over [" + std::to_string(dst) +
+            ", +" + std::to_string(dst_len) + ")";
+  }
+  std::string mutant = base.substr(0, dst);
+  mutant += base.substr(src, src_len);
+  mutant += base.substr(dst + dst_len);
+  return mutant;
+}
+
+/// True when mutant `index` is a single-bit flip inside the byte range
+/// [lo, hi) of the base stream (e.g. the version field, whose corruption
+/// may legally decode as an older protocol version).
+[[nodiscard]] inline bool is_bit_flip_in(const std::string& base,
+                                         std::size_t index, std::size_t lo,
+                                         std::size_t hi) noexcept {
+  const std::size_t n = base.size();
+  if (index < n || index >= n * 9) return false;
+  const std::size_t byte = (index - n) / 8;
+  return byte >= lo && byte < hi;
+}
+
+}  // namespace deepcat::fuzz

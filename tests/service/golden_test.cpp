@@ -1,0 +1,173 @@
+// Golden-transcript tests for the `deepcat serve --stream` engine: the
+// serve loop's output for a checked-in input conversation must be
+// byte-exact against the committed .golden files in
+// tests/service/golden/.
+//
+// The happy path runs through the injectable SessionRunner seam with
+// integer-valued reports, so its bytes are independent of the SIMD
+// backend and libm; the error-path transcripts (unknown model, malformed
+// frame, mid-stream EOF) drive the REAL service — those paths never
+// evaluate a float, so they are byte-stable everywhere.
+//
+// Regeneration (after an intentional protocol or payload change):
+//
+//   DEEPCAT_UPDATE_GOLDEN=1 ./build/tests/service_test \
+//       --gtest_filter='GoldenTranscriptTest.*'
+//
+// then commit the rewritten tests/service/golden/*.golden files. See
+// tests/README.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "service/streaming.hpp"
+#include "service/wire.hpp"
+
+namespace deepcat::service {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(DEEPCAT_GOLDEN_DIR) + "/" + name;
+}
+
+void check_golden(const std::string& name, const std::string& actual) {
+  const std::string path = golden_path(name);
+  if (std::getenv("DEEPCAT_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out) << "cannot write golden file " << path;
+    out.write(actual.data(), static_cast<std::streamsize>(actual.size()));
+    GTEST_LOG_(INFO) << "updated golden file " << path;
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — regenerate with DEEPCAT_UPDATE_GOLDEN=1 (see "
+                     "tests/README.md)";
+  std::ostringstream buf(std::ios::binary);
+  buf << in.rdbuf();
+  const std::string expected = std::move(buf).str();
+  if (expected == actual) return;
+  std::size_t first_diff = 0;
+  while (first_diff < expected.size() && first_diff < actual.size() &&
+         expected[first_diff] == actual[first_diff]) {
+    ++first_diff;
+  }
+  FAIL() << "transcript " << name << " diverged from its golden file: "
+         << "expected " << expected.size() << " bytes, got " << actual.size()
+         << ", first difference at offset " << first_diff
+         << ". If the change is intentional, regenerate with "
+            "DEEPCAT_UPDATE_GOLDEN=1 and commit the new golden file.";
+}
+
+/// Deterministic integer-valued session: bytes depend only on the request,
+/// never on model float math or the SIMD backend.
+SessionReport fake_session(const TuningRequest& r) {
+  SessionReport report;
+  report.id = r.id;
+  report.workload = r.workload;
+  report.cluster = r.cluster;
+  report.ok = true;
+  report.report.default_time = 128;
+  report.report.best_time = 64;
+  for (int s = 1; s <= r.max_steps; ++s) {
+    tuners::TuningStepRecord step;
+    step.step = s;
+    step.exec_seconds = 64;
+    step.reward = 1;
+    step.success = true;
+    step.recommendation_seconds = 2;
+    step.best_so_far = 64;
+    report.report.steps.push_back(step);
+  }
+  rl::Transition t;
+  t.state = {1, 2};
+  t.action = {3};
+  t.reward = 1;
+  t.next_state = {2, 3};
+  report.new_transitions.push_back(t);
+  return report;
+}
+
+std::string serve(const std::string& input, bool with_fake_runner) {
+  StreamingOptions options;
+  options.service.threads = 1;  // completion order == submission order
+  StreamingService svc(options);
+  if (with_fake_runner) svc.set_session_runner_for_test(fake_session);
+  std::istringstream in(input, std::ios::binary);
+  std::ostringstream out(std::ios::binary);
+  (void)serve_frame_stream(in, out, svc);
+  return std::move(out).str();
+}
+
+TEST(GoldenTranscriptTest, HappyPathWithFlush) {
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"a\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":11}"},
+      {FrameType::kRequest,
+       "{\"id\":\"b\",\"workload\":\"PR-D2\",\"cluster\":\"b\","
+       "\"steps\":2,\"seed\":12,\"model\":\"default\"}"},
+      {FrameType::kFlush, ""},
+      {FrameType::kRequest,
+       "{\"id\":\"c\",\"workload\":\"KM-D3\",\"steps\":3,\"seed\":13}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("happy_path.golden", serve(input, /*with_fake_runner=*/true));
+}
+
+TEST(GoldenTranscriptTest, UnknownModelYieldsFailedReport) {
+  // Real service, no registry: admission fails synchronously with a typed
+  // report. No session runs, so no float ever enters the transcript.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"lost\",\"workload\":\"TS-D1\",\"model\":\"ghost\"}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("unknown_model.golden", serve(input, /*with_fake_runner=*/false));
+}
+
+TEST(GoldenTranscriptTest, MalformedFrameAbandonsStream) {
+  std::string input = encode_frames({
+      {FrameType::kRequest, "{\"id\":\"x\",\"workload\":\"TS-D1\"}"},
+      {FrameType::kEnd, ""},
+  });
+  input[input.size() - 1] ^= 0x40;  // corrupt the END frame's CRC
+  // The REQ still parses (it precedes the corruption) but its model is
+  // unserved in a registry-less service, so the transcript is float-free.
+  check_golden("malformed_frame.golden",
+               serve(input, /*with_fake_runner=*/false));
+}
+
+TEST(GoldenTranscriptTest, MidStreamEofIsAProtocolError) {
+  std::string input = encode_frames({
+      {FrameType::kRequest, "{\"id\":\"y\",\"workload\":\"WC-D1\"}"},
+      {FrameType::kEnd, ""},
+  });
+  // Drop the END frame entirely: EOF lands at a frame boundary, which the
+  // serve driver must still report — only an explicit END is a clean end.
+  input.resize(input.size() - 16);
+  check_golden("midstream_eof.golden", serve(input, /*with_fake_runner=*/false));
+}
+
+TEST(GoldenTranscriptTest, GoldenTranscriptsDecodeAsValidWireStreams) {
+  // Meta-check: every committed golden transcript is itself a well-formed
+  // DCWP stream ending in METR + END (the fuzz invariant, applied to our
+  // own outputs).
+  for (const char* name : {"happy_path.golden", "unknown_model.golden",
+                           "malformed_frame.golden", "midstream_eof.golden"}) {
+    std::ifstream in(golden_path(name), std::ios::binary);
+    ASSERT_TRUE(in) << "missing golden file " << name
+                    << " — regenerate with DEEPCAT_UPDATE_GOLDEN=1";
+    std::ostringstream buf(std::ios::binary);
+    buf << in.rdbuf();
+    const auto frames = decode_frames(std::move(buf).str());
+    ASSERT_GE(frames.size(), 2u) << name;
+    EXPECT_EQ(frames[frames.size() - 1].type, FrameType::kEnd) << name;
+    EXPECT_EQ(frames[frames.size() - 2].type, FrameType::kMetrics) << name;
+  }
+}
+
+}  // namespace
+}  // namespace deepcat::service
