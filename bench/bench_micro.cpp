@@ -8,7 +8,9 @@
 //   bench_micro --json[=path]  kernel benchmark: times every GEMM/fused
 //                              kernel on both the scalar reference path and
 //                              the runtime-dispatched path, reports GFLOP/s
-//                              + ns/iter + speedup as JSON (the committed
+//                              + ns/iter + speedup through the obs metrics
+//                              exporter — a build-info line followed by one
+//                              gauge line per statistic (the committed
 //                              BENCH_kernels.json perf baseline).
 #include <benchmark/benchmark.h>
 
@@ -25,6 +27,8 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "gp/gp_regressor.hpp"
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
 #include "nn/mlp.hpp"
 #include "rl/replay_rdper.hpp"
 #include "rl/td3.hpp"
@@ -268,29 +272,31 @@ int run_kernel_bench_json(const std::string& path) {
                                 }));
   }
 
-  std::ostringstream json;
-  json.setf(std::ios::fixed);
-  json.precision(2);
-  json << "{\n";
-  json << "  \"bench\": \"deepcat kernel microbenchmarks\",\n";
-  json << "  \"vector_backend\": \"" << common::simd::backend_name()
-       << "\",\n";
-  json << "  \"vector_available\": "
-       << (common::simd::vectorized_active() ? "true" : "false") << ",\n";
-  json << "  \"kernels\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& r = results[i];
-    const double s_gflops = r.flops > 0.0 ? r.flops / r.scalar_ns : 0.0;
-    const double v_gflops = r.flops > 0.0 ? r.flops / r.vector_ns : 0.0;
-    json << "    {\"name\": \"" << r.name << "\", \"shape\": \"" << r.shape
-         << "\", \"scalar_ns\": " << r.scalar_ns
-         << ", \"vector_ns\": " << r.vector_ns
-         << ", \"scalar_gflops\": " << s_gflops
-         << ", \"vector_gflops\": " << v_gflops
-         << ", \"speedup\": " << r.scalar_ns / r.vector_ns << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
+  // Export through the observability layer instead of a private
+  // serializer: line 1 is the same build-info object `deepcat info --json`
+  // and the METR frame carry, the rest is the obs metrics exporter — one
+  // gauge per kernel statistic. Anything that learns to read --metrics-out
+  // files reads this baseline for free.
+  obs::MetricsRegistry registry;
+  for (const auto& r : results) {
+    const std::string prefix = "kernel." + r.name + "." + r.shape;
+    registry.gauge(prefix + ".scalar_ns").set(r.scalar_ns);
+    registry.gauge(prefix + ".vector_ns").set(r.vector_ns);
+    if (r.flops > 0.0) {
+      registry.gauge(prefix + ".scalar_gflops").set(r.flops / r.scalar_ns);
+      registry.gauge(prefix + ".vector_gflops").set(r.flops / r.vector_ns);
+    }
+    registry.gauge(prefix + ".speedup").set(r.scalar_ns / r.vector_ns);
   }
-  json << "  ]\n}\n";
+  const auto dispatches = common::simd::dispatch_counts();
+  registry.counter("simd.vector_dispatches").add(dispatches.vector_calls);
+  registry.counter("simd.scalar_dispatches").add(dispatches.scalar_calls);
+
+  std::ostringstream json;
+  json << "{\"bench\":\"deepcat kernel microbenchmarks\",\"build\":";
+  obs::write_build_info_json(json, obs::current_build_info());
+  json << "}\n";
+  registry.write_jsonl(json);
 
   if (path.empty()) {
     std::cout << json.str();

@@ -2,15 +2,22 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <vector>
 
 #include "common/table.hpp"
 #include "core/deepcat_api.hpp"
+#include "obs/build_info.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "service/jsonl.hpp"
 #include "service/service.hpp"
 #include "service/streaming.hpp"
+#include "service/wire.hpp"
 #include "sparksim/config_export.hpp"
 #include "sparksim/job_sim.hpp"
 
@@ -66,6 +73,8 @@ ConfigValues config_from_assignments(const ParsedArgs& args) {
 void print_usage(std::ostream& os) {
   os << "usage: deepcat <command> [flags]\n\n"
         "commands:\n"
+        "  info [--json 1]             build version, numeric backend,\n"
+        "      [--threads 0]           thread-pool size\n"
         "  knobs                       list the 32 tuned parameters\n"
         "  suite                       list the HiBench workload registry\n"
         "  simulate --workload TS      run the cluster simulator once\n"
@@ -81,9 +90,12 @@ void print_usage(std::ostream& os) {
         "      [--threads 0] [--cluster a|b] [--seed 1] [--publish 1]\n"
         "  serve --stream 1            serve a framed wire stream (DCWP)\n"
         "      --checkpoint dir/ [--in wire.bin] [--out wire.bin]\n"
+        "      [--requests file.jsonl]  (framed as REQ* + END; excludes --in)\n"
         "      [--socket /path.sock] [--model default] [--master-steps 4]\n"
         "      [--max-models 4] [--train-iters 0] [--train-workload TS]\n"
         "      [--threads 0] [--cluster a|b] [--seed 1]\n"
+        "      [--trace-out trace.json] [--metrics-out metrics.jsonl]\n"
+        "      [--clock steady|logical]\n"
         "      (without --in/--socket reads stdin; without --out/--socket\n"
         "       writes the wire bytes to stdout and stays otherwise silent)\n";
 }
@@ -149,6 +161,30 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
   options.max_loaded_models =
       static_cast<std::size_t>(args.number_or("max-models", 4));
   options.registry_dir = checkpoint_dir;
+
+  // Observability taps: --trace-out/--metrics-out turn the sink on for the
+  // whole stack (service spans, tuner losses, GP timings). --clock logical
+  // makes the trace/metrics deterministic for golden comparisons.
+  const auto trace_out = args.flag("trace-out");
+  const auto metrics_out = args.flag("metrics-out");
+  std::unique_ptr<obs::Clock> clock;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::MetricsRegistry> metrics_registry;
+  if (trace_out || metrics_out) {
+    const std::string clock_kind = args.flag_or("clock", "steady");
+    if (clock_kind == "logical") {
+      clock = std::make_unique<obs::LogicalClock>();
+    } else if (clock_kind == "steady") {
+      clock = std::make_unique<obs::SteadyClock>();
+    } else {
+      throw std::invalid_argument("serve: unknown --clock '" + clock_kind +
+                                  "' (use steady or logical)");
+    }
+    metrics_registry = std::make_unique<obs::MetricsRegistry>();
+    tracer = std::make_unique<obs::Tracer>(*clock);
+    options.service.obs.metrics = metrics_registry.get();
+    options.service.obs.tracer = tracer.get();
+  }
 
   // Wire bytes to stdout (no --out / --socket) must stay pure protocol, so
   // status text is suppressed in that mode.
@@ -225,8 +261,32 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
 #endif
   } else {
     std::ifstream in_file;
+    std::istringstream synth_in(std::ios::binary);
     std::istream* in = &std::cin;
-    if (const auto in_path = args.flag("in")) {
+    if (const auto req_path = args.flag("requests")) {
+      // Human-writable bridge: frame each JSONL request line as a REQ and
+      // append a clean END, so smoke tests don't need a wire encoder.
+      if (args.flag("in")) {
+        throw std::invalid_argument(
+            "serve: --requests and --in are mutually exclusive in stream "
+            "mode");
+      }
+      std::ifstream req(*req_path);
+      if (!req) {
+        throw std::invalid_argument("serve: cannot open requests file '" +
+                                    *req_path + "'");
+      }
+      std::vector<std::pair<service::FrameType, std::string>> frames;
+      std::string line;
+      while (std::getline(req, line)) {
+        if (!line.empty()) {
+          frames.emplace_back(service::FrameType::kRequest, line);
+        }
+      }
+      frames.emplace_back(service::FrameType::kEnd, "");
+      synth_in.str(service::encode_frames(frames));
+      in = &synth_in;
+    } else if (const auto in_path = args.flag("in")) {
       in_file.open(*in_path, std::ios::binary);
       if (!in_file) {
         throw std::invalid_argument("serve: cannot open wire input '" +
@@ -247,6 +307,25 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
     result = service::serve_frame_stream(*in, *out, svc);
   }
 
+  if (trace_out) {
+    std::ofstream tf(*trace_out, std::ios::trunc);
+    if (!tf) {
+      throw std::invalid_argument("serve: cannot open trace output '" +
+                                  *trace_out + "'");
+    }
+    tracer->write_chrome_trace(tf);
+    if (!quiet) os << "wrote trace to " << *trace_out << '\n';
+  }
+  if (metrics_out) {
+    std::ofstream mf(*metrics_out, std::ios::trunc);
+    if (!mf) {
+      throw std::invalid_argument("serve: cannot open metrics output '" +
+                                  *metrics_out + "'");
+    }
+    metrics_registry->write_jsonl(mf);
+    if (!quiet) os << "wrote metrics to " << *metrics_out << '\n';
+  }
+
   if (!quiet) {
     os << "stream done: " << result.requests << " requests, "
        << result.failed_sessions << " failed sessions, "
@@ -258,6 +337,24 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
 }
 
 }  // namespace
+
+int cmd_info(const ParsedArgs& args, std::ostream& os) {
+  // Reports what THIS process would actually use: the backend comes from
+  // the live dispatch decision (CPU features + DEEPCAT_FORCE_SCALAR), not
+  // from compile flags alone.
+  const obs::BuildInfo info = obs::current_build_info(
+      static_cast<std::size_t>(args.number_or("threads", 0)));
+  if (args.number_or("json", 0) != 0.0) {
+    obs::write_build_info_json(os, info);
+    os << '\n';
+    return 0;
+  }
+  os << "deepcat " << info.version << '\n'
+     << "numeric backend:  " << info.backend << '\n'
+     << "simd compiled:    " << (info.simd_compiled ? "yes" : "no") << '\n'
+     << "thread-pool size: " << info.threads << '\n';
+  return 0;
+}
 
 int cmd_knobs(const ParsedArgs& /*args*/, std::ostream& os) {
   const ConfigSpace& space = pipeline_space();
@@ -461,6 +558,7 @@ int cmd_serve(const ParsedArgs& args, std::ostream& os) {
 int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
   try {
     const ParsedArgs args = parse_args(argv);
+    if (args.command == "info") return cmd_info(args, os);
     if (args.command == "knobs") return cmd_knobs(args, os);
     if (args.command == "suite") return cmd_suite(args, os);
     if (args.command == "simulate") return cmd_simulate(args, os);

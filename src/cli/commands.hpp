@@ -9,6 +9,10 @@
 
 namespace deepcat::cli {
 
+/// `deepcat info [--json 1] [--threads N]` — print build version, the
+/// numeric backend the live dispatch actually selects, and pool size.
+int cmd_info(const ParsedArgs& args, std::ostream& os);
+
 /// `deepcat knobs` — print the 32-knob inventory.
 int cmd_knobs(const ParsedArgs& args, std::ostream& os);
 

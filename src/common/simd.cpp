@@ -1,6 +1,7 @@
 #include "common/simd.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
@@ -35,6 +36,17 @@ bool detect_vector_backend() noexcept {
 // Capability is fixed at first use; force_scalar() layers on top.
 const bool g_vector_capable = detect_vector_backend();
 bool g_force_scalar = false;
+
+// Dispatch accounting for the chunky kernels (GEMM family + fused Adam).
+// Relaxed single atomics, not stripes: these kernels run for microseconds
+// per call, so one fetch_add per call is noise.
+std::atomic<unsigned long long> g_vector_dispatches{0};
+std::atomic<unsigned long long> g_scalar_dispatches{0};
+
+inline void count_dispatch(bool vectorized) noexcept {
+  (vectorized ? g_vector_dispatches : g_scalar_dispatches)
+      .fetch_add(1, std::memory_order_relaxed);
+}
 
 // ---- scalar reference kernels ------------------------------------------
 
@@ -539,6 +551,18 @@ const char* backend_name() noexcept {
 
 void force_scalar(bool on) noexcept { g_force_scalar = on; }
 
+bool vector_compiled() noexcept { return DEEPCAT_SIMD_X86 != 0; }
+
+DispatchCounts dispatch_counts() noexcept {
+  return {g_vector_dispatches.load(std::memory_order_relaxed),
+          g_scalar_dispatches.load(std::memory_order_relaxed)};
+}
+
+void reset_dispatch_counts() noexcept {
+  g_vector_dispatches.store(0, std::memory_order_relaxed);
+  g_scalar_dispatches.store(0, std::memory_order_relaxed);
+}
+
 double dot(const double* a, const double* b, std::size_t n) noexcept {
 #if DEEPCAT_SIMD_X86
   if (vectorized_active()) return dot_avx2(a, b, n);
@@ -581,6 +605,7 @@ void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept {
 void adam_update(double* value, const double* grad, double* m, double* v,
                  std::size_t n, double scale, double beta1, double beta2,
                  double bc1, double bc2, double lr, double eps) noexcept {
+  count_dispatch(vectorized_active());
 #if DEEPCAT_SIMD_X86
   if (vectorized_active()) {
     adam_update_avx2(value, grad, m, v, n, scale, beta1, beta2, bc1, bc2, lr,
@@ -596,6 +621,7 @@ void adam_update_clipped(const AdamTensor* tensors, std::size_t count,
                          double grad_clip, double beta1, double beta2,
                          double bc1, double bc2, double lr,
                          double eps) noexcept {
+  count_dispatch(vectorized_active());
 #if DEEPCAT_SIMD_X86
   if (vectorized_active()) {
     adam_update_clipped_avx2(tensors, count, grad_clip, beta1, beta2, bc1,
@@ -610,6 +636,7 @@ void adam_update_clipped(const AdamTensor* tensors, std::size_t count,
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc) noexcept {
+  count_dispatch(vectorized_active());
 #if DEEPCAT_SIMD_X86
   if (vectorized_active()) {
     gemm_nn_avx2(m, n, k, a, lda, b, ldb, c, ldc);
@@ -622,6 +649,7 @@ void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
 void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc) noexcept {
+  count_dispatch(vectorized_active());
 #if DEEPCAT_SIMD_X86
   if (vectorized_active()) {
     gemm_tn_avx2(m, n, k, a, lda, b, ldb, c, ldc);
@@ -634,6 +662,7 @@ void gemm_tn(std::size_t m, std::size_t n, std::size_t k, const double* a,
 void gemm_nt(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc) noexcept {
+  count_dispatch(vectorized_active());
 #if DEEPCAT_SIMD_X86
   if (vectorized_active()) {
     gemm_nt_avx2(m, n, k, a, lda, b, ldb, c, ldc);

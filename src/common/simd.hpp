@@ -34,6 +34,30 @@ namespace deepcat::common::simd {
 /// toggle only from a single thread with no kernels in flight.
 void force_scalar(bool on) noexcept;
 
+/// True when the AVX2 kernels were compiled in at all (x86 target and no
+/// -DDEEPCAT_DISABLE_SIMD). vectorized_active() can still be false at
+/// runtime (CPU support, DEEPCAT_FORCE_SCALAR, force_scalar()).
+[[nodiscard]] bool vector_compiled() noexcept;
+
+// ---- Backend-dispatch accounting ----------------------------------------
+// Counts how many *chunky* kernel calls resolved to each backend — the
+// GEMM family and the fused Adam steps, one increment per call. The tiny
+// level-1 primitives (dot/axpy/sum) are deliberately uncounted: dot runs
+// per matrix row inside the GP Cholesky, so even a relaxed fetch_add
+// there would be a measurable hot-path tax. The obs layer folds these
+// totals into metrics snapshots and `deepcat info`.
+
+struct DispatchCounts {
+  unsigned long long vector_calls = 0;
+  unsigned long long scalar_calls = 0;
+};
+
+/// Snapshot of the process-wide dispatch counters.
+[[nodiscard]] DispatchCounts dispatch_counts() noexcept;
+
+/// Zeroes both counters (tests and bench runs isolate their own windows).
+void reset_dispatch_counts() noexcept;
+
 // ---- Level-1 primitives -------------------------------------------------
 
 /// Inner product sum(a[i] * b[i]).

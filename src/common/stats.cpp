@@ -45,8 +45,21 @@ double RunningStats::variance() const noexcept {
 
 double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
+QuantileTracker::QuantileTracker(std::size_t max_samples) noexcept
+    : max_samples_(max_samples == 0 ? 0 : std::max<std::size_t>(max_samples, 2)) {}
+
 void QuantileTracker::add(double x) {
   sorted_.insert(std::upper_bound(sorted_.begin(), sorted_.end(), x), x);
+  ++total_;
+  if (max_samples_ != 0 && sorted_.size() > max_samples_) {
+    // Halve by keeping even ranks of the sorted set; force-keep the last
+    // element so quantile(1.0) still reports the retained maximum.
+    std::vector<double> kept;
+    kept.reserve(sorted_.size() / 2 + 1);
+    for (std::size_t i = 0; i < sorted_.size(); i += 2) kept.push_back(sorted_[i]);
+    if (kept.back() != sorted_.back()) kept.push_back(sorted_.back());
+    sorted_ = std::move(kept);
+  }
 }
 
 double QuantileTracker::quantile(double p) const noexcept {

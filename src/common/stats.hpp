@@ -30,24 +30,49 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Exact streaming quantiles by sorted insertion. add() keeps the sample
-/// set ordered (binary-search insert), so quantile() is an O(1) nearest-rank
-/// lookup at any point in the stream — no batch barrier, no re-sort, and the
-/// answer is exact (not a sketch), identical to sorting the samples seen so
-/// far. The service layer uses it for p50/p95 recommendation cost over an
-/// unbounded request stream.
+/// Streaming quantiles by sorted insertion. add() keeps the sample set
+/// ordered (binary-search insert), so quantile() is an O(1) nearest-rank
+/// lookup at any point in the stream — no batch barrier, no re-sort.
+///
+/// Two modes:
+///   * exact (default, max_samples = 0): every sample is retained and the
+///     answer is identical to sorting the samples seen so far.
+///   * bounded (max_samples > 0): once the retained set would exceed the
+///     cap, it is compacted to half by keeping every second sample of the
+///     sorted set (even ranks, plus the last sample so the maximum
+///     survives). The retained set stays an order-statistics skeleton of
+///     everything seen, so quantiles degrade gracefully (error is at most
+///     one skeleton gap) while memory stays O(max_samples). Compaction is
+///     a pure function of the retained sorted set, hence deterministic
+///     for a given arrival multiset prefix. Long-lived streaming services
+///     use this mode so an unbounded request stream cannot grow the
+///     tracker without bound.
 class QuantileTracker {
  public:
+  QuantileTracker() = default;
+  /// max_samples = 0 keeps every sample (exact mode); otherwise the
+  /// retained set never exceeds max_samples (minimum enforced cap: 2).
+  explicit QuantileTracker(std::size_t max_samples) noexcept;
+
   void add(double x);
 
+  /// Samples currently retained (== samples seen, in exact mode).
   [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
 
-  /// Nearest-rank quantile, p in [0, 1]: element at round(p * (n-1)) of the
-  /// sorted samples. Returns 0 on an empty tracker.
+  /// Total samples ever added, retained or not.
+  [[nodiscard]] std::size_t total_count() const noexcept { return total_; }
+
+  /// True when compaction has discarded samples (never in exact mode).
+  [[nodiscard]] bool compacted() const noexcept { return total_ != sorted_.size(); }
+
+  /// Nearest-rank quantile over the retained set, p in [0, 1]: element at
+  /// round(p * (n-1)). Returns 0 on an empty tracker.
   [[nodiscard]] double quantile(double p) const noexcept;
 
  private:
   std::vector<double> sorted_;
+  std::size_t max_samples_ = 0;
+  std::size_t total_ = 0;
 };
 
 [[nodiscard]] double mean(std::span<const double> xs) noexcept;

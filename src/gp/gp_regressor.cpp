@@ -1,5 +1,6 @@
 #include "gp/gp_regressor.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 
@@ -60,10 +61,15 @@ GpRegressor::GpRegressor(std::unique_ptr<Kernel> kernel, double noise_var)
   if (noise_var_ < 0.0) throw std::invalid_argument("GpRegressor: noise < 0");
 }
 
+void GpRegressor::set_obs(const obs::Sink& sink) { obs_ = sink; }
+
 void GpRegressor::fit(const nn::Matrix& x, std::span<const double> y) {
   const std::size_t n = x.rows();
   if (n == 0) throw std::invalid_argument("GpRegressor::fit: no samples");
   if (y.size() != n) throw std::invalid_argument("GpRegressor::fit: |y| != n");
+
+  const auto span = obs_.scope("gp.fit");
+  const auto fit_start = std::chrono::steady_clock::now();
 
   y_mean_ = common::mean(y);
   y_std_ = common::stddev(y);
@@ -86,6 +92,18 @@ void GpRegressor::fit(const nn::Matrix& x, std::span<const double> y) {
   chol_ = cholesky(std::move(k));
   alpha_ = cholesky_solve(chol_, y_norm);
   y_norm_ = std::move(y_norm);
+
+  if (obs_.metrics != nullptr) {
+    obs_.metrics->counter("gp.fits").add(1);
+    obs_.metrics->gauge("gp.fit_points").set(static_cast<double>(n));
+    // Wall time is scheduling-dependent by nature; flag it so the
+    // deterministic snapshot export skips it.
+    obs_.metrics
+        ->gauge("gp.fit_seconds", /*deterministic=*/false)
+        .set(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           fit_start)
+                 .count());
+  }
 }
 
 double GpRegressor::log_marginal_likelihood() const {

@@ -8,6 +8,7 @@
 
 #include "gp/kernel.hpp"
 #include "nn/matrix.hpp"
+#include "obs/sink.hpp"
 
 namespace deepcat::gp {
 
@@ -44,6 +45,11 @@ class GpRegressor {
   /// Used for hyperparameter (length-scale) selection. Requires fit().
   [[nodiscard]] double log_marginal_likelihood() const;
 
+  /// Attaches observability: each fit() then records a "gp.fit" span, a
+  /// gp.fits counter, the sample count, and its wall time (the wall-time
+  /// gauge registers as nondeterministic — see DESIGN.md §10).
+  void set_obs(const obs::Sink& sink);
+
  private:
   std::unique_ptr<Kernel> kernel_;
   double noise_var_;
@@ -53,6 +59,7 @@ class GpRegressor {
   std::vector<double> y_norm_;    ///< standardized targets (for LML)
   double y_mean_ = 0.0;
   double y_std_ = 1.0;
+  obs::Sink obs_{};
 };
 
 /// In-place Cholesky of a symmetric positive-definite matrix; returns the

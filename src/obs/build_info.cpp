@@ -1,0 +1,30 @@
+#include "obs/build_info.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <thread>
+
+#include "common/simd.hpp"
+
+namespace deepcat::obs {
+
+BuildInfo current_build_info(std::size_t threads) {
+  BuildInfo info;
+  info.version = kDeepCatVersion;
+  info.backend = common::simd::backend_name();
+  info.simd_compiled = common::simd::vector_compiled();
+  info.threads =
+      threads != 0 ? threads
+                   : static_cast<std::size_t>(std::max(
+                         1u, std::thread::hardware_concurrency()));
+  return info;
+}
+
+void write_build_info_json(std::ostream& os, const BuildInfo& info) {
+  os << "{\"version\":\"" << info.version << "\",\"backend\":\""
+     << info.backend << "\",\"simd_compiled\":"
+     << (info.simd_compiled ? "true" : "false")
+     << ",\"threads\":" << info.threads << '}';
+}
+
+}  // namespace deepcat::obs

@@ -1,0 +1,25 @@
+#include "obs/clock.hpp"
+
+#include <chrono>
+
+namespace deepcat::obs {
+
+namespace {
+
+std::uint64_t steady_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+SteadyClock::SteadyClock() noexcept : epoch_ns_(steady_now_ns()) {}
+
+std::uint64_t SteadyClock::now_ns() noexcept {
+  const std::uint64_t now = steady_now_ns();
+  return now >= epoch_ns_ ? now - epoch_ns_ : 0;
+}
+
+}  // namespace deepcat::obs

@@ -1,0 +1,70 @@
+// Injectable clocks for the observability layer.
+//
+// Every timestamp the tracer records flows through a Clock, so the same
+// instrumentation serves two masters:
+//
+//   * SteadyClock — monotonic wall time, for real profiling. Trace
+//     durations mean what chrome://tracing says they mean.
+//   * LogicalClock — a process-global atomic tick counter. Each now_ns()
+//     call returns the next tick, so timestamps carry *ordering* only,
+//     never scheduling. Two runs that perform the same set of clock reads
+//     produce the same set of timestamps regardless of thread count —
+//     the property the golden-trace tests and the streaming determinism
+//     contract (DESIGN.md §10) are built on.
+//
+// One logical tick renders as one microsecond in the Chrome trace export
+// so nested spans stay visually distinguishable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace deepcat::obs {
+
+/// Nanosecond timestamp source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current timestamp in nanoseconds. Successive calls observe
+  /// non-decreasing values.
+  [[nodiscard]] virtual std::uint64_t now_ns() noexcept = 0;
+
+  /// "logical" or "steady" — stamped into trace metadata so a reader can
+  /// tell whether durations are wall time or tick counts.
+  [[nodiscard]] virtual const char* kind() const noexcept = 0;
+};
+
+/// Deterministic clock: every read consumes one tick (rendered as 1µs).
+/// The timestamp *multiset* over a run is a pure function of how many
+/// reads happened, independent of which threads performed them.
+class LogicalClock final : public Clock {
+ public:
+  [[nodiscard]] std::uint64_t now_ns() noexcept override {
+    return ticks_.fetch_add(1, std::memory_order_relaxed) * 1000u;
+  }
+  [[nodiscard]] const char* kind() const noexcept override {
+    return "logical";
+  }
+
+  /// Ticks consumed so far (equals the number of now_ns() calls).
+  [[nodiscard]] std::uint64_t ticks() const noexcept {
+    return ticks_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> ticks_{0};
+};
+
+/// Monotonic wall clock, zeroed at construction so traces start near t=0.
+class SteadyClock final : public Clock {
+ public:
+  SteadyClock() noexcept;
+  [[nodiscard]] std::uint64_t now_ns() noexcept override;
+  [[nodiscard]] const char* kind() const noexcept override { return "steady"; }
+
+ private:
+  std::uint64_t epoch_ns_ = 0;
+};
+
+}  // namespace deepcat::obs

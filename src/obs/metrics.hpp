@@ -1,0 +1,197 @@
+// MetricsRegistry — named counters, gauges and fixed-bucket histograms,
+// cheap enough for hot paths and deterministic enough for golden tests.
+//
+// Hot-path cost model: increments never take a lock. Counters and the
+// count/sum accumulators inside gauges and histograms are striped across
+// cache-line-aligned atomics (relaxed ordering), so concurrent writers on
+// different cores rarely share a line. Handle lookup (counter()/gauge()/
+// histogram()) takes the registry mutex — call it once at construction
+// time and keep the reference; it stays valid for the registry's lifetime.
+//
+// Determinism contract (DESIGN.md §10): a metric recorded from concurrent
+// sessions must export identically however the scheduler interleaved the
+// writers. That forces two design rules:
+//
+//   1. No floating-point accumulation. Double addition is not associative,
+//      so a racing `sum += x` would make the exported total depend on
+//      interleaving. All real-valued sums accumulate in *fixed point*
+//      (int64 units of 2^-20), whose addition is exact and commutative.
+//      Values round to ~1e-6 absolute — plenty for losses, seconds and
+//      Q-values; exact figures belong in reports, not metrics.
+//   2. Aggregates only, never "last value". A gauge here is the
+//      commutative summary (count, mean, min, max) of every set() call,
+//      because "the last writer" is exactly the thing the scheduler picks.
+//
+// Metrics that are *inherently* scheduling- or wall-clock-dependent
+// (queue depths sampled mid-flight, wall-time durations) register with
+// deterministic=false; the deterministic export skips them, the full
+// export labels them.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace deepcat::obs {
+
+namespace detail {
+
+inline constexpr std::size_t kStripes = 16;
+
+struct alignas(64) StripeU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+struct alignas(64) StripeI64 {
+  std::atomic<std::int64_t> v{0};
+};
+
+/// Stable per-thread stripe index in [0, kStripes).
+[[nodiscard]] std::size_t stripe_index() noexcept;
+
+}  // namespace detail
+
+/// Fixed-point scale for deterministic real-valued accumulation: 2^20
+/// units per 1.0, i.e. ~1e-6 resolution with ±8.7e12 range.
+inline constexpr double kFixedPointScale = 1048576.0;
+
+/// Round a double to fixed-point units. Non-finite values contribute 0 —
+/// a NaN loss must not poison a whole deterministic snapshot.
+[[nodiscard]] std::int64_t to_fixed_point(double v) noexcept;
+[[nodiscard]] double from_fixed_point(std::int64_t units) noexcept;
+
+/// Monotonic event counter. add() is lock-free and relaxed.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    stripes_[detail::stripe_index()].v.fetch_add(n,
+                                                 std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  std::array<detail::StripeU64, detail::kStripes> stripes_{};
+};
+
+/// Commutative summary of a stream of real observations: count, exact
+/// fixed-point sum (-> mean), running min and max. There is deliberately
+/// no "current value" — see the header comment.
+class Gauge {
+ public:
+  Gauge() noexcept;
+
+  void set(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+  /// Min/max over all observations; 0 when empty (never ±inf, so the
+  /// JSONL export stays valid JSON).
+  [[nodiscard]] double min() const noexcept;
+  [[nodiscard]] double max() const noexcept;
+
+ private:
+  std::array<detail::StripeU64, detail::kStripes> count_{};
+  std::array<detail::StripeI64, detail::kStripes> sum_units_{};
+  // +inf/-inf sentinels while empty; accessors report 0 for an empty gauge.
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Fixed-bucket histogram: counts per bucket plus a fixed-point sum for
+/// the mean. Bucket i counts observations <= upper_edges[i] (first
+/// matching edge); one implicit overflow bucket catches the rest.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_edges);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& upper_edges() const noexcept {
+    return edges_;
+  }
+  /// Per-bucket counts; size() == upper_edges().size() + 1 (overflow last).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const noexcept;
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  [[nodiscard]] double mean() const noexcept;
+
+ private:
+  std::vector<double> edges_;  // strictly ascending
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::array<detail::StripeI64, detail::kStripes> sum_units_{};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One exported metric, resolved to plain values.
+struct MetricSnapshot {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  bool deterministic = true;
+  std::uint64_t counter_value = 0;                // counter
+  std::uint64_t count = 0;                        // gauge / histogram
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;                               // gauge
+  double max = 0.0;                               // gauge
+  std::vector<double> edges;                      // histogram
+  std::vector<std::uint64_t> bucket_counts;       // histogram (+overflow)
+};
+
+/// Owner of all metrics. Lookup is by name; re-registering a name returns
+/// the existing instrument (kind and edges must match, else
+/// std::invalid_argument). Handles are stable for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(const std::string& name,
+                                 bool deterministic = true);
+  [[nodiscard]] Gauge& gauge(const std::string& name,
+                             bool deterministic = true);
+  [[nodiscard]] Histogram& histogram(const std::string& name,
+                                     std::vector<double> upper_edges,
+                                     bool deterministic = true);
+
+  [[nodiscard]] std::size_t size() const;
+
+  /// Name-sorted snapshot of every metric's current values. With
+  /// include_nondeterministic=false, scheduling-dependent metrics are
+  /// omitted — this is the byte-stable export the determinism tests
+  /// compare across thread counts.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot(
+      bool include_nondeterministic = true) const;
+
+  /// One JSON object per line, name-sorted, precision 17. Counters:
+  /// {"name","kind":"counter","deterministic",value}. Gauges add
+  /// count/mean/min/max; histograms add count/mean/edges/counts.
+  void write_jsonl(std::ostream& os,
+                   bool include_nondeterministic = true) const;
+
+ private:
+  struct Entry {
+    MetricKind kind = MetricKind::kCounter;
+    bool deterministic = true;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+};
+
+/// Writes one MetricSnapshot as a single JSON object (no newline).
+void write_metric_json(std::ostream& os, const MetricSnapshot& snap);
+
+}  // namespace deepcat::obs

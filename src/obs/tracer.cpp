@@ -1,0 +1,229 @@
+#include "obs/tracer.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace deepcat::obs {
+
+namespace {
+
+void write_json_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        os << c;
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+Tracer::Tracer(Clock& clock, TracerOptions options)
+    : clock_(&clock), options_(options) {
+  if (options_.sample_every == 0) {
+    throw std::invalid_argument("Tracer: sample_every must be >= 1");
+  }
+}
+
+std::uint64_t Tracer::begin_span(std::string name, std::uint64_t parent) {
+  std::lock_guard lock(mutex_);
+  if (parent == 0) {
+    // Which roots survive sampling depends on admission order, so any
+    // sample_every > 1 opts out of cross-interleaving determinism; the
+    // deterministic contract holds at the default of 1.
+    const std::uint64_t seq = roots_seen_++;
+    if (options_.sample_every > 1 && seq % options_.sample_every != 0) {
+      return 0;
+    }
+  }
+  if (records_.size() >= options_.max_spans) {
+    ++dropped_;
+    return 0;
+  }
+  Record rec;
+  rec.name = std::move(name);
+  rec.parent = parent <= records_.size() ? parent : 0;
+  rec.t0 = clock_->now_ns();
+  const auto [it, inserted] = tids_.try_emplace(
+      std::this_thread::get_id(), static_cast<std::uint32_t>(tids_.size()));
+  rec.tid = it->second;
+  records_.push_back(std::move(rec));
+  return records_.size();
+}
+
+void Tracer::end_span(std::uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard lock(mutex_);
+  if (id > records_.size()) return;
+  Record& rec = records_[id - 1];
+  if (rec.ended) return;
+  rec.t1 = clock_->now_ns();
+  rec.ended = true;
+}
+
+std::size_t Tracer::span_count() const {
+  std::lock_guard lock(mutex_);
+  return records_.size();
+}
+
+std::size_t Tracer::dropped_spans() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::write_chrome_trace(std::ostream& os) const {
+  std::lock_guard lock(mutex_);
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"clock\":\""
+     << clock_->kind() << "\",\"tool\":\"deepcat\"},\"traceEvents\":[\n";
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"deepcat\"}}";
+  const auto flags = os.flags();
+  const auto previous = os.precision(3);
+  os.setf(std::ios::fixed, std::ios::floatfield);
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const Record& rec = records_[i];
+    const double ts_us = static_cast<double>(rec.t0) / 1000.0;
+    const double dur_us =
+        rec.ended && rec.t1 >= rec.t0
+            ? static_cast<double>(rec.t1 - rec.t0) / 1000.0
+            : 0.0;
+    os << ",\n{\"name\":";
+    write_json_string(os, rec.name);
+    os << ",\"cat\":\"deepcat\",\"ph\":\"X\",\"ts\":" << ts_us
+       << ",\"dur\":" << dur_us << ",\"pid\":1,\"tid\":" << rec.tid
+       << ",\"args\":{\"id\":" << (i + 1) << ",\"parent\":" << rec.parent
+       << "}}";
+  }
+  os.flags(flags);
+  os.precision(previous);
+  os << "\n]}\n";
+}
+
+std::string Tracer::structure_signature() const {
+  std::lock_guard lock(mutex_);
+  std::map<std::pair<std::string, std::string>, std::uint64_t> edges;
+  for (const Record& rec : records_) {
+    const std::string parent_name =
+        rec.parent == 0 ? std::string() : records_[rec.parent - 1].name;
+    ++edges[{parent_name, rec.name}];
+  }
+  std::ostringstream out;
+  for (const auto& [edge, count] : edges) {
+    out << edge.first << '>' << edge.second << ' ' << count << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+// Splits the top-level objects of a JSON array body by brace matching,
+// skipping string contents. `pos` points just past the '['.
+std::vector<std::string> split_array_objects(const std::string& json,
+                                             std::size_t pos, bool& ok) {
+  std::vector<std::string> objects;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  std::size_t start = std::string::npos;
+  for (; pos < json.size(); ++pos) {
+    const char c = json[pos];
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (depth == 0) start = pos;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0 && start != std::string::npos) {
+        objects.push_back(json.substr(start, pos - start + 1));
+        start = std::string::npos;
+      }
+      if (depth < 0) break;
+    } else if (c == ']' && depth == 0) {
+      ok = true;
+      return objects;
+    }
+  }
+  ok = false;
+  return objects;
+}
+
+}  // namespace
+
+ChromeTraceCheck validate_chrome_trace(const std::string& json) {
+  ChromeTraceCheck check;
+  const std::size_t key = json.find("\"traceEvents\"");
+  if (key == std::string::npos) {
+    check.error = "missing traceEvents key";
+    return check;
+  }
+  const std::size_t open = json.find('[', key);
+  if (open == std::string::npos) {
+    check.error = "traceEvents is not an array";
+    return check;
+  }
+  bool closed = false;
+  const auto objects = split_array_objects(json, open + 1, closed);
+  if (!closed) {
+    check.error = "traceEvents array is not terminated";
+    return check;
+  }
+  for (const auto& obj : objects) {
+    for (const char* field : {"\"name\"", "\"ph\"", "\"ts\"", "\"pid\"",
+                              "\"tid\""}) {
+      if (obj.find(field) == std::string::npos) {
+        // Metadata events carry no ts; allow that one exemption.
+        if (std::string(field) == "\"ts\"" &&
+            obj.find("\"ph\":\"M\"") != std::string::npos) {
+          continue;
+        }
+        check.error = "event missing field " + std::string(field);
+        return check;
+      }
+    }
+    if (obj.find("\"ph\":\"X\"") != std::string::npos) {
+      if (obj.find("\"dur\"") == std::string::npos) {
+        check.error = "complete event missing dur";
+        return check;
+      }
+      ++check.complete_events;
+    }
+  }
+  check.events = objects.size();
+  check.ok = true;
+  return check;
+}
+
+}  // namespace deepcat::obs

@@ -1,0 +1,134 @@
+// Span tracer with explicit parent/child links and an injectable clock,
+// exporting Chrome-trace-format JSON (load the file in chrome://tracing
+// or https://ui.perfetto.dev).
+//
+// Spans are explicit: begin_span() returns an id, the caller threads it to
+// children as `parent`, end_span() closes it. No thread-local implicit
+// stack — in this codebase a request's work hops across pool threads
+// (admission thread -> session worker -> merge under the flush barrier),
+// so "current span" is a property of the request, not the thread. The
+// Sink (sink.hpp) carries the parent id across layer boundaries.
+//
+// Determinism: with a LogicalClock, timestamps are tick numbers and the
+// *structure* of the trace (the multiset of parent-name -> span-name
+// edges) is a pure function of the work performed — invariant across
+// thread counts and arrival shuffles. Tick assignment order still depends
+// on interleaving, so golden tests compare structure_signature(), not
+// bytes. See DESIGN.md §10.
+//
+// Sampling: sample_every = N keeps every Nth *root* span (children of a
+// kept root are always kept; children of a dropped root see parent id 0
+// and are sampled independently as roots). Default 1 = keep everything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/clock.hpp"
+
+namespace deepcat::obs {
+
+struct TracerOptions {
+  /// Keep every Nth root span (1 = all). Must be >= 1.
+  std::size_t sample_every = 1;
+  /// Hard cap on stored spans; beyond it begin_span() drops (returns 0)
+  /// and counts. Bounds memory for unbounded streams.
+  std::size_t max_spans = 1u << 20;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(Clock& clock, TracerOptions options = {});
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] Clock& clock() noexcept { return *clock_; }
+
+  /// Opens a span. parent = 0 means root. Returns the span id (> 0), or 0
+  /// when the span was sampled out or the cap was hit — 0 is always safe
+  /// to pass as a parent and to end_span().
+  [[nodiscard]] std::uint64_t begin_span(std::string name,
+                                         std::uint64_t parent = 0);
+
+  /// Closes a span by id; id 0 is a no-op. Closing twice keeps the first
+  /// end time.
+  void end_span(std::uint64_t id);
+
+  /// RAII helper: ends the span on scope exit.
+  class Span {
+   public:
+    Span(Tracer* tracer, std::uint64_t id) noexcept
+        : tracer_(tracer), id_(id) {}
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span(Span&& other) noexcept : tracer_(other.tracer_), id_(other.id_) {
+      other.tracer_ = nullptr;
+      other.id_ = 0;
+    }
+    ~Span() {
+      if (tracer_ != nullptr) tracer_->end_span(id_);
+    }
+    /// Id to pass to children as their parent.
+    [[nodiscard]] std::uint64_t id() const noexcept { return id_; }
+
+   private:
+    Tracer* tracer_;
+    std::uint64_t id_;
+  };
+
+  [[nodiscard]] Span scope(std::string name, std::uint64_t parent = 0) {
+    return Span(this, begin_span(std::move(name), parent));
+  }
+
+  [[nodiscard]] std::size_t span_count() const;
+  [[nodiscard]] std::size_t dropped_spans() const;
+
+  /// Chrome trace event format: one "X" (complete) event per span with
+  /// ts/dur in microseconds, plus metadata naming the process and the
+  /// clock kind. Unended spans export with dur 0.
+  void write_chrome_trace(std::ostream& os) const;
+
+  /// Deterministic structural digest: name-sorted lines
+  /// "<parent-name>><name> <count>\n" with "" as the root parent. Two
+  /// logical-clock runs of the same work produce identical signatures
+  /// whatever the interleaving.
+  [[nodiscard]] std::string structure_signature() const;
+
+ private:
+  struct Record {
+    std::string name;
+    std::uint64_t parent = 0;
+    std::uint64_t t0 = 0;
+    std::uint64_t t1 = 0;
+    bool ended = false;
+    std::uint32_t tid = 0;
+  };
+
+  Clock* clock_;
+  TracerOptions options_;
+  mutable std::mutex mutex_;
+  std::deque<Record> records_;
+  std::map<std::thread::id, std::uint32_t> tids_;
+  std::uint64_t roots_seen_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Structural validation of a Chrome trace JSON document, for tests and
+/// the CLI smoke checks: verifies the traceEvents array exists, every
+/// event object has name/ph/ts/pid/tid, and "X" events carry dur.
+struct ChromeTraceCheck {
+  bool ok = false;
+  std::size_t events = 0;
+  std::size_t complete_events = 0;
+  std::string error;
+};
+
+[[nodiscard]] ChromeTraceCheck validate_chrome_trace(const std::string& json);
+
+}  // namespace deepcat::obs

@@ -62,7 +62,14 @@ Td3Agent::Td3Agent(Td3Config config, common::Rng& rng)
       critic1_opt_(critic1_.params(),
                    {.lr = config_.critic_lr, .grad_clip = config_.grad_clip}),
       critic2_opt_(critic2_.params(),
-                   {.lr = config_.critic_lr, .grad_clip = config_.grad_clip}) {}
+                   {.lr = config_.critic_lr, .grad_clip = config_.grad_clip}) {
+  if (config_.obs.metrics != nullptr) {
+    obs_train_steps_ = &config_.obs.metrics->counter("rl.train_steps");
+    obs_critic1_loss_ = &config_.obs.metrics->gauge("rl.critic1_loss");
+    obs_critic2_loss_ = &config_.obs.metrics->gauge("rl.critic2_loss");
+    obs_actor_loss_ = &config_.obs.metrics->gauge("rl.actor_loss");
+  }
+}
 
 std::vector<double> Td3Agent::act(std::span<const double> state) {
   if (state.size() != config_.state_dim) {
@@ -172,6 +179,12 @@ Td3TrainStats Td3Agent::train_step(ReplayBuffer& buffer, common::Rng& rng) {
     double q_mean = 0.0;
     for (std::size_t i = 0; i < m; ++i) q_mean += q(i, 0);
     stats.actor_loss = -q_mean / static_cast<double>(m);
+  }
+  if (obs_train_steps_ != nullptr) {
+    obs_train_steps_->add(1);
+    obs_critic1_loss_->set(stats.critic1_loss);
+    obs_critic2_loss_->set(stats.critic2_loss);
+    if (stats.actor_loss) obs_actor_loss_->set(*stats.actor_loss);
   }
   return stats;
 }

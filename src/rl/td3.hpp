@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "nn/adam.hpp"
 #include "nn/mlp.hpp"
+#include "obs/sink.hpp"
 #include "rl/replay.hpp"
 
 namespace deepcat::rl {
@@ -30,6 +31,10 @@ struct Td3Config {
   std::size_t policy_delay = 2;  ///< critic updates per actor update
   std::size_t batch_size = 64;
   double grad_clip = 5.0;
+  /// Observability hand-off (non-owning; default = inert, zero overhead
+  /// beyond a null check). Not serialized by checkpoints — the hosting
+  /// layer re-injects its sink when it materializes an agent.
+  obs::Sink obs{};
 };
 
 /// Losses from one training step (actor_loss absent on non-policy steps).
@@ -96,6 +101,11 @@ class Td3Agent {
   nn::Mlp critic1_, critic2_, critic1_target_, critic2_target_;
   nn::Adam actor_opt_, critic1_opt_, critic2_opt_;
   std::size_t steps_ = 0;
+  // Metric handles resolved once at construction (registry lookups lock).
+  obs::Counter* obs_train_steps_ = nullptr;
+  obs::Gauge* obs_critic1_loss_ = nullptr;
+  obs::Gauge* obs_critic2_loss_ = nullptr;
+  obs::Gauge* obs_actor_loss_ = nullptr;
 };
 
 }  // namespace deepcat::rl

@@ -196,7 +196,9 @@ void write_report_jsonl(std::ostream& os, const SessionReport& r,
   write_report_body(os, r, /*with_routing=*/true, model_epoch);
 }
 
-void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m) {
+namespace {
+
+void write_metrics_body(std::ostream& os, const ServiceMetrics& m) {
   os.precision(17);
   os << "{\"aggregate\":true,\"sessions\":" << m.sessions_served
      << ",\"failed\":" << m.sessions_failed
@@ -206,7 +208,26 @@ void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m) {
      << ",\"p50_rec_seconds\":" << m.p50_recommendation_seconds
      << ",\"p95_rec_seconds\":" << m.p95_recommendation_seconds
      << ",\"mean_reward\":" << m.mean_session_reward
-     << ",\"mean_speedup\":" << m.mean_speedup << "}\n";
+     << ",\"mean_speedup\":" << m.mean_speedup
+     << ",\"merges\":" << m.merges
+     << ",\"merged_transitions\":" << m.merged_transitions
+     << ",\"fine_tune_steps\":" << m.fine_tune_steps;
+}
+
+}  // namespace
+
+void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m) {
+  write_metrics_body(os, m);
+  os << "}\n";
+}
+
+void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m,
+                         const obs::BuildInfo& build) {
+  write_metrics_body(os, m);
+  os << ",\"version\":\"" << json_escape(build.version) << "\""
+     << ",\"backend\":\"" << json_escape(build.backend) << "\""
+     << ",\"simd_compiled\":" << (build.simd_compiled ? "true" : "false")
+     << ",\"threads\":" << build.threads << "}\n";
 }
 
 }  // namespace deepcat::service

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/build_info.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 
@@ -49,5 +50,14 @@ void write_report_jsonl(std::ostream& os, const SessionReport& r,
 
 /// The aggregate metrics line emitted after a batch ("aggregate":true).
 void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m);
+
+/// Streaming METR variant: the same aggregate fields plus build-info
+/// labels (version, dispatched numeric backend, thread count). Additive
+/// keys only — PR 3 clients parse with a tolerant flat-JSON reader, so
+/// old readers still accept the extended frame. The batch driver keeps
+/// the unlabelled writer so its output diffs clean across --threads and
+/// numeric backends.
+void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m,
+                         const obs::BuildInfo& build);
 
 }  // namespace deepcat::service

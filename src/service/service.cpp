@@ -74,7 +74,7 @@ void ModelRegistry::load_into(const std::string& name, std::uint32_t version,
 // ---- TuningService ------------------------------------------------------
 
 TuningService::TuningService(ServiceOptions options)
-    : options_(std::move(options)),
+    : options_((options.api.tuner.obs = options.obs, std::move(options))),
       master_(service_cluster(options_.cluster), options_.api),
       pool_(options_.threads) {}
 
@@ -106,6 +106,12 @@ void TuningService::save_master_file(const std::string& path) {
 
 std::vector<SessionReport> TuningService::run_batch(
     const std::vector<TuningRequest>& requests) {
+  const auto batch_span = options_.obs.scope("batch");
+  if (options_.obs.metrics != nullptr) {
+    options_.obs.metrics->counter("batch.runs").add(1);
+    options_.obs.metrics->counter("batch.requests").add(requests.size());
+  }
+
   // Serialize the master once; every session clones from this blob, so the
   // expensive network serialization is paid once per batch, not per
   // session, and all sessions see the identical frozen state.
@@ -118,9 +124,16 @@ std::vector<SessionReport> TuningService::run_batch(
         dynamic_cast<const rl::RdperReplay*>(master_.tuner().replay());
   }
 
+  // Session spans (and the tuner spans under them) parent on the batch
+  // span; the api copy carries the parent id across the pool threads.
+  core::DeepCatApiOptions session_api = options_.api;
   std::vector<SessionReport> reports =
       common::parallel_map(pool_, requests.size(), [&](std::size_t i) {
-        return run_session(blob, options_.api, requests[i], master_pools,
+        const auto session_span = options_.obs.with_parent(batch_span.id())
+                                      .scope("session");
+        core::DeepCatApiOptions api = session_api;
+        api.tuner.obs.trace_parent = session_span.id();
+        return run_session(blob, api, requests[i], master_pools,
                            &master_mutex_);
       });
 
@@ -128,18 +141,31 @@ std::vector<SessionReport> TuningService::run_batch(
   // experience into the master pools, in request order so the merged state
   // is independent of scheduling. The exclusive lock pairs with the shared
   // locks in save_master and SharedRdperReplay::sample.
+  std::size_t merged = 0;
   {
+    const auto merge_span =
+        options_.obs.with_parent(batch_span.id()).scope("merge");
     std::unique_lock lock(master_mutex_);
     rl::ReplayBuffer* replay = master_.tuner().replay();
     if (replay != nullptr) {
       for (const auto& r : reports) {
-        for (const auto& t : r.new_transitions) replay->add(t);
+        for (const auto& t : r.new_transitions) {
+          replay->add(t);
+          ++merged;
+        }
       }
     }
+  }
+  if (options_.obs.metrics != nullptr && merged > 0) {
+    options_.obs.metrics->counter("batch.merged_transitions").add(merged);
   }
 
   {
     std::scoped_lock lock(metrics_mutex_);
+    if (merged > 0) {
+      ++totals_.merges;
+      totals_.merged_transitions += merged;
+    }
     for (const auto& r : reports) {
       if (!r.ok) {
         ++totals_.sessions_failed;

@@ -18,14 +18,25 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/deepcat_api.hpp"
+#include "obs/sink.hpp"
 #include "service/session.hpp"
 
 namespace deepcat::service {
+
+/// Retained-sample cap for the service percentile trackers: exact
+/// quantiles up to this many sessions, deterministic skeleton compaction
+/// beyond it (common::QuantileTracker bounded mode), so an unbounded
+/// request stream cannot grow service memory without limit.
+inline constexpr std::size_t kRecCostSampleCap = 65536;
 
 struct ServiceOptions {
   core::DeepCatApiOptions api;  ///< master model + environment settings
   std::string cluster = "a";    ///< master model's home cluster
   std::size_t threads = 0;      ///< session pool size; 0 = hardware
+  /// Observability hand-off: propagated into the master's tuner options
+  /// and every session clone, so losses, Twin-Q counters and spans from
+  /// all layers land in one registry/tracer. Non-owning; inert by default.
+  obs::Sink obs{};
 };
 
 /// Aggregate serving metrics across every batch run so far. Percentiles
@@ -41,6 +52,9 @@ struct ServiceMetrics {
   double p95_recommendation_seconds = 0.0;
   double mean_session_reward = 0.0;   ///< mean over sessions of mean step reward
   double mean_speedup = 0.0;          ///< mean best-vs-default speedup
+  std::size_t merges = 0;             ///< experience merges into a master
+  std::size_t merged_transitions = 0; ///< transitions folded into masters
+  std::size_t fine_tune_steps = 0;    ///< bounded master fine-tune steps taken
 };
 
 /// Named, versioned checkpoint store on disk: `<dir>/<name>.v<N>.dckp`.
@@ -111,7 +125,8 @@ class TuningService {
   mutable std::mutex metrics_mutex_;
   /// Streaming-safe percentile state over per-session recommendation cost;
   /// metrics() reads exact quantiles without re-sorting a history vector.
-  common::QuantileTracker rec_costs_;
+  /// Bounded so long-lived services stay O(kRecCostSampleCap).
+  common::QuantileTracker rec_costs_{kRecCostSampleCap};
   ServiceMetrics totals_;
   double speedup_sum_ = 0.0;
   double reward_sum_ = 0.0;

@@ -24,11 +24,28 @@ sparksim::ClusterSpec streaming_cluster(const std::string& tag) {
 }  // namespace
 
 StreamingService::StreamingService(StreamingOptions options)
-    : options_(std::move(options)),
+    : options_((options.service.api.tuner.obs = options.service.obs,
+                std::move(options))),
       cluster_(streaming_cluster(options_.service.cluster)),
       pool_(options_.service.threads) {
   if (!options_.registry_dir.empty()) {
     registry_.emplace(options_.registry_dir);
+  }
+  if (auto* metrics = options_.service.obs.metrics) {
+    obs_admitted_ = &metrics->counter("stream.requests_admitted");
+    obs_sessions_ok_ = &metrics->counter("stream.sessions_ok");
+    obs_sessions_failed_ = &metrics->counter("stream.sessions_failed");
+    obs_flushes_ = &metrics->counter("stream.flushes");
+    obs_merges_ = &metrics->counter("stream.merges");
+    obs_merged_transitions_ = &metrics->counter("stream.merged_transitions");
+    obs_fine_tune_steps_ = &metrics->counter("stream.fine_tune_steps");
+    obs_snapshots_ = &metrics->counter("stream.snapshots");
+    obs_evictions_ = &metrics->counter("stream.evictions");
+    obs_rec_seconds_ = &metrics->histogram(
+        "stream.rec_seconds",
+        {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
+    obs_queue_depth_ =
+        &metrics->gauge("stream.queue_depth", /*deterministic=*/false);
   }
 }
 
@@ -150,6 +167,7 @@ void StreamingService::evict_idle_locked() {
       (void)registry_->publish(victim->first, victim->second->model);
     }
     entries_.erase(victim);
+    if (obs_evictions_ != nullptr) obs_evictions_->add(1);
   }
 }
 
@@ -189,6 +207,7 @@ void StreamingService::submit(TuningRequest request) {
       std::shared_lock master(entry->mutex);
       entry->blob = std::make_shared<const std::string>(
           checkpoint_to_string(entry->model));
+      if (obs_snapshots_ != nullptr) obs_snapshots_->add(1);
     }
     blob = entry->blob;
     epoch = entry->epoch;
@@ -200,18 +219,45 @@ void StreamingService::submit(TuningRequest request) {
     entry->last_used = sequence;
     ++in_flight_;
     ++entry->in_flight;
+    if (obs_queue_depth_ != nullptr) {
+      obs_queue_depth_->set(static_cast<double>(in_flight_));
+    }
   } catch (const std::exception& e) {
     complete_failed(request, e.what());
     return;
   }
 
+  if (obs_admitted_ != nullptr) obs_admitted_->add(1);
+  std::uint64_t request_span = 0;
+  if (auto* tracer = options_.service.obs.tracer) {
+    request_span =
+        tracer->begin_span("request", options_.service.obs.trace_parent);
+  }
+
   (void)pool_.submit([this, entry, blob = std::move(blob), master_pools,
-                      epoch, sequence, request = std::move(request)] {
-    SessionReport report =
-        runner_ ? runner_(request)
-                : run_session(*blob, options_.service.api, request,
-                              master_pools, &entry->mutex);
+                      epoch, sequence, request_span,
+                      request = std::move(request)] {
+    SessionReport report;
+    {
+      // Session spans (and the tuner spans beneath) parent on the request
+      // span; the api copy carries the parent id across the pool thread.
+      const auto session_span =
+          options_.service.obs.with_parent(request_span).scope("session");
+      if (runner_) {
+        report = runner_(request);
+      } else {
+        core::DeepCatApiOptions api = options_.service.api;
+        api.tuner.obs.trace_parent = session_span.id();
+        report = run_session(*blob, api, request, master_pools, &entry->mutex);
+      }
+    }
     report.model = request.model;
+    // End the request span BEFORE on_complete: on_complete releases
+    // waiters (wait_completed / flush), and anyone it wakes may export the
+    // trace immediately — the span must already be closed by then.
+    if (auto* tracer = options_.service.obs.tracer) {
+      tracer->end_span(request_span);
+    }
     on_complete(*entry, request, std::move(report), epoch, sequence);
   });
 }
@@ -229,20 +275,26 @@ void StreamingService::on_complete(MasterEntry& entry,
   completed_.push_back({std::move(report), epoch, sequence});
   --in_flight_;
   --entry.in_flight;
+  if (obs_queue_depth_ != nullptr) {
+    obs_queue_depth_->set(static_cast<double>(in_flight_));
+  }
   completion_cv_.notify_all();
 }
 
 void StreamingService::record_metrics_locked(const SessionReport& report) {
   if (!report.ok) {
     ++totals_.sessions_failed;
+    if (obs_sessions_failed_ != nullptr) obs_sessions_failed_->add(1);
     return;
   }
   ++totals_.sessions_served;
+  if (obs_sessions_ok_ != nullptr) obs_sessions_ok_->add(1);
   totals_.evaluations_paid += report.report.steps.size();
   totals_.evaluation_seconds += report.report.total_evaluation_seconds();
   const double rec = report.report.total_recommendation_seconds();
   totals_.recommendation_seconds += rec;
   rec_costs_.add(rec);
+  if (obs_rec_seconds_ != nullptr) obs_rec_seconds_->observe(rec);
   reward_sum_ += report.mean_reward();
   speedup_sum_ += report.report.speedup_over_default();
 }
@@ -267,6 +319,9 @@ std::optional<StreamReport> StreamingService::wait_completed() {
 
 std::size_t StreamingService::merge_entry_locked(MasterEntry& entry) {
   if (entry.pending.empty()) return 0;
+  const auto merge_span = options_.service.obs.scope("merge");
+  ++totals_.merges;
+  if (obs_merges_ != nullptr) obs_merges_->add(1);
   if (entry.stub) {
     // No real master behind a test-runner entry; the epoch still advances
     // so transcripts exercise the model-epoch contract.
@@ -297,10 +352,16 @@ std::size_t StreamingService::merge_entry_locked(MasterEntry& entry) {
           entry.model.tuner().has_agent()) {
         // Continuous master update: bounded fine-tune on the refreshed
         // pools, driven by the master's own checkpointed RNG stream.
-        (void)entry.model.tuner().agent().fine_tune(
+        const std::size_t tuned = entry.model.tuner().agent().fine_tune(
             *replay, entry.model.tuner().rng(), options_.master_update_steps);
+        totals_.fine_tune_steps += tuned;
+        if (obs_fine_tune_steps_ != nullptr) obs_fine_tune_steps_->add(tuned);
       }
     }
+  }
+  totals_.merged_transitions += merged;
+  if (obs_merged_transitions_ != nullptr) {
+    obs_merged_transitions_->add(merged);
   }
   entry.pending.clear();
   ++entry.epoch;
@@ -310,9 +371,11 @@ std::size_t StreamingService::merge_entry_locked(MasterEntry& entry) {
 }
 
 std::size_t StreamingService::flush() {
+  const auto flush_span = options_.service.obs.scope("flush");
   std::shared_lock reg(registry_mutex_);
   std::unique_lock state(state_mutex_);
   completion_cv_.wait(state, [this] { return in_flight_ == 0; });
+  if (obs_flushes_ != nullptr) obs_flushes_->add(1);
   std::size_t merged = 0;
   for (auto& [name, entry] : entries_) merged += merge_entry_locked(*entry);
   return merged;
@@ -336,6 +399,11 @@ std::string StreamingService::checkpoint_of(const std::string& name) {
   }
   std::shared_lock master(it->second->mutex);
   return checkpoint_to_string(it->second->model);
+}
+
+obs::BuildInfo StreamingService::build_info() const {
+  if (options_.build_info) return *options_.build_info;
+  return obs::current_build_info(pool_.size());
 }
 
 ServiceMetrics StreamingService::metrics() const {
@@ -456,7 +524,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
   emit_completed(/*drain=*/true);
   (void)service.flush();
   std::ostringstream metrics;
-  write_metrics_jsonl(metrics, service.metrics());
+  write_metrics_jsonl(metrics, service.metrics(), service.build_info());
   write_frame(out, FrameType::kMetrics, strip_newline(std::move(metrics).str()));
   write_frame(out, FrameType::kEnd, "");
   out.flush();

@@ -46,6 +46,8 @@
 #include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/deepcat_api.hpp"
+#include "obs/build_info.hpp"
+#include "obs/sink.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 
@@ -62,6 +64,10 @@ struct StreamingOptions {
   /// Registry directory for lazy model loading; empty disables routing
   /// beyond explicitly loaded/trained models.
   std::string registry_dir;
+  /// Build-info fields stamped into the METR frame. Defaults (nullopt) to
+  /// the live current_build_info(); golden tests pin a fixed value so the
+  /// transcripts stay byte-identical across numeric backends.
+  std::optional<obs::BuildInfo> build_info;
 };
 
 /// One completed session plus its serving metadata.
@@ -124,6 +130,10 @@ class StreamingService {
       const std::string& name = "default");
 
   [[nodiscard]] ServiceMetrics metrics() const;
+
+  /// Build info for the METR frame: the configured override, else the
+  /// live dispatch/thread state.
+  [[nodiscard]] obs::BuildInfo build_info() const;
 
   void set_session_runner_for_test(SessionRunner runner) {
     runner_ = std::move(runner);
@@ -189,9 +199,24 @@ class StreamingService {
   std::size_t in_flight_ = 0;
   std::uint64_t next_sequence_ = 0;
   ServiceMetrics totals_;
-  common::QuantileTracker rec_costs_;
+  common::QuantileTracker rec_costs_{kRecCostSampleCap};
   double speedup_sum_ = 0.0;
   double reward_sum_ = 0.0;
+
+  // Registry instruments, resolved once at construction; null when the
+  // sink is inert. The queue-depth gauge registers as nondeterministic —
+  // how deep the queue gets is exactly what scheduling decides.
+  obs::Counter* obs_admitted_ = nullptr;
+  obs::Counter* obs_sessions_ok_ = nullptr;
+  obs::Counter* obs_sessions_failed_ = nullptr;
+  obs::Counter* obs_flushes_ = nullptr;
+  obs::Counter* obs_merges_ = nullptr;
+  obs::Counter* obs_merged_transitions_ = nullptr;
+  obs::Counter* obs_fine_tune_steps_ = nullptr;
+  obs::Counter* obs_snapshots_ = nullptr;
+  obs::Counter* obs_evictions_ = nullptr;
+  obs::Histogram* obs_rec_seconds_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
 
   /// Declared last: its destructor runs every queued session and joins
   /// before any state above is torn down.

@@ -15,6 +15,14 @@ DeepCatTuner::DeepCatTuner(DeepCatOptions options)
   if (options_.max_optimizer_iters == 0) {
     throw std::invalid_argument("DeepCatOptions: max_optimizer_iters == 0");
   }
+  if (options_.obs.metrics != nullptr) {
+    auto& reg = *options_.obs.metrics;
+    obs_twinq_runs_ = &reg.counter("twinq.optimizer_runs");
+    obs_twinq_retries_ = &reg.counter("twinq.retries");
+    obs_twinq_accepted_ = &reg.counter("twinq.accepted_original");
+    obs_twinq_initial_q_ = &reg.gauge("twinq.initial_min_q");
+    obs_twinq_final_q_ = &reg.gauge("twinq.final_min_q");
+  }
 }
 
 std::unique_ptr<rl::ReplayBuffer> DeepCatTuner::make_replay() const {
@@ -42,6 +50,7 @@ void DeepCatTuner::materialize(std::size_t state_dim, std::size_t action_dim) {
   }
   options_.td3.state_dim = state_dim;
   options_.td3.action_dim = action_dim;
+  options_.td3.obs = options_.obs;
   agent_ = std::make_unique<rl::Td3Agent>(options_.td3, rng_);
   replay_ = make_replay();
 }
@@ -86,8 +95,16 @@ TwinQOptimizerTrace DeepCatTuner::optimize_action(
   TwinQOptimizerTrace trace;
   trace.initial_min_q = agent().min_q(state, action);
   trace.final_min_q = trace.initial_min_q;
+  if (obs_twinq_runs_ != nullptr) {
+    obs_twinq_runs_->add(1);
+    obs_twinq_initial_q_->set(trace.initial_min_q);
+  }
   if (trace.initial_min_q >= options_.q_threshold) {
     trace.accepted_original = true;
+    if (obs_twinq_accepted_ != nullptr) {
+      obs_twinq_accepted_->add(1);
+      obs_twinq_final_q_->set(trace.final_min_q);
+    }
     return trace;
   }
 
@@ -115,6 +132,10 @@ TwinQOptimizerTrace DeepCatTuner::optimize_action(
   }
   action = best;
   trace.final_min_q = best_q;
+  if (obs_twinq_retries_ != nullptr) {
+    obs_twinq_retries_->add(trace.iterations);
+    obs_twinq_final_q_->set(trace.final_min_q);
+  }
   return trace;
 }
 
@@ -128,6 +149,7 @@ TuningReport DeepCatTuner::tune_with_budget(sparksim::TuningEnvironment& env,
   const int num_steps = budget.max_steps;
   ensure_agent(env);
   online_traces_.clear();
+  const auto span = options_.obs.scope("tune_online");
 
   TuningReport report;
   report.tuner_name = name();

@@ -52,6 +52,10 @@ struct DeepCatOptions {
   bool use_rdper = true;                 ///< ablation switch (Fig. 4)
 
   std::uint64_t seed = 1234;
+
+  /// Observability hand-off; propagated into td3.obs when the agent is
+  /// materialized. Non-owning, inert by default, never serialized.
+  obs::Sink obs{};
 };
 
 /// Per-iteration trace of offline training (drives Figs. 3 and 4).
@@ -138,6 +142,12 @@ class DeepCatTuner final : public OnlineTuner {
   std::unique_ptr<rl::Td3Agent> agent_;
   std::unique_ptr<rl::ReplayBuffer> replay_;
   std::vector<TwinQOptimizerTrace> online_traces_;
+  // Twin-Q Optimizer instruments, resolved once at construction.
+  obs::Counter* obs_twinq_runs_ = nullptr;
+  obs::Counter* obs_twinq_retries_ = nullptr;
+  obs::Counter* obs_twinq_accepted_ = nullptr;
+  obs::Gauge* obs_twinq_initial_q_ = nullptr;
+  obs::Gauge* obs_twinq_final_q_ = nullptr;
 };
 
 }  // namespace deepcat::tuners

@@ -26,6 +26,9 @@ struct OtterTuneOptions {
   double local_sigma = 0.08;
   std::size_t max_mapped_samples = 1200;  ///< GP budget from the repository
   std::uint64_t seed = 777;
+
+  /// Observability hand-off; attached to every GP the tuner fits.
+  obs::Sink obs{};
 };
 
 class OtterTuneTuner final : public OnlineTuner {

@@ -220,5 +220,75 @@ TEST(QuantileTrackerTest, DuplicatesAndDescendingInserts) {
   EXPECT_DOUBLE_EQ(q.quantile(1.0), 5.0);
 }
 
+TEST(QuantileTrackerTest, BoundedModeCapsRetainedSamples) {
+  QuantileTracker q(64);
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) q.add(rng.uniform(0.0, 1.0));
+  EXPECT_LE(q.count(), 64u);
+  EXPECT_EQ(q.total_count(), 10'000u);
+  EXPECT_TRUE(q.compacted());
+}
+
+TEST(QuantileTrackerTest, BoundedModeIsExactUntilTheCap) {
+  QuantileTracker bounded(100);
+  QuantileTracker exact;
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    bounded.add(x);
+    exact.add(x);
+  }
+  EXPECT_FALSE(bounded.compacted());
+  for (const double p : {0.0, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(bounded.quantile(p), exact.quantile(p)) << p;
+  }
+}
+
+TEST(QuantileTrackerTest, BoundedModeKeepsExtremesAndApproximatesQuantiles) {
+  // Skeleton compaction keeps every other rank plus the max, so min/max
+  // are exact forever and interior quantiles stay close for a smooth
+  // distribution. (A k-point skeleton estimates quantiles with standard
+  // error ~range/(2*sqrt(k)), so the cap here sizes the +/-5 tolerance.)
+  QuantileTracker q(1024);
+  std::vector<double> all;
+  Rng rng(29);
+  for (int i = 0; i < 50'000; ++i) {
+    const double x = rng.uniform(0.0, 100.0);
+    q.add(x);
+    all.push_back(x);
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), all.front());
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), all.back());
+  EXPECT_NEAR(q.quantile(0.5), 50.0, 5.0);
+  EXPECT_NEAR(q.quantile(0.95), 95.0, 5.0);
+}
+
+TEST(QuantileTrackerTest, BoundedModeIsDeterministicPerArrivalPrefix) {
+  // Same arrival sequence -> same retained skeleton, always. (Different
+  // arrival orders may retain different skeletons past the cap; the
+  // streaming services size their cap above any test workload, so the
+  // determinism contract never meets compaction.)
+  auto run = [] {
+    QuantileTracker q(32);
+    Rng rng(31);
+    for (int i = 0; i < 5'000; ++i) q.add(rng.uniform(0.0, 1.0));
+    std::vector<double> probes;
+    for (const double p : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+      probes.push_back(q.quantile(p));
+    }
+    return probes;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(QuantileTrackerTest, MinimumCapIsTwo) {
+  QuantileTracker q(1);  // clamped up to 2 so min and max both survive
+  for (double x : {9.0, 1.0, 5.0, 7.0, 3.0}) q.add(x);
+  EXPECT_LE(q.count(), 2u);
+  EXPECT_EQ(q.total_count(), 5u);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 9.0);
+}
+
 }  // namespace
 }  // namespace deepcat::common

@@ -1,0 +1,189 @@
+// MetricsRegistry unit tests: snapshot consistency under concurrent
+// increments, histogram bucket-edge semantics, gauge commutativity, and
+// the deterministic-export filter the streaming stress tests rely on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace deepcat::obs {
+namespace {
+
+TEST(ObsMetricsTest, CounterSumsExactlyUnderConcurrentIncrements) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("events");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.add(1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetricsTest, GaugeSnapshotIsIdenticalUnderConcurrentWriters) {
+  // The determinism rule: the exported aggregate of a fixed multiset of
+  // set() calls must not depend on which thread issued which call.
+  const std::vector<double> values = {0.5, -2.25, 7.125, 0.5, 3.0, -1.0};
+  auto run = [&](std::size_t threads) {
+    MetricsRegistry registry;
+    Gauge& g = registry.gauge("g");
+    std::vector<std::thread> workers;
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        for (std::size_t i = t; i < values.size(); i += threads) {
+          g.set(values[i]);
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    std::ostringstream os;
+    registry.write_jsonl(os);
+    return std::move(os).str();
+  };
+  const std::string one = run(1);
+  EXPECT_EQ(run(2), one);
+  EXPECT_EQ(run(3), one);
+  EXPECT_EQ(run(6), one);
+}
+
+TEST(ObsMetricsTest, GaugeAggregatesCountSumMinMax) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("loss");
+  EXPECT_EQ(g.count(), 0u);
+  EXPECT_EQ(g.mean(), 0.0);
+  EXPECT_EQ(g.min(), 0.0);  // empty gauge never exports ±inf
+  EXPECT_EQ(g.max(), 0.0);
+  g.set(2.0);
+  g.set(-4.0);
+  g.set(8.0);
+  EXPECT_EQ(g.count(), 3u);
+  EXPECT_DOUBLE_EQ(g.sum(), 6.0);
+  EXPECT_DOUBLE_EQ(g.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(g.min(), -4.0);
+  EXPECT_DOUBLE_EQ(g.max(), 8.0);
+}
+
+TEST(ObsMetricsTest, GaugeIgnoresNonFiniteForMinMaxAndSum) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("loss");
+  g.set(1.5);
+  g.set(std::numeric_limits<double>::quiet_NaN());
+  g.set(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(g.count(), 3u);  // every set() is an observation
+  EXPECT_DOUBLE_EQ(g.sum(), 1.5);  // non-finite contributes 0 to the sum
+  EXPECT_DOUBLE_EQ(g.min(), 1.5);
+  EXPECT_DOUBLE_EQ(g.max(), 1.5);
+}
+
+TEST(ObsMetricsTest, FixedPointRoundTripsAtMicroResolution) {
+  EXPECT_EQ(from_fixed_point(to_fixed_point(0.0)), 0.0);
+  EXPECT_NEAR(from_fixed_point(to_fixed_point(3.14159265)), 3.14159265, 1e-6);
+  EXPECT_NEAR(from_fixed_point(to_fixed_point(-123.456)), -123.456, 1e-6);
+  EXPECT_EQ(to_fixed_point(std::numeric_limits<double>::quiet_NaN()), 0);
+  EXPECT_EQ(to_fixed_point(1e300),
+            std::numeric_limits<std::int64_t>::max());  // saturates, no UB
+  EXPECT_EQ(to_fixed_point(-1e300), std::numeric_limits<std::int64_t>::min());
+}
+
+TEST(ObsMetricsTest, HistogramBucketEdgesAreInclusiveUpperBounds) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 2.0, 5.0});
+  h.observe(0.5);   // <= 1          -> bucket 0
+  h.observe(1.0);   // == edge 1     -> bucket 0 (inclusive upper bound)
+  h.observe(1.001); // (1, 2]        -> bucket 1
+  h.observe(2.0);   // == edge 2     -> bucket 1
+  h.observe(5.0);   // == edge 5     -> bucket 2
+  h.observe(5.001); // beyond last   -> overflow bucket
+  h.observe(-3.0);  // below first   -> bucket 0
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 7u);
+}
+
+TEST(ObsMetricsTest, HistogramRejectsBadEdges) {
+  MetricsRegistry registry;
+  EXPECT_THROW((void)registry.histogram("empty", {}), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("dup", {1.0, 1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("desc", {2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, ReRegistrationReturnsTheSameInstrument) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("c");
+  Counter& b = registry.counter("c");
+  EXPECT_EQ(&a, &b);
+  Histogram& h1 = registry.histogram("h", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("h", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(ObsMetricsTest, ReRegistrationWithMismatchThrows) {
+  MetricsRegistry registry;
+  (void)registry.counter("m");
+  EXPECT_THROW((void)registry.gauge("m"), std::invalid_argument);
+  EXPECT_THROW((void)registry.histogram("m", {1.0}), std::invalid_argument);
+  (void)registry.histogram("h", {1.0, 2.0});
+  EXPECT_THROW((void)registry.histogram("h", {1.0, 3.0}),
+               std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, DeterministicExportSkipsNondeterministicMetrics) {
+  MetricsRegistry registry;
+  registry.counter("det").add(2);
+  registry.gauge("queue_depth", /*deterministic=*/false).set(7.0);
+  const auto full = registry.snapshot(/*include_nondeterministic=*/true);
+  const auto det = registry.snapshot(/*include_nondeterministic=*/false);
+  EXPECT_EQ(full.size(), 2u);
+  ASSERT_EQ(det.size(), 1u);
+  EXPECT_EQ(det[0].name, "det");
+  std::ostringstream os;
+  registry.write_jsonl(os, /*include_nondeterministic=*/false);
+  EXPECT_EQ(os.str().find("queue_depth"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, SnapshotIsNameSortedAndJsonlIsOneObjectPerLine) {
+  MetricsRegistry registry;
+  registry.counter("z.last").add(1);
+  registry.counter("a.first").add(1);
+  registry.gauge("m.middle").set(1.0);
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "a.first");
+  EXPECT_EQ(snaps[1].name, "m.middle");
+  EXPECT_EQ(snaps[2].name, "z.last");
+  std::ostringstream os;
+  registry.write_jsonl(os);
+  const std::string out = os.str();
+  std::size_t lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 3u);
+  // Every line is a braced object.
+  std::istringstream is(out);
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+}  // namespace
+}  // namespace deepcat::obs

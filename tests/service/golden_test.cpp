@@ -94,6 +94,9 @@ SessionReport fake_session(const TuningRequest& r) {
 std::string serve(const std::string& input, bool with_fake_runner) {
   StreamingOptions options;
   options.service.threads = 1;  // completion order == submission order
+  // The METR frame carries build-info labels; pin them so the transcript
+  // bytes stay identical across numeric backends and host core counts.
+  options.build_info = obs::BuildInfo{"golden", "pinned", false, 1};
   StreamingService svc(options);
   if (with_fake_runner) svc.set_session_runner_for_test(fake_session);
   std::istringstream in(input, std::ios::binary);

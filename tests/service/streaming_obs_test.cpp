@@ -1,0 +1,208 @@
+// Observability under the streaming determinism contract: with a
+// LogicalClock, the deterministic metrics export and the trace structure
+// are pure functions of the request set — byte-identical (metrics) and
+// structurally identical (trace) across thread counts and arrival
+// shuffles — and turning tracing on must not perturb the bit-exact
+// master checkpoint.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "obs/clock.hpp"
+#include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
+#include "service/jsonl.hpp"
+#include "service/streaming.hpp"
+#include "service/wire.hpp"
+#include "sparksim/workloads.hpp"
+
+namespace deepcat::service {
+namespace {
+
+using sparksim::WorkloadType;
+
+StreamingOptions obs_stress_options(std::size_t threads) {
+  StreamingOptions o;
+  o.service.threads = threads;
+  o.service.api.tuner.seed = 7;
+  o.service.api.tuner.td3.hidden = {24, 24};
+  o.service.api.tuner.warmup_steps = 16;
+  o.service.api.env.seed = 1007;
+  o.master_update_steps = 2;
+  return o;
+}
+
+std::vector<TuningRequest> obs_stress_requests() {
+  std::vector<TuningRequest> reqs;
+  const char* cases[] = {"WC-D1", "TS-D1", "PR-D1", "KM-D1",
+                         "WC-D2", "TS-D2", "PR-D2", "KM-D2"};
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    TuningRequest r;
+    r.id = "req-" + std::to_string(i);
+    r.workload = cases[i];
+    r.cluster = i % 3 == 2 ? "b" : "a";
+    r.max_steps = 2;
+    r.seed = 100 + i;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+struct ObsRunResult {
+  std::string checkpoint;
+  std::string metrics_jsonl;    ///< deterministic export only
+  std::string trace_signature;  ///< structure, not bytes
+};
+
+ObsRunResult run_with_obs(const std::string& master_blob,
+                          const std::vector<TuningRequest>& arrival_order,
+                          std::size_t threads) {
+  obs::LogicalClock clock;
+  obs::Tracer tracer(clock);
+  obs::MetricsRegistry registry;
+  StreamingOptions options = obs_stress_options(threads);
+  options.service.obs = {&registry, &tracer};
+
+  StreamingService svc(options);
+  std::istringstream blob(master_blob, std::ios::binary);
+  svc.load_model("default", blob);
+  for (const auto& r : arrival_order) svc.submit(r);
+  while (svc.wait_completed()) {
+  }
+  (void)svc.flush();
+
+  ObsRunResult result;
+  result.checkpoint = svc.checkpoint_of("default");
+  std::ostringstream metrics;
+  registry.write_jsonl(metrics, /*include_nondeterministic=*/false);
+  result.metrics_jsonl = std::move(metrics).str();
+  result.trace_signature = tracer.structure_signature();
+  return result;
+}
+
+std::string train_blob() {
+  StreamingService trainer(obs_stress_options(1));
+  trainer.train_model(
+      "default", sparksim::make_workload(WorkloadType::kTeraSort, 3.2), 40);
+  return trainer.checkpoint_of("default");
+}
+
+TEST(StreamingObsDeterminismTest,
+     MetricsSnapshotAndTraceStructureSurviveThreadsAndShuffles) {
+  const std::string master_blob = train_blob();
+  const auto requests = obs_stress_requests();
+
+  const ObsRunResult reference = run_with_obs(master_blob, requests, 1);
+  // The instrumented layers all reported: service admission, session
+  // outcomes, per-step TD3 losses, Twin-Q probes.
+  EXPECT_NE(reference.metrics_jsonl.find("stream.requests_admitted"),
+            std::string::npos);
+  EXPECT_NE(reference.metrics_jsonl.find("rl.critic1_loss"),
+            std::string::npos);
+  EXPECT_NE(reference.metrics_jsonl.find("twinq.optimizer_runs"),
+            std::string::npos);
+  // The scheduling-dependent gauge is excluded from the deterministic set.
+  EXPECT_EQ(reference.metrics_jsonl.find("stream.queue_depth"),
+            std::string::npos);
+  EXPECT_NE(reference.trace_signature.find(">request"), std::string::npos);
+  EXPECT_NE(reference.trace_signature.find("request>session"),
+            std::string::npos);
+  EXPECT_NE(reference.trace_signature.find("session>tune_online"),
+            std::string::npos);
+
+  common::Rng shuffler(0xA11C0DE5ull);
+  for (std::size_t shuffle = 0; shuffle < 3; ++shuffle) {
+    auto order = requests;
+    shuffler.shuffle(order);
+    for (const std::size_t threads : {std::size_t{4}, std::size_t{16}}) {
+      const std::string context = "shuffle " + std::to_string(shuffle) +
+                                  ", threads " + std::to_string(threads);
+      const ObsRunResult run = run_with_obs(master_blob, order, threads);
+      EXPECT_EQ(run.metrics_jsonl, reference.metrics_jsonl)
+          << context << ": deterministic metrics snapshot diverged";
+      EXPECT_EQ(run.trace_signature, reference.trace_signature)
+          << context << ": trace structure diverged";
+      EXPECT_EQ(run.checkpoint, reference.checkpoint)
+          << context << ": master checkpoint diverged";
+    }
+  }
+}
+
+TEST(StreamingObsDeterminismTest, TracingDoesNotPerturbTheMasterCheckpoint) {
+  // The whole point of the sink design: observability is read-only.
+  // A run with full tracing + metrics must produce the same bit-exact
+  // master state as a run with the inert sink.
+  const std::string master_blob = train_blob();
+  const auto requests = obs_stress_requests();
+
+  std::string plain_checkpoint;
+  {
+    StreamingService svc(obs_stress_options(4));
+    std::istringstream blob(master_blob, std::ios::binary);
+    svc.load_model("default", blob);
+    for (const auto& r : requests) svc.submit(r);
+    while (svc.wait_completed()) {
+    }
+    (void)svc.flush();
+    plain_checkpoint = svc.checkpoint_of("default");
+  }
+  const ObsRunResult traced = run_with_obs(master_blob, requests, 4);
+  EXPECT_EQ(traced.checkpoint, plain_checkpoint);
+}
+
+TEST(StreamingObsMetrTest, MetrFrameCarriesBuildInfoAndStaysParseable) {
+  StreamingOptions options;
+  options.service.threads = 1;
+  // Golden-style pin: METR build fields must be exactly what the options
+  // injected, not whatever host this test runs on.
+  options.build_info = obs::BuildInfo{"1.2.3-test", "pinned", false, 9};
+  StreamingService svc(options);
+  svc.set_session_runner_for_test([](const TuningRequest& r) {
+    SessionReport report;
+    report.id = r.id;
+    report.workload = r.workload;
+    report.ok = true;
+    rl::Transition t;
+    t.state = {1};
+    t.action = {1};
+    t.reward = 1;
+    t.next_state = {1};
+    report.new_transitions.push_back(t);
+    return report;
+  });
+
+  const std::string input = encode_frames({
+      {FrameType::kRequest, "{\"id\":\"a\",\"workload\":\"TS-D1\"}"},
+      {FrameType::kEnd, ""},
+  });
+  std::istringstream in(input, std::ios::binary);
+  std::ostringstream out(std::ios::binary);
+  (void)serve_frame_stream(in, out, svc);
+
+  const auto frames = decode_frames(std::move(out).str());
+  ASSERT_GE(frames.size(), 2u);
+  ASSERT_EQ(frames[frames.size() - 2].type, FrameType::kMetrics);
+  const std::string& payload = frames[frames.size() - 2].payload;
+
+  // The PR 3 reader contract: parse_flat_json tolerates unknown keys, so
+  // the extended METR must still parse and keep every legacy field.
+  const auto fields = parse_flat_json(payload);
+  EXPECT_EQ(fields.at("aggregate"), "true");
+  EXPECT_EQ(fields.at("sessions"), "1");
+  EXPECT_EQ(fields.at("failed"), "0");
+  // New aggregate fields.
+  EXPECT_EQ(fields.at("merges"), "1");
+  EXPECT_EQ(fields.at("merged_transitions"), "0");  // stub entry: no master
+  EXPECT_EQ(fields.at("fine_tune_steps"), "0");
+  // Build-info labels come from the pinned override.
+  EXPECT_EQ(fields.at("version"), "1.2.3-test");
+  EXPECT_EQ(fields.at("backend"), "pinned");
+  EXPECT_EQ(fields.at("simd_compiled"), "false");
+  EXPECT_EQ(fields.at("threads"), "9");
+}
+
+}  // namespace
+}  // namespace deepcat::service
