@@ -3,15 +3,21 @@
 // Twin-Q indicator, whose entire point is costing microseconds instead of
 // a multi-minute cluster run.
 //
-// Two modes:
-//   bench_micro                google-benchmark suite (default)
-//   bench_micro --json[=path]  kernel benchmark: times every GEMM/fused
-//                              kernel on both the scalar reference path and
-//                              the runtime-dispatched path, reports GFLOP/s
-//                              + ns/iter + speedup through the obs metrics
-//                              exporter — a build-info line followed by one
-//                              gauge line per statistic (the committed
-//                              BENCH_kernels.json perf baseline).
+// Three modes:
+//   bench_micro                    google-benchmark suite (default)
+//   bench_micro --json[=path]      kernel benchmark: times every GEMM/fused
+//                                  kernel on both the scalar reference path
+//                                  and the runtime-dispatched path, reports
+//                                  GFLOP/s + ns/iter + speedup through the
+//                                  obs metrics exporter — a build-info line
+//                                  followed by one gauge line per statistic
+//                                  (the committed BENCH_kernels.json perf
+//                                  baseline).
+//   bench_micro --json-obs[=path]  obs-overhead benchmark: the streaming
+//                                  determinism workload (8 tuning sessions
+//                                  through StreamingService) with streaming
+//                                  span export + metrics on vs. tracing off
+//                                  (the committed BENCH_obs.json baseline).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -20,6 +26,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -28,11 +35,16 @@
 #include "common/simd.hpp"
 #include "gp/gp_regressor.hpp"
 #include "obs/build_info.hpp"
+#include "obs/clock.hpp"
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/tracer.hpp"
 #include "nn/mlp.hpp"
 #include "rl/replay_rdper.hpp"
 #include "rl/td3.hpp"
+#include "service/streaming.hpp"
 #include "sparksim/job_sim.hpp"
+#include "sparksim/workloads.hpp"
 
 namespace {
 
@@ -157,6 +169,119 @@ void BM_GpFitPredict(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GpFitPredict)->Arg(100)->Arg(400);
+
+// ---------------------------------------------------------------------------
+// Obs overhead: the streaming determinism workload (same shape as the
+// StreamingObsDeterminismTest stress — 8 real tuning sessions against a
+// trained master) with streaming span export + health metrics on vs. all
+// tracing off. The delta is the full cost of observability for a serve
+// run: span begin/end, ring drains through the sink, metric updates.
+
+service::StreamingOptions obs_bench_options() {
+  service::StreamingOptions o;
+  o.service.threads = 4;
+  o.service.api.tuner.seed = 7;
+  o.service.api.tuner.td3.hidden = {24, 24};
+  o.service.api.tuner.warmup_steps = 16;
+  o.service.api.env.seed = 1007;
+  o.master_update_steps = 2;
+  return o;
+}
+
+std::vector<service::TuningRequest> obs_bench_requests() {
+  std::vector<service::TuningRequest> reqs;
+  const char* cases[] = {"WC-D1", "TS-D1", "PR-D1", "KM-D1",
+                         "WC-D2", "TS-D2", "PR-D2", "KM-D2"};
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    service::TuningRequest r;
+    r.id = "req-" + std::to_string(i);
+    r.workload = cases[i];
+    r.cluster = i % 3 == 2 ? "b" : "a";
+    r.max_steps = 2;
+    r.seed = 100 + i;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+/// Trained master checkpoint, shared by every obs benchmark iteration so
+/// the (expensive) TD3 warmup is paid once, not per timed run.
+const std::string& obs_bench_master() {
+  static const std::string blob = [] {
+    service::StreamingOptions options = obs_bench_options();
+    options.service.threads = 1;
+    service::StreamingService trainer(options);
+    trainer.train_model(
+        "default",
+        sparksim::make_workload(sparksim::WorkloadType::kTeraSort, 3.2), 40);
+    return trainer.checkpoint_of("default");
+  }();
+  return blob;
+}
+
+struct ObsServeStats {
+  std::uint64_t spans = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t ring_highwater = 0;
+};
+
+/// One full serve run: load master, submit the 8 requests, drain, flush.
+/// With streaming_export the run carries a LogicalClock tracer exporting
+/// through a CallbackSpanSink at the default ring capacity plus the
+/// tracer-health metrics registry; without it the service runs bare.
+ObsServeStats run_streaming_workload(bool streaming_export) {
+  obs::LogicalClock clock;
+  std::uint64_t sunk = 0;
+  obs::CallbackSpanSink sink(
+      [&sunk](const obs::SpanRecord&) { ++sunk; });
+  obs::MetricsRegistry registry;
+  std::optional<obs::Tracer> tracer;
+  service::StreamingOptions options = obs_bench_options();
+  if (streaming_export) {
+    obs::TracerOptions tracer_options;
+    tracer_options.exporter = &sink;
+    tracer_options.ring_capacity = 256;
+    tracer_options.health = &registry;
+    tracer.emplace(clock, tracer_options);
+    options.service.obs = {&registry, &*tracer};
+  }
+  service::StreamingService svc(options);
+  std::istringstream blob(obs_bench_master(), std::ios::binary);
+  svc.load_model("default", blob);
+  for (const auto& r : obs_bench_requests()) svc.submit(r);
+  while (svc.wait_completed()) {
+  }
+  (void)svc.flush();
+  ObsServeStats stats;
+  if (streaming_export) {
+    tracer->flush_exporter();
+    stats.spans = sunk;
+    stats.dropped = tracer->dropped_spans();
+    stats.ring_highwater = tracer->ring_highwater();
+  }
+  return stats;
+}
+
+void BM_StreamingServeTracingOff(benchmark::State& state) {
+  (void)obs_bench_master();  // train outside the timed region
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_streaming_workload(false));
+  }
+}
+BENCHMARK(BM_StreamingServeTracingOff)->Unit(benchmark::kMillisecond);
+
+void BM_StreamingServeStreamingExport(benchmark::State& state) {
+  (void)obs_bench_master();
+  std::uint64_t spans = 0;
+  for (auto _ : state) {
+    const ObsServeStats stats = run_streaming_workload(true);
+    spans += stats.spans;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["spans_per_run"] = benchmark::Counter(
+      static_cast<double>(spans) / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_StreamingServeStreamingExport)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
 // --json mode: chrono-timed kernel suite, scalar vs dispatched backend.
@@ -312,6 +437,54 @@ int run_kernel_bench_json(const std::string& path) {
   return 0;
 }
 
+/// Writes the obs-overhead baseline (BENCH_obs.json): best wall time of the
+/// streaming determinism workload with observability off and with streaming
+/// span export + health metrics on, plus the derived per-span overhead.
+int run_obs_bench_json(const std::string& path) {
+  (void)obs_bench_master();           // pay the TD3 warmup up front
+  (void)run_streaming_workload(true); // warm allocators / code paths
+  const double off_ns =
+      best_ns_per_call([] { run_streaming_workload(false); },
+                       /*min_batch_seconds=*/0.0, /*reps=*/3);
+  ObsServeStats last;
+  const double on_ns = best_ns_per_call(
+      [&last] { last = run_streaming_workload(true); },
+      /*min_batch_seconds=*/0.0, /*reps=*/3);
+
+  obs::MetricsRegistry registry;
+  registry.gauge("obs.serve.tracing_off_ns").set(off_ns);
+  registry.gauge("obs.serve.streaming_export_ns").set(on_ns);
+  registry.gauge("obs.serve.overhead_ratio").set(on_ns / off_ns);
+  if (last.spans > 0) {
+    registry.gauge("obs.serve.overhead_ns_per_span")
+        .set((on_ns - off_ns) / static_cast<double>(last.spans));
+  }
+  registry.gauge("obs.serve.spans_per_run")
+      .set(static_cast<double>(last.spans));
+  registry.gauge("obs.serve.ring_highwater")
+      .set(static_cast<double>(last.ring_highwater));
+  registry.counter("obs.serve.dropped_spans").add(last.dropped);
+
+  std::ostringstream json;
+  json << "{\"bench\":\"deepcat obs overhead microbenchmark\",\"build\":";
+  obs::write_build_info_json(json, obs::current_build_info());
+  json << "}\n";
+  registry.write_jsonl(json);
+
+  if (path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_micro: cannot write " << path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -321,6 +494,12 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       return run_kernel_bench_json(argv[i] + 7);
+    }
+    if (std::strcmp(argv[i], "--json-obs") == 0) {
+      return run_obs_bench_json("");
+    }
+    if (std::strncmp(argv[i], "--json-obs=", 11) == 0) {
+      return run_obs_bench_json(argv[i] + 11);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -12,6 +12,7 @@
 #include "core/deepcat_api.hpp"
 #include "obs/build_info.hpp"
 #include "obs/clock.hpp"
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "service/jsonl.hpp"
@@ -95,9 +96,12 @@ void print_usage(std::ostream& os) {
         "      [--max-models 4] [--train-iters 0] [--train-workload TS]\n"
         "      [--threads 0] [--cluster a|b] [--seed 1]\n"
         "      [--trace-out trace.json] [--metrics-out metrics.jsonl]\n"
-        "      [--clock steady|logical]\n"
+        "      [--trace-stream trace.json] [--trace-ring 256]\n"
+        "      [--tele-every 0] [--clock steady|logical]\n"
         "      (without --in/--socket reads stdin; without --out/--socket\n"
-        "       writes the wire bytes to stdout and stays otherwise silent)\n";
+        "       writes the wire bytes to stdout and stays otherwise silent)\n"
+        "  stats --socket /path.sock   poll a streaming server for one TELE\n"
+        "                              telemetry snapshot (STAT over DCWP)\n";
 }
 
 #if !defined(_WIN32)
@@ -162,16 +166,25 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
       static_cast<std::size_t>(args.number_or("max-models", 4));
   options.registry_dir = checkpoint_dir;
 
-  // Observability taps: --trace-out/--metrics-out turn the sink on for the
-  // whole stack (service spans, tuner losses, GP timings). --clock logical
-  // makes the trace/metrics deterministic for golden comparisons.
+  // Observability taps: --trace-out (retained) / --trace-stream
+  // (incremental export) / --metrics-out turn the sink on for the whole
+  // stack (service spans, tuner losses, GP timings). --clock logical
+  // makes the trace/metrics — and the TELE payloads — deterministic for
+  // golden comparisons.
   const auto trace_out = args.flag("trace-out");
+  const auto trace_stream = args.flag("trace-stream");
   const auto metrics_out = args.flag("metrics-out");
+  if (trace_out && trace_stream) {
+    throw std::invalid_argument(
+        "serve: --trace-out and --trace-stream are mutually exclusive");
+  }
+  const std::string clock_kind = args.flag_or("clock", "steady");
   std::unique_ptr<obs::Clock> clock;
+  std::unique_ptr<obs::ChromeTraceFileSink> trace_sink;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry;
-  if (trace_out || metrics_out) {
-    const std::string clock_kind = args.flag_or("clock", "steady");
+  const bool obs_on = trace_out || trace_stream || metrics_out;
+  if (obs_on) {
     if (clock_kind == "logical") {
       clock = std::make_unique<obs::LogicalClock>();
     } else if (clock_kind == "steady") {
@@ -181,10 +194,28 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
                                   "' (use steady or logical)");
     }
     metrics_registry = std::make_unique<obs::MetricsRegistry>();
-    tracer = std::make_unique<obs::Tracer>(*clock);
+    obs::TracerOptions tracer_options;
+    tracer_options.health = metrics_registry.get();
+    if (trace_stream) {
+      trace_sink =
+          std::make_unique<obs::ChromeTraceFileSink>(*trace_stream,
+                                                     clock_kind);
+      tracer_options.exporter = trace_sink.get();
+      tracer_options.ring_capacity = static_cast<std::size_t>(
+          args.number_or("trace-ring", 256));
+    }
+    tracer = std::make_unique<obs::Tracer>(*clock, tracer_options);
     options.service.obs.metrics = metrics_registry.get();
     options.service.obs.tracer = tracer.get();
   }
+
+  service::StreamServeOptions serve_options;
+  serve_options.tele_every =
+      static_cast<std::size_t>(args.number_or("tele-every", 0));
+  // Logical-clock runs promise byte-identical telemetry across thread
+  // counts; scheduling-dependent fields would break that promise.
+  serve_options.tele_include_nondeterministic =
+      !(obs_on && clock_kind == "logical");
 
   // Wire bytes to stdout (no --out / --socket) must stay pure protocol, so
   // status text is suppressed in that mode.
@@ -255,7 +286,7 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
     FdStreamBuf out_buf(client);
     std::istream in(&in_buf);
     std::ostream out(&out_buf);
-    result = service::serve_frame_stream(in, out, svc);
+    result = service::serve_frame_stream(in, out, svc, serve_options);
     ::close(client);
     ::unlink(socket_path->c_str());
 #endif
@@ -304,9 +335,18 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
       }
       out = &out_file;
     }
-    result = service::serve_frame_stream(*in, *out, svc);
+    result = service::serve_frame_stream(*in, *out, svc, serve_options);
   }
 
+  if (trace_stream) {
+    tracer->flush_exporter();
+    if (!quiet) {
+      os << "streamed trace to " << *trace_stream << " ("
+         << trace_sink->exported_spans() << " spans, ring highwater "
+         << tracer->ring_highwater() << ", dropped "
+         << tracer->dropped_spans() << ")\n";
+    }
+  }
   if (trace_out) {
     std::ofstream tf(*trace_out, std::ios::trunc);
     if (!tf) {
@@ -555,6 +595,73 @@ int cmd_serve(const ParsedArgs& args, std::ostream& os) {
   return failed == 0 ? 0 : 1;
 }
 
+int cmd_stats(const ParsedArgs& args, std::ostream& os) {
+#if defined(_WIN32)
+  (void)args;
+  (void)os;
+  throw std::invalid_argument("stats: --socket is not supported on this "
+                              "platform");
+#else
+  const auto socket_path = args.flag("socket");
+  if (!socket_path) {
+    throw std::invalid_argument("stats: --socket /path.sock is required");
+  }
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw std::runtime_error("stats: cannot create a unix socket");
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path->size() >= sizeof addr.sun_path) {
+    ::close(fd);
+    throw std::invalid_argument("stats: socket path '" + *socket_path +
+                                "' is too long");
+  }
+  std::strncpy(addr.sun_path, socket_path->c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("stats: cannot connect to '" + *socket_path +
+                             "' (is a serve --stream --socket running?)");
+  }
+  FdStreamBuf in_buf(fd);
+  FdStreamBuf out_buf(fd);
+  std::istream in(&in_buf);
+  std::ostream out(&out_buf);
+
+  // STAT asks for one mid-stream TELE; END lets the server finish its
+  // tail (drain + final TELE + compat METR + END) and close.
+  service::write_stream_header(out);
+  service::write_frame(out, service::FrameType::kStat, "");
+  service::write_frame(out, service::FrameType::kEnd, "");
+  out.flush();
+
+  std::string tele;
+  try {
+    service::read_stream_header(in);
+    for (;;) {
+      const auto frame = service::read_frame(in);
+      if (!frame) break;  // server closed without END: report what we got
+      if (frame->type == service::FrameType::kTelemetry && tele.empty()) {
+        tele = frame->payload;  // the STAT answer is the first TELE
+      }
+      if (frame->type == service::FrameType::kEnd) break;
+    }
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (tele.empty()) {
+    os << "error: no TELE frame received from '" << *socket_path << "'\n";
+    return 1;
+  }
+  os << tele << '\n';
+  return 0;
+#endif
+}
+
 int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
   try {
     const ParsedArgs args = parse_args(argv);
@@ -564,6 +671,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
     if (args.command == "simulate") return cmd_simulate(args, os);
     if (args.command == "tune") return cmd_tune(args, os);
     if (args.command == "serve") return cmd_serve(args, os);
+    if (args.command == "stats") return cmd_stats(args, os);
     print_usage(os);
     return args.command.empty() ? 0 : 2;
   } catch (const std::exception& e) {

@@ -36,6 +36,11 @@ int cmd_tune(const ParsedArgs& args, std::ostream& os);
 ///  aggregate metrics line.
 int cmd_serve(const ParsedArgs& args, std::ostream& os);
 
+/// `deepcat stats --socket /path.sock` — connect to a streaming server,
+/// send one STAT poll, print the TELE telemetry payload it answers with.
+/// Exit 0 iff a TELE frame arrived.
+int cmd_stats(const ParsedArgs& args, std::ostream& os);
+
 /// Dispatches to the subcommand; prints usage on unknown/empty command.
 int run_cli(const std::vector<std::string>& argv, std::ostream& os);
 

@@ -1,0 +1,103 @@
+// Span export sinks — the streaming side of the tracer.
+//
+// In retained mode the Tracer keeps every span in memory until someone
+// calls write_chrome_trace(); fine for tests and short CLI runs, O(trace)
+// for a long-lived service. Exporter mode inverts that: completed spans
+// accumulate in a small ring inside the Tracer and are handed to a
+// SpanSink in batches whenever the ring fills (synchronous back-pressure,
+// never silent loss) and at flush points. Memory stays O(ring + open
+// spans) however long the stream runs.
+//
+// Two sinks ship here:
+//
+//   * CallbackSpanSink — in-process fan-out to a std::function, for tests,
+//     benchmarks and embedders that want spans as objects.
+//   * ChromeTraceFileSink — incremental Chrome-trace-format writer with
+//     valid-JSON-on-crash framing: after every event the closing "]}"
+//     tail is written and the write position rewound over it before the
+//     next event, so the file on disk parses as a complete trace at every
+//     flush boundary even if the process dies mid-stream.
+//
+// Sinks are called with the Tracer's internal mutex held (that is what
+// makes the ring drain a back-pressure point rather than a drop point),
+// so a sink must never call back into the Tracer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace deepcat::obs {
+
+/// One completed span, resolved to plain values. Ids are the Tracer's
+/// monotonic span ids; parent 0 means root. Timestamps are whatever the
+/// Tracer's Clock produced (ns).
+struct SpanRecord {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t t0 = 0;
+  std::uint64_t t1 = 0;
+  std::uint32_t tid = 0;
+};
+
+/// Destination for completed spans. export_spans receives batches in
+/// completion order; flush() marks a durability point (end of stream,
+/// Tracer destruction). Implementations must tolerate empty batches.
+class SpanSink {
+ public:
+  virtual ~SpanSink() = default;
+  virtual void export_spans(const SpanRecord* spans, std::size_t count) = 0;
+  virtual void flush() {}
+};
+
+/// Hands each span to a callback; the simplest possible sink.
+class CallbackSpanSink final : public SpanSink {
+ public:
+  using Callback = std::function<void(const SpanRecord&)>;
+  explicit CallbackSpanSink(Callback on_span)
+      : on_span_(std::move(on_span)) {}
+
+  void export_spans(const SpanRecord* spans, std::size_t count) override {
+    for (std::size_t i = 0; i < count; ++i) on_span_(spans[i]);
+  }
+
+ private:
+  Callback on_span_;
+};
+
+/// Streams spans into a Chrome-trace JSON file as they complete.
+///
+/// Framing invariant: after construction and after every export_spans /
+/// flush call the file contains a structurally valid Chrome trace (header,
+/// metadata event, every span exported so far, closing "]}" tail). The
+/// tail is rewritten after each event batch and the put position seeks
+/// back over it before the next batch — a crash between batches loses at
+/// most the spans still in the Tracer's ring, never the file's validity.
+class ChromeTraceFileSink final : public SpanSink {
+ public:
+  /// Opens (truncates) `path` and writes the trace header. `clock_kind`
+  /// lands in the otherData metadata ("steady" / "logical"). Throws
+  /// std::runtime_error when the file cannot be opened.
+  ChromeTraceFileSink(const std::string& path, const std::string& clock_kind);
+  ~ChromeTraceFileSink() override;
+
+  void export_spans(const SpanRecord* spans, std::size_t count) override;
+  void flush() override;
+
+  /// Spans written to the file so far.
+  [[nodiscard]] std::uint64_t exported_spans() const noexcept {
+    return exported_;
+  }
+
+ private:
+  void write_tail();
+
+  std::ofstream out_;
+  std::ofstream::pos_type tail_pos_{};
+  std::uint64_t exported_ = 0;
+};
+
+}  // namespace deepcat::obs

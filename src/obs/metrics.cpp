@@ -158,6 +158,41 @@ double Histogram::mean() const noexcept {
   return n == 0 ? 0.0 : sum() / static_cast<double>(n);
 }
 
+double Histogram::quantile(double q) const noexcept {
+  return histogram_quantile(edges_, bucket_counts(), q);
+}
+
+double histogram_quantile(const std::vector<double>& edges,
+                          const std::vector<std::uint64_t>& counts,
+                          double q) noexcept {
+  if (edges.empty() || counts.size() != edges.size() + 1) return 0.0;
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(std::isfinite(q) ? q : 0.0, 0.0, 1.0);
+  // Continuous target rank in [0, total]; rank r is covered by the bucket
+  // whose cumulative count first reaches it.
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
+    if (in_bucket == 0) continue;
+    const double reached = static_cast<double>(cumulative + in_bucket);
+    if (reached >= target) {
+      const double lo = i == 0 ? std::min(0.0, edges[0]) : edges[i - 1];
+      const double hi = edges[i];
+      const double into =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + std::clamp(into, 0.0, 1.0) * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  // Rank lands in the overflow bucket, which has no upper edge; the last
+  // finite edge is the tightest bound the histogram can state.
+  return edges.back();
+}
+
 namespace {
 
 const char* kind_name(MetricKind kind) noexcept {
@@ -286,6 +321,9 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot(
         snap.count = entry.histogram->count();
         snap.sum = entry.histogram->sum();
         snap.mean = entry.histogram->mean();
+        snap.p50 = histogram_quantile(snap.edges, snap.bucket_counts, 0.50);
+        snap.p95 = histogram_quantile(snap.edges, snap.bucket_counts, 0.95);
+        snap.p99 = histogram_quantile(snap.edges, snap.bucket_counts, 0.99);
         break;
     }
     out.push_back(std::move(snap));
@@ -319,7 +357,8 @@ void write_metric_json(std::ostream& os, const MetricSnapshot& snap) {
         if (i != 0) os << ',';
         os << snap.bucket_counts[i];
       }
-      os << ']';
+      os << "],\"p50\":" << snap.p50 << ",\"p95\":" << snap.p95
+         << ",\"p99\":" << snap.p99;
       break;
     }
   }

@@ -123,6 +123,11 @@ class Histogram {
   [[nodiscard]] double sum() const noexcept;
   [[nodiscard]] double mean() const noexcept;
 
+  /// Quantile estimate from the bucket counts, q in [0, 1] (clamped):
+  /// linear interpolation inside the covering bucket — see
+  /// histogram_quantile() for the exact contract.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
  private:
   std::vector<double> edges_;  // strictly ascending
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
@@ -144,7 +149,23 @@ struct MetricSnapshot {
   double max = 0.0;                               // gauge
   std::vector<double> edges;                      // histogram
   std::vector<std::uint64_t> bucket_counts;       // histogram (+overflow)
+  double p50 = 0.0;                               // histogram quantiles
+  double p95 = 0.0;
+  double p99 = 0.0;
 };
+
+/// Quantile estimate from inclusive-upper-bound bucket counts (the
+/// Histogram layout: counts[i] observations <= edges[i], counts.back() is
+/// the overflow bucket). q is clamped to [0, 1]. The target rank
+/// q * total is located in its covering bucket and the value linearly
+/// interpolated between the bucket's lower and upper edge (bucket 0's
+/// lower edge is min(0, edges[0])). Ranks landing in the overflow bucket
+/// report edges.back() — the largest value the histogram can bound.
+/// Returns 0 on an empty histogram. Exact at bucket boundaries; at most
+/// one bucket width off inside a bucket.
+[[nodiscard]] double histogram_quantile(
+    const std::vector<double>& edges,
+    const std::vector<std::uint64_t>& counts, double q) noexcept;
 
 /// Owner of all metrics. Lookup is by name; re-registering a name returns
 /// the existing instrument (kind and edges must match, else

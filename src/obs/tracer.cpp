@@ -8,6 +8,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace deepcat::obs {
 
 namespace {
@@ -45,6 +47,42 @@ Tracer::Tracer(Clock& clock, TracerOptions options)
   if (options_.sample_every == 0) {
     throw std::invalid_argument("Tracer: sample_every must be >= 1");
   }
+  if (options_.exporter != nullptr && options_.ring_capacity == 0) {
+    throw std::invalid_argument("Tracer: ring_capacity must be >= 1");
+  }
+  if (options_.exporter != nullptr) {
+    ring_.reserve(options_.ring_capacity);
+  }
+  if (options_.health != nullptr) {
+    // Emitted (completed) spans are a pure function of the work, so the
+    // counter is deterministic; how deep the ring got and how many spans
+    // were refused under open-span pressure are scheduling artifacts.
+    health_emitted_ = &options_.health->counter("obs.spans.emitted");
+    health_dropped_ =
+        &options_.health->counter("obs.spans.dropped", /*deterministic=*/false);
+    health_ring_highwater_ = &options_.health->gauge(
+        "obs.spans.ring_highwater", /*deterministic=*/false);
+    options_.health->gauge("obs.sample_every")
+        .set(static_cast<double>(options_.sample_every));
+  }
+}
+
+Tracer::~Tracer() { flush_exporter(); }
+
+std::uint32_t Tracer::tid_for_current_thread_locked() {
+  const auto [it, inserted] = tids_.try_emplace(
+      std::this_thread::get_id(), static_cast<std::uint32_t>(tids_.size()));
+  return it->second;
+}
+
+void Tracer::drain_ring_locked() {
+  if (ring_.empty() || options_.exporter == nullptr) return;
+  if (health_ring_highwater_ != nullptr) {
+    health_ring_highwater_->set(static_cast<double>(ring_.size()));
+  }
+  options_.exporter->export_spans(ring_.data(), ring_.size());
+  exported_ += ring_.size();
+  ring_.clear();
 }
 
 std::uint64_t Tracer::begin_span(std::string name, std::uint64_t parent) {
@@ -58,39 +96,110 @@ std::uint64_t Tracer::begin_span(std::string name, std::uint64_t parent) {
       return 0;
     }
   }
-  if (records_.size() >= options_.max_spans) {
+  if (options_.exporter == nullptr) {
+    // Retained mode: ids are 1-based indexes into records_.
+    if (records_.size() >= options_.max_spans) {
+      ++dropped_;
+      if (health_dropped_ != nullptr) health_dropped_->add(1);
+      return 0;
+    }
+    Record rec;
+    rec.parent = parent <= records_.size() ? parent : 0;
+    ++edges_[{rec.parent == 0 ? std::string()
+                              : records_[rec.parent - 1].name,
+              name}];
+    rec.name = std::move(name);
+    rec.t0 = clock_->now_ns();
+    rec.tid = tid_for_current_thread_locked();
+    records_.push_back(std::move(rec));
+    return records_.size();
+  }
+  // Streaming mode: completed spans leave through the exporter, so only
+  // the simultaneously-open set is capped — refusing here is back-pressure
+  // against a span leak, not history truncation.
+  if (open_.size() >= options_.max_spans) {
     ++dropped_;
+    if (health_dropped_ != nullptr) health_dropped_->add(1);
     return 0;
   }
   Record rec;
+  // A parent that already completed (or was sampled out) has left the open
+  // map; its child exports re-parented to root. Instrumented code in this
+  // repo always closes parents after children, so this is a defensive
+  // path, not a hot one.
+  const auto parent_it = parent == 0 ? open_.end() : open_.find(parent);
+  rec.parent = parent_it == open_.end() ? 0 : parent;
+  ++edges_[{parent_it == open_.end() ? std::string()
+                                     : parent_it->second.name,
+            name}];
   rec.name = std::move(name);
-  rec.parent = parent <= records_.size() ? parent : 0;
   rec.t0 = clock_->now_ns();
-  const auto [it, inserted] = tids_.try_emplace(
-      std::this_thread::get_id(), static_cast<std::uint32_t>(tids_.size()));
-  rec.tid = it->second;
-  records_.push_back(std::move(rec));
-  return records_.size();
+  rec.tid = tid_for_current_thread_locked();
+  const std::uint64_t id = next_id_++;
+  open_.emplace(id, std::move(rec));
+  return id;
 }
 
 void Tracer::end_span(std::uint64_t id) {
   if (id == 0) return;
   std::lock_guard lock(mutex_);
-  if (id > records_.size()) return;
-  Record& rec = records_[id - 1];
-  if (rec.ended) return;
-  rec.t1 = clock_->now_ns();
-  rec.ended = true;
+  if (options_.exporter == nullptr) {
+    if (id > records_.size()) return;
+    Record& rec = records_[id - 1];
+    if (rec.ended) return;
+    rec.t1 = clock_->now_ns();
+    rec.ended = true;
+    if (health_emitted_ != nullptr) health_emitted_->add(1);
+    return;
+  }
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;  // unknown or already ended
+  SpanRecord out;
+  out.name = std::move(it->second.name);
+  out.id = id;
+  out.parent = it->second.parent;
+  out.t0 = it->second.t0;
+  out.t1 = clock_->now_ns();
+  out.tid = it->second.tid;
+  open_.erase(it);
+  ring_.push_back(std::move(out));
+  ring_highwater_ = std::max(ring_highwater_, ring_.size());
+  if (health_emitted_ != nullptr) health_emitted_->add(1);
+  if (ring_.size() >= options_.ring_capacity) drain_ring_locked();
 }
 
 std::size_t Tracer::span_count() const {
   std::lock_guard lock(mutex_);
-  return records_.size();
+  if (options_.exporter == nullptr) return records_.size();
+  return open_.size() + ring_.size() + static_cast<std::size_t>(exported_);
 }
 
 std::size_t Tracer::dropped_spans() const {
   std::lock_guard lock(mutex_);
   return dropped_;
+}
+
+std::size_t Tracer::retained_spans() const {
+  std::lock_guard lock(mutex_);
+  if (options_.exporter == nullptr) return records_.size();
+  return open_.size() + ring_.size();
+}
+
+std::size_t Tracer::exported_spans() const {
+  std::lock_guard lock(mutex_);
+  return static_cast<std::size_t>(exported_);
+}
+
+std::size_t Tracer::ring_highwater() const {
+  std::lock_guard lock(mutex_);
+  return ring_highwater_;
+}
+
+void Tracer::flush_exporter() {
+  std::lock_guard lock(mutex_);
+  if (options_.exporter == nullptr) return;
+  drain_ring_locked();
+  options_.exporter->flush();
 }
 
 void Tracer::write_chrome_trace(std::ostream& os) const {
@@ -123,14 +232,8 @@ void Tracer::write_chrome_trace(std::ostream& os) const {
 
 std::string Tracer::structure_signature() const {
   std::lock_guard lock(mutex_);
-  std::map<std::pair<std::string, std::string>, std::uint64_t> edges;
-  for (const Record& rec : records_) {
-    const std::string parent_name =
-        rec.parent == 0 ? std::string() : records_[rec.parent - 1].name;
-    ++edges[{parent_name, rec.name}];
-  }
   std::ostringstream out;
-  for (const auto& [edge, count] : edges) {
+  for (const auto& [edge, count] : edges_) {
     out << edge.first << '>' << edge.second << ' ' << count << '\n';
   }
   return out.str();

@@ -9,12 +9,27 @@
 // so "current span" is a property of the request, not the thread. The
 // Sink (sink.hpp) carries the parent id across layer boundaries.
 //
+// Two storage modes:
+//
+//   * retained (default, no exporter): every span stays in memory until
+//     write_chrome_trace(); max_spans caps the store and begin_span()
+//     drops past it. Right for tests and bounded CLI runs.
+//   * streaming (options.exporter set): completed spans land in a bounded
+//     ring and are drained to the SpanSink whenever the ring fills and at
+//     flush_exporter(). Memory is O(ring_capacity + open spans) whatever
+//     the stream length; a full ring drains synchronously (back-pressure)
+//     instead of dropping, so dropped_spans() counts only spans refused
+//     because too many were simultaneously *open* (> max_spans), not
+//     truncation of the completed-span history.
+//
 // Determinism: with a LogicalClock, timestamps are tick numbers and the
 // *structure* of the trace (the multiset of parent-name -> span-name
 // edges) is a pure function of the work performed — invariant across
-// thread counts and arrival shuffles. Tick assignment order still depends
-// on interleaving, so golden tests compare structure_signature(), not
-// bytes. See DESIGN.md §10.
+// thread counts and arrival shuffles, in both storage modes (the edge
+// multiset is maintained incrementally at begin_span, so streaming export
+// never loses it). Tick assignment order still depends on interleaving,
+// so golden tests compare structure_signature(), not bytes. See
+// DESIGN.md §10.
 //
 // Sampling: sample_every = N keeps every Nth *root* span (children of a
 // kept root are always kept; children of a dropped root see parent id 0
@@ -29,22 +44,41 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "obs/clock.hpp"
+#include "obs/exporter.hpp"
 
 namespace deepcat::obs {
+
+class MetricsRegistry;
+class Counter;
+class Gauge;
 
 struct TracerOptions {
   /// Keep every Nth root span (1 = all). Must be >= 1.
   std::size_t sample_every = 1;
-  /// Hard cap on stored spans; beyond it begin_span() drops (returns 0)
-  /// and counts. Bounds memory for unbounded streams.
+  /// Retained mode: hard cap on stored spans; beyond it begin_span()
+  /// drops (returns 0) and counts. Streaming mode: cap on simultaneously
+  /// OPEN spans — completed spans stream out and are never capped.
   std::size_t max_spans = 1u << 20;
+  /// Streaming export destination; nullptr = retained mode.
+  SpanSink* exporter = nullptr;
+  /// Completed-span ring size in streaming mode. A full ring drains to
+  /// the exporter synchronously (back-pressure, no loss). Must be >= 1.
+  std::size_t ring_capacity = 256;
+  /// Optional registry for tracer health instruments
+  /// (obs.spans.emitted/dropped/ring_highwater, obs.sample_every) so
+  /// trace loss is visible in the metrics snapshot, not only via
+  /// accessors. Must outlive the tracer.
+  MetricsRegistry* health = nullptr;
 };
 
 class Tracer {
  public:
   explicit Tracer(Clock& clock, TracerOptions options = {});
+  ~Tracer();
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -86,18 +120,36 @@ class Tracer {
     return Span(this, begin_span(std::move(name), parent));
   }
 
+  /// Spans begun and not dropped (retained: stored; streaming: open +
+  /// ringed + exported).
   [[nodiscard]] std::size_t span_count() const;
   [[nodiscard]] std::size_t dropped_spans() const;
 
+  /// Spans currently held in memory: records in retained mode, open map +
+  /// ring in streaming mode. The streaming determinism stress asserts
+  /// this stays O(ring_capacity + concurrency).
+  [[nodiscard]] std::size_t retained_spans() const;
+  /// Completed spans handed to the exporter so far (0 in retained mode).
+  [[nodiscard]] std::size_t exported_spans() const;
+  /// Deepest the completed-span ring ever got (<= ring_capacity).
+  [[nodiscard]] std::size_t ring_highwater() const;
+
+  /// Streaming mode: drains the ring to the exporter and flushes the
+  /// sink, making everything completed so far durable. No-op in retained
+  /// mode. The destructor calls this.
+  void flush_exporter();
+
   /// Chrome trace event format: one "X" (complete) event per span with
   /// ts/dur in microseconds, plus metadata naming the process and the
-  /// clock kind. Unended spans export with dur 0.
+  /// clock kind. Unended spans export with dur 0. Retained mode only —
+  /// in streaming mode the exporter owns the spans and this writes an
+  /// empty (but valid) trace.
   void write_chrome_trace(std::ostream& os) const;
 
   /// Deterministic structural digest: name-sorted lines
   /// "<parent-name>><name> <count>\n" with "" as the root parent. Two
   /// logical-clock runs of the same work produce identical signatures
-  /// whatever the interleaving.
+  /// whatever the interleaving — and whichever storage mode is active.
   [[nodiscard]] std::string structure_signature() const;
 
  private:
@@ -110,13 +162,36 @@ class Tracer {
     std::uint32_t tid = 0;
   };
 
+  /// Requires mutex_ held. Hands the ring to the exporter and clears it.
+  void drain_ring_locked();
+  [[nodiscard]] std::uint32_t tid_for_current_thread_locked();
+
   Clock* clock_;
   TracerOptions options_;
   mutable std::mutex mutex_;
+
+  // Retained mode storage (span id == 1-based index into records_).
   std::deque<Record> records_;
+
+  // Streaming mode storage: monotonically id'd open spans + completed ring.
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Record> open_;
+  std::vector<SpanRecord> ring_;
+  std::size_t ring_highwater_ = 0;
+  std::uint64_t exported_ = 0;
+
+  // Parent-name -> name edge multiset, maintained incrementally so the
+  // structural digest survives streaming export.
+  std::map<std::pair<std::string, std::string>, std::uint64_t> edges_;
+
   std::map<std::thread::id, std::uint32_t> tids_;
   std::uint64_t roots_seen_ = 0;
   std::uint64_t dropped_ = 0;
+
+  // Health instruments (null when options_.health is null).
+  Counter* health_emitted_ = nullptr;
+  Counter* health_dropped_ = nullptr;
+  Gauge* health_ring_highwater_ = nullptr;
 };
 
 /// Structural validation of a Chrome trace JSON document, for tests and

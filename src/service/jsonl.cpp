@@ -5,6 +5,8 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace deepcat::service {
 
 namespace {
@@ -198,9 +200,13 @@ void write_report_jsonl(std::ostream& os, const SessionReport& r,
 
 namespace {
 
+/// The one serializer for the aggregate metrics fields — METR and the
+/// TELE aggregate line both call it, so the flat keys cannot drift apart.
+/// Writes the keys only; the caller owns the braces (and any keys before
+/// or after).
 void write_metrics_body(std::ostream& os, const ServiceMetrics& m) {
   os.precision(17);
-  os << "{\"aggregate\":true,\"sessions\":" << m.sessions_served
+  os << "\"aggregate\":true,\"sessions\":" << m.sessions_served
      << ",\"failed\":" << m.sessions_failed
      << ",\"evaluations\":" << m.evaluations_paid
      << ",\"eval_seconds\":" << m.evaluation_seconds
@@ -214,20 +220,59 @@ void write_metrics_body(std::ostream& os, const ServiceMetrics& m) {
      << ",\"fine_tune_steps\":" << m.fine_tune_steps;
 }
 
+/// Deterministic subset: the integer fields only. The float aggregates
+/// (second totals, means, tracker quantiles) accumulate in completion
+/// order, so their low-order bits depend on scheduling; the deterministic
+/// TELE payload leaves them to the registry's fixed-point instruments.
+void write_metrics_body_deterministic(std::ostream& os,
+                                      const ServiceMetrics& m) {
+  os << "\"aggregate\":true,\"sessions\":" << m.sessions_served
+     << ",\"failed\":" << m.sessions_failed
+     << ",\"evaluations\":" << m.evaluations_paid
+     << ",\"merges\":" << m.merges
+     << ",\"merged_transitions\":" << m.merged_transitions
+     << ",\"fine_tune_steps\":" << m.fine_tune_steps;
+}
+
+void write_build_labels(std::ostream& os, const obs::BuildInfo& build) {
+  os << ",\"version\":\"" << json_escape(build.version) << "\""
+     << ",\"backend\":\"" << json_escape(build.backend) << "\""
+     << ",\"simd_compiled\":" << (build.simd_compiled ? "true" : "false")
+     << ",\"threads\":" << build.threads;
+}
+
 }  // namespace
 
 void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m) {
+  os << '{';
   write_metrics_body(os, m);
   os << "}\n";
 }
 
 void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m,
                          const obs::BuildInfo& build) {
+  os << '{';
   write_metrics_body(os, m);
-  os << ",\"version\":\"" << json_escape(build.version) << "\""
-     << ",\"backend\":\"" << json_escape(build.backend) << "\""
-     << ",\"simd_compiled\":" << (build.simd_compiled ? "true" : "false")
-     << ",\"threads\":" << build.threads << "}\n";
+  write_build_labels(os, build);
+  os << "}\n";
+}
+
+void write_telemetry_payload(std::ostream& os, const ServiceMetrics& m,
+                             const obs::BuildInfo& build,
+                             const obs::MetricsRegistry* registry,
+                             bool include_nondeterministic) {
+  os << "{\"tele\":" << kTelemetrySchemaVersion << ",\"deterministic\":"
+     << (include_nondeterministic ? "false" : "true") << ',';
+  if (include_nondeterministic) {
+    write_metrics_body(os, m);
+  } else {
+    write_metrics_body_deterministic(os, m);
+  }
+  write_build_labels(os, build);
+  os << "}\n";
+  if (registry != nullptr) {
+    registry->write_jsonl(os, include_nondeterministic);
+  }
 }
 
 }  // namespace deepcat::service

@@ -15,6 +15,10 @@
 
 namespace deepcat::service {
 
+/// Schema version of the TELE aggregate line ("tele" key). Bump when the
+/// payload shape changes incompatibly.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
 /// Parses one flat JSON object into key -> raw value (strings unescaped,
 /// numbers/bools kept as their literal text). Throws std::invalid_argument
 /// on malformed input, naming what was expected.
@@ -56,8 +60,28 @@ void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m);
 /// keys only — PR 3 clients parse with a tolerant flat-JSON reader, so
 /// old readers still accept the extended frame. The batch driver keeps
 /// the unlabelled writer so its output diffs clean across --threads and
-/// numeric backends.
+/// numeric backends. Deprecated in wire v2 in favor of the TELE payload
+/// (write_telemetry_payload); still emitted by default for v1 readers.
 void write_metrics_jsonl(std::ostream& os, const ServiceMetrics& m,
                          const obs::BuildInfo& build);
+
+/// The TELE frame payload: line 1 is the aggregate object — a "tele"
+/// schema version tag, then the exact METR field serializer (the two
+/// writers share one implementation so the flat keys can never drift),
+/// then the build labels — followed by the registry's name-sorted
+/// instrument set, one JSON line per instrument (write_metric_json
+/// format, histogram lines carry p50/p95/p99). registry may be null
+/// (aggregate line only).
+///
+/// include_nondeterministic=false is the byte-stable variant the
+/// determinism stress compares across thread counts and arrival
+/// shuffles: it keeps only the integer aggregate fields (float sums
+/// accumulate in completion order, so their low bits are scheduling
+/// artifacts) and only the registry's deterministic instruments (whose
+/// fixed-point accumulation is exact and commutative).
+void write_telemetry_payload(std::ostream& os, const ServiceMetrics& m,
+                             const obs::BuildInfo& build,
+                             const obs::MetricsRegistry* registry,
+                             bool include_nondeterministic = true);
 
 }  // namespace deepcat::service

@@ -441,10 +441,24 @@ std::string report_payload(const StreamReport& report) {
 }  // namespace
 
 StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
-                                     StreamingService& service) {
+                                     StreamingService& service,
+                                     const StreamServeOptions& serve_options) {
   StreamServeResult result;
   write_stream_header(out);
 
+  // TELE snapshots the live aggregates + instrument set — no barrier, so
+  // a mid-stream poll reflects whatever has completed so far.
+  const auto emit_tele = [&] {
+    std::ostringstream tele;
+    write_telemetry_payload(tele, service.metrics(), service.build_info(),
+                            service.metrics_registry(),
+                            serve_options.tele_include_nondeterministic);
+    write_frame(out, FrameType::kTelemetry,
+                strip_newline(std::move(tele).str()));
+    ++result.tele_frames;
+  };
+
+  std::size_t replies = 0;
   const auto emit_completed = [&](bool drain) {
     for (;;) {
       std::optional<StreamReport> report =
@@ -452,6 +466,11 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
       if (!report) break;
       if (!report->session.ok) ++result.failed_sessions;
       write_frame(out, FrameType::kReply, report_payload(*report));
+      ++replies;
+      if (serve_options.tele_every != 0 &&
+          replies % serve_options.tele_every == 0) {
+        emit_tele();
+      }
     }
   };
 
@@ -501,7 +520,30 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
       case FrameType::kFlush:
         emit_completed(/*drain=*/true);
         (void)service.flush();
+        emit_tele();
         break;
+      case FrameType::kStat: {
+        // On-demand telemetry poll, no flush barrier. The payload is
+        // reserved for future options; it must be empty or a flat JSON
+        // object, and anything else is strictly rejected so a corrupt
+        // STAT cannot be half-honored.
+        bool well_formed = frame->payload.empty();
+        if (!well_formed) {
+          try {
+            (void)parse_flat_json(frame->payload);
+            well_formed = true;
+          } catch (const std::exception& e) {
+            write_frame(out, FrameType::kError,
+                        error_payload(std::string("STAT: ") + e.what()));
+            ++result.parse_errors;
+          }
+        }
+        if (well_formed) {
+          ++result.stat_polls;
+          emit_tele();
+        }
+        break;
+      }
       case FrameType::kEnd:
         result.clean_end = true;
         reading = false;
@@ -523,12 +565,21 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
 
   emit_completed(/*drain=*/true);
   (void)service.flush();
-  std::ostringstream metrics;
-  write_metrics_jsonl(metrics, service.metrics(), service.build_info());
-  write_frame(out, FrameType::kMetrics, strip_newline(std::move(metrics).str()));
+  emit_tele();
+  if (serve_options.metr_compat) {
+    std::ostringstream metrics;
+    write_metrics_jsonl(metrics, service.metrics(), service.build_info());
+    write_frame(out, FrameType::kMetrics,
+                strip_newline(std::move(metrics).str()));
+  }
   write_frame(out, FrameType::kEnd, "");
   out.flush();
   return result;
+}
+
+StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
+                                     StreamingService& service) {
+  return serve_frame_stream(in, out, service, StreamServeOptions{});
 }
 
 }  // namespace deepcat::service

@@ -131,9 +131,15 @@ class StreamingService {
 
   [[nodiscard]] ServiceMetrics metrics() const;
 
-  /// Build info for the METR frame: the configured override, else the
-  /// live dispatch/thread state.
+  /// Build info for the METR/TELE frames: the configured override, else
+  /// the live dispatch/thread state.
   [[nodiscard]] obs::BuildInfo build_info() const;
+
+  /// The sink's metrics registry (null when observability is off); the
+  /// TELE encoder reads the instrument set through this.
+  [[nodiscard]] const obs::MetricsRegistry* metrics_registry() const noexcept {
+    return options_.service.obs.metrics;
+  }
 
   void set_session_runner_for_test(SessionRunner runner) {
     runner_ = std::move(runner);
@@ -223,22 +229,42 @@ class StreamingService {
   common::ThreadPool pool_;
 };
 
+/// Knobs for one serve_frame_stream drive.
+struct StreamServeOptions {
+  /// Also emit a TELE frame after every Nth REP (0 = only at the
+  /// protocol-mandated points: FLSH boundaries, STAT polls, before END).
+  std::size_t tele_every = 0;
+  /// false = byte-stable TELE payloads (deterministic instruments and
+  /// integer aggregates only); the CLI sets this for --clock logical.
+  bool tele_include_nondeterministic = true;
+  /// Keep emitting the deprecated METR frame before END so wire-v1
+  /// readers still find their flat keys. TELE is emitted either way.
+  bool metr_compat = true;
+};
+
 /// Result of driving one framed stream end to end.
 struct StreamServeResult {
   std::size_t requests = 0;         ///< REQ frames seen (including bad ones)
   std::size_t failed_sessions = 0;  ///< REP frames with ok=false
   std::size_t parse_errors = 0;     ///< bad payloads / misdirected frames
   std::size_t protocol_errors = 0;  ///< corrupt framing (stream abandoned)
+  std::size_t stat_polls = 0;       ///< well-formed STAT frames served
+  std::size_t tele_frames = 0;      ///< TELE frames emitted
   bool clean_end = false;           ///< explicit END frame received
 };
 
-/// Serves one framed wire stream: reads REQ/FLSH/END frames from `in`,
-/// emits REP frames in completion order, then a final METR frame and an
-/// END frame to `out`. Corrupt framing is unrecoverable (the stream is
-/// length-prefixed), so it yields one ERR frame and stops reading;
-/// malformed request payloads yield an ERR frame each and the stream
-/// continues. In-flight work is always drained and merged before the
-/// final metrics, whatever the input did.
+/// Serves one framed wire stream: reads REQ/STAT/FLSH/END frames from
+/// `in`, emits REP frames in completion order, a TELE frame at every
+/// FLSH boundary / STAT poll / before the end, then the final
+/// (deprecated, compat-gated) METR frame and an END frame to `out`.
+/// Corrupt framing is unrecoverable (the stream is length-prefixed), so
+/// it yields one ERR frame and stops reading; malformed request or STAT
+/// payloads yield an ERR frame each and the stream continues. In-flight
+/// work is always drained and merged before the final telemetry,
+/// whatever the input did.
+StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
+                                     StreamingService& service,
+                                     const StreamServeOptions& serve_options);
 StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
                                      StreamingService& service);
 

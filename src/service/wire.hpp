@@ -18,12 +18,21 @@
 // would silently turn one imperative into another (one bit separates
 // "REQ " from "REP "), so the header itself must be integrity-checked.
 //
-// Frame types in version 1 (payloads are the service's JSONL objects,
+// Frame types in version 2 (payloads are the service's JSONL objects,
 // without the trailing newline):
 //
 //   "REQ "  client -> server: one tuning request
 //   "REP "  server -> client: one session report (+ model, model_epoch)
-//   "METR"  server -> client: aggregate metrics, once before "END "
+//   "METR"  server -> client: aggregate metrics flat keys, once before
+//           "END " — deprecated in favor of "TELE", still emitted by
+//           default for v1 readers (StreamServeOptions.metr_compat)
+//   "TELE"  server -> client: versioned telemetry snapshot — one
+//           aggregate JSON line ("tele" schema tag + the METR fields +
+//           build labels) followed by the full name-sorted instrument
+//           set, one JSON line per instrument. Emitted at every "FLSH"
+//           boundary, in answer to "STAT", and before "END "
+//   "STAT"  client -> server: poll an on-demand "TELE" right now, without
+//           a flush barrier; payload empty or a flat JSON object
 //   "ERR "  server -> client: protocol or parse error description
 //   "FLSH"  client -> server: barrier — merge all completed experience
 //           into the masters and take bounded fine-tune steps now
@@ -53,7 +62,8 @@
 namespace deepcat::service {
 
 /// Current writer protocol version. Readers accept any version <= this.
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2 added the "TELE" and "STAT" frames.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 /// Hard cap on a single frame payload. The JSONL payloads are a few
 /// hundred bytes; anything near this limit is a corrupt or hostile length
@@ -67,12 +77,14 @@ class WireError : public std::runtime_error {
 };
 
 enum class FrameType : std::uint32_t {
-  kRequest = 0x20514552u,  // "REQ "
-  kReply = 0x20504552u,    // "REP "
-  kMetrics = 0x5254454Du,  // "METR"
-  kError = 0x20525245u,    // "ERR "
-  kFlush = 0x48534C46u,    // "FLSH"
-  kEnd = 0x20444E45u,      // "END "
+  kRequest = 0x20514552u,    // "REQ "
+  kReply = 0x20504552u,      // "REP "
+  kMetrics = 0x5254454Du,    // "METR"
+  kTelemetry = 0x454C4554u,  // "TELE"
+  kStat = 0x54415453u,       // "STAT"
+  kError = 0x20525245u,      // "ERR "
+  kFlush = 0x48534C46u,      // "FLSH"
+  kEnd = 0x20444E45u,        // "END "
 };
 
 struct Frame {

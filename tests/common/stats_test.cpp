@@ -287,7 +287,52 @@ TEST(QuantileTrackerTest, MinimumCapIsTwo) {
   for (double x : {9.0, 1.0, 5.0, 7.0, 3.0}) q.add(x);
   EXPECT_LE(q.count(), 2u);
   EXPECT_EQ(q.total_count(), 5u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);  // rank 0 survives every halving
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 9.0);  // last element is force-kept
+}
+
+TEST(QuantileTrackerTest, AllEqualSamplesSurviveCompaction) {
+  QuantileTracker q(8);
+  for (int i = 0; i < 1000; ++i) q.add(5.0);
+  EXPECT_TRUE(q.compacted());
+  EXPECT_LE(q.count(), 8u);
+  EXPECT_EQ(q.total_count(), 1000u);
+  for (const double p : {0.0, 0.25, 0.5, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(q.quantile(p), 5.0) << p;
+  }
+}
+
+TEST(QuantileTrackerTest, CompactionTriggersOnlyPastTheCap) {
+  // Filling the tracker to exactly its cap keeps it exact; the cap+1-th
+  // sample is what halves the skeleton (even ranks + the maximum).
+  QuantileTracker q(8);
+  for (int i = 1; i <= 8; ++i) q.add(static_cast<double>(i));
+  EXPECT_EQ(q.count(), 8u);
+  EXPECT_FALSE(q.compacted());
+  // Still the exact nearest-rank answer: round(0.5 * 7) = rank 4 -> 5.
+  EXPECT_DOUBLE_EQ(q.quantile(0.5), 5.0);
+  q.add(9.0);
+  EXPECT_TRUE(q.compacted());
+  EXPECT_EQ(q.count(), 5u);  // ranks 0,2,4,6,8 of {1..9}
+  EXPECT_EQ(q.total_count(), 9u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
   EXPECT_DOUBLE_EQ(q.quantile(1.0), 9.0);
+}
+
+TEST(QuantileTrackerTest, ExtremesStayExactAfterRepeatedCompactions) {
+  // Rank 0 and the force-kept last element ride through every halving,
+  // so min and max are exact however often the skeleton compacts.
+  QuantileTracker q(16);
+  q.add(-5.0);
+  Rng rng(41);
+  for (int i = 0; i < 20'000; ++i) {
+    q.add(rng.uniform(10.0, 90.0));
+    if (i == 10'000) q.add(105.0);
+  }
+  EXPECT_TRUE(q.compacted());
+  EXPECT_LE(q.count(), 16u);
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), -5.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 105.0);
 }
 
 }  // namespace

@@ -26,10 +26,15 @@ std::string wire_base_stream() {
       {service::FrameType::kRequest,
        "{\"id\":\"req-0\",\"workload\":\"TS-D1\",\"cluster\":\"a\","
        "\"steps\":3,\"seed\":11,\"model\":\"default\"}"},
+      {service::FrameType::kStat, ""},
       {service::FrameType::kRequest,
        "{\"id\":\"req-1\",\"workload\":\"PR-D2\",\"cluster\":\"b\","
        "\"steps\":2,\"seed\":12,\"model\":\"graph\"}"},
       {service::FrameType::kFlush, ""},
+      {service::FrameType::kTelemetry,
+       "{\"tele\":1,\"deterministic\":false,\"aggregate\":true,"
+       "\"sessions\":2}\n{\"name\":\"stream.flushes\",\"kind\":\"counter\","
+       "\"deterministic\":true,\"value\":1}"},
       {service::FrameType::kMetrics, "{\"aggregate\":true,\"sessions\":2}"},
       {service::FrameType::kEnd, ""},
   });

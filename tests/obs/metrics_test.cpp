@@ -4,12 +4,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "obs/metrics.hpp"
 
 namespace deepcat::obs {
@@ -143,6 +145,81 @@ TEST(ObsMetricsTest, ReRegistrationWithMismatchThrows) {
   (void)registry.histogram("h", {1.0, 2.0});
   EXPECT_THROW((void)registry.histogram("h", {1.0, 3.0}),
                std::invalid_argument);
+}
+
+TEST(ObsMetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  // Uniform mass across three equal-width buckets: quantiles are linear
+  // over [0, 30] and exact at every bucket boundary.
+  const std::vector<double> edges{10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> counts{10, 10, 10, 0};
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, counts, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, counts, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, counts, 1.0 / 3.0), 10.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, counts, 0.9), 27.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, counts, 1.0), 30.0);
+  // Out-of-range and non-finite q clamp rather than misbehave.
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, counts, -3.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, counts, 7.0), 30.0);
+  EXPECT_DOUBLE_EQ(
+      histogram_quantile(edges, counts,
+                         std::numeric_limits<double>::quiet_NaN()),
+      0.0);
+}
+
+TEST(ObsMetricsTest, HistogramQuantileEdgeCases) {
+  const std::vector<double> edges{10.0, 20.0, 30.0};
+  // Empty histogram and malformed counts report 0.
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, {0, 0, 0, 0}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, {1, 2}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile({}, {}, 0.5), 0.0);
+  // Ranks landing in the overflow bucket report the last finite edge —
+  // the tightest bound the histogram can state.
+  EXPECT_DOUBLE_EQ(histogram_quantile(edges, {5, 0, 0, 5}, 0.9), 30.0);
+  // A negative first edge is its own lower bound (no mass below it is
+  // representable), so the whole first bucket collapses onto the edge.
+  EXPECT_DOUBLE_EQ(histogram_quantile({-5.0, 5.0}, {4, 0, 0}, 0.5), -5.0);
+}
+
+TEST(ObsMetricsTest, HistogramQuantileLandsInSnapshotAndJson) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {10.0, 20.0, 30.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);    // bucket 0
+  for (int i = 0; i < 10; ++i) h.observe(15.0);   // bucket 1
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.75), 15.0);
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_DOUBLE_EQ(snaps[0].p50, h.quantile(0.5));
+  EXPECT_DOUBLE_EQ(snaps[0].p95, h.quantile(0.95));
+  EXPECT_DOUBLE_EQ(snaps[0].p99, h.quantile(0.99));
+  std::ostringstream os;
+  registry.write_jsonl(os);
+  const std::string line = os.str();
+  EXPECT_NE(line.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(line.find("\"p95\":"), std::string::npos);
+  EXPECT_NE(line.find("\"p99\":"), std::string::npos);
+}
+
+TEST(ObsMetricsTest, HistogramQuantileTracksExactQuantilesWithinBucketWidth) {
+  // Cross-check against the exact-mode QuantileTracker on the same
+  // stream: the bucketed estimate may only be off by interpolation error
+  // inside one bucket, never by more than a bucket width.
+  std::vector<double> edges;
+  for (double e = 5.0; e <= 100.0; e += 5.0) edges.push_back(e);
+  const double bucket_width = 5.0;
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("x", edges);
+  common::QuantileTracker exact;
+  for (int i = 0; i < 2000; ++i) {
+    // Deterministic scramble of (0, 100): i*37 mod 1000, scaled.
+    const double v = static_cast<double>((i * 37) % 1000) / 10.0 + 0.05;
+    h.observe(v);
+    exact.add(v);
+  }
+  for (const double q : {0.05, 0.25, 0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_NEAR(h.quantile(q), exact.quantile(q), bucket_width)
+        << "q=" << q;
+  }
 }
 
 TEST(ObsMetricsTest, DeterministicExportSkipsNondeterministicMetrics) {

@@ -143,6 +143,27 @@ TEST(GoldenTranscriptTest, MalformedFrameAbandonsStream) {
                serve(input, /*with_fake_runner=*/false));
 }
 
+TEST(GoldenTranscriptTest, StatPollsAndTelemetryBoundaries) {
+  // Exercises every TELE emission point in one conversation: an early
+  // STAT poll (pre-work), a FLSH boundary, mid-stream STAT polls at the
+  // post-flush quiescent point (so the snapshot bytes cannot race an
+  // in-flight session), a malformed STAT payload (ERR, no TELE) and the
+  // final before-END telemetry. Single-threaded fake runner.
+  const std::string input = encode_frames({
+      {FrameType::kStat, ""},
+      {FrameType::kRequest,
+       "{\"id\":\"a\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":11}"},
+      {FrameType::kFlush, ""},
+      {FrameType::kStat, "{\"want\":\"tele\"}"},
+      {FrameType::kStat, "this is not json"},
+      {FrameType::kRequest,
+       "{\"id\":\"b\",\"workload\":\"PR-D2\",\"cluster\":\"b\","
+       "\"steps\":2,\"seed\":12}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("stat_tele.golden", serve(input, /*with_fake_runner=*/true));
+}
+
 TEST(GoldenTranscriptTest, MidStreamEofIsAProtocolError) {
   std::string input = encode_frames({
       {FrameType::kRequest, "{\"id\":\"y\",\"workload\":\"WC-D1\"}"},
@@ -156,19 +177,23 @@ TEST(GoldenTranscriptTest, MidStreamEofIsAProtocolError) {
 
 TEST(GoldenTranscriptTest, GoldenTranscriptsDecodeAsValidWireStreams) {
   // Meta-check: every committed golden transcript is itself a well-formed
-  // DCWP stream ending in METR + END (the fuzz invariant, applied to our
-  // own outputs).
+  // DCWP stream ending in TELE + METR (compat) + END (the fuzz invariant,
+  // applied to our own outputs).
   for (const char* name : {"happy_path.golden", "unknown_model.golden",
-                           "malformed_frame.golden", "midstream_eof.golden"}) {
+                           "malformed_frame.golden", "midstream_eof.golden",
+                           "stat_tele.golden"}) {
     std::ifstream in(golden_path(name), std::ios::binary);
     ASSERT_TRUE(in) << "missing golden file " << name
                     << " — regenerate with DEEPCAT_UPDATE_GOLDEN=1";
     std::ostringstream buf(std::ios::binary);
     buf << in.rdbuf();
     const auto frames = decode_frames(std::move(buf).str());
-    ASSERT_GE(frames.size(), 2u) << name;
+    ASSERT_GE(frames.size(), 3u) << name;
     EXPECT_EQ(frames[frames.size() - 1].type, FrameType::kEnd) << name;
     EXPECT_EQ(frames[frames.size() - 2].type, FrameType::kMetrics) << name;
+    EXPECT_EQ(frames[frames.size() - 3].type, FrameType::kTelemetry) << name;
+    EXPECT_EQ(frames[frames.size() - 3].payload.rfind("{\"tele\":1,", 0), 0u)
+        << name;
   }
 }
 

@@ -12,6 +12,7 @@
 
 #include "common/rng.hpp"
 #include "obs/clock.hpp"
+#include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
 #include "service/jsonl.hpp"
@@ -55,14 +56,26 @@ struct ObsRunResult {
   std::string checkpoint;
   std::string metrics_jsonl;    ///< deterministic export only
   std::string trace_signature;  ///< structure, not bytes
+  std::string tele_payload;     ///< deterministic TELE payload bytes
 };
+
+constexpr std::size_t kStressRing = 64;
 
 ObsRunResult run_with_obs(const std::string& master_blob,
                           const std::vector<TuningRequest>& arrival_order,
                           std::size_t threads) {
   obs::LogicalClock clock;
-  obs::Tracer tracer(clock);
+  // Streaming span export at the default (never-drop) settings: spans
+  // leave through the sink as they complete, memory stays O(ring + open).
+  std::size_t sunk_spans = 0;
+  obs::CallbackSpanSink sink(
+      [&sunk_spans](const obs::SpanRecord&) { ++sunk_spans; });
   obs::MetricsRegistry registry;
+  obs::TracerOptions tracer_options;
+  tracer_options.exporter = &sink;
+  tracer_options.ring_capacity = kStressRing;
+  tracer_options.health = &registry;
+  obs::Tracer tracer(clock, tracer_options);
   StreamingOptions options = obs_stress_options(threads);
   options.service.obs = {&registry, &tracer};
 
@@ -80,6 +93,22 @@ ObsRunResult run_with_obs(const std::string& master_blob,
   registry.write_jsonl(metrics, /*include_nondeterministic=*/false);
   result.metrics_jsonl = std::move(metrics).str();
   result.trace_signature = tracer.structure_signature();
+  tracer.flush_exporter();
+  std::ostringstream tele;
+  write_telemetry_payload(tele, svc.metrics(),
+                          obs::BuildInfo{"stress", "pinned", false, 1},
+                          &registry, /*include_nondeterministic=*/false);
+  result.tele_payload = std::move(tele).str();
+
+  // The streaming-export contract, asserted on every run: back-pressure
+  // never drops a completed span, the ring never outgrows its capacity,
+  // and nothing accumulates in the tracer once the stream drains.
+  EXPECT_EQ(tracer.dropped_spans(), 0u);
+  EXPECT_GE(tracer.ring_highwater(), 1u);
+  EXPECT_LE(tracer.ring_highwater(), kStressRing);
+  EXPECT_LE(tracer.retained_spans(), kStressRing);
+  EXPECT_EQ(tracer.exported_spans(), sunk_spans);
+  EXPECT_GT(sunk_spans, 0u);
   return result;
 }
 
@@ -112,6 +141,20 @@ TEST(StreamingObsDeterminismTest,
             std::string::npos);
   EXPECT_NE(reference.trace_signature.find("session>tune_online"),
             std::string::npos);
+  // The deterministic TELE payload leads with the versioned header line
+  // and carries the registry's deterministic instruments (including the
+  // tracer's own health counters).
+  EXPECT_EQ(reference.tele_payload.rfind("{\"tele\":1,\"deterministic\":true,",
+                                         0),
+            0u);
+  EXPECT_NE(reference.tele_payload.find("\"version\":\"stress\""),
+            std::string::npos);
+  EXPECT_NE(reference.tele_payload.find("obs.spans.emitted"),
+            std::string::npos);
+  EXPECT_NE(reference.tele_payload.find("stream.rec_seconds"),
+            std::string::npos);
+  EXPECT_EQ(reference.tele_payload.find("obs.spans.ring_highwater"),
+            std::string::npos);
 
   common::Rng shuffler(0xA11C0DE5ull);
   for (std::size_t shuffle = 0; shuffle < 3; ++shuffle) {
@@ -127,6 +170,8 @@ TEST(StreamingObsDeterminismTest,
           << context << ": trace structure diverged";
       EXPECT_EQ(run.checkpoint, reference.checkpoint)
           << context << ": master checkpoint diverged";
+      EXPECT_EQ(run.tele_payload, reference.tele_payload)
+          << context << ": deterministic TELE payload diverged";
     }
   }
 }
@@ -202,6 +247,106 @@ TEST(StreamingObsMetrTest, MetrFrameCarriesBuildInfoAndStaysParseable) {
   EXPECT_EQ(fields.at("backend"), "pinned");
   EXPECT_EQ(fields.at("simd_compiled"), "false");
   EXPECT_EQ(fields.at("threads"), "9");
+}
+
+TEST(StreamingTeleTest, TeleFramesAtEveryProtocolPointAndOnPolls) {
+  StreamingOptions options;
+  options.service.threads = 1;
+  options.build_info = obs::BuildInfo{"tele-test", "pinned", false, 1};
+  StreamingService svc(options);
+  svc.set_session_runner_for_test([](const TuningRequest& r) {
+    SessionReport report;
+    report.id = r.id;
+    report.workload = r.workload;
+    report.ok = true;
+    return report;
+  });
+
+  const std::string input = encode_frames({
+      {FrameType::kStat, ""},
+      {FrameType::kRequest, "{\"id\":\"a\",\"workload\":\"TS-D1\"}"},
+      {FrameType::kFlush, ""},
+      {FrameType::kRequest, "{\"id\":\"b\",\"workload\":\"PR-D1\"}"},
+      {FrameType::kStat, "{\"probe\":1}"},
+      {FrameType::kStat, "not json at all"},
+      {FrameType::kEnd, ""},
+  });
+  std::istringstream in(input, std::ios::binary);
+  std::ostringstream out(std::ios::binary);
+  StreamServeOptions serve_options;
+  serve_options.tele_every = 1;  // one TELE after every REP too
+  const StreamServeResult result =
+      serve_frame_stream(in, out, svc, serve_options);
+
+  EXPECT_TRUE(result.clean_end);
+  EXPECT_EQ(result.requests, 2u);
+  EXPECT_EQ(result.stat_polls, 2u);   // the malformed one does not count
+  EXPECT_EQ(result.parse_errors, 1u);
+  // TELE points: 2 polls + 1 FLSH + 2 per-REP + 1 before END.
+  EXPECT_EQ(result.tele_frames, 6u);
+
+  const auto frames = decode_frames(std::move(out).str());
+  std::size_t tele = 0, err = 0;
+  for (const auto& f : frames) {
+    if (f.type == FrameType::kTelemetry) {
+      ++tele;
+      // Every TELE payload leads with the versioned header line and the
+      // pinned build labels.
+      EXPECT_EQ(f.payload.rfind("{\"tele\":1,", 0), 0u);
+      EXPECT_NE(f.payload.find("\"version\":\"tele-test\""),
+                std::string::npos);
+    } else if (f.type == FrameType::kError) {
+      ++err;
+      EXPECT_NE(f.payload.find("STAT"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(tele, result.tele_frames);
+  EXPECT_EQ(err, 1u);
+  // Compat default: the deprecated METR flat frame still precedes END.
+  ASSERT_GE(frames.size(), 3u);
+  EXPECT_EQ(frames[frames.size() - 2].type, FrameType::kMetrics);
+}
+
+TEST(StreamingTeleTest, MetrCompatOffDropsTheDeprecatedFrame) {
+  StreamingOptions options;
+  options.service.threads = 1;
+  options.build_info = obs::BuildInfo{"tele-test", "pinned", false, 1};
+  StreamingService svc(options);
+  svc.set_session_runner_for_test([](const TuningRequest& r) {
+    SessionReport report;
+    report.id = r.id;
+    report.workload = r.workload;
+    report.ok = true;
+    return report;
+  });
+
+  const std::string input = encode_frames({
+      {FrameType::kRequest, "{\"id\":\"a\",\"workload\":\"TS-D1\"}"},
+      {FrameType::kEnd, ""},
+  });
+  std::istringstream in(input, std::ios::binary);
+  std::ostringstream out(std::ios::binary);
+  StreamServeOptions serve_options;
+  serve_options.metr_compat = false;
+  serve_options.tele_include_nondeterministic = false;
+  const StreamServeResult result =
+      serve_frame_stream(in, out, svc, serve_options);
+  EXPECT_TRUE(result.clean_end);
+
+  const auto frames = decode_frames(std::move(out).str());
+  ASSERT_GE(frames.size(), 2u);
+  // Tail is TELE + END, no METR anywhere.
+  EXPECT_EQ(frames[frames.size() - 1].type, FrameType::kEnd);
+  EXPECT_EQ(frames[frames.size() - 2].type, FrameType::kTelemetry);
+  for (const auto& f : frames) {
+    EXPECT_NE(f.type, FrameType::kMetrics);
+  }
+  // The deterministic variant says so and drops the scheduling-dependent
+  // float aggregates.
+  const std::string& payload = frames[frames.size() - 2].payload;
+  EXPECT_EQ(payload.rfind("{\"tele\":1,\"deterministic\":true,", 0), 0u);
+  EXPECT_EQ(payload.find("mean_speedup"), std::string::npos);
+  EXPECT_NE(payload.find("\"sessions\":1"), std::string::npos);
 }
 
 }  // namespace

@@ -29,12 +29,18 @@ std::string wire_base_stream() {
       {FrameType::kRequest,
        "{\"id\":\"req-0\",\"workload\":\"TS-D1\",\"cluster\":\"a\","
        "\"steps\":3,\"seed\":11,\"model\":\"default\"}"},
+      {FrameType::kStat, ""},
       {FrameType::kRequest,
        "{\"id\":\"req-1\",\"workload\":\"PR-D2\",\"cluster\":\"b\","
        "\"steps\":2,\"seed\":12,\"model\":\"graph\"}"},
       {FrameType::kFlush, ""},
+      {FrameType::kTelemetry,
+       "{\"tele\":1,\"deterministic\":false,\"aggregate\":true,"
+       "\"sessions\":2}\n{\"name\":\"stream.flushes\",\"kind\":\"counter\","
+       "\"deterministic\":true,\"value\":1}"},
       {FrameType::kRequest,
        "{\"id\":\"req-2\",\"workload\":\"KM-D3\",\"steps\":1,\"seed\":13}"},
+      {FrameType::kStat, "{\"want\":\"tele\"}"},
       {FrameType::kMetrics, "{\"aggregate\":true,\"sessions\":3}"},
       {FrameType::kEnd, ""},
   });
@@ -42,7 +48,7 @@ std::string wire_base_stream() {
 
 TEST(WireFuzzTest, MutatedStreamsNeverEscapeTypedErrors) {
   const std::string base = wire_base_stream();
-  ASSERT_TRUE(decode_frames(base).size() == 6u) << "base stream must decode";
+  ASSERT_TRUE(decode_frames(base).size() == 9u) << "base stream must decode";
 
   const std::size_t exhaustive = fuzz::exhaustive_mutants(base);
   const std::size_t total = exhaustive + 3000;  // + seeded splices
@@ -86,6 +92,8 @@ TEST(WireFuzzTest, TypedErrorsNameTheOffendingFrame) {
       const bool named = msg.find("REQ") != std::string::npos ||
                          msg.find("FLSH") != std::string::npos ||
                          msg.find("METR") != std::string::npos ||
+                         msg.find("TELE") != std::string::npos ||
+                         msg.find("STAT") != std::string::npos ||
                          msg.find("END") != std::string::npos ||
                          msg.find("header") != std::string::npos ||
                          msg.find("frame") != std::string::npos;
@@ -118,9 +126,12 @@ TEST(WireFuzzTest, ServeDriverSurvivesMutatedStreams) {
     const StreamServeResult result = serve_frame_stream(in, out, svc);
 
     const auto frames = decode_frames(out.str());
-    ASSERT_GE(frames.size(), 2u) << desc;
+    ASSERT_GE(frames.size(), 3u) << desc;
     EXPECT_EQ(frames[frames.size() - 1].type, FrameType::kEnd) << desc;
     EXPECT_EQ(frames[frames.size() - 2].type, FrameType::kMetrics) << desc;
+    EXPECT_EQ(frames[frames.size() - 3].type, FrameType::kTelemetry) << desc;
+    EXPECT_EQ(frames[frames.size() - 3].payload.rfind("{\"tele\":1,", 0), 0u)
+        << desc;
     if (!result.clean_end) {
       EXPECT_GT(result.protocol_errors + result.parse_errors, 0u) << desc;
     }

@@ -148,7 +148,41 @@ TEST(WireTest, FrameTypeNameSanitizesUnprintableTags) {
             "REQ");
   EXPECT_EQ(frame_type_name(static_cast<std::uint32_t>(FrameType::kMetrics)),
             "METR");
+  EXPECT_EQ(frame_type_name(static_cast<std::uint32_t>(FrameType::kTelemetry)),
+            "TELE");
+  EXPECT_EQ(frame_type_name(static_cast<std::uint32_t>(FrameType::kStat)),
+            "STAT");
   EXPECT_EQ(frame_type_name(0x01020304u), "????");
+}
+
+TEST(WireTest, TelemetryAndStatFramesRoundTrip) {
+  // The v2 frames are plain payload carriers through the same framing: a
+  // multi-line TELE snapshot and an empty STAT poll both survive intact.
+  const std::string tele =
+      "{\"tele\":1,\"deterministic\":true,\"sessions\":2}\n"
+      "{\"name\":\"stream.flushes\",\"kind\":\"counter\",\"value\":1}";
+  const auto frames = decode_frames(encode_frames({
+      {FrameType::kStat, ""},
+      {FrameType::kTelemetry, tele},
+      {FrameType::kEnd, ""},
+  }));
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].type, FrameType::kStat);
+  EXPECT_TRUE(frames[0].payload.empty());
+  EXPECT_EQ(frames[1].type, FrameType::kTelemetry);
+  EXPECT_EQ(frames[1].payload, tele);
+}
+
+TEST(WireTest, AcceptsVersionOneStream) {
+  // v2 only added frame types; a v1 stream (no TELE/STAT) is still legal
+  // input and the header version field is allowed to be lower.
+  static_assert(kWireVersion >= 2, "v2 added TELE/STAT");
+  std::string s = valid_stream();
+  s[4] = static_cast<char>(1);  // little-endian low byte of the version
+  const auto frames = decode_frames(s);
+  ASSERT_EQ(frames.size(), 4u);
+  EXPECT_EQ(frames[0].type, FrameType::kRequest);
+  EXPECT_EQ(frames[3].type, FrameType::kEnd);
 }
 
 TEST(WireTest, FrameCrcCoversHeadAndPayload) {
