@@ -6,13 +6,17 @@
 // Three modes:
 //   bench_micro                    google-benchmark suite (default)
 //   bench_micro --json[=path]      kernel benchmark: times every GEMM/fused
-//                                  kernel on both the scalar reference path
-//                                  and the runtime-dispatched path, reports
-//                                  GFLOP/s + ns/iter + speedup through the
-//                                  obs metrics exporter — a build-info line
-//                                  followed by one gauge line per statistic
-//                                  (the committed BENCH_kernels.json perf
-//                                  baseline).
+//                                  kernel once per selectable ISA tier
+//                                  (scalar/avx2/avx512 columns), register-
+//                                  blocked vs L2-tiled packed GEMM at sizes
+//                                  past the packing threshold, and GP refit
+//                                  wall time at n={512,1024,2048} with
+//                                  thread pools of {1,4,16}; every ns value
+//                                  is a min-of-N with the rep count in the
+//                                  export, emitted through the obs metrics
+//                                  exporter — a build-info line followed by
+//                                  one gauge line per statistic (the
+//                                  committed BENCH_kernels.json baseline).
 //   bench_micro --json-obs[=path]  obs-overhead benchmark: the streaming
 //                                  determinism workload (8 tuning sessions
 //                                  through StreamingService) with streaming
@@ -26,14 +30,18 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/simd.hpp"
+#include "common/thread_pool.hpp"
 #include "gp/gp_regressor.hpp"
+#include "gp/kernel.hpp"
 #include "obs/build_info.hpp"
 #include "obs/clock.hpp"
 #include "obs/exporter.hpp"
@@ -311,34 +319,102 @@ double best_ns_per_call(Fn&& fn, double min_batch_seconds = 0.01,
   return best;
 }
 
-struct KernelResult {
-  std::string name;
-  std::string shape;
-  double flops = 0.0;      ///< floating-point ops per call (0 = latency-only)
-  double scalar_ns = 0.0;
-  double vector_ns = 0.0;
+/// Timed repetitions per statistic; every exported ns column is the
+/// min-of-kKernelReps (recorded per entry as `.reps`), so large sizes —
+/// where the calibrated batch collapses to a single call — still publish
+/// a noise-filtered number instead of one arbitrary rep.
+constexpr int kKernelReps = 5;
+/// GP fits run seconds per call at n=2048; two reps bound the bench time.
+constexpr int kGpFitReps = 2;
+
+struct BackendColumn {
+  std::string label;  ///< metric-name fragment: "scalar" | "avx2" | "avx512"
+  common::simd::Backend backend;
 };
 
-/// Runs `fn` under both backends. When the vector backend is unavailable
-/// (DEEPCAT_DISABLE_SIMD build, non-AVX2 host, DEEPCAT_FORCE_SCALAR env),
-/// both columns report the scalar path.
+/// One column per ISA tier selectable in this process (after the CPU,
+/// compile-flag and env caps), lowest first. On a non-AVX-512 host the
+/// avx512 columns are simply absent from the export.
+std::vector<BackendColumn> selectable_columns() {
+  namespace simd = common::simd;
+  std::vector<BackendColumn> out;
+  const std::pair<const char*, simd::Backend> ladder[] = {
+      {"scalar", simd::Backend::kScalar},
+      {"avx2", simd::Backend::kAvx2},
+      {"avx512", simd::Backend::kAvx512},
+  };
+  for (const auto& [label, backend] : ladder) {
+    if (simd::backend_selectable(backend)) out.push_back({label, backend});
+  }
+  return out;
+}
+
+/// Times `fn` once per selectable ISA tier and exports
+/// kernel.{name}.{shape}.{tier}_ns / _gflops columns plus the
+/// scalar-to-top-tier speedup and the rep count.
 template <typename Fn>
-KernelResult time_both(std::string name, std::string shape, double flops,
-                       Fn&& fn) {
-  KernelResult r;
-  r.name = std::move(name);
-  r.shape = std::move(shape);
-  r.flops = flops;
-  common::simd::force_scalar(true);
-  r.scalar_ns = best_ns_per_call(fn);
-  common::simd::force_scalar(false);
-  r.vector_ns = best_ns_per_call(fn);
-  return r;
+void time_kernel_backends(obs::MetricsRegistry& registry,
+                          const std::string& name, const std::string& shape,
+                          double flops, Fn&& fn) {
+  namespace simd = common::simd;
+  const std::string prefix = "kernel." + name + "." + shape;
+  double scalar_ns = 0.0;
+  double top_ns = 0.0;
+  for (const auto& col : selectable_columns()) {
+    simd::force_backend(col.backend);
+    const double ns =
+        best_ns_per_call(fn, /*min_batch_seconds=*/0.01, kKernelReps);
+    registry.gauge(prefix + "." + col.label + "_ns").set(ns);
+    if (flops > 0.0) {
+      registry.gauge(prefix + "." + col.label + "_gflops").set(flops / ns);
+    }
+    if (col.backend == simd::Backend::kScalar) scalar_ns = ns;
+    top_ns = ns;  // columns ascend the ladder; the last is the dispatch tier
+  }
+  simd::force_scalar(false);
+  registry.gauge(prefix + ".reps").set(kKernelReps);
+  if (scalar_ns > 0.0 && top_ns > 0.0) {
+    registry.gauge(prefix + ".speedup").set(scalar_ns / top_ns);
+  }
+}
+
+/// Register-blocked vs L2-tiled packed columns for one GEMM shape, per
+/// vector tier: kernel.{name}.{shape}.{tier}_blocked_ns / _packed_ns /
+/// _packed_speedup. Scalar has no packed path and is skipped.
+template <typename Fn>
+void time_gemm_paths(obs::MetricsRegistry& registry, const std::string& name,
+                     const std::string& shape, double flops, Fn&& fn) {
+  namespace simd = common::simd;
+  const std::string prefix = "kernel." + name + "." + shape;
+  for (const auto& col : selectable_columns()) {
+    if (col.backend == simd::Backend::kScalar) continue;
+    simd::force_backend(col.backend);
+    simd::force_gemm_path(simd::GemmPath::kRegisterBlocked);
+    const double blocked_ns =
+        best_ns_per_call(fn, /*min_batch_seconds=*/0.01, kKernelReps);
+    simd::force_gemm_path(simd::GemmPath::kPacked);
+    const double packed_ns =
+        best_ns_per_call(fn, /*min_batch_seconds=*/0.01, kKernelReps);
+    simd::force_gemm_path(simd::GemmPath::kAuto);
+    registry.gauge(prefix + "." + col.label + "_blocked_ns").set(blocked_ns);
+    registry.gauge(prefix + "." + col.label + "_packed_ns").set(packed_ns);
+    if (flops > 0.0) {
+      registry.gauge(prefix + "." + col.label + "_blocked_gflops")
+          .set(flops / blocked_ns);
+      registry.gauge(prefix + "." + col.label + "_packed_gflops")
+          .set(flops / packed_ns);
+    }
+    registry.gauge(prefix + "." + col.label + "_packed_speedup")
+        .set(blocked_ns / packed_ns);
+  }
+  simd::force_scalar(false);
+  registry.gauge(prefix + ".path_reps").set(kKernelReps);
 }
 
 int run_kernel_bench_json(const std::string& path) {
   common::Rng rng(7);
-  std::vector<KernelResult> results;
+  obs::MetricsRegistry registry;
+  common::simd::reset_dispatch_counts();
 
   for (const std::size_t n : {std::size_t{32}, std::size_t{64},
                               std::size_t{128}, std::size_t{192}}) {
@@ -348,15 +424,29 @@ int run_kernel_bench_json(const std::string& path) {
     const double flops = 2.0 * static_cast<double>(n * n * n);
     const std::string shape = std::to_string(n) + "x" + std::to_string(n) +
                               "x" + std::to_string(n);
-    results.push_back(time_both("matmul", shape, flops, [&] {
+    time_kernel_backends(registry, "matmul", shape, flops, [&] {
       benchmark::DoNotOptimize(nn::matmul(a, b));
-    }));
-    results.push_back(time_both("matmul_tn", shape, flops, [&] {
+    });
+    time_kernel_backends(registry, "matmul_tn", shape, flops, [&] {
       benchmark::DoNotOptimize(nn::matmul_tn(a, b));
-    }));
-    results.push_back(time_both("matmul_nt", shape, flops, [&] {
+    });
+    time_kernel_backends(registry, "matmul_nt", shape, flops, [&] {
       benchmark::DoNotOptimize(nn::matmul_nt(a, b));
-    }));
+    });
+  }
+
+  // At and above the packed threshold: register-blocked vs packed per
+  // vector tier — the acceptance columns for the L2-tiled path.
+  for (const std::size_t n : {std::size_t{256}, std::size_t{320}}) {
+    nn::Matrix a(n, n), b(n, n);
+    for (double& x : a.flat()) x = rng.normal();
+    for (double& x : b.flat()) x = rng.normal();
+    const double flops = 2.0 * static_cast<double>(n * n * n);
+    const std::string shape = std::to_string(n) + "x" + std::to_string(n) +
+                              "x" + std::to_string(n);
+    time_gemm_paths(registry, "matmul", shape, flops, [&] {
+      benchmark::DoNotOptimize(nn::matmul(a, b));
+    });
   }
 
   {
@@ -367,11 +457,11 @@ int run_kernel_bench_json(const std::string& path) {
     for (double& v : w.flat()) v = rng.normal();
     for (double& v : bias.flat()) v = rng.normal();
     const double flops = 2.0 * static_cast<double>(m * n * k);
-    results.push_back(
-        time_both("matmul_bias_tanh", "64x128x128", flops, [&] {
-          benchmark::DoNotOptimize(
-              nn::matmul_bias_act(x, w, bias, nn::Activation::kTanh));
-        }));
+    time_kernel_backends(registry, "matmul_bias_tanh", "64x128x128", flops,
+                         [&] {
+                           benchmark::DoNotOptimize(nn::matmul_bias_act(
+                               x, w, bias, nn::Activation::kTanh));
+                         });
   }
 
   {
@@ -381,8 +471,9 @@ int run_kernel_bench_json(const std::string& path) {
     // 2*m*k*n per linear layer; activations are noise by comparison.
     const double flops =
         2.0 * 64.0 * (41.0 * 128.0 + 128.0 * 128.0 + 128.0 * 1.0);
-    results.push_back(time_both("mlp_forward", "batch64 41-128-128-1", flops,
-                                [&] { benchmark::DoNotOptimize(net.forward(x)); }));
+    time_kernel_backends(registry, "mlp_forward", "batch64 41-128-128-1",
+                         flops,
+                         [&] { benchmark::DoNotOptimize(net.forward(x)); });
   }
 
   {
@@ -390,11 +481,40 @@ int run_kernel_bench_json(const std::string& path) {
     std::vector<double> u(len), v(len);
     for (double& x : u) x = rng.normal();
     for (double& x : v) x = rng.normal();
-    results.push_back(time_both("dot", "4096", 2.0 * static_cast<double>(len),
-                                [&] {
-                                  benchmark::DoNotOptimize(common::simd::dot(
-                                      u.data(), v.data(), len));
-                                }));
+    time_kernel_backends(registry, "dot", "4096",
+                         2.0 * static_cast<double>(len), [&] {
+                           benchmark::DoNotOptimize(common::simd::dot(
+                               u.data(), v.data(), len));
+                         });
+  }
+
+  // GP refit wall time at OtterTune sizes, serial vs pools of {1,4,16}
+  // threads (threads0 = no pool). The parallel fit is bit-identical to
+  // serial, so these columns measure pure scheduling, not model drift.
+  for (const std::size_t n :
+       {std::size_t{512}, std::size_t{1024}, std::size_t{2048}}) {
+    const std::size_t dim = 12;
+    nn::Matrix x(n, dim);
+    std::vector<double> y(n);
+    for (double& v : x.flat()) v = rng.uniform();
+    for (double& v : y) v = rng.uniform(30.0, 300.0);
+    const std::string prefix = "gp.fit.n" + std::to_string(n);
+    for (const std::size_t threads :
+         {std::size_t{1}, std::size_t{4}, std::size_t{16}}) {
+      common::ThreadPool pool(threads);
+      const double ns = best_ns_per_call(
+          [&] {
+            gp::GpRegressor model(
+                std::make_unique<gp::Matern52Kernel>(1.8, 1.0), 0.05);
+            model.set_thread_pool(&pool);
+            model.fit(x, y);
+            benchmark::DoNotOptimize(model);
+          },
+          /*min_batch_seconds=*/0.0, kGpFitReps);
+      registry.gauge(prefix + ".threads" + std::to_string(threads) + "_ns")
+          .set(ns);
+    }
+    registry.gauge(prefix + ".reps").set(kGpFitReps);
   }
 
   // Export through the observability layer instead of a private
@@ -402,20 +522,11 @@ int run_kernel_bench_json(const std::string& path) {
   // and the METR frame carry, the rest is the obs metrics exporter — one
   // gauge per kernel statistic. Anything that learns to read --metrics-out
   // files reads this baseline for free.
-  obs::MetricsRegistry registry;
-  for (const auto& r : results) {
-    const std::string prefix = "kernel." + r.name + "." + r.shape;
-    registry.gauge(prefix + ".scalar_ns").set(r.scalar_ns);
-    registry.gauge(prefix + ".vector_ns").set(r.vector_ns);
-    if (r.flops > 0.0) {
-      registry.gauge(prefix + ".scalar_gflops").set(r.flops / r.scalar_ns);
-      registry.gauge(prefix + ".vector_gflops").set(r.flops / r.vector_ns);
-    }
-    registry.gauge(prefix + ".speedup").set(r.scalar_ns / r.vector_ns);
-  }
   const auto dispatches = common::simd::dispatch_counts();
-  registry.counter("simd.vector_dispatches").add(dispatches.vector_calls);
   registry.counter("simd.scalar_dispatches").add(dispatches.scalar_calls);
+  registry.counter("simd.avx2_dispatches").add(dispatches.avx2_calls);
+  registry.counter("simd.avx512_dispatches").add(dispatches.avx512_calls);
+  registry.counter("simd.packed_dispatches").add(dispatches.packed_calls);
 
   std::ostringstream json;
   json << "{\"bench\":\"deepcat kernel microbenchmarks\",\"build\":";

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/table.hpp"
 #include "core/deepcat_api.hpp"
 #include "obs/build_info.hpp"
@@ -380,18 +381,31 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
 
 int cmd_info(const ParsedArgs& args, std::ostream& os) {
   // Reports what THIS process would actually use: the backend comes from
-  // the live dispatch decision (CPU features + DEEPCAT_FORCE_SCALAR), not
-  // from compile flags alone.
+  // the live dispatch decision (CPU features + the DEEPCAT_SIMD /
+  // DEEPCAT_FORCE_SCALAR caps), not from compile flags alone. The ladder
+  // lists every tier the CPU + compile flags expose, whether or not an
+  // env cap keeps it inactive.
+  namespace simd = common::simd;
   const obs::BuildInfo info = obs::current_build_info(
       static_cast<std::size_t>(args.number_or("threads", 0)));
   if (args.number_or("json", 0) != 0.0) {
-    obs::write_build_info_json(os, info);
-    os << '\n';
+    // Flat object (cli_test parses it with a flat-JSON reader): the
+    // ladder is a comma-joined string, not an array.
+    os << '{';
+    obs::write_build_info_json_fields(os, info);
+    os << ",\"isa_ladder\":\"" << simd::isa_ladder() << "\",\"detected\":\""
+       << simd::backend_label(simd::detected_backend())
+       << "\",\"packed_gemm_min_dim\":" << simd::packed_gemm_min_dim()
+       << "}\n";
     return 0;
   }
   os << "deepcat " << info.version << '\n'
      << "numeric backend:  " << info.backend << '\n'
+     << "isa ladder:       " << simd::isa_ladder() << '\n'
+     << "detected tier:    " << simd::backend_label(simd::detected_backend())
+     << '\n'
      << "simd compiled:    " << (info.simd_compiled ? "yes" : "no") << '\n'
+     << "packed gemm from: " << simd::packed_gemm_min_dim() << "^3\n"
      << "thread-pool size: " << info.threads << '\n';
   return 0;
 }

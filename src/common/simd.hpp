@@ -1,61 +1,132 @@
 // Vectorized numeric kernels with runtime dispatch — the single home for
 // every SIMD code path in the library (SimSIMD-style: one scalar reference
-// implementation per kernel, one AVX2+FMA implementation, and a dispatcher
-// that picks at runtime). Everything above this layer (Matrix, Adam, the
-// GP solver) calls these raw-pointer kernels and never touches intrinsics.
+// implementation per kernel, one implementation per ISA tier, and a
+// dispatcher that picks at runtime). Everything above this layer (Matrix,
+// Adam, the GP solver) calls these raw-pointer kernels and never touches
+// intrinsics.
 //
-// Dispatch rules, in priority order:
+// ISA ladder: scalar < avx2+fma < avx512. Dispatch resolves the active
+// tier per call from, in priority order:
 //   1. compile-time: non-x86 targets, or -DDEEPCAT_DISABLE_SIMD=ON, build
 //      only the scalar kernels;
-//   2. process start: the DEEPCAT_FORCE_SCALAR environment variable (any
-//      non-empty value except "0") pins the scalar path;
-//   3. runtime: force_scalar(true/false) toggles programmatically (used by
-//      the property tests to compare backends in one process);
-//   4. otherwise the AVX2+FMA path runs iff the CPU supports it.
+//   2. process start: DEEPCAT_SIMD=scalar|avx2|avx512 caps the ladder
+//      (values above what the CPU supports clamp down); the legacy
+//      DEEPCAT_FORCE_SCALAR variable (any non-empty value except "0")
+//      still pins the scalar path;
+//   3. runtime: force_backend()/force_scalar() lower the cap
+//      programmatically (used by the property tests and bench_micro to
+//      compare tiers in one process) — they can never raise it above the
+//      startup cap;
+//   4. otherwise the highest tier the CPU supports runs.
 //
 // Numerical contract: vectorized kernels may reassociate reductions and
-// contract mul+add into FMA, so results can differ from the scalar path in
-// the last bits. The property tests bound the divergence at 1e-12 for the
-// shapes the library uses.
+// contract mul+add into FMA, so results can differ between tiers in the
+// last bits. The property tests bound the divergence at 1e-12 for the
+// shapes the library uses. Broadcast-style GEMM kernels (gemm_nn/gemm_tn)
+// keep each output element's FMA chain in ascending-k order on every tier
+// and on the packed path, so those agree bit-for-bit across vector tiers;
+// dot-style reductions (dot, gemm_nt) use per-tier accumulator trees and
+// only meet the 1e-12 contract.
 #pragma once
 
 #include <cstddef>
 
 namespace deepcat::common::simd {
 
-/// True when the AVX2+FMA kernels are the active backend.
-[[nodiscard]] bool vectorized_active() noexcept;
+// ---- ISA ladder ----------------------------------------------------------
 
-/// "avx2+fma" or "scalar" — whatever vectorized_active() resolves to.
+/// Dispatch tiers, ordered: a numerically-larger Backend is a wider ISA.
+enum class Backend : int { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+/// The tier kernels dispatch to right now (CPU capability, env cap and
+/// programmatic cap all applied).
+[[nodiscard]] Backend active_backend() noexcept;
+
+/// Highest tier the CPU + compile flags support, ignoring the DEEPCAT_SIMD
+/// / DEEPCAT_FORCE_SCALAR caps and force_backend(). What `deepcat info`
+/// reports as "detected".
+[[nodiscard]] Backend detected_backend() noexcept;
+
+/// Highest tier selectable in this process: detected_backend() clamped by
+/// the environment cap fixed at startup. force_backend() can pick any tier
+/// at or below this.
+[[nodiscard]] Backend max_backend() noexcept;
+
+/// True when `b` can be activated via force_backend() in this process.
+[[nodiscard]] bool backend_selectable(Backend b) noexcept;
+
+/// Stable label for a tier: "scalar", "avx2+fma" or "avx512".
+[[nodiscard]] const char* backend_label(Backend b) noexcept;
+
+/// Label of the active tier — backend_label(active_backend()).
 [[nodiscard]] const char* backend_name() noexcept;
 
-/// Pins the scalar fallback while `on` (overrides CPU detection, not the
-/// compile-time gate). Not thread-safe against concurrent kernel calls;
-/// toggle only from a single thread with no kernels in flight.
+/// Comma-joined ladder of detected tiers, lowest first, e.g.
+/// "scalar,avx2+fma,avx512" on an AVX-512 machine.
+[[nodiscard]] const char* isa_ladder() noexcept;
+
+/// Caps dispatch at `cap` until changed (clamped to max_backend()).
+/// Backend::kAvx512 removes the programmatic cap. Not thread-safe against
+/// concurrent kernel calls; toggle only from a single thread with no
+/// kernels in flight.
+void force_backend(Backend cap) noexcept;
+
+/// Legacy alias: force_backend(kScalar) while `on`, else removes the
+/// programmatic cap.
 void force_scalar(bool on) noexcept;
 
-/// True when the AVX2 kernels were compiled in at all (x86 target and no
+/// True when any vector tier is the active backend.
+[[nodiscard]] bool vectorized_active() noexcept;
+
+/// True when the vector kernels were compiled in at all (x86 target and no
 /// -DDEEPCAT_DISABLE_SIMD). vectorized_active() can still be false at
-/// runtime (CPU support, DEEPCAT_FORCE_SCALAR, force_scalar()).
+/// runtime (CPU support, env caps, force_backend()).
 [[nodiscard]] bool vector_compiled() noexcept;
 
+// ---- Packed-GEMM path selection ------------------------------------------
+// For operands at or above packed_gemm_min_dim() in every dimension, the
+// GEMM dispatcher leaves the register-blocked micro-kernels for an
+// L2-tiled packed path: A and B panels are copied once into contiguous
+// micro-panel layouts sized to the L2 cache, so the inner kernels stream
+// packed memory instead of striding the source matrices. Register blocking
+// alone stops paying around there — exactly the OtterTune GP refit sizes.
+
+/// kAuto picks by size threshold; the other values pin one path for
+/// benchmarking and property tests (vector tiers only — the scalar
+/// backend always runs the reference loops).
+enum class GemmPath : int { kAuto = 0, kRegisterBlocked = 1, kPacked = 2 };
+
+/// Pins the GEMM path while != kAuto. Same thread-safety caveat as
+/// force_backend().
+void force_gemm_path(GemmPath path) noexcept;
+
+[[nodiscard]] GemmPath forced_gemm_path() noexcept;
+
+/// The m/n/k floor at which kAuto switches to the packed path (every
+/// dimension must reach it).
+[[nodiscard]] std::size_t packed_gemm_min_dim() noexcept;
+
 // ---- Backend-dispatch accounting ----------------------------------------
-// Counts how many *chunky* kernel calls resolved to each backend — the
-// GEMM family and the fused Adam steps, one increment per call. The tiny
+// Counts how many *chunky* kernel calls resolved to each tier — the GEMM
+// family and the fused Adam steps, one increment per call. The tiny
 // level-1 primitives (dot/axpy/sum) are deliberately uncounted: dot runs
 // per matrix row inside the GP Cholesky, so even a relaxed fetch_add
 // there would be a measurable hot-path tax. The obs layer folds these
 // totals into metrics snapshots and `deepcat info`.
 
 struct DispatchCounts {
-  unsigned long long vector_calls = 0;
   unsigned long long scalar_calls = 0;
+  unsigned long long avx2_calls = 0;
+  unsigned long long avx512_calls = 0;
+  /// GEMM calls that took the L2-tiled packed path (each is also counted
+  /// in its tier's column above).
+  unsigned long long packed_calls = 0;
 };
 
 /// Snapshot of the process-wide dispatch counters.
 [[nodiscard]] DispatchCounts dispatch_counts() noexcept;
 
-/// Zeroes both counters (tests and bench runs isolate their own windows).
+/// Zeroes all counters (tests and bench runs isolate their own windows).
 void reset_dispatch_counts() noexcept;
 
 // ---- Level-1 primitives -------------------------------------------------
@@ -82,7 +153,7 @@ void axpy(double alpha, const double* x, double* y, std::size_t n) noexcept;
 ///   m[i]   = beta1 * m[i] + (1 - beta1) * g
 ///   v[i]   = beta2 * v[i] + (1 - beta2) * g^2
 ///   value[i] -= lr * (m[i] / bc1) / (sqrt(v[i] / bc2) + eps)
-/// Identical formula on both backends (bias corrections passed as the
+/// Identical formula on every backend (bias corrections passed as the
 /// divisors bc1/bc2, exactly like the scalar reference).
 void adam_update(double* value, const double* grad, double* m, double* v,
                  std::size_t n, double scale, double beta1, double beta2,
@@ -115,11 +186,13 @@ void adam_update_clipped(const AdamTensor* tensors, std::size_t count,
 // All accumulate into C (C += ...), so the caller controls the epilogue
 // start state: zero-filled for a plain product, bias-broadcast rows for the
 // fused linear-layer forward. Leading dimensions are element strides.
+// Every variant dispatches across the ISA ladder and, at packed sizes
+// (see packed_gemm_min_dim()), through the L2-tiled packed path.
 
-/// C(m x n) += A(m x k) * B(k x n). Register-blocked 4x8 micro-kernel with
-/// a broadcast-A / streamed-B FMA inner loop on the vector path; the
-/// scalar path is the cache-friendly ikj loop with a zero-skip on A (which
-/// makes post-ReLU activations cheap).
+/// C(m x n) += A(m x k) * B(k x n). Register-blocked broadcast-A /
+/// streamed-B micro-kernel on the vector tiers (4x8 on avx2, 4x16 on
+/// avx512); the scalar path is the cache-friendly ikj loop with a
+/// zero-skip on A (which makes post-ReLU activations cheap).
 void gemm_nn(std::size_t m, std::size_t n, std::size_t k, const double* a,
              std::size_t lda, const double* b, std::size_t ldb, double* c,
              std::size_t ldc) noexcept;

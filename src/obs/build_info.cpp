@@ -20,11 +20,17 @@ BuildInfo current_build_info(std::size_t threads) {
   return info;
 }
 
-void write_build_info_json(std::ostream& os, const BuildInfo& info) {
-  os << "{\"version\":\"" << info.version << "\",\"backend\":\""
+void write_build_info_json_fields(std::ostream& os, const BuildInfo& info) {
+  os << "\"version\":\"" << info.version << "\",\"backend\":\""
      << info.backend << "\",\"simd_compiled\":"
      << (info.simd_compiled ? "true" : "false")
-     << ",\"threads\":" << info.threads << '}';
+     << ",\"threads\":" << info.threads;
+}
+
+void write_build_info_json(std::ostream& os, const BuildInfo& info) {
+  os << '{';
+  write_build_info_json_fields(os, info);
+  os << '}';
 }
 
 }  // namespace deepcat::obs

@@ -11,11 +11,12 @@
 namespace deepcat::obs {
 
 /// Library version, bumped per PR.
-inline constexpr const char* kDeepCatVersion = "0.5.0";
+inline constexpr const char* kDeepCatVersion = "0.6.0";
 
 struct BuildInfo {
   std::string version;      ///< kDeepCatVersion
-  std::string backend;      ///< simd::backend_name(): "avx2+fma" | "scalar"
+  std::string backend;      ///< simd::backend_name(): the active ISA-ladder
+                            ///< tier ("scalar" | "avx2+fma" | "avx512")
   bool simd_compiled = false;  ///< false on non-x86 / DEEPCAT_DISABLE_SIMD
   std::size_t threads = 0;  ///< worker threads the caller's pool uses
 };
@@ -27,5 +28,10 @@ struct BuildInfo {
 /// {"version":"...","backend":"...","simd_compiled":bool,"threads":N} —
 /// no surrounding newline, embeddable in a larger object.
 void write_build_info_json(std::ostream& os, const BuildInfo& info);
+
+/// The same four fields without the surrounding braces, for callers that
+/// extend the object with more keys (`deepcat info --json` adds the ISA
+/// ladder and the packed-GEMM threshold) while keeping the shared labels.
+void write_build_info_json_fields(std::ostream& os, const BuildInfo& info);
 
 }  // namespace deepcat::obs

@@ -1,0 +1,134 @@
+// Determinism contract for the thread-parallel GP fit: the Cholesky
+// factor, the fitted predictions, and the log marginal likelihood must be
+// BIT-identical (EXPECT_EQ, not EXPECT_NEAR) between the serial path and
+// pools of 1, 4, and 16 threads. The parallel trailing update only fans
+// independent rows across workers — each row evaluates the exact serial
+// expression — so any divergence here is a real summation-order bug that
+// would break golden transcripts and checkpoint byte-stability.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "gp/gp_regressor.hpp"
+#include "gp/kernel.hpp"
+#include "nn/matrix.hpp"
+
+namespace deepcat::gp {
+namespace {
+
+// Pool sizes from the acceptance criteria; 0 is the serial reference.
+const std::size_t kPoolSizes[] = {1, 4, 16};
+
+nn::Matrix random_spd(std::size_t n, common::Rng& rng) {
+  nn::Matrix b(n, n);
+  for (double& v : b.flat()) v = rng.normal();
+  nn::Matrix a = matmul_nt(b, b);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) += static_cast<double>(n);
+  }
+  return a;
+}
+
+void expect_bit_identical(const nn::Matrix& actual, const nn::Matrix& expected,
+                          const char* what) {
+  ASSERT_EQ(actual.rows(), expected.rows()) << what;
+  ASSERT_EQ(actual.cols(), expected.cols()) << what;
+  // memcmp over the flat storage: even a one-ulp difference fails.
+  EXPECT_EQ(std::memcmp(actual.data(), expected.data(),
+                        actual.size() * sizeof(double)),
+            0)
+      << what;
+}
+
+TEST(GpParallelFitTest, CholeskyBitIdenticalAcrossPoolSizes) {
+  common::Rng rng(41);
+  // Sizes straddling the 64-row inline grain: below it the pool path runs
+  // inline, above it real fan-out happens.
+  for (std::size_t n : {std::size_t{16}, std::size_t{63}, std::size_t{64},
+                        std::size_t{150}, std::size_t{257}}) {
+    const nn::Matrix a = random_spd(n, rng);
+    const nn::Matrix serial = cholesky(a);
+    for (std::size_t threads : kPoolSizes) {
+      common::ThreadPool pool(threads);
+      const nn::Matrix parallel = cholesky(a, &pool);
+      expect_bit_identical(parallel, serial, "cholesky factor");
+    }
+  }
+}
+
+TEST(GpParallelFitTest, FitPredictionsBitIdenticalAcrossPoolSizes) {
+  common::Rng rng(42);
+  const std::size_t n = 180, d = 6;
+  nn::Matrix x(n, d);
+  for (double& v : x.flat()) v = rng.uniform();
+  std::vector<double> y(n);
+  for (double& v : y) v = rng.normal();
+
+  std::vector<std::vector<double>> queries(8, std::vector<double>(d));
+  for (auto& q : queries) {
+    for (double& v : q) v = rng.uniform();
+  }
+
+  GpRegressor serial(std::make_unique<Matern52Kernel>(1.0, 1.0), 1e-3);
+  serial.fit(x, y);
+  const double serial_lml = serial.log_marginal_likelihood();
+  std::vector<GpPrediction> serial_preds;
+  for (const auto& q : queries) serial_preds.push_back(serial.predict(q));
+
+  for (std::size_t threads : kPoolSizes) {
+    common::ThreadPool pool(threads);
+    GpRegressor model(std::make_unique<Matern52Kernel>(1.0, 1.0), 1e-3);
+    model.set_thread_pool(&pool);
+    model.fit(x, y);
+    EXPECT_EQ(model.log_marginal_likelihood(), serial_lml)
+        << "threads=" << threads;
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const GpPrediction pred = model.predict(queries[i]);
+      EXPECT_EQ(pred.mean, serial_preds[i].mean)
+          << "threads=" << threads << " query=" << i;
+      EXPECT_EQ(pred.variance, serial_preds[i].variance)
+          << "threads=" << threads << " query=" << i;
+    }
+    // Detach before the pool goes out of scope.
+    model.set_thread_pool(nullptr);
+  }
+}
+
+TEST(GpParallelFitTest, RefitOnGrowingDataStaysBitIdentical) {
+  // The online loop refits on a growing window; make sure pool-backed
+  // refits track the serial model exactly across sizes, not just once.
+  common::Rng rng(43);
+  const std::size_t d = 4;
+  common::ThreadPool pool(4);
+  GpRegressor serial(std::make_unique<Matern52Kernel>(1.4, 1.0), 5e-3);
+  GpRegressor parallel(std::make_unique<Matern52Kernel>(1.4, 1.0), 5e-3);
+  parallel.set_thread_pool(&pool);
+
+  for (std::size_t n : {std::size_t{20}, std::size_t{90}, std::size_t{170}}) {
+    nn::Matrix x(n, d);
+    for (double& v : x.flat()) v = rng.uniform();
+    std::vector<double> y(n);
+    for (double& v : y) v = rng.normal();
+
+    serial.fit(x, y);
+    parallel.fit(x, y);
+    EXPECT_EQ(parallel.log_marginal_likelihood(),
+              serial.log_marginal_likelihood())
+        << "n=" << n;
+
+    std::vector<double> q(d);
+    for (double& v : q) v = rng.uniform();
+    const GpPrediction ps = serial.predict(q);
+    const GpPrediction pp = parallel.predict(q);
+    EXPECT_EQ(pp.mean, ps.mean) << "n=" << n;
+    EXPECT_EQ(pp.variance, ps.variance) << "n=" << n;
+  }
+  parallel.set_thread_pool(nullptr);
+}
+
+}  // namespace
+}  // namespace deepcat::gp

@@ -305,6 +305,89 @@ TEST(KernelsTest, AdamUpdateClippedBackendsAgree) {
   }
 }
 
+// Packed vs register-blocked contract: both keep each output element's
+// FMA chain in ascending-k order, but the packed path splits k into KC
+// blocks (each block's partial sum rounds once when added into C) and
+// zero-pads edge tiles, so agreement is ulp-scale, not bit-exact. The
+// bound below scales with k * machine-epsilon against the magnitude of
+// the accumulated products, which covers random-data cancellation.
+TEST(KernelsTest, PackedGemmMatchesRegisterBlockedWithinUlps) {
+  namespace simd = common::simd;
+  ForceScalarGuard guard;
+  if (!simd::vectorized_active()) {
+    GTEST_SKIP() << "no vector backend on this machine";
+  }
+  Rng rng(77);
+  // At and above the threshold, plus odd shapes that exercise partial
+  // MR/NR edge tiles and KC remainders on the packed path.
+  const Shape shapes[] = {{256, 256, 256}, {259, 261, 263}, {300, 270, 265}};
+  for (const auto& s : shapes) {
+    const Matrix a = random_matrix(s.m, s.k, rng);
+    const Matrix b = random_matrix(s.k, s.n, rng);
+    const Matrix a_t = a.transposed();
+    const Matrix b_t = b.transposed();
+
+    simd::force_gemm_path(simd::GemmPath::kRegisterBlocked);
+    const Matrix nn_blocked = matmul(a, b);
+    const Matrix tn_blocked = matmul_tn(a_t, b);
+    const Matrix nt_blocked = matmul_nt(a, b_t);
+    simd::force_gemm_path(simd::GemmPath::kPacked);
+    simd::reset_dispatch_counts();
+    const Matrix nn_packed = matmul(a, b);
+    const Matrix tn_packed = matmul_tn(a_t, b);
+    const Matrix nt_packed = matmul_nt(a, b_t);
+    EXPECT_EQ(simd::dispatch_counts().packed_calls, 3ull);
+    simd::force_gemm_path(simd::GemmPath::kAuto);
+
+    // |error| <= ~k ulps of the accumulated magnitude; 32*k*eps leaves
+    // headroom for the KC-block re-rounding without hiding real bugs.
+    const double tol_scale =
+        32.0 * static_cast<double>(s.k) * 2.220446049250313e-16;
+    const Matrix* blocked[] = {&nn_blocked, &tn_blocked, &nt_blocked};
+    const Matrix* packed[] = {&nn_packed, &tn_packed, &nt_packed};
+    const char* names[] = {"nn", "tn", "nt"};
+    for (int v = 0; v < 3; ++v) {
+      for (std::size_t i = 0; i < s.m; ++i) {
+        for (std::size_t j = 0; j < s.n; ++j) {
+          const double ref = (*blocked[v])(i, j);
+          // Accumulated-magnitude proxy: sqrt(k) * O(1) elements; use
+          // max(1, |ref|) floor plus the k-scaled band.
+          const double tol = tol_scale * std::max(32.0, std::abs(ref));
+          EXPECT_NEAR((*packed[v])(i, j), ref, tol)
+              << names[v] << " shape " << s.m << "x" << s.k << "x" << s.n
+              << " at (" << i << "," << j << ")";
+        }
+      }
+    }
+  }
+}
+
+// kAuto flips to the packed path exactly at the documented threshold.
+TEST(KernelsTest, PackedPathSelectedBySizeThreshold) {
+  namespace simd = common::simd;
+  ForceScalarGuard guard;
+  if (!simd::vectorized_active()) {
+    GTEST_SKIP() << "no vector backend on this machine";
+  }
+  const std::size_t t = simd::packed_gemm_min_dim();
+  ASSERT_EQ(simd::forced_gemm_path(), simd::GemmPath::kAuto);
+  Rng rng(78);
+  const Matrix a = random_matrix(t, t, rng);
+  const Matrix b = random_matrix(t, t, rng);
+
+  simd::reset_dispatch_counts();
+  matmul(a, b);
+  EXPECT_EQ(simd::dispatch_counts().packed_calls, 1ull)
+      << "at-threshold GEMM must pack";
+
+  const Matrix a_small = random_matrix(t - 1, t, rng);
+  simd::reset_dispatch_counts();
+  matmul(a_small, b);
+  EXPECT_EQ(simd::dispatch_counts().packed_calls, 0ull)
+      << "below-threshold GEMM must stay register-blocked";
+  simd::reset_dispatch_counts();
+}
+
 TEST(KernelsTest, ActivationGradFromOutputMatchesDefinition) {
   Rng rng(26);
   const Matrix x = random_matrix(6, 9, rng);
