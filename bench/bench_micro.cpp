@@ -22,11 +22,25 @@
 //                                  through StreamingService) with streaming
 //                                  span export + metrics on vs. tracing off
 //                                  (the committed BENCH_obs.json baseline).
+//   bench_micro --json-serve[=path] serving front-end load generator: 32
+//                                  concurrent clients x 64 request round
+//                                  trips against an in-process FrontEnd
+//                                  (deterministic fake sessions, so the
+//                                  numbers isolate the epoll/framing path),
+//                                  once over AF_UNIX and once over TCP
+//                                  loopback; exports throughput and
+//                                  p50/p95/p99 round-trip latency per
+//                                  transport (the committed
+//                                  BENCH_serve.json baseline).
 #include <benchmark/benchmark.h>
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <mutex>
+#include <thread>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -40,6 +54,10 @@
 #include "common/rng.hpp"
 #include "common/simd.hpp"
 #include "common/thread_pool.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "service/sharding.hpp"
+#include "service/wire.hpp"
 #include "gp/gp_regressor.hpp"
 #include "gp/kernel.hpp"
 #include "obs/build_info.hpp"
@@ -596,6 +614,163 @@ int run_obs_bench_json(const std::string& path) {
   return 0;
 }
 
+// --json-serve mode: load-generates the epoll front end over both
+// transports. Sessions are the deterministic fake, so throughput and
+// latency measure the serving path (accept, framing, admission-order
+// release, completion hand-off) rather than model math.
+
+constexpr std::size_t kServeClients = 32;
+constexpr std::size_t kServeRequestsPerClient = 64;
+
+service::SessionReport serve_bench_fake_session(
+    const service::TuningRequest& r) {
+  service::SessionReport report;
+  report.id = r.id;
+  report.workload = r.workload;
+  report.cluster = r.cluster;
+  report.ok = true;
+  report.report.default_time = 100.0;
+  report.report.best_time = 80.0;
+  return report;
+}
+
+struct ServeLoadResult {
+  double wall_seconds = 0.0;
+  std::vector<double> latencies_ms;  ///< one per request round trip
+};
+
+/// One transport's load phase: kServeClients threads, each doing
+/// kServeRequestsPerClient synchronous REQ->REP round trips, then a clean
+/// END handshake. Aborts (throws) on any ERR frame — the bench must not
+/// publish numbers from a run with failures.
+ServeLoadResult run_serve_load(const net::FrontEndOptions& options,
+                               std::uint16_t tcp_port, bool use_tcp) {
+  ServeLoadResult result;
+  result.latencies_ms.reserve(kServeClients * kServeRequestsPerClient);
+  std::mutex latencies_mutex;
+  std::vector<std::thread> clients;
+  const auto started = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < kServeClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto client = use_tcp
+                        ? net::BlockingClient::to_tcp("127.0.0.1", tcp_port)
+                        : net::BlockingClient::to_unix(options.unix_path);
+      client.send_header();
+      std::vector<double> local;
+      local.reserve(kServeRequestsPerClient);
+      for (std::size_t r = 0; r < kServeRequestsPerClient; ++r) {
+        const std::string payload =
+            "{\"id\":\"c" + std::to_string(c) + "-r" + std::to_string(r) +
+            "\",\"workload\":\"TS-D1\",\"steps\":2}";
+        const auto sent = std::chrono::steady_clock::now();
+        client.send_frame(service::FrameType::kRequest, payload);
+        for (;;) {
+          auto frame = client.read_frame();
+          if (!frame) throw std::runtime_error("serve bench: early EOF");
+          if (frame->type == service::FrameType::kError) {
+            throw std::runtime_error("serve bench: ERR " + frame->payload);
+          }
+          if (frame->type == service::FrameType::kReply) break;
+        }
+        local.push_back(std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - sent)
+                            .count());
+      }
+      client.send_frame(service::FrameType::kEnd, "");
+      while (auto frame = client.read_frame()) {
+        if (frame->type == service::FrameType::kEnd) break;
+      }
+      std::scoped_lock lock(latencies_mutex);
+      result.latencies_ms.insert(result.latencies_ms.end(), local.begin(),
+                                 local.end());
+    });
+  }
+  for (auto& t : clients) t.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  return result;
+}
+
+double latency_quantile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+void export_serve_phase(obs::MetricsRegistry& registry,
+                        const std::string& prefix,
+                        const ServeLoadResult& load) {
+  const double requests =
+      static_cast<double>(kServeClients * kServeRequestsPerClient);
+  registry.gauge(prefix + ".throughput_rps").set(requests / load.wall_seconds);
+  registry.gauge(prefix + ".p50_ms")
+      .set(latency_quantile(load.latencies_ms, 0.50));
+  registry.gauge(prefix + ".p95_ms")
+      .set(latency_quantile(load.latencies_ms, 0.95));
+  registry.gauge(prefix + ".p99_ms")
+      .set(latency_quantile(load.latencies_ms, 0.99));
+}
+
+int run_serve_bench_json(const std::string& path) {
+  service::StreamingOptions streaming;
+  streaming.service.threads = 4;
+  service::ShardedStreamingService svc(streaming, /*shards=*/4);
+  svc.set_session_runner_for_test(serve_bench_fake_session);
+
+  net::FrontEndOptions options;
+  options.unix_path =
+      "/tmp/deepcat_bench_serve_" + std::to_string(::getpid()) + ".sock";
+  options.tcp_port = 0;  // ephemeral
+  options.max_connections = kServeClients + 8;
+  options.max_inflight = 4096;
+  net::FrontEnd front_end(svc, options);
+  const std::uint16_t tcp_port = front_end.tcp_port();
+  net::FrontEndStats stats;
+  std::thread loop([&] { stats = front_end.run(); });
+
+  // Warm both transports (connect path, allocator, code) off the record.
+  (void)run_serve_load(options, tcp_port, /*use_tcp=*/false);
+  const auto unix_load = run_serve_load(options, tcp_port, /*use_tcp=*/false);
+  const auto tcp_load = run_serve_load(options, tcp_port, /*use_tcp=*/true);
+
+  front_end.request_shutdown();
+  loop.join();
+  if (stats.failed_sessions != 0 || stats.protocol_errors != 0 ||
+      stats.rejected_overload != 0 || stats.forced_closes != 0) {
+    std::cerr << "bench_micro: serve bench saw failures; not publishing\n";
+    return 1;
+  }
+
+  obs::MetricsRegistry registry;
+  registry.gauge("serve.clients").set(static_cast<double>(kServeClients));
+  registry.gauge("serve.requests_per_client")
+      .set(static_cast<double>(kServeRequestsPerClient));
+  export_serve_phase(registry, "serve.unix", unix_load);
+  export_serve_phase(registry, "serve.tcp", tcp_load);
+
+  std::ostringstream json;
+  json << "{\"bench\":\"deepcat serving front-end load generator\",\"build\":";
+  obs::write_build_info_json(json, obs::current_build_info());
+  json << "}\n";
+  registry.write_jsonl(json);
+
+  if (path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_micro: cannot write " << path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -611,6 +786,12 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--json-obs=", 11) == 0) {
       return run_obs_bench_json(argv[i] + 11);
+    }
+    if (std::strcmp(argv[i], "--json-serve") == 0) {
+      return run_serve_bench_json("");
+    }
+    if (std::strncmp(argv[i], "--json-serve=", 13) == 0) {
+      return run_serve_bench_json(argv[i] + 13);
     }
   }
   benchmark::Initialize(&argc, argv);

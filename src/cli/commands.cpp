@@ -18,17 +18,16 @@
 #include "obs/tracer.hpp"
 #include "service/jsonl.hpp"
 #include "service/service.hpp"
+#include "service/sharding.hpp"
 #include "service/streaming.hpp"
 #include "service/wire.hpp"
 #include "sparksim/config_export.hpp"
 #include "sparksim/job_sim.hpp"
 
 #if !defined(_WIN32)
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <cstring>
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
 #endif
 
 namespace deepcat::cli {
@@ -93,53 +92,22 @@ void print_usage(std::ostream& os) {
         "  serve --stream 1            serve a framed wire stream (DCWP)\n"
         "      --checkpoint dir/ [--in wire.bin] [--out wire.bin]\n"
         "      [--requests file.jsonl]  (framed as REQ* + END; excludes --in)\n"
-        "      [--socket /path.sock] [--model default] [--master-steps 4]\n"
+        "      [--socket /path.sock] [--tcp host:port] [--shards 1]\n"
+        "      [--max-conns 256] [--max-inflight 1024] [--drain-timeout 5]\n"
+        "      [--idle-timeout 0] [--exit-after N] [--flush-on-end 0|1]\n"
+        "      [--model default] [--master-steps 4]\n"
         "      [--max-models 4] [--train-iters 0] [--train-workload TS]\n"
         "      [--threads 0] [--cluster a|b] [--seed 1]\n"
         "      [--trace-out trace.json] [--metrics-out metrics.jsonl]\n"
         "      [--trace-stream trace.json] [--trace-ring 256]\n"
         "      [--tele-every 0] [--clock steady|logical]\n"
-        "      (without --in/--socket reads stdin; without --out/--socket\n"
-        "       writes the wire bytes to stdout and stays otherwise silent)\n"
+        "      (--socket/--tcp run the multiplexing front end; --socket\n"
+        "       alone keeps the legacy exit-after-one-connection contract.\n"
+        "       without --in/--socket/--tcp reads stdin; without\n"
+        "       --out/--socket/--tcp writes wire bytes to stdout silently)\n"
         "  stats --socket /path.sock   poll a streaming server for one TELE\n"
-        "                              telemetry snapshot (STAT over DCWP)\n";
+        "      [--tcp host:port]       telemetry snapshot (STAT over DCWP)\n";
 }
-
-#if !defined(_WIN32)
-/// Minimal stream buffer over a file descriptor, enough to run the framed
-/// wire protocol across a Unix socket without a transport dependency.
-class FdStreamBuf final : public std::streambuf {
- public:
-  explicit FdStreamBuf(int fd) : fd_(fd) { setg(in_, in_, in_); }
-
- protected:
-  int_type underflow() override {
-    const ssize_t n = ::read(fd_, in_, sizeof in_);
-    if (n <= 0) return traits_type::eof();
-    setg(in_, in_, in_ + n);
-    return traits_type::to_int_type(in_[0]);
-  }
-  int_type overflow(int_type ch) override {
-    if (traits_type::eq_int_type(ch, traits_type::eof())) return ch;
-    const char c = traits_type::to_char_type(ch);
-    return ::write(fd_, &c, 1) == 1 ? ch : traits_type::eof();
-  }
-  std::streamsize xsputn(const char* s, std::streamsize n) override {
-    std::streamsize done = 0;
-    while (done < n) {
-      const ssize_t w =
-          ::write(fd_, s + done, static_cast<std::size_t>(n - done));
-      if (w <= 0) break;
-      done += w;
-    }
-    return done;
-  }
-
- private:
-  int fd_;
-  char in_[4096];
-};
-#endif
 
 int stream_exit_code(const service::StreamServeResult& result) {
   return (result.failed_sessions == 0 && result.parse_errors == 0 &&
@@ -148,12 +116,40 @@ int stream_exit_code(const service::StreamServeResult& result) {
              : 1;
 }
 
+#if !defined(_WIN32)
+int front_end_exit_code(const net::FrontEndStats& stats) {
+  // Overload rejections are the protocol working as designed, not a
+  // failure; anything lost or corrupted is.
+  return (stats.failed_sessions == 0 && stats.parse_errors == 0 &&
+          stats.protocol_errors == 0 && stats.forced_closes == 0)
+             ? 0
+             : 1;
+}
+#endif
+
 int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
                      const std::string& checkpoint_dir) {
   const std::string model_name = args.flag_or("model", "default");
   const auto train_iters =
       static_cast<std::size_t>(args.number_or("train-iters", 0));
   const auto seed = static_cast<std::uint64_t>(args.number_or("seed", 1));
+  const auto socket_path = args.flag("socket");
+  const auto tcp_spec = args.flag("tcp");
+#if defined(_WIN32)
+  if (socket_path || tcp_spec) {
+    throw std::invalid_argument(
+        "serve: --socket/--tcp are not supported on this platform");
+  }
+#endif
+  const bool front_end = socket_path.has_value() || tcp_spec.has_value();
+  const auto shards =
+      std::max<std::size_t>(1, static_cast<std::size_t>(
+                                   args.number_or("shards", 1)));
+  if (shards > 1 && !front_end) {
+    throw std::invalid_argument(
+        "serve: --shards requires --socket or --tcp (the in-memory stream "
+        "driver is single-connection)");
+  }
 
   service::StreamingOptions options;
   options.service.cluster = args.flag_or("cluster", "a");
@@ -218,10 +214,10 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
   serve_options.tele_include_nondeterministic =
       !(obs_on && clock_kind == "logical");
 
-  // Wire bytes to stdout (no --out / --socket) must stay pure protocol, so
-  // status text is suppressed in that mode.
-  const bool quiet = !args.flag("out") && !args.flag("socket");
-  service::StreamingService svc(options);
+  // Wire bytes to stdout (no --out / --socket / --tcp) must stay pure
+  // protocol, so status text is suppressed in that mode.
+  const bool quiet = !args.flag("out") && !front_end;
+  service::ShardedStreamingService svc(options, shards);
   service::ModelRegistry registry(checkpoint_dir);
 
   const auto version = registry.latest_version(model_name);
@@ -249,47 +245,50 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
   }
 
   service::StreamServeResult result;
-  if (const auto socket_path = args.flag("socket")) {
-#if defined(_WIN32)
-    throw std::invalid_argument(
-        "serve: --socket is not supported on this platform");
-#else
-    ::unlink(socket_path->c_str());
-    const int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
-    if (listener < 0) {
-      throw std::runtime_error("serve: cannot create a unix socket");
+  int exit_code = 0;
+  if (front_end) {
+#if !defined(_WIN32)
+    net::FrontEndOptions fe;
+    if (socket_path) fe.unix_path = *socket_path;
+    if (tcp_spec) {
+      const auto [host, port] = net::parse_host_port(*tcp_spec);
+      fe.tcp_host = host.empty() ? "127.0.0.1" : host;
+      fe.tcp_port = port;
     }
-    sockaddr_un addr{};
-    addr.sun_family = AF_UNIX;
-    if (socket_path->size() >= sizeof addr.sun_path) {
-      ::close(listener);
-      throw std::invalid_argument("serve: socket path '" + *socket_path +
-                                  "' is too long");
+    fe.max_connections =
+        static_cast<std::size_t>(args.number_or("max-conns", 256));
+    fe.max_inflight =
+        static_cast<std::size_t>(args.number_or("max-inflight", 1024));
+    fe.drain_timeout_seconds = args.number_or("drain-timeout", 5);
+    fe.idle_timeout_seconds = args.number_or("idle-timeout", 0);
+    // --socket alone keeps the legacy contract: serve exactly one
+    // connection with the flush-on-END tail, then exit. Adding --tcp (or
+    // overriding the flags) runs the long-lived multiplexing server.
+    const bool legacy_single = socket_path.has_value() && !tcp_spec;
+    fe.exit_after_connections = static_cast<std::size_t>(
+        args.number_or("exit-after", legacy_single ? 1 : 0));
+    fe.flush_on_end =
+        args.number_or("flush-on-end", legacy_single ? 1 : 0) != 0.0;
+    fe.serve = serve_options;
+    fe.obs = options.service.obs;
+    net::FrontEnd server(svc, fe);
+    if (fe.exit_after_connections == 0) server.install_signal_handlers();
+    if (socket_path) os << "listening on " << *socket_path << '\n';
+    if (tcp_spec) {
+      os << "listening on " << fe.tcp_host << ':' << server.tcp_port()
+         << '\n';
     }
-    std::strncpy(addr.sun_path, socket_path->c_str(),
-                 sizeof(addr.sun_path) - 1);
-    if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr),
-               sizeof addr) != 0 ||
-        ::listen(listener, 1) != 0) {
-      ::close(listener);
-      throw std::runtime_error("serve: cannot bind unix socket '" +
-                               *socket_path + "'");
-    }
-    os << "listening on " << *socket_path << '\n' << std::flush;
-    const int client = ::accept(listener, nullptr, nullptr);
-    ::close(listener);
-    if (client < 0) {
-      ::unlink(socket_path->c_str());
-      throw std::runtime_error("serve: accept on '" + *socket_path +
-                               "' failed");
-    }
-    FdStreamBuf in_buf(client);
-    FdStreamBuf out_buf(client);
-    std::istream in(&in_buf);
-    std::ostream out(&out_buf);
-    result = service::serve_frame_stream(in, out, svc, serve_options);
-    ::close(client);
-    ::unlink(socket_path->c_str());
+    os << std::flush;
+    const net::FrontEndStats stats = server.run();
+    os << "serve done: " << stats.accepted << " connections ("
+       << stats.clean_ends << " clean), " << stats.requests << " requests, "
+       << stats.replies << " replies, " << stats.failed_sessions
+       << " failed sessions, " << stats.parse_errors << " parse errors, "
+       << stats.protocol_errors << " protocol errors, "
+       << stats.rejected_overload + stats.overloaded_requests
+       << " overload rejections, " << stats.forced_closes
+       << " forced closes\n";
+    exit_code = front_end_exit_code(stats);
 #endif
   } else {
     std::ifstream in_file;
@@ -336,7 +335,9 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
       }
       out = &out_file;
     }
-    result = service::serve_frame_stream(*in, *out, svc, serve_options);
+    result = service::serve_frame_stream(*in, *out, svc.shard(0),
+                                         serve_options);
+    exit_code = stream_exit_code(result);
   }
 
   if (trace_stream) {
@@ -367,14 +368,14 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
     if (!quiet) os << "wrote metrics to " << *metrics_out << '\n';
   }
 
-  if (!quiet) {
+  if (!quiet && !front_end) {
     os << "stream done: " << result.requests << " requests, "
        << result.failed_sessions << " failed sessions, "
        << result.parse_errors << " parse errors, " << result.protocol_errors
        << " protocol errors"
        << (result.clean_end ? "" : " (no clean END frame)") << '\n';
   }
-  return stream_exit_code(result);
+  return exit_code;
 }
 
 }  // namespace
@@ -617,58 +618,36 @@ int cmd_stats(const ParsedArgs& args, std::ostream& os) {
                               "platform");
 #else
   const auto socket_path = args.flag("socket");
-  if (!socket_path) {
-    throw std::invalid_argument("stats: --socket /path.sock is required");
+  const auto tcp_spec = args.flag("tcp");
+  if (!socket_path && !tcp_spec) {
+    throw std::invalid_argument(
+        "stats: --socket /path.sock or --tcp host:port is required");
   }
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw std::runtime_error("stats: cannot create a unix socket");
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (socket_path->size() >= sizeof addr.sun_path) {
-    ::close(fd);
-    throw std::invalid_argument("stats: socket path '" + *socket_path +
-                                "' is too long");
-  }
-  std::strncpy(addr.sun_path, socket_path->c_str(),
-               sizeof(addr.sun_path) - 1);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    ::close(fd);
-    throw std::runtime_error("stats: cannot connect to '" + *socket_path +
-                             "' (is a serve --stream --socket running?)");
-  }
-  FdStreamBuf in_buf(fd);
-  FdStreamBuf out_buf(fd);
-  std::istream in(&in_buf);
-  std::ostream out(&out_buf);
+  const std::string endpoint = socket_path ? *socket_path : *tcp_spec;
+  net::BlockingClient client = [&] {
+    if (socket_path) return net::BlockingClient::to_unix(*socket_path);
+    const auto [host, port] = net::parse_host_port(*tcp_spec);
+    return net::BlockingClient::to_tcp(host.empty() ? "127.0.0.1" : host,
+                                       port);
+  }();
 
   // STAT asks for one mid-stream TELE; END lets the server finish its
-  // tail (drain + final TELE + compat METR + END) and close.
-  service::write_stream_header(out);
-  service::write_frame(out, service::FrameType::kStat, "");
-  service::write_frame(out, service::FrameType::kEnd, "");
-  out.flush();
+  // tail (final TELE + compat METR + END) and close.
+  client.send_header();
+  client.send_frame(service::FrameType::kStat, "");
+  client.send_frame(service::FrameType::kEnd, "");
 
   std::string tele;
-  try {
-    service::read_stream_header(in);
-    for (;;) {
-      const auto frame = service::read_frame(in);
-      if (!frame) break;  // server closed without END: report what we got
-      if (frame->type == service::FrameType::kTelemetry && tele.empty()) {
-        tele = frame->payload;  // the STAT answer is the first TELE
-      }
-      if (frame->type == service::FrameType::kEnd) break;
+  for (;;) {
+    const auto frame = client.read_frame();
+    if (!frame) break;  // server closed without END: report what we got
+    if (frame->type == service::FrameType::kTelemetry && tele.empty()) {
+      tele = frame->payload;  // the STAT answer is the first TELE
     }
-  } catch (...) {
-    ::close(fd);
-    throw;
+    if (frame->type == service::FrameType::kEnd) break;
   }
-  ::close(fd);
   if (tele.empty()) {
-    os << "error: no TELE frame received from '" << *socket_path << "'\n";
+    os << "error: no TELE frame received from '" << endpoint << "'\n";
     return 1;
   }
   os << tele << '\n';

@@ -1,0 +1,69 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "net/socket.hpp"
+
+namespace deepcat::net {
+
+BlockingClient BlockingClient::to_unix(const std::string& path) {
+  return BlockingClient(connect_unix(path));
+}
+
+BlockingClient BlockingClient::to_tcp(const std::string& host,
+                                      std::uint16_t port) {
+  return BlockingClient(connect_tcp(host, port));
+}
+
+void BlockingClient::send_all(std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_.get(), bytes.data() + sent,
+                             bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("send(): ") + std::strerror(errno));
+  }
+}
+
+void BlockingClient::send_header() {
+  send_all(service::encode_stream_header());
+}
+
+void BlockingClient::send_frame(service::FrameType type,
+                                std::string_view payload) {
+  send_all(service::encode_frame(type, payload));
+}
+
+void BlockingClient::shutdown_writes() {
+  (void)::shutdown(fd_.get(), SHUT_WR);
+}
+
+std::optional<service::Frame> BlockingClient::read_frame() {
+  for (;;) {
+    if (auto frame = decoder_.next()) return frame;
+    char buf[16 * 1024];
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder_.feed(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      if (decoder_.midstream()) {
+        throw service::WireError("connection closed mid-frame");
+      }
+      return std::nullopt;
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("recv(): ") + std::strerror(errno));
+  }
+}
+
+}  // namespace deepcat::net

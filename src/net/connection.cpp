@@ -1,0 +1,76 @@
+#include "net/connection.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace deepcat::net {
+
+void ConnMetrics::record(const service::StreamReport& report) {
+  const service::SessionReport& session = report.session;
+  if (!session.ok) {
+    ++totals_.sessions_failed;
+    return;
+  }
+  ++totals_.sessions_served;
+  totals_.evaluations_paid += session.report.steps.size();
+  totals_.evaluation_seconds += session.report.total_evaluation_seconds();
+  const double rec = session.report.total_recommendation_seconds();
+  totals_.recommendation_seconds += rec;
+  rec_costs_.add(rec);
+  reward_sum_ += session.mean_reward();
+  speedup_sum_ += session.report.speedup_over_default();
+}
+
+service::ServiceMetrics ConnMetrics::snapshot() const {
+  service::ServiceMetrics m = totals_;
+  if (m.sessions_served > 0) {
+    m.p50_recommendation_seconds = rec_costs_.quantile(0.50);
+    m.p95_recommendation_seconds = rec_costs_.quantile(0.95);
+    m.mean_session_reward =
+        reward_sum_ / static_cast<double>(m.sessions_served);
+    m.mean_speedup = speedup_sum_ / static_cast<double>(m.sessions_served);
+  }
+  return m;
+}
+
+IoStatus Connection::read_some() {
+  char buf[16 * 1024];
+  bool progressed = false;
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buf, sizeof buf, 0);
+    if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n));
+      progressed = true;
+      continue;
+    }
+    if (n == 0) return IoStatus::kEof;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return progressed ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus Connection::flush_writes() {
+  while (write_pos_ < write_buffer_.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), write_buffer_.data() + write_pos_,
+               write_buffer_.size() - write_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      write_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kWouldBlock;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;  // EPIPE/ECONNRESET: peer is gone
+  }
+  if (write_pos_ > 0) {
+    write_buffer_.clear();
+    write_pos_ = 0;
+  }
+  return IoStatus::kOk;
+}
+
+}  // namespace deepcat::net

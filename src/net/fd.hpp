@@ -1,0 +1,86 @@
+// RAII ownership for POSIX file descriptors and filesystem socket paths.
+//
+// The legacy `serve --socket` path leaked its listener fd (and left the
+// socket file behind) on throw paths; these guards make every fd and
+// every bound AF_UNIX path owned by exactly one object whose destructor
+// runs on all exits, including exceptions.
+#pragma once
+
+#include <unistd.h>
+
+#include <string>
+#include <utility>
+
+namespace deepcat::net {
+
+/// Move-only owner of one file descriptor; closes on destruction.
+class FdGuard {
+ public:
+  FdGuard() = default;
+  explicit FdGuard(int fd) noexcept : fd_(fd) {}
+  ~FdGuard() { reset(); }
+
+  FdGuard(FdGuard&& other) noexcept : fd_(other.release()) {}
+  FdGuard& operator=(FdGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Relinquishes ownership without closing.
+  [[nodiscard]] int release() noexcept { return std::exchange(fd_, -1); }
+
+  /// Closes the current fd (if any) and adopts `fd`.
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Unlinks a filesystem path on destruction — pairs with a bound AF_UNIX
+/// listener so the socket file never outlives the server, whatever path
+/// the teardown takes.
+class UnlinkGuard {
+ public:
+  UnlinkGuard() = default;
+  explicit UnlinkGuard(std::string path) noexcept : path_(std::move(path)) {}
+  ~UnlinkGuard() { reset(); }
+
+  UnlinkGuard(UnlinkGuard&& other) noexcept
+      : path_(std::exchange(other.path_, {})) {}
+  UnlinkGuard& operator=(UnlinkGuard&& other) noexcept {
+    if (this != &other) {
+      reset();
+      path_ = std::exchange(other.path_, {});
+    }
+    return *this;
+  }
+  UnlinkGuard(const UnlinkGuard&) = delete;
+  UnlinkGuard& operator=(const UnlinkGuard&) = delete;
+
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Relinquishes ownership without unlinking.
+  void release() noexcept { path_.clear(); }
+
+  /// Unlinks now (if owning) and optionally adopts a new path.
+  void reset(std::string path = {}) noexcept {
+    if (!path_.empty()) ::unlink(path_.c_str());
+    path_ = std::move(path);
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace deepcat::net

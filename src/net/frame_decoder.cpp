@@ -1,0 +1,102 @@
+#include "net/frame_decoder.hpp"
+
+#include <cstring>
+
+#include "service/checkpoint.hpp"  // crc32
+
+namespace deepcat::net {
+
+namespace {
+
+constexpr char kWireMagic[4] = {'D', 'C', 'W', 'P'};
+constexpr std::size_t kHeaderSize = 8;   // magic + u32 version
+constexpr std::size_t kFrameHeadSize = 12;  // u32 type + u64 length
+
+std::uint32_t get_u32(const char* buf) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(const char* buf) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void FrameDecoder::compact() {
+  // Drop the consumed prefix once it dominates the buffer, so a long-lived
+  // connection's buffer doesn't grow with its traffic history.
+  if (pos_ > 0 && (pos_ >= buffer_.size() || pos_ > 64 * 1024)) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+std::optional<service::Frame> FrameDecoder::next() {
+  using service::WireError;
+  if (!header_seen_) {
+    if (available() < kHeaderSize) return std::nullopt;
+    const char* head = buffer_.data() + pos_;
+    if (std::memcmp(head, kWireMagic, sizeof kWireMagic) != 0) {
+      throw WireError("not a DeepCAT wire stream (bad magic)");
+    }
+    const std::uint32_t version = get_u32(head + 4);
+    if (version > service::kWireVersion) {
+      throw WireError("wire protocol version " + std::to_string(version) +
+                      " is newer than the supported version " +
+                      std::to_string(service::kWireVersion));
+    }
+    pos_ += kHeaderSize;
+    header_seen_ = true;
+    compact();
+  }
+
+  if (available() < kFrameHeadSize) return std::nullopt;
+  const char* head = buffer_.data() + pos_;
+  const std::uint32_t tag = get_u32(head);
+  // Type and length are judged as soon as the head is present — matching
+  // the stream reader, a hostile frame is refused before its payload is
+  // ever buffered into an allocation we sized from its claim.
+  if (!service::known_frame_type(tag)) {
+    throw WireError("unknown wire frame type '" +
+                    service::frame_type_name(tag) + "'");
+  }
+  const std::uint64_t len = get_u64(head + 4);
+  if (len > service::kMaxFramePayload) {
+    throw WireError("'" + service::frame_type_name(tag) + "' frame claims " +
+                    std::to_string(len) + " payload bytes (limit " +
+                    std::to_string(service::kMaxFramePayload) + ")");
+  }
+  const std::uint64_t total = kFrameHeadSize + len + 4;  // head+payload+crc
+  if (available() < total) return std::nullopt;
+
+  service::Frame frame;
+  frame.type = static_cast<service::FrameType>(tag);
+  frame.payload.assign(head + kFrameHeadSize, static_cast<std::size_t>(len));
+  const std::uint32_t stored =
+      get_u32(head + kFrameHeadSize + static_cast<std::size_t>(len));
+  std::string crc_buf;
+  crc_buf.reserve(kFrameHeadSize + frame.payload.size());
+  crc_buf.append(head, kFrameHeadSize);
+  crc_buf.append(frame.payload);
+  const std::uint32_t computed = service::crc32(
+      reinterpret_cast<const unsigned char*>(crc_buf.data()), crc_buf.size());
+  if (stored != computed) {
+    throw WireError("checksum mismatch in '" + service::frame_type_name(tag) +
+                    "' frame");
+  }
+  pos_ += static_cast<std::size_t>(total);
+  compact();
+  return frame;
+}
+
+}  // namespace deepcat::net

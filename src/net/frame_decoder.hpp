@@ -1,0 +1,65 @@
+// Incremental DCWP decoder for nonblocking transports.
+//
+// The istream reader in service/wire.hpp blocks until a whole frame is
+// present; an epoll loop instead receives arbitrary byte slices. This
+// decoder buffers fed bytes and yields complete validated frames as they
+// materialize, enforcing the same contract as the stream reader, in the
+// same order the stream reader would discover violations:
+//
+//   - stream header (magic + version) validated first;
+//   - unknown frame type rejected as soon as the 12-byte head is present;
+//   - payload length checked against kMaxFramePayload BEFORE buffering a
+//     payload, so a hostile length can never balloon the buffer;
+//   - CRC over head+payload checked when the frame completes.
+//
+// Violations throw service::WireError with the stream reader's message
+// text (both paths share known_frame_type/frame_type_name, and tests
+// compare messages) — after a throw the decoder is poisoned and must be
+// discarded, exactly like an unreadable stream. Truncation (EOF mid-
+// frame) is the transport's call: it asks `midstream()` when the peer
+// hangs up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/wire.hpp"
+
+namespace deepcat::net {
+
+class FrameDecoder {
+ public:
+  /// Appends received bytes to the internal buffer. Cheap; validation
+  /// happens in next().
+  void feed(const char* data, std::size_t size) { buffer_.append(data, size); }
+
+  /// Returns the next complete frame, or nullopt when more bytes are
+  /// needed. Throws service::WireError on any protocol violation.
+  [[nodiscard]] std::optional<service::Frame> next();
+
+  /// True once the stream header has been consumed and validated.
+  [[nodiscard]] bool header_seen() const noexcept { return header_seen_; }
+
+  /// True when EOF now would cut a frame (or the header) in half — i.e.
+  /// there are buffered undecoded bytes or the header never arrived.
+  [[nodiscard]] bool midstream() const noexcept {
+    return available() != 0 || !header_seen_;
+  }
+
+  /// Undecoded bytes currently buffered.
+  [[nodiscard]] std::size_t buffered() const noexcept { return available(); }
+
+ private:
+  std::string buffer_;
+  std::size_t pos_ = 0;  ///< consumed prefix, compacted between frames
+  bool header_seen_ = false;
+
+  void compact();
+  [[nodiscard]] std::size_t available() const noexcept {
+    return buffer_.size() - pos_;
+  }
+};
+
+}  // namespace deepcat::net

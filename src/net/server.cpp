@@ -1,0 +1,597 @@
+#include "net/server.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <sstream>
+#include <utility>
+
+#include "service/jsonl.hpp"
+
+namespace deepcat::net {
+
+namespace {
+
+// Loop-internal epoll tokens; connection ids start above them.
+constexpr std::uint64_t kWakeToken = 0;
+constexpr std::uint64_t kUnixToken = 1;
+constexpr std::uint64_t kTcpToken = 2;
+
+std::int64_t now_ms() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string strip_newline(std::string s) {
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  return s;
+}
+
+// Signal routing: handlers may only touch async-signal-safe state, so the
+// handler body is one atomic load plus request_shutdown() (an atomic store
+// and an eventfd write).
+std::atomic<FrontEnd*> g_signal_target{nullptr};
+
+void forward_signal(int) {
+  if (FrontEnd* target = g_signal_target.load()) target->request_shutdown();
+}
+
+}  // namespace
+
+FrontEnd::FrontEnd(service::ShardedStreamingService& service,
+                   FrontEndOptions options)
+    : service_(service), options_(std::move(options)) {
+  listeners_.reserve(2);
+  if (!options_.unix_path.empty()) {
+    listeners_.push_back(listen_unix(options_.unix_path, /*backlog=*/128));
+    unix_listener_ = &listeners_.back();
+  }
+  if (options_.tcp_port >= 0) {
+    listeners_.push_back(
+        listen_tcp(options_.tcp_host,
+                   static_cast<std::uint16_t>(options_.tcp_port),
+                   /*backlog=*/128));
+    tcp_listener_ = &listeners_.back();
+  }
+  if (listeners_.empty()) {
+    throw std::runtime_error("front end needs at least one listener");
+  }
+  if (auto* metrics = options_.obs.metrics) {
+    obs_accepted_ = &metrics->counter("net.accepted");
+    obs_rejected_ = &metrics->counter("net.rejected_overload");
+    obs_overloaded_requests_ = &metrics->counter("net.overloaded_requests");
+    obs_closed_ = &metrics->counter("net.closed");
+    obs_idle_timeouts_ = &metrics->counter("net.idle_timeouts");
+    obs_protocol_errors_ = &metrics->counter("net.protocol_errors");
+    obs_open_conns_ =
+        &metrics->gauge("net.open_connections", /*deterministic=*/false);
+  }
+}
+
+FrontEnd::~FrontEnd() {
+  if (signal_handlers_installed_) {
+    g_signal_target.store(nullptr);
+    std::signal(SIGTERM, SIG_DFL);
+    std::signal(SIGINT, SIG_DFL);
+  }
+}
+
+std::uint16_t FrontEnd::tcp_port() const noexcept {
+  return tcp_listener_ != nullptr ? tcp_listener_->port : 0;
+}
+
+void FrontEnd::request_shutdown() noexcept {
+  shutdown_requested_.store(true);
+  wake_.notify();
+}
+
+void FrontEnd::install_signal_handlers() {
+  g_signal_target.store(this);
+  std::signal(SIGTERM, forward_signal);
+  std::signal(SIGINT, forward_signal);
+  signal_handlers_installed_ = true;
+}
+
+bool FrontEnd::accepting() const noexcept {
+  if (draining_ || !listeners_open_) return false;
+  if (options_.exit_after_connections != 0 &&
+      stats_.accepted >= options_.exit_after_connections) {
+    return false;
+  }
+  return true;
+}
+
+std::string FrontEnd::global_tele_payload() const {
+  std::ostringstream tele;
+  service::write_telemetry_payload(
+      tele, service_.aggregate_metrics(), service_.build_info(),
+      service_.metrics_registry(),
+      options_.serve.tele_include_nondeterministic);
+  return strip_newline(std::move(tele).str());
+}
+
+void FrontEnd::emit_conn_tele(Connection& conn) {
+  // Connection-scoped: this connection's own session aggregates, no
+  // registry instrument lines — a pure function of ITS request sequence.
+  std::ostringstream tele;
+  service::write_telemetry_payload(
+      tele, conn.metrics.snapshot(), service_.build_info(),
+      /*registry=*/nullptr, options_.serve.tele_include_nondeterministic);
+  conn.queue_frame(service::FrameType::kTelemetry,
+                   strip_newline(std::move(tele).str()));
+  ++conn.tele_frames;
+}
+
+void FrontEnd::accept_ready(Listener& listener, bool is_tcp) {
+  for (;;) {
+    FdGuard fd(::accept4(listener.fd.get(), nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC));
+    if (!fd.valid()) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    if (!accepting() || conns_.size() >= options_.max_connections) {
+      // Admission control, never a silent drop: greet with a decodable
+      // header + typed ERR + END, then close.
+      ++stats_.rejected_overload;
+      if (obs_rejected_ != nullptr) obs_rejected_->add(1);
+      auto conn = std::make_unique<Connection>(next_conn_id_++, std::move(fd),
+                                               is_tcp);
+      conn->queue_bytes(service::encode_stream_header());
+      conn->queue_frame(
+          service::FrameType::kError,
+          service::stream_error_payload(
+              "overloaded: connection limit reached (" +
+              std::to_string(options_.max_connections) + ")"));
+      conn->queue_frame(service::FrameType::kEnd, "");
+      conn->state = ConnState::kClosing;
+      const std::uint64_t id = conn->id();
+      loop_.add(conn->fd(), id);
+      conn->last_activity_ms = now_ms();
+      Connection& ref = *conns_.emplace(id, std::move(conn)).first->second;
+      pump_writes(ref);
+      continue;
+    }
+    ++stats_.accepted;
+    if (obs_accepted_ != nullptr) obs_accepted_->add(1);
+    auto conn =
+        std::make_unique<Connection>(next_conn_id_++, std::move(fd), is_tcp);
+    if (auto* tracer = options_.obs.tracer) {
+      conn->span = tracer->begin_span("conn", options_.obs.trace_parent);
+    }
+    conn->queue_bytes(service::encode_stream_header());
+    conn->last_activity_ms = now_ms();
+    const std::uint64_t id = conn->id();
+    loop_.add(conn->fd(), id);
+    Connection& ref = *conns_.emplace(id, std::move(conn)).first->second;
+    if (obs_open_conns_ != nullptr) {
+      obs_open_conns_->set(static_cast<double>(conns_.size()));
+    }
+    pump_writes(ref);
+  }
+}
+
+void FrontEnd::handle_frame(Connection& conn, service::Frame frame) {
+  switch (frame.type) {
+    case service::FrameType::kRequest: {
+      const std::size_t ordinal = conn.requests++;
+      if (outstanding_total_ >= options_.max_inflight) {
+        ++conn.overloaded_requests;
+        ++stats_.overloaded_requests;
+        if (obs_overloaded_requests_ != nullptr) {
+          obs_overloaded_requests_->add(1);
+        }
+        conn.queue_frame(
+            service::FrameType::kError,
+            service::stream_error_payload(
+                "request " + std::to_string(ordinal) +
+                ": overloaded: in-flight limit reached (" +
+                std::to_string(options_.max_inflight) + ")"));
+        break;
+      }
+      service::TuningRequest request;
+      try {
+        request = service::parse_request_json(frame.payload, ordinal);
+      } catch (const std::exception& e) {
+        conn.queue_frame(service::FrameType::kError,
+                         service::stream_error_payload(
+                             "request " + std::to_string(ordinal) + ": " +
+                             e.what()));
+        ++conn.parse_errors;
+        break;
+      }
+      const std::uint64_t conn_id = conn.id();
+      const std::uint64_t reply_index = conn.next_request_index++;
+      ++conn.outstanding;
+      ++outstanding_total_;
+      service_.submit(
+          std::move(request),
+          [this, conn_id, reply_index](service::StreamReport report) {
+            {
+              std::scoped_lock lock(completions_mutex_);
+              completions_.push_back(
+                  {conn_id, reply_index, std::move(report)});
+            }
+            wake_.notify();
+          });
+      break;
+    }
+    case service::FrameType::kFlush:
+      conn.state = ConnState::kFlushWait;
+      ++flush_waiters_;
+      break;
+    case service::FrameType::kStat: {
+      if (const auto stat_error = service::stat_payload_error(frame.payload)) {
+        conn.queue_frame(service::FrameType::kError,
+                         service::stream_error_payload("STAT: " + *stat_error));
+        ++conn.parse_errors;
+      } else {
+        ++conn.stat_polls;
+        // STAT is the live global poll: cross-shard aggregate plus the
+        // full instrument set, no barrier.
+        conn.queue_frame(service::FrameType::kTelemetry,
+                         global_tele_payload());
+        ++conn.tele_frames;
+      }
+      break;
+    }
+    case service::FrameType::kEnd:
+      conn.clean_end = true;
+      begin_conn_drain(conn);
+      break;
+    default:
+      conn.queue_frame(
+          service::FrameType::kError,
+          service::stream_error_payload(
+              "unexpected '" +
+              service::frame_type_name(
+                  static_cast<std::uint32_t>(frame.type)) +
+              "' frame from client"));
+      ++conn.parse_errors;
+      break;
+  }
+}
+
+void FrontEnd::process_frames(Connection& conn) {
+  // Frame processing pauses globally while a FLSH barrier is pending:
+  // admitting new sessions would keep the service busy forever.
+  while (conn.state == ConnState::kOpen && flush_waiters_ == 0) {
+    std::optional<service::Frame> frame;
+    try {
+      frame = conn.decoder.next();
+    } catch (const service::WireError& e) {
+      // Corrupt framing is unrecoverable on a length-prefixed stream:
+      // one typed ERR, then the normal tail. Only THIS connection dies.
+      conn.queue_frame(service::FrameType::kError,
+                       service::stream_error_payload(e.what()));
+      ++conn.protocol_errors;
+      if (obs_protocol_errors_ != nullptr) obs_protocol_errors_->add(1);
+      begin_conn_drain(conn);
+      return;
+    }
+    if (!frame) return;
+    handle_frame(conn, *std::move(frame));
+  }
+}
+
+void FrontEnd::on_stream_eof(Connection& conn) {
+  if (conn.state != ConnState::kOpen &&
+      conn.state != ConnState::kFlushWait) {
+    return;  // already draining/closing; EOF is expected
+  }
+  if (conn.state == ConnState::kFlushWait) {
+    --flush_waiters_;
+    conn.state = ConnState::kOpen;
+  }
+  // EOF without END is a protocol error, but the peer may be half-closed
+  // and still reading — emit the ERR + tail like the stream driver does.
+  conn.queue_frame(
+      service::FrameType::kError,
+      service::stream_error_payload(
+          conn.decoder.midstream()
+              ? "truncated wire stream inside a frame"
+              : "wire stream ended before the 'END' frame"));
+  ++conn.protocol_errors;
+  if (obs_protocol_errors_ != nullptr) obs_protocol_errors_->add(1);
+  begin_conn_drain(conn);
+}
+
+void FrontEnd::drain_completions() {
+  std::vector<Completion> batch;
+  {
+    std::scoped_lock lock(completions_mutex_);
+    batch.swap(completions_);
+  }
+  for (auto& completion : batch) {
+    --outstanding_total_;
+    const auto it = conns_.find(completion.conn_id);
+    if (it == conns_.end()) continue;  // force-closed during drain timeout
+    Connection& conn = *it->second;
+    --conn.outstanding;
+    if (conn.state == ConnState::kZombie) {
+      // Peer gone; the session still ran (and will merge), but there is
+      // nobody to reply to. Retire the husk once accounting settles.
+      if (conn.outstanding == 0) finish_conn(conn);
+      continue;
+    }
+    conn.metrics.record(completion.report);
+    if (!completion.report.session.ok) ++conn.failed_sessions;
+    conn.pending_replies.emplace(
+        completion.reply_index,
+        service::stream_reply_payload(completion.report));
+    release_replies(conn);
+    pump_writes(conn);
+    maybe_emit_tail(conn);
+  }
+}
+
+void FrontEnd::release_replies(Connection& conn) {
+  // Strict admission-order release: a reply that completed early waits in
+  // pending_replies until every earlier admission has been written.
+  for (auto it = conn.pending_replies.find(conn.next_reply_index);
+       it != conn.pending_replies.end();
+       it = conn.pending_replies.find(conn.next_reply_index)) {
+    conn.queue_frame(service::FrameType::kReply, it->second);
+    conn.pending_replies.erase(it);
+    ++conn.next_reply_index;
+    ++conn.replies;
+    if (options_.serve.tele_every != 0 &&
+        conn.replies % options_.serve.tele_every == 0) {
+      emit_conn_tele(conn);
+    }
+  }
+}
+
+void FrontEnd::maybe_run_flush() {
+  if (flush_waiters_ == 0 || outstanding_total_ != 0) return;
+  // Every callback has been processed, so every shard's in-flight count
+  // is zero: flush() will not block.
+  (void)service_.flush_all();
+  for (auto& [id, conn] : conns_) {
+    if (conn->state != ConnState::kFlushWait) continue;
+    conn->state = ConnState::kOpen;
+    emit_conn_tele(*conn);
+    pump_writes(*conn);
+  }
+  flush_waiters_ = 0;
+  // Admissions were paused; re-pump every connection's buffered frames.
+  for (auto& [id, conn] : conns_) {
+    process_frames(*conn);
+    pump_writes(*conn);
+    maybe_emit_tail(*conn);
+  }
+}
+
+void FrontEnd::begin_conn_drain(Connection& conn) {
+  if (conn.state == ConnState::kFlushWait) --flush_waiters_;
+  conn.state = ConnState::kDraining;
+  maybe_emit_tail(conn);
+}
+
+void FrontEnd::maybe_emit_tail(Connection& conn) {
+  if (conn.state != ConnState::kDraining) return;
+  if (conn.outstanding != 0 || !conn.pending_replies.empty()) return;
+  if (options_.flush_on_end) {
+    // Legacy single-connection tail: a global barrier before the final
+    // telemetry. Deferred until the service quiesces, like FLSH.
+    if (outstanding_total_ != 0) return;
+    (void)service_.flush_all();
+  }
+  emit_conn_tele(conn);
+  if (options_.serve.metr_compat) {
+    std::ostringstream metrics;
+    service::write_metrics_jsonl(metrics, conn.metrics.snapshot(),
+                                 service_.build_info());
+    conn.queue_frame(service::FrameType::kMetrics,
+                     strip_newline(std::move(metrics).str()));
+  }
+  conn.queue_frame(service::FrameType::kEnd, "");
+  conn.state = ConnState::kClosing;
+  pump_writes(conn);
+}
+
+void FrontEnd::begin_server_drain() {
+  if (draining_) return;
+  draining_ = true;
+  drain_started_ms_ = now_ms();
+  for (auto& listener : listeners_) {
+    if (listener.fd.valid()) {
+      loop_.remove(listener.fd.get());
+      listener.fd.reset();
+    }
+    listener.socket_file.reset();
+  }
+  listeners_open_ = false;
+  for (auto& [id, conn] : conns_) {
+    if (conn->state == ConnState::kOpen ||
+        conn->state == ConnState::kFlushWait) {
+      // Buffered-but-unprocessed frames are dropped by design: drain
+      // means "finish what was admitted", not "accept more work".
+      begin_conn_drain(*conn);
+    }
+  }
+  flush_waiters_ = 0;
+}
+
+void FrontEnd::check_timeouts(std::int64_t now) {
+  if (options_.idle_timeout_seconds > 0 && !draining_) {
+    const auto limit =
+        static_cast<std::int64_t>(options_.idle_timeout_seconds * 1000.0);
+    for (auto& [id, conn] : conns_) {
+      if (conn->state != ConnState::kOpen) continue;
+      if (conn->outstanding != 0 || !conn->pending_replies.empty()) continue;
+      if (now - conn->last_activity_ms < limit) continue;
+      ++stats_.idle_timeouts;
+      if (obs_idle_timeouts_ != nullptr) obs_idle_timeouts_->add(1);
+      conn->queue_frame(service::FrameType::kError,
+                        service::stream_error_payload("idle timeout"));
+      conn->queue_frame(service::FrameType::kEnd, "");
+      conn->state = ConnState::kClosing;
+      pump_writes(*conn);
+    }
+  }
+  if (draining_ && options_.drain_timeout_seconds > 0) {
+    const auto limit =
+        static_cast<std::int64_t>(options_.drain_timeout_seconds * 1000.0);
+    if (now - drain_started_ms_ >= limit) {
+      for (auto& [id, conn] : conns_) {
+        if (conn->state == ConnState::kZombie) continue;
+        ++stats_.forced_closes;
+        make_zombie(*conn);
+      }
+      reap();
+    }
+  }
+}
+
+void FrontEnd::update_write_interest(Connection& conn) {
+  const bool want = conn.write_pending();
+  if (want == conn.epollout || conn.fd() < 0) return;
+  loop_.modify(conn.fd(), conn.id(), want);
+  conn.epollout = want;
+}
+
+void FrontEnd::pump_writes(Connection& conn) {
+  if (conn.state == ConnState::kZombie || conn.fd() < 0) return;
+  const IoStatus status = conn.flush_writes();
+  if (status == IoStatus::kError) {
+    make_zombie(conn);
+    return;
+  }
+  if (status == IoStatus::kOk) {
+    conn.last_activity_ms = now_ms();
+    if (conn.state == ConnState::kClosing) {
+      finish_conn(conn);
+      return;
+    }
+  }
+  update_write_interest(conn);
+}
+
+void FrontEnd::make_zombie(Connection& conn) {
+  // The peer can no longer read; drop buffered output and the fd, but
+  // keep the Connection until its in-flight sessions complete so the
+  // outstanding accounting stays exact (no silent drops — the sessions
+  // still run and merge).
+  conn.abandon_writes();
+  if (conn.state == ConnState::kFlushWait) --flush_waiters_;
+  if (conn.fd() >= 0) {
+    loop_.remove(conn.fd());
+    conn.close();
+  }
+  conn.state = ConnState::kZombie;
+  if (conn.outstanding == 0) finish_conn(conn);
+}
+
+void FrontEnd::finish_conn(Connection& conn) {
+  stats_.requests += conn.requests;
+  stats_.replies += conn.replies;
+  stats_.failed_sessions += conn.failed_sessions;
+  stats_.parse_errors += conn.parse_errors;
+  stats_.protocol_errors += conn.protocol_errors;
+  stats_.stat_polls += conn.stat_polls;
+  stats_.tele_frames += conn.tele_frames;
+  if (conn.clean_end) ++stats_.clean_ends;
+  if (obs_closed_ != nullptr) obs_closed_->add(1);
+  if (conn.span != 0) {
+    if (auto* tracer = options_.obs.tracer) tracer->end_span(conn.span);
+  }
+  if (conn.fd() >= 0) {
+    loop_.remove(conn.fd());
+    conn.close();
+  }
+  dead_conns_.push_back(conn.id());
+}
+
+void FrontEnd::reap() {
+  for (const std::uint64_t id : dead_conns_) conns_.erase(id);
+  if (!dead_conns_.empty() && obs_open_conns_ != nullptr) {
+    obs_open_conns_->set(static_cast<double>(conns_.size()));
+  }
+  dead_conns_.clear();
+}
+
+void FrontEnd::handle_conn_event(Connection& conn, const Event& event) {
+  if (conn.state == ConnState::kZombie) return;
+  if (event.error) {
+    make_zombie(conn);
+    return;
+  }
+  if (event.readable || event.hangup) {
+    const IoStatus status = conn.read_some();
+    if (status == IoStatus::kOk) conn.last_activity_ms = now_ms();
+    process_frames(conn);
+    pump_writes(conn);
+    if (conn.state == ConnState::kZombie) return;
+    if (status == IoStatus::kEof) {
+      on_stream_eof(conn);
+      pump_writes(conn);
+    } else if (status == IoStatus::kError) {
+      make_zombie(conn);
+      return;
+    }
+  }
+  if (event.writable && conn.state != ConnState::kZombie) {
+    pump_writes(conn);
+  }
+  if (conn.state != ConnState::kZombie) maybe_emit_tail(conn);
+}
+
+FrontEndStats FrontEnd::run() {
+  loop_.add(wake_.fd(), kWakeToken);
+  if (unix_listener_ != nullptr) {
+    loop_.add(unix_listener_->fd.get(), kUnixToken);
+  }
+  if (tcp_listener_ != nullptr) {
+    loop_.add(tcp_listener_->fd.get(), kTcpToken);
+  }
+  listeners_open_ = true;
+
+  std::vector<Event> events;
+  for (;;) {
+    const bool exit_after_done =
+        options_.exit_after_connections != 0 &&
+        stats_.accepted >= options_.exit_after_connections;
+    if ((draining_ || exit_after_done) && conns_.empty() &&
+        outstanding_total_ == 0) {
+      break;
+    }
+    const bool timed =
+        draining_ || options_.idle_timeout_seconds > 0;
+    (void)loop_.wait(events, timed ? 100 : -1);
+    for (const Event& event : events) {
+      if (event.token == kWakeToken) {
+        wake_.drain();
+      } else if (event.token == kUnixToken) {
+        accept_ready(*unix_listener_, /*is_tcp=*/false);
+      } else if (event.token == kTcpToken) {
+        accept_ready(*tcp_listener_, /*is_tcp=*/true);
+      } else {
+        const auto it = conns_.find(event.token);
+        if (it != conns_.end()) handle_conn_event(*it->second, event);
+      }
+    }
+    drain_completions();
+    maybe_run_flush();
+    if (shutdown_requested_.load()) begin_server_drain();
+    if (draining_ || (options_.flush_on_end && outstanding_total_ == 0)) {
+      // Tails can unblock on GLOBAL conditions (server drain, the
+      // flush-on-end quiesce), not just on this connection's own
+      // completions — re-check everyone.
+      for (auto& [id, conn] : conns_) maybe_emit_tail(*conn);
+    }
+    check_timeouts(now_ms());
+    reap();
+  }
+
+  // Final barrier: merge whatever completed without an explicit FLSH so
+  // checkpoints after a drain reflect every admitted session.
+  (void)service_.flush_all();
+  return stats_;
+}
+
+}  // namespace deepcat::net

@@ -1,0 +1,181 @@
+// FrontEnd: the epoll serving loop that multiplexes many DCWP
+// connections over one ShardedStreamingService.
+//
+// Architecture (DESIGN.md §11):
+//
+//   - ONE event-loop thread owns all sockets and all Connection state;
+//     sessions run on the shards' pools. Completions cross back via a
+//     mutex-guarded queue plus an eventfd wakeup, so no connection state
+//     is ever touched off-loop.
+//   - Replies are released in per-connection ADMISSION order (buffered in
+//     Connection::pending_replies until their turn), so every
+//     connection's transcript is a pure function of its own request
+//     sequence — independent of thread count, shard count and the other
+//     connections.
+//   - Admission control is typed, never silent: a connection beyond
+//     --max-conns is greeted with header + ERR "overloaded" + END; a
+//     request beyond --max-inflight gets an ERR naming its index. Both
+//     leave the stream decodable.
+//   - FLSH is a deferred barrier: the flushing connection parks in
+//     kFlushWait and frame processing pauses globally (no new
+//     admissions); once every outstanding session has completed the loop
+//     runs flush_all() and answers each waiter with its connection-scoped
+//     TELE. The loop thread itself never blocks in flush().
+//   - Graceful drain (SIGTERM/SIGINT or request_shutdown()): stop
+//     accepting, let in-flight sessions finish and their replies go out,
+//     run one final flush_all(), then emit each connection's TELE(+METR)
+//     + END tail and close once its write buffer empties. --drain-timeout
+//     bounds the wait, after which stragglers are force-closed (counted,
+//     never silent).
+//
+// TELE scoping: FLSH- and END-tail TELE frames carry the CONNECTION's
+// session aggregates (deterministic per connection; no registry
+// instrument lines); STAT answers carry the live GLOBAL cross-shard
+// aggregate plus the instrument set — that is what `deepcat stats` polls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/connection.hpp"
+#include "net/event_loop.hpp"
+#include "net/socket.hpp"
+#include "obs/sink.hpp"
+#include "service/sharding.hpp"
+
+namespace deepcat::net {
+
+struct FrontEndOptions {
+  /// AF_UNIX listener path; empty disables.
+  std::string unix_path;
+  /// TCP listener; port -1 disables, 0 binds an ephemeral port (read it
+  /// back from FrontEnd::tcp_port()).
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  /// Admission control.
+  std::size_t max_connections = 256;
+  std::size_t max_inflight = 1024;
+  /// Seconds a drain waits for connections to finish before force-close.
+  double drain_timeout_seconds = 5.0;
+  /// Disconnect connections idle this long with nothing in flight
+  /// (0 = never).
+  double idle_timeout_seconds = 0.0;
+  /// Exit run() once this many connections have been served to
+  /// completion (0 = run until shutdown). The legacy `serve --socket`
+  /// contract is exit_after_connections = 1.
+  std::size_t exit_after_connections = 0;
+  /// Run a global flush barrier when a connection ends its stream (the
+  /// legacy single-connection tail). Off by default under multiplexing:
+  /// merges then happen only at explicit FLSH barriers and at drain, so
+  /// one connection's END cannot reshuffle another's epochs.
+  bool flush_on_end = false;
+  /// TELE cadence / payload / METR-compat knobs, as in serve_frame_stream.
+  service::StreamServeOptions serve;
+  obs::Sink obs;
+};
+
+/// Aggregate outcome of one run(), summed over all connections.
+struct FrontEndStats {
+  std::size_t accepted = 0;
+  std::size_t rejected_overload = 0;   ///< connections refused at the cap
+  std::size_t overloaded_requests = 0; ///< requests refused at the cap
+  std::size_t requests = 0;
+  std::size_t replies = 0;
+  std::size_t failed_sessions = 0;
+  std::size_t parse_errors = 0;
+  std::size_t protocol_errors = 0;
+  std::size_t stat_polls = 0;
+  std::size_t tele_frames = 0;
+  std::size_t clean_ends = 0;          ///< connections that sent END
+  std::size_t idle_timeouts = 0;
+  std::size_t forced_closes = 0;       ///< drain-timeout casualties
+};
+
+class FrontEnd {
+ public:
+  /// Binds all configured listeners (throws on failure, nothing leaks —
+  /// the Listener guards own fds and socket files).
+  FrontEnd(service::ShardedStreamingService& service, FrontEndOptions options);
+
+  /// Actual TCP port (resolves a port-0 request); 0 when TCP is off.
+  [[nodiscard]] std::uint16_t tcp_port() const noexcept;
+
+  /// Runs the loop until shutdown/exit-after; returns the aggregate
+  /// stats. Call once.
+  FrontEndStats run();
+
+  /// Thread- and signal-safe shutdown request (starts a graceful drain).
+  void request_shutdown() noexcept;
+
+  /// Routes SIGTERM/SIGINT to request_shutdown() for the lifetime of this
+  /// front end. At most one front end can hold the handlers at a time.
+  void install_signal_handlers();
+  ~FrontEnd();
+
+ private:
+  struct Completion {
+    std::uint64_t conn_id = 0;
+    std::uint64_t reply_index = 0;
+    service::StreamReport report;
+  };
+
+  void accept_ready(Listener& listener, bool is_tcp);
+  void handle_conn_event(Connection& conn, const Event& event);
+  void process_frames(Connection& conn);
+  void handle_frame(Connection& conn, service::Frame frame);
+  void on_stream_eof(Connection& conn);
+  void drain_completions();
+  void release_replies(Connection& conn);
+  void maybe_run_flush();
+  void begin_conn_drain(Connection& conn);
+  void maybe_emit_tail(Connection& conn);
+  void emit_conn_tele(Connection& conn);
+  void begin_server_drain();
+  void check_timeouts(std::int64_t now_ms);
+  void pump_writes(Connection& conn);
+  void make_zombie(Connection& conn);
+  void finish_conn(Connection& conn);
+  void reap();
+  void update_write_interest(Connection& conn);
+  [[nodiscard]] bool accepting() const noexcept;
+  [[nodiscard]] std::string global_tele_payload() const;
+
+  service::ShardedStreamingService& service_;
+  FrontEndOptions options_;
+  EventLoop loop_;
+  WakeFd wake_;
+  std::vector<Listener> listeners_;  ///< [0]=unix, [1]=tcp (when present)
+  Listener* unix_listener_ = nullptr;
+  Listener* tcp_listener_ = nullptr;
+  bool listeners_open_ = false;
+
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 8;  ///< tokens 0..7 reserved for the loop
+  std::vector<std::uint64_t> dead_conns_;
+
+  std::mutex completions_mutex_;
+  std::vector<Completion> completions_;
+  std::size_t outstanding_total_ = 0;
+  std::size_t flush_waiters_ = 0;
+  bool draining_ = false;
+  std::int64_t drain_started_ms_ = 0;
+  std::atomic<bool> shutdown_requested_{false};
+  bool signal_handlers_installed_ = false;
+
+  FrontEndStats stats_;
+
+  obs::Counter* obs_accepted_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
+  obs::Counter* obs_overloaded_requests_ = nullptr;
+  obs::Counter* obs_closed_ = nullptr;
+  obs::Counter* obs_idle_timeouts_ = nullptr;
+  obs::Counter* obs_protocol_errors_ = nullptr;
+  obs::Gauge* obs_open_conns_ = nullptr;
+};
+
+}  // namespace deepcat::net

@@ -1,0 +1,153 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace deepcat::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+FdGuard make_socket(int domain) {
+  FdGuard fd(::socket(domain, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) throw_errno("socket()");
+  return fd;
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+in_addr resolve_host(const std::string& host) {
+  std::string name = host.empty() ? "127.0.0.1" : host;
+  if (name == "localhost") name = "127.0.0.1";
+  in_addr out{};
+  if (::inet_pton(AF_INET, name.c_str(), &out) != 1) {
+    throw std::runtime_error("cannot parse IPv4 host '" + host + "'");
+  }
+  return out;
+}
+
+}  // namespace
+
+Listener listen_unix(const std::string& path, int backlog) {
+  const sockaddr_un addr = unix_address(path);
+  ::unlink(path.c_str());  // stale socket file from a crashed server
+  Listener listener;
+  listener.fd = make_socket(AF_UNIX);
+  if (::bind(listener.fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  // Own the path from the moment it exists on disk.
+  listener.socket_file.reset(path);
+  if (::listen(listener.fd.get(), backlog) != 0) {
+    throw_errno("listen(" + path + ")");
+  }
+  // The accept loop drains until EAGAIN; a blocking listener would park
+  // the event loop inside accept4 once the backlog empties.
+  set_nonblocking(listener.fd.get());
+  return listener;
+}
+
+Listener listen_tcp(const std::string& host, std::uint16_t port, int backlog) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = resolve_host(host);
+  addr.sin_port = htons(port);
+  Listener listener;
+  listener.fd = make_socket(AF_INET);
+  const int one = 1;
+  (void)::setsockopt(listener.fd.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one);
+  if (::bind(listener.fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    throw_errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(listener.fd.get(), backlog) != 0) {
+    throw_errno("listen(" + host + ":" + std::to_string(port) + ")");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(listener.fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                    &len) != 0) {
+    throw_errno("getsockname()");
+  }
+  listener.port = ntohs(bound.sin_port);
+  set_nonblocking(listener.fd.get());
+  return listener;
+}
+
+FdGuard connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  FdGuard fd = make_socket(AF_UNIX);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw_errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+FdGuard connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = resolve_host(host);
+  addr.sin_port = htons(port);
+  FdGuard fd = make_socket(AF_INET);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& spec) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos) {
+    throw std::runtime_error("expected host:port, got '" + spec + "'");
+  }
+  const std::string host = spec.substr(0, colon);
+  const std::string port_text = spec.substr(colon + 1);
+  if (port_text.empty()) {
+    throw std::runtime_error("expected host:port, got '" + spec + "'");
+  }
+  unsigned long port = 0;
+  try {
+    std::size_t used = 0;
+    port = std::stoul(port_text, &used);
+    if (used != port_text.size()) throw std::invalid_argument(port_text);
+  } catch (const std::exception&) {
+    throw std::runtime_error("invalid port in '" + spec + "'");
+  }
+  if (port > 65535) {
+    throw std::runtime_error("port out of range in '" + spec + "'");
+  }
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+}  // namespace deepcat::net

@@ -1,0 +1,52 @@
+// Socket setup helpers for the serving front end: AF_UNIX and TCP
+// listeners plus blocking client connects, all returning RAII-owned fds.
+//
+// Failure reporting is uniform: every function throws std::runtime_error
+// with the failing syscall and errno text; no function returns an invalid
+// fd. Listener fds are created CLOEXEC and left blocking — the event loop
+// flips accepted connection fds to nonblocking, the blocking client keeps
+// its fd blocking on purpose.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "net/fd.hpp"
+
+namespace deepcat::net {
+
+/// One bound + listening socket. For AF_UNIX listeners `socket_file` owns
+/// the bound path (unlinked when the listener dies); for TCP it is empty
+/// and `port` carries the actual bound port (resolving port 0 requests).
+struct Listener {
+  FdGuard fd;
+  UnlinkGuard socket_file;
+  std::uint16_t port = 0;
+};
+
+/// Binds and listens on an AF_UNIX stream socket at `path`. Any stale
+/// socket file at `path` is unlinked first (the legacy serve contract).
+/// Throws when the path exceeds sockaddr_un::sun_path.
+[[nodiscard]] Listener listen_unix(const std::string& path, int backlog);
+
+/// Binds and listens on IPv4 TCP `host:port` with SO_REUSEADDR. `host`
+/// accepts dotted-quad or "localhost"; port 0 binds an ephemeral port
+/// (the actual port is reported in Listener::port).
+[[nodiscard]] Listener listen_tcp(const std::string& host, std::uint16_t port,
+                                  int backlog);
+
+/// Blocking client connects (used by `deepcat stats`, the load-gen bench
+/// and the socket tests).
+[[nodiscard]] FdGuard connect_unix(const std::string& path);
+[[nodiscard]] FdGuard connect_tcp(const std::string& host, std::uint16_t port);
+
+/// Sets O_NONBLOCK; throws on fcntl failure.
+void set_nonblocking(int fd);
+
+/// Splits "host:port" (host may be empty → "127.0.0.1"). Throws on a
+/// missing/invalid port.
+[[nodiscard]] std::pair<std::string, std::uint16_t> parse_host_port(
+    const std::string& spec);
+
+}  // namespace deepcat::net

@@ -1,0 +1,125 @@
+#include "service/sharding.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace deepcat::service {
+
+std::uint64_t shard_hash(const std::string& model) noexcept {
+  // FNV-1a 64-bit: stable across platforms (unlike std::hash), so shard
+  // placement — and therefore per-shard metrics — is reproducible.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : model) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+ShardedStreamingService::ShardedStreamingService(StreamingOptions base,
+                                                std::size_t shards) {
+  const std::size_t count = std::max<std::size_t>(1, shards);
+  std::size_t total_threads = base.service.threads;
+  if (total_threads == 0) {
+    total_threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  base.service.threads = std::max<std::size_t>(1, total_threads / count);
+  shards_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    shards_.push_back(std::make_unique<StreamingService>(base));
+  }
+}
+
+void ShardedStreamingService::train_model(const std::string& name,
+                                          const sparksim::WorkloadSpec& workload,
+                                          std::size_t iterations) {
+  shard_for_model(name).train_model(name, workload, iterations);
+}
+
+void ShardedStreamingService::load_model(const std::string& name,
+                                         std::istream& is) {
+  shard_for_model(name).load_model(name, is);
+}
+
+void ShardedStreamingService::load_model_file(const std::string& name,
+                                              const std::string& path) {
+  shard_for_model(name).load_model_file(name, path);
+}
+
+bool ShardedStreamingService::has_model(const std::string& name) const {
+  return shards_[shard_of(name)]->has_model(name);
+}
+
+void ShardedStreamingService::submit(
+    TuningRequest request, StreamingService::CompletionCallback on_done) {
+  StreamingService& target = shard_for_model(request.model);
+  target.submit(std::move(request), std::move(on_done));
+}
+
+bool ShardedStreamingService::idle() const {
+  for (const auto& shard : shards_) {
+    if (!shard->idle()) return false;
+  }
+  return true;
+}
+
+std::size_t ShardedStreamingService::in_flight() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->in_flight();
+  return total;
+}
+
+std::size_t ShardedStreamingService::flush_all() {
+  std::size_t merged = 0;
+  for (auto& shard : shards_) merged += shard->flush();
+  return merged;
+}
+
+std::uint64_t ShardedStreamingService::model_epoch(
+    const std::string& name) const {
+  return shards_[shard_of(name)]->model_epoch(name);
+}
+
+std::string ShardedStreamingService::checkpoint_of(const std::string& name) {
+  return shards_[shard_of(name)]->checkpoint_of(name);
+}
+
+ServiceMetrics ShardedStreamingService::aggregate_metrics() const {
+  ServiceMetrics total;
+  double reward_weighted = 0.0;
+  double speedup_weighted = 0.0;
+  double p50_weighted = 0.0;
+  double p95_weighted = 0.0;
+  for (const auto& shard : shards_) {
+    const ServiceMetrics m = shard->metrics();
+    total.sessions_served += m.sessions_served;
+    total.sessions_failed += m.sessions_failed;
+    total.evaluations_paid += m.evaluations_paid;
+    total.evaluation_seconds += m.evaluation_seconds;
+    total.recommendation_seconds += m.recommendation_seconds;
+    total.merges += m.merges;
+    total.merged_transitions += m.merged_transitions;
+    total.fine_tune_steps += m.fine_tune_steps;
+    const auto weight = static_cast<double>(m.sessions_served);
+    reward_weighted += m.mean_session_reward * weight;
+    speedup_weighted += m.mean_speedup * weight;
+    p50_weighted += m.p50_recommendation_seconds * weight;
+    p95_weighted += m.p95_recommendation_seconds * weight;
+  }
+  if (total.sessions_served > 0) {
+    const auto n = static_cast<double>(total.sessions_served);
+    total.mean_session_reward = reward_weighted / n;
+    total.mean_speedup = speedup_weighted / n;
+    total.p50_recommendation_seconds = p50_weighted / n;
+    total.p95_recommendation_seconds = p95_weighted / n;
+  }
+  return total;
+}
+
+void ShardedStreamingService::set_session_runner_for_test(
+    StreamingService::SessionRunner runner) {
+  for (auto& shard : shards_) shard->set_session_runner_for_test(runner);
+}
+
+}  // namespace deepcat::service

@@ -172,7 +172,8 @@ void StreamingService::evict_idle_locked() {
 }
 
 void StreamingService::complete_failed(const TuningRequest& request,
-                                       const std::string& error) {
+                                       const std::string& error,
+                                       const CompletionCallback& on_done) {
   SessionReport report;
   report.id = request.id;
   report.workload = request.workload;
@@ -180,18 +181,33 @@ void StreamingService::complete_failed(const TuningRequest& request,
   report.model = request.model;
   report.ok = false;
   report.error = error;
-  std::scoped_lock state(state_mutex_);
-  record_metrics_locked(report);
-  completed_.push_back({std::move(report), 0, next_sequence_++});
-  completion_cv_.notify_all();
+  StreamReport stream_report;
+  {
+    std::scoped_lock state(state_mutex_);
+    record_metrics_locked(report);
+    stream_report = {std::move(report), 0, next_sequence_++};
+    if (!on_done) {
+      completed_.push_back(std::move(stream_report));
+      completion_cv_.notify_all();
+      return;
+    }
+    completion_cv_.notify_all();
+  }
+  // Callback outside the lock: the front end re-enters its own queues.
+  on_done(std::move(stream_report));
 }
 
 void StreamingService::submit(TuningRequest request) {
+  submit(std::move(request), CompletionCallback{});
+}
+
+void StreamingService::submit(TuningRequest request,
+                              CompletionCallback on_done) {
   MasterEntry* entry = nullptr;
   try {
     entry = &resolve_entry(request.model);
   } catch (const std::exception& e) {
-    complete_failed(request, e.what());
+    complete_failed(request, e.what(), on_done);
     return;
   }
 
@@ -223,7 +239,7 @@ void StreamingService::submit(TuningRequest request) {
       obs_queue_depth_->set(static_cast<double>(in_flight_));
     }
   } catch (const std::exception& e) {
-    complete_failed(request, e.what());
+    complete_failed(request, e.what(), on_done);
     return;
   }
 
@@ -236,7 +252,8 @@ void StreamingService::submit(TuningRequest request) {
 
   (void)pool_.submit([this, entry, blob = std::move(blob), master_pools,
                       epoch, sequence, request_span,
-                      request = std::move(request)] {
+                      request = std::move(request),
+                      on_done = std::move(on_done)] {
     SessionReport report;
     {
       // Session spans (and the tuner spans beneath) parent on the request
@@ -258,27 +275,45 @@ void StreamingService::submit(TuningRequest request) {
     if (auto* tracer = options_.service.obs.tracer) {
       tracer->end_span(request_span);
     }
-    on_complete(*entry, request, std::move(report), epoch, sequence);
+    on_complete(*entry, request, std::move(report), epoch, sequence, on_done);
   });
 }
 
 void StreamingService::on_complete(MasterEntry& entry,
                                    const TuningRequest& request,
                                    SessionReport report, std::uint64_t epoch,
-                                   std::uint64_t sequence) {
+                                   std::uint64_t sequence,
+                                   const CompletionCallback& on_done) {
+  StreamReport stream_report;
+  {
+    std::scoped_lock state(state_mutex_);
+    if (report.ok && !report.new_transitions.empty()) {
+      entry.pending.push_back(
+          {request.id, request.seed, request.workload, report.new_transitions});
+    }
+    record_metrics_locked(report);
+    stream_report = {std::move(report), epoch, sequence};
+    if (!on_done) completed_.push_back(std::move(stream_report));
+    --in_flight_;
+    --entry.in_flight;
+    if (obs_queue_depth_ != nullptr) {
+      obs_queue_depth_->set(static_cast<double>(in_flight_));
+    }
+    completion_cv_.notify_all();
+  }
+  // The in-flight decrement happens BEFORE the callback runs, so a caller
+  // observing idle() after its last callback knows the service is settled.
+  if (on_done) on_done(std::move(stream_report));
+}
+
+bool StreamingService::idle() const {
   std::scoped_lock state(state_mutex_);
-  if (report.ok && !report.new_transitions.empty()) {
-    entry.pending.push_back(
-        {request.id, request.seed, request.workload, report.new_transitions});
-  }
-  record_metrics_locked(report);
-  completed_.push_back({std::move(report), epoch, sequence});
-  --in_flight_;
-  --entry.in_flight;
-  if (obs_queue_depth_ != nullptr) {
-    obs_queue_depth_->set(static_cast<double>(in_flight_));
-  }
-  completion_cv_.notify_all();
+  return in_flight_ == 0;
+}
+
+std::size_t StreamingService::in_flight() const {
+  std::scoped_lock state(state_mutex_);
+  return in_flight_;
 }
 
 void StreamingService::record_metrics_locked(const SessionReport& report) {
@@ -423,22 +458,32 @@ ServiceMetrics StreamingService::metrics() const {
 
 namespace {
 
-std::string error_payload(const std::string& message) {
-  return "{\"error\":\"" + json_escape(message) + "\"}";
-}
-
 std::string strip_newline(std::string s) {
   if (!s.empty() && s.back() == '\n') s.pop_back();
   return s;
 }
 
-std::string report_payload(const StreamReport& report) {
+}  // namespace
+
+std::string stream_error_payload(const std::string& message) {
+  return "{\"error\":\"" + json_escape(message) + "\"}";
+}
+
+std::string stream_reply_payload(const StreamReport& report) {
   std::ostringstream os;
   write_report_jsonl(os, report.session, report.model_epoch);
   return strip_newline(std::move(os).str());
 }
 
-}  // namespace
+std::optional<std::string> stat_payload_error(const std::string& payload) {
+  if (payload.empty()) return std::nullopt;
+  try {
+    (void)parse_flat_json(payload);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return std::string(e.what());
+  }
+}
 
 StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
                                      StreamingService& service,
@@ -465,7 +510,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
           drain ? service.wait_completed() : service.poll_completed();
       if (!report) break;
       if (!report->session.ok) ++result.failed_sessions;
-      write_frame(out, FrameType::kReply, report_payload(*report));
+      write_frame(out, FrameType::kReply, stream_reply_payload(*report));
       ++replies;
       if (serve_options.tele_every != 0 &&
           replies % serve_options.tele_every == 0) {
@@ -478,7 +523,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
   try {
     read_stream_header(in);
   } catch (const WireError& e) {
-    write_frame(out, FrameType::kError, error_payload(e.what()));
+    write_frame(out, FrameType::kError, stream_error_payload(e.what()));
     ++result.protocol_errors;
     reading = false;
   }
@@ -492,13 +537,13 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
       // The stream is length-prefixed: after corrupt framing there is no
       // resync point, so report it and stop reading. In-flight sessions
       // still drain below.
-      write_frame(out, FrameType::kError, error_payload(e.what()));
+      write_frame(out, FrameType::kError, stream_error_payload(e.what()));
       ++result.protocol_errors;
       break;
     }
     if (!frame) {
       write_frame(out, FrameType::kError,
-                  error_payload("wire stream ended before the 'END' frame"));
+                  stream_error_payload("wire stream ended before the 'END' frame"));
       ++result.protocol_errors;
       break;
     }
@@ -510,7 +555,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
         } catch (const std::exception& e) {
           // Framing is intact, so a bad payload only loses this request.
           write_frame(out, FrameType::kError,
-                      error_payload("request " + std::to_string(index) +
+                      stream_error_payload("request " + std::to_string(index) +
                                     ": " + e.what()));
           ++result.parse_errors;
         }
@@ -527,18 +572,11 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
         // reserved for future options; it must be empty or a flat JSON
         // object, and anything else is strictly rejected so a corrupt
         // STAT cannot be half-honored.
-        bool well_formed = frame->payload.empty();
-        if (!well_formed) {
-          try {
-            (void)parse_flat_json(frame->payload);
-            well_formed = true;
-          } catch (const std::exception& e) {
-            write_frame(out, FrameType::kError,
-                        error_payload(std::string("STAT: ") + e.what()));
-            ++result.parse_errors;
-          }
-        }
-        if (well_formed) {
+        if (const auto stat_error = stat_payload_error(frame->payload)) {
+          write_frame(out, FrameType::kError,
+                      stream_error_payload("STAT: " + *stat_error));
+          ++result.parse_errors;
+        } else {
           ++result.stat_polls;
           emit_tele();
         }
@@ -553,7 +591,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
         // bug but the framing is intact, so the stream continues.
         write_frame(
             out, FrameType::kError,
-            error_payload(
+            stream_error_payload(
                 "unexpected '" +
                 frame_type_name(static_cast<std::uint32_t>(frame->type)) +
                 "' frame from client"));

@@ -108,6 +108,23 @@ class StreamingService {
   /// failures surface as a completed ok=false report, never an exception.
   void submit(TuningRequest request);
 
+  /// Completion hand-off for callers that multiplex several clients over
+  /// one service (the net front end): invoked exactly once per submitted
+  /// request, after the service bookkeeping settles, instead of queueing
+  /// the report on the poll/wait queue. Runs on a pool worker thread (or
+  /// inline on the submitting thread when admission fails synchronously);
+  /// it must not block and must not call back into driver APIs.
+  using CompletionCallback = std::function<void(StreamReport)>;
+  void submit(TuningRequest request, CompletionCallback on_done);
+
+  /// True when no session is in flight — the nonblocking form of the
+  /// flush() precondition. The front end defers FLSH barriers on this
+  /// instead of blocking its event loop in flush().
+  [[nodiscard]] bool idle() const;
+
+  /// Sessions currently in flight (admitted, not yet completed).
+  [[nodiscard]] std::size_t in_flight() const;
+
   /// Next completed report in completion order, or nullopt if none is
   /// ready right now (poll) / none will ever arrive because the service is
   /// idle (wait — it blocks while sessions are in flight).
@@ -176,10 +193,11 @@ class StreamingService {
   /// Finds or lazily loads the model; throws on unknown names.
   [[nodiscard]] MasterEntry& resolve_entry(const std::string& name);
   [[nodiscard]] MasterEntry& ensure_entry_locked(const std::string& name);
-  void complete_failed(const TuningRequest& request, const std::string& error);
+  void complete_failed(const TuningRequest& request, const std::string& error,
+                       const CompletionCallback& on_done);
   void on_complete(MasterEntry& entry, const TuningRequest& request,
                    SessionReport report, std::uint64_t epoch,
-                   std::uint64_t sequence);
+                   std::uint64_t sequence, const CompletionCallback& on_done);
   void record_metrics_locked(const SessionReport& report);
   /// Merges one entry's pending experience; requires state_mutex_ held and
   /// no in-flight sessions on the entry. Returns transitions merged.
@@ -228,6 +246,18 @@ class StreamingService {
   /// before any state above is torn down.
   common::ThreadPool pool_;
 };
+
+/// Canonical wire payload encoders shared by the istream serve driver and
+/// the net front end, so both transports emit byte-identical frames.
+/// stream_reply_payload is the REP body (report + model epoch, no trailing
+/// newline); stream_error_payload wraps a message as the ERR body.
+[[nodiscard]] std::string stream_reply_payload(const StreamReport& report);
+[[nodiscard]] std::string stream_error_payload(const std::string& message);
+
+/// Validates a STAT frame payload (must be empty or a flat JSON object).
+/// Returns nullopt when well formed, else the parse error message.
+[[nodiscard]] std::optional<std::string> stat_payload_error(
+    const std::string& payload);
 
 /// Knobs for one serve_frame_stream drive.
 struct StreamServeOptions {

@@ -33,14 +33,6 @@ void put_u32(std::ostream& os, std::uint32_t v) {
   os.write(buf, sizeof buf);
 }
 
-void put_u64(std::ostream& os, std::uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) {
-    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFFu);
-  }
-  os.write(buf, sizeof buf);
-}
-
 std::uint32_t get_u32(const char* buf) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
@@ -59,12 +51,6 @@ std::uint64_t get_u64(const char* buf) {
   return v;
 }
 
-bool known_type(std::uint32_t tag) {
-  for (const std::uint32_t t : kKnownTypes) {
-    if (t == tag) return true;
-  }
-  return false;
-}
 
 /// Reads exactly `len` payload bytes in bounded chunks (same discipline as
 /// the checkpoint reader): the length field is untrusted, so allocation
@@ -88,6 +74,13 @@ std::string read_payload(std::istream& is, std::uint64_t len,
 }
 
 }  // namespace
+
+bool known_frame_type(std::uint32_t tag) noexcept {
+  for (const std::uint32_t t : kKnownTypes) {
+    if (t == tag) return true;
+  }
+  return false;
+}
 
 std::string frame_type_name(std::uint32_t tag) {
   std::string s(4, ' ');
@@ -161,7 +154,7 @@ std::optional<Frame> read_frame(std::istream& is) {
     throw WireError("truncated wire stream inside a frame header");
   }
   const std::uint32_t tag = get_u32(head);
-  if (!known_type(tag)) {
+  if (!known_frame_type(tag)) {
     throw WireError("unknown wire frame type '" + frame_type_name(tag) + "'");
   }
   const std::uint64_t len = get_u64(head + 4);
@@ -184,6 +177,18 @@ std::optional<Frame> read_frame(std::istream& is) {
                     "' frame");
   }
   return frame;
+}
+
+std::string encode_stream_header() {
+  std::ostringstream os(std::ios::binary);
+  write_stream_header(os);
+  return std::move(os).str();
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  std::ostringstream os(std::ios::binary);
+  write_frame(os, type, payload);
+  return std::move(os).str();
 }
 
 std::string encode_frames(

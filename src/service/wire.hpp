@@ -96,6 +96,18 @@ struct Frame {
 /// tags render their printable bytes with '?' placeholders.
 [[nodiscard]] std::string frame_type_name(std::uint32_t tag);
 
+/// True when `tag` is one of the frame types this version understands. The
+/// incremental decoder (net/frame_decoder.hpp) shares the istream reader's
+/// type table through this so the two parsers can never drift.
+[[nodiscard]] bool known_frame_type(std::uint32_t tag) noexcept;
+
+/// Byte-buffer forms of the header/frame writers, for transports that own
+/// their output queue instead of a std::ostream (the serving front end's
+/// per-connection write buffers). Byte-identical to the stream writers.
+[[nodiscard]] std::string encode_stream_header();
+[[nodiscard]] std::string encode_frame(FrameType type,
+                                       std::string_view payload);
+
 /// Writes the stream header (magic + version).
 void write_stream_header(std::ostream& os);
 

@@ -1,0 +1,178 @@
+// ShardedStreamingService: model-name routing is a stable pure function,
+// a model's whole life stays on one shard, completion callbacks fire
+// outside the service locks, and cross-shard aggregation sums the per-
+// shard metrics exactly for the integer fields.
+#include "service/sharding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "service/streaming.hpp"
+
+namespace deepcat::service {
+namespace {
+
+StreamingOptions tiny_options(std::size_t threads) {
+  StreamingOptions o;
+  o.service.threads = threads;
+  o.service.api.tuner.seed = 7;
+  o.service.api.tuner.td3.hidden = {24, 24};
+  o.service.api.tuner.warmup_steps = 16;
+  o.service.api.env.seed = 1007;
+  return o;
+}
+
+SessionReport fake_report(const TuningRequest& r) {
+  SessionReport report;
+  report.id = r.id;
+  report.workload = r.workload;
+  report.cluster = r.cluster;
+  report.ok = true;
+  report.report.default_time = 100.0;
+  report.report.best_time = 80.0;
+  return report;
+}
+
+/// Waits for a fixed number of completion callbacks.
+class CallbackLatch {
+ public:
+  explicit CallbackLatch(std::size_t expected) : expected_(expected) {}
+
+  void arrive(StreamReport report) {
+    std::scoped_lock lock(mutex_);
+    reports_.push_back(std::move(report));
+    if (reports_.size() >= expected_) cv_.notify_all();
+  }
+
+  std::vector<StreamReport> wait() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return reports_.size() >= expected_; });
+    return reports_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t expected_;
+  std::vector<StreamReport> reports_;
+};
+
+TEST(ShardingTest, HashIsStableAndRoutesEveryNameSomewhere) {
+  ShardedStreamingService svc(tiny_options(1), 4);
+  ASSERT_EQ(svc.shard_count(), 4u);
+  std::set<std::size_t> used;
+  for (int i = 0; i < 64; ++i) {
+    const std::string name = "model-" + std::to_string(i);
+    const std::size_t shard = svc.shard_of(name);
+    EXPECT_LT(shard, 4u);
+    EXPECT_EQ(svc.shard_of(name), shard) << "routing must be pure";
+    EXPECT_EQ(shard_hash(name) % 4u, shard);
+    used.insert(shard);
+  }
+  EXPECT_GT(used.size(), 1u) << "64 names should not all hash to one shard";
+}
+
+TEST(ShardingTest, ModelLivesOnExactlyItsOwningShard) {
+  ShardedStreamingService svc(tiny_options(1), 4);
+  svc.set_session_runner_for_test(fake_report);
+  CallbackLatch latch(1);
+  TuningRequest request;
+  request.id = "r0";
+  request.workload = "TS-D1";
+  request.model = "alpha";
+  svc.submit(request, [&](StreamReport r) { latch.arrive(std::move(r)); });
+  (void)latch.wait();
+
+  // Runner mode admits any model name, materializing a stub entry — on
+  // the owning shard and nowhere else.
+  const std::size_t owner = svc.shard_of("alpha");
+  EXPECT_TRUE(svc.has_model("alpha"));
+  for (std::size_t i = 0; i < svc.shard_count(); ++i) {
+    EXPECT_EQ(svc.shard(i).has_model("alpha"), i == owner);
+  }
+}
+
+TEST(ShardingTest, CallbacksDeliverEveryReportAndIdleSettles) {
+  ShardedStreamingService svc(tiny_options(2), 2);
+  svc.set_session_runner_for_test(fake_report);
+  EXPECT_TRUE(svc.idle());
+
+  constexpr std::size_t kRequests = 24;
+  CallbackLatch latch(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    TuningRequest request;
+    request.id = "req-" + std::to_string(i);
+    request.workload = "TS-D1";
+    request.model = "model-" + std::to_string(i % 6);
+    svc.submit(request, [&](StreamReport r) { latch.arrive(std::move(r)); });
+  }
+  const auto reports = latch.wait();
+  ASSERT_EQ(reports.size(), kRequests);
+  std::set<std::string> ids;
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.session.ok);
+    ids.insert(report.session.id);
+  }
+  EXPECT_EQ(ids.size(), kRequests) << "every request answered exactly once";
+
+  // The callback fires after the in-flight decrement, so once the last
+  // one has arrived the service must (eventually) read as idle.
+  while (!svc.idle()) {
+  }
+  EXPECT_EQ(svc.in_flight(), 0u);
+}
+
+TEST(ShardingTest, AggregateMetricsSumsIntegerFieldsExactly) {
+  ShardedStreamingService svc(tiny_options(2), 4);
+  svc.set_session_runner_for_test(fake_report);
+  constexpr std::size_t kRequests = 16;
+  CallbackLatch latch(kRequests);
+  for (std::size_t i = 0; i < kRequests; ++i) {
+    TuningRequest request;
+    request.id = "req-" + std::to_string(i);
+    request.workload = "TS-D1";
+    request.model = "model-" + std::to_string(i % 8);
+    svc.submit(request, [&](StreamReport r) { latch.arrive(std::move(r)); });
+  }
+  (void)latch.wait();
+  while (!svc.idle()) {
+  }
+
+  const ServiceMetrics aggregate = svc.aggregate_metrics();
+  EXPECT_EQ(aggregate.sessions_served, kRequests);
+  EXPECT_EQ(aggregate.sessions_failed, 0u);
+
+  std::size_t per_shard_sum = 0;
+  std::size_t shards_with_work = 0;
+  for (std::size_t i = 0; i < svc.shard_count(); ++i) {
+    const auto m = svc.shard(i).metrics();
+    per_shard_sum += m.sessions_served;
+    if (m.sessions_served != 0) ++shards_with_work;
+  }
+  EXPECT_EQ(per_shard_sum, kRequests);
+  EXPECT_GT(shards_with_work, 1u) << "8 models should span several shards";
+}
+
+TEST(ShardingTest, SingleShardBehavesLikeThePlainService) {
+  ShardedStreamingService svc(tiny_options(1), 1);
+  svc.set_session_runner_for_test(fake_report);
+  ASSERT_EQ(svc.shard_count(), 1u);
+  EXPECT_EQ(svc.shard_of("anything"), 0u);
+  CallbackLatch latch(1);
+  TuningRequest request;
+  request.id = "solo";
+  request.workload = "WC-D1";
+  svc.submit(request, [&](StreamReport r) { latch.arrive(std::move(r)); });
+  const auto reports = latch.wait();
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].session.id, "solo");
+  EXPECT_EQ(svc.aggregate_metrics().sessions_served, 1u);
+}
+
+}  // namespace
+}  // namespace deepcat::service
