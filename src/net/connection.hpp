@@ -82,8 +82,10 @@ class Connection {
   std::size_t replies = 0;
   std::size_t overloaded_requests = 0;
   bool clean_end = false;
+  bool finished = false;     ///< retired into stats; awaiting reap only
 
   bool epollout = false;     ///< EPOLLOUT currently armed for this fd
+  bool epollin = true;       ///< EPOLLIN currently armed for this fd
   std::uint64_t span = 0;    ///< obs span id covering accept..close
 
   /// Admission-order reply sequencing.

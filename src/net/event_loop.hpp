@@ -29,8 +29,12 @@ class EventLoop {
 
   /// Registers `fd` for read (and optionally write) events under `token`.
   void add(int fd, std::uint64_t token, bool want_write = false);
-  /// Re-arms `fd`'s interest set (EPOLLOUT toggling for backpressure).
-  void modify(int fd, std::uint64_t token, bool want_write);
+  /// Re-arms `fd`'s interest set: EPOLLOUT toggling for write
+  /// backpressure, EPOLLIN toggling for read backpressure (a paused fd
+  /// leaves inbound bytes in the kernel socket buffer instead of user
+  /// memory). EPOLLRDHUP stays armed either way so hangups are seen.
+  void modify(int fd, std::uint64_t token, bool want_write,
+              bool want_read = true);
   void remove(int fd);
 
   /// Blocks up to `timeout_ms` (-1 = forever) and appends ready events to

@@ -223,6 +223,7 @@ void FrontEnd::handle_frame(Connection& conn, service::Frame frame) {
     case service::FrameType::kFlush:
       conn.state = ConnState::kFlushWait;
       ++flush_waiters_;
+      admissions_paused_ = true;
       break;
     case service::FrameType::kStat: {
       if (const auto stat_error = service::stat_payload_error(frame.payload)) {
@@ -347,18 +348,32 @@ void FrontEnd::release_replies(Connection& conn) {
 }
 
 void FrontEnd::maybe_run_flush() {
-  if (flush_waiters_ == 0 || outstanding_total_ != 0) return;
-  // Every callback has been processed, so every shard's in-flight count
-  // is zero: flush() will not block.
-  (void)service_.flush_all();
-  for (auto& [id, conn] : conns_) {
-    if (conn->state != ConnState::kFlushWait) continue;
-    conn->state = ConnState::kOpen;
-    emit_conn_tele(*conn);
-    pump_writes(*conn);
+  // A FLSH decoded during the re-pump below re-parks its connection AFTER
+  // flush_waiters_ was reset, so the barrier must be re-evaluated until no
+  // waiter remains — otherwise back-to-back FLSH frames strand the loop in
+  // epoll_wait with nothing left to wake it. Terminates: each pass either
+  // consumes buffered frames (no new bytes arrive while we are here) or
+  // puts sessions in flight, whose completions re-invoke us from run().
+  while (flush_waiters_ > 0 && outstanding_total_ == 0) {
+    // Every callback has been processed, so every shard's in-flight count
+    // is zero: flush() will not block.
+    (void)service_.flush_all();
+    for (auto& [id, conn] : conns_) {
+      if (conn->state != ConnState::kFlushWait) continue;
+      conn->state = ConnState::kOpen;
+      emit_conn_tele(*conn);
+      pump_writes(*conn);
+    }
+    flush_waiters_ = 0;
+    resume_admissions();
   }
-  flush_waiters_ = 0;
-  // Admissions were paused; re-pump every connection's buffered frames.
+}
+
+void FrontEnd::resume_admissions() {
+  // Admissions were paused; re-pump every connection's buffered frames
+  // and re-arm reads that were deasserted while the barrier was pending
+  // (update_interest inside pump_writes re-raises EPOLLIN, so bytes that
+  // backed up in the kernel during the pause trigger a fresh event).
   for (auto& [id, conn] : conns_) {
     process_frames(*conn);
     pump_writes(*conn);
@@ -439,7 +454,9 @@ void FrontEnd::check_timeouts(std::int64_t now) {
         static_cast<std::int64_t>(options_.drain_timeout_seconds * 1000.0);
     if (now - drain_started_ms_ >= limit) {
       for (auto& [id, conn] : conns_) {
-        if (conn->state == ConnState::kZombie) continue;
+        // Skip conns already retired this iteration (finished, awaiting
+        // reap) — they closed on their own, not by force.
+        if (conn->state == ConnState::kZombie || conn->finished) continue;
         ++stats_.forced_closes;
         make_zombie(*conn);
       }
@@ -448,11 +465,26 @@ void FrontEnd::check_timeouts(std::int64_t now) {
   }
 }
 
-void FrontEnd::update_write_interest(Connection& conn) {
-  const bool want = conn.write_pending();
-  if (want == conn.epollout || conn.fd() < 0) return;
-  loop_.modify(conn.fd(), conn.id(), want);
-  conn.epollout = want;
+bool FrontEnd::wants_read(const Connection& conn) const noexcept {
+  // Read only while frames can actually be processed. During a FLSH
+  // barrier and once a connection leaves kOpen (draining, closing), bytes
+  // would pile up undecoded — kMaxFramePayload bounds one frame, not the
+  // backlog — so leave them in the kernel socket buffer: that is bounded
+  // backpressure the peer's send() feels. EPOLLRDHUP stays armed, so
+  // hangups are still delivered to a read-paused connection.
+  return conn.state == ConnState::kOpen && flush_waiters_ == 0;
+}
+
+void FrontEnd::update_interest(Connection& conn) {
+  const bool want_write = conn.write_pending();
+  const bool want_read = wants_read(conn);
+  if (conn.fd() < 0 ||
+      (want_write == conn.epollout && want_read == conn.epollin)) {
+    return;
+  }
+  loop_.modify(conn.fd(), conn.id(), want_write, want_read);
+  conn.epollout = want_write;
+  conn.epollin = want_read;
 }
 
 void FrontEnd::pump_writes(Connection& conn) {
@@ -469,7 +501,7 @@ void FrontEnd::pump_writes(Connection& conn) {
       return;
     }
   }
-  update_write_interest(conn);
+  update_interest(conn);
 }
 
 void FrontEnd::make_zombie(Connection& conn) {
@@ -488,6 +520,11 @@ void FrontEnd::make_zombie(Connection& conn) {
 }
 
 void FrontEnd::finish_conn(Connection& conn) {
+  // Idempotent: a conn queued in dead_conns_ can be reached again before
+  // reap() (e.g. the drain-timeout sweep in the same loop iteration);
+  // counting it twice would corrupt stats_ and end its span twice.
+  if (conn.finished) return;
+  conn.finished = true;
   stats_.requests += conn.requests;
   stats_.replies += conn.replies;
   stats_.failed_sessions += conn.failed_sessions;
@@ -577,6 +614,13 @@ FrontEndStats FrontEnd::run() {
     }
     drain_completions();
     maybe_run_flush();
+    if (admissions_paused_ && flush_waiters_ == 0) {
+      // The pause can also end without a merge — the last waiter hung up
+      // (on_stream_eof/make_zombie decrement) or a server drain reset the
+      // barrier. Re-pump and re-arm reads, or paused conns stall forever.
+      admissions_paused_ = false;
+      resume_admissions();
+    }
     if (shutdown_requested_.load()) begin_server_drain();
     if (draining_ || (options_.flush_on_end && outstanding_total_ == 0)) {
       // Tails can unblock on GLOBAL conditions (server drain, the

@@ -20,7 +20,12 @@
 //     kFlushWait and frame processing pauses globally (no new
 //     admissions); once every outstanding session has completed the loop
 //     runs flush_all() and answers each waiter with its connection-scoped
-//     TELE. The loop thread itself never blocks in flush().
+//     TELE — re-evaluating until no waiter remains, since a FLSH decoded
+//     while re-pumping buffered frames re-parks after the reset. The loop
+//     thread itself never blocks in flush(). While paused (and once a
+//     connection is past kOpen), EPOLLIN is deasserted so inbound bytes
+//     back up in the kernel socket buffer instead of growing the decoder
+//     backlog without bound; EPOLLRDHUP stays armed for hangups.
 //   - Graceful drain (SIGTERM/SIGINT or request_shutdown()): stop
 //     accepting, let in-flight sessions finish and their replies go out,
 //     run one final flush_all(), then emit each connection's TELE(+METR)
@@ -132,6 +137,7 @@ class FrontEnd {
   void drain_completions();
   void release_replies(Connection& conn);
   void maybe_run_flush();
+  void resume_admissions();
   void begin_conn_drain(Connection& conn);
   void maybe_emit_tail(Connection& conn);
   void emit_conn_tele(Connection& conn);
@@ -141,7 +147,8 @@ class FrontEnd {
   void make_zombie(Connection& conn);
   void finish_conn(Connection& conn);
   void reap();
-  void update_write_interest(Connection& conn);
+  void update_interest(Connection& conn);
+  [[nodiscard]] bool wants_read(const Connection& conn) const noexcept;
   [[nodiscard]] bool accepting() const noexcept;
   [[nodiscard]] std::string global_tele_payload() const;
 
@@ -162,6 +169,9 @@ class FrontEnd {
   std::vector<Completion> completions_;
   std::size_t outstanding_total_ = 0;
   std::size_t flush_waiters_ = 0;
+  /// True from the moment a FLSH parks until the pause is lifted and the
+  /// buffered/deferred frames have been re-pumped (run() clears it).
+  bool admissions_paused_ = false;
   bool draining_ = false;
   std::int64_t drain_started_ms_ = 0;
   std::atomic<bool> shutdown_requested_{false};

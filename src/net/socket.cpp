@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -36,12 +37,25 @@ sockaddr_un unix_address(const std::string& path) {
 }
 
 in_addr resolve_host(const std::string& host) {
-  std::string name = host.empty() ? "127.0.0.1" : host;
-  if (name == "localhost") name = "127.0.0.1";
+  const std::string name = host.empty() ? "127.0.0.1" : host;
   in_addr out{};
-  if (::inet_pton(AF_INET, name.c_str(), &out) != 1) {
-    throw std::runtime_error("cannot parse IPv4 host '" + host + "'");
+  if (::inet_pton(AF_INET, name.c_str(), &out) == 1) return out;
+  // Not an IPv4 literal: resolve the name (localhost, /etc/hosts entries
+  // and DNS alike) — the CLI documents --tcp host:port, not address:port.
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* found = nullptr;
+  const int rc = ::getaddrinfo(name.c_str(), nullptr, &hints, &found);
+  if (rc != 0 || found == nullptr) {
+    throw std::runtime_error(
+        "cannot resolve IPv4 host '" + host + "'" +
+        (rc != 0 ? std::string(": ") + ::gai_strerror(rc) : ""));
   }
+  std::memcpy(&out,
+              &reinterpret_cast<const sockaddr_in*>(found->ai_addr)->sin_addr,
+              sizeof out);
+  ::freeaddrinfo(found);
   return out;
 }
 

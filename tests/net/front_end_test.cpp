@@ -439,6 +439,147 @@ TEST(FrontEndTest, FlushBarrierAcksWithConnectionTele) {
   EXPECT_NE(frames[2].payload.find("\"id\":\"post\""), std::string::npos);
 }
 
+TEST(FrontEndTest, BackToBackFlushBarriersBothAck) {
+  // Regression: a FLSH decoded while re-pumping buffered frames after a
+  // barrier re-parks the connection AFTER flush_waiters_ was reset; the
+  // barrier must be re-evaluated, not left stranded in epoll_wait (this
+  // test used to hang the loop forever).
+  service::ShardedStreamingService svc(fake_options(2), 1);
+  svc.set_session_runner_for_test(fake_report);
+  FrontEndOptions options;
+  options.unix_path = unique_socket_path("flushflush");
+  TestServer server(svc, options);
+
+  auto client = BlockingClient::to_unix(options.unix_path);
+  client.send_header();
+  client.send_frame(FrameType::kRequest, request_json("pre"));
+  client.send_frame(FrameType::kFlush, "");
+  client.send_frame(FrameType::kFlush, "");
+  client.send_frame(FrameType::kRequest, request_json("post"));
+  client.send_frame(FrameType::kEnd, "");
+  const auto frames = read_until_end(client);
+  (void)server.finish();
+
+  // REP(pre), TELE, TELE (each barrier acks), REP(post), TELE, METR, END.
+  std::vector<FrameType> types;
+  for (const auto& f : frames) types.push_back(f.type);
+  EXPECT_EQ(types, (std::vector<FrameType>{
+                       FrameType::kReply, FrameType::kTelemetry,
+                       FrameType::kTelemetry, FrameType::kReply,
+                       FrameType::kTelemetry, FrameType::kMetrics,
+                       FrameType::kEnd}));
+}
+
+TEST(FrontEndTest, FramesBufferedDuringBarrierAreServedAfterResume) {
+  // While a FLSH barrier holds the global pause, reads are deasserted, so
+  // frames sent mid-barrier wait in the kernel socket buffer (bounded)
+  // rather than the decoder backlog (unbounded). They must all be served
+  // once the barrier resolves and reads re-arm.
+  auto gate = std::make_shared<Gate>();
+  service::ShardedStreamingService svc(fake_options(2), 1);
+  svc.set_session_runner_for_test([gate](const TuningRequest& r) {
+    if (r.id == "slow") gate->wait_inside();
+    return fake_report(r);
+  });
+  FrontEndOptions options;
+  options.unix_path = unique_socket_path("pausedreads");
+  TestServer server(svc, options);
+
+  auto client = BlockingClient::to_unix(options.unix_path);
+  client.send_header();
+  client.send_frame(FrameType::kRequest, request_json("slow"));
+  client.send_frame(FrameType::kFlush, "");
+  gate->wait_entered(1);
+  // The barrier is pending (the session is hostage). These frames arrive
+  // mid-pause.
+  client.send_frame(FrameType::kRequest, request_json("post"));
+  client.send_frame(FrameType::kEnd, "");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  gate->release();
+
+  const auto frames = read_until_end(client);
+  (void)server.finish();
+  std::vector<FrameType> types;
+  for (const auto& f : frames) types.push_back(f.type);
+  EXPECT_EQ(types, (std::vector<FrameType>{
+                       FrameType::kReply, FrameType::kTelemetry,
+                       FrameType::kReply, FrameType::kTelemetry,
+                       FrameType::kMetrics, FrameType::kEnd}));
+}
+
+TEST(FrontEndTest, AbandonedFlushBarrierUnblocksOtherConnections) {
+  // A client that sends FLSH and vanishes must not leave the global
+  // admission pause wedged: the loop must notice the barrier dissolved
+  // (no waiters left) and resume everyone else's reads and buffered
+  // frames even though no merge ran.
+  auto gate = std::make_shared<Gate>();
+  service::ShardedStreamingService svc(fake_options(2), 1);
+  svc.set_session_runner_for_test([gate](const TuningRequest& r) {
+    if (r.id == "slow") gate->wait_inside();
+    return fake_report(r);
+  });
+  FrontEndOptions options;
+  options.unix_path = unique_socket_path("flushabandon");
+  TestServer server(svc, options);
+
+  auto worker = BlockingClient::to_unix(options.unix_path);
+  worker.send_header();
+  worker.send_frame(FrameType::kRequest, request_json("slow"));
+  gate->wait_entered(1);
+
+  // Parks a barrier behind the hostage session, then vanishes.
+  auto flusher = BlockingClient::to_unix(options.unix_path);
+  flusher.send_header();
+  flusher.send_frame(FrameType::kFlush, "");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // A bystander whose frames land while the pause is in force.
+  auto bystander = BlockingClient::to_unix(options.unix_path);
+  bystander.send_header();
+  bystander.send_frame(FrameType::kRequest, request_json("by-0"));
+  bystander.send_frame(FrameType::kEnd, "");
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  flusher.close();
+
+  // The bystander must be served while "slow" is STILL hostage: the
+  // pause ended with the flusher, not with the merge.
+  const auto frames = read_until_end(bystander);
+  EXPECT_EQ(count_type(frames, FrameType::kReply), 1u);
+  EXPECT_EQ(count_type(frames, FrameType::kError), 0u);
+  EXPECT_EQ(frames.back().type, FrameType::kEnd);
+
+  gate->release();
+  const auto reply = worker.read_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->type, FrameType::kReply);
+  worker.send_frame(FrameType::kEnd, "");
+  const auto tail = read_until_end(worker);
+  EXPECT_EQ(tail.back().type, FrameType::kEnd);
+  (void)server.finish();
+}
+
+TEST(FrontEndTest, TcpHostnamesResolveViaGetaddrinfo) {
+  // --tcp documents host:port; names (not just IPv4 literals) must bind
+  // and connect. 'localhost' goes through getaddrinfo like any name.
+  service::ShardedStreamingService svc(fake_options(1), 1);
+  svc.set_session_runner_for_test(fake_report);
+  FrontEndOptions options;
+  options.tcp_host = "localhost";
+  options.tcp_port = 0;
+  TestServer server(svc, options);
+  ASSERT_GT(server.tcp_port(), 0);
+
+  auto client = BlockingClient::to_tcp("localhost", server.tcp_port());
+  client.send_header();
+  client.send_frame(FrameType::kRequest, request_json("named"));
+  client.send_frame(FrameType::kEnd, "");
+  const auto frames = read_until_end(client);
+  EXPECT_EQ(count_type(frames, FrameType::kReply), 1u);
+  EXPECT_EQ(frames.back().type, FrameType::kEnd);
+  const auto& stats = server.finish();
+  EXPECT_EQ(stats.replies, 1u);
+}
+
 TEST(FrontEndTest, GracefulDrainFlushesInFlightRepliesAndTails) {
   auto gate = std::make_shared<Gate>();
   service::ShardedStreamingService svc(fake_options(2), 1);
