@@ -31,6 +31,9 @@ ParsedArgs parse_args(const std::vector<std::string>& argv) {
   std::size_t i = 0;
   if (i < argv.size() && argv[i].rfind("--", 0) != 0) {
     out.command = argv[i++];
+    if (i < argv.size() && argv[i].rfind("--", 0) != 0) {
+      out.subcommand = argv[i++];
+    }
   }
   while (i < argv.size()) {
     const std::string& token = argv[i];

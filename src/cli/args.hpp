@@ -11,6 +11,7 @@ namespace deepcat::cli {
 
 struct ParsedArgs {
   std::string command;                       ///< first positional token
+  std::string subcommand;                    ///< optional second positional
   std::map<std::string, std::string> flags;  ///< --name value
   std::vector<std::pair<std::string, std::string>> assignments;  ///< --set k=v
 
@@ -22,10 +23,11 @@ struct ParsedArgs {
                                  double fallback) const;
 };
 
-/// Parses argv[1..): first token is the subcommand; "--set k=v" pairs are
+/// Parses argv[1..): the first token is the command, an optional second
+/// bare token the subcommand ("index build"); "--set k=v" pairs are
 /// collected into `assignments`; any other "--name value" into `flags`.
 /// Throws std::invalid_argument on a malformed flag (missing value,
-/// missing '=' in --set).
+/// missing '=' in --set) or a third positional token.
 [[nodiscard]] ParsedArgs parse_args(const std::vector<std::string>& argv);
 
 }  // namespace deepcat::cli

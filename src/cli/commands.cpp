@@ -16,7 +16,10 @@
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/tracer.hpp"
+#include "retrieval/index.hpp"
+#include "service/checkpoint.hpp"
 #include "service/jsonl.hpp"
+#include "service/session.hpp"
 #include "service/service.hpp"
 #include "service/sharding.hpp"
 #include "service/streaming.hpp"
@@ -92,6 +95,7 @@ void print_usage(std::ostream& os) {
         "  serve --stream 1            serve a framed wire stream (DCWP)\n"
         "      --checkpoint dir/ [--in wire.bin] [--out wire.bin]\n"
         "      [--requests file.jsonl]  (framed as REQ* + END; excludes --in)\n"
+        "      [--warm-index index.bin] (enables \"warm\" request retrieval)\n"
         "      [--socket /path.sock] [--tcp host:port] [--shards 1]\n"
         "      [--max-conns 256] [--max-inflight 1024] [--drain-timeout 5]\n"
         "      [--idle-timeout 0] [--exit-after N] [--flush-on-end 0|1]\n"
@@ -106,7 +110,18 @@ void print_usage(std::ostream& os) {
         "       without --in/--socket/--tcp reads stdin; without\n"
         "       --out/--socket/--tcp writes wire bytes to stdout silently)\n"
         "  stats --socket /path.sock   poll a streaming server for one TELE\n"
-        "      [--tcp host:port]       telemetry snapshot (STAT over DCWP)\n";
+        "      [--tcp host:port]       telemetry snapshot (STAT over DCWP)\n"
+        "      [--requests file.jsonl] (first send each line as a REQ and\n"
+        "                               print every REP/ERR payload)\n"
+        "  index build --checkpoint dir/ --out index.bin\n"
+        "      [--model default] [--workloads TS-D1,WC-D1 | all]\n"
+        "      [--seeds 2] [--steps 5] [--cluster a|b]\n"
+        "                              replay deterministic sessions against\n"
+        "                              the registry model into a warm-start\n"
+        "                              experience index\n"
+        "  index query --index index.bin --workload TS-D1\n"
+        "      [--k 3] [--metric cosine|l2] [--json 1]\n"
+        "                              k-NN query against a saved index\n";
 }
 
 int stream_exit_code(const service::StreamServeResult& result) {
@@ -242,6 +257,20 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
     throw std::invalid_argument(
         "serve: no published model '" + model_name +
         "' in the registry and --train-iters is 0; train one first");
+  }
+
+  if (const auto warm_path = args.flag("warm-index")) {
+    auto index = std::make_shared<retrieval::ExperienceIndex>(
+        service::load_index_file(*warm_path));
+    if (index->empty()) {
+      throw std::invalid_argument("serve: warm index '" + *warm_path +
+                                  "' is empty");
+    }
+    if (!quiet) {
+      os << "loaded warm index (" << index->size() << " entries) from "
+         << *warm_path << '\n';
+    }
+    svc.set_warm_index(std::move(index));
   }
 
   service::StreamServeResult result;
@@ -397,6 +426,9 @@ int cmd_info(const ParsedArgs& args, std::ostream& os) {
     os << ",\"isa_ladder\":\"" << simd::isa_ladder() << "\",\"detected\":\""
        << simd::backend_label(simd::detected_backend())
        << "\",\"packed_gemm_min_dim\":" << simd::packed_gemm_min_dim()
+       << ",\"embedding_dim\":" << retrieval::kEmbeddingDim
+       << ",\"warm_default_k\":" << retrieval::kDefaultNeighbors
+       << ",\"index_section_version\":" << service::kIndexSectionVersion
        << "}\n";
     return 0;
   }
@@ -407,7 +439,10 @@ int cmd_info(const ParsedArgs& args, std::ostream& os) {
      << '\n'
      << "simd compiled:    " << (info.simd_compiled ? "yes" : "no") << '\n'
      << "packed gemm from: " << simd::packed_gemm_min_dim() << "^3\n"
-     << "thread-pool size: " << info.threads << '\n';
+     << "thread-pool size: " << info.threads << '\n'
+     << "warm embedding:   " << retrieval::kEmbeddingDim << " dims\n"
+     << "warm default k:   " << retrieval::kDefaultNeighbors << '\n'
+     << "index section:    v" << service::kIndexSectionVersion << '\n';
   return 0;
 }
 
@@ -631,16 +666,40 @@ int cmd_stats(const ParsedArgs& args, std::ostream& os) {
                                        port);
   }();
 
+  // Optional request leg (the warm-start smoke path in CI drives warm
+  // queries over the socket this way): each JSONL line goes out as one
+  // REQ frame before the STAT poll; the loop below prints every REP/ERR
+  // payload the server answers with.
+  client.send_header();
+  if (const auto requests_path = args.flag("requests")) {
+    std::ifstream req(*requests_path);
+    if (!req) {
+      throw std::invalid_argument("stats: cannot open requests file '" +
+                                  *requests_path + "'");
+    }
+    std::string line;
+    while (std::getline(req, line)) {
+      if (line.empty()) continue;
+      client.send_frame(service::FrameType::kRequest, line);
+    }
+  }
   // STAT asks for one mid-stream TELE; END lets the server finish its
   // tail (final TELE + compat METR + END) and close.
-  client.send_header();
   client.send_frame(service::FrameType::kStat, "");
   client.send_frame(service::FrameType::kEnd, "");
 
   std::string tele;
+  std::size_t errors = 0;
   for (;;) {
     const auto frame = client.read_frame();
     if (!frame) break;  // server closed without END: report what we got
+    if (frame->type == service::FrameType::kReply) {
+      os << frame->payload << '\n';
+    }
+    if (frame->type == service::FrameType::kError) {
+      os << frame->payload << '\n';
+      ++errors;
+    }
     if (frame->type == service::FrameType::kTelemetry && tele.empty()) {
       tele = frame->payload;  // the STAT answer is the first TELE
     }
@@ -651,13 +710,155 @@ int cmd_stats(const ParsedArgs& args, std::ostream& os) {
     return 1;
   }
   os << tele << '\n';
-  return 0;
+  return errors == 0 ? 0 : 1;
 #endif
+}
+
+namespace {
+
+int cmd_index_build(const ParsedArgs& args, std::ostream& os) {
+  const auto checkpoint_dir = args.flag("checkpoint");
+  const auto out_path = args.flag("out");
+  if (!checkpoint_dir || !out_path) {
+    throw std::invalid_argument(
+        "index build: --checkpoint dir/ and --out index.bin are required");
+  }
+  const std::string model_name = args.flag_or("model", "default");
+  const std::string cluster_tag = args.flag_or("cluster", "a");
+  const auto seeds =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(
+                                     args.number_or("seeds", 2)));
+  const auto steps = static_cast<int>(args.number_or("steps", 5));
+
+  service::ModelRegistry registry(*checkpoint_dir);
+  const auto version = registry.latest_version(model_name);
+  if (!version) {
+    throw std::invalid_argument("index build: no published model '" +
+                                model_name + "' in the registry");
+  }
+  // The registry file IS the checkpoint blob sessions clone from.
+  std::ifstream ck(registry.path_for(model_name, *version), std::ios::binary);
+  if (!ck) {
+    throw std::invalid_argument("index build: cannot open checkpoint for '" +
+                                model_name + "'");
+  }
+  std::ostringstream blob_stream;
+  blob_stream << ck.rdbuf();
+  const std::string blob = std::move(blob_stream).str();
+
+  std::vector<HiBenchCase> cases;
+  const std::string which = args.flag_or("workloads", "all");
+  if (which == "all") {
+    for (const auto& c : hibench_suite()) cases.push_back(c);
+  } else {
+    std::istringstream list(which);
+    std::string id;
+    while (std::getline(list, id, ',')) {
+      if (!id.empty()) cases.push_back(hibench_case(id));  // throws on unknown
+    }
+  }
+  if (cases.empty()) {
+    throw std::invalid_argument("index build: --workloads selected nothing");
+  }
+
+  // Sessions are pure functions of (blob, request), so the index built
+  // here is bit-identical on every machine that holds the same model.
+  retrieval::ExperienceIndex index;
+  const core::DeepCatApiOptions api;
+  for (const auto& c : cases) {
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      service::TuningRequest request;
+      request.id = c.id + "-s" + std::to_string(seed);
+      request.workload = c.id;
+      request.cluster = cluster_tag;
+      request.max_steps = steps;
+      request.seed = seed;
+      const service::SessionReport report =
+          service::run_session(blob, api, request, nullptr, nullptr);
+      if (!report.ok) {
+        os << "error: session " << request.id << " failed: " << report.error
+           << '\n';
+        return 1;
+      }
+      index.add(retrieval::entry_from_report(c, seed, report.report));
+    }
+  }
+
+  service::save_index_file(*out_path, index);
+  os << "built index: " << index.size() << " entries (" << cases.size()
+     << " workloads x " << seeds << " seeds, " << steps
+     << " steps each), embedding dim " << retrieval::kEmbeddingDim
+     << ", wrote " << *out_path << '\n';
+  return 0;
+}
+
+int cmd_index_query(const ParsedArgs& args, std::ostream& os) {
+  const auto index_path = args.flag("index");
+  const auto workload = args.flag("workload");
+  if (!index_path || !workload) {
+    throw std::invalid_argument(
+        "index query: --index index.bin and --workload TS-D1 are required");
+  }
+  const auto k = static_cast<std::size_t>(args.number_or(
+      "k", static_cast<double>(retrieval::kDefaultNeighbors)));
+  const retrieval::Metric metric =
+      retrieval::metric_from_name(args.flag_or("metric", "cosine"));
+
+  const retrieval::ExperienceIndex index =
+      service::load_index_file(*index_path);
+  const HiBenchCase& c = hibench_case(*workload);
+  const std::vector<retrieval::Neighbor> neighbors =
+      index.query_case(c, k, metric);
+  if (neighbors.empty()) {
+    os << "error: index '" << *index_path << "' has no entries\n";
+    return 1;
+  }
+
+  if (args.number_or("json", 0) != 0.0) {
+    os.precision(17);
+    std::size_t rank = 0;
+    for (const auto& nb : neighbors) {
+      const retrieval::ExperienceEntry& e = index.entries()[nb.entry];
+      os << "{\"rank\":" << rank++ << ",\"workload\":\""
+         << service::json_escape(e.workload) << "\",\"seed\":" << e.seed
+         << ",\"distance\":" << nb.distance
+         << ",\"best_cost\":" << e.best_cost
+         << ",\"default_cost\":" << e.default_cost << "}\n";
+    }
+    return 0;
+  }
+  common::Table t(std::string("nearest neighbors (") +
+                  retrieval::metric_name(metric) + ")");
+  t.header({"rank", "workload", "seed", "distance", "best (s)", "speedup"});
+  std::size_t rank = 0;
+  for (const auto& nb : neighbors) {
+    const retrieval::ExperienceEntry& e = index.entries()[nb.entry];
+    const double speedup =
+        e.best_cost > 0.0 ? e.default_cost / e.best_cost : 0.0;
+    t.row({common::cell(rank++), e.workload, common::cell(e.seed),
+           common::cell(nb.distance, 6), common::cell(e.best_cost, 1),
+           common::speedup_cell(speedup)});
+  }
+  t.print(os);
+  return 0;
+}
+
+}  // namespace
+
+int cmd_index(const ParsedArgs& args, std::ostream& os) {
+  if (args.subcommand == "build") return cmd_index_build(args, os);
+  if (args.subcommand == "query") return cmd_index_query(args, os);
+  throw std::invalid_argument("index: unknown subcommand '" +
+                              args.subcommand + "' (use build or query)");
 }
 
 int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
   try {
     const ParsedArgs args = parse_args(argv);
+    if (!args.subcommand.empty() && args.command != "index") {
+      throw std::invalid_argument("unexpected positional argument '" +
+                                  args.subcommand + "'");
+    }
     if (args.command == "info") return cmd_info(args, os);
     if (args.command == "knobs") return cmd_knobs(args, os);
     if (args.command == "suite") return cmd_suite(args, os);
@@ -665,6 +866,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& os) {
     if (args.command == "tune") return cmd_tune(args, os);
     if (args.command == "serve") return cmd_serve(args, os);
     if (args.command == "stats") return cmd_stats(args, os);
+    if (args.command == "index") return cmd_index(args, os);
     print_usage(os);
     return args.command.empty() ? 0 : 2;
   } catch (const std::exception& e) {

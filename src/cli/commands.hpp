@@ -36,10 +36,18 @@ int cmd_tune(const ParsedArgs& args, std::ostream& os);
 ///  aggregate metrics line.
 int cmd_serve(const ParsedArgs& args, std::ostream& os);
 
-/// `deepcat stats --socket /path.sock` — connect to a streaming server,
-/// send one STAT poll, print the TELE telemetry payload it answers with.
-/// Exit 0 iff a TELE frame arrived.
+/// `deepcat stats --socket /path.sock [--requests file.jsonl]` — connect
+/// to a streaming server, optionally send each JSONL line as a REQ frame
+/// (printing every REP/ERR payload), then one STAT poll, print the TELE
+/// telemetry payload it answers with. Exit 0 iff a TELE frame arrived and
+/// no ERR frames did.
 int cmd_stats(const ParsedArgs& args, std::ostream& os);
+
+/// `deepcat index build --checkpoint dir/ --out index.bin` /
+/// `deepcat index query --index index.bin --workload TS-D1` — build a
+/// warm-start experience index by replaying deterministic sessions against
+/// the registry model, or run a k-NN query against a saved index.
+int cmd_index(const ParsedArgs& args, std::ostream& os);
 
 /// Dispatches to the subcommand; prints usage on unknown/empty command.
 int run_cli(const std::vector<std::string>& argv, std::ostream& os);

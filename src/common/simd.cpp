@@ -205,6 +205,33 @@ void gemm_nt_scalar(std::size_t m, std::size_t n, std::size_t k,
   }
 }
 
+// Shared cosine epilogue — the identical scalar formula on every tier, so
+// cross-tier divergence comes only from the three reductions feeding it.
+inline double cosine_from_parts(double qq, double rr, double qr) noexcept {
+  const double denom = std::sqrt(qq * rr);
+  if (denom == 0.0) return 1.0;
+  return 1.0 - qr / denom;
+}
+
+void squared_distances_scalar(const double* query, const double* rows,
+                              std::size_t n_rows, std::size_t dim,
+                              double* out) noexcept {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    out[r] = squared_distance_scalar(query, rows + r * dim, dim);
+  }
+}
+
+void cosine_distances_scalar(const double* query, const double* rows,
+                             std::size_t n_rows, std::size_t dim,
+                             double* out) noexcept {
+  const double qq = dot_scalar(query, query, dim);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = rows + r * dim;
+    out[r] = cosine_from_parts(qq, dot_scalar(row, row, dim),
+                               dot_scalar(query, row, dim));
+  }
+}
+
 #if DEEPCAT_SIMD_X86
 
 // ---- AVX2+FMA kernels ---------------------------------------------------
@@ -266,6 +293,29 @@ DEEPCAT_TARGET_AVX2 double squared_distance_avx2(const double* a,
     s += d * d;
   }
   return s;
+}
+
+DEEPCAT_TARGET_AVX2 void squared_distances_avx2(const double* query,
+                                                const double* rows,
+                                                std::size_t n_rows,
+                                                std::size_t dim,
+                                                double* out) noexcept {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    out[r] = squared_distance_avx2(query, rows + r * dim, dim);
+  }
+}
+
+DEEPCAT_TARGET_AVX2 void cosine_distances_avx2(const double* query,
+                                               const double* rows,
+                                               std::size_t n_rows,
+                                               std::size_t dim,
+                                               double* out) noexcept {
+  const double qq = dot_avx2(query, query, dim);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = rows + r * dim;
+    out[r] = cosine_from_parts(qq, dot_avx2(row, row, dim),
+                               dot_avx2(query, row, dim));
+  }
 }
 
 DEEPCAT_TARGET_AVX2 double sum_avx2(const double* a, std::size_t n) noexcept {
@@ -643,6 +693,29 @@ DEEPCAT_TARGET_AVX512 double squared_distance_avx512(const double* a,
     s += d * d;
   }
   return s;
+}
+
+DEEPCAT_TARGET_AVX512 void squared_distances_avx512(const double* query,
+                                                    const double* rows,
+                                                    std::size_t n_rows,
+                                                    std::size_t dim,
+                                                    double* out) noexcept {
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    out[r] = squared_distance_avx512(query, rows + r * dim, dim);
+  }
+}
+
+DEEPCAT_TARGET_AVX512 void cosine_distances_avx512(const double* query,
+                                                   const double* rows,
+                                                   std::size_t n_rows,
+                                                   std::size_t dim,
+                                                   double* out) noexcept {
+  const double qq = dot_avx512(query, query, dim);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    const double* row = rows + r * dim;
+    out[r] = cosine_from_parts(qq, dot_avx512(row, row, dim),
+                               dot_avx512(query, row, dim));
+  }
 }
 
 DEEPCAT_TARGET_AVX512 double sum_avx512(const double* a,
@@ -1275,6 +1348,46 @@ double squared_distance(const double* a, const double* b,
   }
 #endif
   return squared_distance_scalar(a, b, n);
+}
+
+void squared_distances(const double* query, const double* rows,
+                       std::size_t n_rows, std::size_t dim,
+                       double* out) noexcept {
+  const Backend be = active_backend();
+  count_dispatch(be);
+#if DEEPCAT_SIMD_X86
+  switch (be) {
+    case Backend::kAvx512:
+      squared_distances_avx512(query, rows, n_rows, dim, out);
+      return;
+    case Backend::kAvx2:
+      squared_distances_avx2(query, rows, n_rows, dim, out);
+      return;
+    default:
+      break;
+  }
+#endif
+  squared_distances_scalar(query, rows, n_rows, dim, out);
+}
+
+void cosine_distances(const double* query, const double* rows,
+                      std::size_t n_rows, std::size_t dim,
+                      double* out) noexcept {
+  const Backend be = active_backend();
+  count_dispatch(be);
+#if DEEPCAT_SIMD_X86
+  switch (be) {
+    case Backend::kAvx512:
+      cosine_distances_avx512(query, rows, n_rows, dim, out);
+      return;
+    case Backend::kAvx2:
+      cosine_distances_avx2(query, rows, n_rows, dim, out);
+      return;
+    default:
+      break;
+  }
+#endif
+  cosine_distances_scalar(query, rows, n_rows, dim, out);
 }
 
 double sum(const double* a, std::size_t n) noexcept {

@@ -139,6 +139,27 @@ void reset_dispatch_counts() noexcept;
 [[nodiscard]] double squared_distance(const double* a, const double* b,
                                       std::size_t n) noexcept;
 
+// ---- Batched distance kernels -------------------------------------------
+// One query vector against a dense row-major matrix — the retrieval
+// index's k-NN scan (SimSIMD-style: the whole matrix sweep is one
+// dispatched call, so these count toward DispatchCounts like the GEMM
+// family). Per-row reductions use each tier's accumulator tree and meet
+// the 1e-12 contract; the cosine epilogue is the identical scalar formula
+// on every tier.
+
+/// out[r] = sum_j (query[j] - rows[r*dim + j])^2 for r in [0, n_rows).
+void squared_distances(const double* query, const double* rows,
+                       std::size_t n_rows, std::size_t dim,
+                       double* out) noexcept;
+
+/// out[r] = 1 - dot(query, row_r) / sqrt(|query|^2 * |row_r|^2), the
+/// cosine distance in [0, 2]. A zero-norm query or row yields 1.0 (no
+/// directional information — maximally non-similar without being
+/// anti-aligned) on every backend.
+void cosine_distances(const double* query, const double* rows,
+                      std::size_t n_rows, std::size_t dim,
+                      double* out) noexcept;
+
 /// sum(a[i]).
 [[nodiscard]] double sum(const double* a, std::size_t n) noexcept;
 

@@ -204,6 +204,16 @@ void FrontEnd::handle_frame(Connection& conn, service::Frame frame) {
         ++conn.parse_errors;
         break;
       }
+      // Same typed-error contract as the istream driver: a warm request
+      // against a missing/empty index never becomes a failed session.
+      if (const auto warm_err = service_.warm_error(request)) {
+        conn.queue_frame(service::FrameType::kError,
+                         service::stream_error_payload(
+                             "request " + std::to_string(ordinal) + ": " +
+                             *warm_err));
+        ++conn.parse_errors;
+        break;
+      }
       const std::uint64_t conn_id = conn.id();
       const std::uint64_t reply_index = conn.next_request_index++;
       ++conn.outstanding;

@@ -1,0 +1,44 @@
+#include "retrieval/embedding.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+namespace deepcat::retrieval {
+
+Embedding embed_query(sparksim::WorkloadType type, double input_mb) {
+  Embedding e{};
+  const auto slot = static_cast<std::size_t>(type);
+  if (slot < kWorkloadTypes) e[slot] = 1.0;
+  e[kWorkloadTypes] = std::log1p(std::max(0.0, input_mb)) / kInputLogScale;
+  return e;
+}
+
+Embedding embed_report(sparksim::WorkloadType type, double input_mb,
+                       const tuners::TuningReport& report) {
+  Embedding e = embed_query(type, input_mb);
+  const auto& space = sparksim::pipeline_space();
+  const auto best = space.encode(report.best_config);
+  const auto base = space.encode(space.defaults());
+  for (std::size_t i = 0; i < sparksim::kNumKnobs; ++i) {
+    e[kWorkloadTypes + 1 + i] = std::abs(best[i] - base[i]);
+  }
+  if (!report.steps.empty()) {
+    double sum = 0.0;
+    double lo = report.steps.front().reward;
+    double hi = lo;
+    for (const auto& s : report.steps) {
+      sum += s.reward;
+      lo = std::min(lo, s.reward);
+      hi = std::max(hi, s.reward);
+    }
+    const std::size_t stats = kWorkloadTypes + 1 + sparksim::kNumKnobs;
+    e[stats + 0] = sum / static_cast<double>(report.steps.size()) / kRewardScale;
+    e[stats + 1] = lo / kRewardScale;
+    e[stats + 2] = hi / kRewardScale;
+    e[stats + 3] = report.steps.back().reward / kRewardScale;
+  }
+  return e;
+}
+
+}  // namespace deepcat::retrieval

@@ -1,0 +1,81 @@
+#include "retrieval/index.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "common/simd.hpp"
+
+namespace deepcat::retrieval {
+
+const char* metric_name(Metric m) noexcept {
+  return m == Metric::kL2 ? "l2" : "cosine";
+}
+
+Metric metric_from_name(const std::string& name) {
+  if (name == "cosine") return Metric::kCosine;
+  if (name == "l2") return Metric::kL2;
+  throw std::invalid_argument("unknown retrieval metric: " + name);
+}
+
+void ExperienceIndex::add(ExperienceEntry entry) {
+  matrix_.insert(matrix_.end(), entry.embedding.begin(),
+                 entry.embedding.end());
+  entries_.push_back(std::move(entry));
+}
+
+std::vector<Neighbor> ExperienceIndex::query(const Embedding& query,
+                                             std::size_t k,
+                                             Metric metric) const {
+  std::vector<Neighbor> out;
+  if (entries_.empty() || k == 0) return out;
+  std::vector<double> distances(entries_.size());
+  if (metric == Metric::kL2) {
+    common::simd::squared_distances(query.data(), matrix_.data(),
+                                    entries_.size(), kEmbeddingDim,
+                                    distances.data());
+  } else {
+    common::simd::cosine_distances(query.data(), matrix_.data(),
+                                   entries_.size(), kEmbeddingDim,
+                                   distances.data());
+  }
+  std::vector<std::size_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&distances](std::size_t a, std::size_t b) {
+              if (distances[a] != distances[b]) {
+                return distances[a] < distances[b];
+              }
+              return a < b;  // deterministic tie-break: insertion order
+            });
+  const std::size_t take = std::min(k, order.size());
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back({order[i], distances[order[i]]});
+  }
+  return out;
+}
+
+std::vector<Neighbor> ExperienceIndex::query_case(const sparksim::HiBenchCase& c,
+                                                  std::size_t k,
+                                                  Metric metric) const {
+  return query(embed_query(c.type, sparksim::workload_for(c).input_mb), k,
+               metric);
+}
+
+ExperienceEntry entry_from_report(const sparksim::HiBenchCase& c,
+                                  std::uint64_t seed,
+                                  const tuners::TuningReport& report) {
+  ExperienceEntry entry;
+  entry.workload = c.id;
+  entry.seed = seed;
+  entry.best_cost = report.best_time;
+  entry.default_cost = report.default_time;
+  const auto action = sparksim::pipeline_space().encode(report.best_config);
+  std::copy(action.begin(), action.end(), entry.best_action.begin());
+  const double input_mb = sparksim::workload_for(c).input_mb;
+  entry.embedding = embed_report(c.type, input_mb, report);
+  return entry;
+}
+
+}  // namespace deepcat::retrieval

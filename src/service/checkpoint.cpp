@@ -36,6 +36,7 @@ constexpr std::uint32_t kTagAdam = fourcc("ADAM");
 constexpr std::uint32_t kTagReplay = fourcc("RPLY");
 constexpr std::uint32_t kTagRng = fourcc("RNGS");
 constexpr std::uint32_t kTagWorkloadRepo = fourcc("WREP");
+constexpr std::uint32_t kTagRetrievalIndex = fourcc("RIDX");
 constexpr std::uint32_t kTagEnd = fourcc("END ");
 
 std::string tag_name(std::uint32_t tag) {
@@ -501,6 +502,52 @@ void decode_workload_repo(const std::string& payload,
   r.expect_exhausted();
 }
 
+std::string encode_retrieval_index(const retrieval::ExperienceIndex& index) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(retrieval::kEmbeddingDim));
+  w.u32(static_cast<std::uint32_t>(sparksim::kNumKnobs));
+  w.u64(static_cast<std::uint64_t>(index.size()));
+  for (const auto& e : index.entries()) {
+    w.str(e.workload);
+    w.u64(e.seed);
+    w.f64(e.best_cost);
+    w.f64(e.default_cost);
+    w.doubles(e.best_action.data(), e.best_action.size());
+    w.doubles(e.embedding.data(), e.embedding.size());
+  }
+  return w.bytes();
+}
+
+retrieval::ExperienceIndex decode_retrieval_index(const std::string& payload) {
+  ByteReader r(payload, "RIDX");
+  const std::uint32_t dim = r.u32();
+  const std::uint32_t knobs = r.u32();
+  if (dim != retrieval::kEmbeddingDim || knobs != sparksim::kNumKnobs) {
+    throw CheckpointError(
+        "section 'RIDX': embedding layout mismatch (stored " +
+        std::to_string(dim) + "/" + std::to_string(knobs) +
+        ", this build expects " + std::to_string(retrieval::kEmbeddingDim) +
+        "/" + std::to_string(sparksim::kNumKnobs) + ")");
+  }
+  const std::uint64_t n = r.u64();
+  retrieval::ExperienceIndex index;
+  // `n` is untrusted (spliced streams can pair this decoder with another
+  // section's CRC-valid payload); the bounds-checked reads throw before any
+  // attacker-sized allocation can happen.
+  for (std::uint64_t i = 0; i < n; ++i) {
+    retrieval::ExperienceEntry e;
+    e.workload = r.str();
+    e.seed = r.u64();
+    e.best_cost = r.f64();
+    e.default_cost = r.f64();
+    r.doubles(e.best_action.data(), e.best_action.size());
+    r.doubles(e.embedding.data(), e.embedding.size());
+    index.add(std::move(e));
+  }
+  r.expect_exhausted();
+  return index;
+}
+
 // ---- container walk -----------------------------------------------------
 
 struct Section {
@@ -602,19 +649,28 @@ std::uint32_t crc32(const unsigned char* data, std::size_t size) noexcept {
   return crc ^ 0xFFFFFFFFu;
 }
 
-void save_checkpoint(std::ostream& os, core::DeepCat& model,
-                     const gp::WorkloadRepository* repository) {
-  if (!model.tuner().has_agent()) {
-    throw CheckpointError(
-        "save_checkpoint: model has no trained agent (call train_offline or "
-        "materialize first)");
-  }
+namespace {
+
+void write_container_header(std::ostream& os) {
   os.write(kMagic, sizeof kMagic);
   char vbuf[4];
   for (int i = 0; i < 4; ++i) {
     vbuf[i] = static_cast<char>((kCheckpointVersion >> (8 * i)) & 0xFFu);
   }
   os.write(vbuf, sizeof vbuf);
+}
+
+}  // namespace
+
+void save_checkpoint(std::ostream& os, core::DeepCat& model,
+                     const gp::WorkloadRepository* repository,
+                     const retrieval::ExperienceIndex* index) {
+  if (!model.tuner().has_agent()) {
+    throw CheckpointError(
+        "save_checkpoint: model has no trained agent (call train_offline or "
+        "materialize first)");
+  }
+  write_container_header(os);
 
   write_section(os, kTagMeta, encode_meta(model));
   write_section(os, kTagNets, encode_nets(model));
@@ -624,12 +680,16 @@ void save_checkpoint(std::ostream& os, core::DeepCat& model,
   if (repository != nullptr && !repository->empty()) {
     write_section(os, kTagWorkloadRepo, encode_workload_repo(*repository));
   }
+  if (index != nullptr && !index->empty()) {
+    write_section(os, kTagRetrievalIndex, encode_retrieval_index(*index));
+  }
   write_section(os, kTagEnd, "");
   if (!os) throw CheckpointError("save_checkpoint: stream write failed");
 }
 
 void load_checkpoint(std::istream& is, core::DeepCat& model,
-                     gp::WorkloadRepository* repository) {
+                     gp::WorkloadRepository* repository,
+                     retrieval::ExperienceIndex* index) {
   const std::vector<Section> sections = read_sections(is);
 
   {
@@ -661,19 +721,67 @@ void load_checkpoint(std::istream& is, core::DeepCat& model,
       decode_workload_repo(*payload, *repository);
     }
   }
+  if (index != nullptr) {
+    if (const std::string* payload =
+            find_section(sections, kTagRetrievalIndex)) {
+      *index = decode_retrieval_index(*payload);
+    }
+  }
 }
 
 std::string checkpoint_to_string(core::DeepCat& model,
-                                 const gp::WorkloadRepository* repository) {
+                                 const gp::WorkloadRepository* repository,
+                                 const retrieval::ExperienceIndex* index) {
   std::ostringstream os(std::ios::binary);
-  save_checkpoint(os, model, repository);
+  save_checkpoint(os, model, repository, index);
   return std::move(os).str();
 }
 
 void checkpoint_from_string(const std::string& blob, core::DeepCat& model,
-                            gp::WorkloadRepository* repository) {
+                            gp::WorkloadRepository* repository,
+                            retrieval::ExperienceIndex* index) {
   std::istringstream is(blob, std::ios::binary);
-  load_checkpoint(is, model, repository);
+  load_checkpoint(is, model, repository, index);
+}
+
+void save_index(std::ostream& os, const retrieval::ExperienceIndex& index) {
+  write_container_header(os);
+  write_section(os, kTagRetrievalIndex, encode_retrieval_index(index));
+  write_section(os, kTagEnd, "");
+  if (!os) throw CheckpointError("save_index: stream write failed");
+}
+
+retrieval::ExperienceIndex load_index(std::istream& is) {
+  const std::vector<Section> sections = read_sections(is);
+  return decode_retrieval_index(
+      require_section(sections, kTagRetrievalIndex));
+}
+
+void save_index_file(const std::string& path,
+                     const retrieval::ExperienceIndex& index) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw CheckpointError("save_index_file: cannot open '" + tmp +
+                            "' for writing");
+    }
+    save_index(os, index);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw CheckpointError("save_index_file: rename to '" + path +
+                          "' failed: " + ec.message());
+  }
+}
+
+retrieval::ExperienceIndex load_index_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw CheckpointError("load_index_file: cannot open '" + path + "'");
+  }
+  return load_index(is);
 }
 
 void save_checkpoint_file(const std::string& path, core::DeepCat& model,

@@ -16,13 +16,18 @@
 //                       | payload bytes | u32 CRC32(payload)
 //   terminator section: tag "END " with zero length
 //
-// Section tags in version 1:
+// Section tags in version 2:
 //   "META"  dims, replay kind, next environment seed   (required)
 //   "NETS"  six networks, fixed order, shape-checked    (required)
 //   "ADAM"  three optimizers: step counts + moments     (required)
 //   "RPLY"  replay pools: contents + ring cursors       (required)
 //   "RNGS"  tuner RNG stream state                      (required)
 //   "WREP"  OtterTune workload repository               (optional)
+//   "RIDX"  warm-start experience retrieval index       (optional, v2)
+//
+// Version 2 added the optional "RIDX" section (DESIGN.md §12). Version-1
+// readers skip it by the normal unknown-tag rule, so v2 files without the
+// section are byte-compatible with v1 files except for the version word.
 //
 // Forward compatibility: readers skip sections with unknown tags (their
 // length and CRC still guard the walk), so old code tolerates new optional
@@ -39,11 +44,17 @@
 
 #include "core/deepcat_api.hpp"
 #include "gp/workload_map.hpp"
+#include "retrieval/index.hpp"
 
 namespace deepcat::service {
 
 /// Current writer format version. Readers accept any version <= this.
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+/// v2 added the optional "RIDX" retrieval-index section.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
+
+/// Format version of the "RIDX" section payload itself, reported by
+/// `deepcat info` so operators can tell which index layout a build writes.
+inline constexpr std::uint32_t kIndexSectionVersion = 1;
 
 /// Raised on any malformed, truncated, corrupt or incompatible checkpoint.
 class CheckpointError : public std::runtime_error {
@@ -57,24 +68,42 @@ class CheckpointError : public std::runtime_error {
 
 /// Serializes the complete tuner state. The model's agent must already be
 /// built (train_offline or materialize); throws CheckpointError otherwise.
-/// Pass `repository` to append the optional OtterTune section.
+/// Pass `repository` to append the optional OtterTune section and `index`
+/// (non-empty) to append the optional "RIDX" retrieval-index section.
 void save_checkpoint(std::ostream& os, core::DeepCat& model,
-                     const gp::WorkloadRepository* repository = nullptr);
+                     const gp::WorkloadRepository* repository = nullptr,
+                     const retrieval::ExperienceIndex* index = nullptr);
 
 /// Restores a checkpoint into `model`, which must have been constructed
 /// with options matching the saved dims and replay kind (the service layer
 /// owns both sides, so this is a config-consistency check, not a schema
-/// migration). Pass `repository` to also restore the optional OtterTune
-/// section when present.
+/// migration). Pass `repository` / `index` to also restore the optional
+/// OtterTune and retrieval-index sections when present.
 void load_checkpoint(std::istream& is, core::DeepCat& model,
-                     gp::WorkloadRepository* repository = nullptr);
+                     gp::WorkloadRepository* repository = nullptr,
+                     retrieval::ExperienceIndex* index = nullptr);
+
+/// Standalone retrieval-index container: the same DCKP magic + version +
+/// CRC-checked section walk, carrying just an "RIDX" section. This is what
+/// `deepcat index build` writes and `deepcat serve --warm-index` loads.
+void save_index(std::ostream& os, const retrieval::ExperienceIndex& index);
+[[nodiscard]] retrieval::ExperienceIndex load_index(std::istream& is);
+
+/// File-level index helpers; saving goes through `<path>.tmp` + rename
+/// like the checkpoint writers.
+void save_index_file(const std::string& path,
+                     const retrieval::ExperienceIndex& index);
+[[nodiscard]] retrieval::ExperienceIndex load_index_file(
+    const std::string& path);
 
 /// Stream-free conveniences used by the service layer to clone the master
 /// model into per-session tuners (serialize once, deserialize per session).
 [[nodiscard]] std::string checkpoint_to_string(
-    core::DeepCat& model, const gp::WorkloadRepository* repository = nullptr);
+    core::DeepCat& model, const gp::WorkloadRepository* repository = nullptr,
+    const retrieval::ExperienceIndex* index = nullptr);
 void checkpoint_from_string(const std::string& blob, core::DeepCat& model,
-                            gp::WorkloadRepository* repository = nullptr);
+                            gp::WorkloadRepository* repository = nullptr,
+                            retrieval::ExperienceIndex* index = nullptr);
 
 /// File-level helpers. Saving writes to `<path>.tmp` then renames, so a
 /// concurrent reader never observes a half-written checkpoint.

@@ -144,6 +144,19 @@ TuningRequest parse_request_json(const std::string& line, std::size_t index) {
   if (const auto it = fields.find("model"); it != fields.end()) {
     req.model = it->second;
   }
+  if (const auto it = fields.find("warm"); it != fields.end()) {
+    try {
+      req.warm_k = std::stoi(it->second);
+    } catch (const std::exception&) {
+      throw std::invalid_argument("request '" + req.id +
+                                  "' has a non-integer \"warm\" count '" +
+                                  it->second + "'");
+    }
+    if (req.warm_k < 0) {
+      throw std::invalid_argument("request '" + req.id +
+                                  "' has a negative \"warm\" count");
+    }
+  }
   return req;
 }
 
@@ -178,6 +191,9 @@ void write_report_body(std::ostream& os, const SessionReport& r,
     os << ",\"error\":\"" << json_escape(r.error) << "\"}\n";
     return;
   }
+  // Cold sessions omit the key entirely so pre-warm transcripts (and their
+  // golden files) stay byte-identical.
+  if (r.warm_seeds > 0) os << ",\"warm\":" << r.warm_seeds;
   os << ",\"steps\":" << r.report.steps.size()
      << ",\"default_time\":" << r.report.default_time
      << ",\"best_time\":" << r.report.best_time

@@ -29,10 +29,12 @@ inline constexpr int kTelemetrySchemaVersion = 1;
 [[nodiscard]] std::string json_escape(const std::string& s);
 
 /// Parses one tuning request from a flat JSON object line. Recognized
-/// keys: id, workload, cluster, steps, budget_seconds, seed, model.
+/// keys: id, workload, cluster, steps, budget_seconds, seed, model, warm
+/// (neighbour count for warm-start retrieval; 0 = cold, negative rejected).
 /// Missing id defaults to "req-<index>"; missing seed derives from
 /// `index` so every request stays individually reproducible. Throws
-/// std::invalid_argument on malformed JSON or a missing workload key.
+/// std::invalid_argument on malformed JSON, a missing workload key, or a
+/// negative warm count.
 [[nodiscard]] TuningRequest parse_request_json(const std::string& line,
                                                std::size_t index);
 

@@ -1,5 +1,6 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <mutex>
@@ -132,7 +133,10 @@ SessionReport run_session(const std::string& blob,
     out.report = dc.tune_online(
         sparksim::workload_for(c),
         {.max_steps = request.max_steps,
-         .max_total_seconds = request.max_total_seconds});
+         .max_total_seconds = request.max_total_seconds,
+         .seed_actions = request.warm_actions});
+    out.warm_seeds = static_cast<int>(
+        std::min(request.warm_actions.size(), out.report.steps.size()));
     if (shared != nullptr) {
       out.new_transitions = shared->session_transitions();
     }

@@ -41,6 +41,14 @@ struct TuningRequest {
   /// Named master model to serve against (streaming multi-model routing;
   /// the batch service serves everything from its single master).
   std::string model = "default";
+  /// Warm-start: number of experience-index neighbours requested (wire
+  /// "warm" field; 0 = cold request, the default). The service resolves
+  /// this into `warm_actions` before the session runs; a warm request
+  /// against a service with no index loaded is a typed protocol error.
+  int warm_k = 0;
+  /// Retrieved seed actions (normalized [0,1]^kNumKnobs, nearest first),
+  /// replayed as the first online steps before the actor takes over.
+  std::vector<std::vector<double>> warm_actions;
 };
 
 /// Outcome of one session. `new_transitions` carries the experience the
@@ -53,6 +61,10 @@ struct SessionReport {
   std::string model;  ///< master model that served this session (streaming)
   bool ok = false;
   std::string error;
+  /// Warm-start seed actions actually replayed (0 for cold sessions); the
+  /// REP body carries this as "warm" only when nonzero, keeping cold
+  /// transcripts byte-identical.
+  int warm_seeds = 0;
   tuners::TuningReport report;
   std::vector<rl::Transition> new_transitions;
 

@@ -122,4 +122,9 @@ void ShardedStreamingService::set_session_runner_for_test(
   for (auto& shard : shards_) shard->set_session_runner_for_test(runner);
 }
 
+void ShardedStreamingService::set_warm_index(
+    std::shared_ptr<const retrieval::ExperienceIndex> index) {
+  for (auto& shard : shards_) shard->set_warm_index(index);
+}
+
 }  // namespace deepcat::service

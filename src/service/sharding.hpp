@@ -103,6 +103,17 @@ class ShardedStreamingService {
 
   void set_session_runner_for_test(StreamingService::SessionRunner runner);
 
+  /// Shares one warm-start index across every shard (retrieval is
+  /// read-only, so one immutable index serves all shards without copies).
+  void set_warm_index(std::shared_ptr<const retrieval::ExperienceIndex> index);
+  [[nodiscard]] bool has_warm_index() const {
+    return shards_.front()->has_warm_index();
+  }
+  [[nodiscard]] std::optional<std::string> warm_error(
+      const TuningRequest& request) const {
+    return shards_.front()->warm_error(request);
+  }
+
  private:
   std::vector<std::unique_ptr<StreamingService>> shards_;
 };

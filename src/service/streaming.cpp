@@ -11,6 +11,7 @@
 #include "service/jsonl.hpp"
 #include "service/wire.hpp"
 #include "sparksim/hardware.hpp"
+#include "sparksim/workloads.hpp"
 
 namespace deepcat::service {
 
@@ -41,6 +42,8 @@ StreamingService::StreamingService(StreamingOptions options)
     obs_fine_tune_steps_ = &metrics->counter("stream.fine_tune_steps");
     obs_snapshots_ = &metrics->counter("stream.snapshots");
     obs_evictions_ = &metrics->counter("stream.evictions");
+    obs_warm_requests_ = &metrics->counter("stream.warm_requests");
+    obs_warm_hits_ = &metrics->counter("stream.warm_hits");
     obs_rec_seconds_ = &metrics->histogram(
         "stream.rec_seconds",
         {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0});
@@ -197,12 +200,70 @@ void StreamingService::complete_failed(const TuningRequest& request,
   on_done(std::move(stream_report));
 }
 
+void StreamingService::set_warm_index(
+    std::shared_ptr<const retrieval::ExperienceIndex> index) {
+  std::scoped_lock state(state_mutex_);
+  warm_index_ = std::move(index);
+}
+
+bool StreamingService::has_warm_index() const {
+  std::scoped_lock state(state_mutex_);
+  return warm_index_ != nullptr && !warm_index_->empty();
+}
+
+std::optional<std::string> StreamingService::warm_error(
+    const TuningRequest& request) const {
+  if (request.warm_k <= 0) return std::nullopt;
+  if (!has_warm_index()) {
+    return "warm request '" + request.id +
+           "' but no experience index is loaded";
+  }
+  return std::nullopt;
+}
+
+void StreamingService::resolve_warm(TuningRequest& request,
+                                    const retrieval::ExperienceIndex& index) {
+  const auto retrieval_span = options_.service.obs.scope("retrieval");
+  const sparksim::HiBenchCase& c = sparksim::hibench_case(request.workload);
+  const std::vector<retrieval::Neighbor> neighbors = index.query_case(
+      c, static_cast<std::size_t>(request.warm_k), retrieval::Metric::kCosine);
+  request.warm_actions.clear();
+  request.warm_actions.reserve(neighbors.size());
+  for (const retrieval::Neighbor& nb : neighbors) {
+    const auto& action = index.entries()[nb.entry].best_action;
+    request.warm_actions.emplace_back(action.begin(), action.end());
+  }
+  if (obs_warm_requests_ != nullptr) obs_warm_requests_->add(1);
+  if (obs_warm_hits_ != nullptr) obs_warm_hits_->add(neighbors.size());
+}
+
 void StreamingService::submit(TuningRequest request) {
   submit(std::move(request), CompletionCallback{});
 }
 
 void StreamingService::submit(TuningRequest request,
                               CompletionCallback on_done) {
+  if (request.warm_k > 0 && request.warm_actions.empty()) {
+    std::shared_ptr<const retrieval::ExperienceIndex> index;
+    {
+      std::scoped_lock state(state_mutex_);
+      index = warm_index_;
+    }
+    if (index == nullptr || index->empty()) {
+      // Direct-API callers get a failed report; the wire transports
+      // precheck warm_error() and emit a typed ERR frame instead.
+      complete_failed(request,
+                      "warm request but no experience index is loaded",
+                      on_done);
+      return;
+    }
+    try {
+      resolve_warm(request, *index);
+    } catch (const std::exception& e) {
+      complete_failed(request, e.what(), on_done);
+      return;
+    }
+  }
   MasterEntry* entry = nullptr;
   try {
     entry = &resolve_entry(request.model);
@@ -551,7 +612,19 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
       case FrameType::kRequest: {
         ++result.requests;
         try {
-          service.submit(parse_request_json(frame->payload, index));
+          TuningRequest request = parse_request_json(frame->payload, index);
+          // Warm requests against a missing/empty index are a typed
+          // protocol error, not a failed session: the client asked for
+          // retrieval the server cannot perform.
+          if (const auto warm_err = service.warm_error(request)) {
+            write_frame(out, FrameType::kError,
+                        stream_error_payload("request " +
+                                             std::to_string(index) + ": " +
+                                             *warm_err));
+            ++result.parse_errors;
+          } else {
+            service.submit(std::move(request));
+          }
         } catch (const std::exception& e) {
           // Framing is intact, so a bad payload only loses this request.
           write_frame(out, FrameType::kError,

@@ -48,6 +48,7 @@
 #include "core/deepcat_api.hpp"
 #include "obs/build_info.hpp"
 #include "obs/sink.hpp"
+#include "retrieval/index.hpp"
 #include "service/service.hpp"
 #include "service/session.hpp"
 
@@ -103,6 +104,18 @@ class StreamingService {
   /// The live master for `name` (throws std::out_of_range when not
   /// resident). Mutating it while requests are in flight is on the caller.
   [[nodiscard]] core::DeepCat& master(const std::string& name = "default");
+
+  /// Warm-start experience index for `warm` requests (DESIGN.md §12).
+  /// Set once before serving; requests with warm_k > 0 are resolved into
+  /// seed actions by k-NN retrieval against this index at admission time.
+  void set_warm_index(std::shared_ptr<const retrieval::ExperienceIndex> index);
+  [[nodiscard]] bool has_warm_index() const;
+
+  /// Typed-error precheck shared by both transports (istream driver and
+  /// net front end): a warm request against a missing/empty index returns
+  /// the ERR message to emit; nullopt means the request is admissible.
+  [[nodiscard]] std::optional<std::string> warm_error(
+      const TuningRequest& request) const;
 
   /// Admits one request; returns immediately. Unknown models and snapshot
   /// failures surface as a completed ok=false report, never an exception.
@@ -206,10 +219,16 @@ class StreamingService {
   /// held exclusively.
   void evict_idle_locked();
 
+  /// Resolves a warm request's seed actions from the index; throws on an
+  /// unknown workload. Requires a non-empty index (warm_error precheck).
+  void resolve_warm(TuningRequest& request,
+                    const retrieval::ExperienceIndex& index);
+
   StreamingOptions options_;
   sparksim::ClusterSpec cluster_;
   std::optional<ModelRegistry> registry_;
   SessionRunner runner_;
+  std::shared_ptr<const retrieval::ExperienceIndex> warm_index_;
 
   /// Guards the entries_ map (lookup shared, lazy load/evict exclusive).
   mutable std::shared_mutex registry_mutex_;
@@ -239,6 +258,8 @@ class StreamingService {
   obs::Counter* obs_fine_tune_steps_ = nullptr;
   obs::Counter* obs_snapshots_ = nullptr;
   obs::Counter* obs_evictions_ = nullptr;
+  obs::Counter* obs_warm_requests_ = nullptr;
+  obs::Counter* obs_warm_hits_ = nullptr;
   obs::Histogram* obs_rec_seconds_ = nullptr;
   obs::Gauge* obs_queue_depth_ = nullptr;
 

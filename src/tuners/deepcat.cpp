@@ -161,17 +161,30 @@ TuningReport DeepCatTuner::tune_with_budget(sparksim::TuningEnvironment& env,
   report.default_time = env.default_time();
   env.reset_cost_counters();
 
+  const int seed_count = static_cast<int>(budget.seed_actions.size());
   for (int step = 1; step <= num_steps; ++step) {
-    // Exploratory proposal; the Twin-Q Optimizer screens it before any
-    // cluster time is spent, replacing estimated-sub-optimal candidates.
-    std::vector<double> action =
-        agent_->act_noisy(state, options_.online_explore_sigma, rng_);
-    double rec_seconds = rec_cost::kActorForward;
-    if (options_.use_twin_q_optimizer) {
-      online_traces_.push_back(optimize_action(state, action));
-      // One initial probe plus one per optimizer iteration.
-      rec_seconds += rec_cost::kCriticPair *
-                     static_cast<double>(1 + online_traces_.back().iterations);
+    std::vector<double> action;
+    double rec_seconds = 0.0;
+    if (step <= seed_count) {
+      // Warm start: replay a retrieved seed action verbatim. No actor or
+      // Twin-Q forwards happen — the RNG stream is untouched, so a session
+      // with zero seeds is bit-identical to one that never saw this branch.
+      action = budget.seed_actions[static_cast<std::size_t>(step - 1)];
+      action.resize(env.action_dim(), 0.5);
+      for (double& a : action) a = common::clamp(a, 0.0, 1.0);
+      rec_seconds = rec_cost::kRetrievalSeed;
+    } else {
+      // Exploratory proposal; the Twin-Q Optimizer screens it before any
+      // cluster time is spent, replacing estimated-sub-optimal candidates.
+      action = agent_->act_noisy(state, options_.online_explore_sigma, rng_);
+      rec_seconds = rec_cost::kActorForward;
+      if (options_.use_twin_q_optimizer) {
+        online_traces_.push_back(optimize_action(state, action));
+        // One initial probe plus one per optimizer iteration.
+        rec_seconds +=
+            rec_cost::kCriticPair *
+            static_cast<double>(1 + online_traces_.back().iterations);
+      }
     }
 
     const sparksim::StepResult res = env.step(action);

@@ -29,6 +29,9 @@ inline constexpr double kCriticPair = 17e-6;    ///< min_q: two critic forwards
 inline constexpr double kTrainStep = 4.5e-3;    ///< one TD3/DDPG train step
 inline constexpr double kGpFitPerN3 = 1.3e-10;  ///< Cholesky-dominated GP fit
 inline constexpr double kGpPredictPerN2 = 2e-9; ///< triangular solve/predict
+/// Replaying one retrieved warm-start action (no actor/critic forwards;
+/// the k-NN lookup itself is charged once by the service layer).
+inline constexpr double kRetrievalSeed = 1e-6;
 }  // namespace rec_cost
 
 struct TuningStepRecord {
@@ -60,6 +63,12 @@ struct TuningReport {
 struct TuneBudget {
   int max_steps = 5;
   double max_total_seconds = 1e18;  ///< evaluation + recommendation seconds
+  /// Warm-start seed actions (normalized [0,1]^dim, retrieval order). The
+  /// first `seed_actions.size()` online steps replay these instead of
+  /// querying the actor; every step still evaluates, feeds the replay and
+  /// fine-tunes, so the agent learns from the seeded evaluations. Empty
+  /// (the default) leaves the cold path bit-identical.
+  std::vector<std::vector<double>> seed_actions;
 };
 
 class OnlineTuner {

@@ -38,6 +38,17 @@ TEST(ArgsTest, SetAssignmentsAccumulate) {
   EXPECT_EQ(args.assignments[1].second, "1");
 }
 
+TEST(ArgsTest, SubcommandIsTheOptionalSecondPositional) {
+  const ParsedArgs args =
+      parse_args({"index", "build", "--out", "index.bin"});
+  EXPECT_EQ(args.command, "index");
+  EXPECT_EQ(args.subcommand, "build");
+  EXPECT_EQ(args.flag_or("out", "?"), "index.bin");
+  // No subcommand leaves the field empty; run_cli decides which commands
+  // accept one.
+  EXPECT_TRUE(parse_args({"simulate", "--size", "3.2"}).subcommand.empty());
+}
+
 TEST(ArgsTest, MalformedInputsThrow) {
   EXPECT_THROW((void)parse_args({"simulate", "--size"}),
                std::invalid_argument);
@@ -45,7 +56,8 @@ TEST(ArgsTest, MalformedInputsThrow) {
                std::invalid_argument);
   EXPECT_THROW((void)parse_args({"simulate", "--set", "=5"}),
                std::invalid_argument);
-  EXPECT_THROW((void)parse_args({"simulate", "stray"}),
+  // Two positionals parse (command + subcommand); a third never does.
+  EXPECT_THROW((void)parse_args({"index", "build", "stray"}),
                std::invalid_argument);
 }
 

@@ -10,9 +10,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 
 #include "fuzz/wire_mutator.hpp"
+#include "retrieval/index.hpp"
 #include "service/checkpoint.hpp"
 #include "service/wire.hpp"
 #include "sparksim/workloads.hpp"
@@ -30,6 +32,9 @@ std::string wire_base_stream() {
       {service::FrameType::kRequest,
        "{\"id\":\"req-1\",\"workload\":\"PR-D2\",\"cluster\":\"b\","
        "\"steps\":2,\"seed\":12,\"model\":\"graph\"}"},
+      {service::FrameType::kRequest,
+       "{\"id\":\"req-warm\",\"workload\":\"WC-D2\",\"steps\":2,\"seed\":14,"
+       "\"warm\":2,\"model\":\"default\"}"},
       {service::FrameType::kFlush, ""},
       {service::FrameType::kTelemetry,
        "{\"tele\":1,\"deterministic\":false,\"aggregate\":true,"
@@ -38,6 +43,24 @@ std::string wire_base_stream() {
       {service::FrameType::kMetrics, "{\"aggregate\":true,\"sessions\":2}"},
       {service::FrameType::kEnd, ""},
   });
+}
+
+std::string index_base_blob() {
+  retrieval::ExperienceIndex index;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    retrieval::ExperienceEntry e;
+    e.workload = "TS-D" + std::to_string(s % 3 + 1);
+    e.seed = s;
+    e.best_cost = 60.0 + static_cast<double>(s);
+    e.default_cost = 120.0;
+    e.best_action.fill(0.25 * static_cast<double>(s % 4));
+    e.embedding =
+        retrieval::embed_query(sparksim::WorkloadType::kTeraSort, 3200.0);
+    index.add(std::move(e));
+  }
+  std::ostringstream os(std::ios::binary);
+  service::save_index(os, index);
+  return os.str();
 }
 
 std::string checkpoint_base_blob() {
@@ -115,6 +138,17 @@ int main(int argc, char** argv) {
       "wire", wire, seed, mutants,
       [](const std::string& bytes) { (void)service::decode_frames(bytes); },
       static_cast<const service::WireError*>(nullptr));
+
+  // The warm-index container is small, so the exhaustive prefix of its
+  // mutant space fits comfortably in any corpus budget.
+  const std::string index_blob = index_base_blob();
+  findings += drive(
+      "index", index_blob, seed, mutants,
+      [](const std::string& bytes) {
+        std::istringstream in(bytes, std::ios::binary);
+        (void)service::load_index(in);
+      },
+      static_cast<const service::CheckpointError*>(nullptr));
 
   if (with_checkpoint) {
     const std::string blob = checkpoint_base_blob();

@@ -1,0 +1,112 @@
+// The experience-embedding layout contract (DESIGN.md §12): 41 slots,
+// one-hot prefix, log-normalized input size, per-knob sensitivity, reward
+// stats — and the query/report asymmetry that makes cosine retrieval
+// workload-driven for sessions that have not run yet.
+#include "retrieval/embedding.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sparksim/config_space.hpp"
+#include "sparksim/workloads.hpp"
+#include "tuners/tuner.hpp"
+
+namespace deepcat::retrieval {
+namespace {
+
+using sparksim::WorkloadType;
+
+TEST(RetrievalEmbeddingTest, DimensionLayoutIsStable) {
+  // 4 one-hot + 1 input + 32 knobs + 4 reward stats = 41. `deepcat info`
+  // reports this number; a change here is a format change.
+  EXPECT_EQ(kWorkloadTypes, 4u);
+  EXPECT_EQ(kEmbeddingDim, 41u);
+  EXPECT_EQ(kEmbeddingDim, kWorkloadTypes + 1 + sparksim::kNumKnobs + 4);
+}
+
+TEST(RetrievalEmbeddingTest, QueryEmbeddingIsOneHotPlusInputSize) {
+  const WorkloadType types[] = {WorkloadType::kWordCount,
+                                WorkloadType::kTeraSort,
+                                WorkloadType::kPageRank,
+                                WorkloadType::kKMeans};
+  for (std::size_t t = 0; t < 4; ++t) {
+    const Embedding e = embed_query(types[t], 3200.0);
+    for (std::size_t slot = 0; slot < kWorkloadTypes; ++slot) {
+      EXPECT_EQ(e[slot], slot == t ? 1.0 : 0.0) << "type " << t;
+    }
+    EXPECT_DOUBLE_EQ(e[kWorkloadTypes], std::log1p(3200.0) / kInputLogScale);
+    // A query describes a session that has not run: every outcome slot
+    // (knob sensitivity + reward stats) stays exactly zero.
+    for (std::size_t i = kWorkloadTypes + 1; i < kEmbeddingDim; ++i) {
+      EXPECT_EQ(e[i], 0.0) << "type " << t << " slot " << i;
+    }
+  }
+}
+
+TEST(RetrievalEmbeddingTest, NegativeInputSizeClampsToZero) {
+  const Embedding e = embed_query(WorkloadType::kTeraSort, -5.0);
+  EXPECT_EQ(e[kWorkloadTypes], 0.0);
+}
+
+TEST(RetrievalEmbeddingTest, QueryEmbeddingIsPure) {
+  const Embedding a = embed_query(WorkloadType::kPageRank, 1000.0);
+  const Embedding b = embed_query(WorkloadType::kPageRank, 1000.0);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RetrievalEmbeddingTest, ReportEmbeddingAddsSensitivityAndRewardStats) {
+  const auto& space = sparksim::pipeline_space();
+  tuners::TuningReport report;
+  report.default_time = 128.0;
+  report.best_time = 64.0;
+  report.best_config = space.defaults();
+  for (const double reward : {0.5, -1.0, 1.0}) {
+    tuners::TuningStepRecord step;
+    step.reward = reward;
+    report.steps.push_back(step);
+  }
+
+  // best == defaults: every sensitivity slot is exactly zero.
+  const Embedding base =
+      embed_report(WorkloadType::kWordCount, 320.0, report);
+  for (std::size_t i = 0; i < sparksim::kNumKnobs; ++i) {
+    EXPECT_EQ(base[kWorkloadTypes + 1 + i], 0.0) << "knob " << i;
+  }
+  const std::size_t stats = kWorkloadTypes + 1 + sparksim::kNumKnobs;
+  EXPECT_DOUBLE_EQ(base[stats + 0], (0.5 - 1.0 + 1.0) / 3.0 / kRewardScale);
+  EXPECT_DOUBLE_EQ(base[stats + 1], -1.0 / kRewardScale);
+  EXPECT_DOUBLE_EQ(base[stats + 2], 1.0 / kRewardScale);
+  EXPECT_DOUBLE_EQ(base[stats + 3], 1.0 / kRewardScale);
+
+  // Moving the best config away from defaults lights up exactly the
+  // |encode(best) - encode(defaults)| profile.
+  const auto defaults_action = space.encode(space.defaults());
+  auto moved_action = defaults_action;
+  moved_action[0] = moved_action[0] < 0.5 ? 1.0 : 0.0;
+  report.best_config = space.decode(moved_action);
+  const Embedding moved =
+      embed_report(WorkloadType::kWordCount, 320.0, report);
+  const auto best = space.encode(report.best_config);
+  for (std::size_t i = 0; i < sparksim::kNumKnobs; ++i) {
+    EXPECT_DOUBLE_EQ(moved[kWorkloadTypes + 1 + i],
+                     std::abs(best[i] - defaults_action[i]))
+        << "knob " << i;
+  }
+  // The workload prefix is untouched by outcome slots.
+  EXPECT_EQ(moved[0], 1.0);
+  EXPECT_DOUBLE_EQ(moved[kWorkloadTypes], base[kWorkloadTypes]);
+}
+
+TEST(RetrievalEmbeddingTest, EmptyStepListLeavesRewardSlotsZero) {
+  tuners::TuningReport report;
+  report.best_config = sparksim::pipeline_space().defaults();
+  const Embedding e = embed_report(WorkloadType::kKMeans, 6400.0, report);
+  const std::size_t stats = kWorkloadTypes + 1 + sparksim::kNumKnobs;
+  for (std::size_t i = stats; i < kEmbeddingDim; ++i) {
+    EXPECT_EQ(e[i], 0.0) << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace deepcat::retrieval

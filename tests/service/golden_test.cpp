@@ -18,13 +18,17 @@
 // tests/README.md.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "retrieval/index.hpp"
 #include "service/streaming.hpp"
 #include "service/wire.hpp"
+#include "sparksim/workloads.hpp"
 
 namespace deepcat::service {
 namespace {
@@ -88,10 +92,45 @@ SessionReport fake_session(const TuningRequest& r) {
   t.reward = 1;
   t.next_state = {2, 3};
   report.new_transitions.push_back(t);
+  // Warm requests: the REP's integer "warm" field mirrors how many seed
+  // actions the resolved request carried (zero for cold requests, which
+  // keeps the pre-warm golden transcripts byte-identical).
+  report.warm_seeds = static_cast<int>(
+      std::min(r.warm_actions.size(), static_cast<std::size_t>(r.max_steps)));
   return report;
 }
 
-std::string serve(const std::string& input, bool with_fake_runner) {
+/// Tiny deterministic index: one entry per workload family with a pure
+/// embed_query embedding. Retrieval over it never emits a float into the
+/// transcript (the REP only carries the integer seed count).
+std::shared_ptr<const retrieval::ExperienceIndex> fake_index() {
+  auto index = std::make_shared<retrieval::ExperienceIndex>();
+  const struct {
+    sparksim::WorkloadType type;
+    double input_mb;
+    const char* id;
+  } cases[] = {
+      {sparksim::WorkloadType::kWordCount, 320.0, "WC-D1"},
+      {sparksim::WorkloadType::kTeraSort, 3200.0, "TS-D1"},
+      {sparksim::WorkloadType::kPageRank, 1000.0, "PR-D1"},
+      {sparksim::WorkloadType::kKMeans, 640.0, "KM-D1"},
+  };
+  std::uint64_t seed = 1;
+  for (const auto& c : cases) {
+    retrieval::ExperienceEntry e;
+    e.workload = c.id;
+    e.seed = seed++;
+    e.best_cost = 64;
+    e.default_cost = 128;
+    e.best_action.fill(0.5);
+    e.embedding = retrieval::embed_query(c.type, c.input_mb);
+    index->add(std::move(e));
+  }
+  return index;
+}
+
+std::string serve(const std::string& input, bool with_fake_runner,
+                  bool with_warm_index = false) {
   StreamingOptions options;
   options.service.threads = 1;  // completion order == submission order
   // The METR frame carries build-info labels; pin them so the transcript
@@ -99,6 +138,7 @@ std::string serve(const std::string& input, bool with_fake_runner) {
   options.build_info = obs::BuildInfo{"golden", "pinned", false, 1};
   StreamingService svc(options);
   if (with_fake_runner) svc.set_session_runner_for_test(fake_session);
+  if (with_warm_index) svc.set_warm_index(fake_index());
   std::istringstream in(input, std::ios::binary);
   std::ostringstream out(std::ios::binary);
   (void)serve_frame_stream(in, out, svc);
@@ -164,6 +204,64 @@ TEST(GoldenTranscriptTest, StatPollsAndTelemetryBoundaries) {
   check_golden("stat_tele.golden", serve(input, /*with_fake_runner=*/true));
 }
 
+TEST(GoldenTranscriptTest, WarmHappyPathSeedsFromIndex) {
+  // A warm REQ against a loaded index: the fake runner reports the number
+  // of resolved seed actions, so the REP carries an integer "warm" field
+  // while the cold REQ in the same conversation stays byte-identical to
+  // the pre-warm wire format.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"w1\",\"workload\":\"TS-D2\",\"steps\":3,\"seed\":21,"
+       "\"warm\":2}"},
+      {FrameType::kRequest,
+       "{\"id\":\"cold\",\"workload\":\"TS-D2\",\"steps\":1,\"seed\":22}"},
+      {FrameType::kRequest,
+       "{\"id\":\"w2\",\"workload\":\"KM-D1\",\"cluster\":\"b\","
+       "\"steps\":1,\"seed\":23,\"warm\":3}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("warm_happy_path.golden",
+               serve(input, /*with_fake_runner=*/true,
+                     /*with_warm_index=*/true));
+}
+
+TEST(GoldenTranscriptTest, WarmWithoutIndexIsATypedError) {
+  // The same warm REQ without --warm-index: the serve driver prechecks
+  // warm_error() and emits a typed ERR frame (counted as a parse error),
+  // never a failed session — the cold REQ after it still serves.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"w1\",\"workload\":\"TS-D2\",\"steps\":1,\"seed\":21,"
+       "\"warm\":2}"},
+      {FrameType::kRequest,
+       "{\"id\":\"cold\",\"workload\":\"TS-D2\",\"steps\":1,\"seed\":22}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("warm_no_index.golden",
+               serve(input, /*with_fake_runner=*/true,
+                     /*with_warm_index=*/false));
+}
+
+TEST(GoldenTranscriptTest, MalformedWarmPayloadIsAParseError) {
+  // Negative and non-numeric "warm" counts are malformed payloads: typed
+  // ERR frames naming the field, stream continues.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"neg\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":31,"
+       "\"warm\":-1}"},
+      {FrameType::kRequest,
+       "{\"id\":\"nan\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":32,"
+       "\"warm\":\"many\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"ok\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":33,"
+       "\"warm\":1}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("warm_malformed.golden",
+               serve(input, /*with_fake_runner=*/true,
+                     /*with_warm_index=*/true));
+}
+
 TEST(GoldenTranscriptTest, MidStreamEofIsAProtocolError) {
   std::string input = encode_frames({
       {FrameType::kRequest, "{\"id\":\"y\",\"workload\":\"WC-D1\"}"},
@@ -181,7 +279,8 @@ TEST(GoldenTranscriptTest, GoldenTranscriptsDecodeAsValidWireStreams) {
   // applied to our own outputs).
   for (const char* name : {"happy_path.golden", "unknown_model.golden",
                            "malformed_frame.golden", "midstream_eof.golden",
-                           "stat_tele.golden"}) {
+                           "stat_tele.golden", "warm_happy_path.golden",
+                           "warm_no_index.golden", "warm_malformed.golden"}) {
     std::ifstream in(golden_path(name), std::ios::binary);
     ASSERT_TRUE(in) << "missing golden file " << name
                     << " — regenerate with DEEPCAT_UPDATE_GOLDEN=1";

@@ -14,6 +14,7 @@
 #include <string>
 
 #include "fuzz/wire_mutator.hpp"
+#include "retrieval/index.hpp"
 #include "service/checkpoint.hpp"
 #include "service/streaming.hpp"
 #include "service/wire.hpp"
@@ -40,6 +41,9 @@ std::string wire_base_stream() {
        "\"deterministic\":true,\"value\":1}"},
       {FrameType::kRequest,
        "{\"id\":\"req-2\",\"workload\":\"KM-D3\",\"steps\":1,\"seed\":13}"},
+      {FrameType::kRequest,
+       "{\"id\":\"req-3\",\"workload\":\"WC-D2\",\"steps\":2,\"seed\":14,"
+       "\"warm\":2,\"model\":\"default\"}"},
       {FrameType::kStat, "{\"want\":\"tele\"}"},
       {FrameType::kMetrics, "{\"aggregate\":true,\"sessions\":3}"},
       {FrameType::kEnd, ""},
@@ -48,7 +52,7 @@ std::string wire_base_stream() {
 
 TEST(WireFuzzTest, MutatedStreamsNeverEscapeTypedErrors) {
   const std::string base = wire_base_stream();
-  ASSERT_TRUE(decode_frames(base).size() == 9u) << "base stream must decode";
+  ASSERT_TRUE(decode_frames(base).size() == 10u) << "base stream must decode";
 
   const std::size_t exhaustive = fuzz::exhaustive_mutants(base);
   const std::size_t total = exhaustive + 3000;  // + seeded splices
@@ -136,6 +140,57 @@ TEST(WireFuzzTest, ServeDriverSurvivesMutatedStreams) {
       EXPECT_GT(result.protocol_errors + result.parse_errors, 0u) << desc;
     }
   }
+}
+
+TEST(IndexFuzzTest, MutatedIndexContainersNeverEscapeTypedErrors) {
+  // The standalone DCKP index container `deepcat serve --warm-index`
+  // loads at startup: every truncation, bit flip and splice must either
+  // decode cleanly or raise CheckpointError — the server must not be
+  // crashable by a corrupt index file on disk.
+  retrieval::ExperienceIndex index;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    retrieval::ExperienceEntry e;
+    e.workload = "TS-D" + std::to_string(s % 3 + 1);
+    e.seed = s;
+    e.best_cost = 60.0 + static_cast<double>(s);
+    e.default_cost = 120.0;
+    e.best_action.fill(0.25 * static_cast<double>(s % 4));
+    e.embedding = retrieval::embed_query(
+        sparksim::WorkloadType::kTeraSort, 3200.0);
+    index.add(std::move(e));
+  }
+  std::ostringstream os(std::ios::binary);
+  save_index(os, index);
+  const std::string base = os.str();
+  {
+    std::istringstream in(base, std::ios::binary);
+    ASSERT_EQ(load_index(in), index) << "base container must load";
+  }
+
+  const std::size_t exhaustive = fuzz::exhaustive_mutants(base);
+  const std::size_t total = exhaustive + 2000;  // + seeded splices
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    std::string desc;
+    const std::string mutant = fuzz::make_mutant(base, kCorpusSeed, i, &desc);
+    try {
+      std::istringstream in(mutant, std::ios::binary);
+      (void)load_index(in);
+      if (i < base.size()) {
+        FAIL() << "truncated index accepted: " << desc;
+      }
+      if (i < exhaustive) {
+        EXPECT_TRUE(fuzz::is_bit_flip_in(base, i, 4, 8))
+            << "corrupt index accepted: " << desc;
+      }
+    } catch (const CheckpointError& e) {
+      ++rejected;
+      EXPECT_FALSE(std::string(e.what()).empty()) << desc;
+    } catch (const std::exception& e) {
+      FAIL() << desc << " escaped with non-checkpoint error: " << e.what();
+    }
+  }
+  EXPECT_GT(rejected, total / 2) << "mutation engine is not corrupting";
 }
 
 TEST(CheckpointFuzzTest, MutatedCheckpointsNeverEscapeTypedErrors) {
