@@ -42,6 +42,19 @@
 //                                  cost (the committed BENCH_warm.json
 //                                  baseline). Fully deterministic — every
 //                                  number is a pure function of the seeds.
+//                                  Index sessions whose default run fails
+//                                  in the simulator are recorded in the
+//                                  header's "skipped" array, so the
+//                                  baseline never under-reports coverage.
+//   bench_micro --json-stream[=path] streaming re-adaptation: every stream
+//                                  suite case runs as one long phase-
+//                                  shifted session (no restart), warm
+//                                  (offline-trained master) vs cold, and
+//                                  exports per-shift recovery-evaluation
+//                                  counts (the committed BENCH_stream.json
+//                                  baseline). Publishing refuses when a
+//                                  warm session fails to recover within 5%
+//                                  of its pre-shift objective.
 #include <benchmark/benchmark.h>
 
 #include <unistd.h>
@@ -81,10 +94,12 @@
 #include "rl/replay_rdper.hpp"
 #include "rl/td3.hpp"
 #include "service/checkpoint.hpp"
+#include "service/jsonl.hpp"
 #include "service/session.hpp"
 #include "service/streaming.hpp"
 #include "sparksim/job_sim.hpp"
 #include "sparksim/workloads.hpp"
+#include "streamsim/workloads.hpp"
 
 namespace {
 
@@ -848,6 +863,7 @@ int run_warm_bench_json(const std::string& path) {
   // targets below are the held-out D2 cases, so retrieval always crosses
   // input sizes and never sees the exact case it is asked to seed.
   retrieval::ExperienceIndex index;
+  std::vector<std::string> skipped;
   for (const char* case_id : {"WC-D1", "TS-D1", "PR-D1", "KM-D1", "WC-D3",
                               "TS-D3", "PR-D3", "KM-D3"}) {
     const sparksim::HiBenchCase& c = sparksim::hibench_case(case_id);
@@ -855,9 +871,12 @@ int run_warm_bench_json(const std::string& path) {
       const auto report = try_run(case_id, seed, kWarmBenchIndexSteps, {});
       if (!report.ok) {
         // A seed whose default run fails in the simulator (e.g. an OOM
-        // dataset/seed combination) simply contributes no experience.
+        // dataset/seed combination) simply contributes no experience — but
+        // the published JSON must say so, or the baseline under-reports
+        // its own coverage.
         std::cerr << "warm bench: skipping index session " << report.id
                   << ": " << report.error << "\n";
+        skipped.push_back(report.id);
         continue;
       }
       index.add(retrieval::entry_from_report(c, seed, report.report));
@@ -923,6 +942,133 @@ int run_warm_bench_json(const std::string& path) {
   std::ostringstream json;
   json << "{\"bench\":\"deepcat warm-start evaluations-to-target\",\"build\":";
   obs::write_build_info_json(json, obs::current_build_info());
+  json << ",\"skipped\":[";
+  for (std::size_t i = 0; i < skipped.size(); ++i) {
+    if (i) json << ",";
+    json << "\"" << service::json_escape(skipped[i]) << "\"";
+  }
+  json << "]}\n";
+  registry.write_jsonl(json);
+
+  if (path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "bench_micro: cannot write " << path << "\n";
+      return 1;
+    }
+    out << json.str();
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}
+
+// --json-stream mode: the streaming re-adaptation benchmark. Every suite
+// case runs as ONE long session over its full phase schedule — the model
+// fine-tunes across the mid-session load shifts, there is no restart — and
+// the figure of merit is the per-shift recovery: how many evaluation
+// windows after each shift until the normalized p95 objective is back
+// within 5% of the pre-shift best. Warm sessions start from an offline-
+// trained master; cold sessions start untrained. Fully deterministic.
+
+constexpr int kStreamBenchTrainIters = 600;
+
+/// Extra evaluation windows past the scheduled ones (the last phase holds
+/// forever), so a shift landing near the end of the schedule still gets a
+/// fair recovery window before the guard judges it.
+constexpr int kStreamBenchTailWindows = 4;
+
+int run_stream_bench_json(const std::string& path) {
+  const core::DeepCatApiOptions api;
+  core::DeepCat master(sparksim::cluster_a(), api);
+  (void)master.train_offline(
+      sparksim::make_workload(sparksim::WorkloadType::kTeraSort, 3.2),
+      kStreamBenchTrainIters);
+  const std::string blob = service::checkpoint_to_string(master);
+
+  obs::MetricsRegistry registry;
+  struct ModeTotals {
+    std::size_t shifts = 0;
+    std::size_t recovered = 0;
+    double recovery_evals = 0.0;  ///< summed over recovered shifts
+  };
+  ModeTotals warm_totals;
+  ModeTotals cold_totals;
+  std::vector<std::string> unrecovered_warm;
+  for (const auto& c : streamsim::stream_suite()) {
+    for (const bool warm : {false, true}) {
+      core::DeepCat dc(sparksim::cluster_a(), api);
+      if (warm) service::checkpoint_from_string(blob, dc);
+      tuners::TuneBudget budget;
+      // reset() consumes window 0 under defaults; the budget covers the
+      // rest of the schedule plus the recovery tail.
+      budget.max_steps =
+          c.schedule.total_windows() - 1 + kStreamBenchTailWindows;
+      const tuners::TuningReport report =
+          dc.tune_online_stream(sparksim::cluster_a(), c, budget);
+      if (!report.stream) {
+        std::cerr << "bench_micro: stream session " << c.id
+                  << " produced no stream summary; not publishing\n";
+        return 1;
+      }
+      const sparksim::StreamSummary& ss = *report.stream;
+      const std::string prefix =
+          std::string("stream.") + c.id + (warm ? ".warm" : ".cold");
+      registry.gauge(prefix + ".windows")
+          .set(static_cast<double>(ss.windows));
+      registry.gauge(prefix + ".final_p95_s").set(ss.final_p95_s);
+      ModeTotals& totals = warm ? warm_totals : cold_totals;
+      for (std::size_t s = 0; s < ss.shifts.size(); ++s) {
+        const sparksim::ShiftRecord& shift = ss.shifts[s];
+        const std::string at = prefix + ".shift" + std::to_string(s + 1);
+        registry.gauge(at + ".at_eval")
+            .set(static_cast<double>(shift.at_eval));
+        // recovery_evals is 0 while unrecovered (mirrors ShiftRecord);
+        // read it together with .recovered.
+        registry.gauge(at + ".recovery_evals")
+            .set(static_cast<double>(shift.recovery_evals));
+        registry.gauge(at + ".recovered").set(shift.recovered ? 1.0 : 0.0);
+        ++totals.shifts;
+        if (shift.recovered) {
+          ++totals.recovered;
+          totals.recovery_evals += shift.recovery_evals;
+        }
+      }
+      if (warm && !ss.all_recovered()) unrecovered_warm.push_back(c.id);
+    }
+  }
+
+  registry.gauge("stream.cases")
+      .set(static_cast<double>(streamsim::stream_suite().size()));
+  for (const bool warm : {false, true}) {
+    const ModeTotals& totals = warm ? warm_totals : cold_totals;
+    const std::string prefix = warm ? "stream.warm" : "stream.cold";
+    registry.gauge(prefix + ".shifts")
+        .set(static_cast<double>(totals.shifts));
+    registry.gauge(prefix + ".recovered_shifts")
+        .set(static_cast<double>(totals.recovered));
+    registry.gauge(prefix + ".mean_recovery_evals")
+        .set(totals.recovered == 0
+                 ? 0.0
+                 : totals.recovery_evals /
+                       static_cast<double>(totals.recovered));
+  }
+
+  if (!unrecovered_warm.empty()) {
+    std::cerr << "bench_micro: warm streaming session did not recover after "
+                 "a load shift (";
+    for (std::size_t i = 0; i < unrecovered_warm.size(); ++i) {
+      if (i) std::cerr << ", ";
+      std::cerr << unrecovered_warm[i];
+    }
+    std::cerr << "); not publishing\n";
+    return 1;
+  }
+
+  std::ostringstream json;
+  json << "{\"bench\":\"deepcat streaming re-adaptation\",\"build\":";
+  obs::write_build_info_json(json, obs::current_build_info());
   json << "}\n";
   registry.write_jsonl(json);
 
@@ -967,6 +1113,12 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--json-warm=", 12) == 0) {
       return run_warm_bench_json(argv[i] + 12);
+    }
+    if (std::strcmp(argv[i], "--json-stream") == 0) {
+      return run_stream_bench_json("");
+    }
+    if (std::strncmp(argv[i], "--json-stream=", 14) == 0) {
+      return run_stream_bench_json(argv[i] + 14);
     }
   }
   benchmark::Initialize(&argc, argv);

@@ -26,6 +26,7 @@
 #include "service/wire.hpp"
 #include "sparksim/config_export.hpp"
 #include "sparksim/job_sim.hpp"
+#include "streamsim/workloads.hpp"
 
 #if !defined(_WIN32)
 #include "net/client.hpp"
@@ -44,8 +45,10 @@ WorkloadType workload_from_flag(const std::string& tag) {
   if (tag == "TS" || tag == "terasort") return WorkloadType::kTeraSort;
   if (tag == "PR" || tag == "pagerank") return WorkloadType::kPageRank;
   if (tag == "KM" || tag == "kmeans") return WorkloadType::kKMeans;
+  if (tag == "SA" || tag == "streamagg") return WorkloadType::kStreamAgg;
+  if (tag == "SJ" || tag == "streamjoin") return WorkloadType::kStreamJoin;
   throw std::invalid_argument("unknown workload '" + tag +
-                              "' (use WC, TS, PR or KM)");
+                              "' (use WC, TS, PR, KM, SA or SJ)");
 }
 
 ClusterSpec cluster_from_flag(const std::string& tag) {
@@ -60,6 +63,9 @@ double default_size(WorkloadType type) {
     case WorkloadType::kTeraSort: return 3.2;
     case WorkloadType::kPageRank: return 0.5;
     case WorkloadType::kKMeans: return 20.0;
+    // Streaming families size in MB per micro-batch, not GB of input.
+    case WorkloadType::kStreamAgg: return 384.0;
+    case WorkloadType::kStreamJoin: return 256.0;
   }
   return 1.0;
 }
@@ -80,7 +86,8 @@ void print_usage(std::ostream& os) {
         "  info [--json 1]             build version, numeric backend,\n"
         "      [--threads 0]           thread-pool size\n"
         "  knobs                       list the 32 tuned parameters\n"
-        "  suite                       list the HiBench workload registry\n"
+        "  suite                       list the HiBench + streaming\n"
+        "                              workload registries\n"
         "  simulate --workload TS      run the cluster simulator once\n"
         "      [--size 3.2] [--cluster a|b] [--seed 1] [--runs 1]\n"
         "      [--set spark.executor.memory=6144 ...]\n"
@@ -90,6 +97,9 @@ void print_usage(std::ostream& os) {
         "      [--export spark|yarn|hdfs|submit]\n"
         "  serve --checkpoint dir/     serve a JSONL tuning-request batch\n"
         "      [--requests file.jsonl] [--out file.jsonl] [--model default]\n"
+        "                              (request lines may carry \"scope\":\n"
+        "                               global|workload|hardware and\n"
+        "                               streaming workload ids SA-P1..SJ-P2)\n"
         "      [--train-iters 0] [--train-workload TS] [--train-size 3.2]\n"
         "      [--threads 0] [--cluster a|b] [--seed 1] [--publish 1]\n"
         "  serve --stream 1            serve a framed wire stream (DCWP)\n"
@@ -409,6 +419,35 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
 
 }  // namespace
 
+namespace {
+
+/// Comma-joined enumerations of the tuning surface (flat strings, not
+/// arrays, so the info JSON stays parseable by the flat reader).
+std::string workload_family_list() {
+  std::string out;
+  for (const WorkloadType t :
+       {WorkloadType::kWordCount, WorkloadType::kTeraSort,
+        WorkloadType::kPageRank, WorkloadType::kKMeans,
+        WorkloadType::kStreamAgg, WorkloadType::kStreamJoin}) {
+    if (!out.empty()) out += ',';
+    out += to_string(t);
+  }
+  return out;
+}
+
+std::string objective_kind_list() {
+  return std::string(to_string(ObjectiveKind::kJobCompletionSeconds)) + "," +
+         to_string(ObjectiveKind::kBatchLatencyP95);
+}
+
+std::string scope_level_list() {
+  return to_string(service::TuneScope::kGlobal) + "," +
+         to_string(service::TuneScope::kWorkload) + "," +
+         to_string(service::TuneScope::kHardware);
+}
+
+}  // namespace
+
 int cmd_info(const ParsedArgs& args, std::ostream& os) {
   // Reports what THIS process would actually use: the backend comes from
   // the live dispatch decision (CPU features + the DEEPCAT_SIMD /
@@ -429,6 +468,10 @@ int cmd_info(const ParsedArgs& args, std::ostream& os) {
        << ",\"embedding_dim\":" << retrieval::kEmbeddingDim
        << ",\"warm_default_k\":" << retrieval::kDefaultNeighbors
        << ",\"index_section_version\":" << service::kIndexSectionVersion
+       << ",\"workload_families\":\"" << workload_family_list()
+       << "\",\"objective_kinds\":\"" << objective_kind_list()
+       << "\",\"scope_levels\":\"" << scope_level_list()
+       << "\",\"stream_cases\":" << streamsim::stream_suite().size()
        << "}\n";
     return 0;
   }
@@ -442,7 +485,11 @@ int cmd_info(const ParsedArgs& args, std::ostream& os) {
      << "thread-pool size: " << info.threads << '\n'
      << "warm embedding:   " << retrieval::kEmbeddingDim << " dims\n"
      << "warm default k:   " << retrieval::kDefaultNeighbors << '\n'
-     << "index section:    v" << service::kIndexSectionVersion << '\n';
+     << "index section:    v" << service::kIndexSectionVersion << '\n'
+     << "workload families:" << ' ' << workload_family_list() << '\n'
+     << "objective kinds:  " << objective_kind_list() << '\n'
+     << "scope levels:     " << scope_level_list() << '\n'
+     << "stream cases:     " << streamsim::stream_suite().size() << '\n';
   return 0;
 }
 
@@ -470,6 +517,14 @@ int cmd_suite(const ParsedArgs& /*args*/, std::ostream& os) {
            common::cell(w.stages.size())});
   }
   t.print(os);
+  common::Table s("Streaming workload registry (micro-batch)");
+  s.header({"id", "workload", "phases", "windows", "floor"});
+  for (const auto& c : streamsim::stream_suite()) {
+    s.row({c.id, to_string(c.type), common::cell(c.schedule.phases.size()),
+           common::cell(c.schedule.total_windows()),
+           common::percent_cell(c.throughput_floor, 0)});
+  }
+  s.print(os);
   return 0;
 }
 

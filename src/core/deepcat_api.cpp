@@ -1,5 +1,7 @@
 #include "core/deepcat_api.hpp"
 
+#include "streamsim/environment.hpp"
+
 namespace deepcat::core {
 
 DeepCat::DeepCat(sparksim::ClusterSpec cluster, DeepCatApiOptions options)
@@ -27,6 +29,16 @@ tuners::TuningReport DeepCat::tune_online_on(
   sparksim::EnvOptions env_options = options_.env;
   env_options.seed = next_env_seed_++;
   sparksim::TuningEnvironment env(cluster, workload, env_options);
+  return tuner_.tune_with_budget(env, budget);
+}
+
+tuners::TuningReport DeepCat::tune_online_stream(
+    const sparksim::ClusterSpec& cluster,
+    const streamsim::StreamCase& stream_case,
+    const tuners::TuneBudget& budget) {
+  sparksim::EnvOptions env_options = options_.env;
+  env_options.seed = next_env_seed_++;
+  streamsim::StreamEnvironment env(cluster, stream_case, env_options);
   return tuner_.tune_with_budget(env, budget);
 }
 

@@ -19,6 +19,7 @@
 #include "sparksim/environment.hpp"
 #include "sparksim/hardware.hpp"
 #include "sparksim/workloads.hpp"
+#include "streamsim/workloads.hpp"
 #include "tuners/deepcat.hpp"
 
 namespace deepcat::core {
@@ -48,6 +49,14 @@ class DeepCat {
   tuners::TuningReport tune_online_on(const sparksim::ClusterSpec& cluster,
                                       const sparksim::WorkloadSpec& workload,
                                       const tuners::TuneBudget& budget);
+
+  /// Streaming: one long session against a phase-shifted micro-batch
+  /// environment (budget.max_steps = evaluation windows). The same shared
+  /// model fine-tunes across the load shifts — there is no restart.
+  tuners::TuningReport tune_online_stream(
+      const sparksim::ClusterSpec& cluster,
+      const streamsim::StreamCase& stream_case,
+      const tuners::TuneBudget& budget);
 
   [[nodiscard]] tuners::DeepCatTuner& tuner() noexcept { return tuner_; }
   [[nodiscard]] const sparksim::ClusterSpec& cluster() const noexcept {

@@ -157,6 +157,21 @@ TuningRequest parse_request_json(const std::string& line, std::size_t index) {
                                   "' has a negative \"warm\" count");
     }
   }
+  if (const auto it = fields.find("scope"); it != fields.end()) {
+    // Mirrors the "warm" precedent: a malformed scope is a typed parse
+    // error, never a silent fall-back to global routing.
+    if (it->second == "global") {
+      req.scope = TuneScope::kGlobal;
+    } else if (it->second == "workload") {
+      req.scope = TuneScope::kWorkload;
+    } else if (it->second == "hardware") {
+      req.scope = TuneScope::kHardware;
+    } else {
+      throw std::invalid_argument(
+          "request '" + req.id + "' has an unknown \"scope\" '" + it->second +
+          "' (use global, workload or hardware)");
+    }
+  }
   return req;
 }
 
@@ -194,13 +209,35 @@ void write_report_body(std::ostream& os, const SessionReport& r,
   // Cold sessions omit the key entirely so pre-warm transcripts (and their
   // golden files) stay byte-identical.
   if (r.warm_seeds > 0) os << ",\"warm\":" << r.warm_seeds;
+  // Global-scope sessions likewise omit "scope" — legacy transcripts stay
+  // byte-identical; scoped ones echo the level the model was keyed under.
+  if (!r.scope.empty()) {
+    os << ",\"scope\":\"" << json_escape(r.scope) << "\"";
+  }
   os << ",\"steps\":" << r.report.steps.size()
      << ",\"default_time\":" << r.report.default_time
      << ",\"best_time\":" << r.report.best_time
      << ",\"speedup\":" << r.report.speedup_over_default()
      << ",\"eval_seconds\":" << r.report.total_evaluation_seconds()
      << ",\"rec_seconds\":" << r.report.total_recommendation_seconds()
-     << ",\"mean_reward\":" << r.mean_reward() << "}\n";
+     << ",\"mean_reward\":" << r.mean_reward();
+  // Streaming sessions append their re-adaptation accounting; batch REPs
+  // carry none of these keys, so existing goldens are untouched.
+  if (r.report.stream.has_value()) {
+    const sparksim::StreamSummary& ss = *r.report.stream;
+    os << ",\"objective\":\"" << to_string(r.report.objective) << "\""
+       << ",\"phases\":" << ss.phases << ",\"windows\":" << ss.windows
+       << ",\"shifts\":" << ss.shifts.size()
+       << ",\"recovered\":" << (ss.all_recovered() ? "true" : "false");
+    os << ",\"recovery_evals\":\"";
+    for (std::size_t i = 0; i < ss.shifts.size(); ++i) {
+      if (i > 0) os << ',';
+      os << (ss.shifts[i].recovered ? std::to_string(ss.shifts[i].recovery_evals)
+                                    : std::string("-"));
+    }
+    os << "\",\"final_p95_s\":" << ss.final_p95_s;
+  }
+  os << "}\n";
 }
 
 }  // namespace

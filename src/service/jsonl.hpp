@@ -30,11 +30,12 @@ inline constexpr int kTelemetrySchemaVersion = 1;
 
 /// Parses one tuning request from a flat JSON object line. Recognized
 /// keys: id, workload, cluster, steps, budget_seconds, seed, model, warm
-/// (neighbour count for warm-start retrieval; 0 = cold, negative rejected).
+/// (neighbour count for warm-start retrieval; 0 = cold, negative rejected),
+/// scope ("global" | "workload" | "hardware"; missing = global).
 /// Missing id defaults to "req-<index>"; missing seed derives from
 /// `index` so every request stays individually reproducible. Throws
-/// std::invalid_argument on malformed JSON, a missing workload key, or a
-/// negative warm count.
+/// std::invalid_argument on malformed JSON, a missing workload key, a
+/// negative warm count, or an unknown scope.
 [[nodiscard]] TuningRequest parse_request_json(const std::string& line,
                                                std::size_t index);
 

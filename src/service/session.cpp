@@ -9,6 +9,7 @@
 #include "service/checkpoint.hpp"
 #include "sparksim/hardware.hpp"
 #include "sparksim/workloads.hpp"
+#include "streamsim/workloads.hpp"
 
 namespace deepcat::service {
 
@@ -27,6 +28,40 @@ constexpr std::uint64_t kTunerStream = 0x7D3EC47ULL;
 constexpr std::uint64_t kEnvStream = 0x0E4B51ULL;
 
 }  // namespace
+
+std::string to_string(TuneScope scope) {
+  switch (scope) {
+    case TuneScope::kGlobal:
+      return "global";
+    case TuneScope::kWorkload:
+      return "workload";
+    case TuneScope::kHardware:
+      return "hardware";
+  }
+  return "global";
+}
+
+std::string scoped_model_key(const TuningRequest& request) {
+  switch (request.scope) {
+    case TuneScope::kGlobal:
+      return request.model;
+    case TuneScope::kWorkload:
+      return request.model + "@wl:" + request.workload;
+    case TuneScope::kHardware:
+      return request.model + "@hw:" + request.cluster;
+  }
+  return request.model;
+}
+
+std::optional<std::string> scope_base_of(const std::string& model_key) {
+  for (const char* sep : {"@wl:", "@hw:"}) {
+    const std::size_t pos = model_key.find(sep);
+    if (pos != std::string::npos && pos > 0) {
+      return model_key.substr(0, pos);
+    }
+  }
+  return std::nullopt;
+}
 
 double SessionReport::mean_reward() const noexcept {
   if (report.steps.empty()) return 0.0;
@@ -110,8 +145,21 @@ SessionReport run_session(const std::string& blob,
   out.id = request.id;
   out.workload = request.workload;
   out.cluster = request.cluster;
+  if (request.scope != TuneScope::kGlobal) {
+    out.scope = to_string(request.scope);
+  }
   try {
-    const sparksim::HiBenchCase& c = sparksim::hibench_case(request.workload);
+    // Batch id ("TS-D1") or streaming id ("SA-P1")? Resolve the batch suite
+    // first; a miss there falls through to the streaming suite, and only a
+    // miss in both is the unknown-workload error.
+    const sparksim::HiBenchCase* batch_case = nullptr;
+    const streamsim::StreamCase* stream_case = nullptr;
+    try {
+      batch_case = &sparksim::hibench_case(request.workload);
+    } catch (const std::out_of_range&) {
+      stream_case = &streamsim::stream_case(request.workload);
+    }
+
     core::DeepCat dc(cluster_for(request.cluster), api);
     checkpoint_from_string(blob, dc);
 
@@ -130,11 +178,15 @@ SessionReport run_session(const std::string& blob,
       dc.tuner().set_replay(std::move(view));
     }
 
-    out.report = dc.tune_online(
-        sparksim::workload_for(c),
-        {.max_steps = request.max_steps,
-         .max_total_seconds = request.max_total_seconds,
-         .seed_actions = request.warm_actions});
+    const tuners::TuneBudget budget{
+        .max_steps = request.max_steps,
+        .max_total_seconds = request.max_total_seconds,
+        .seed_actions = request.warm_actions};
+    out.report =
+        batch_case != nullptr
+            ? dc.tune_online(sparksim::workload_for(*batch_case), budget)
+            : dc.tune_online_stream(cluster_for(request.cluster),
+                                    *stream_case, budget);
     out.warm_seeds = static_cast<int>(
         std::min(request.warm_actions.size(), out.report.steps.size()));
     if (shared != nullptr) {

@@ -19,6 +19,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <vector>
@@ -29,8 +30,18 @@
 
 namespace deepcat::service {
 
+/// AutoScope-style tuning scope: which key a session's model is tuned
+/// under. kGlobal shares one model per name (today's behaviour);
+/// kWorkload/kHardware fork a scoped model per workload id / cluster tag,
+/// so one served name tunes independently at each configured scope.
+enum class TuneScope { kGlobal, kWorkload, kHardware };
+
+[[nodiscard]] std::string to_string(TuneScope scope);
+
 /// One online tuning request: workload + cluster + budget + determinism
-/// seed. `workload` is a HiBench suite id ("WC-D1" .. "KM-D3").
+/// seed. `workload` is a HiBench suite id ("WC-D1" .. "KM-D3") or a
+/// streaming suite id ("SA-P1" .. "SJ-P2"); streaming requests run one
+/// long phase-shifted session where max_steps counts evaluation windows.
 struct TuningRequest {
   std::string id;             ///< caller's correlation id, echoed back
   std::string workload;       ///< HiBench case id, e.g. "TS-D1"
@@ -49,7 +60,25 @@ struct TuningRequest {
   /// Retrieved seed actions (normalized [0,1]^kNumKnobs, nearest first),
   /// replayed as the first online steps before the actor takes over.
   std::vector<std::vector<double>> warm_actions;
+  /// AutoScope-style scope descriptor (wire "scope" field; kGlobal = omitted
+  /// = today's behaviour). Non-global scopes route the session to a
+  /// scope-keyed model derived from `model` via scoped_model_key().
+  TuneScope scope = TuneScope::kGlobal;
 };
+
+/// The registry/routing key a request's model resolves to under its scope:
+/// kGlobal -> "m", kWorkload -> "m@wl:<workload>", kHardware ->
+/// "m@hw:<cluster>". Scoped keys feed both ModelRegistry lookup and shard
+/// routing, so the same name tunes independently per workload or hardware
+/// class while checkpoints stay bit-identical across shard/thread layouts.
+[[nodiscard]] std::string scoped_model_key(const TuningRequest& request);
+
+/// Inverse of scoped_model_key's derivation: the base model name a scoped
+/// key was forked from ("m@wl:TS-D1" -> "m"), or nullopt for unscoped
+/// keys. The streaming service bootstraps a scoped model that has no
+/// published version from its base model's genesis checkpoint.
+[[nodiscard]] std::optional<std::string> scope_base_of(
+    const std::string& model_key);
 
 /// Outcome of one session. `new_transitions` carries the experience the
 /// session generated, in insertion order, for the service's post-batch
@@ -65,6 +94,10 @@ struct SessionReport {
   /// REP body carries this as "warm" only when nonzero, keeping cold
   /// transcripts byte-identical.
   int warm_seeds = 0;
+  /// Scope level this session tuned under ("workload"/"hardware"); empty for
+  /// global scope, in which case the REP omits the "scope" key so legacy
+  /// transcripts stay byte-identical.
+  std::string scope;
   tuners::TuningReport report;
   std::vector<rl::Transition> new_transitions;
 

@@ -35,16 +35,30 @@ void ShardedStreamingService::train_model(const std::string& name,
                                           const sparksim::WorkloadSpec& workload,
                                           std::size_t iterations) {
   shard_for_model(name).train_model(name, workload, iterations);
+  distribute_scope_seed(name);
 }
 
 void ShardedStreamingService::load_model(const std::string& name,
                                          std::istream& is) {
   shard_for_model(name).load_model(name, is);
+  distribute_scope_seed(name);
 }
 
 void ShardedStreamingService::load_model_file(const std::string& name,
                                               const std::string& path) {
   shard_for_model(name).load_model_file(name, path);
+  distribute_scope_seed(name);
+}
+
+void ShardedStreamingService::distribute_scope_seed(const std::string& name) {
+  if (shards_.size() < 2) return;  // the owning shard recorded its own seed
+  // A scoped key ("m@wl:...") can hash to any shard, so every shard needs
+  // the base model's genesis blob to fork scoped models from. One canonical
+  // serialization is shared by all shards — scoped forks therefore start
+  // from identical bytes regardless of the shard count.
+  auto blob = std::make_shared<const std::string>(
+      shard_for_model(name).checkpoint_of(name));
+  for (auto& shard : shards_) shard->set_scope_seed(name, blob);
 }
 
 bool ShardedStreamingService::has_model(const std::string& name) const {
@@ -53,7 +67,10 @@ bool ShardedStreamingService::has_model(const std::string& name) const {
 
 void ShardedStreamingService::submit(
     TuningRequest request, StreamingService::CompletionCallback on_done) {
-  StreamingService& target = shard_for_model(request.model);
+  // Route by the scope-derived key, not the raw name: every request for a
+  // given scoped model lands on one shard, so scoped masters keep the
+  // frozen-epoch / canonical-merge determinism contract per shard.
+  StreamingService& target = shard_for_model(scoped_model_key(request));
   target.submit(std::move(request), std::move(on_done));
 }
 

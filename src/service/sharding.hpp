@@ -115,6 +115,10 @@ class ShardedStreamingService {
   }
 
  private:
+  /// Shares `name`'s genesis checkpoint with every shard so scoped keys
+  /// (which may hash anywhere) can fork from identical bytes.
+  void distribute_scope_seed(const std::string& name);
+
   std::vector<std::unique_ptr<StreamingService>> shards_;
 };
 

@@ -75,6 +75,8 @@ void StreamingService::train_model(const std::string& name,
   (void)entry.model.train_offline(workload, iterations);
   std::scoped_lock state(state_mutex_);
   entry.blob.reset();
+  scope_seeds_[name] =
+      std::make_shared<const std::string>(checkpoint_to_string(entry.model));
 }
 
 void StreamingService::load_model(const std::string& name, std::istream& is) {
@@ -84,6 +86,8 @@ void StreamingService::load_model(const std::string& name, std::istream& is) {
   load_checkpoint(is, entry.model);
   std::scoped_lock state(state_mutex_);
   entry.blob.reset();
+  scope_seeds_[name] =
+      std::make_shared<const std::string>(checkpoint_to_string(entry.model));
 }
 
 void StreamingService::load_model_file(const std::string& name,
@@ -94,6 +98,14 @@ void StreamingService::load_model_file(const std::string& name,
   load_checkpoint_file(path, entry.model);
   std::scoped_lock state(state_mutex_);
   entry.blob.reset();
+  scope_seeds_[name] =
+      std::make_shared<const std::string>(checkpoint_to_string(entry.model));
+}
+
+void StreamingService::set_scope_seed(const std::string& base,
+                                      std::shared_ptr<const std::string> blob) {
+  std::scoped_lock state(state_mutex_);
+  scope_seeds_[base] = std::move(blob);
 }
 
 bool StreamingService::has_model(const std::string& name) const {
@@ -136,18 +148,50 @@ StreamingService::MasterEntry& StreamingService::resolve_entry(
     entry->stub = true;
     return *entries_.emplace(name, std::move(entry)).first->second;
   }
-  if (!registry_) {
+  const std::optional<std::string> base = scope_base_of(name);
+  if (!registry_ && !base) {
     throw std::runtime_error("unknown model '" + name +
                              "' (no registry configured)");
   }
-  const auto version = registry_->latest_version(name);
-  if (!version) {
-    throw std::runtime_error("unknown model '" + name +
-                             "': no published version in the registry");
+  if (registry_) {
+    if (const auto version = registry_->latest_version(name)) {
+      evict_idle_locked();
+      auto entry = make_entry();
+      registry_->load_into(name, *version, entry->model);
+      return *entries_.emplace(name, std::move(entry)).first->second;
+    }
+    if (!base) {
+      throw std::runtime_error("unknown model '" + name +
+                               "': no published version in the registry");
+    }
+  }
+  // Scoped-key fork: no published version under the scoped key, so start
+  // the scoped model from its base — the base's latest published version
+  // if the registry has one, else the base's genesis seed blob. Both are
+  // fixed bytes, so the fork is identical on every shard/thread layout.
+  if (registry_) {
+    if (const auto version = registry_->latest_version(*base)) {
+      evict_idle_locked();
+      auto entry = make_entry();
+      registry_->load_into(*base, *version, entry->model);
+      return *entries_.emplace(name, std::move(entry)).first->second;
+    }
+  }
+  std::shared_ptr<const std::string> seed;
+  {
+    std::scoped_lock state(state_mutex_);
+    if (const auto it = scope_seeds_.find(*base); it != scope_seeds_.end()) {
+      seed = it->second;
+    }
+  }
+  if (!seed) {
+    throw std::runtime_error("unknown model '" + name + "': base model '" +
+                             *base +
+                             "' has no published version and is not loaded");
   }
   evict_idle_locked();
   auto entry = make_entry();
-  registry_->load_into(name, *version, entry->model);
+  checkpoint_from_string(*seed, entry->model);
   return *entries_.emplace(name, std::move(entry)).first->second;
 }
 
@@ -182,6 +226,9 @@ void StreamingService::complete_failed(const TuningRequest& request,
   report.workload = request.workload;
   report.cluster = request.cluster;
   report.model = request.model;
+  if (request.scope != TuneScope::kGlobal) {
+    report.scope = to_string(request.scope);
+  }
   report.ok = false;
   report.error = error;
   StreamReport stream_report;
@@ -224,7 +271,17 @@ std::optional<std::string> StreamingService::warm_error(
 void StreamingService::resolve_warm(TuningRequest& request,
                                     const retrieval::ExperienceIndex& index) {
   const auto retrieval_span = options_.service.obs.scope("retrieval");
-  const sparksim::HiBenchCase& c = sparksim::hibench_case(request.workload);
+  const sparksim::HiBenchCase* hibench = nullptr;
+  try {
+    hibench = &sparksim::hibench_case(request.workload);
+  } catch (const std::out_of_range&) {
+    // The experience index embeds batch (HiBench) cases only; a warm
+    // streaming request has nothing to retrieve against.
+    throw std::invalid_argument(
+        "warm retrieval is unavailable for non-batch workload '" +
+        request.workload + "'");
+  }
+  const sparksim::HiBenchCase& c = *hibench;
   const std::vector<retrieval::Neighbor> neighbors = index.query_case(
       c, static_cast<std::size_t>(request.warm_k), retrieval::Metric::kCosine);
   request.warm_actions.clear();
@@ -266,7 +323,9 @@ void StreamingService::submit(TuningRequest request,
   }
   MasterEntry* entry = nullptr;
   try {
-    entry = &resolve_entry(request.model);
+    // Scope-keyed routing: a non-global request resolves (and, on first
+    // use, forks) the scoped model derived from the requested name.
+    entry = &resolve_entry(scoped_model_key(request));
   } catch (const std::exception& e) {
     complete_failed(request, e.what(), on_done);
     return;
@@ -330,6 +389,9 @@ void StreamingService::submit(TuningRequest request,
       }
     }
     report.model = request.model;
+    if (request.scope != TuneScope::kGlobal) {
+      report.scope = to_string(request.scope);
+    }
     // End the request span BEFORE on_complete: on_complete releases
     // waiters (wait_completed / flush), and anyone it wakes may export the
     // trace immediately — the span must already be closed by then.

@@ -101,6 +101,14 @@ class StreamingService {
   [[nodiscard]] bool has_model(const std::string& name) const;
   [[nodiscard]] std::vector<std::string> loaded_models() const;
 
+  /// Genesis checkpoint for scope forks: a scoped model key ("m@wl:...")
+  /// with no resident entry and no published registry version bootstraps
+  /// from its base model's seed blob. train_model/load_model* record the
+  /// seed automatically; the sharded router distributes it to every shard
+  /// so a scoped fork starts from identical bytes on any shard layout.
+  void set_scope_seed(const std::string& base,
+                      std::shared_ptr<const std::string> blob);
+
   /// The live master for `name` (throws std::out_of_range when not
   /// resident). Mutating it while requests are in flight is on the caller.
   [[nodiscard]] core::DeepCat& master(const std::string& name = "default");
@@ -229,6 +237,8 @@ class StreamingService {
   std::optional<ModelRegistry> registry_;
   SessionRunner runner_;
   std::shared_ptr<const retrieval::ExperienceIndex> warm_index_;
+  /// Base-model genesis blobs for scoped-key bootstrap (state_mutex_).
+  std::map<std::string, std::shared_ptr<const std::string>> scope_seeds_;
 
   /// Guards the entries_ map (lookup shared, lazy load/evict exclusive).
   mutable std::shared_mutex registry_mutex_;

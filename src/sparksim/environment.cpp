@@ -6,6 +6,14 @@
 
 namespace deepcat::sparksim {
 
+std::string to_string(ObjectiveKind kind) {
+  switch (kind) {
+    case ObjectiveKind::kJobCompletionSeconds: return "job_completion_seconds";
+    case ObjectiveKind::kBatchLatencyP95: return "batch_latency_p95";
+  }
+  return "?";
+}
+
 TuningEnvironment::TuningEnvironment(ClusterSpec cluster,
                                      WorkloadSpec workload, EnvOptions options)
     : cluster_(std::move(cluster)),

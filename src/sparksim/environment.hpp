@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -16,6 +17,46 @@
 #include "sparksim/workloads.hpp"
 
 namespace deepcat::sparksim {
+
+/// What one evaluation's exec_seconds measures. Batch environments tune
+/// job completion time; streaming environments (src/streamsim) tune the
+/// p95 micro-batch latency of one evaluation window, subject to a
+/// throughput floor.
+enum class ObjectiveKind { kJobCompletionSeconds, kBatchLatencyP95 };
+
+[[nodiscard]] std::string to_string(ObjectiveKind kind);
+
+/// One mid-session load shift of a streaming environment, with the online
+/// re-adaptation accounting the paper's cost argument needs: how many paid
+/// evaluations the tuner spent after the shift before its objective came
+/// back to within 5% of the best it had achieved before the shift
+/// (size-normalized, so phases of different offered load are comparable).
+struct ShiftRecord {
+  int at_eval = 0;          ///< 1-based evaluation index of the first
+                            ///< window in the new phase
+  int recovery_evals = 0;   ///< evaluations in the new phase until
+                            ///< recovered (0 while not yet recovered)
+  double pre_shift_best = 0.0;   ///< best normalized objective before
+  double post_shift_best = 0.0;  ///< best normalized objective after
+  bool recovered = false;
+};
+
+/// Session-level streaming facts, carried through TuningReport into REP
+/// payloads and BENCH_stream.json.
+struct StreamSummary {
+  int phases = 0;             ///< phases of the arrival schedule
+  int windows = 0;            ///< evaluation windows consumed
+  double throughput_floor = 0.0;  ///< required fraction of offered load
+  double final_p95_s = 0.0;   ///< p95 batch latency of the last window
+  std::vector<ShiftRecord> shifts;
+
+  [[nodiscard]] bool all_recovered() const noexcept {
+    for (const ShiftRecord& s : shifts) {
+      if (!s.recovered) return false;
+    }
+    return true;
+  }
+};
 
 struct EnvOptions {
   double target_speedup = 4.0;          ///< perf_e = default_time / this
@@ -40,17 +81,30 @@ class TuningEnvironment {
  public:
   TuningEnvironment(ClusterSpec cluster, WorkloadSpec workload,
                     EnvOptions options = {});
+  virtual ~TuningEnvironment() = default;
 
   /// Evaluates the default configuration to establish the baseline
   /// (perf_e) and the initial state. Counts toward evaluation cost.
-  std::vector<double> reset();
+  virtual std::vector<double> reset();
 
-  /// Evaluates the decoded action on the simulated cluster.
+  /// Evaluates the decoded action on the simulated cluster (virtual via
+  /// evaluate(), so derived environments redefine what one step costs).
   StepResult step(std::span<const double> action);
 
   /// Evaluates a concrete configuration (used by non-RL tuners); updates
   /// best/cost tracking exactly like step().
-  StepResult evaluate(const ConfigValues& config);
+  virtual StepResult evaluate(const ConfigValues& config);
+
+  /// What exec_seconds / best_time measure in this environment.
+  [[nodiscard]] virtual ObjectiveKind objective() const noexcept {
+    return ObjectiveKind::kJobCompletionSeconds;
+  }
+
+  /// Streaming environments report their phase/shift accounting here;
+  /// batch environments have none.
+  [[nodiscard]] virtual std::optional<StreamSummary> stream_summary() const {
+    return std::nullopt;
+  }
 
   [[nodiscard]] std::size_t state_dim() const noexcept {
     return cluster_.num_nodes() * 3 +
@@ -100,7 +154,7 @@ class TuningEnvironment {
   /// step() one at a time.
   [[nodiscard]] std::uint64_t draw_eval_seed() noexcept { return rng_(); }
 
- private:
+ protected:
   [[nodiscard]] std::vector<double> normalize_state(
       const ExecutionResult& result) const;
 

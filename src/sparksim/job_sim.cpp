@@ -61,6 +61,13 @@ JobSimulator::JobSimulator(ClusterSpec cluster) : cluster_(std::move(cluster)) {
 ExecutionResult JobSimulator::run(const WorkloadSpec& workload,
                                   const ConfigValues& config,
                                   std::uint64_t seed) const {
+  return run(workload, config, seed, SimOptions{});
+}
+
+ExecutionResult JobSimulator::run(const WorkloadSpec& workload,
+                                  const ConfigValues& config,
+                                  std::uint64_t seed,
+                                  const SimOptions& opts) const {
   common::Rng rng(seed);
   ExecutionResult result;
 
@@ -107,7 +114,7 @@ ExecutionResult JobSimulator::run(const WorkloadSpec& workload,
   const double write_buffer_eff =
       common::clamp(0.70 + 0.30 * (file_buffer_kb / 128.0), 0.70, 1.05);
 
-  double elapsed = kAppStartupS;
+  double elapsed = opts.resident_app ? 0.0 : kAppStartupS;
   double busy_core_seconds = 0.0;
 
   const int parallelism = config.get_int(KnobId::kDefaultParallelism);
@@ -260,7 +267,7 @@ ExecutionResult JobSimulator::run(const WorkloadSpec& workload,
     metrics.speculative_copies = run.speculative_copies;
 
     // --- Broadcast (once per executor, pipelined over the network).
-    double stage_time = run.duration_s + kPerStageOverheadS;
+    double stage_time = run.duration_s + opts.per_stage_overhead_s;
     if (stage.broadcast_mb > 0.0) {
       const double payload =
           broadcast_compress
@@ -316,9 +323,10 @@ ExecutionResult JobSimulator::run(const WorkloadSpec& workload,
   }
 
   // --- Driver-side collect: results funnel through spark.driver.memory.
+  // A resident streaming app never collects per batch.
   const double collect_mb = std::max(50.0, 0.004 * workload.input_mb);
   const double driver_mb = config.get(KnobId::kDriverMemoryMb);
-  if (collect_mb * mem_bloat > 0.5 * driver_mb) {
+  if (!opts.resident_app && collect_mb * mem_bloat > 0.5 * driver_mb) {
     const double p = common::clamp(
         0.3 * (collect_mb * mem_bloat / (0.5 * driver_mb) - 1.0), 0.0, 0.9);
     if (rng.bernoulli(p)) {

@@ -43,6 +43,20 @@ struct ExecutionResult {
   std::vector<StageMetrics> stages;
 };
 
+/// Variant knobs for one simulated run. The defaults reproduce the classic
+/// batch-application behaviour exactly; streamsim's micro-batch model runs
+/// each batch as a resident application (executors already up, no driver
+/// collect, scheduler overhead of a hot DAG scheduler instead of a cold
+/// stage submission).
+struct SimOptions {
+  /// Long-running app: skip the AM/JVM startup cost and the driver-side
+  /// collect (a streaming driver never funnels per-batch results).
+  bool resident_app = false;
+  /// Fixed per-stage submission overhead (JobSimulator::kPerStageOverheadS
+  /// for cold batch stages; micro-batches on a hot scheduler pay less).
+  double per_stage_overhead_s = 0.6;
+};
+
 class JobSimulator {
  public:
   explicit JobSimulator(ClusterSpec cluster);
@@ -52,6 +66,12 @@ class JobSimulator {
   [[nodiscard]] ExecutionResult run(const WorkloadSpec& workload,
                                     const ConfigValues& config,
                                     std::uint64_t seed) const;
+
+  /// Same with variant knobs; run(w, c, s) == run(w, c, s, SimOptions{}).
+  [[nodiscard]] ExecutionResult run(const WorkloadSpec& workload,
+                                    const ConfigValues& config,
+                                    std::uint64_t seed,
+                                    const SimOptions& opts) const;
 
   [[nodiscard]] const ClusterSpec& cluster() const noexcept {
     return cluster_;

@@ -10,6 +10,8 @@ std::string to_string(WorkloadType type) {
     case WorkloadType::kTeraSort: return "TeraSort";
     case WorkloadType::kPageRank: return "PageRank";
     case WorkloadType::kKMeans: return "KMeans";
+    case WorkloadType::kStreamAgg: return "StreamAgg";
+    case WorkloadType::kStreamJoin: return "StreamJoin";
   }
   return "?";
 }
@@ -146,6 +148,70 @@ WorkloadSpec k_means(double million_points) {
   return w;
 }
 
+WorkloadSpec stream_agg(double mb_per_batch) {
+  // One micro-batch of a windowed streaming aggregation: receiver ingest +
+  // local pre-aggregation, then a keyed window-state update. No app
+  // startup or dataset-scale caching — the per-batch DAG is intentionally
+  // shallow so batch latency tracks the arrival process, not DAG depth.
+  WorkloadSpec w;
+  w.type = WorkloadType::kStreamAgg;
+  w.input_mb = mb_per_batch;
+  w.compressibility = 0.65;  // event streams (logs/metrics) compress well
+  w.java_ser_bloat = 1.5;
+
+  StageSpec ingest;
+  ingest.name = "ingest+map";
+  ingest.hdfs_read_mb = mb_per_batch;  // receiver input for this batch
+  ingest.cpu_ms_per_mb = 3.0;          // parse + project + local combine
+  ingest.shuffle_write_mb = 0.25 * mb_per_batch;  // combiner collapses keys
+  ingest.ws_multiplier = 0.9;
+  ingest.min_mem_fraction = 0.12;      // streaming pre-aggregation
+  w.stages.push_back(ingest);
+
+  StageSpec window;
+  window.name = "window-agg";
+  window.shuffle_read_mb = ingest.shuffle_write_mb;
+  window.cpu_ms_per_mb = 4.5;          // merge into keyed window state
+  window.hdfs_write_mb = 0.05 * mb_per_batch;  // sink: aggregated rollups
+  window.ws_multiplier = 1.4;
+  window.min_mem_fraction = 0.25;      // live hash state per key
+  w.stages.push_back(window);
+  return w;
+}
+
+WorkloadSpec stream_join(double mb_per_batch) {
+  // One micro-batch of a stream-stream join: both sides ingested, one side
+  // maintained as a cached state store the join probes every batch — the
+  // memory-pressure magnifier of the streaming family (the KMeans analog).
+  WorkloadSpec w;
+  w.type = WorkloadType::kStreamJoin;
+  w.input_mb = mb_per_batch;
+  w.compressibility = 0.45;
+  w.java_ser_bloat = 1.8;  // retained join state bloats like a graph
+
+  const double state_mb = 0.6 * mb_per_batch;
+  StageSpec ingest;
+  ingest.name = "ingest-both";
+  ingest.hdfs_read_mb = mb_per_batch;
+  ingest.cpu_ms_per_mb = 2.5;
+  ingest.shuffle_write_mb = 0.8 * mb_per_batch;  // co-partition both sides
+  ingest.cache_put_mb = state_mb;                // refresh the state store
+  ingest.ws_multiplier = 1.2;
+  ingest.min_mem_fraction = 0.2;
+  w.stages.push_back(ingest);
+
+  StageSpec join;
+  join.name = "stream-join";
+  join.shuffle_read_mb = 0.8 * mb_per_batch;
+  join.cache_get_mb = state_mb;        // probe the retained window
+  join.cpu_ms_per_mb = 5.5;            // hash probe + emit matches
+  join.hdfs_write_mb = 0.1 * mb_per_batch;
+  join.ws_multiplier = 1.7;            // both relations live during probe
+  join.min_mem_fraction = 0.3;
+  w.stages.push_back(join);
+  return w;
+}
+
 std::string size_label(WorkloadType type, double units) {
   char buf[48];
   switch (type) {
@@ -158,6 +224,10 @@ std::string size_label(WorkloadType type, double units) {
       break;
     case WorkloadType::kKMeans:
       std::snprintf(buf, sizeof buf, "%.0fMpoints", units);
+      break;
+    case WorkloadType::kStreamAgg:
+    case WorkloadType::kStreamJoin:
+      std::snprintf(buf, sizeof buf, "%.0fMB/batch", units);
       break;
   }
   return buf;
@@ -175,6 +245,8 @@ WorkloadSpec make_workload(WorkloadType type, double input_units) {
     case WorkloadType::kTeraSort: w = tera_sort(input_units); break;
     case WorkloadType::kPageRank: w = page_rank(input_units); break;
     case WorkloadType::kKMeans: w = k_means(input_units); break;
+    case WorkloadType::kStreamAgg: w = stream_agg(input_units); break;
+    case WorkloadType::kStreamJoin: w = stream_join(input_units); break;
   }
   w.name = to_string(type) + "(" + size_label(type, input_units) + ")";
   return w;

@@ -5,6 +5,10 @@
 //   TeraSort  - full-data shuffle + memory-hungry sort + replicated write
 //   PageRank  - iterative join/aggregate with a cached link structure
 //   KMeans    - iterative, CPU-heavy, whole-dataset cache; OOM-prone
+// plus the streaming micro-batch family served by src/streamsim (input
+// units are MB per micro-batch; the stage DAG describes ONE batch):
+//   StreamAgg  - windowed aggregation: ingest/map + keyed window state
+//   StreamJoin - stream-stream join against a cached state store
 #pragma once
 
 #include <string>
@@ -12,7 +16,14 @@
 
 namespace deepcat::sparksim {
 
-enum class WorkloadType { kWordCount, kTeraSort, kPageRank, kKMeans };
+enum class WorkloadType {
+  kWordCount,
+  kTeraSort,
+  kPageRank,
+  kKMeans,
+  kStreamAgg,
+  kStreamJoin,
+};
 
 [[nodiscard]] std::string to_string(WorkloadType type);
 
@@ -53,7 +64,8 @@ struct WorkloadSpec {
 /// Builds a workload in the unit the paper's Table 1 uses:
 ///   WordCount / TeraSort: gigabytes,
 ///   PageRank: millions of pages,
-///   KMeans: millions of points.
+///   KMeans: millions of points,
+///   StreamAgg / StreamJoin: MB per micro-batch (one batch's stage DAG).
 [[nodiscard]] WorkloadSpec make_workload(WorkloadType type,
                                          double input_units);
 

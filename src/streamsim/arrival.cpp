@@ -1,0 +1,80 @@
+#include "streamsim/arrival.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace deepcat::streamsim {
+
+std::string to_string(PhaseKind kind) {
+  switch (kind) {
+    case PhaseKind::kSteady: return "steady";
+    case PhaseKind::kBurst: return "burst";
+    case PhaseKind::kDiurnal: return "diurnal";
+  }
+  return "?";
+}
+
+int PhaseSchedule::phase_index(int window) const {
+  if (phases.empty()) {
+    throw std::logic_error("PhaseSchedule: empty schedule");
+  }
+  int start = 0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    start += phases[i].duration_windows;
+    if (window < start) return static_cast<int>(i);
+  }
+  return static_cast<int>(phases.size()) - 1;  // last phase holds forever
+}
+
+int PhaseSchedule::total_windows() const noexcept {
+  int total = 0;
+  for (const PhaseSpec& p : phases) total += p.duration_windows;
+  return total;
+}
+
+std::vector<double> window_batches(const PhaseSchedule& schedule, int window,
+                                   int batches, std::uint64_t stream_seed) {
+  const int phase = schedule.phase_index(window);
+  const PhaseSpec& spec =
+      schedule.phases[static_cast<std::size_t>(phase)];
+  int phase_start = 0;
+  for (int i = 0; i < phase; ++i) {
+    phase_start += schedule.phases[static_cast<std::size_t>(i)].duration_windows;
+  }
+
+  // One private stream per window: arrival noise never depends on how many
+  // windows ran before or which session drew them.
+  common::Rng rng(
+      common::mix_seed(stream_seed, static_cast<std::uint64_t>(window)));
+  std::vector<double> sizes;
+  sizes.reserve(static_cast<std::size_t>(batches));
+  constexpr double kPi = 3.14159265358979323846;
+  for (int b = 0; b < batches; ++b) {
+    // Poisson-like arrival jitter, normal-approximated (the common Rng has
+    // no Poisson sampler; at these means the shapes are indistinguishable).
+    double mb = spec.mean_batch_mb *
+                std::max(0.25, 1.0 + 0.2 * rng.normal());
+    switch (spec.kind) {
+      case PhaseKind::kSteady:
+        break;
+      case PhaseKind::kBurst:
+        if ((b + 1) % kBurstPeriod == 0) mb *= spec.swing;
+        break;
+      case PhaseKind::kDiurnal: {
+        const double t =
+            (static_cast<double>(window - phase_start) +
+             static_cast<double>(b) / static_cast<double>(std::max(batches, 1))) /
+            static_cast<double>(std::max(spec.duration_windows, 1));
+        mb *= 1.0 + 0.5 * (spec.swing - 1.0) * std::sin(2.0 * kPi * t);
+        break;
+      }
+    }
+    sizes.push_back(std::max(1.0, mb));
+  }
+  return sizes;
+}
+
+}  // namespace deepcat::streamsim

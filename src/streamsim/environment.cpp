@@ -1,0 +1,159 @@
+#include "streamsim/environment.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deepcat::streamsim {
+
+StreamEnvironment::StreamEnvironment(sparksim::ClusterSpec cluster,
+                                     StreamCase stream_case,
+                                     sparksim::EnvOptions options)
+    : sparksim::TuningEnvironment(
+          cluster,
+          sparksim::make_workload(
+              stream_case.type,
+              stream_case.schedule.phases.empty()
+                  ? 64.0
+                  : stream_case.schedule.phases.front().mean_batch_mb),
+          options),
+      case_(std::move(stream_case)),
+      micro_(std::move(cluster)),
+      arrival_seed_(common::mix_seed(options.seed, kArrivalStream)) {
+  if (case_.schedule.phases.empty()) {
+    throw std::invalid_argument("StreamEnvironment: empty phase schedule");
+  }
+  phase0_mean_mb_ = case_.schedule.phases.front().mean_batch_mb;
+  summary_.phases = static_cast<int>(case_.schedule.phases.size());
+  summary_.throughput_floor = case_.throughput_floor;
+}
+
+double StreamEnvironment::normalized(const WindowResult& r) const noexcept {
+  const double mean_mb =
+      r.offered_mb / static_cast<double>(std::max(case_.batches_per_window, 1));
+  return r.p95_latency_s / std::max(mean_mb, 1.0);
+}
+
+std::vector<double> StreamEnvironment::reset() {
+  const sparksim::ConfigValues defaults =
+      sparksim::pipeline_space().defaults();
+  const std::uint64_t exec_seed = rng_();
+  const WindowResult r =
+      micro_.run_window(case_, /*window=*/0, defaults, arrival_seed_,
+                        exec_seed);
+  if (!r.success) {
+    throw std::logic_error(
+        "StreamEnvironment: default configuration failed window 0: " +
+        r.failure_reason);
+  }
+  if (r.throughput_fraction < case_.throughput_floor) {
+    throw std::logic_error(
+        "StreamEnvironment: default configuration misses the throughput "
+        "floor in phase 0 of " +
+        case_.id);
+  }
+  default_time_ = r.p95_latency_s;
+  eval_seconds_ += r.elapsed_s;
+  ++evals_;
+  const double norm = normalized(r);
+  phase_best_norm_ = norm;
+  if (r.p95_latency_s < best_time_) {
+    best_time_ = r.p95_latency_s;
+    best_config_ = defaults;
+  }
+  summary_.windows = 1;
+  summary_.final_p95_s = r.p95_latency_s;
+  window_ = 1;
+  current_phase_ = 0;
+  return window_state(r);
+}
+
+void StreamEnvironment::track_shift() {
+  const int phase = case_.schedule.phase_index(window_);
+  if (phase == current_phase_) return;
+  sparksim::ShiftRecord rec;
+  rec.at_eval = static_cast<int>(evals_) + 1;  // the eval about to run
+  rec.pre_shift_best = phase_best_norm_;
+  summary_.shifts.push_back(rec);
+  current_phase_ = phase;
+  phase_best_norm_ = std::numeric_limits<double>::infinity();
+  evals_since_shift_ = 0;
+}
+
+void StreamEnvironment::track_recovery(bool success, double norm) {
+  if (summary_.shifts.empty()) return;
+  sparksim::ShiftRecord& shift = summary_.shifts.back();
+  if (shift.recovered) return;
+  ++evals_since_shift_;
+  if (!success) return;
+  shift.post_shift_best = std::min(
+      norm, shift.post_shift_best > 0.0
+                ? shift.post_shift_best
+                : std::numeric_limits<double>::infinity());
+  if (norm <= kRecoverySlack * shift.pre_shift_best) {
+    shift.recovered = true;
+    shift.recovery_evals = evals_since_shift_;
+  }
+}
+
+sparksim::StepResult StreamEnvironment::evaluate(
+    const sparksim::ConfigValues& config) {
+  if (default_time_ <= 0.0) {
+    throw std::logic_error("StreamEnvironment::evaluate before reset()");
+  }
+  track_shift();
+  const std::uint64_t exec_seed = rng_();
+  const WindowResult r =
+      micro_.run_window(case_, window_, config, arrival_seed_, exec_seed);
+
+  const double norm = normalized(r);
+  // Score on the phase-0 scale so the reward stays comparable across load
+  // shifts: a phase with twice the offered load is not "twice as bad".
+  const double scaled_p95 = norm * phase0_mean_mb_;
+  const bool success =
+      r.success && r.throughput_fraction >= case_.throughput_floor;
+
+  sparksim::StepResult out;
+  out.success = success;
+  out.oom = r.oom;
+  out.exec_seconds = r.elapsed_s;
+  const double scored =
+      success ? scaled_p95
+              : std::max(scaled_p95,
+                         options_.failure_penalty_factor * default_time_);
+  out.reward = reward_for(scored);
+  out.state = window_state(r);
+
+  eval_seconds_ += r.elapsed_s;
+  ++evals_;
+  if (success && norm < phase_best_norm_) phase_best_norm_ = norm;
+  if (success && scaled_p95 < best_time_) {
+    best_time_ = scaled_p95;
+    best_config_ = config;
+  }
+  track_recovery(success, norm);
+  ++summary_.windows;
+  summary_.final_p95_s = r.p95_latency_s;
+  ++window_;
+  return out;
+}
+
+std::vector<double> StreamEnvironment::window_state(
+    const WindowResult& r) const {
+  std::vector<double> state = r.load_averages;
+  const double cores = static_cast<double>(cluster_.nodes.front().cores);
+  for (double& x : state) x /= cores;
+  state.resize(cluster_.num_nodes() * 3, 0.0);
+
+  if (options_.extended_state) {
+    const auto total_cores = static_cast<double>(cluster_.total_cores());
+    state.push_back(static_cast<double>(r.executors) / total_cores);
+    state.push_back(static_cast<double>(r.total_slots) / total_cores);
+    state.push_back(
+        std::min(1.0, r.spilled_mb / std::max(r.offered_mb, 1.0)));
+    state.push_back(r.cache_hit_fraction);
+    state.push_back(std::min(1.0, static_cast<double>(r.task_retries) / 32.0));
+  }
+  return state;
+}
+
+}  // namespace deepcat::streamsim

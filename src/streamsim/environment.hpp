@@ -1,0 +1,76 @@
+// The streaming tuning environment: a sparksim::TuningEnvironment whose
+// evaluations are whole micro-batch windows scored by p95 batch latency
+// under a throughput floor — and whose load shifts mid-session per the
+// case's phase schedule, so an online tuner must re-adapt in place. One
+// long session spans many windows; there is no restart at a shift.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "sparksim/environment.hpp"
+#include "streamsim/microbatch.hpp"
+#include "streamsim/workloads.hpp"
+
+namespace deepcat::streamsim {
+
+class StreamEnvironment final : public sparksim::TuningEnvironment {
+ public:
+  /// options.seed drives both the arrival process (via kArrivalStream) and
+  /// the per-window execution noise — one seed, one session trajectory.
+  StreamEnvironment(sparksim::ClusterSpec cluster, StreamCase stream_case,
+                    sparksim::EnvOptions options = {});
+
+  /// Runs window 0 under the default configuration; throws if the default
+  /// cannot sustain phase 0 (same contract as the batch environment's
+  /// default-must-succeed guard).
+  std::vector<double> reset() override;
+
+  /// One evaluation = one window: the next window of the schedule, under
+  /// `config`. exec_seconds is the window's wall time; the reward scores
+  /// the size-normalized p95 latency on the phase-0 scale.
+  sparksim::StepResult evaluate(const sparksim::ConfigValues& config) override;
+
+  [[nodiscard]] sparksim::ObjectiveKind objective() const noexcept override {
+    return sparksim::ObjectiveKind::kBatchLatencyP95;
+  }
+
+  [[nodiscard]] std::optional<sparksim::StreamSummary> stream_summary()
+      const override {
+    return summary_;
+  }
+
+  [[nodiscard]] const StreamCase& current_case() const noexcept {
+    return case_;
+  }
+  /// Next window the environment will evaluate (reset consumes window 0).
+  [[nodiscard]] int window() const noexcept { return window_; }
+
+  /// Sub-stream of the env seed feeding the arrival process.
+  static constexpr std::uint64_t kArrivalStream = 0x5A7B9C1ull;
+  /// Recovered = post-shift best normalized objective within 5% of the
+  /// pre-shift best (the bench's re-adaptation criterion).
+  static constexpr double kRecoverySlack = 1.05;
+
+ private:
+  /// Normalized objective: p95 latency per offered MB of mean batch size —
+  /// the quantity that is comparable across phases of different load.
+  [[nodiscard]] double normalized(const WindowResult& r) const noexcept;
+  [[nodiscard]] std::vector<double> window_state(const WindowResult& r) const;
+  void track_shift();
+  void track_recovery(bool success, double norm);
+
+  StreamCase case_;
+  MicroBatchSimulator micro_;
+  std::uint64_t arrival_seed_ = 0;
+  int window_ = 0;
+  int current_phase_ = 0;
+  int evals_since_shift_ = 0;
+  double phase_best_norm_ = std::numeric_limits<double>::infinity();
+  double phase0_mean_mb_ = 0.0;
+  sparksim::StreamSummary summary_;
+};
+
+}  // namespace deepcat::streamsim

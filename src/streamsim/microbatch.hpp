@@ -1,0 +1,68 @@
+// Micro-batch execution model: one evaluation window = batches_per_window
+// micro-batches arriving on a fixed interval, each simulated as a resident
+// application run through the existing JobSimulator (YARN allocation,
+// memory model, task engine — the full batch cost model minus app startup
+// and driver collect). Batch latency = queueing delay + processing time;
+// the window is scored by its p95 latency and sustained throughput.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparksim/config_space.hpp"
+#include "sparksim/hardware.hpp"
+#include "sparksim/job_sim.hpp"
+#include "streamsim/workloads.hpp"
+
+namespace deepcat::streamsim {
+
+/// Outcome of one evaluation window.
+struct WindowResult {
+  bool success = false;       ///< every batch completed
+  bool oom = false;
+  std::string failure_reason;
+  double p95_latency_s = 0.0; ///< arrival-to-finish, 95th percentile
+  double mean_latency_s = 0.0;
+  double offered_mb = 0.0;    ///< total arrival volume of the window
+  double processed_mb = 0.0;  ///< volume of completed batches
+  /// Sustained processing rate over the offered rate; >= 1 means the
+  /// system kept up with the arrival process.
+  double throughput_fraction = 0.0;
+  double elapsed_s = 0.0;     ///< wall time until the last batch finished
+  int batches = 0;            ///< completed batches
+  int executors = 0;
+  int total_slots = 0;
+  /// Mean per-node load averages across batches (same layout as the batch
+  /// simulator: 3 values per node, node-major).
+  std::vector<double> load_averages;
+  double spilled_mb = 0.0;
+  double cache_hit_fraction = 1.0;
+  int task_retries = 0;
+};
+
+class MicroBatchSimulator {
+ public:
+  explicit MicroBatchSimulator(sparksim::ClusterSpec cluster);
+
+  /// Simulates window `window` of `c` under `config`. Arrival sizes are a
+  /// pure function of (arrival_seed, window); execution noise comes from
+  /// exec_seed. Deterministic in all arguments.
+  [[nodiscard]] WindowResult run_window(const StreamCase& c, int window,
+                                        const sparksim::ConfigValues& config,
+                                        std::uint64_t arrival_seed,
+                                        std::uint64_t exec_seed) const;
+
+  [[nodiscard]] const sparksim::ClusterSpec& cluster() const noexcept {
+    return sim_.cluster();
+  }
+
+  /// Hot DAG-scheduler stage submission cost for resident micro-batches
+  /// (vs JobSimulator::kPerStageOverheadS for cold batch stages).
+  static constexpr double kStageOverheadS = 0.1;
+
+ private:
+  sparksim::JobSimulator sim_;
+};
+
+}  // namespace deepcat::streamsim

@@ -1,0 +1,74 @@
+#include "streamsim/workloads.hpp"
+
+#include <stdexcept>
+
+namespace deepcat::streamsim {
+
+const std::vector<StreamCase>& stream_suite() {
+  static const std::vector<StreamCase> suite = [] {
+    using sparksim::WorkloadType;
+    std::vector<StreamCase> s;
+
+    // SA-P1: steady warmup, then a burst regime, then a permanently higher
+    // steady rate — two shifts, the canonical re-adaptation case.
+    {
+      StreamCase c;
+      c.type = WorkloadType::kStreamAgg;
+      c.id = "SA-P1";
+      c.schedule.phases = {
+          {PhaseKind::kSteady, 384.0, 4, 1.0},
+          {PhaseKind::kBurst, 384.0, 4, 2.5},
+          {PhaseKind::kSteady, 640.0, 4, 1.0},
+      };
+      s.push_back(c);
+    }
+
+    // SA-P2: modest steady phase into a long diurnal swing.
+    {
+      StreamCase c;
+      c.type = WorkloadType::kStreamAgg;
+      c.id = "SA-P2";
+      c.schedule.phases = {
+          {PhaseKind::kSteady, 256.0, 3, 1.0},
+          {PhaseKind::kDiurnal, 512.0, 6, 2.0},
+      };
+      s.push_back(c);
+    }
+
+    // SJ-P1: the stateful join under a burst regime — the memory-pressure
+    // case (cached state store + burst batches).
+    {
+      StreamCase c;
+      c.type = WorkloadType::kStreamJoin;
+      c.id = "SJ-P1";
+      c.schedule.phases = {
+          {PhaseKind::kSteady, 256.0, 4, 1.0},
+          {PhaseKind::kBurst, 320.0, 4, 2.0},
+      };
+      s.push_back(c);
+    }
+
+    // SJ-P2: diurnal start, then a step up to a higher steady rate.
+    {
+      StreamCase c;
+      c.type = WorkloadType::kStreamJoin;
+      c.id = "SJ-P2";
+      c.schedule.phases = {
+          {PhaseKind::kDiurnal, 320.0, 4, 1.8},
+          {PhaseKind::kSteady, 512.0, 4, 1.0},
+      };
+      s.push_back(c);
+    }
+    return s;
+  }();
+  return suite;
+}
+
+const StreamCase& stream_case(const std::string& id) {
+  for (const auto& c : stream_suite()) {
+    if (c.id == id) return c;
+  }
+  throw std::out_of_range("stream_case: unknown id " + id);
+}
+
+}  // namespace deepcat::streamsim

@@ -1,0 +1,35 @@
+// The streaming evaluation grid: long-running micro-batch cases whose
+// arrival schedule shifts load mid-session. Each case names a streaming
+// workload family member (sparksim::WorkloadType::kStreamAgg/kStreamJoin),
+// a phase schedule, and the latency/throughput contract one evaluation
+// window is scored against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparksim/workloads.hpp"
+#include "streamsim/arrival.hpp"
+
+namespace deepcat::streamsim {
+
+/// One streaming case of the suite (the streaming analog of HiBenchCase).
+struct StreamCase {
+  sparksim::WorkloadType type = sparksim::WorkloadType::kStreamAgg;
+  std::string id;                 ///< e.g. "SA-P1"
+  PhaseSchedule schedule;
+  int batches_per_window = 8;     ///< micro-batches per evaluation window
+  double batch_interval_s = 15.0; ///< arrival interval between batches
+  /// Fraction of the offered load the system must sustain for a window to
+  /// count as a success (the throughput floor under the p95 objective).
+  double throughput_floor = 0.7;
+};
+
+/// All streaming cases, ordered SA then SJ. Every case has >= 2 phases so
+/// every streaming session exercises online re-adaptation.
+[[nodiscard]] const std::vector<StreamCase>& stream_suite();
+
+/// Lookup by id ("SA-P1"); throws std::out_of_range if unknown.
+[[nodiscard]] const StreamCase& stream_case(const std::string& id);
+
+}  // namespace deepcat::streamsim

@@ -217,6 +217,8 @@ TuningReport DeepCatTuner::tune_with_budget(sparksim::TuningEnvironment& env,
 
   report.best_time = env.best_time();
   report.best_config = env.best_config();
+  report.objective = env.objective();
+  report.stream = env.stream_summary();
   return report;
 }
 

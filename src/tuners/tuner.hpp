@@ -5,6 +5,7 @@
 // seconds the tuner spent deciding).
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,12 @@ struct TuningReport {
   double best_time = 0.0;
   sparksim::ConfigValues best_config;
   std::vector<TuningStepRecord> steps;
+  /// What the times above measure (streaming environments tune p95 batch
+  /// latency, not job completion).
+  sparksim::ObjectiveKind objective =
+      sparksim::ObjectiveKind::kJobCompletionSeconds;
+  /// Phase/shift re-adaptation accounting, present for streaming sessions.
+  std::optional<sparksim::StreamSummary> stream;
 
   [[nodiscard]] double total_evaluation_seconds() const noexcept;
   [[nodiscard]] double total_recommendation_seconds() const noexcept;

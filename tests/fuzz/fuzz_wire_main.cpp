@@ -35,6 +35,9 @@ std::string wire_base_stream() {
       {service::FrameType::kRequest,
        "{\"id\":\"req-warm\",\"workload\":\"WC-D2\",\"steps\":2,\"seed\":14,"
        "\"warm\":2,\"model\":\"default\"}"},
+      {service::FrameType::kRequest,
+       "{\"id\":\"req-scoped\",\"workload\":\"SA-P1\",\"steps\":2,"
+       "\"seed\":15,\"scope\":\"workload\"}"},
       {service::FrameType::kFlush, ""},
       {service::FrameType::kTelemetry,
        "{\"tele\":1,\"deterministic\":false,\"aggregate\":true,"

@@ -97,6 +97,25 @@ SessionReport fake_session(const TuningRequest& r) {
   // keeps the pre-warm golden transcripts byte-identical).
   report.warm_seeds = static_cast<int>(
       std::min(r.warm_actions.size(), static_cast<std::size_t>(r.max_steps)));
+  // Streaming ids get an integer-valued re-adaptation summary so the REP's
+  // stream keys (objective/phases/.../recovery_evals) are golden-pinned
+  // without a float entering the transcript.
+  if (r.workload.rfind("SA-", 0) == 0 || r.workload.rfind("SJ-", 0) == 0) {
+    report.report.objective = sparksim::ObjectiveKind::kBatchLatencyP95;
+    sparksim::StreamSummary stream;
+    stream.phases = 3;
+    stream.windows = r.max_steps + 1;  // reset window + one per step
+    stream.final_p95_s = 4;
+    sparksim::ShiftRecord recovered;
+    recovered.at_eval = 2;
+    recovered.recovery_evals = 2;
+    recovered.pre_shift_best = 1;
+    recovered.post_shift_best = 1;
+    recovered.recovered = true;
+    stream.shifts.push_back(recovered);
+    stream.shifts.push_back({});  // still unrecovered: serializes as "-"
+    report.report.stream = std::move(stream);
+  }
   return report;
 }
 
@@ -262,6 +281,41 @@ TEST(GoldenTranscriptTest, MalformedWarmPayloadIsAParseError) {
                      /*with_warm_index=*/true));
 }
 
+TEST(GoldenTranscriptTest, ScopedHappyPathCarriesScopeAndStreamKeys) {
+  // Scope-keyed sessions beside a global one: the scoped REPs carry the
+  // "scope" key, the streaming REQ carries the full re-adaptation block,
+  // and the global batch REQ stays byte-identical to the legacy format.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"s1\",\"workload\":\"SA-P1\",\"steps\":2,\"seed\":41,"
+       "\"scope\":\"workload\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"s2\",\"workload\":\"TS-D1\",\"cluster\":\"b\","
+       "\"steps\":1,\"seed\":42,\"scope\":\"hardware\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"s3\",\"workload\":\"SJ-P2\",\"steps\":1,\"seed\":43}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("scoped_happy_path.golden",
+               serve(input, /*with_fake_runner=*/true));
+}
+
+TEST(GoldenTranscriptTest, UnknownScopeIsAParseError) {
+  // A malformed "scope" is a typed ERR frame (the "warm" precedent): the
+  // stream continues and the well-scoped REQ after it still serves.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"bad\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":51,"
+       "\"scope\":\"regional\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"ok\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":52,"
+       "\"scope\":\"workload\"}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("scope_malformed.golden",
+               serve(input, /*with_fake_runner=*/true));
+}
+
 TEST(GoldenTranscriptTest, MidStreamEofIsAProtocolError) {
   std::string input = encode_frames({
       {FrameType::kRequest, "{\"id\":\"y\",\"workload\":\"WC-D1\"}"},
@@ -280,7 +334,9 @@ TEST(GoldenTranscriptTest, GoldenTranscriptsDecodeAsValidWireStreams) {
   for (const char* name : {"happy_path.golden", "unknown_model.golden",
                            "malformed_frame.golden", "midstream_eof.golden",
                            "stat_tele.golden", "warm_happy_path.golden",
-                           "warm_no_index.golden", "warm_malformed.golden"}) {
+                           "warm_no_index.golden", "warm_malformed.golden",
+                           "scoped_happy_path.golden",
+                           "scope_malformed.golden"}) {
     std::ifstream in(golden_path(name), std::ios::binary);
     ASSERT_TRUE(in) << "missing golden file " << name
                     << " — regenerate with DEEPCAT_UPDATE_GOLDEN=1";

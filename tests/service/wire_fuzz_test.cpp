@@ -44,6 +44,12 @@ std::string wire_base_stream() {
       {FrameType::kRequest,
        "{\"id\":\"req-3\",\"workload\":\"WC-D2\",\"steps\":2,\"seed\":14,"
        "\"warm\":2,\"model\":\"default\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"req-4\",\"workload\":\"SA-P1\",\"steps\":2,\"seed\":15,"
+       "\"scope\":\"workload\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"req-5\",\"workload\":\"TS-D1\",\"cluster\":\"b\","
+       "\"steps\":1,\"seed\":16,\"scope\":\"hardware\"}"},
       {FrameType::kStat, "{\"want\":\"tele\"}"},
       {FrameType::kMetrics, "{\"aggregate\":true,\"sessions\":3}"},
       {FrameType::kEnd, ""},
@@ -52,7 +58,7 @@ std::string wire_base_stream() {
 
 TEST(WireFuzzTest, MutatedStreamsNeverEscapeTypedErrors) {
   const std::string base = wire_base_stream();
-  ASSERT_TRUE(decode_frames(base).size() == 10u) << "base stream must decode";
+  ASSERT_TRUE(decode_frames(base).size() == 12u) << "base stream must decode";
 
   const std::size_t exhaustive = fuzz::exhaustive_mutants(base);
   const std::size_t total = exhaustive + 3000;  // + seeded splices

@@ -1,0 +1,114 @@
+#include "streamsim/arrival.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace deepcat::streamsim {
+namespace {
+
+PhaseSchedule three_phase() {
+  PhaseSchedule s;
+  s.phases.push_back({PhaseKind::kSteady, 64.0, 3, 2.0});
+  s.phases.push_back({PhaseKind::kBurst, 64.0, 2, 3.0});
+  s.phases.push_back({PhaseKind::kDiurnal, 128.0, 4, 2.0});
+  return s;
+}
+
+TEST(StreamsimScheduleTest, IndexesWindowsIntoPhases) {
+  const PhaseSchedule s = three_phase();
+  EXPECT_EQ(s.phase_index(0), 0);
+  EXPECT_EQ(s.phase_index(2), 0);
+  EXPECT_EQ(s.phase_index(3), 1);
+  EXPECT_EQ(s.phase_index(4), 1);
+  EXPECT_EQ(s.phase_index(5), 2);
+  EXPECT_EQ(s.phase_index(8), 2);
+  EXPECT_EQ(s.total_windows(), 9);
+  EXPECT_EQ(s.shift_count(), 2);
+}
+
+TEST(StreamsimScheduleTest, LastPhaseHoldsForever) {
+  const PhaseSchedule s = three_phase();
+  // A session outrunning the schedule keeps the final phase's load.
+  EXPECT_EQ(s.phase_index(9), 2);
+  EXPECT_EQ(s.phase_index(1000), 2);
+  EXPECT_EQ(s.phase_at(1000).kind, PhaseKind::kDiurnal);
+}
+
+TEST(StreamsimArrivalTest, BatchSizesAreAPureFunctionOfSeedAndWindow) {
+  const PhaseSchedule s = three_phase();
+  const auto a = window_batches(s, 4, 8, 7);
+  const auto b = window_batches(s, 4, 8, 7);
+  EXPECT_EQ(a, b);
+  // Different window / different seed draw from independent streams.
+  EXPECT_NE(a, window_batches(s, 5, 8, 7));
+  EXPECT_NE(a, window_batches(s, 4, 8, 8));
+}
+
+TEST(StreamsimArrivalTest, EvaluationOrderCannotPerturbArrivals) {
+  const PhaseSchedule s = three_phase();
+  // Querying window 6 first must not change what window 2 offers — each
+  // window reseeds from mix_seed(stream_seed, window).
+  const auto w2_first = window_batches(s, 2, 8, 99);
+  (void)window_batches(s, 6, 8, 99);
+  EXPECT_EQ(window_batches(s, 2, 8, 99), w2_first);
+}
+
+TEST(StreamsimArrivalTest, SizesArePositiveAndTrackThePhaseMean) {
+  const PhaseSchedule s = three_phase();
+  for (int w = 0; w < 9; ++w) {
+    const auto sizes = window_batches(s, w, 32, 5);
+    ASSERT_EQ(sizes.size(), 32u);
+    double sum = 0.0;
+    for (const double mb : sizes) {
+      EXPECT_GE(mb, 1.0);
+      sum += mb;
+    }
+    const double mean = sum / 32.0;
+    const double phase_mean = s.phase_at(w).mean_batch_mb;
+    // Noise and burst/diurnal modulation stay within a loose factor.
+    EXPECT_GT(mean, 0.3 * phase_mean);
+    EXPECT_LT(mean, 3.0 * phase_mean);
+  }
+}
+
+TEST(StreamsimArrivalTest, BurstPhaseSpikesEveryPeriodthBatch) {
+  PhaseSchedule s;
+  s.phases.push_back({PhaseKind::kBurst, 100.0, 2, 4.0});
+  const auto sizes = window_batches(s, 0, 16, 3);
+  double burst_mean = 0.0, base_mean = 0.0;
+  int bursts = 0, bases = 0;
+  for (std::size_t b = 0; b < sizes.size(); ++b) {
+    if (b % static_cast<std::size_t>(kBurstPeriod) ==
+        static_cast<std::size_t>(kBurstPeriod) - 1) {
+      burst_mean += sizes[b];
+      ++bursts;
+    } else {
+      base_mean += sizes[b];
+      ++bases;
+    }
+  }
+  burst_mean /= bursts;
+  base_mean /= bases;
+  EXPECT_GT(burst_mean, 2.0 * base_mean);
+}
+
+TEST(StreamsimArrivalTest, DiurnalPhaseModulatesAcrossTheWindow) {
+  PhaseSchedule s;
+  s.phases.push_back({PhaseKind::kDiurnal, 100.0, 1, 3.0});
+  const auto sizes = window_batches(s, 0, 64, 11);
+  const auto [lo, hi] = std::minmax_element(sizes.begin(), sizes.end());
+  // Peak-to-trough spread must reflect the sinusoid, not just noise.
+  EXPECT_GT(*hi / *lo, 1.5);
+}
+
+TEST(StreamsimPhaseKindTest, NamesAreStable) {
+  EXPECT_EQ(to_string(PhaseKind::kSteady), "steady");
+  EXPECT_EQ(to_string(PhaseKind::kBurst), "burst");
+  EXPECT_EQ(to_string(PhaseKind::kDiurnal), "diurnal");
+}
+
+}  // namespace
+}  // namespace deepcat::streamsim

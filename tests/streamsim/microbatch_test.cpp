@@ -1,0 +1,119 @@
+#include "streamsim/microbatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sparksim/config_space.hpp"
+#include "sparksim/hardware.hpp"
+#include "streamsim/arrival.hpp"
+
+namespace deepcat::streamsim {
+namespace {
+
+StreamCase small_case() {
+  StreamCase c;
+  c.type = sparksim::WorkloadType::kStreamAgg;
+  c.id = "T-small";
+  c.schedule.phases = {{PhaseKind::kSteady, 64.0, 4, 1.0}};
+  c.batches_per_window = 6;
+  c.batch_interval_s = 15.0;
+  c.throughput_floor = 0.5;
+  return c;
+}
+
+TEST(StreamsimMicroBatchTest, OfferedLoadMatchesTheArrivalProcess) {
+  const MicroBatchSimulator micro(sparksim::cluster_a());
+  const StreamCase c = small_case();
+  const WindowResult r = micro.run_window(
+      c, 2, sparksim::pipeline_space().defaults(), 7, 9);
+  const auto sizes = window_batches(c.schedule, 2, c.batches_per_window, 7);
+  const double offered =
+      std::accumulate(sizes.begin(), sizes.end(), 0.0);
+  EXPECT_DOUBLE_EQ(r.offered_mb, offered);
+}
+
+TEST(StreamsimMicroBatchTest, DefaultsSustainModestLoad) {
+  const MicroBatchSimulator micro(sparksim::cluster_a());
+  const StreamCase c = small_case();
+  const WindowResult r = micro.run_window(
+      c, 0, sparksim::pipeline_space().defaults(), 7, 9);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.batches, c.batches_per_window);
+  EXPECT_DOUBLE_EQ(r.processed_mb, r.offered_mb);
+  EXPECT_GT(r.throughput_fraction, 0.0);
+  EXPECT_GT(r.p95_latency_s, 0.0);
+  // Per-batch latency is measured from arrival, so it can never exceed the
+  // window's wall time.
+  EXPECT_LE(r.p95_latency_s, r.elapsed_s);
+  EXPECT_GE(r.p95_latency_s, r.mean_latency_s);
+  EXPECT_EQ(r.load_averages.size(),
+            micro.cluster().num_nodes() * 3);
+  EXPECT_GT(r.executors, 0);
+  EXPECT_GT(r.total_slots, 0);
+}
+
+TEST(StreamsimMicroBatchTest, DeterministicInAllArguments) {
+  const MicroBatchSimulator micro(sparksim::cluster_a());
+  const StreamCase c = small_case();
+  const auto cfg = sparksim::pipeline_space().defaults();
+  const WindowResult a = micro.run_window(c, 1, cfg, 5, 11);
+  const WindowResult b = micro.run_window(c, 1, cfg, 5, 11);
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_DOUBLE_EQ(a.p95_latency_s, b.p95_latency_s);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.offered_mb, b.offered_mb);
+  EXPECT_DOUBLE_EQ(a.elapsed_s, b.elapsed_s);
+  EXPECT_DOUBLE_EQ(a.throughput_fraction, b.throughput_fraction);
+  EXPECT_EQ(a.load_averages, b.load_averages);
+}
+
+TEST(StreamsimMicroBatchTest, ExecSeedPerturbsExecutionButNotArrivals) {
+  const MicroBatchSimulator micro(sparksim::cluster_a());
+  const StreamCase c = small_case();
+  const auto cfg = sparksim::pipeline_space().defaults();
+  const WindowResult a = micro.run_window(c, 1, cfg, 5, 11);
+  const WindowResult b = micro.run_window(c, 1, cfg, 5, 12);
+  EXPECT_DOUBLE_EQ(a.offered_mb, b.offered_mb);
+  EXPECT_NE(a.p95_latency_s, b.p95_latency_s);
+}
+
+TEST(StreamsimMicroBatchTest, QueueingDelayGrowsAsTheIntervalShrinks) {
+  const MicroBatchSimulator micro(sparksim::cluster_a());
+  StreamCase relaxed = small_case();
+  relaxed.batch_interval_s = 1e6;  // every batch finds an empty queue
+  StreamCase tight = small_case();
+  tight.batch_interval_s = 0.01;   // every batch queues behind the last
+  const auto cfg = sparksim::pipeline_space().defaults();
+  const WindowResult slow = micro.run_window(relaxed, 0, cfg, 5, 11);
+  const WindowResult fast = micro.run_window(tight, 0, cfg, 5, 11);
+  ASSERT_TRUE(slow.success) << slow.failure_reason;
+  ASSERT_TRUE(fast.success) << fast.failure_reason;
+  // Same arrivals, same execution draws — only the queueing differs.
+  EXPECT_DOUBLE_EQ(slow.offered_mb, fast.offered_mb);
+  EXPECT_GT(fast.p95_latency_s, slow.p95_latency_s);
+}
+
+TEST(StreamsimMicroBatchTest, FailedBatchFailsTheWindow) {
+  const MicroBatchSimulator micro(sparksim::cluster_a());
+  StreamCase c = small_case();
+  c.type = sparksim::WorkloadType::kStreamJoin;
+  c.schedule.phases = {{PhaseKind::kSteady, 2048.0, 4, 1.0}};
+  auto cfg = sparksim::pipeline_space().defaults();
+  // Many tasks sharing a starved heap: the canonical OOM recipe of the
+  // batch simulator, magnified by the join's cached state store.
+  cfg.set(sparksim::KnobId::kExecutorInstances, 8);
+  cfg.set(sparksim::KnobId::kExecutorCores, 8);
+  cfg.set(sparksim::KnobId::kExecutorMemoryMb, 512);
+  cfg.set(sparksim::KnobId::kMemoryOverheadMb, 256);
+  cfg.set(sparksim::KnobId::kVmemPmemRatio, 1.0);
+  const WindowResult r = micro.run_window(c, 0, cfg, 5, 11);
+  ASSERT_FALSE(r.success);
+  EXPECT_FALSE(r.failure_reason.empty());
+  // The failed batch's volume never counts as processed.
+  EXPECT_LT(r.processed_mb, r.offered_mb);
+  EXPECT_LT(r.throughput_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace deepcat::streamsim
