@@ -60,6 +60,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <mutex>
@@ -87,6 +88,7 @@
 #include "obs/clock.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/tracer.hpp"
 #include "core/deepcat_api.hpp"
 #include "nn/mlp.hpp"
@@ -601,13 +603,16 @@ int run_kernel_bench_json(const std::string& path) {
 int run_obs_bench_json(const std::string& path) {
   (void)obs_bench_master();           // pay the TD3 warmup up front
   (void)run_streaming_workload(true); // warm allocators / code paths
+  // Best-of-8 per mode: the workload is scheduler-noisy (a thread pool
+  // draining 8 sessions), and the publish gate below compares the two
+  // minima — too few reps and noise, not tracing, trips it.
   const double off_ns =
       best_ns_per_call([] { run_streaming_workload(false); },
-                       /*min_batch_seconds=*/0.0, /*reps=*/3);
+                       /*min_batch_seconds=*/0.0, /*reps=*/8);
   ObsServeStats last;
   const double on_ns = best_ns_per_call(
       [&last] { last = run_streaming_workload(true); },
-      /*min_batch_seconds=*/0.0, /*reps=*/3);
+      /*min_batch_seconds=*/0.0, /*reps=*/8);
 
   obs::MetricsRegistry registry;
   registry.gauge("obs.serve.tracing_off_ns").set(off_ns);
@@ -622,6 +627,73 @@ int run_obs_bench_json(const std::string& path) {
   registry.gauge("obs.serve.ring_highwater")
       .set(static_cast<double>(last.ring_highwater));
   registry.counter("obs.serve.dropped_spans").add(last.dropped);
+
+  // Tracing must stay a rounding error on the serve path; a regression
+  // past 5% is a finding, not a baseline, so refuse to publish it.
+  constexpr double kMaxOverheadRatio = 1.05;
+  if (on_ns > off_ns * kMaxOverheadRatio) {
+    std::cerr << "bench_micro: tracing overhead " << on_ns / off_ns
+              << "x exceeds the " << kMaxOverheadRatio
+              << "x publish gate; not publishing\n";
+    return 1;
+  }
+
+  // GET /metrics scrape under load: render the Prometheus exposition from
+  // the live registry while the traced workload runs — the same
+  // registry-snapshot-plus-render the HTTP endpoint performs between
+  // epoll wakeups, contending with every instrumented layer.
+  {
+    obs::LogicalClock clock;
+    obs::CallbackSpanSink sink([](const obs::SpanRecord&) {});
+    obs::MetricsRegistry live;
+    obs::TracerOptions tracer_options;
+    tracer_options.exporter = &sink;
+    tracer_options.ring_capacity = 256;
+    tracer_options.health = &live;
+    obs::Tracer tracer(clock, tracer_options);
+    service::StreamingOptions options = obs_bench_options();
+    options.service.obs = {&live, &tracer};
+    service::StreamingService svc(options);
+    std::istringstream blob(obs_bench_master(), std::ios::binary);
+    svc.load_model("default", blob);
+
+    std::atomic<bool> done{false};
+    std::thread worker([&] {
+      for (const auto& r : obs_bench_requests()) svc.submit(r);
+      while (svc.wait_completed()) {
+      }
+      (void)svc.flush();
+      done.store(true, std::memory_order_release);
+    });
+    const obs::BuildInfo info = obs::current_build_info();
+    double scrape_total_ns = 0.0;
+    double scrape_max_ns = 0.0;
+    std::size_t scrapes = 0;
+    std::size_t scrape_bytes = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const auto t0 = std::chrono::steady_clock::now();
+      std::ostringstream text;
+      obs::write_prometheus_text(text, live.snapshot(), info);
+      const auto ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count());
+      scrape_bytes = text.str().size();
+      scrape_total_ns += ns;
+      scrape_max_ns = std::max(scrape_max_ns, ns);
+      ++scrapes;
+    }
+    worker.join();
+    registry.gauge("obs.scrape.count")
+        .set(static_cast<double>(scrapes));
+    if (scrapes > 0) {
+      registry.gauge("obs.scrape.mean_ns")
+          .set(scrape_total_ns / static_cast<double>(scrapes));
+      registry.gauge("obs.scrape.max_ns").set(scrape_max_ns);
+      registry.gauge("obs.scrape.last_bytes")
+          .set(static_cast<double>(scrape_bytes));
+    }
+  }
 
   std::ostringstream json;
   json << "{\"bench\":\"deepcat obs overhead microbenchmark\",\"build\":";

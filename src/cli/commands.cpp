@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -15,6 +16,7 @@
 #include "obs/clock.hpp"
 #include "obs/exporter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 #include "retrieval/index.hpp"
 #include "service/checkpoint.hpp"
@@ -115,6 +117,14 @@ void print_usage(std::ostream& os) {
         "      [--trace-out trace.json] [--metrics-out metrics.jsonl]\n"
         "      [--trace-stream trace.json] [--trace-ring 256]\n"
         "      [--tele-every 0] [--clock steady|logical]\n"
+        "      [--http host:port]      (GET /metrics /healthz /varz\n"
+        "                               /timeseries on the same epoll loop;\n"
+        "                               needs --socket or --tcp)\n"
+        "      [--series N]            (retain convergence time-series, ~N\n"
+        "                               points per series; exported as TSER\n"
+        "                               frames and GET /timeseries)\n"
+        "      [--reply-timings 1]     (echo per-stage t_*_ns in traced REPs;\n"
+        "                               needs --trace-out/--trace-stream)\n"
         "      (--socket/--tcp run the multiplexing front end; --socket\n"
         "       alone keeps the legacy exit-after-one-connection contract.\n"
         "       without --in/--socket/--tcp reads stdin; without\n"
@@ -123,6 +133,12 @@ void print_usage(std::ostream& os) {
         "      [--tcp host:port]       telemetry snapshot (STAT over DCWP)\n"
         "      [--requests file.jsonl] (first send each line as a REQ and\n"
         "                               print every REP/ERR payload)\n"
+        "      [--series 1]            (render sparklines from the server's\n"
+        "                               TSER time-series frame)\n"
+        "      [--trace-out trace.json] [--trace-id deepcat-stats]\n"
+        "                              (tag REQs with a trace id, collect\n"
+        "                               client spans + echoed server stage\n"
+        "                               timings into one Chrome trace)\n"
         "  index build --checkpoint dir/ --out index.bin\n"
         "      [--model default] [--workloads TS-D1,WC-D1 | all]\n"
         "      [--seeds 2] [--steps 5] [--cluster a|b]\n"
@@ -167,6 +183,12 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
   }
 #endif
   const bool front_end = socket_path.has_value() || tcp_spec.has_value();
+  const auto http_spec = args.flag("http");
+  if (http_spec && !front_end) {
+    throw std::invalid_argument(
+        "serve: --http requires --socket or --tcp (the observability "
+        "endpoint shares the front end's epoll loop)");
+  }
   const auto shards =
       std::max<std::size_t>(1, static_cast<std::size_t>(
                                    args.number_or("shards", 1)));
@@ -205,7 +227,11 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
   std::unique_ptr<obs::ChromeTraceFileSink> trace_sink;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::MetricsRegistry> metrics_registry;
-  const bool obs_on = trace_out || trace_stream || metrics_out;
+  // --http implies a metrics registry (GET /metrics must serve real
+  // instruments, not just the build-info join gauge) but not a tracer:
+  // a long-running server should not retain spans nobody will export.
+  const bool obs_on =
+      trace_out || trace_stream || metrics_out || http_spec.has_value();
   if (obs_on) {
     if (clock_kind == "logical") {
       clock = std::make_unique<obs::LogicalClock>();
@@ -216,19 +242,39 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
                                   "' (use steady or logical)");
     }
     metrics_registry = std::make_unique<obs::MetricsRegistry>();
-    obs::TracerOptions tracer_options;
-    tracer_options.health = metrics_registry.get();
-    if (trace_stream) {
-      trace_sink =
-          std::make_unique<obs::ChromeTraceFileSink>(*trace_stream,
-                                                     clock_kind);
-      tracer_options.exporter = trace_sink.get();
-      tracer_options.ring_capacity = static_cast<std::size_t>(
-          args.number_or("trace-ring", 256));
+    if (trace_out || trace_stream) {
+      obs::TracerOptions tracer_options;
+      tracer_options.health = metrics_registry.get();
+      if (trace_stream) {
+        trace_sink =
+            std::make_unique<obs::ChromeTraceFileSink>(*trace_stream,
+                                                       clock_kind);
+        tracer_options.exporter = trace_sink.get();
+        tracer_options.ring_capacity = static_cast<std::size_t>(
+            args.number_or("trace-ring", 256));
+      }
+      tracer = std::make_unique<obs::Tracer>(*clock, tracer_options);
+      options.service.obs.tracer = tracer.get();
     }
-    tracer = std::make_unique<obs::Tracer>(*clock, tracer_options);
     options.service.obs.metrics = metrics_registry.get();
-    options.service.obs.tracer = tracer.get();
+  }
+
+  // Convergence time-series retention is independent of the trace/metrics
+  // gate: --series alone turns it on (for TSER frames + GET /timeseries)
+  // without paying for span bookkeeping.
+  std::unique_ptr<obs::TimeSeriesRegistry> series_registry;
+  if (const double series_n = args.number_or("series", 0); series_n != 0.0) {
+    auto capacity = static_cast<std::size_t>(series_n);
+    if (capacity < 2) capacity = 128;  // --series 1 means "just enable it"
+    if (capacity % 2 != 0) ++capacity;
+    series_registry = std::make_unique<obs::TimeSeriesRegistry>(capacity);
+    options.service.obs.series = series_registry.get();
+  }
+  options.reply_timings = args.number_or("reply-timings", 0) != 0.0;
+  if (options.reply_timings && tracer == nullptr) {
+    throw std::invalid_argument(
+        "serve: --reply-timings needs a tracer (--trace-out or "
+        "--trace-stream)");
   }
 
   service::StreamServeOptions serve_options;
@@ -310,12 +356,21 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
         args.number_or("flush-on-end", legacy_single ? 1 : 0) != 0.0;
     fe.serve = serve_options;
     fe.obs = options.service.obs;
+    if (http_spec) {
+      const auto [http_host, http_port] = net::parse_host_port(*http_spec);
+      fe.http_host = http_host.empty() ? "127.0.0.1" : http_host;
+      fe.http_port = http_port;
+    }
     net::FrontEnd server(svc, fe);
     if (fe.exit_after_connections == 0) server.install_signal_handlers();
     if (socket_path) os << "listening on " << *socket_path << '\n';
     if (tcp_spec) {
       os << "listening on " << fe.tcp_host << ':' << server.tcp_port()
          << '\n';
+    }
+    if (http_spec) {
+      os << "observability http on " << fe.http_host << ':'
+         << server.http_port() << '\n';
     }
     os << std::flush;
     const net::FrontEndStats stats = server.run();
@@ -326,7 +381,12 @@ int cmd_serve_stream(const ParsedArgs& args, std::ostream& os,
        << stats.protocol_errors << " protocol errors, "
        << stats.rejected_overload + stats.overloaded_requests
        << " overload rejections, " << stats.forced_closes
-       << " forced closes\n";
+       << " forced closes";
+    if (http_spec) {
+      os << ", " << stats.http_requests << " http requests, "
+         << stats.http_errors << " http errors";
+    }
+    os << '\n';
     exit_code = front_end_exit_code(stats);
 #endif
   } else {
@@ -721,10 +781,37 @@ int cmd_stats(const ParsedArgs& args, std::ostream& os) {
                                        port);
   }();
 
+  // --trace-out: open a client-side trace, tag every request with a trace
+  // id + parent span, and graft the server's echoed t_*_ns stage block
+  // back in as server.* child spans — one Chrome-trace file then shows a
+  // request's full life across both processes.
+  const auto trace_out = args.flag("trace-out");
+  if (args.flag("trace-id") && !trace_out) {
+    throw std::invalid_argument("stats: --trace-id needs --trace-out");
+  }
+  const std::string trace_id = args.flag_or("trace-id", "deepcat-stats");
+  std::unique_ptr<obs::SteadyClock> clock;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::uint64_t root_span = 0;
+  if (trace_out) {
+    clock = std::make_unique<obs::SteadyClock>();
+    tracer = std::make_unique<obs::Tracer>(*clock);
+    root_span = tracer->begin_span("client.stats");
+    obs::Sink sink;
+    sink.tracer = tracer.get();
+    sink.trace_parent = root_span;
+    client.set_obs(sink);
+  }
+
   // Optional request leg (the warm-start smoke path in CI drives warm
   // queries over the socket this way): each JSONL line goes out as one
   // REQ frame before the STAT poll; the loop below prints every REP/ERR
   // payload the server answers with.
+  struct OpenRpc {
+    std::uint64_t span = 0;
+    std::uint64_t t0_ns = 0;
+  };
+  std::deque<OpenRpc> open_rpcs;  // REPs arrive in admission order
   client.send_header();
   if (const auto requests_path = args.flag("requests")) {
     std::ifstream req(*requests_path);
@@ -735,6 +822,15 @@ int cmd_stats(const ParsedArgs& args, std::ostream& os) {
     std::string line;
     while (std::getline(req, line)) {
       if (line.empty()) continue;
+      if (tracer != nullptr) {
+        const std::uint64_t rpc = tracer->begin_span("client.rpc", root_span);
+        open_rpcs.push_back({rpc, clock->now_ns()});
+        const std::size_t brace = line.rfind('}');
+        if (brace != std::string::npos) {
+          line.insert(brace, ",\"trace\":\"" + service::json_escape(trace_id) +
+                                 "\",\"span\":" + std::to_string(rpc));
+        }
+      }
       client.send_frame(service::FrameType::kRequest, line);
     }
   }
@@ -744,19 +840,44 @@ int cmd_stats(const ParsedArgs& args, std::ostream& os) {
   client.send_frame(service::FrameType::kEnd, "");
 
   std::string tele;
+  std::string tser;
   std::size_t errors = 0;
   for (;;) {
     const auto frame = client.read_frame();
     if (!frame) break;  // server closed without END: report what we got
     if (frame->type == service::FrameType::kReply) {
       os << frame->payload << '\n';
+      if (tracer != nullptr && !open_rpcs.empty()) {
+        const OpenRpc rpc = open_rpcs.front();
+        open_rpcs.pop_front();
+        const auto fields = service::parse_flat_json(frame->payload);
+        std::uint64_t t = rpc.t0_ns;
+        for (const char* stage :
+             {"decode", "queue", "session", "merge", "write"}) {
+          const auto it = fields.find(std::string("t_") + stage + "_ns");
+          if (it == fields.end()) continue;
+          const auto dur =
+              static_cast<std::uint64_t>(std::stoull(it->second));
+          tracer->add_complete_span(std::string("server.") + stage, rpc.span,
+                                    t, dur);
+          t += dur;
+        }
+        tracer->end_span(rpc.span);
+      }
     }
     if (frame->type == service::FrameType::kError) {
       os << frame->payload << '\n';
       ++errors;
+      if (tracer != nullptr && !open_rpcs.empty()) {
+        tracer->end_span(open_rpcs.front().span);
+        open_rpcs.pop_front();
+      }
     }
     if (frame->type == service::FrameType::kTelemetry && tele.empty()) {
       tele = frame->payload;  // the STAT answer is the first TELE
+    }
+    if (frame->type == service::FrameType::kTimeSeries) {
+      tser = frame->payload;  // keep the freshest snapshot
     }
     if (frame->type == service::FrameType::kEnd) break;
   }
@@ -765,6 +886,45 @@ int cmd_stats(const ParsedArgs& args, std::ostream& os) {
     return 1;
   }
   os << tele << '\n';
+
+  if (args.number_or("series", 0) != 0.0) {
+    if (tser.empty()) {
+      os << "no TSER frame received (start the server with --series N)\n";
+    } else {
+      std::istringstream lines(tser);
+      std::string line;
+      bool header = true;
+      while (std::getline(lines, line)) {
+        if (line.empty()) continue;
+        if (header) {  // {"tser":1,"series":N}
+          header = false;
+          continue;
+        }
+        const auto fields = service::parse_flat_json(line);
+        const auto name = fields.find("name");
+        const auto points_field = fields.find("points");
+        if (name == fields.end() || points_field == fields.end()) continue;
+        const auto points = obs::parse_timeseries_points(points_field->second);
+        os << name->second << " (n=" << fields.at("count") << ", stride "
+           << fields.at("stride") << ") " << obs::render_sparkline(points);
+        if (!points.empty()) os << " last=" << points.back().last;
+        os << '\n';
+      }
+    }
+  }
+
+  if (trace_out) {
+    for (const OpenRpc& rpc : open_rpcs) tracer->end_span(rpc.span);
+    tracer->end_span(root_span);
+    std::ofstream tf(*trace_out, std::ios::trunc);
+    if (!tf) {
+      throw std::invalid_argument("stats: cannot open trace output '" +
+                                  *trace_out + "'");
+    }
+    tracer->write_chrome_trace(tf);
+    os << "wrote trace to " << *trace_out << " (" << tracer->span_count()
+       << " spans, trace id '" << trace_id << "')\n";
+  }
   return errors == 0 ? 0 : 1;
 #endif
 }

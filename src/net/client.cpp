@@ -39,6 +39,15 @@ void BlockingClient::send_header() {
 
 void BlockingClient::send_frame(service::FrameType type,
                                 std::string_view payload) {
+  std::optional<obs::Tracer::Span> span;
+  if (obs_.tracer != nullptr) {
+    span.emplace(obs_.tracer,
+                 obs_.tracer->begin_span(
+                     "client.send." +
+                         std::string(service::frame_type_name(
+                             static_cast<std::uint32_t>(type))),
+                     obs_.trace_parent));
+  }
   send_all(service::encode_frame(type, payload));
 }
 
@@ -47,6 +56,11 @@ void BlockingClient::shutdown_writes() {
 }
 
 std::optional<service::Frame> BlockingClient::read_frame() {
+  std::optional<obs::Tracer::Span> span;
+  if (obs_.tracer != nullptr) {
+    span.emplace(obs_.tracer,
+                 obs_.tracer->begin_span("client.recv", obs_.trace_parent));
+  }
   for (;;) {
     if (auto frame = decoder_.next()) return frame;
     char buf[16 * 1024];

@@ -11,6 +11,7 @@
 
 #include "net/fd.hpp"
 #include "net/frame_decoder.hpp"
+#include "obs/sink.hpp"
 #include "service/wire.hpp"
 
 namespace deepcat::net {
@@ -38,6 +39,12 @@ class BlockingClient {
 
   [[nodiscard]] int fd() const noexcept { return fd_.get(); }
 
+  /// Client-side tracing: with a tracer in the sink, send_frame wraps the
+  /// socket write in a "client.send.<TYPE>" span and read_frame wraps the
+  /// blocking receive in "client.recv", both parented under the sink's
+  /// trace_parent. Default (inert sink) adds nothing.
+  void set_obs(const obs::Sink& obs) { obs_ = obs; }
+
   /// Closes the socket outright (the midstream-disconnect tests).
   void close() noexcept { fd_.reset(); }
 
@@ -47,6 +54,7 @@ class BlockingClient {
 
   FdGuard fd_;
   FrameDecoder decoder_;
+  obs::Sink obs_;
 };
 
 }  // namespace deepcat::net

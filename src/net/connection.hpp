@@ -79,6 +79,7 @@ class Connection {
   std::size_t protocol_errors = 0;
   std::size_t stat_polls = 0;
   std::size_t tele_frames = 0;
+  std::size_t tser_frames = 0;
   std::size_t replies = 0;
   std::size_t overloaded_requests = 0;
   bool clean_end = false;

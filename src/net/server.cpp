@@ -7,7 +7,9 @@
 #include <csignal>
 #include <sstream>
 #include <utility>
+#include <vector>
 
+#include "obs/prometheus.hpp"
 #include "service/jsonl.hpp"
 
 namespace deepcat::net {
@@ -18,6 +20,12 @@ namespace {
 constexpr std::uint64_t kWakeToken = 0;
 constexpr std::uint64_t kUnixToken = 1;
 constexpr std::uint64_t kTcpToken = 2;
+constexpr std::uint64_t kHttpToken = 3;
+
+// HTTP connections are one-exchange and read-only; anything parked this
+// long without completing its request is a stuck scraper (or slowloris)
+// holding an fd for nothing.
+constexpr std::int64_t kHttpIdleTimeoutMs = 30'000;
 
 std::int64_t now_ms() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -44,7 +52,7 @@ void forward_signal(int) {
 FrontEnd::FrontEnd(service::ShardedStreamingService& service,
                    FrontEndOptions options)
     : service_(service), options_(std::move(options)) {
-  listeners_.reserve(2);
+  listeners_.reserve(3);  // pointers below index into this vector
   if (!options_.unix_path.empty()) {
     listeners_.push_back(listen_unix(options_.unix_path, /*backlog=*/128));
     unix_listener_ = &listeners_.back();
@@ -56,9 +64,17 @@ FrontEnd::FrontEnd(service::ShardedStreamingService& service,
                    /*backlog=*/128));
     tcp_listener_ = &listeners_.back();
   }
-  if (listeners_.empty()) {
+  if (unix_listener_ == nullptr && tcp_listener_ == nullptr) {
     throw std::runtime_error("front end needs at least one listener");
   }
+  if (options_.http_port >= 0) {
+    listeners_.push_back(
+        listen_tcp(options_.http_host,
+                   static_cast<std::uint16_t>(options_.http_port),
+                   /*backlog=*/128));
+    http_listener_ = &listeners_.back();
+  }
+  time_replies_ = service_.shard(0).options().reply_timings;
   if (auto* metrics = options_.obs.metrics) {
     obs_accepted_ = &metrics->counter("net.accepted");
     obs_rejected_ = &metrics->counter("net.rejected_overload");
@@ -81,6 +97,10 @@ FrontEnd::~FrontEnd() {
 
 std::uint16_t FrontEnd::tcp_port() const noexcept {
   return tcp_listener_ != nullptr ? tcp_listener_->port : 0;
+}
+
+std::uint16_t FrontEnd::http_port() const noexcept {
+  return http_listener_ != nullptr ? http_listener_->port : 0;
 }
 
 void FrontEnd::request_shutdown() noexcept {
@@ -123,6 +143,19 @@ void FrontEnd::emit_conn_tele(Connection& conn) {
   conn.queue_frame(service::FrameType::kTelemetry,
                    strip_newline(std::move(tele).str()));
   ++conn.tele_frames;
+}
+
+void FrontEnd::maybe_emit_tser(Connection& conn) {
+  // Convergence time-series, emitted immediately before a TELE at the
+  // same protocol points (FLSH, STAT, tail). Strictly gated on a registry
+  // being attached: without one the stream stays byte-identical v2-shaped.
+  const obs::TimeSeriesRegistry* series = service_.timeseries_registry();
+  if (series == nullptr) return;
+  std::ostringstream os;
+  obs::write_timeseries_jsonl(os, series->snapshot());
+  conn.queue_frame(service::FrameType::kTimeSeries,
+                   strip_newline(std::move(os).str()));
+  ++conn.tser_frames;
 }
 
 void FrontEnd::accept_ready(Listener& listener, bool is_tcp) {
@@ -194,6 +227,10 @@ void FrontEnd::handle_frame(Connection& conn, service::Frame frame) {
         break;
       }
       service::TuningRequest request;
+      obs::Tracer* tracer = options_.obs.tracer;
+      const bool time_decode = time_replies_ && tracer != nullptr;
+      const std::uint64_t t_decode =
+          time_decode ? tracer->clock().now_ns() : 0;
       try {
         request = service::parse_request_json(frame.payload, ordinal);
       } catch (const std::exception& e) {
@@ -203,6 +240,15 @@ void FrontEnd::handle_frame(Connection& conn, service::Frame frame) {
                              e.what()));
         ++conn.parse_errors;
         break;
+      }
+      if (!request.trace_id.empty()) {
+        // Wire-propagated trace context: the session's request span
+        // parents under this connection's span, so one trace shows
+        // client -> conn -> request -> session.
+        request.server_parent_span = conn.span;
+        if (time_decode) {
+          request.decode_ns = tracer->clock().now_ns() - t_decode;
+        }
       }
       // Same typed-error contract as the istream driver: a warm request
       // against a missing/empty index never becomes a failed session.
@@ -244,6 +290,7 @@ void FrontEnd::handle_frame(Connection& conn, service::Frame frame) {
         ++conn.stat_polls;
         // STAT is the live global poll: cross-shard aggregate plus the
         // full instrument set, no barrier.
+        maybe_emit_tser(conn);
         conn.queue_frame(service::FrameType::kTelemetry,
                          global_tele_payload());
         ++conn.tele_frames;
@@ -331,6 +378,15 @@ void FrontEnd::drain_completions() {
     }
     conn.metrics.record(completion.report);
     if (!completion.report.session.ok) ++conn.failed_sessions;
+    if (completion.report.session.timings.has_value() &&
+        options_.obs.tracer != nullptr) {
+      // Write cost via a discarded dry-run serialization (two clock reads
+      // bracketing the same encoder the real reply uses below).
+      obs::Clock& clock = options_.obs.tracer->clock();
+      const std::uint64_t t0 = clock.now_ns();
+      (void)service::stream_reply_payload(completion.report);
+      completion.report.session.timings->write_ns = clock.now_ns() - t0;
+    }
     conn.pending_replies.emplace(
         completion.reply_index,
         service::stream_reply_payload(completion.report));
@@ -371,6 +427,7 @@ void FrontEnd::maybe_run_flush() {
     for (auto& [id, conn] : conns_) {
       if (conn->state != ConnState::kFlushWait) continue;
       conn->state = ConnState::kOpen;
+      maybe_emit_tser(*conn);
       emit_conn_tele(*conn);
       pump_writes(*conn);
     }
@@ -406,6 +463,7 @@ void FrontEnd::maybe_emit_tail(Connection& conn) {
     if (outstanding_total_ != 0) return;
     (void)service_.flush_all();
   }
+  maybe_emit_tser(conn);
   emit_conn_tele(conn);
   if (options_.serve.metr_compat) {
     std::ostringstream metrics;
@@ -424,6 +482,10 @@ void FrontEnd::begin_server_drain() {
   draining_ = true;
   drain_started_ms_ = now_ms();
   for (auto& listener : listeners_) {
+    // The HTTP observability listener survives the drain on purpose:
+    // /healthz keeps answering 503 "draining" until the loop exits, which
+    // is how orchestrators see readiness flip before the process goes.
+    if (&listener == http_listener_) continue;
     if (listener.fd.valid()) {
       loop_.remove(listener.fd.get());
       listener.fd.reset();
@@ -458,6 +520,18 @@ void FrontEnd::check_timeouts(std::int64_t now) {
       conn->state = ConnState::kClosing;
       pump_writes(*conn);
     }
+  }
+  if (!http_conns_.empty()) {
+    for (auto& [id, conn] : http_conns_) {
+      if (conn->responded) continue;  // write-draining, bounded by epoll
+      if (now - conn->last_activity_ms < kHttpIdleTimeoutMs) continue;
+      HttpError timeout{408, "request head not received in time"};
+      conn->queue(render_http_error(timeout));
+      conn->responded = true;
+      ++stats_.http_errors;
+      pump_http_writes(*conn);
+    }
+    reap();  // pump may finish connections
   }
   if (draining_ && options_.drain_timeout_seconds > 0) {
     const auto limit =
@@ -542,6 +616,7 @@ void FrontEnd::finish_conn(Connection& conn) {
   stats_.protocol_errors += conn.protocol_errors;
   stats_.stat_polls += conn.stat_polls;
   stats_.tele_frames += conn.tele_frames;
+  stats_.tser_frames += conn.tser_frames;
   if (conn.clean_end) ++stats_.clean_ends;
   if (obs_closed_ != nullptr) obs_closed_->add(1);
   if (conn.span != 0) {
@@ -560,6 +635,156 @@ void FrontEnd::reap() {
     obs_open_conns_->set(static_cast<double>(conns_.size()));
   }
   dead_conns_.clear();
+  for (const std::uint64_t id : dead_http_conns_) http_conns_.erase(id);
+  dead_http_conns_.clear();
+}
+
+void FrontEnd::accept_http_ready() {
+  for (;;) {
+    FdGuard fd(::accept4(http_listener_->fd.get(), nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC));
+    if (!fd.valid()) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;
+    }
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<HttpConnection>(id, std::move(fd));
+    conn->last_activity_ms = now_ms();
+    loop_.add(conn->fd(), id);
+    HttpConnection& ref = *http_conns_.emplace(id, std::move(conn))
+                               .first->second;
+    if (http_conns_.size() > options_.max_connections) {
+      // Scrapers are cheap but not free; past the cap they get the same
+      // typed-refusal treatment as DCWP connections.
+      HttpError overload{503, "overloaded: connection limit reached"};
+      ref.queue(render_http_error(overload));
+      ref.responded = true;
+      ++stats_.http_errors;
+      pump_http_writes(ref);
+    }
+  }
+}
+
+std::string FrontEnd::route_http(const HttpRequest& request) {
+  if (request.path == "/healthz") {
+    // Readiness, not liveness: flips to 503 the moment a drain starts (or
+    // admission is closed), while the process is still up serving tails.
+    if (draining_) {
+      ++stats_.http_errors;
+      return render_http_response(503, "text/plain; charset=utf-8",
+                                  "draining\n");
+    }
+    if (conns_.size() >= options_.max_connections) {
+      ++stats_.http_errors;
+      return render_http_response(503, "text/plain; charset=utf-8",
+                                  "overloaded\n");
+    }
+    ++stats_.http_requests;
+    return render_http_response(200, "text/plain; charset=utf-8", "ok\n");
+  }
+  if (request.path == "/metrics") {
+    const obs::MetricsRegistry* registry = service_.metrics_registry();
+    std::ostringstream os;
+    obs::write_prometheus_text(
+        os,
+        registry != nullptr ? registry->snapshot()
+                            : std::vector<obs::MetricSnapshot>{},
+        service_.build_info());
+    ++stats_.http_requests;
+    return render_http_response(
+        200, "text/plain; version=0.0.4; charset=utf-8",
+        std::move(os).str());
+  }
+  if (request.path == "/varz") {
+    // The same payload a STAT poll gets, over HTTP: live cross-shard
+    // aggregate plus the instrument set, flat JSON.
+    ++stats_.http_requests;
+    return render_http_response(200, "application/json",
+                                global_tele_payload() + "\n");
+  }
+  if (request.path == "/timeseries") {
+    const obs::TimeSeriesRegistry* series = service_.timeseries_registry();
+    if (series == nullptr) {
+      ++stats_.http_errors;
+      HttpError off{404, "time-series retention is off (serve --series)"};
+      return render_http_error(off);
+    }
+    std::ostringstream os;
+    obs::write_timeseries_json(os, series->snapshot());
+    ++stats_.http_requests;
+    return render_http_response(200, "application/json", std::move(os).str());
+  }
+  ++stats_.http_errors;
+  HttpError unknown{404, "no route '" + request.path +
+                             "'; routes: /metrics /healthz /varz /timeseries"};
+  return render_http_error(unknown);
+}
+
+void FrontEnd::respond_http(HttpConnection& conn) {
+  if (conn.responded) return;
+  HttpRequest request;
+  HttpError error;
+  switch (parse_http_request(conn.buffer(), request, error)) {
+    case HttpParseResult::kNeedMore:
+      return;
+    case HttpParseResult::kRequest:
+      conn.queue(route_http(request));
+      break;
+    case HttpParseResult::kError:
+      ++stats_.http_errors;
+      conn.queue(render_http_error(error));
+      break;
+  }
+  conn.responded = true;
+}
+
+void FrontEnd::pump_http_writes(HttpConnection& conn) {
+  if (conn.fd() < 0) return;
+  const IoStatus status = conn.flush_writes();
+  if (status == IoStatus::kError) {
+    finish_http_conn(conn);
+    return;
+  }
+  if (status == IoStatus::kOk && conn.responded) {
+    finish_http_conn(conn);
+    return;
+  }
+  const bool want_write = conn.write_pending();
+  if (want_write != conn.epollout) {
+    loop_.modify(conn.fd(), conn.id(), want_write, !conn.responded);
+    conn.epollout = want_write;
+  }
+}
+
+void FrontEnd::finish_http_conn(HttpConnection& conn) {
+  if (conn.fd() >= 0) {
+    loop_.remove(conn.fd());
+    conn.close();
+  }
+  dead_http_conns_.push_back(conn.id());
+}
+
+void FrontEnd::handle_http_event(HttpConnection& conn, const Event& event) {
+  if (event.error) {
+    finish_http_conn(conn);
+    return;
+  }
+  if (event.readable || event.hangup) {
+    const IoStatus status = conn.read_some();
+    if (status == IoStatus::kOk) conn.last_activity_ms = now_ms();
+    respond_http(conn);
+    if (status == IoStatus::kEof && !conn.responded) {
+      // Peer closed before completing a request: nothing to answer.
+      finish_http_conn(conn);
+      return;
+    }
+    if (status == IoStatus::kError) {
+      finish_http_conn(conn);
+      return;
+    }
+  }
+  pump_http_writes(conn);
 }
 
 void FrontEnd::handle_conn_event(Connection& conn, const Event& event) {
@@ -596,6 +821,9 @@ FrontEndStats FrontEnd::run() {
   if (tcp_listener_ != nullptr) {
     loop_.add(tcp_listener_->fd.get(), kTcpToken);
   }
+  if (http_listener_ != nullptr) {
+    loop_.add(http_listener_->fd.get(), kHttpToken);
+  }
   listeners_open_ = true;
 
   std::vector<Event> events;
@@ -607,8 +835,8 @@ FrontEndStats FrontEnd::run() {
         outstanding_total_ == 0) {
       break;
     }
-    const bool timed =
-        draining_ || options_.idle_timeout_seconds > 0;
+    const bool timed = draining_ || options_.idle_timeout_seconds > 0 ||
+                       !http_conns_.empty();
     (void)loop_.wait(events, timed ? 100 : -1);
     for (const Event& event : events) {
       if (event.token == kWakeToken) {
@@ -617,9 +845,14 @@ FrontEndStats FrontEnd::run() {
         accept_ready(*unix_listener_, /*is_tcp=*/false);
       } else if (event.token == kTcpToken) {
         accept_ready(*tcp_listener_, /*is_tcp=*/true);
-      } else {
-        const auto it = conns_.find(event.token);
-        if (it != conns_.end()) handle_conn_event(*it->second, event);
+      } else if (event.token == kHttpToken) {
+        accept_http_ready();
+      } else if (const auto it = conns_.find(event.token);
+                 it != conns_.end()) {
+        handle_conn_event(*it->second, event);
+      } else if (const auto hit = http_conns_.find(event.token);
+                 hit != http_conns_.end()) {
+        handle_http_event(*hit->second, event);
       }
     }
     drain_completions();

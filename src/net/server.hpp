@@ -49,6 +49,7 @@
 
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
+#include "net/http.hpp"
 #include "net/socket.hpp"
 #include "obs/sink.hpp"
 #include "service/sharding.hpp"
@@ -62,6 +63,12 @@ struct FrontEndOptions {
   /// back from FrontEnd::tcp_port()).
   std::string tcp_host = "127.0.0.1";
   int tcp_port = -1;
+  /// HTTP observability listener (/metrics, /healthz, /varz,
+  /// /timeseries); port -1 disables, 0 binds an ephemeral port (read it
+  /// back from FrontEnd::http_port()). Stays open during drain so
+  /// /healthz can report not-ready while connections finish.
+  std::string http_host = "127.0.0.1";
+  int http_port = -1;
   /// Admission control.
   std::size_t max_connections = 256;
   std::size_t max_inflight = 1024;
@@ -96,9 +103,12 @@ struct FrontEndStats {
   std::size_t protocol_errors = 0;
   std::size_t stat_polls = 0;
   std::size_t tele_frames = 0;
+  std::size_t tser_frames = 0;         ///< convergence time-series frames
   std::size_t clean_ends = 0;          ///< connections that sent END
   std::size_t idle_timeouts = 0;
   std::size_t forced_closes = 0;       ///< drain-timeout casualties
+  std::size_t http_requests = 0;       ///< HTTP exchanges answered 2xx
+  std::size_t http_errors = 0;         ///< HTTP exchanges answered 4xx/5xx
 };
 
 class FrontEnd {
@@ -109,6 +119,9 @@ class FrontEnd {
 
   /// Actual TCP port (resolves a port-0 request); 0 when TCP is off.
   [[nodiscard]] std::uint16_t tcp_port() const noexcept;
+
+  /// Actual HTTP observability port; 0 when the HTTP endpoint is off.
+  [[nodiscard]] std::uint16_t http_port() const noexcept;
 
   /// Runs the loop until shutdown/exit-after; returns the aggregate
   /// stats. Call once.
@@ -141,6 +154,13 @@ class FrontEnd {
   void begin_conn_drain(Connection& conn);
   void maybe_emit_tail(Connection& conn);
   void emit_conn_tele(Connection& conn);
+  void maybe_emit_tser(Connection& conn);
+  void accept_http_ready();
+  void handle_http_event(HttpConnection& conn, const Event& event);
+  void respond_http(HttpConnection& conn);
+  [[nodiscard]] std::string route_http(const HttpRequest& request);
+  void pump_http_writes(HttpConnection& conn);
+  void finish_http_conn(HttpConnection& conn);
   void begin_server_drain();
   void check_timeouts(std::int64_t now_ms);
   void pump_writes(Connection& conn);
@@ -156,14 +176,23 @@ class FrontEnd {
   FrontEndOptions options_;
   EventLoop loop_;
   WakeFd wake_;
-  std::vector<Listener> listeners_;  ///< [0]=unix, [1]=tcp (when present)
+  std::vector<Listener> listeners_;  ///< unix, tcp, http (when present)
   Listener* unix_listener_ = nullptr;
   Listener* tcp_listener_ = nullptr;
+  Listener* http_listener_ = nullptr;
   bool listeners_open_ = false;
+  /// True when traced REPs carry the per-stage timing block (read from
+  /// the service options; needs the tracer's clock as a time source).
+  bool time_replies_ = false;
 
   std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  /// HTTP connections share the id/token space with DCWP connections but
+  /// live in their own map — their lifecycle is one request, one
+  /// response, close.
+  std::map<std::uint64_t, std::unique_ptr<HttpConnection>> http_conns_;
   std::uint64_t next_conn_id_ = 8;  ///< tokens 0..7 reserved for the loop
   std::vector<std::uint64_t> dead_conns_;
+  std::vector<std::uint64_t> dead_http_conns_;
 
   std::mutex completions_mutex_;
   std::vector<Completion> completions_;

@@ -11,7 +11,7 @@
 namespace deepcat::obs {
 
 /// Library version, bumped per PR.
-inline constexpr const char* kDeepCatVersion = "0.9.0";
+inline constexpr const char* kDeepCatVersion = "0.10.0";
 
 struct BuildInfo {
   std::string version;      ///< kDeepCatVersion

@@ -1,0 +1,100 @@
+#include "obs/prometheus.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+namespace deepcat::obs {
+
+namespace {
+
+// Shortest decimal string that round-trips the double (same policy as the
+// TSER encoder): precision climbs only as far as strtod needs.
+std::string format_number(double v) {
+  if (v != v || v - v != 0.0) return "0";  // non-finite never leaves us
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void write_counter(std::ostream& os, const std::string& name,
+                   const MetricSnapshot& snap) {
+  os << "# TYPE " << name << "_total counter\n"
+     << name << "_total " << snap.counter_value << "\n";
+}
+
+void write_gauge(std::ostream& os, const std::string& name,
+                 const MetricSnapshot& snap) {
+  os << "# TYPE " << name << " gauge\n"
+     << name << "{stat=\"count\"} " << snap.count << "\n"
+     << name << "{stat=\"mean\"} " << format_number(snap.mean) << "\n"
+     << name << "{stat=\"min\"} " << format_number(snap.min) << "\n"
+     << name << "{stat=\"max\"} " << format_number(snap.max) << "\n";
+}
+
+void write_histogram(std::ostream& os, const std::string& name,
+                     const MetricSnapshot& snap) {
+  os << "# TYPE " << name << " histogram\n";
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < snap.edges.size(); ++i) {
+    if (i < snap.bucket_counts.size()) cumulative += snap.bucket_counts[i];
+    os << name << "_bucket{le=\"" << format_number(snap.edges[i]) << "\"} "
+       << cumulative << "\n";
+  }
+  if (!snap.bucket_counts.empty()) cumulative += snap.bucket_counts.back();
+  os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n"
+     << name << "_sum " << format_number(snap.sum) << "\n"
+     << name << "_count " << cumulative << "\n";
+}
+
+}  // namespace
+
+std::string prometheus_metric_name(const std::string& name) {
+  std::string out = "deepcat_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string prometheus_escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_prometheus_text(std::ostream& os,
+                           const std::vector<MetricSnapshot>& snapshot,
+                           const BuildInfo& info) {
+  os << "# HELP deepcat_build_info Build identity; the value is always 1.\n"
+     << "# TYPE deepcat_build_info gauge\n"
+     << "deepcat_build_info{version=\"" << prometheus_escape_label(info.version)
+     << "\",backend=\"" << prometheus_escape_label(info.backend)
+     << "\",simd_compiled=\"" << (info.simd_compiled ? "true" : "false")
+     << "\",threads=\"" << info.threads << "\"} 1\n";
+  for (const MetricSnapshot& snap : snapshot) {
+    const std::string name = prometheus_metric_name(snap.name);
+    switch (snap.kind) {
+      case MetricKind::kCounter: write_counter(os, name, snap); break;
+      case MetricKind::kGauge: write_gauge(os, name, snap); break;
+      case MetricKind::kHistogram: write_histogram(os, name, snap); break;
+    }
+  }
+}
+
+}  // namespace deepcat::obs

@@ -1,0 +1,44 @@
+// Prometheus text-exposition rendering of a MetricsRegistry snapshot.
+//
+// One renderer shared by the HTTP /metrics endpoint and its tests, so the
+// exposition format is pinned in exactly one place. Mapping:
+//
+//   - metric names: dots become underscores and everything gets a
+//     "deepcat_" prefix ("net.accepted" -> "deepcat_net_accepted");
+//   - counters export as "<name>_total" with TYPE counter;
+//   - gauges are commutative summaries (count/mean/min/max — there is no
+//     "last value" by design, see metrics.hpp), so a gauge exports as one
+//     TYPE gauge family with a stat label:
+//       deepcat_x{stat="count"|"mean"|"min"|"max"} ...
+//   - histograms export in the classic Prometheus shape: cumulative
+//     "_bucket{le=...}" series ending in le="+Inf", plus "_sum"/"_count";
+//   - build identity exports as the conventional info gauge
+//     deepcat_build_info{version=...,backend=...,...} 1, so every scrape
+//     can be joined against the binary that produced it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+
+namespace deepcat::obs {
+
+/// "rl.critic1_loss" -> "deepcat_rl_critic1_loss": every character
+/// outside [a-zA-Z0-9_:] becomes '_' after the prefix is applied.
+[[nodiscard]] std::string prometheus_metric_name(const std::string& name);
+
+/// Escapes a label value for the exposition format (backslash, double
+/// quote and newline get backslash escapes).
+[[nodiscard]] std::string prometheus_escape_label(const std::string& value);
+
+/// Writes the full exposition: the build-info gauge first, then every
+/// snapshot entry name-sorted (snapshot() already sorts). Ends with a
+/// newline, as scrapers require.
+void write_prometheus_text(std::ostream& os,
+                           const std::vector<MetricSnapshot>& snapshot,
+                           const BuildInfo& info);
+
+}  // namespace deepcat::obs

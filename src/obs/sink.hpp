@@ -19,6 +19,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/tracer.hpp"
 
 namespace deepcat::obs {
@@ -26,11 +27,20 @@ namespace deepcat::obs {
 struct Sink {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  /// Convergence history (reward best-so-far, rec-cost, TD3 losses);
+  /// null = no time-series retention. See timeseries.hpp.
+  TimeSeriesRegistry* series = nullptr;
   /// Parent span id for spans opened through this sink (0 = root).
   std::uint64_t trace_parent = 0;
 
   [[nodiscard]] bool active() const noexcept {
-    return metrics != nullptr || tracer != nullptr;
+    return metrics != nullptr || tracer != nullptr || series != nullptr;
+  }
+
+  /// Appends one sample to a convergence series; inert without a
+  /// TimeSeriesRegistry.
+  void record_series(const std::string& name, double value) const {
+    if (series != nullptr) series->append(name, value);
   }
 
   /// Copy of this sink with a different trace parent — the idiom for

@@ -1,0 +1,111 @@
+// TimeSeriesRegistry — bounded convergence history for the serving stack.
+//
+// The metrics registry (metrics.hpp) answers "what is the aggregate right
+// now"; this registry answers "how did we get here". Each named series is
+// an append-only stream of real observations (reward best-so-far per
+// model, per-evaluation recommendation cost, TD3 losses, shift-recovery
+// events) held in a fixed-capacity ring of *downsampled* points.
+//
+// Downsampling is stride doubling: a series starts storing one point per
+// sample (stride 1). When the ring would exceed its capacity, adjacent
+// point pairs are folded (count/sum/min/max merge, `last` keeps the later
+// point's value) and the stride doubles — so memory is O(capacity) however
+// long the stream runs, early history coarsens first, and the most recent
+// point always carries the latest raw value.
+//
+// Determinism contract (DESIGN.md §14): the registry state after N
+// appends to a series is a pure function of that series' append sequence
+// — folding depends only on arrival *prefix*, never on wall time or
+// thread identity. Single-writer series (appends under the service state
+// mutex in canonical merge order) therefore export byte-identically; the
+// TSER wire frame inherits whatever determinism its writers have, exactly
+// like the TELE nondeterministic section.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace deepcat::obs {
+
+/// One downsampled point: `count` consecutive raw samples starting at
+/// arrival index `index`, summarized commutatively (plus `last`, the final
+/// raw value folded in, for sparkline rendering).
+struct TimeSeriesPoint {
+  std::uint64_t index = 0;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double last = 0.0;
+};
+
+/// Resolved copy of one series for export.
+struct TimeSeriesSnapshot {
+  std::string name;
+  std::uint64_t total = 0;    ///< raw samples appended so far
+  std::uint64_t stride = 1;   ///< samples per *sealed* point
+  std::vector<TimeSeriesPoint> points;
+};
+
+class TimeSeriesRegistry {
+ public:
+  /// capacity = max retained points per series; must be an even number
+  /// >= 2 so stride doubling can always halve the ring.
+  explicit TimeSeriesRegistry(std::size_t capacity = 128);
+
+  TimeSeriesRegistry(const TimeSeriesRegistry&) = delete;
+  TimeSeriesRegistry& operator=(const TimeSeriesRegistry&) = delete;
+
+  /// Appends one sample to `name`, creating the series on first use.
+  /// Non-finite values are recorded as 0 (mirrors to_fixed_point's rule:
+  /// a NaN loss must not poison an export).
+  void append(const std::string& name, double value);
+
+  [[nodiscard]] std::size_t series_count() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Name-sorted snapshot of every series.
+  [[nodiscard]] std::vector<TimeSeriesSnapshot> snapshot() const;
+
+ private:
+  struct Series {
+    std::uint64_t total = 0;
+    std::uint64_t stride = 1;
+    std::vector<TimeSeriesPoint> points;  // points.back() may be partial
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Series> series_;
+};
+
+/// TSER frame payload / JSONL export. Line 1 is a header object
+/// ({"tser":1,"series":N}); then one flat JSON object per series,
+/// name-sorted: {"name","count","stride","points"} where "points" is the
+/// compact string encoding "index,count,sum,min,max,last;..." — flat so
+/// the tolerant line parser in service/jsonl.hpp can read it back.
+void write_timeseries_jsonl(std::ostream& os,
+                            const std::vector<TimeSeriesSnapshot>& series);
+
+/// Nested JSON document for the HTTP /timeseries view: {"series":[{...,
+/// "points":[[index,count,sum,min,max,last],...]},...]}.
+void write_timeseries_json(std::ostream& os,
+                           const std::vector<TimeSeriesSnapshot>& series);
+
+/// Decodes the compact "points" string written by write_timeseries_jsonl.
+/// Throws std::invalid_argument on malformed input.
+[[nodiscard]] std::vector<TimeSeriesPoint> parse_timeseries_points(
+    const std::string& encoded);
+
+/// Renders a series' point values (`last` per point) as a unicode
+/// sparkline (▁▂▃▄▅▆▇█), at most `width` cells (tail-biased when the
+/// series has more points). Empty series -> "".
+[[nodiscard]] std::string render_sparkline(
+    const std::vector<TimeSeriesPoint>& points, std::size_t width = 48);
+
+}  // namespace deepcat::obs

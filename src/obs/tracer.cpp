@@ -78,7 +78,10 @@ std::uint32_t Tracer::tid_for_current_thread_locked() {
 void Tracer::drain_ring_locked() {
   if (ring_.empty() || options_.exporter == nullptr) return;
   if (health_ring_highwater_ != nullptr) {
-    health_ring_highwater_->set(static_cast<double>(ring_.size()));
+    // Publish the tracked lifetime highwater, not the instantaneous depth:
+    // a partial drain at flush time must not understate how deep the ring
+    // ever got (the TELE pin reads this gauge's max).
+    health_ring_highwater_->set(static_cast<double>(ring_highwater_));
   }
   options_.exporter->export_spans(ring_.data(), ring_.size());
   exported_ += ring_.size();
@@ -166,6 +169,51 @@ void Tracer::end_span(std::uint64_t id) {
   ring_highwater_ = std::max(ring_highwater_, ring_.size());
   if (health_emitted_ != nullptr) health_emitted_->add(1);
   if (ring_.size() >= options_.ring_capacity) drain_ring_locked();
+}
+
+std::uint64_t Tracer::add_complete_span(std::string name, std::uint64_t parent,
+                                        std::uint64_t t0_ns,
+                                        std::uint64_t duration_ns) {
+  std::lock_guard lock(mutex_);
+  if (options_.exporter == nullptr) {
+    if (records_.size() >= options_.max_spans) {
+      ++dropped_;
+      if (health_dropped_ != nullptr) health_dropped_->add(1);
+      return 0;
+    }
+    Record rec;
+    rec.parent = parent <= records_.size() ? parent : 0;
+    ++edges_[{rec.parent == 0 ? std::string()
+                              : records_[rec.parent - 1].name,
+              name}];
+    rec.name = std::move(name);
+    rec.t0 = t0_ns;
+    rec.t1 = t0_ns + duration_ns;
+    rec.ended = true;
+    rec.tid = tid_for_current_thread_locked();
+    records_.push_back(std::move(rec));
+    if (health_emitted_ != nullptr) health_emitted_->add(1);
+    return records_.size();
+  }
+  // Streaming mode: the span is born complete, so it goes straight to the
+  // ring without ever occupying an open-map slot.
+  const auto parent_it = parent == 0 ? open_.end() : open_.find(parent);
+  ++edges_[{parent_it == open_.end() ? std::string()
+                                     : parent_it->second.name,
+            name}];
+  SpanRecord out;
+  out.name = std::move(name);
+  out.id = next_id_++;
+  out.parent = parent_it == open_.end() ? 0 : parent;
+  out.t0 = t0_ns;
+  out.t1 = t0_ns + duration_ns;
+  out.tid = tid_for_current_thread_locked();
+  const std::uint64_t id = out.id;
+  ring_.push_back(std::move(out));
+  ring_highwater_ = std::max(ring_highwater_, ring_.size());
+  if (health_emitted_ != nullptr) health_emitted_->add(1);
+  if (ring_.size() >= options_.ring_capacity) drain_ring_locked();
+  return id;
 }
 
 std::size_t Tracer::span_count() const {

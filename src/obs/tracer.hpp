@@ -94,6 +94,17 @@ class Tracer {
   /// end time.
   void end_span(std::uint64_t id);
 
+  /// Records an already-timed span with explicit start/duration, bypassing
+  /// the clock (and root sampling — the caller already decided to keep
+  /// it). Used to graft timings measured elsewhere into this trace: the
+  /// stats client turns a REP's t_*_ns stage block into child spans of its
+  /// local rpc span, so one Chrome-trace file shows the request's full
+  /// life across both processes. Returns the span id, or 0 when dropped
+  /// at the span cap.
+  std::uint64_t add_complete_span(std::string name, std::uint64_t parent,
+                                  std::uint64_t t0_ns,
+                                  std::uint64_t duration_ns);
+
   /// RAII helper: ends the span on scope exit.
   class Span {
    public:

@@ -186,6 +186,14 @@ Td3TrainStats Td3Agent::train_step(ReplayBuffer& buffer, common::Rng& rng) {
     obs_critic2_loss_->set(stats.critic2_loss);
     if (stats.actor_loss) obs_actor_loss_->set(*stats.actor_loss);
   }
+  // Convergence history: one point per train step (the serving layer only
+  // attaches a series registry to the master agent, so these trace the
+  // master's fine-tune trajectory, not per-session clones).
+  config_.obs.record_series("rl.critic1_loss", stats.critic1_loss);
+  config_.obs.record_series("rl.critic2_loss", stats.critic2_loss);
+  if (stats.actor_loss) {
+    config_.obs.record_series("rl.actor_loss", *stats.actor_loss);
+  }
   return stats;
 }
 

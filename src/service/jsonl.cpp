@@ -157,6 +157,33 @@ TuningRequest parse_request_json(const std::string& line, std::size_t index) {
                                   "' has a negative \"warm\" count");
     }
   }
+  if (const auto it = fields.find("trace"); it != fields.end()) {
+    // Mirrors the "warm" precedent: a malformed trace context is a typed
+    // parse error, never a silently-untraced session.
+    if (it->second.empty()) {
+      throw std::invalid_argument("request '" + req.id +
+                                  "' has an empty \"trace\" id");
+    }
+    req.trace_id = it->second;
+  }
+  if (const auto it = fields.find("span"); it != fields.end()) {
+    if (req.trace_id.empty()) {
+      throw std::invalid_argument("request '" + req.id +
+                                  "' has a \"span\" id without a \"trace\"");
+    }
+    try {
+      std::size_t used = 0;
+      if (!it->second.empty() && it->second[0] == '-') {
+        throw std::invalid_argument("negative");
+      }
+      req.trace_span = std::stoull(it->second, &used);
+      if (used != it->second.size()) throw std::invalid_argument("trailing");
+    } catch (const std::exception&) {
+      throw std::invalid_argument("request '" + req.id +
+                                  "' has a non-integer \"span\" id '" +
+                                  it->second + "'");
+    }
+  }
   if (const auto it = fields.find("scope"); it != fields.end()) {
     // Mirrors the "warm" precedent: a malformed scope is a typed parse
     // error, never a silent fall-back to global routing.
@@ -213,6 +240,20 @@ void write_report_body(std::ostream& os, const SessionReport& r,
   // byte-identical; scoped ones echo the level the model was keyed under.
   if (!r.scope.empty()) {
     os << ",\"scope\":\"" << json_escape(r.scope) << "\"";
+  }
+  // Traced sessions echo the client's trace id plus the deterministic
+  // server span id; untraced REPs omit both keys (byte-identity again).
+  if (!r.trace_id.empty()) {
+    os << ",\"trace\":\"" << json_escape(r.trace_id)
+       << "\",\"span\":" << r.server_span;
+  }
+  // Gated per-stage timing block (StreamServeOptions.reply_timings).
+  if (r.timings.has_value()) {
+    os << ",\"t_decode_ns\":" << r.timings->decode_ns
+       << ",\"t_queue_ns\":" << r.timings->queue_ns
+       << ",\"t_session_ns\":" << r.timings->session_ns
+       << ",\"t_merge_ns\":" << r.timings->merge_ns
+       << ",\"t_write_ns\":" << r.timings->write_ns;
   }
   os << ",\"steps\":" << r.report.steps.size()
      << ",\"default_time\":" << r.report.default_time

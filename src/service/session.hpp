@@ -64,6 +64,21 @@ struct TuningRequest {
   /// = today's behaviour). Non-global scopes route the session to a
   /// scope-keyed model derived from `model` via scoped_model_key().
   TuneScope scope = TuneScope::kGlobal;
+  /// Client-supplied trace id (wire "trace" field; empty = untraced
+  /// request, the default). A traced REP echoes it plus a deterministic
+  /// server span id; malformed values are typed parse errors like
+  /// "warm"/"scope".
+  std::string trace_id;
+  /// Client-side parent span id accompanying trace_id (wire "span" field,
+  /// optional; requires "trace"). Carried for trace-file correlation —
+  /// server spans parent under server-local spans, not this foreign id.
+  std::uint64_t trace_span = 0;
+  /// Transport-local parent span id for the service's "request" span
+  /// (e.g. the front end's per-connection span). Never serialized.
+  std::uint64_t server_parent_span = 0;
+  /// Transport-measured REQ decode time (clock ns), feeding the gated
+  /// per-stage timing block in the REP. Never serialized.
+  std::uint64_t decode_ns = 0;
 };
 
 /// The registry/routing key a request's model resolves to under its scope:
@@ -79,6 +94,39 @@ struct TuningRequest {
 /// published version from its base model's genesis checkpoint.
 [[nodiscard]] std::optional<std::string> scope_base_of(
     const std::string& model_key);
+
+/// Deterministic server span id echoed in a traced REP: 64-bit FNV-1a of
+/// trace id + '\0' + request id, forced nonzero. Deliberately NOT the
+/// tracer's internal span id — tracer ids are assigned in admission order
+/// across all connections, so echoing them would make traced transcripts
+/// depend on scheduling; this hash is a pure function of the request.
+[[nodiscard]] inline std::uint64_t trace_server_span(
+    const std::string& trace_id, const std::string& request_id) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+  };
+  mix(trace_id);
+  h ^= 0u;
+  h *= 1099511628211ull;
+  mix(request_id);
+  return h == 0 ? 1 : h;
+}
+
+/// Per-stage server-side timings for one traced request (clock ns; tick
+/// counts under LogicalClock). Emitted in the REP only when the serve
+/// path opts in (StreamServeOptions.reply_timings) — tick deltas depend
+/// on global clock interleaving, so determinism suites keep them off.
+struct StageTimings {
+  std::uint64_t decode_ns = 0;   ///< REQ payload parse
+  std::uint64_t queue_ns = 0;    ///< submit -> pool thread pickup
+  std::uint64_t session_ns = 0;  ///< run_session
+  std::uint64_t merge_ns = 0;    ///< completion bookkeeping + master merge
+  std::uint64_t write_ns = 0;    ///< REP body serialization
+};
 
 /// Outcome of one session. `new_transitions` carries the experience the
 /// session generated, in insertion order, for the service's post-batch
@@ -98,6 +146,13 @@ struct SessionReport {
   /// global scope, in which case the REP omits the "scope" key so legacy
   /// transcripts stay byte-identical.
   std::string scope;
+  /// Echoed trace context: the request's trace id plus the deterministic
+  /// server span id (FNV-1a of trace id + request id, never 0). Empty
+  /// trace_id omits both keys, keeping untraced REPs byte-identical.
+  std::string trace_id;
+  std::uint64_t server_span = 0;
+  /// Gated per-stage timing block ("t_*_ns" keys); absent by default.
+  std::optional<StageTimings> timings;
   tuners::TuningReport report;
   std::vector<rl::Transition> new_transitions;
 

@@ -4,6 +4,8 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.hpp"
+
 namespace deepcat::service {
 
 std::uint64_t shard_hash(const std::string& model) noexcept {
@@ -104,10 +106,9 @@ std::string ShardedStreamingService::checkpoint_of(const std::string& name) {
 
 ServiceMetrics ShardedStreamingService::aggregate_metrics() const {
   ServiceMetrics total;
+  total.rec_buckets.assign(rec_cost_bucket_edges().size() + 1, 0);
   double reward_weighted = 0.0;
   double speedup_weighted = 0.0;
-  double p50_weighted = 0.0;
-  double p95_weighted = 0.0;
   for (const auto& shard : shards_) {
     const ServiceMetrics m = shard->metrics();
     total.sessions_served += m.sessions_served;
@@ -121,15 +122,22 @@ ServiceMetrics ShardedStreamingService::aggregate_metrics() const {
     const auto weight = static_cast<double>(m.sessions_served);
     reward_weighted += m.mean_session_reward * weight;
     speedup_weighted += m.mean_speedup * weight;
-    p50_weighted += m.p50_recommendation_seconds * weight;
-    p95_weighted += m.p95_recommendation_seconds * weight;
+    // Every shard histograms rec cost over the same fixed edges, so the
+    // bucket counts merge exactly — unlike quantiles, which do not
+    // average. The fleet percentile is then one quantile query over the
+    // merged counts, identical whatever the shard layout.
+    for (std::size_t i = 0; i < m.rec_buckets.size(); ++i) {
+      total.rec_buckets[i] += m.rec_buckets[i];
+    }
   }
   if (total.sessions_served > 0) {
     const auto n = static_cast<double>(total.sessions_served);
     total.mean_session_reward = reward_weighted / n;
     total.mean_speedup = speedup_weighted / n;
-    total.p50_recommendation_seconds = p50_weighted / n;
-    total.p95_recommendation_seconds = p95_weighted / n;
+    total.p50_recommendation_seconds = obs::histogram_quantile(
+        rec_cost_bucket_edges(), total.rec_buckets, 0.50);
+    total.p95_recommendation_seconds = obs::histogram_quantile(
+        rec_cost_bucket_edges(), total.rec_buckets, 0.95);
   }
   return total;
 }

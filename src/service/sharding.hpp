@@ -88,10 +88,13 @@ class ShardedStreamingService {
   [[nodiscard]] std::string checkpoint_of(const std::string& name);
 
   /// Cross-shard aggregate. Integer counters and time/reward sums are
-  /// exact; p50/p95 recommendation-cost quantiles are a session-weighted
-  /// mean of the per-shard quantiles (exact per-shard, approximate
-  /// globally — documented in DESIGN.md §11). Deterministic TELE payloads
-  /// only carry the integer fields, which are exact.
+  /// exact; p50/p95 recommendation-cost quantiles come from an exact
+  /// bucket-wise merge of the per-shard fixed-edge histograms
+  /// (rec_cost_bucket_edges() — identical on every shard by
+  /// construction), then one histogram_quantile query over the merged
+  /// counts. The same request set therefore aggregates to the same
+  /// quantiles on any shard layout, pinned by the cross-shard equality
+  /// test in sharding_test.cpp.
   [[nodiscard]] ServiceMetrics aggregate_metrics() const;
 
   [[nodiscard]] obs::BuildInfo build_info() const {
@@ -99,6 +102,12 @@ class ShardedStreamingService {
   }
   [[nodiscard]] const obs::MetricsRegistry* metrics_registry() const noexcept {
     return shards_.front()->metrics_registry();
+  }
+  /// The shared convergence time-series registry (every shard's sink
+  /// points at the same one; null when time-series retention is off).
+  [[nodiscard]] const obs::TimeSeriesRegistry* timeseries_registry()
+      const noexcept {
+    return shards_.front()->timeseries_registry();
   }
 
   void set_session_runner_for_test(StreamingService::SessionRunner runner);

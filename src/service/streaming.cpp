@@ -234,7 +234,7 @@ void StreamingService::complete_failed(const TuningRequest& request,
   StreamReport stream_report;
   {
     std::scoped_lock state(state_mutex_);
-    record_metrics_locked(report);
+    record_metrics_locked(report, scoped_model_key(request));
     stream_report = {std::move(report), 0, next_sequence_++};
     if (!on_done) {
       completed_.push_back(std::move(stream_report));
@@ -364,17 +364,28 @@ void StreamingService::submit(TuningRequest request,
   }
 
   if (obs_admitted_ != nullptr) obs_admitted_->add(1);
+  obs::Tracer* tracer = options_.service.obs.tracer;
   std::uint64_t request_span = 0;
-  if (auto* tracer = options_.service.obs.tracer) {
-    request_span =
-        tracer->begin_span("request", options_.service.obs.trace_parent);
+  if (tracer != nullptr) {
+    // Traced requests parent under the transport's span (the front end's
+    // per-connection span) when one was stamped; untraced requests keep
+    // the historical root so legacy trace structures are unchanged.
+    const std::uint64_t parent =
+        (!request.trace_id.empty() && request.server_parent_span != 0)
+            ? request.server_parent_span
+            : options_.service.obs.trace_parent;
+    request_span = tracer->begin_span("request", parent);
   }
+  const bool timed =
+      options_.reply_timings && tracer != nullptr && !request.trace_id.empty();
+  const std::uint64_t t_submit = timed ? tracer->clock().now_ns() : 0;
 
   (void)pool_.submit([this, entry, blob = std::move(blob), master_pools,
-                      epoch, sequence, request_span,
+                      epoch, sequence, request_span, tracer, timed, t_submit,
                       request = std::move(request),
                       on_done = std::move(on_done)] {
     SessionReport report;
+    const std::uint64_t t_start = timed ? tracer->clock().now_ns() : 0;
     {
       // Session spans (and the tuner spans beneath) parent on the request
       // span; the api copy carries the parent id across the pool thread.
@@ -385,19 +396,33 @@ void StreamingService::submit(TuningRequest request,
       } else {
         core::DeepCatApiOptions api = options_.service.api;
         api.tuner.obs.trace_parent = session_span.id();
+        // Session clones don't append convergence series: the master's
+        // fine-tune losses are the model's trajectory; a clone's would
+        // flood the rings with per-session noise.
+        api.tuner.obs.series = nullptr;
         report = run_session(*blob, api, request, master_pools, &entry->mutex);
       }
     }
+    const std::uint64_t t_done = timed ? tracer->clock().now_ns() : 0;
     report.model = request.model;
     if (request.scope != TuneScope::kGlobal) {
       report.scope = to_string(request.scope);
     }
+    if (!request.trace_id.empty()) {
+      report.trace_id = request.trace_id;
+      report.server_span = trace_server_span(request.trace_id, request.id);
+    }
+    if (timed) {
+      StageTimings t;
+      t.decode_ns = request.decode_ns;
+      t.queue_ns = t_start - t_submit;
+      t.session_ns = t_done - t_start;
+      report.timings = t;
+    }
     // End the request span BEFORE on_complete: on_complete releases
     // waiters (wait_completed / flush), and anyone it wakes may export the
     // trace immediately — the span must already be closed by then.
-    if (auto* tracer = options_.service.obs.tracer) {
-      tracer->end_span(request_span);
-    }
+    if (tracer != nullptr) tracer->end_span(request_span);
     on_complete(*entry, request, std::move(report), epoch, sequence, on_done);
   });
 }
@@ -408,13 +433,19 @@ void StreamingService::on_complete(MasterEntry& entry,
                                    std::uint64_t sequence,
                                    const CompletionCallback& on_done) {
   StreamReport stream_report;
+  obs::Tracer* tracer = options_.service.obs.tracer;
+  const std::uint64_t t_merge0 =
+      (report.timings && tracer != nullptr) ? tracer->clock().now_ns() : 0;
   {
     std::scoped_lock state(state_mutex_);
     if (report.ok && !report.new_transitions.empty()) {
       entry.pending.push_back(
           {request.id, request.seed, request.workload, report.new_transitions});
     }
-    record_metrics_locked(report);
+    record_metrics_locked(report, scoped_model_key(request));
+    if (report.timings && tracer != nullptr) {
+      report.timings->merge_ns = tracer->clock().now_ns() - t_merge0;
+    }
     stream_report = {std::move(report), epoch, sequence};
     if (!on_done) completed_.push_back(std::move(stream_report));
     --in_flight_;
@@ -439,7 +470,8 @@ std::size_t StreamingService::in_flight() const {
   return in_flight_;
 }
 
-void StreamingService::record_metrics_locked(const SessionReport& report) {
+void StreamingService::record_metrics_locked(const SessionReport& report,
+                                             const std::string& key) {
   if (!report.ok) {
     ++totals_.sessions_failed;
     if (obs_sessions_failed_ != nullptr) obs_sessions_failed_->add(1);
@@ -453,8 +485,36 @@ void StreamingService::record_metrics_locked(const SessionReport& report) {
   totals_.recommendation_seconds += rec;
   rec_costs_.add(rec);
   if (obs_rec_seconds_ != nullptr) obs_rec_seconds_->observe(rec);
+  {
+    // Exact bucket counts for cross-shard percentile merges: bucket i
+    // counts rec <= edges[i] (first match), mirroring obs::Histogram.
+    const std::vector<double>& edges = rec_cost_bucket_edges();
+    const auto it = std::lower_bound(edges.begin(), edges.end(), rec);
+    ++rec_bucket_counts_[static_cast<std::size_t>(it - edges.begin())];
+  }
   reward_sum_ += report.mean_reward();
   speedup_sum_ += report.report.speedup_over_default();
+  if (auto* series = options_.service.obs.series) {
+    // Convergence history (state lock held, so appends are ordered):
+    // per-evaluation recommendation cost, running best session reward per
+    // model key, and PR 9 shift-recovery outcomes (-1 = never recovered).
+    for (const auto& step : report.report.steps) {
+      series->append("stream.rec_cost", step.recommendation_seconds);
+    }
+    double& best = best_reward_
+                       .try_emplace(key, report.mean_reward())
+                       .first->second;
+    best = std::max(best, report.mean_reward());
+    series->append("model." + key + ".best_reward", best);
+    if (report.report.stream.has_value()) {
+      for (const auto& shift : report.report.stream->shifts) {
+        series->append("stream.shift_recovery_evals",
+                       shift.recovered
+                           ? static_cast<double>(shift.recovery_evals)
+                           : -1.0);
+      }
+    }
+  }
 }
 
 std::optional<StreamReport> StreamingService::poll_completed() {
@@ -567,6 +627,7 @@ obs::BuildInfo StreamingService::build_info() const {
 ServiceMetrics StreamingService::metrics() const {
   std::scoped_lock state(state_mutex_);
   ServiceMetrics m = totals_;
+  m.rec_buckets = rec_bucket_counts_;
   if (m.sessions_served > 0) {
     m.p50_recommendation_seconds = rec_costs_.quantile(0.50);
     m.p95_recommendation_seconds = rec_costs_.quantile(0.95);
@@ -614,6 +675,10 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
   StreamServeResult result;
   write_stream_header(out);
 
+  obs::Tracer* tracer = service.options().service.obs.tracer;
+  const bool time_decode =
+      service.options().reply_timings && tracer != nullptr;
+
   // TELE snapshots the live aggregates + instrument set — no barrier, so
   // a mid-stream poll reflects whatever has completed so far.
   const auto emit_tele = [&] {
@@ -626,6 +691,18 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
     ++result.tele_frames;
   };
 
+  // TSER precedes TELE at the FLSH/STAT/end points (wire v3); a service
+  // without a TimeSeriesRegistry emits nothing, keeping v2-shaped bytes.
+  const auto emit_tser = [&] {
+    const obs::TimeSeriesRegistry* series = service.timeseries_registry();
+    if (series == nullptr) return;
+    std::ostringstream os;
+    obs::write_timeseries_jsonl(os, series->snapshot());
+    write_frame(out, FrameType::kTimeSeries,
+                strip_newline(std::move(os).str()));
+    ++result.tser_frames;
+  };
+
   std::size_t replies = 0;
   const auto emit_completed = [&](bool drain) {
     for (;;) {
@@ -633,6 +710,13 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
           drain ? service.wait_completed() : service.poll_completed();
       if (!report) break;
       if (!report->session.ok) ++result.failed_sessions;
+      if (report->session.timings && tracer != nullptr) {
+        // The write stage is the REP body serialization itself, measured
+        // on a discarded dry run so the emitted frame carries the number.
+        const std::uint64_t t0 = tracer->clock().now_ns();
+        (void)stream_reply_payload(*report);
+        report->session.timings->write_ns = tracer->clock().now_ns() - t0;
+      }
       write_frame(out, FrameType::kReply, stream_reply_payload(*report));
       ++replies;
       if (serve_options.tele_every != 0 &&
@@ -674,7 +758,11 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
       case FrameType::kRequest: {
         ++result.requests;
         try {
+          const std::uint64_t t0 = time_decode ? tracer->clock().now_ns() : 0;
           TuningRequest request = parse_request_json(frame->payload, index);
+          if (time_decode && !request.trace_id.empty()) {
+            request.decode_ns = tracer->clock().now_ns() - t0;
+          }
           // Warm requests against a missing/empty index are a typed
           // protocol error, not a failed session: the client asked for
           // retrieval the server cannot perform.
@@ -700,6 +788,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
       case FrameType::kFlush:
         emit_completed(/*drain=*/true);
         (void)service.flush();
+        emit_tser();
         emit_tele();
         break;
       case FrameType::kStat: {
@@ -713,6 +802,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
           ++result.parse_errors;
         } else {
           ++result.stat_polls;
+          emit_tser();
           emit_tele();
         }
         break;
@@ -738,6 +828,7 @@ StreamServeResult serve_frame_stream(std::istream& in, std::ostream& out,
 
   emit_completed(/*drain=*/true);
   (void)service.flush();
+  emit_tser();
   emit_tele();
   if (serve_options.metr_compat) {
     std::ostringstream metrics;

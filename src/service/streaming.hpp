@@ -69,6 +69,11 @@ struct StreamingOptions {
   /// the live current_build_info(); golden tests pin a fixed value so the
   /// transcripts stay byte-identical across numeric backends.
   std::optional<obs::BuildInfo> build_info;
+  /// Emit the per-stage timing block ("t_*_ns" keys) in traced REPs.
+  /// Requires a tracer in the sink (its clock is the time source). Off by
+  /// default: tick deltas depend on global clock interleaving, so the
+  /// determinism suites and goldens keep trace-timing-free transcripts.
+  bool reply_timings = false;
 };
 
 /// One completed session plus its serving metadata.
@@ -179,6 +184,13 @@ class StreamingService {
     return options_.service.obs.metrics;
   }
 
+  /// The sink's convergence time-series registry (null = no TSER frames,
+  /// byte-identical v2-shaped streams).
+  [[nodiscard]] const obs::TimeSeriesRegistry* timeseries_registry()
+      const noexcept {
+    return options_.service.obs.series;
+  }
+
   void set_session_runner_for_test(SessionRunner runner) {
     runner_ = std::move(runner);
   }
@@ -219,7 +231,10 @@ class StreamingService {
   void on_complete(MasterEntry& entry, const TuningRequest& request,
                    SessionReport report, std::uint64_t epoch,
                    std::uint64_t sequence, const CompletionCallback& on_done);
-  void record_metrics_locked(const SessionReport& report);
+  /// `model_key` is the scoped routing key the session was served under,
+  /// naming its "model.<key>.best_reward" convergence series.
+  void record_metrics_locked(const SessionReport& report,
+                             const std::string& model_key);
   /// Merges one entry's pending experience; requires state_mutex_ held and
   /// no in-flight sessions on the entry. Returns transitions merged.
   std::size_t merge_entry_locked(MasterEntry& entry);
@@ -255,6 +270,14 @@ class StreamingService {
   common::QuantileTracker rec_costs_{kRecCostSampleCap};
   double speedup_sum_ = 0.0;
   double reward_sum_ = 0.0;
+  /// Per-bucket rec-cost counts over rec_cost_bucket_edges() (+overflow),
+  /// maintained unconditionally (cheap) so sharded aggregation can merge
+  /// exactly even when the obs registry is off.
+  std::vector<std::uint64_t> rec_bucket_counts_ =
+      std::vector<std::uint64_t>(rec_cost_bucket_edges().size() + 1, 0);
+  /// Running best session reward per served model key, feeding the
+  /// "model.<key>.best_reward" convergence series.
+  std::map<std::string, double> best_reward_;
 
   // Registry instruments, resolved once at construction; null when the
   // sink is inert. The queue-depth gauge registers as nondeterministic —
@@ -311,6 +334,7 @@ struct StreamServeResult {
   std::size_t protocol_errors = 0;  ///< corrupt framing (stream abandoned)
   std::size_t stat_polls = 0;       ///< well-formed STAT frames served
   std::size_t tele_frames = 0;      ///< TELE frames emitted
+  std::size_t tser_frames = 0;      ///< TSER frames emitted (v3, gated)
   bool clean_end = false;           ///< explicit END frame received
 };
 

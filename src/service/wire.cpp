@@ -20,6 +20,7 @@ constexpr std::uint32_t kKnownTypes[] = {
     static_cast<std::uint32_t>(FrameType::kMetrics),
     static_cast<std::uint32_t>(FrameType::kTelemetry),
     static_cast<std::uint32_t>(FrameType::kStat),
+    static_cast<std::uint32_t>(FrameType::kTimeSeries),
     static_cast<std::uint32_t>(FrameType::kError),
     static_cast<std::uint32_t>(FrameType::kFlush),
     static_cast<std::uint32_t>(FrameType::kEnd),

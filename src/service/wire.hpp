@@ -18,7 +18,7 @@
 // would silently turn one imperative into another (one bit separates
 // "REQ " from "REP "), so the header itself must be integrity-checked.
 //
-// Frame types in version 2 (payloads are the service's JSONL objects,
+// Frame types in version 3 (payloads are the service's JSONL objects,
 // without the trailing newline):
 //
 //   "REQ "  client -> server: one tuning request
@@ -33,6 +33,12 @@
 //           boundary, in answer to "STAT", and before "END "
 //   "STAT"  client -> server: poll an on-demand "TELE" right now, without
 //           a flush barrier; payload empty or a flat JSON object
+//   "TSER"  server -> client (v3): convergence time-series snapshot —
+//           one {"tser":1,...} header line then one flat JSON line per
+//           series (obs/timeseries.hpp encoding). Emitted immediately
+//           before each "TELE" at "FLSH"/"STAT"/end-of-stream, and only
+//           when the server has a TimeSeriesRegistry attached — a server
+//           without one produces byte-identical v2-shaped streams
 //   "ERR "  server -> client: protocol or parse error description
 //   "FLSH"  client -> server: barrier — merge all completed experience
 //           into the masters and take bounded fine-tune steps now
@@ -62,8 +68,10 @@
 namespace deepcat::service {
 
 /// Current writer protocol version. Readers accept any version <= this.
-/// v2 added the "TELE" and "STAT" frames.
-inline constexpr std::uint32_t kWireVersion = 2;
+/// v2 added the "TELE" and "STAT" frames; v3 added "TSER" and the
+/// optional REQ "trace" context (both additive — v1/v2 streams parse
+/// unchanged).
+inline constexpr std::uint32_t kWireVersion = 3;
 
 /// Hard cap on a single frame payload. The JSONL payloads are a few
 /// hundred bytes; anything near this limit is a corrupt or hostile length
@@ -82,6 +90,7 @@ enum class FrameType : std::uint32_t {
   kMetrics = 0x5254454Du,    // "METR"
   kTelemetry = 0x454C4554u,  // "TELE"
   kStat = 0x54415453u,       // "STAT"
+  kTimeSeries = 0x52455354u, // "TSER"
   kError = 0x20525245u,      // "ERR "
   kFlush = 0x48534C46u,      // "FLSH"
   kEnd = 0x20444E45u,        // "END "

@@ -38,6 +38,9 @@ std::string wire_base_stream() {
       {service::FrameType::kRequest,
        "{\"id\":\"req-scoped\",\"workload\":\"SA-P1\",\"steps\":2,"
        "\"seed\":15,\"scope\":\"workload\"}"},
+      {service::FrameType::kRequest,
+       "{\"id\":\"req-traced\",\"workload\":\"KM-D1\",\"steps\":1,"
+       "\"seed\":16,\"trace\":\"fuzz-trace\",\"span\":42}"},
       {service::FrameType::kFlush, ""},
       {service::FrameType::kTelemetry,
        "{\"tele\":1,\"deterministic\":false,\"aggregate\":true,"

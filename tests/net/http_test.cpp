@@ -1,0 +1,189 @@
+// HTTP observability-surface tests: the bounded request parser and its
+// typed 4xx/5xx contract, response rendering, and a fuzz leg that drives
+// the wire-mutator corpus (truncations, bit flips, splices) through
+// parse_http_request — every mutant must yield kNeedMore, a request, or a
+// typed error; never a crash or an unbounded buffer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "fuzz/wire_mutator.hpp"
+#include "net/http.hpp"
+
+namespace deepcat::net {
+namespace {
+
+HttpParseResult parse(const std::string& bytes, HttpRequest& request,
+                      HttpError& error) {
+  return parse_http_request(bytes, request, error);
+}
+
+TEST(HttpParseTest, AcceptsMinimalGet) {
+  HttpRequest request;
+  HttpError error;
+  ASSERT_EQ(parse("GET /metrics HTTP/1.1\r\n\r\n", request, error),
+            HttpParseResult::kRequest);
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/metrics");
+  EXPECT_TRUE(request.query.empty());
+}
+
+TEST(HttpParseTest, AcceptsHeadersAndQueryString) {
+  HttpRequest request;
+  HttpError error;
+  const std::string bytes =
+      "GET /timeseries?name=rl.actor_loss HTTP/1.1\r\n"
+      "Host: localhost:9090\r\n"
+      "User-Agent: curl/8.0\r\n"
+      "Accept: */*\r\n"
+      "\r\n";
+  ASSERT_EQ(parse(bytes, request, error), HttpParseResult::kRequest);
+  EXPECT_EQ(request.path, "/timeseries");
+  EXPECT_EQ(request.query, "name=rl.actor_loss");
+}
+
+TEST(HttpParseTest, ToleratesBareLfTerminator) {
+  HttpRequest request;
+  HttpError error;
+  ASSERT_EQ(parse("GET /healthz HTTP/1.1\n\n", request, error),
+            HttpParseResult::kRequest);
+  EXPECT_EQ(request.path, "/healthz");
+}
+
+TEST(HttpParseTest, NeedsMoreUntilHeadTerminates) {
+  HttpRequest request;
+  HttpError error;
+  EXPECT_EQ(parse("GET /metr", request, error), HttpParseResult::kNeedMore);
+  EXPECT_EQ(parse("GET /metrics HTTP/1.1\r\n", request, error),
+            HttpParseResult::kNeedMore);
+}
+
+TEST(HttpParseTest, TypedErrorsCarryTheRightStatus) {
+  HttpRequest request;
+  HttpError error;
+  // 400: request line must be METHOD SP TARGET SP VERSION.
+  ASSERT_EQ(parse("GET/metrics HTTP/1.1\r\n\r\n", request, error),
+            HttpParseResult::kError);
+  EXPECT_EQ(error.status, 400);
+  ASSERT_EQ(parse("GET /a b HTTP/1.1\r\n\r\n", request, error),
+            HttpParseResult::kError);
+  EXPECT_EQ(error.status, 400);
+  // 400: target must be an absolute path without control bytes.
+  ASSERT_EQ(parse("GET metrics HTTP/1.1\r\n\r\n", request, error),
+            HttpParseResult::kError);
+  EXPECT_EQ(error.status, 400);
+  // 405: GET only.
+  ASSERT_EQ(parse("POST /metrics HTTP/1.1\r\n\r\n", request, error),
+            HttpParseResult::kError);
+  EXPECT_EQ(error.status, 405);
+  // 413: declared body on a GET.
+  ASSERT_EQ(parse("GET /metrics HTTP/1.1\r\nContent-Length: 12\r\n\r\n",
+                  request, error),
+            HttpParseResult::kError);
+  EXPECT_EQ(error.status, 413);
+  // 505: unknown protocol version.
+  ASSERT_EQ(parse("GET /metrics HTTP/2.0\r\n\r\n", request, error),
+            HttpParseResult::kError);
+  EXPECT_EQ(error.status, 505);
+}
+
+TEST(HttpParseTest, ContentLengthZeroIsAccepted) {
+  HttpRequest request;
+  HttpError error;
+  ASSERT_EQ(parse("GET /varz HTTP/1.0\r\nContent-Length: 0\r\n\r\n", request,
+                  error),
+            HttpParseResult::kRequest);
+  EXPECT_EQ(request.path, "/varz");
+}
+
+TEST(HttpParseTest, OversizedHeadIs431) {
+  HttpRequest request;
+  HttpError error;
+  std::string bytes = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+  bytes.append(kMaxHttpRequestBytes, 'a');  // never terminates the head
+  ASSERT_EQ(parse(bytes, request, error), HttpParseResult::kError);
+  EXPECT_EQ(error.status, 431);
+}
+
+TEST(HttpResponseTest, RendersStatusLineAndFraming) {
+  const std::string response =
+      render_http_response(200, "text/plain; charset=utf-8", "ok\n");
+  EXPECT_EQ(response.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(response.find("Content-Type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 3\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n\r\nok\n"),
+            std::string::npos);
+}
+
+TEST(HttpResponseTest, ErrorBodyNamesStatusAndMessage) {
+  const std::string response =
+      render_http_error({404, "no route '/nope'"});
+  EXPECT_EQ(response.find("HTTP/1.1 404 Not Found\r\n"), 0u);
+  EXPECT_NE(response.find("404 Not Found: no route '/nope'\n"),
+            std::string::npos);
+}
+
+TEST(HttpResponseTest, ReasonPhrasesCoverEmittedCodes) {
+  EXPECT_EQ(http_status_reason(200), "OK");
+  EXPECT_EQ(http_status_reason(400), "Bad Request");
+  EXPECT_EQ(http_status_reason(404), "Not Found");
+  EXPECT_EQ(http_status_reason(405), "Method Not Allowed");
+  EXPECT_EQ(http_status_reason(408), "Request Timeout");
+  EXPECT_EQ(http_status_reason(413), "Content Too Large");
+  EXPECT_EQ(http_status_reason(431), "Request Header Fields Too Large");
+  EXPECT_EQ(http_status_reason(503), "Service Unavailable");
+  EXPECT_EQ(http_status_reason(505), "HTTP Version Not Supported");
+  EXPECT_EQ(http_status_reason(599), "Error");
+}
+
+// The HTTP leg of the fuzz corpus: the same mutation engine the DCWP
+// decoder is fuzzed with, pointed at a canonical curl-shaped GET. The
+// parser must classify every mutant without crashing, and a typed error
+// must carry one of the statuses this surface emits.
+TEST(HttpFuzzTest, MutatedRequestsAlwaysParseOrFailTyped) {
+  const std::string base =
+      "GET /metrics HTTP/1.1\r\n"
+      "Host: 127.0.0.1:9090\r\n"
+      "User-Agent: curl/8.5.0\r\n"
+      "Accept: */*\r\n"
+      "\r\n";
+  constexpr std::uint64_t kSeed = 20260809;
+  const std::size_t exhaustive = fuzz::exhaustive_mutants(base);
+  const std::size_t total = exhaustive + 4096;  // + seeded splices
+  std::size_t requests = 0;
+  std::size_t errors = 0;
+  std::size_t need_more = 0;
+  for (std::size_t index = 0; index < total; ++index) {
+    std::string desc;
+    const std::string mutant = fuzz::make_mutant(base, kSeed, index, &desc);
+    HttpRequest request;
+    HttpError error;
+    switch (parse_http_request(mutant, request, error)) {
+      case HttpParseResult::kRequest:
+        ++requests;
+        EXPECT_FALSE(request.path.empty()) << desc;
+        break;
+      case HttpParseResult::kError: {
+        ++errors;
+        const int s = error.status;
+        EXPECT_TRUE(s == 400 || s == 404 || s == 405 || s == 408 ||
+                    s == 413 || s == 431 || s == 503 || s == 505)
+            << desc << " -> unexpected status " << s;
+        break;
+      }
+      case HttpParseResult::kNeedMore:
+        ++need_more;
+        EXPECT_LE(mutant.size(), kMaxHttpRequestBytes) << desc;
+        break;
+    }
+  }
+  // The corpus must actually exercise all three outcomes.
+  EXPECT_GT(requests, 0u);
+  EXPECT_GT(errors, 0u);
+  EXPECT_GT(need_more, 0u);
+}
+
+}  // namespace
+}  // namespace deepcat::net

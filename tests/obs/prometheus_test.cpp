@@ -1,0 +1,114 @@
+// Prometheus exposition renderer tests: name mangling, label escaping,
+// the counter/gauge/histogram shapes, and the build-info join gauge the
+// HTTP /metrics endpoint serves.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/build_info.hpp"
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+
+namespace deepcat::obs {
+namespace {
+
+BuildInfo pinned_info() {
+  BuildInfo info;
+  info.version = "golden";
+  info.backend = "pinned";
+  info.simd_compiled = false;
+  info.threads = 1;
+  return info;
+}
+
+std::string render(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_prometheus_text(os, registry.snapshot(), pinned_info());
+  return os.str();
+}
+
+TEST(ObsPrometheusTest, MetricNameManglesDotsAndPrefixes) {
+  EXPECT_EQ(prometheus_metric_name("net.accepted"), "deepcat_net_accepted");
+  EXPECT_EQ(prometheus_metric_name("model.TS-D1.best"),
+            "deepcat_model_TS_D1_best");
+  EXPECT_EQ(prometheus_metric_name("rl.critic1_loss"),
+            "deepcat_rl_critic1_loss");
+}
+
+TEST(ObsPrometheusTest, LabelEscaping) {
+  EXPECT_EQ(prometheus_escape_label("plain"), "plain");
+  EXPECT_EQ(prometheus_escape_label("a\"b"), "a\\\"b");
+  EXPECT_EQ(prometheus_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_escape_label("a\nb"), "a\\nb");
+}
+
+TEST(ObsPrometheusTest, BuildInfoGaugeComesFirst) {
+  MetricsRegistry registry;
+  registry.counter("net.accepted").add(3);
+  const std::string text = render(registry);
+  EXPECT_EQ(text.find("# HELP deepcat_build_info"), 0u);
+  EXPECT_NE(
+      text.find("deepcat_build_info{version=\"golden\",backend=\"pinned\","
+                "simd_compiled=\"false\",threads=\"1\"} 1\n"),
+      std::string::npos);
+}
+
+TEST(ObsPrometheusTest, CounterRendersAsTotal) {
+  MetricsRegistry registry;
+  registry.counter("stream.requests_admitted").add(7);
+  const std::string text = render(registry);
+  EXPECT_NE(
+      text.find("# TYPE deepcat_stream_requests_admitted_total counter\n"
+                "deepcat_stream_requests_admitted_total 7\n"),
+      std::string::npos);
+}
+
+TEST(ObsPrometheusTest, GaugeRendersStatFamily) {
+  MetricsRegistry registry;
+  Gauge& g = registry.gauge("stream.queue_depth");
+  g.set(1.0);
+  g.set(3.0);
+  const std::string text = render(registry);
+  EXPECT_NE(text.find("# TYPE deepcat_stream_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepcat_stream_queue_depth{stat=\"count\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepcat_stream_queue_depth{stat=\"mean\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepcat_stream_queue_depth{stat=\"min\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepcat_stream_queue_depth{stat=\"max\"} 3\n"),
+            std::string::npos);
+}
+
+TEST(ObsPrometheusTest, HistogramRendersCumulativeBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 2.0, 5.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(10.0);
+  const std::string text = render(registry);
+  EXPECT_NE(text.find("# TYPE deepcat_lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("deepcat_lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("deepcat_lat_bucket{le=\"2\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("deepcat_lat_bucket{le=\"5\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("deepcat_lat_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("deepcat_lat_sum 12\n"), std::string::npos);
+  EXPECT_NE(text.find("deepcat_lat_count 3\n"), std::string::npos);
+}
+
+TEST(ObsPrometheusTest, EndsWithNewlineAndHasNoTabs) {
+  MetricsRegistry registry;
+  registry.counter("a").add(1);
+  registry.gauge("b").set(2.0);
+  const std::string text = render(registry);
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_EQ(text.find('\t'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace deepcat::obs

@@ -1,0 +1,229 @@
+// TimeSeriesRegistry unit tests: stride-doubling fold semantics, the
+// determinism contract (state is a pure function of the append prefix),
+// the compact JSONL / nested JSON writers, the points-string round trip,
+// and the sparkline renderer the stats CLI uses.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/timeseries.hpp"
+
+namespace deepcat::obs {
+namespace {
+
+TEST(ObsTimeSeriesTest, AppendsAtStrideOneUntilCapacity) {
+  TimeSeriesRegistry registry(8);
+  for (int i = 0; i < 8; ++i) {
+    registry.append("s", static_cast<double>(i));
+  }
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  const TimeSeriesSnapshot& s = snaps[0];
+  EXPECT_EQ(s.name, "s");
+  EXPECT_EQ(s.total, 8u);
+  EXPECT_EQ(s.stride, 1u);
+  ASSERT_EQ(s.points.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(s.points[i].index, i);
+    EXPECT_EQ(s.points[i].count, 1u);
+    EXPECT_DOUBLE_EQ(s.points[i].last, static_cast<double>(i));
+  }
+}
+
+TEST(ObsTimeSeriesTest, FoldDoublesStrideAndMergesPairs) {
+  TimeSeriesRegistry registry(4);
+  for (int i = 0; i < 5; ++i) {
+    registry.append("s", static_cast<double>(i));
+  }
+  const auto s = registry.snapshot()[0];
+  EXPECT_EQ(s.total, 5u);
+  EXPECT_EQ(s.stride, 2u);
+  // 0..3 folded into two sealed pairs, then 4 starts a fresh point.
+  ASSERT_EQ(s.points.size(), 3u);
+  EXPECT_EQ(s.points[0].count, 2u);
+  EXPECT_DOUBLE_EQ(s.points[0].sum, 1.0);   // 0 + 1
+  EXPECT_DOUBLE_EQ(s.points[0].min, 0.0);
+  EXPECT_DOUBLE_EQ(s.points[0].max, 1.0);
+  EXPECT_DOUBLE_EQ(s.points[0].last, 1.0);  // later sample wins
+  EXPECT_EQ(s.points[1].count, 2u);
+  EXPECT_DOUBLE_EQ(s.points[1].sum, 5.0);   // 2 + 3
+  EXPECT_EQ(s.points[2].count, 1u);
+  EXPECT_DOUBLE_EQ(s.points[2].last, 4.0);
+}
+
+TEST(ObsTimeSeriesTest, MemoryStaysBoundedOverLongStreams) {
+  TimeSeriesRegistry registry(16);
+  for (int i = 0; i < 100000; ++i) {
+    registry.append("s", static_cast<double>(i % 97));
+  }
+  const auto s = registry.snapshot()[0];
+  EXPECT_EQ(s.total, 100000u);
+  EXPECT_LE(s.points.size(), 16u);
+  // Commutative stats survive every fold exactly.
+  std::uint64_t count = 0;
+  for (const TimeSeriesPoint& p : s.points) count += p.count;
+  EXPECT_EQ(count, 100000u);
+  EXPECT_DOUBLE_EQ(s.points.back().last, static_cast<double>(99999 % 97));
+}
+
+TEST(ObsTimeSeriesTest, StateIsPureFunctionOfAppendPrefix) {
+  // Same appends -> identical snapshot, regardless of when it is taken
+  // relative to other series' traffic (the TSER determinism contract).
+  TimeSeriesRegistry a(8);
+  TimeSeriesRegistry b(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::sin(static_cast<double>(i));
+    a.append("x", v);
+    b.append("noise", static_cast<double>(i));
+    b.append("x", v);
+  }
+  const auto sa = a.snapshot()[0];
+  auto sbs = b.snapshot();
+  ASSERT_EQ(sbs.size(), 2u);
+  const auto& sb = sbs[1];  // name-sorted: "noise" < "x"
+  EXPECT_EQ(sb.name, "x");
+  EXPECT_EQ(sa.stride, sb.stride);
+  ASSERT_EQ(sa.points.size(), sb.points.size());
+  for (std::size_t i = 0; i < sa.points.size(); ++i) {
+    EXPECT_EQ(sa.points[i].index, sb.points[i].index);
+    EXPECT_EQ(sa.points[i].count, sb.points[i].count);
+    EXPECT_DOUBLE_EQ(sa.points[i].sum, sb.points[i].sum);
+    EXPECT_DOUBLE_EQ(sa.points[i].last, sb.points[i].last);
+  }
+}
+
+TEST(ObsTimeSeriesTest, NonFiniteValuesRecordAsZero) {
+  TimeSeriesRegistry registry(4);
+  registry.append("s", std::numeric_limits<double>::quiet_NaN());
+  registry.append("s", std::numeric_limits<double>::infinity());
+  const auto s = registry.snapshot()[0];
+  EXPECT_DOUBLE_EQ(s.points[0].sum, 0.0);
+  EXPECT_DOUBLE_EQ(s.points[1].last, 0.0);
+}
+
+TEST(ObsTimeSeriesTest, SnapshotIsNameSorted) {
+  TimeSeriesRegistry registry(4);
+  registry.append("zeta", 1.0);
+  registry.append("alpha", 2.0);
+  registry.append("mid", 3.0);
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "alpha");
+  EXPECT_EQ(snaps[1].name, "mid");
+  EXPECT_EQ(snaps[2].name, "zeta");
+}
+
+TEST(ObsTimeSeriesTest, ConcurrentAppendsLoseNothing) {
+  TimeSeriesRegistry registry(32);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      const std::string name = "t" + std::to_string(t);
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.append(name, 1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snaps = registry.snapshot();
+  ASSERT_EQ(snaps.size(), static_cast<std::size_t>(kThreads));
+  for (const auto& s : snaps) {
+    EXPECT_EQ(s.total, static_cast<std::uint64_t>(kPerThread));
+    double sum = 0.0;
+    for (const TimeSeriesPoint& p : s.points) sum += p.sum;
+    EXPECT_DOUBLE_EQ(sum, static_cast<double>(kPerThread));
+  }
+}
+
+TEST(ObsTimeSeriesTest, JsonlWriterEmitsHeaderThenFlatLines) {
+  TimeSeriesRegistry registry(4);
+  registry.append("a", 1.5);
+  registry.append("a", 2.5);
+  registry.append("b", -1.0);
+  std::ostringstream os;
+  write_timeseries_jsonl(os, registry.snapshot());
+  const std::string text = os.str();
+  std::istringstream lines(text);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "{\"tser\":1,\"series\":2}");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(line.find("\"points\":\""), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"name\":\"b\""), std::string::npos);
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(ObsTimeSeriesTest, PointsStringRoundTrips) {
+  TimeSeriesRegistry registry(8);
+  for (int i = 0; i < 23; ++i) {
+    registry.append("s", 0.125 * static_cast<double>(i) - 1.0);
+  }
+  const auto before = registry.snapshot()[0];
+  std::ostringstream os;
+  write_timeseries_jsonl(os, {before});
+  // Pull the "points" string back out of the flat line.
+  const std::string text = os.str();
+  const std::string key = "\"points\":\"";
+  const std::size_t start = text.find(key) + key.size();
+  const std::size_t end = text.find('"', start);
+  const auto points = parse_timeseries_points(text.substr(start, end - start));
+  ASSERT_EQ(points.size(), before.points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, before.points[i].index);
+    EXPECT_EQ(points[i].count, before.points[i].count);
+    EXPECT_DOUBLE_EQ(points[i].sum, before.points[i].sum);
+    EXPECT_DOUBLE_EQ(points[i].min, before.points[i].min);
+    EXPECT_DOUBLE_EQ(points[i].max, before.points[i].max);
+    EXPECT_DOUBLE_EQ(points[i].last, before.points[i].last);
+  }
+}
+
+TEST(ObsTimeSeriesTest, ParseRejectsMalformedPoints) {
+  EXPECT_THROW((void)parse_timeseries_points("1,2,3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_timeseries_points("a,b,c,d,e,f"),
+               std::invalid_argument);
+}
+
+TEST(ObsTimeSeriesTest, NestedJsonHasSeriesArray) {
+  TimeSeriesRegistry registry(4);
+  registry.append("a", 1.0);
+  std::ostringstream os;
+  write_timeseries_json(os, registry.snapshot());
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("{\"series\":[{"), 0u);
+  EXPECT_NE(text.find("\"points\":[["), std::string::npos);
+}
+
+TEST(ObsTimeSeriesTest, SparklineScalesToRangeAndWidth) {
+  std::vector<TimeSeriesPoint> points;
+  for (int i = 0; i < 8; ++i) {
+    TimeSeriesPoint p;
+    p.last = static_cast<double>(i);
+    points.push_back(p);
+  }
+  const std::string spark = render_sparkline(points);
+  EXPECT_FALSE(spark.empty());
+  // Monotone ramp: first cell is the lowest glyph, final cell the highest.
+  EXPECT_EQ(spark.substr(0, 3), "▁");
+  EXPECT_EQ(spark.substr(spark.size() - 3), "█");
+  // Width cap keeps the tail (most recent points).
+  const std::string tail = render_sparkline(points, 4);
+  EXPECT_EQ(tail.size(), 4u * 3u);  // 4 glyphs, 3 bytes each
+  EXPECT_EQ(tail.substr(tail.size() - 3), "█");
+  EXPECT_TRUE(render_sparkline({}).empty());
+}
+
+}  // namespace
+}  // namespace deepcat::obs

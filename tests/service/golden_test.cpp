@@ -25,6 +25,7 @@
 #include <sstream>
 #include <string>
 
+#include "obs/timeseries.hpp"
 #include "retrieval/index.hpp"
 #include "service/streaming.hpp"
 #include "service/wire.hpp"
@@ -149,12 +150,14 @@ std::shared_ptr<const retrieval::ExperienceIndex> fake_index() {
 }
 
 std::string serve(const std::string& input, bool with_fake_runner,
-                  bool with_warm_index = false) {
+                  bool with_warm_index = false,
+                  obs::TimeSeriesRegistry* series = nullptr) {
   StreamingOptions options;
   options.service.threads = 1;  // completion order == submission order
   // The METR frame carries build-info labels; pin them so the transcript
   // bytes stay identical across numeric backends and host core counts.
   options.build_info = obs::BuildInfo{"golden", "pinned", false, 1};
+  options.service.obs.series = series;
   StreamingService svc(options);
   if (with_fake_runner) svc.set_session_runner_for_test(fake_session);
   if (with_warm_index) svc.set_warm_index(fake_index());
@@ -316,6 +319,71 @@ TEST(GoldenTranscriptTest, UnknownScopeIsAParseError) {
                serve(input, /*with_fake_runner=*/true));
 }
 
+TEST(GoldenTranscriptTest, TracedHappyPathEchoesTraceAndServerSpan) {
+  // Traced REQs beside an untraced one: the traced REPs echo the client's
+  // trace id plus the deterministic server span id (an FNV hash of trace
+  // id + request id, so the bytes are stable without a tracer attached),
+  // and the untraced REP stays byte-identical to the legacy format.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"t1\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":61,"
+       "\"trace\":\"req-abc\",\"span\":42}"},
+      {FrameType::kRequest,
+       "{\"id\":\"plain\",\"workload\":\"WC-D1\",\"steps\":1,\"seed\":62}"},
+      {FrameType::kRequest,
+       "{\"id\":\"t2\",\"workload\":\"KM-D1\",\"cluster\":\"b\","
+       "\"steps\":2,\"seed\":63,\"trace\":\"req-abc\"}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("traced_happy_path.golden",
+               serve(input, /*with_fake_runner=*/true));
+}
+
+TEST(GoldenTranscriptTest, MalformedTraceContextIsAParseError) {
+  // The "warm"/"scope" precedent applied to trace context: an empty trace
+  // id, a span without a trace, and a non-numeric span are typed ERR
+  // frames naming the field; the stream continues and the well-traced REQ
+  // after them still serves.
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"empty\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":71,"
+       "\"trace\":\"\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"orphan\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":72,"
+       "\"span\":7}"},
+      {FrameType::kRequest,
+       "{\"id\":\"nan\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":73,"
+       "\"trace\":\"t\",\"span\":\"lots\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"ok\",\"workload\":\"TS-D1\",\"steps\":1,\"seed\":74,"
+       "\"trace\":\"t\",\"span\":7}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("trace_malformed.golden",
+               serve(input, /*with_fake_runner=*/true));
+}
+
+TEST(GoldenTranscriptTest, TimeSeriesFrameAtStatAndTail) {
+  // With a TimeSeriesRegistry attached the serve loop emits a TSER frame
+  // right before each TELE (the STAT answer and the tail). Fake-runner
+  // sessions record integer-valued series, so the frame is byte-stable;
+  // without a registry the transcripts above stay TSER-free (wire v2
+  // shape) — that is pinned by every other golden in this file.
+  obs::TimeSeriesRegistry series(8);
+  const std::string input = encode_frames({
+      {FrameType::kRequest,
+       "{\"id\":\"a\",\"workload\":\"TS-D1\",\"steps\":2,\"seed\":81}"},
+      {FrameType::kFlush, ""},
+      {FrameType::kStat, ""},
+      {FrameType::kRequest,
+       "{\"id\":\"b\",\"workload\":\"PR-D2\",\"steps\":1,\"seed\":82}"},
+      {FrameType::kEnd, ""},
+  });
+  check_golden("timeseries_tail.golden",
+               serve(input, /*with_fake_runner=*/true,
+                     /*with_warm_index=*/false, &series));
+}
+
 TEST(GoldenTranscriptTest, MidStreamEofIsAProtocolError) {
   std::string input = encode_frames({
       {FrameType::kRequest, "{\"id\":\"y\",\"workload\":\"WC-D1\"}"},
@@ -336,7 +404,10 @@ TEST(GoldenTranscriptTest, GoldenTranscriptsDecodeAsValidWireStreams) {
                            "stat_tele.golden", "warm_happy_path.golden",
                            "warm_no_index.golden", "warm_malformed.golden",
                            "scoped_happy_path.golden",
-                           "scope_malformed.golden"}) {
+                           "scope_malformed.golden",
+                           "traced_happy_path.golden",
+                           "trace_malformed.golden",
+                           "timeseries_tail.golden"}) {
     std::ifstream in(golden_path(name), std::ios::binary);
     ASSERT_TRUE(in) << "missing golden file " << name
                     << " — regenerate with DEEPCAT_UPDATE_GOLDEN=1";

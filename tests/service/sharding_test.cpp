@@ -158,6 +158,56 @@ TEST(ShardingTest, AggregateMetricsSumsIntegerFieldsExactly) {
   EXPECT_GT(shards_with_work, 1u) << "8 models should span several shards";
 }
 
+TEST(ShardingTest, PercentilesFromMergedBucketsMatchSingleShardExactly) {
+  // Quantiles do not average across shards, but the fixed-edge rec-cost
+  // bucket counts merge exactly — so the aggregate p50/p95 must be
+  // bit-identical whatever the shard layout. Drive the same request set
+  // (deterministic rec costs spread across the bucket edges) through a
+  // 1-shard and a 4-shard service and compare the merged views.
+  auto costed_report = [](const TuningRequest& r) {
+    SessionReport report = fake_report(r);
+    // "req-<i>" -> rec cost spanning several histogram buckets.
+    const std::size_t i =
+        static_cast<std::size_t>(std::stoul(r.id.substr(4)));
+    tuners::TuningStepRecord step;
+    step.recommendation_seconds = 0.5 + 30.0 * static_cast<double>(i % 7);
+    report.report.steps.push_back(step);
+    return report;
+  };
+  auto run = [&](std::size_t shards) {
+    ShardedStreamingService svc(tiny_options(2), shards);
+    svc.set_session_runner_for_test(costed_report);
+    constexpr std::size_t kRequests = 21;
+    CallbackLatch latch(kRequests);
+    for (std::size_t i = 0; i < kRequests; ++i) {
+      TuningRequest request;
+      request.id = "req-" + std::to_string(i);
+      request.workload = "TS-D1";
+      request.model = "model-" + std::to_string(i % 8);
+      svc.submit(request, [&](StreamReport r) { latch.arrive(std::move(r)); });
+    }
+    (void)latch.wait();
+    while (!svc.idle()) {
+    }
+    return svc.aggregate_metrics();
+  };
+
+  const ServiceMetrics single = run(1);
+  const ServiceMetrics sharded = run(4);
+  ASSERT_EQ(single.rec_buckets.size(), sharded.rec_buckets.size());
+  for (std::size_t i = 0; i < single.rec_buckets.size(); ++i) {
+    EXPECT_EQ(single.rec_buckets[i], sharded.rec_buckets[i]) << "bucket " << i;
+  }
+  EXPECT_EQ(single.p50_recommendation_seconds,
+            sharded.p50_recommendation_seconds);
+  EXPECT_EQ(single.p95_recommendation_seconds,
+            sharded.p95_recommendation_seconds);
+  EXPECT_GT(sharded.p95_recommendation_seconds,
+            sharded.p50_recommendation_seconds)
+      << "costs were chosen to span several buckets";
+  EXPECT_EQ(single.sessions_served, sharded.sessions_served);
+}
+
 TEST(ShardingTest, SingleShardBehavesLikeThePlainService) {
   ShardedStreamingService svc(tiny_options(1), 1);
   svc.set_session_runner_for_test(fake_report);

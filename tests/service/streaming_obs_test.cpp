@@ -198,6 +198,51 @@ TEST(StreamingObsDeterminismTest, TracingDoesNotPerturbTheMasterCheckpoint) {
   EXPECT_EQ(traced.checkpoint, plain_checkpoint);
 }
 
+TEST(StreamingObsDeterminismTest, SpanHealthCountersLandInNondeterministicTele) {
+  // The tracer's back-pressure health (dropped spans, ring high-water)
+  // is scheduling-dependent, so it ships only in the nondeterministic
+  // TELE view — present there by name, absent from the byte-stable one.
+  obs::LogicalClock clock;
+  obs::MetricsRegistry registry;
+  obs::TracerOptions tracer_options;
+  tracer_options.health = &registry;
+  obs::Tracer tracer(clock, tracer_options);
+  StreamingOptions options = obs_stress_options(1);
+  options.service.obs = {&registry, &tracer};
+  StreamingService svc(options);
+  svc.set_session_runner_for_test([](const TuningRequest& r) {
+    SessionReport report;
+    report.id = r.id;
+    report.workload = r.workload;
+    report.ok = true;
+    return report;
+  });
+  TuningRequest request;
+  request.id = "span-health";
+  request.workload = "WC-D1";
+  svc.submit(request);
+  while (svc.wait_completed()) {
+  }
+
+  const obs::BuildInfo info{"stress", "pinned", false, 1};
+  std::ostringstream full;
+  write_telemetry_payload(full, svc.metrics(), info, &registry,
+                          /*include_nondeterministic=*/true);
+  const std::string all = std::move(full).str();
+  EXPECT_NE(all.find("\"name\":\"obs.spans.dropped\""), std::string::npos);
+  EXPECT_NE(all.find("\"name\":\"obs.spans.ring_highwater\""),
+            std::string::npos);
+  EXPECT_NE(all.find("\"name\":\"obs.spans.emitted\""), std::string::npos);
+
+  std::ostringstream stable;
+  write_telemetry_payload(stable, svc.metrics(), info, &registry,
+                          /*include_nondeterministic=*/false);
+  const std::string deterministic = std::move(stable).str();
+  EXPECT_EQ(deterministic.find("obs.spans.dropped"), std::string::npos);
+  EXPECT_EQ(deterministic.find("obs.spans.ring_highwater"), std::string::npos);
+  EXPECT_NE(deterministic.find("obs.spans.emitted"), std::string::npos);
+}
+
 TEST(StreamingObsMetrTest, MetrFrameCarriesBuildInfoAndStaysParseable) {
   StreamingOptions options;
   options.service.threads = 1;

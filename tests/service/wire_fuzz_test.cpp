@@ -50,6 +50,9 @@ std::string wire_base_stream() {
       {FrameType::kRequest,
        "{\"id\":\"req-5\",\"workload\":\"TS-D1\",\"cluster\":\"b\","
        "\"steps\":1,\"seed\":16,\"scope\":\"hardware\"}"},
+      {FrameType::kRequest,
+       "{\"id\":\"req-6\",\"workload\":\"WC-D1\",\"steps\":1,\"seed\":17,"
+       "\"trace\":\"fuzz-trace\",\"span\":42}"},
       {FrameType::kStat, "{\"want\":\"tele\"}"},
       {FrameType::kMetrics, "{\"aggregate\":true,\"sessions\":3}"},
       {FrameType::kEnd, ""},
@@ -58,7 +61,7 @@ std::string wire_base_stream() {
 
 TEST(WireFuzzTest, MutatedStreamsNeverEscapeTypedErrors) {
   const std::string base = wire_base_stream();
-  ASSERT_TRUE(decode_frames(base).size() == 12u) << "base stream must decode";
+  ASSERT_TRUE(decode_frames(base).size() == 13u) << "base stream must decode";
 
   const std::size_t exhaustive = fuzz::exhaustive_mutants(base);
   const std::size_t total = exhaustive + 3000;  // + seeded splices
